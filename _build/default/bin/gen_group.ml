@@ -1,0 +1,37 @@
+(* Developer tool: generate safe primes for Group's named test groups and
+   re-verify the hard-coded RFC 3526 moduli. Usage:
+     dune exec bin/gen_group.exe -- gen <bits> [seed]
+     dune exec bin/gen_group.exe -- verify *)
+
+module Nat = Bignum.Nat
+module Prime = Bignum.Prime
+
+let rng_of_seed seed =
+  let d = Crypto.Drbg.create ~seed in
+  Crypto.Drbg.to_rng d
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "gen" :: bits :: rest ->
+      let bits = int_of_string bits in
+      let seed = match rest with s :: _ -> s | [] -> "psi-group-params" in
+      let t0 = Unix.gettimeofday () in
+      let p = Prime.gen_safe_prime ~rng:(rng_of_seed seed) bits in
+      Printf.printf "(* %d-bit safe prime, seed %S, %.1fs *)\n%s\n" bits seed
+        (Unix.gettimeofday () -. t0)
+        (Nat.to_hex p)
+  | _ :: "verify" :: _ ->
+      let rng = rng_of_seed "verify" in
+      List.iter
+        (fun name ->
+          let g = Crypto.Group.named name in
+          let ok = Prime.is_safe_prime ~rng (Crypto.Group.p g) in
+          Printf.printf "%s (%d bits): %s\n%!"
+            (Crypto.Group.name_to_string name)
+            (Crypto.Group.modulus_bits g)
+            (if ok then "safe prime OK" else "NOT A SAFE PRIME");
+          if not ok then exit 1)
+        Crypto.Group.all_names
+  | _ ->
+      prerr_endline "usage: gen_group (gen <bits> [seed] | verify)";
+      exit 2

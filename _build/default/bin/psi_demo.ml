@@ -1,0 +1,319 @@
+(* Command-line driver: run the four protocols over CSV tables, generate
+   synthetic workloads, and print cost estimates.
+
+   Examples:
+     psi_demo gen-medical --patients 500 --out-r /tmp/tr.csv --out-s /tmp/ts.csv
+     psi_demo medical --table-r /tmp/tr.csv --table-s /tmp/ts.csv
+     psi_demo intersect --op size --csv-s s.csv --csv-r r.csv --attr email
+     psi_demo estimate --op equijoin --vs 1000000 --vr 1000000
+*)
+
+open Cmdliner
+
+let group_names = List.map (fun n -> (Crypto.Group.name_to_string n, n)) Crypto.Group.all_names
+
+let group_arg =
+  let doc =
+    Printf.sprintf "Named group to use (%s)."
+      (String.concat ", " (List.map fst group_names))
+  in
+  Arg.(value & opt (enum group_names) Crypto.Group.Test256 & info [ "group" ] ~doc)
+
+let seed_arg =
+  Arg.(value & opt string "psi-demo" & info [ "seed" ] ~doc:"Deterministic RNG seed.")
+
+let values_of_csv path attr =
+  let t = Minidb.Csv.load path in
+  List.map Minidb.Value.key (Minidb.Table.distinct_values t attr)
+
+let multiset_of_csv path attr =
+  let t = Minidb.Csv.load path in
+  List.filter_map
+    (fun v -> if v = Minidb.Value.Null then None else Some (Minidb.Value.key v))
+    (Minidb.Table.column_values t attr)
+
+(* ------------------------------------------------------------------ *)
+(* intersect                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type op = Op_intersection | Op_size | Op_join | Op_join_size
+
+let op_arg =
+  let ops =
+    [
+      ("intersection", Op_intersection);
+      ("size", Op_size);
+      ("equijoin", Op_join);
+      ("join-size", Op_join_size);
+    ]
+  in
+  Arg.(value & opt (enum ops) Op_intersection & info [ "op" ] ~doc:"Operation to run.")
+
+let csv_s_arg =
+  Arg.(required & opt (some file) None & info [ "csv-s" ] ~doc:"Sender's CSV table.")
+
+let csv_r_arg =
+  Arg.(required & opt (some file) None & info [ "csv-r" ] ~doc:"Receiver's CSV table.")
+
+let attr_arg =
+  Arg.(value & opt string "id" & info [ "attr" ] ~doc:"Join attribute column name.")
+
+let report_traffic (o_total : int) = Printf.printf "wire traffic: %d bytes\n" o_total
+
+let run_intersect group seed op csv_s csv_r attr =
+  let cfg = Psi.Protocol.config ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
+  match op with
+  | Op_intersection ->
+      let vs = values_of_csv csv_s attr and vr = values_of_csv csv_r attr in
+      let o = Psi.Intersection.run cfg ~seed ~sender_values:vs ~receiver_values:vr () in
+      let r = o.Wire.Runner.receiver_result in
+      Printf.printf "|V_S| = %d, |V_R| = %d, |V_S ∩ V_R| = %d\n" r.Psi.Intersection.v_s_count
+        (List.length vr)
+        (List.length r.Psi.Intersection.intersection);
+      List.iter (Printf.printf "%s\n") r.Psi.Intersection.intersection;
+      report_traffic o.Wire.Runner.total_bytes
+  | Op_size ->
+      let vs = values_of_csv csv_s attr and vr = values_of_csv csv_r attr in
+      let o = Psi.Intersection_size.run cfg ~seed ~sender_values:vs ~receiver_values:vr () in
+      Printf.printf "|V_S ∩ V_R| = %d (|V_S| = %d, |V_R| = %d)\n"
+        o.Wire.Runner.receiver_result.Psi.Intersection_size.size
+        o.Wire.Runner.receiver_result.Psi.Intersection_size.v_s_count
+        (List.length vr);
+      report_traffic o.Wire.Runner.total_bytes
+  | Op_join ->
+      let t_s = Minidb.Csv.load csv_s in
+      let records =
+        List.filter_map
+          (fun row ->
+            let v = Minidb.Table.get t_s row attr in
+            if v = Minidb.Value.Null then None
+            else begin
+              let payload =
+                String.concat ","
+                  (Array.to_list (Array.map Minidb.Value.to_string row))
+              in
+              Some (Minidb.Value.key v, payload)
+            end)
+          (Minidb.Table.rows t_s)
+      in
+      let vr = values_of_csv csv_r attr in
+      let o = Psi.Equijoin.run cfg ~seed ~sender_records:records ~receiver_values:vr () in
+      let r = o.Wire.Runner.receiver_result in
+      List.iter
+        (fun (v, recs) ->
+          Printf.printf "%s:\n" v;
+          List.iter (Printf.printf "  %s\n") recs)
+        r.Psi.Equijoin.matches;
+      Printf.printf "%d joining value(s); |V_S| = %d\n"
+        (List.length r.Psi.Equijoin.matches)
+        r.Psi.Equijoin.v_s_count;
+      report_traffic o.Wire.Runner.total_bytes
+  | Op_join_size ->
+      let vs = multiset_of_csv csv_s attr and vr = multiset_of_csv csv_r attr in
+      let o = Psi.Equijoin_size.run cfg ~seed ~sender_values:vs ~receiver_values:vr () in
+      Printf.printf "|T_S >< T_R| = %d\n" o.Wire.Runner.receiver_result.Psi.Equijoin_size.join_size;
+      report_traffic o.Wire.Runner.total_bytes
+
+let intersect_cmd =
+  let doc = "Run a private set operation between two CSV tables." in
+  Cmd.v
+    (Cmd.info "intersect" ~doc)
+    Term.(const run_intersect $ group_arg $ seed_arg $ op_arg $ csv_s_arg $ csv_r_arg $ attr_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gen-medical / medical                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_gen_medical seed patients out_r out_s =
+  let t_r, t_s, _ =
+    Psi.Workload.medical_tables ~seed ~n_patients:patients ~p_pattern:0.3 ~p_drug:0.5
+      ~p_reaction:0.12
+  in
+  Minidb.Csv.save out_r t_r;
+  Minidb.Csv.save out_s t_s;
+  Printf.printf "wrote %s (%d rows) and %s (%d rows)\n" out_r
+    (Minidb.Table.cardinality t_r) out_s (Minidb.Table.cardinality t_s)
+
+let gen_medical_cmd =
+  let patients = Arg.(value & opt int 500 & info [ "patients" ] ~doc:"Cohort size.") in
+  let out_r = Arg.(value & opt string "tr.csv" & info [ "out-r" ] ~doc:"Output for T_R.") in
+  let out_s = Arg.(value & opt string "ts.csv" & info [ "out-s" ] ~doc:"Output for T_S.") in
+  Cmd.v
+    (Cmd.info "gen-medical" ~doc:"Generate a synthetic medical cohort (two CSV tables).")
+    Term.(const run_gen_medical $ seed_arg $ patients $ out_r $ out_s)
+
+let run_medical group seed table_r table_s =
+  let cfg = Psi.Protocol.config ~domain:"medical:person_id" (Crypto.Group.named group) in
+  let t_r = Minidb.Csv.load table_r and t_s = Minidb.Csv.load table_s in
+  let report = Psi.Medical.run cfg ~seed ~t_r ~t_s () in
+  let c = report.Psi.Medical.counts in
+  Printf.printf "pattern & reaction:      %d\n" c.Psi.Medical.pattern_and_reaction;
+  Printf.printf "pattern, no reaction:    %d\n" c.Psi.Medical.pattern_no_reaction;
+  Printf.printf "no pattern & reaction:   %d\n" c.Psi.Medical.no_pattern_and_reaction;
+  Printf.printf "no pattern, no reaction: %d\n" c.Psi.Medical.no_pattern_no_reaction;
+  report_traffic report.Psi.Medical.total_bytes
+
+let medical_cmd =
+  let table_r =
+    Arg.(required & opt (some file) None & info [ "table-r" ] ~doc:"T_R CSV (person_id, pattern).")
+  in
+  let table_s =
+    Arg.(required & opt (some file) None
+         & info [ "table-s" ] ~doc:"T_S CSV (person_id, drug, reaction).")
+  in
+  Cmd.v
+    (Cmd.info "medical" ~doc:"Run the Figure-2 medical research query privately.")
+    Term.(const run_medical $ group_arg $ seed_arg $ table_r $ table_s)
+
+(* ------------------------------------------------------------------ *)
+(* estimate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_estimate op vs vr measured group =
+  let params =
+    if measured then Psi.Cost_model.measured_params (Crypto.Group.named group)
+    else Psi.Cost_model.paper_params
+  in
+  let operation =
+    match op with
+    | Op_intersection -> Psi.Cost_model.Intersection
+    | Op_size -> Psi.Cost_model.Intersection_size
+    | Op_join -> Psi.Cost_model.Equijoin
+    | Op_join_size -> Psi.Cost_model.Equijoin_size
+  in
+  let e = Psi.Cost_model.estimate params operation ~v_s:vs ~v_r:vr in
+  Printf.printf "parameters: Ce = %g s, k = %d bits, P = %d, bandwidth = %g bit/s%s\n"
+    params.Psi.Cost_model.ce_seconds params.Psi.Cost_model.k_bits
+    params.Psi.Cost_model.processors params.Psi.Cost_model.bandwidth_bits_per_s
+    (if measured then " (measured on this machine)" else " (paper's 2001 constants)");
+  Printf.printf "encryptions: %.3g Ce\n" e.Psi.Cost_model.encryptions;
+  Printf.printf "computation: %s\n" (Psi.Cost_model.format_seconds e.Psi.Cost_model.comp_seconds);
+  Printf.printf "communication: %s (%s)\n"
+    (Psi.Cost_model.format_bits e.Psi.Cost_model.comm_bits)
+    (Psi.Cost_model.format_seconds e.Psi.Cost_model.comm_seconds)
+
+let estimate_cmd =
+  let vs = Arg.(value & opt int 1_000_000 & info [ "vs" ] ~doc:"|V_S|.") in
+  let vr = Arg.(value & opt int 1_000_000 & info [ "vr" ] ~doc:"|V_R|.") in
+  let measured =
+    Arg.(value & flag & info [ "measured" ] ~doc:"Measure Ce on this machine instead of 2001 constants.")
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Apply the §6.1 cost model.")
+    Term.(const run_estimate $ op_arg $ vs $ vr $ measured $ group_arg)
+
+(* ------------------------------------------------------------------ *)
+(* group-by                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_group_by group seed csv_r csv_s key r_class s_class =
+  let cfg = Psi.Protocol.config ~domain:("group-by:" ^ key) (Crypto.Group.named group) in
+  let t_r = Minidb.Csv.load csv_r and t_s = Minidb.Csv.load csv_s in
+  let g =
+    Psi.Group_by.run cfg ~seed ~t_r ~r_key:key ~r_class ~t_s ~s_key:key ~s_class ()
+  in
+  Printf.printf "%-20s %-20s %8s\n" r_class s_class "count";
+  List.iter
+    (fun ((rc, sc), n) ->
+      Printf.printf "%-20s %-20s %8d\n" (Minidb.Value.to_string rc)
+        (Minidb.Value.to_string sc) n)
+    g.Psi.Group_by.cells;
+  report_traffic g.Psi.Group_by.total_bytes
+
+let group_by_cmd =
+  let csv_r = Arg.(required & opt (some file) None & info [ "csv-r" ] ~doc:"R's CSV table.") in
+  let csv_s = Arg.(required & opt (some file) None & info [ "csv-s" ] ~doc:"S's CSV table.") in
+  let key = Arg.(value & opt string "id" & info [ "key" ] ~doc:"Join column (both tables).") in
+  let r_class = Arg.(required & opt (some string) None & info [ "r-class" ] ~doc:"R's grouping column.") in
+  let s_class = Arg.(required & opt (some string) None & info [ "s-class" ] ~doc:"S's grouping column.") in
+  Cmd.v
+    (Cmd.info "group-by" ~doc:"Private two-table GROUP BY count (generalized Figure 2).")
+    Term.(const run_group_by $ group_arg $ seed_arg $ csv_r $ csv_s $ key $ r_class $ s_class)
+
+(* ------------------------------------------------------------------ *)
+(* aggregate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_aggregate group seed csv_s csv_r attr sum_col =
+  let cfg = Psi.Protocol.config ~domain:("aggregate:" ^ attr) (Crypto.Group.named group) in
+  let t_s = Minidb.Csv.load csv_s in
+  let records =
+    List.filter_map
+      (fun row ->
+        let v = Minidb.Table.get t_s row attr in
+        let x = Minidb.Table.get t_s row sum_col in
+        match (v, x) with
+        | Minidb.Value.Null, _ | _, Minidb.Value.Null -> None
+        | v, Minidb.Value.Int x -> Some (Minidb.Value.key v, x)
+        | _, other ->
+            invalid_arg
+              (Printf.sprintf "aggregate: column %s must be int, got %s" sum_col
+                 (Minidb.Value.to_string other)))
+      (Minidb.Table.rows t_s)
+  in
+  let vr = values_of_csv csv_r attr in
+  let o = Psi.Aggregate.run cfg ~seed ~sender_records:records ~receiver_values:vr () in
+  let r = o.Wire.Runner.receiver_result in
+  Printf.printf "sum(%s) over the %d joining values = %d\n" sum_col
+    (List.length r.Psi.Aggregate.intersection)
+    r.Psi.Aggregate.sum;
+  report_traffic o.Wire.Runner.total_bytes
+
+let aggregate_cmd =
+  let sum_col =
+    Arg.(value & opt string "amount" & info [ "sum" ] ~doc:"S's integer column to total.")
+  in
+  Cmd.v
+    (Cmd.info "aggregate"
+       ~doc:"Private equijoin SUM of a sender column over the joining values.")
+    Term.(const run_aggregate $ group_arg $ seed_arg $ csv_s_arg $ csv_r_arg $ attr_arg $ sum_col)
+
+(* ------------------------------------------------------------------ *)
+(* sql                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_sql group seed query csv_s s_name csv_r r_name explain_only =
+  if explain_only then begin
+    match Psi.Sql_private.explain ~sender:(Minidb.Csv.load csv_s) ~receiver:(Minidb.Csv.load csv_r)
+        ~sql:query ~sender_name:s_name ~receiver_name:r_name () with
+    | Ok plan -> Printf.printf "plan: %s\n" plan
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+  end
+  else begin
+    let cfg = Psi.Protocol.config ~domain:("sql:" ^ s_name ^ ":" ^ r_name) (Crypto.Group.named group) in
+    let t_s = Minidb.Csv.load csv_s and t_r = Minidb.Csv.load csv_r in
+    match
+      Psi.Sql_private.run cfg ~seed ~sql:query ~sender:(s_name, t_s) ~receiver:(r_name, t_r) ()
+    with
+    | Ok o ->
+        print_string (Minidb.Csv.to_string o.Psi.Sql_private.table);
+        Printf.eprintf "-- %d bytes of protocol traffic, %d encryptions\n"
+          o.Psi.Sql_private.total_bytes o.Psi.Sql_private.ops.Psi.Protocol.encryptions
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+  end
+
+let sql_cmd =
+  let query = Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.") in
+  let s_name = Arg.(value & opt string "s" & info [ "sender-name" ] ~doc:"Sender table name in the query.") in
+  let r_name = Arg.(value & opt string "r" & info [ "receiver-name" ] ~doc:"Receiver table name in the query.") in
+  let explain_only = Arg.(value & flag & info [ "explain" ] ~doc:"Only print the protocol plan.") in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Privately execute a SQL query spanning two CSV tables.")
+    Term.(const run_sql $ group_arg $ seed_arg $ query $ csv_s_arg $ s_name $ csv_r_arg $ r_name $ explain_only)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "psi_demo" ~version:"1.0.0"
+       ~doc:"Information sharing across private databases (SIGMOD 2003 protocols)")
+    [
+      intersect_cmd; gen_medical_cmd; medical_cmd; estimate_cmd; group_by_cmd;
+      aggregate_cmd; sql_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/document_sharing.ml: Crypto List Printf Psi

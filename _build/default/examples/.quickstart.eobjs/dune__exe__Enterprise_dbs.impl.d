@@ -1,0 +1,1 @@
+examples/enterprise_dbs.ml: Array Crypto Filename List Minidb Printf Psi Schema Sql Storage String Sys Table Value

@@ -1,0 +1,1 @@
+examples/equijoin_size_leakage.ml: Crypto List Printf Psi String Wire

@@ -1,0 +1,1 @@
+examples/equijoin_size_leakage.mli:

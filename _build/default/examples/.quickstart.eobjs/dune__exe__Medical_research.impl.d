@@ -1,0 +1,1 @@
+examples/medical_research.ml: Crypto Minidb Printf Psi

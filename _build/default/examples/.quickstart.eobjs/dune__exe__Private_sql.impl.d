@@ -1,0 +1,1 @@
+examples/private_sql.ml: Array Crypto Csv List Minidb Printf Psi String Table Value

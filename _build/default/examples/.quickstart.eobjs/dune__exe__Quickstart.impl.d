@@ -1,0 +1,1 @@
+examples/quickstart.ml: Crypto List Printf Psi Wire

@@ -1,0 +1,1 @@
+examples/supply_chain.ml: Crypto Csv List Minidb Printf Psi String Table Value

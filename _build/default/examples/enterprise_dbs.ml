@@ -1,0 +1,100 @@
+(* Full-stack run of Figure 1: each enterprise keeps its data in an
+   on-disk minidb database (the "Database" layer), answers its own
+   local SQL, and answers cross-enterprise queries only through the
+   private protocols (the "Cryptographic Protocol" layer), with an
+   audit trail per §2.3.
+
+   Run with: dune exec examples/enterprise_dbs.exe *)
+
+open Minidb
+
+let setup_insurer path =
+  (if Sys.file_exists path then Sys.remove path);
+  let db = Storage.open_db path in
+  Storage.create_table db "claims"
+    (Schema.make
+       [ Schema.col "patient" Value.TText; Schema.col "amount" Value.TInt;
+         Schema.col "approved" Value.TBool ]);
+  Storage.insert db "claims"
+    [
+      [| Value.Text "P-01"; Value.Int 900; Value.Bool true |];
+      [| Value.Text "P-02"; Value.Int 150; Value.Bool false |];
+      [| Value.Text "P-03"; Value.Int 4200; Value.Bool true |];
+      [| Value.Text "P-03"; Value.Int 80; Value.Bool true |];
+      [| Value.Text "P-07"; Value.Int 60; Value.Bool true |];
+    ];
+  db
+
+let setup_hospital path =
+  (if Sys.file_exists path then Sys.remove path);
+  let db = Storage.open_db path in
+  Storage.create_table db "patients"
+    (Schema.make [ Schema.col "patient" Value.TText; Schema.col "ward" Value.TText ]);
+  Storage.insert db "patients"
+    [
+      [| Value.Text "P-02"; Value.Text "cardio" |];
+      [| Value.Text "P-03"; Value.Text "ortho" |];
+      [| Value.Text "P-05"; Value.Text "cardio" |];
+    ];
+  db
+
+let () =
+  let insurer_path = Filename.temp_file "insurer" ".mdb" in
+  let hospital_path = Filename.temp_file "hospital" ".mdb" in
+  let insurer = setup_insurer insurer_path in
+  let hospital = setup_hospital hospital_path in
+
+  (* Durability check: close and reopen both stores (crash-safe log). *)
+  Storage.close insurer;
+  Storage.close hospital;
+  let insurer = Storage.open_db insurer_path in
+  let hospital = Storage.open_db hospital_path in
+  Printf.printf "insurer db:  %s (tables: %s)\n" (Storage.path insurer)
+    (String.concat ", " (Storage.tables insurer));
+  Printf.printf "hospital db: %s (tables: %s)\n\n" (Storage.path hospital)
+    (String.concat ", " (Storage.tables hospital));
+
+  (* Each side can run arbitrary LOCAL SQL on its own database. *)
+  let local_report =
+    Sql.execute
+      (fun name -> Storage.table insurer name)
+      (Sql.parse "select approved, count(*), sum(amount) from claims group by approved")
+  in
+  Printf.printf "insurer's local query (approved, count, total):\n";
+  List.iter
+    (fun row ->
+      Printf.printf "  %s\n"
+        (String.concat " | " (Array.to_list (Array.map Value.to_string row))))
+    (Table.rows local_report);
+
+  (* Cross-enterprise questions go through the private protocols. *)
+  let group = Crypto.Group.named Crypto.Group.Test256 in
+  let cfg = Psi.Protocol.config ~domain:"claims:patient" group in
+  let claims = Storage.table insurer "claims" in
+  let patients = Storage.table hospital "patients" in
+  let ask sql =
+    Printf.printf "\nhospital asks: %s\n" sql;
+    match
+      Psi.Sql_private.run cfg ~sql ~sender:("claims", claims)
+        ~receiver:("patients", patients) ()
+    with
+    | Ok o ->
+        List.iter
+          (fun row ->
+            Printf.printf "  %s\n"
+              (String.concat " | " (Array.to_list (Array.map Value.to_string row))))
+          (Table.rows o.Psi.Sql_private.table)
+    | Error e -> Printf.printf "  rejected: %s\n" e
+  in
+  (* Which of our patients have claims with this insurer? *)
+  ask "select patients.patient from patients, claims where patients.patient = claims.patient";
+  (* Total approved claim volume for our patients, without seeing any
+     individual claim. *)
+  ask
+    "select sum(amount) from patients, claims \
+     where patients.patient = claims.patient and approved = true";
+
+  Storage.close insurer;
+  Storage.close hospital;
+  Sys.remove insurer_path;
+  Sys.remove hospital_path

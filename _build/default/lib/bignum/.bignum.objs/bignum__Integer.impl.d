@@ -1,0 +1,1 @@
+lib/bignum/integer.ml: Format Nat Stdlib

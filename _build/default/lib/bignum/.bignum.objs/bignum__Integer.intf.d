@@ -1,0 +1,1 @@
+lib/bignum/integer.mli: Format Nat

@@ -1,0 +1,1 @@
+lib/bignum/modular.ml: Array Integer Nat

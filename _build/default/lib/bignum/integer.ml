@@ -1,0 +1,70 @@
+(* Sign-magnitude representation. Invariant: [sign = 0] iff the magnitude
+   is zero, so zero has a unique form. *)
+
+type t = { sign : int; mag : Nat.t }
+
+let make sign mag = if Nat.is_zero mag then { sign = 0; mag = Nat.zero } else { sign; mag }
+let zero = { sign = 0; mag = Nat.zero }
+let one = { sign = 1; mag = Nat.one }
+let minus_one = { sign = -1; mag = Nat.one }
+let of_nat n = make 1 n
+
+let to_nat n =
+  if n.sign < 0 then invalid_arg "Integer.to_nat: negative" else n.mag
+
+let of_int i = if i >= 0 then make 1 (Nat.of_int i) else make (-1) (Nat.of_int (-i))
+let sign n = n.sign
+let neg n = make (-n.sign) n.mag
+let abs n = make 1 n.mag
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (Nat.add a.mag b.mag)
+  else begin
+    let c = Nat.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (Nat.sub a.mag b.mag)
+    else make b.sign (Nat.sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let mul a b = make (a.sign * b.sign) (Nat.mul a.mag b.mag)
+let compare a b = if a.sign <> b.sign then Stdlib.compare a.sign b.sign else a.sign * Nat.compare a.mag b.mag
+let equal a b = compare a b = 0
+
+let ediv_rem a b =
+  if b.sign = 0 then raise Division_by_zero
+  else begin
+    let q, r = Nat.divmod a.mag b.mag in
+    if a.sign >= 0 then (make b.sign q, make 1 r)
+    else if Nat.is_zero r then (make (-b.sign) q, zero)
+    else
+      (* Round the quotient toward -infinity in magnitude terms so the
+         remainder lands in [0, |b|). *)
+      (make (-b.sign) (Nat.succ q), make 1 (Nat.sub b.mag r))
+  end
+
+let erem a b = snd (ediv_rem a b)
+
+let egcd a b =
+  (* Iterative extended Euclid on |a|, |b|, then fix the signs. *)
+  let rec go r0 r1 s0 s1 t0 t1 =
+    if equal r1 zero then (r0, s0, t0)
+    else begin
+      let q, r = ediv_rem r0 r1 in
+      go r1 r s1 (sub s0 (mul q s1)) t1 (sub t0 (mul q t1))
+    end
+  in
+  let g, x, y = go (abs a) (abs b) one zero zero one in
+  let x = if a.sign < 0 then neg x else x in
+  let y = if b.sign < 0 then neg y else y in
+  (g, x, y)
+
+let to_string n =
+  match n.sign with
+  | 0 -> "0"
+  | s when s > 0 -> Nat.to_decimal n.mag
+  | _ -> "-" ^ Nat.to_decimal n.mag
+
+let pp fmt n = Format.pp_print_string fmt (to_string n)

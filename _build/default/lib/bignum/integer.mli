@@ -1,0 +1,46 @@
+(** Signed arbitrary-precision integers, layered over {!Nat}.
+
+    Only the operations the cryptographic layer needs are exposed; the
+    main client is the extended Euclidean algorithm used for modular
+    inverses in the commutative-encryption scheme. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** [of_nat n] embeds a natural number. *)
+val of_nat : Nat.t -> t
+
+(** [to_nat n] is the magnitude of a non-negative [n].
+    @raise Invalid_argument if [n] is negative. *)
+val to_nat : t -> Nat.t
+
+val of_int : int -> t
+
+(** [sign n] is [-1], [0] or [1]. *)
+val sign : t -> int
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [ediv_rem a b] is Euclidean division: [(q, r)] with [a = q*b + r] and
+    [0 <= r < |b|].
+    @raise Division_by_zero if [b] is zero. *)
+val ediv_rem : t -> t -> t * t
+
+(** [erem a b] is the Euclidean remainder, always in [[0, |b|)]. *)
+val erem : t -> t -> t
+
+(** [egcd a b] is [(g, x, y)] such that [a*x + b*y = g = gcd(|a|, |b|)],
+    with [g >= 0]. *)
+val egcd : t -> t -> t * t * t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,176 @@
+let base_bits = Nat.Internal.base_bits
+let base = Nat.Internal.base
+let base_mask = Nat.Internal.base_mask
+
+let reduce a m = if Nat.compare a m < 0 then a else Nat.rem a m
+
+let add a b m =
+  let s = Nat.add a b in
+  if Nat.compare s m >= 0 then Nat.sub s m else s
+
+let sub a b m = if Nat.compare a b >= 0 then Nat.sub a b else Nat.sub (Nat.add a m) b
+let mul a b m = Nat.rem (Nat.mul a b) m
+
+let pow_binary b e m =
+  if Nat.is_zero m then raise Division_by_zero
+  else begin
+    let b = reduce b m in
+    let acc = ref (reduce Nat.one m) in
+    for i = Nat.num_bits e - 1 downto 0 do
+      acc := mul !acc !acc m;
+      if Nat.test_bit e i then acc := mul !acc b m
+    done;
+    !acc
+  end
+
+let inv a m =
+  let g, x, _ = Integer.egcd (Integer.of_nat a) (Integer.of_nat m) in
+  if Integer.equal g Integer.one then
+    Some (Integer.to_nat (Integer.erem x (Integer.of_nat m)))
+  else None
+
+let inv_exn a m =
+  match inv a m with
+  | Some r -> r
+  | None -> invalid_arg "Modular.inv_exn: not invertible"
+
+module Mont = struct
+  type ctx = {
+    m : Nat.t;
+    ml : int array; (* modulus limbs, length n *)
+    n : int;
+    m' : int; (* -m^{-1} mod 2^base_bits *)
+    r2 : int array; (* base^(2n) mod m, padded to n limbs *)
+    one_m : int array; (* 1 in Montgomery form (= base^n mod m), n limbs *)
+  }
+
+  let modulus ctx = ctx.m
+
+  (* Montgomery product of two n-limb arrays (CIOS). Result is a fresh
+     n-limb array holding a*b*base^(-n) mod m. *)
+  let mont_mul ctx (a : int array) (b : int array) : int array =
+    let n = ctx.n and ml = ctx.ml and m' = ctx.m' in
+    let t = Array.make (n + 2) 0 in
+    for i = 0 to n - 1 do
+      let ai = a.(i) in
+      let c = ref 0 in
+      for j = 0 to n - 1 do
+        let v = t.(j) + (ai * b.(j)) + !c in
+        t.(j) <- v land base_mask;
+        c := v lsr base_bits
+      done;
+      let v = t.(n) + !c in
+      t.(n) <- v land base_mask;
+      t.(n + 1) <- t.(n + 1) + (v lsr base_bits);
+      let mi = (t.(0) * m') land base_mask in
+      let v0 = t.(0) + (mi * ml.(0)) in
+      assert (v0 land base_mask = 0);
+      let c = ref (v0 lsr base_bits) in
+      for j = 1 to n - 1 do
+        let v = t.(j) + (mi * ml.(j)) + !c in
+        t.(j - 1) <- v land base_mask;
+        c := v lsr base_bits
+      done;
+      let v = t.(n) + !c in
+      t.(n - 1) <- v land base_mask;
+      let v2 = t.(n + 1) + (v lsr base_bits) in
+      t.(n) <- v2 land base_mask;
+      t.(n + 1) <- v2 lsr base_bits
+    done;
+    assert (t.(n + 1) = 0);
+    (* Conditional subtraction: result < 2m, so subtract m at most once. *)
+    let ge =
+      if t.(n) <> 0 then true
+      else begin
+        let rec cmp i = if i < 0 then true else if t.(i) <> ml.(i) then t.(i) > ml.(i) else cmp (i - 1) in
+        cmp (n - 1)
+      end
+    in
+    let r = Array.make n 0 in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to n - 1 do
+        let v = t.(i) - ml.(i) - !borrow in
+        if v < 0 then begin
+          r.(i) <- v + base;
+          borrow := 1
+        end
+        else begin
+          r.(i) <- v;
+          borrow := 0
+        end
+      done;
+      assert (t.(n) - !borrow = 0)
+    end
+    else Array.blit t 0 r 0 n;
+    r
+
+  let create m =
+    if Nat.is_even m || Nat.compare m (Nat.of_int 3) < 0 then
+      invalid_arg "Modular.Mont.create: modulus must be odd and >= 3"
+    else begin
+      let n = Nat.Internal.num_limbs m in
+      let ml = Nat.Internal.limbs_padded m n in
+      (* Hensel lifting: invert m mod 2^base_bits. *)
+      let invm = ref 1 in
+      for _ = 1 to 6 do
+        invm := !invm * (2 - (ml.(0) * !invm)) land base_mask
+      done;
+      assert (ml.(0) * !invm land base_mask = 1);
+      let m' = (base - !invm) land base_mask in
+      let r2_nat = Nat.rem (Nat.shift_left Nat.one (2 * n * base_bits)) m in
+      let r2 = Nat.Internal.limbs_padded r2_nat n in
+      let one_arr = Array.make n 0 in
+      one_arr.(0) <- 1;
+      let ctx0 = { m; ml; n; m'; r2; one_m = [||] } in
+      let one_m = mont_mul ctx0 one_arr r2 in
+      { ctx0 with one_m }
+    end
+
+  let to_mont ctx a = mont_mul ctx (Nat.Internal.limbs_padded a ctx.n) ctx.r2
+  let of_nat_arr ctx a = Nat.Internal.limbs_padded a ctx.n
+
+  let mul ctx a b =
+    if Nat.compare a ctx.m >= 0 || Nat.compare b ctx.m >= 0 then
+      invalid_arg "Modular.Mont.mul: operand out of range"
+    else begin
+      let ab = mont_mul ctx (of_nat_arr ctx a) (of_nat_arr ctx b) in
+      Nat.Internal.of_limbs (mont_mul ctx ab ctx.r2)
+    end
+
+  let pow ctx b e =
+    if Nat.compare b ctx.m >= 0 then invalid_arg "Modular.Mont.pow: base out of range"
+    else begin
+      let bm = to_mont ctx b in
+      (* 4-bit fixed window, scanning the exponent from the top nibble. *)
+      let table = Array.make 16 ctx.one_m in
+      for i = 1 to 15 do
+        table.(i) <- mont_mul ctx table.(i - 1) bm
+      done;
+      let nb = Nat.num_bits e in
+      let nw = (nb + 3) / 4 in
+      let acc = ref ctx.one_m in
+      for w = nw - 1 downto 0 do
+        for _ = 1 to 4 do
+          acc := mont_mul ctx !acc !acc
+        done;
+        let nib =
+          (if Nat.test_bit e ((4 * w) + 3) then 8 else 0)
+          lor (if Nat.test_bit e ((4 * w) + 2) then 4 else 0)
+          lor (if Nat.test_bit e ((4 * w) + 1) then 2 else 0)
+          lor if Nat.test_bit e (4 * w) then 1 else 0
+        in
+        if nib <> 0 then acc := mont_mul ctx !acc table.(nib)
+      done;
+      (* Leave Montgomery form: multiply by 1. *)
+      let one_arr = Array.make ctx.n 0 in
+      one_arr.(0) <- 1;
+      Nat.Internal.of_limbs (mont_mul ctx !acc one_arr)
+    end
+end
+
+let pow b e m =
+  if Nat.is_zero m then raise Division_by_zero
+  else if Nat.is_one m then Nat.zero
+  else if Nat.is_even m then pow_binary b e m
+  else Mont.pow (Mont.create m) (reduce b m) e

@@ -1,0 +1,53 @@
+(** Modular arithmetic over {!Nat}, including Montgomery exponentiation.
+
+    The commutative encryption of Agrawal et al. is the power cipher
+    [x^e mod p] over quadratic residues modulo a safe prime; this module
+    provides the exponentiation kernel (the paper's dominant cost [Ce]). *)
+
+(** [add a b m], [sub a b m], [mul a b m] reduce their result modulo [m].
+    Arguments must already be in [[0, m)]. *)
+val add : Nat.t -> Nat.t -> Nat.t -> Nat.t
+
+val sub : Nat.t -> Nat.t -> Nat.t -> Nat.t
+val mul : Nat.t -> Nat.t -> Nat.t -> Nat.t
+
+(** [pow_binary b e m] is [b^e mod m] by plain square-and-multiply with a
+    division-based reduction after every step. Exposed for the
+    Montgomery-vs-binary ablation bench and as a testing oracle. *)
+val pow_binary : Nat.t -> Nat.t -> Nat.t -> Nat.t
+
+(** [pow b e m] is [b^e mod m]. Uses Montgomery multiplication with a
+    4-bit window when [m] is odd, falling back to {!pow_binary} for even
+    moduli.
+    @raise Division_by_zero if [m] is zero. *)
+val pow : Nat.t -> Nat.t -> Nat.t -> Nat.t
+
+(** [inv a m] is the multiplicative inverse of [a] modulo [m], when
+    [gcd(a, m) = 1]. *)
+val inv : Nat.t -> Nat.t -> Nat.t option
+
+(** [inv_exn a m] is {!inv}, raising on non-invertible input.
+    @raise Invalid_argument if [gcd(a, m) <> 1]. *)
+val inv_exn : Nat.t -> Nat.t -> Nat.t
+
+(** {1 Montgomery contexts}
+
+    A context precomputes the constants for a fixed odd modulus so that
+    repeated exponentiations (the protocols encrypt thousands of values
+    under the same prime) avoid per-call setup. *)
+
+module Mont : sig
+  type ctx
+
+  (** [create m] precomputes a context for odd modulus [m] >= 3.
+      @raise Invalid_argument if [m] is even or < 3. *)
+  val create : Nat.t -> ctx
+
+  val modulus : ctx -> Nat.t
+
+  (** [pow ctx b e] is [b^e mod m] for [b] in [[0, m)]. *)
+  val pow : ctx -> Nat.t -> Nat.t -> Nat.t
+
+  (** [mul ctx a b] is [a*b mod m] for [a], [b] in [[0, m)]. *)
+  val mul : ctx -> Nat.t -> Nat.t -> Nat.t
+end

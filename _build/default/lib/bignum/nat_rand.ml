@@ -1,0 +1,37 @@
+type rng = int -> string
+
+let bits ~rng k =
+  if k < 0 then invalid_arg "Nat_rand.bits: negative"
+  else if k = 0 then Nat.zero
+  else begin
+    let nbytes = (k + 7) / 8 in
+    let s = rng nbytes in
+    assert (String.length s = nbytes);
+    let excess = (8 * nbytes) - k in
+    (* Mask the excess high bits of the first byte. *)
+    let b0 = Char.code s.[0] land (0xff lsr excess) in
+    let s = String.init nbytes (fun i -> if i = 0 then Char.chr b0 else s.[i]) in
+    Nat.of_bytes_be s
+  end
+
+let bits_exact ~rng k =
+  if k < 1 then invalid_arg "Nat_rand.bits_exact: k must be >= 1"
+  else begin
+    let low = bits ~rng (k - 1) in
+    Nat.add (Nat.shift_left Nat.one (k - 1)) low
+  end
+
+let below ~rng bound =
+  if Nat.is_zero bound then invalid_arg "Nat_rand.below: zero bound"
+  else begin
+    let k = Nat.num_bits bound in
+    let rec draw () =
+      let candidate = bits ~rng k in
+      if Nat.compare candidate bound < 0 then candidate else draw ()
+    in
+    draw ()
+  end
+
+let range ~rng lo hi =
+  if Nat.compare lo hi >= 0 then invalid_arg "Nat_rand.range: empty range"
+  else Nat.add lo (below ~rng (Nat.sub hi lo))

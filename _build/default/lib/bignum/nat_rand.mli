@@ -1,0 +1,23 @@
+(** Uniform random sampling of natural numbers.
+
+    The generator is abstracted as a function producing a requested number
+    of random bytes, so this library stays independent of the CSPRNG (the
+    [crypto] library supplies an HMAC-DRBG-backed [rng]). *)
+
+(** [rng n] must return [n] fresh random bytes. *)
+type rng = int -> string
+
+(** [bits ~rng k] is a uniform number in [[0, 2^k)]. *)
+val bits : rng:rng -> int -> Nat.t
+
+(** [bits_exact ~rng k] is a uniform [k]-bit number, i.e. in
+    [[2^(k-1), 2^k)]; [k] must be >= 1. *)
+val bits_exact : rng:rng -> int -> Nat.t
+
+(** [below ~rng bound] is uniform in [[0, bound)] by rejection sampling.
+    @raise Invalid_argument if [bound] is zero. *)
+val below : rng:rng -> Nat.t -> Nat.t
+
+(** [range ~rng lo hi] is uniform in [[lo, hi)].
+    @raise Invalid_argument if [lo >= hi]. *)
+val range : rng:rng -> Nat.t -> Nat.t -> Nat.t

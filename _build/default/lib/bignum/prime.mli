@@ -1,0 +1,32 @@
+(** Primality testing and safe-prime generation.
+
+    The paper's commutative encryption (Example 1) works over quadratic
+    residues modulo a {e safe} prime [p], i.e. [p = 2q + 1] with [q] prime.
+    This module supplies the number-theoretic machinery: Miller–Rabin,
+    Jacobi symbols (used to recognize quadratic residues), and a sieved
+    safe-prime generator. *)
+
+(** [jacobi a n] is the Jacobi symbol [(a/n)] in {-1, 0, 1}.
+    For prime [n] it is the Legendre symbol, so [jacobi a p = 1] iff [a]
+    is a nonzero quadratic residue mod [p].
+    @raise Invalid_argument if [n] is even or zero. *)
+val jacobi : Nat.t -> Nat.t -> int
+
+(** [is_probable_prime ~rng ?rounds n] runs trial division by small primes
+    followed by [rounds] Miller–Rabin iterations with random bases
+    (default 24, giving error probability <= 4^-24). *)
+val is_probable_prime : rng:Nat_rand.rng -> ?rounds:int -> Nat.t -> bool
+
+(** [is_safe_prime ~rng p] checks that both [p] and [(p-1)/2] are
+    (probable) primes. *)
+val is_safe_prime : rng:Nat_rand.rng -> Nat.t -> bool
+
+(** [gen_prime ~rng bits] generates a random [bits]-bit probable prime
+    ([bits >= 2]). *)
+val gen_prime : rng:Nat_rand.rng -> int -> Nat.t
+
+(** [gen_safe_prime ~rng bits] generates a random [bits]-bit safe prime
+    [p = 2q + 1]. Expect this to be slow for [bits] much beyond ~256;
+    larger named groups are hard-coded in [Crypto.Group].
+    @raise Invalid_argument if [bits < 5]. *)
+val gen_safe_prime : rng:Nat_rand.rng -> int -> Nat.t

@@ -1,0 +1,1 @@
+lib/circuit/garble.ml: Array Bool Char Circuit Crypto List String Wire

@@ -1,0 +1,1 @@
+lib/circuit/garble.mli: Circuit

@@ -1,0 +1,1 @@
+lib/circuit/ot.ml: Array Bignum Char Crypto List Printf String Wire

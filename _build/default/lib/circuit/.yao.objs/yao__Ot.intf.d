@@ -1,0 +1,1 @@
+lib/circuit/ot.mli: Bignum Crypto Wire

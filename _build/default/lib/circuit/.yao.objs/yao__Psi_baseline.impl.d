@@ -1,0 +1,1 @@
+lib/circuit/psi_baseline.ml: Array Circuit Crypto Garble Int List Ot Wire

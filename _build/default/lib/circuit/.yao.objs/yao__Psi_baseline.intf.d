@@ -1,0 +1,1 @@
+lib/circuit/psi_baseline.mli: Crypto

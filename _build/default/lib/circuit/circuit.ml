@@ -1,0 +1,148 @@
+type wire = int
+type gate = { out : wire; a : wire; b : wire; table : bool array }
+
+type t = {
+  inputs_a : int;
+  inputs_b : int;
+  gates : gate array;
+  outputs : wire list;
+  num_wires : int;
+}
+
+let gate_count c = Array.length c.gates
+
+let eval c ~a ~b =
+  if Array.length a <> c.inputs_a || Array.length b <> c.inputs_b then
+    invalid_arg "Circuit.eval: input length mismatch"
+  else begin
+    let values = Array.make c.num_wires false in
+    Array.blit a 0 values 0 c.inputs_a;
+    Array.blit b 0 values c.inputs_a c.inputs_b;
+    Array.iter
+      (fun g ->
+        let ia = if values.(g.a) then 1 else 0 in
+        let ib = if values.(g.b) then 1 else 0 in
+        values.(g.out) <- g.table.((2 * ia) + ib))
+      c.gates;
+    List.map (fun w -> values.(w)) c.outputs
+  end
+
+module Builder = struct
+  type circuit = t
+
+  type b = {
+    inputs_a : int;
+    inputs_b : int;
+    mutable next : wire;
+    mutable acc : gate list; (* reversed *)
+  }
+
+  let create ~inputs_a ~inputs_b =
+    if inputs_a < 0 || inputs_b < 0 then invalid_arg "Circuit.Builder.create"
+    else { inputs_a; inputs_b; next = inputs_a + inputs_b; acc = [] }
+
+  let input_a b i =
+    if i < 0 || i >= b.inputs_a then invalid_arg "Circuit.Builder.input_a" else i
+
+  let input_b b i =
+    if i < 0 || i >= b.inputs_b then invalid_arg "Circuit.Builder.input_b"
+    else b.inputs_a + i
+
+  let emit b a' b' table =
+    let out = b.next in
+    b.next <- b.next + 1;
+    b.acc <- { out; a = a'; b = b'; table } :: b.acc;
+    out
+
+  let band b x y = emit b x y [| false; false; false; true |]
+  let bor b x y = emit b x y [| false; true; true; true |]
+  let bxor b x y = emit b x y [| false; true; true; false |]
+  let bxnor b x y = emit b x y [| true; false; false; true |]
+
+  (* (not x) and y as one 2-input gate. *)
+  let band_not_l b x y = emit b x y [| false; true; false; false |]
+
+  let finish b ~outputs =
+    List.iter
+      (fun w -> if w < 0 || w >= b.next then invalid_arg "Circuit.Builder.finish: bad output wire")
+      outputs;
+    {
+      inputs_a = b.inputs_a;
+      inputs_b = b.inputs_b;
+      gates = Array.of_list (List.rev b.acc);
+      outputs;
+      num_wires = b.next;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Comparators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let equal ~w =
+  if w < 1 then invalid_arg "Circuit.equal: w >= 1"
+  else begin
+    let b = Builder.create ~inputs_a:w ~inputs_b:w in
+    (* w XNORs, then an AND tree of w-1 gates: 2w - 1 total. *)
+    let eqs = List.init w (fun i -> Builder.bxnor b (Builder.input_a b i) (Builder.input_b b i)) in
+    let folded =
+      match eqs with
+      | [] -> assert false
+      | hd :: tl -> List.fold_left (fun acc e -> Builder.band b acc e) hd tl
+    in
+    Builder.finish b ~outputs:[ folded ]
+  end
+
+let compare_lt_eq ~w =
+  if w < 1 then invalid_arg "Circuit.compare_lt_eq: w >= 1"
+  else begin
+    let b = Builder.create ~inputs_a:w ~inputs_b:w in
+    (* Bits are little-endian (MSB at index w-1). Per bit:
+         eq_i = a_i XNOR b_i          (w gates)
+         lt_i = ~a_i & b_i            (w gates)
+       Prefix-equality chain from the MSB:
+         E_{w-1} = eq_{w-1};  E_i = E_{i+1} & eq_i        (w-1 gates)
+       Less-than fold:
+         LT_{w-1} = lt_{w-1}
+         LT_i = LT_{i+1} | (E_{i+1} & lt_i)               (2(w-1) gates)
+       Total: 5w - 3 = Gl, as Appendix A assumes. *)
+    let eq_i = Array.init w (fun i -> Builder.bxnor b (Builder.input_a b i) (Builder.input_b b i)) in
+    let lt_i =
+      Array.init w (fun i -> Builder.band_not_l b (Builder.input_a b i) (Builder.input_b b i))
+    in
+    let lt = ref lt_i.(w - 1) in
+    let eq_prefix = ref eq_i.(w - 1) in
+    for i = w - 2 downto 0 do
+      let here = Builder.band b !eq_prefix lt_i.(i) in
+      lt := Builder.bor b !lt here;
+      eq_prefix := Builder.band b !eq_prefix eq_i.(i)
+    done;
+    Builder.finish b ~outputs:[ !lt; !eq_prefix ]
+  end
+
+let int_to_bits ~w v =
+  if v < 0 then invalid_arg "Circuit.int_to_bits: negative"
+  else if w < 63 && v lsr w <> 0 then invalid_arg "Circuit.int_to_bits: does not fit"
+  else Array.init w (fun i -> (v lsr i) land 1 = 1)
+
+let brute_force_intersection ~w ~n_a ~n_b =
+  if w < 1 || n_a < 1 || n_b < 1 then invalid_arg "Circuit.brute_force_intersection"
+  else begin
+    let b = Builder.create ~inputs_a:(w * n_a) ~inputs_b:(w * n_b) in
+    let a_bit v i = Builder.input_a b ((w * v) + i) in
+    let b_bit v i = Builder.input_b b ((w * v) + i) in
+    let equal_pair va vb =
+      let eqs = List.init w (fun i -> Builder.bxnor b (a_bit va i) (b_bit vb i)) in
+      match eqs with
+      | [] -> assert false
+      | hd :: tl -> List.fold_left (fun acc e -> Builder.band b acc e) hd tl
+    in
+    let outputs =
+      List.init n_b (fun vb ->
+          let hits = List.init n_a (fun va -> equal_pair va vb) in
+          match hits with
+          | [] -> assert false
+          | hd :: tl -> List.fold_left (fun acc h -> Builder.bor b acc h) hd tl)
+    in
+    Builder.finish b ~outputs
+  end

@@ -1,0 +1,84 @@
+(** Boolean circuits with arbitrary two-input gates.
+
+    Appendix A of the paper compares its protocols against Yao-style
+    secure circuit evaluation analytically. This library makes the
+    baseline {e executable}: circuits are built with {!Builder}, counted
+    (validating the paper's [Ge]/[Gl]/[f(n)] formulas), evaluated in the
+    clear, and garbled/evaluated obliviously by {!Garble} + {!Ot}.
+
+    Wires are integers. Wires [0 .. num_inputs-1] are the circuit inputs
+    (party A's bits first, then party B's); every gate writes a fresh
+    wire. *)
+
+type wire = int
+
+(** A gate combines two earlier wires through an arbitrary 2-input truth
+    table: [table.(2*a + b)] is the output for input bits [(a, b)]. *)
+type gate = { out : wire; a : wire; b : wire; table : bool array }
+
+type t = private {
+  inputs_a : int;  (** number of input bits belonging to party A *)
+  inputs_b : int;  (** number of input bits belonging to party B *)
+  gates : gate array;  (** in topological (construction) order *)
+  outputs : wire list;
+  num_wires : int;
+}
+
+val gate_count : t -> int
+
+(** [eval c ~a ~b] evaluates in the clear. [a] and [b] are the two
+    parties' input bits.
+    @raise Invalid_argument on input-length mismatch. *)
+val eval : t -> a:bool array -> b:bool array -> bool list
+
+(** {1 Building circuits} *)
+
+module Builder : sig
+  type circuit = t
+  type b
+
+  (** [create ~inputs_a ~inputs_b] starts a circuit with the given
+      numbers of per-party input bits. *)
+  val create : inputs_a:int -> inputs_b:int -> b
+
+  (** [input_a b i] is the wire of A's [i]-th input bit. *)
+  val input_a : b -> int -> wire
+
+  val input_b : b -> int -> wire
+
+  (** Primitive gates; each emits one gate. *)
+  val band : b -> wire -> wire -> wire
+
+  val bor : b -> wire -> wire -> wire
+  val bxor : b -> wire -> wire -> wire
+  val bxnor : b -> wire -> wire -> wire
+
+  (** [andn (not x) y]-style gates, each still a single 2-input gate. *)
+  val band_not_l : b -> wire -> wire -> wire
+
+  (** [finish b ~outputs] freezes the circuit. *)
+  val finish : b -> outputs:wire list -> circuit
+end
+
+(** {1 Comparators (Appendix A constructions)} *)
+
+(** [equal ~w] compares two [w]-bit numbers (A's then B's bits,
+    little-endian) for equality. Gate count is exactly [Ge = 2w - 1]. *)
+val equal : w:int -> t
+
+(** [compare_lt_eq ~w] outputs [[lt; eq]] for two [w]-bit numbers.
+    Gate count is exactly [Gl = 5w - 3]. *)
+val compare_lt_eq : w:int -> t
+
+(** [brute_force_intersection ~w ~n_a ~n_b] is Appendix A's brute-force
+    membership circuit: A supplies [n_a] values, B supplies [n_b] values
+    ([w] bits each); output bit [j] says whether B's [j]-th value equals
+    at least one of A's. Gate count is
+    [n_a*n_b*(2w-1) + n_b*(n_a-1)] — at least the paper's
+    [|V_R|*|V_S|*Ge] lower bound. *)
+val brute_force_intersection : w:int -> n_a:int -> n_b:int -> t
+
+(** [int_to_bits ~w v] little-endian bits of [v].
+    @raise Invalid_argument if [v] needs more than [w] bits or is
+    negative. *)
+val int_to_bits : w:int -> int -> bool array

@@ -1,0 +1,192 @@
+module Buf = Wire.Buf
+
+type label = string
+
+let perm_bit (l : label) = Char.code l.[String.length l - 1] land 1 = 1
+
+type garbled = {
+  circuit : Circuit.t;
+  label_bytes : int;
+  wire_labels : (label * label) array; (* (false, true) per wire *)
+  tables : string array array; (* per gate: 4 rows *)
+}
+
+type evaluator_view = {
+  inputs_a : int;
+  inputs_b : int;
+  num_wires : int;
+  (* wiring only -- gate semantics stay hidden in the tables *)
+  gate_a : int array;
+  gate_b : int array;
+  gate_out : int array;
+  v_tables : string array array;
+  v_label_bytes : int;
+  outputs : int list;
+  output_perm_false : bool list; (* permute bit of each output's FALSE label *)
+}
+
+(* KDF: H(la || lb || gate index), truncated to the label size. *)
+let kdf ~label_bytes la lb idx =
+  let h = Crypto.Sha256.digest_concat [ la; lb; string_of_int idx ] in
+  String.sub h 0 label_bytes
+
+let xor a b = String.init (String.length a) (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let garble ?(label_bytes = 8) ~seed (c : Circuit.t) =
+  if label_bytes < 4 || label_bytes > 32 then invalid_arg "Garble.garble: label_bytes in [4,32]"
+  else begin
+    let drbg = Crypto.Drbg.create ~seed:("garble:" ^ seed) in
+    let fresh_pair () =
+      let l0 = Crypto.Drbg.generate drbg label_bytes in
+      let l1 = Crypto.Drbg.generate drbg label_bytes in
+      (* Force complementary permute bits. *)
+      let fix l bit =
+        let last = Char.code l.[label_bytes - 1] in
+        let last = if bit then last lor 1 else last land lnot 1 in
+        String.init label_bytes (fun i -> if i = label_bytes - 1 then Char.chr (last land 0xff) else l.[i])
+      in
+      let p0 = perm_bit l0 in
+      (fix l0 p0, fix l1 (not p0))
+    in
+    let wire_labels = Array.init c.Circuit.num_wires (fun _ -> fresh_pair ()) in
+    let tables =
+      Array.mapi
+        (fun idx (g : Circuit.gate) ->
+          let rows = Array.make 4 "" in
+          for va = 0 to 1 do
+            for vb = 0 to 1 do
+              let la = (fun (l0, l1) -> if va = 1 then l1 else l0) wire_labels.(g.Circuit.a) in
+              let lb = (fun (l0, l1) -> if vb = 1 then l1 else l0) wire_labels.(g.Circuit.b) in
+              let out_bit = g.Circuit.table.((2 * va) + vb) in
+              let lout =
+                (fun (l0, l1) -> if out_bit then l1 else l0) wire_labels.(g.Circuit.out)
+              in
+              let row = (2 * if perm_bit la then 1 else 0) + if perm_bit lb then 1 else 0 in
+              rows.(row) <- xor (kdf ~label_bytes la lb idx) lout
+            done
+          done;
+          rows)
+        c.Circuit.gates
+    in
+    { circuit = c; label_bytes; wire_labels; tables }
+  end
+
+let view g =
+  {
+    inputs_a = g.circuit.Circuit.inputs_a;
+    inputs_b = g.circuit.Circuit.inputs_b;
+    num_wires = g.circuit.Circuit.num_wires;
+    gate_a = Array.map (fun (gt : Circuit.gate) -> gt.Circuit.a) g.circuit.Circuit.gates;
+    gate_b = Array.map (fun (gt : Circuit.gate) -> gt.Circuit.b) g.circuit.Circuit.gates;
+    gate_out = Array.map (fun (gt : Circuit.gate) -> gt.Circuit.out) g.circuit.Circuit.gates;
+    v_tables = g.tables;
+    v_label_bytes = g.label_bytes;
+    outputs = g.circuit.Circuit.outputs;
+    output_perm_false =
+      List.map (fun w -> perm_bit (fst g.wire_labels.(w))) g.circuit.Circuit.outputs;
+  }
+
+let input_labels_a g bits =
+  if Array.length bits <> g.circuit.Circuit.inputs_a then
+    invalid_arg "Garble.input_labels_a: wrong input size"
+  else
+    Array.mapi (fun i bit -> (fun (l0, l1) -> if bit then l1 else l0) g.wire_labels.(i)) bits
+
+let label_pairs_b g =
+  Array.init g.circuit.Circuit.inputs_b (fun i ->
+      g.wire_labels.(g.circuit.Circuit.inputs_a + i))
+
+let evaluate v ~a_labels ~b_labels =
+  if Array.length a_labels <> v.inputs_a || Array.length b_labels <> v.inputs_b then
+    invalid_arg "Garble.evaluate: input label count mismatch"
+  else begin
+    let held = Array.make v.num_wires "" in
+    Array.blit a_labels 0 held 0 v.inputs_a;
+    Array.blit b_labels 0 held v.inputs_a v.inputs_b;
+    Array.iteri
+      (fun idx a_wire ->
+        let la = held.(a_wire) and lb = held.(v.gate_b.(idx)) in
+        if String.length la <> v.v_label_bytes || String.length lb <> v.v_label_bytes then
+          failwith "Garble.evaluate: missing input label"
+        else begin
+          let row = (2 * if perm_bit la then 1 else 0) + if perm_bit lb then 1 else 0 in
+          held.(v.gate_out.(idx)) <- xor (kdf ~label_bytes:v.v_label_bytes la lb idx) v.v_tables.(idx).(row)
+        end)
+      v.gate_a;
+    List.map2
+      (fun w p0 -> Bool.equal (perm_bit held.(w)) (not p0))
+      v.outputs v.output_perm_false
+  end
+
+let table_bytes g = 4 * g.label_bytes * Array.length g.tables
+
+(* ------------------------------------------------------------------ *)
+(* Serialization of the evaluator's view                               *)
+(* ------------------------------------------------------------------ *)
+
+let encode_view v =
+  let w = Buf.writer () in
+  Buf.write_varint w v.inputs_a;
+  Buf.write_varint w v.inputs_b;
+  Buf.write_varint w v.num_wires;
+  Buf.write_varint w v.v_label_bytes;
+  Buf.write_varint w (Array.length v.gate_a);
+  Array.iteri
+    (fun i a ->
+      Buf.write_varint w a;
+      Buf.write_varint w v.gate_b.(i);
+      Buf.write_varint w v.gate_out.(i);
+      Array.iter (Buf.write_raw w) v.v_tables.(i))
+    v.gate_a;
+  Buf.write_varint w (List.length v.outputs);
+  List.iter2
+    (fun o p ->
+      Buf.write_varint w o;
+      Buf.write_u8 w (if p then 1 else 0))
+    v.outputs v.output_perm_false;
+  Buf.contents w
+
+let decode_view s =
+  let r = Buf.reader s in
+  let inputs_a = Buf.read_varint r in
+  let inputs_b = Buf.read_varint r in
+  let num_wires = Buf.read_varint r in
+  let v_label_bytes = Buf.read_varint r in
+  let n_gates = Buf.read_varint r in
+  let gate_a = Array.make n_gates 0 in
+  let gate_b = Array.make n_gates 0 in
+  let gate_out = Array.make n_gates 0 in
+  let v_tables = Array.make n_gates [||] in
+  for i = 0 to n_gates - 1 do
+    gate_a.(i) <- Buf.read_varint r;
+    gate_b.(i) <- Buf.read_varint r;
+    gate_out.(i) <- Buf.read_varint r;
+    let rows = Array.make 4 "" in
+    for j = 0 to 3 do
+      rows.(j) <- Buf.read_raw r v_label_bytes
+    done;
+    v_tables.(i) <- rows
+  done;
+  let n_out = Buf.read_varint r in
+  let rec read_outputs i acc_o acc_p =
+    if i = n_out then (List.rev acc_o, List.rev acc_p)
+    else begin
+      let o = Buf.read_varint r in
+      let p = Buf.read_u8 r = 1 in
+      read_outputs (i + 1) (o :: acc_o) (p :: acc_p)
+    end
+  in
+  let outputs, output_perm_false = read_outputs 0 [] [] in
+  Buf.expect_end r;
+  {
+    inputs_a;
+    inputs_b;
+    num_wires;
+    gate_a;
+    gate_b;
+    gate_out;
+    v_tables;
+    v_label_bytes;
+    outputs;
+    output_perm_false;
+  }

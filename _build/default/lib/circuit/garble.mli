@@ -1,0 +1,50 @@
+(** Yao garbling with point-and-permute.
+
+    The garbler assigns each wire two random labels (with complementary
+    permute bits) and publishes, per gate, four ciphertexts of the
+    output labels keyed by the input labels (SHA-256 as the KDF). The
+    evaluator, holding exactly one label per input wire, decrypts
+    exactly one row per gate and learns nothing but the output bits.
+
+    Appendix A charges [4 k0] bits of communication per gate for these
+    tables and two pseudorandom-function calls per gate for evaluation;
+    {!table_bytes} and the evaluator implement precisely that, so the
+    measured baseline in the bench matches the paper's model. *)
+
+type label = string
+
+(** The garbler's full view: secrets included. *)
+type garbled
+
+(** What the evaluator receives: tables + output permute bits, no label
+    pairs. *)
+type evaluator_view
+
+(** [garble ?label_bytes ~seed c] garbles [c] deterministically from
+    [seed]. [label_bytes] defaults to 8 (the paper's [k0 = 64] bits). *)
+val garble : ?label_bytes:int -> seed:string -> Circuit.t -> garbled
+
+val view : garbled -> evaluator_view
+
+(** [input_labels_a g bits] selects the garbler-side (A) input labels
+    for concrete input bits. *)
+val input_labels_a : garbled -> bool array -> label array
+
+(** [label_pairs_b g] is, per B input bit, the (false, true) label pair
+    — what OT transfers one of. *)
+val label_pairs_b : garbled -> (label * label) array
+
+(** [evaluate v ~a_labels ~b_labels] runs the garbled circuit and
+    decodes the output bits.
+    @raise Failure if labels are inconsistent with the tables. *)
+val evaluate : evaluator_view -> a_labels:label array -> b_labels:label array -> bool list
+
+(** [table_bytes g] is the total size of the garbled tables
+    ([4 * label_bytes * gate_count]). *)
+val table_bytes : garbled -> int
+
+(** [encode_view v] / [decode_view s] serialize the evaluator's view for
+    transmission. *)
+val encode_view : evaluator_view -> string
+
+val decode_view : string -> evaluator_view

@@ -1,0 +1,47 @@
+(** 1-out-of-2 oblivious transfer, semi-honest (Bellare–Micali style),
+    over the same [QR_p] groups as the main protocols.
+
+    The sender holds messages [m0, m1]; the receiver holds a choice bit
+    and learns exactly [m_choice]; the sender learns nothing about the
+    choice. Used by {!Yao_psi} to deliver the evaluator's input-wire
+    labels — the "coding the input" phase whose cost Appendix A models
+    as [Cot ~ 0.157 Ce] per transferred bit.
+
+    Three-message flow per batch (all transfers of a batch share the
+    sender's randomness setup, as in the amortized protocol of [36]):
+
+    {v
+    S -> R   ot/setup      C (a random group element)
+    R -> S   ot/keys       PK_0 per transfer (PK_choice = g^k,
+                           PK_{1-choice} = C / g^k)
+    S -> R   ot/payload    g^r, m_0 ^ H(PK_0^r), m_1 ^ H(PK_1^r)
+    v} *)
+
+(** [sender g ~rng ~pairs ep] transfers [fst pairs.(i)] or
+    [snd pairs.(i)] according to the receiver's [i]-th choice bit.
+    Message pairs must be equal-length strings per pair. *)
+val sender :
+  Crypto.Group.t ->
+  rng:Bignum.Nat_rand.rng ->
+  pairs:(string * string) array ->
+  Wire.Channel.endpoint ->
+  unit
+
+(** [receiver g ~rng ~choices ep] is the received message for each
+    choice bit. *)
+val receiver :
+  Crypto.Group.t ->
+  rng:Bignum.Nat_rand.rng ->
+  choices:bool array ->
+  Wire.Channel.endpoint ->
+  string array
+
+(** [run g ~seed ~pairs ~choices ()] wires both ends together
+    (testing convenience). *)
+val run :
+  Crypto.Group.t ->
+  ?seed:string ->
+  pairs:(string * string) array ->
+  choices:bool array ->
+  unit ->
+  (unit, string array) Wire.Runner.outcome

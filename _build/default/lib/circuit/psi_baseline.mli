@@ -1,0 +1,34 @@
+(** The complete circuit-based intersection protocol of Appendix A,
+    {e executed} rather than modeled: the sender garbles the brute-force
+    membership circuit over [w]-bit values, the receiver obtains its
+    input-wire labels by oblivious transfer and evaluates.
+
+    This is the baseline the paper compares against analytically; running
+    it lets the bench measure real gate counts, garbled-table bytes and
+    OT traffic at small [n] and confirm the models of
+    [Psi.Circuit_baseline] — including the headline result that its
+    communication is orders of magnitude above the commutative-encryption
+    protocols. Semi-honest, like everything else in this repository. *)
+
+type report = {
+  intersection : int list;
+      (** receiver's values that occur in the sender's set, ascending *)
+  gates : int;
+  table_bytes : int;  (** garbled tables only (the paper's [4 k0 C] term) *)
+  total_bytes : int;  (** everything on the wire, OT included *)
+}
+
+(** [run ~group ?w ?label_bytes ?seed ~sender_values ~receiver_values ()]
+    runs garbler (sender) and evaluator (receiver) over a metered
+    channel. [w] defaults to 16 bits; values must fit in [w] bits.
+    [label_bytes] defaults to 8 (the paper's [k0 = 64]).
+    @raise Invalid_argument on empty inputs or out-of-range values. *)
+val run :
+  group:Crypto.Group.t ->
+  ?w:int ->
+  ?label_bytes:int ->
+  ?seed:string ->
+  sender_values:int list ->
+  receiver_values:int list ->
+  unit ->
+  report

@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Bignum Cost_model Crypto Hashtbl List Option Protocol String Wire

@@ -1,0 +1,1 @@
+lib/core/aggregate.mli: Bignum Cost_model Protocol Wire

@@ -1,0 +1,1 @@
+lib/core/audit.ml: Hashtbl List Option Printf Sset

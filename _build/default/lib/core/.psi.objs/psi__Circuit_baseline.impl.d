@@ -1,0 +1,1 @@
+lib/core/circuit_baseline.ml: List

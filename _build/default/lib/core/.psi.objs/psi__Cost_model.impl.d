@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Crypto Float List Printf Unix

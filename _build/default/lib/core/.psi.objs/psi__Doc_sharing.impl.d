@@ -1,0 +1,1 @@
+lib/core/doc_sharing.ml: Cost_model Intersection_size List Printf Protocol Wire Workload

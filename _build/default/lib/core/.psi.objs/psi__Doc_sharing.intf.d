@@ -1,0 +1,1 @@
+lib/core/doc_sharing.mli: Cost_model Protocol Workload

@@ -1,0 +1,1 @@
+lib/core/equijoin.ml: Crypto Hashtbl List Protocol String Wire

@@ -1,0 +1,1 @@
+lib/core/equijoin.mli: Bignum Protocol Wire

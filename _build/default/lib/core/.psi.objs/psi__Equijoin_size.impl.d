@@ -1,0 +1,1 @@
+lib/core/equijoin_size.ml: Crypto Hashtbl List Option Protocol Sset Stdlib Wire

@@ -1,0 +1,1 @@
+lib/core/equijoin_size.mli: Bignum Protocol Wire

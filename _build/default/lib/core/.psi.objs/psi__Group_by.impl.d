@@ -1,0 +1,1 @@
+lib/core/group_by.ml: Hashtbl Intersection_size List Minidb Printf Protocol Sset Stdlib String

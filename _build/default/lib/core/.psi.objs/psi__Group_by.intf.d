@@ -1,0 +1,1 @@
+lib/core/group_by.mli: Minidb Protocol

@@ -1,0 +1,1 @@
+lib/core/handshake.ml: Bignum Crypto Protocol String Wire

@@ -1,0 +1,1 @@
+lib/core/insecure_hash.ml: Crypto List Protocol Sset Wire

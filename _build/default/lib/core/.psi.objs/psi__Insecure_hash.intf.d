@@ -1,0 +1,1 @@
+lib/core/insecure_hash.mli: Protocol Wire

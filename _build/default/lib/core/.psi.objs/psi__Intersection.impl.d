@@ -1,0 +1,1 @@
+lib/core/intersection.ml: Crypto List Protocol Sset String Wire

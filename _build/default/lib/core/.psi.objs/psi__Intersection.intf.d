@@ -1,0 +1,1 @@
+lib/core/intersection.mli: Bignum Protocol Wire

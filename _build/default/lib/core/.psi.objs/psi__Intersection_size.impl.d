@@ -1,0 +1,1 @@
+lib/core/intersection_size.ml: Crypto List Protocol Sset Wire

@@ -1,0 +1,1 @@
+lib/core/intersection_size.mli: Bignum Protocol Wire

@@ -1,0 +1,1 @@
+lib/core/leakage.ml: Hashtbl List Option Sset Stdlib String

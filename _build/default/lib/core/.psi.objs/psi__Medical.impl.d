@@ -1,0 +1,1 @@
+lib/core/medical.ml: Cost_model Group_by List Minidb Protocol Relop Table Value

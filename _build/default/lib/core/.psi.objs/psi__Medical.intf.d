@@ -1,0 +1,1 @@
+lib/core/medical.mli: Cost_model Minidb Protocol

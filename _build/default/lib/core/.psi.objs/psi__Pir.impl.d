@@ -1,0 +1,1 @@
+lib/core/pir.ml: Bignum Buffer Crypto List Protocol Stdlib String Wire

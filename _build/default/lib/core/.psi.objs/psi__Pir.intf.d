@@ -1,0 +1,1 @@
+lib/core/pir.mli: Bignum Wire

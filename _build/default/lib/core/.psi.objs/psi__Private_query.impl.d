@@ -1,0 +1,1 @@
+lib/core/private_query.ml: Audit Equijoin Equijoin_size Intersection Intersection_size List Minidb Protocol Wire

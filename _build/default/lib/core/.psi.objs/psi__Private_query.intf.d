@@ -1,0 +1,1 @@
+lib/core/private_query.mli: Audit Minidb Protocol

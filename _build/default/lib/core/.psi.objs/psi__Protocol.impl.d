@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Bignum Crypto Domain List Printf Stdlib String Wire

@@ -1,0 +1,1 @@
+lib/core/session.ml: Crypto Equijoin Equijoin_size Handshake Intersection Intersection_size List Protocol Wire

@@ -1,0 +1,1 @@
+lib/core/simulator.ml: Array Crypto List Protocol Stdlib Wire

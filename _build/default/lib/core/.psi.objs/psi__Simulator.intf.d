@@ -1,0 +1,1 @@
+lib/core/simulator.mli: Bignum Crypto Protocol Wire

@@ -1,0 +1,1 @@
+lib/core/sql_private.ml: Aggregate Array Equijoin Equijoin_size Group_by Intersection List Minidb Option Printf Protocol String Wire

@@ -1,0 +1,1 @@
+lib/core/sql_private.mli: Minidb Protocol

@@ -1,0 +1,1 @@
+lib/core/sset.ml: List Map Option Set String

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Char Crypto Float Hashtbl List Minidb Printf Schema Stdlib String Table Value

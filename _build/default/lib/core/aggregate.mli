@@ -1,0 +1,84 @@
+(** Private equijoin aggregation — the paper's §7 future-work item
+    ("protocols for other database operations such as aggregations"),
+    built from the paper's own toolkit plus Paillier homomorphic
+    encryption.
+
+    Query: [select sum(s.x) from T_S s, T_R r where s.A = r.A].
+
+    [R] learns the intersection [V_S ∩ V_R] (as in the intersection
+    protocol), [|V_S|], and the {e sum} of [S]'s numeric attribute over
+    the joining values — but not any individual [x_v]. [S] learns
+    [|V_R|] and nothing else: the aggregate reaches it only once,
+    blinded by a uniform random mask.
+
+    {v
+    R -> S   aggregate/Y_R      f_eR(h(V_R)), sorted
+    S -> R   aggregate/pub      S's Paillier public key
+    S -> R   aggregate/Y_R_enc  f_eS(y) for y in Y_R, Y_R order
+    S -> R   aggregate/pairs    (f_eS(h(v)), Enc_S(x_v)), sorted
+    R -> S   aggregate/blinded  Enc_S(sum + rho), rho uniform
+    S -> R   aggregate/sum      sum + rho mod n (plaintext)
+    v}
+
+    The matching trick is the equijoin's: [R] strips its own layer from
+    [f_eS(f_eR(h(v)))] (Property 3) to recognize its values among [S]'s
+    first components. Sums must stay below the Paillier modulus
+    (>= 2^(bits-1), far above any realistic aggregate). *)
+
+type sender_report = { v_r_count : int; ops : Protocol.ops }
+
+type receiver_report = {
+  intersection : string list;  (** sorted *)
+  sum : int;  (** sum of S's attribute over the intersection *)
+  v_s_count : int;
+  ops : Protocol.ops;
+}
+
+(** [sender cfg ~rng ~key_bits ~records ep]: [records] pairs each value
+    with a non-negative integer contribution; several records may share
+    a value. [key_bits] is the Paillier modulus size (default 512).
+    @raise Invalid_argument on negative contributions. *)
+val sender :
+  Protocol.config ->
+  rng:Bignum.Nat_rand.rng ->
+  ?key_bits:int ->
+  records:(string * int) list ->
+  Wire.Channel.endpoint ->
+  sender_report
+
+val receiver :
+  Protocol.config ->
+  rng:Bignum.Nat_rand.rng ->
+  values:string list ->
+  Wire.Channel.endpoint ->
+  receiver_report
+
+val run :
+  Protocol.config ->
+  ?seed:string ->
+  ?key_bits:int ->
+  sender_records:(string * int) list ->
+  receiver_values:string list ->
+  unit ->
+  (sender_report, receiver_report) Wire.Runner.outcome
+
+(** [exact_ops ~v_s ~v_r ~intersection] is the protocol's operation
+    count in the style of §6.1: [(hashes, commutative encryptions,
+    Paillier operations)]. Commutative encryptions total
+    [|V_S| + 3|V_R|] (cheaper than the equijoin: one sender key instead
+    of two); Paillier ops are [|V_S|] encryptions on [S]'s side plus
+    [|∩| + 1] on [R]'s (the blinding encryption and the homomorphic
+    accumulations). Validated against counted operations in the tests. *)
+val exact_ops : v_s:int -> v_r:int -> intersection:int -> int * int * int
+
+(** [estimate params ~v_s ~v_r ~paillier_ratio] applies the formula with
+    [Ce_paillier = paillier_ratio * Ce] (Paillier ops at a [2048]-bit
+    [n^2] cost roughly 4x a [1024]-bit exponentiation; default 4.0).
+    Communication: [(|V_S| + 2|V_R|)k + (|V_S| + 2) * 2k_paillier]. *)
+val estimate :
+  Cost_model.params ->
+  ?paillier_ratio:float ->
+  v_s:int ->
+  v_r:int ->
+  unit ->
+  Cost_model.estimate

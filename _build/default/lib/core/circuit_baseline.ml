@@ -1,0 +1,70 @@
+let w = 32
+let k0 = 64
+let k1 = 100
+let gate_equal = (2 * w) - 1
+let gate_less = (5 * w) - 3
+
+(* [36] gives Cot = Ce/l + (2^l/l) Cmul with Ce = 1000 Cmul; l = 8 is the
+   paper's optimum: (1000/8 + 256/8)/1000 = 0.157 Ce. *)
+let ot_l = 8
+let ot_cost_in_ce = (1. /. float_of_int ot_l) +. (2. ** float_of_int ot_l /. (float_of_int ot_l *. 1000.))
+let ot_comm_bits = 2. ** float_of_int ot_l /. float_of_int ot_l *. float_of_int k1
+
+let brute_force_gates n = n *. n *. float_of_int gate_equal
+
+let partitioning_gates ~n ~m =
+  if m < 2 then invalid_arg "Circuit_baseline.partitioning_gates: m >= 2"
+  else begin
+    let mf = float_of_int m in
+    let coeff = (mf *. mf /. (mf -. 1.) *. float_of_int gate_less) +. float_of_int gate_equal in
+    let exponent = log ((2. *. mf) -. 1.) /. log mf in
+    coeff *. ((n ** exponent) -. 1.)
+  end
+
+let optimal_m n =
+  let best = ref (2, partitioning_gates ~n ~m:2) in
+  for m = 3 to 10_000 do
+    let f = partitioning_gates ~n ~m in
+    if f < snd !best then best := (m, f)
+  done;
+  !best
+
+type computation_row = {
+  n : float;
+  circuit_input_ce : float;
+  circuit_eval_cr : float;
+  ours_ce : float;
+}
+
+let computation_table ns =
+  List.map
+    (fun n ->
+      let _, f = optimal_m n in
+      {
+        n;
+        circuit_input_ce = float_of_int w *. n *. ot_cost_in_ce;
+        circuit_eval_cr = 2. *. f;
+        ours_ce = 4. *. n;
+      })
+    ns
+
+type communication_row = {
+  n : float;
+  circuit_input_bits : float;
+  circuit_tables_bits : float;
+  ours_bits : float;
+}
+
+let communication_table ?(k = 1024) ns =
+  List.map
+    (fun n ->
+      let _, f = optimal_m n in
+      {
+        n;
+        circuit_input_bits = float_of_int w *. n *. ot_comm_bits;
+        circuit_tables_bits = 4. *. float_of_int k0 *. f;
+        ours_bits = 3. *. n *. float_of_int k;
+      })
+    ns
+
+let transfer_seconds bits = bits /. 1.544e6

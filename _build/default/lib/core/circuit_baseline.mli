@@ -1,0 +1,71 @@
+(** The Yao-circuit baseline of Appendix A.
+
+    The paper compares its protocols against secure-circuit evaluation
+    ([33, 37]) analytically: gate counts for a brute-force and a
+    partitioning intersection circuit, oblivious-transfer costs from
+    [36], and the resulting computation/communication tables. This module
+    reimplements those formulas and regenerates every number in
+    Appendix A (checked against the paper in the test suite). *)
+
+(** {1 The paper's constants (A.1)} *)
+
+val w : int
+(** input value width in bits (32) *)
+
+val k0 : int
+(** circuit-gate key size in bits (64) *)
+
+val k1 : int
+(** oblivious-transfer key size in bits (100) *)
+
+val gate_equal : int
+(** [Ge = 2w - 1]: gates to compare two w-bit values for equality *)
+
+val gate_less : int
+(** [Gl = 5w - 3]: gates for an ordered comparison *)
+
+val ot_cost_in_ce : float
+(** amortized oblivious-transfer computation, in units of [Ce]
+    ([1/l + 2^l/(l*1000)] at the optimal [l = 8], i.e. 0.157) *)
+
+val ot_comm_bits : float
+(** amortized oblivious-transfer communication per input bit,
+    [2^l/l * k1 = 3200] bits *)
+
+(** {1 Gate counts (A.1.2)} *)
+
+(** [brute_force_gates n] is the lower bound [n^2 * Ge]. *)
+val brute_force_gates : float -> float
+
+(** [partitioning_gates ~n ~m] is the recurrence lower bound
+    [f(n) >= (m^2/(m-1) Gl + Ge)(n^(log_m(2m-1)) - 1)]. *)
+val partitioning_gates : n:float -> m:int -> float
+
+(** [optimal_m n] minimizes {!partitioning_gates} over integer [m >= 2];
+    returns [(m, f(n))]. The paper's values: n=10^4 -> 11, 10^6 -> 19,
+    10^8 -> 32. *)
+val optimal_m : float -> int * float
+
+(** {1 The Appendix A.2 tables} *)
+
+type computation_row = {
+  n : float;
+  circuit_input_ce : float;  (** OT coding cost, units of Ce (= 5n) *)
+  circuit_eval_cr : float;  (** evaluation cost, units of Cr (= 2 f(n)) *)
+  ours_ce : float;  (** our intersection protocol (= 4n) *)
+}
+
+val computation_table : float list -> computation_row list
+
+type communication_row = {
+  n : float;
+  circuit_input_bits : float;  (** OT communication (~ 10^5 n) *)
+  circuit_tables_bits : float;  (** gate tables (= 4 k0 f(n) = 256 f(n)) *)
+  ours_bits : float;  (** (|V_S| + 2|V_R|) k = 3nk *)
+}
+
+(** [communication_table ?k ns] with the paper's [k = 1024] by default. *)
+val communication_table : ?k:int -> float list -> communication_row list
+
+(** [transfer_seconds bits] on the paper's T1 line. *)
+val transfer_seconds : float -> float

@@ -1,0 +1,115 @@
+type params = {
+  ce_seconds : float;
+  ch_seconds : float;
+  ck_seconds : float;
+  k_bits : int;
+  k'_bits : int;
+  processors : int;
+  bandwidth_bits_per_s : float;
+}
+
+let paper_params =
+  {
+    ce_seconds = 0.02;
+    (* The paper folds Ch and CK into Ce's dominance (Ce >> Ch, CK). *)
+    ch_seconds = 0.;
+    ck_seconds = 0.;
+    k_bits = 1024;
+    k'_bits = 1024;
+    processors = 10;
+    bandwidth_bits_per_s = 1.544e6 (* T1 *);
+  }
+
+let median l =
+  let a = List.sort Float.compare l in
+  List.nth a (List.length a / 2)
+
+let time_one f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let measured_params ?(samples = 9) group =
+  let rng = Crypto.Drbg.to_rng (Crypto.Drbg.create ~seed:"cost-model-measure") in
+  let x = Crypto.Group.random_element group ~rng in
+  let e = Crypto.Commutative.gen_key group ~rng in
+  let ce =
+    median
+      (List.init samples (fun _ ->
+           time_one (fun () -> ignore (Crypto.Commutative.encrypt group e x))))
+  in
+  let ch =
+    median
+      (List.init samples (fun i ->
+           time_one (fun () ->
+               ignore (Crypto.Hash_to_group.hash group (string_of_int i)))))
+  in
+  {
+    paper_params with
+    ce_seconds = ce;
+    ch_seconds = ch;
+    ck_seconds = ch;
+    k_bits = 8 * Crypto.Group.element_bytes group;
+    k'_bits = 8 * Crypto.Group.element_bytes group;
+  }
+
+type operation = Intersection | Equijoin | Intersection_size | Equijoin_size
+
+type estimate = {
+  encryptions : float;
+  comp_seconds : float;
+  comm_bits : float;
+  comm_seconds : float;
+}
+
+let estimate p op ~v_s ~v_r =
+  let v_s = float_of_int v_s and v_r = float_of_int v_r in
+  let encryptions, comm_bits =
+    match op with
+    | Intersection | Intersection_size | Equijoin_size ->
+        (2. *. (v_s +. v_r), (v_s +. (2. *. v_r)) *. float_of_int p.k_bits)
+    | Equijoin ->
+        ( (2. *. v_s) +. (5. *. v_r),
+          ((v_s +. (3. *. v_r)) *. float_of_int p.k_bits)
+          +. (v_s *. float_of_int p.k'_bits) )
+  in
+  let comp_seconds = encryptions *. p.ce_seconds /. float_of_int p.processors in
+  {
+    encryptions;
+    comp_seconds;
+    comm_bits;
+    comm_seconds = comm_bits /. p.bandwidth_bits_per_s;
+  }
+
+let exact_intersection_ops ~v_s ~v_r = (v_s + v_r, 2 * (v_s + v_r))
+
+let exact_equijoin_ops ~v_s ~v_r ~intersection =
+  ((v_s + v_r), (2 * v_s) + (5 * v_r), v_s + intersection)
+
+let format_seconds s =
+  if s < 1e-3 then Printf.sprintf "%.0f us" (s *. 1e6)
+  else if s < 1. then Printf.sprintf "%.1f ms" (s *. 1e3)
+  else if s < 120. then Printf.sprintf "%.1f seconds" s
+  else if s < 7200. then Printf.sprintf "%.1f minutes" (s /. 60.)
+  else if s < 48. *. 3600. then Printf.sprintf "%.1f hours" (s /. 3600.)
+  else Printf.sprintf "%.1f days" (s /. 86400.)
+
+let collision_probability ~modulus_bits ~n =
+  (* p = 1 - exp(-x) ~ x for tiny x, with x = n(n-1)/(2N), N = 2^(bits-1).
+     Work in log10 to dodge float underflow. *)
+  let log10_x =
+    Float.log10 n
+    +. Float.log10 (n -. 1.)
+    -. Float.log10 2.
+    -. (float_of_int (modulus_bits - 1) *. Float.log10 2.)
+  in
+  let e = int_of_float (Float.floor log10_x) in
+  let mantissa = Float.pow 10. (log10_x -. float_of_int e) in
+  (mantissa, e)
+
+let format_bits b =
+  if b < 1e3 then Printf.sprintf "%.0f bits" b
+  else if b < 1e6 then Printf.sprintf "%.1f Kbits" (b /. 1e3)
+  else if b < 1e9 then Printf.sprintf "%.1f Mbits" (b /. 1e6)
+  else if b < 1e12 then Printf.sprintf "%.1f Gbits" (b /. 1e9)
+  else Printf.sprintf "%.1f Tbits" (b /. 1e12)

@@ -1,0 +1,67 @@
+(** The §6.1 cost model.
+
+    Computation (exact, then the paper's approximation):
+    - intersection: [(Ch + 2Ce)(|V_S| + |V_R|) + sorting  ~  2Ce(|V_S| + |V_R|)]
+    - equijoin:     [~ 2Ce|V_S| + 5Ce|V_R|]
+
+    Communication:
+    - intersection (and both size protocols): [(|V_S| + 2|V_R|) k] bits
+    - equijoin: [(|V_S| + 3|V_R|) k + |V_S| k'] bits
+
+    The defaults reproduce the paper's §6.2 estimates: [Ce] = 0.02 s
+    (1024-bit exponentiation, Pentium III, 2001), [k] = 1024 bits,
+    [P] = 10 processors, T1 bandwidth 1.544 Mbit/s. *)
+
+type params = {
+  ce_seconds : float;  (** cost of one commutative encryption (modexp) *)
+  ch_seconds : float;  (** cost of one ideal-hash evaluation *)
+  ck_seconds : float;  (** cost of one K-cipher operation *)
+  k_bits : int;  (** codeword size in bits *)
+  k'_bits : int;  (** encrypted [ext(v)] size in bits *)
+  processors : int;  (** parallelism P for computation *)
+  bandwidth_bits_per_s : float;
+}
+
+(** The constants the paper uses in §6.2. *)
+val paper_params : params
+
+(** [measured_params ?samples group] measures [Ce] and [Ch] on this
+    machine for [group] (median of [samples] timings) and keeps the
+    paper's bandwidth/parallelism. *)
+val measured_params : ?samples:int -> Crypto.Group.t -> params
+
+type operation = Intersection | Equijoin | Intersection_size | Equijoin_size
+
+type estimate = {
+  encryptions : float;  (** total Ce count *)
+  comp_seconds : float;  (** wall-clock with [processors]-way parallelism *)
+  comm_bits : float;
+  comm_seconds : float;
+}
+
+(** [estimate params op ~v_s ~v_r] applies the §6.1 formulas. *)
+val estimate : params -> operation -> v_s:int -> v_r:int -> estimate
+
+(** [exact_intersection_ops ~v_s ~v_r] is the un-approximated §6.1
+    operation count for the intersection protocol, as
+    [(hashes, encryptions)]. *)
+val exact_intersection_ops : v_s:int -> v_r:int -> int * int
+
+(** [exact_equijoin_ops ~v_s ~v_r ~intersection] is [(hashes,
+    encryptions, cipher_ops)] for the equijoin. *)
+val exact_equijoin_ops : v_s:int -> v_r:int -> intersection:int -> int * int * int
+
+(** [format_seconds s] renders a duration like the paper's prose
+    ("2.2 hours", "35 minutes"). *)
+val format_seconds : float -> string
+
+(** [format_bits b] renders e.g. "3.1 Gbits". *)
+val format_bits : float -> string
+
+(** [collision_probability ~modulus_bits ~n] is §3.2.2's birthday bound
+    [1 - exp(-n(n-1)/2N)] with [N = 2^(modulus_bits) / 2] (half the
+    values are quadratic residues). The paper's example: 1024-bit
+    hashes, n = one million, probability ~10^-295. Returned as
+    [(mantissa, exponent)] with probability = mantissa * 10^exponent,
+    since the value underflows [float]. *)
+val collision_probability : modulus_bits:int -> n:float -> float * int

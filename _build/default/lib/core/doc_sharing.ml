@@ -1,0 +1,86 @@
+type pair_result = {
+  r_doc : string;
+  s_doc : string;
+  overlap : int;
+  r_size : int;
+  s_size : int;
+  similarity : float;
+}
+
+type report = {
+  matches : pair_result list;
+  all_pairs : pair_result list;
+  total_bytes : int;
+  ops : Protocol.ops;
+}
+
+let similarity_default ~overlap ~r_size ~s_size =
+  float_of_int overlap /. float_of_int (r_size + s_size)
+
+let run cfg ?(seed = "doc-sharing") ?(similarity = similarity_default) ~docs_r ~docs_s
+    ~threshold () =
+  let total_bytes = ref 0 in
+  let ops = ref (Protocol.new_ops ()) in
+  let all_pairs =
+    List.concat_map
+      (fun (dr : Workload.document) ->
+        List.map
+          (fun (ds : Workload.document) ->
+            let outcome =
+              Intersection_size.run cfg
+                ~seed:(Printf.sprintf "%s/%s/%s" seed dr.doc_id ds.doc_id)
+                ~sender_values:ds.words ~receiver_values:dr.words ()
+            in
+            total_bytes := !total_bytes + outcome.Wire.Runner.total_bytes;
+            ops :=
+              Protocol.total !ops
+                (Protocol.total outcome.Wire.Runner.sender_result.Intersection_size.ops
+                   outcome.Wire.Runner.receiver_result.Intersection_size.ops);
+            let overlap = outcome.Wire.Runner.receiver_result.Intersection_size.size in
+            let r_size = List.length (Protocol.dedup dr.words) in
+            let s_size = List.length (Protocol.dedup ds.words) in
+            {
+              r_doc = dr.doc_id;
+              s_doc = ds.doc_id;
+              overlap;
+              r_size;
+              s_size;
+              similarity = similarity ~overlap ~r_size ~s_size;
+            })
+          docs_s)
+      docs_r
+  in
+  {
+    matches = List.filter (fun p -> p.similarity > threshold) all_pairs;
+    all_pairs;
+    total_bytes = !total_bytes;
+    ops = !ops;
+  }
+
+let plaintext_matches ?(similarity = similarity_default) ~docs_r ~docs_s ~threshold () =
+  List.concat_map
+    (fun (dr : Workload.document) ->
+      List.filter_map
+        (fun (ds : Workload.document) ->
+          let wr = Protocol.dedup dr.Workload.words in
+          let ws = Protocol.dedup ds.Workload.words in
+          let inter = List.filter (fun w -> List.mem w ws) wr in
+          let s =
+            similarity ~overlap:(List.length inter) ~r_size:(List.length wr)
+              ~s_size:(List.length ws)
+          in
+          if s > threshold then Some (dr.Workload.doc_id, ds.Workload.doc_id) else None)
+        docs_s)
+    docs_r
+
+let estimate (p : Cost_model.params) ~n_r ~n_s ~d_r ~d_s =
+  let pairs = float_of_int (n_r * n_s) in
+  let encryptions = pairs *. 2. *. float_of_int (d_r + d_s) in
+  let comm_bits = pairs *. float_of_int ((d_r + (2 * d_s)) * p.Cost_model.k_bits) in
+  {
+    Cost_model.encryptions;
+    comp_seconds =
+      encryptions *. p.Cost_model.ce_seconds /. float_of_int p.Cost_model.processors;
+    comm_bits;
+    comm_seconds = comm_bits /. p.Cost_model.bandwidth_bits_per_s;
+  }

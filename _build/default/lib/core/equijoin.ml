@@ -1,0 +1,163 @@
+module Message = Wire.Message
+module Channel = Wire.Channel
+module Buf = Wire.Buf
+module Commutative = Crypto.Commutative
+module Perfect_cipher = Crypto.Perfect_cipher
+
+type sender_report = { v_r_count : int; ops : Protocol.ops }
+
+type receiver_report = {
+  matches : (string * string list) list;
+  v_s_count : int;
+  collisions : string list;
+  ops : Protocol.ops;
+}
+
+let tag_y_r = "equijoin/Y_R"
+let tag_pairs = "equijoin/pairs"
+let tag_ext = "equijoin/ext"
+
+(* ext(v) wire format: the value v itself (collision check, §3.2.2
+   footnote 2) followed by the records joining on v. *)
+let encode_ext v records =
+  let w = Buf.writer () in
+  Buf.write_bytes w v;
+  Buf.write_varint w (List.length records);
+  List.iter (Buf.write_bytes w) records;
+  Buf.contents w
+
+let decode_ext payload =
+  let r = Buf.reader payload in
+  let v = Buf.read_bytes r in
+  let n = Buf.read_varint r in
+  let rec go i acc = if i = n then List.rev acc else go (i + 1) (Buf.read_bytes r :: acc) in
+  let records = go 0 [] in
+  Buf.expect_end r;
+  (v, records)
+
+(* Pure (no counter mutation): called from parallel regions; callers
+   count the ops afterwards. *)
+let encrypt_ext cfg ~kappa payload =
+  match cfg.Protocol.cipher with
+  | Perfect_cipher.Mul_cipher ->
+      Crypto.Group.encode_elt cfg.Protocol.group
+        (Perfect_cipher.Mul.encrypt cfg.Protocol.group ~key:kappa payload)
+  | Perfect_cipher.Stream_cipher ->
+      Perfect_cipher.Stream.encrypt cfg.Protocol.group ~key:kappa payload
+
+let decrypt_ext cfg (ops : Protocol.ops) ~kappa ciphertext =
+  ops.Protocol.cipher_ops <- ops.Protocol.cipher_ops + 1;
+  match cfg.Protocol.cipher with
+  | Perfect_cipher.Mul_cipher ->
+      Perfect_cipher.Mul.decrypt cfg.Protocol.group ~key:kappa
+        (Crypto.Group.decode_elt cfg.Protocol.group ciphertext)
+  | Perfect_cipher.Stream_cipher ->
+      Perfect_cipher.Stream.decrypt cfg.Protocol.group ~key:kappa ciphertext
+
+(* Group records by value, preserving record order within a value. *)
+let group_records records =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (v, r) ->
+      match Hashtbl.find_opt tbl v with
+      | Some rs -> Hashtbl.replace tbl v (r :: rs)
+      | None ->
+          Hashtbl.add tbl v [ r ];
+          order := v :: !order)
+    records;
+  List.rev_map (fun v -> (v, List.rev (Hashtbl.find tbl v))) !order |> List.rev
+
+let sender cfg ~rng ~records ep =
+  let ops = Protocol.new_ops () in
+  let grouped = group_records records in
+  let e_s = Commutative.gen_key cfg.Protocol.group ~rng in
+  let e_s' = Commutative.gen_key cfg.Protocol.group ~rng in
+  (* Step 3: receive Y_R. *)
+  let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
+  (* Step 4: double-encrypt each y under e_S and e'_S, Y_R order. *)
+  let pairs =
+    Protocol.parallel_map ~workers:cfg.Protocol.workers
+      (fun y ->
+        let x = Protocol.decode cfg y in
+        ( Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s x),
+          Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s' x) ))
+      y_r
+  in
+  ops.Protocol.encryptions <- ops.Protocol.encryptions + (2 * List.length y_r);
+  Channel.send ep (Message.make ~tag:tag_pairs (Message.Element_pairs pairs));
+  (* Step 5: for each v, ship (f_eS(h(v)), K(kappa(v), ext v)), sorted. *)
+  let hashed = Protocol.hash_values cfg ops (List.map fst grouped) in
+  let ext_pairs =
+    Protocol.parallel_map ~workers:cfg.Protocol.workers
+      (fun ((v, recs), (v', h)) ->
+        assert (String.equal v v');
+        let key_part = Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s h) in
+        let kappa = Commutative.encrypt cfg.Protocol.group e_s' h in
+        (key_part, encrypt_ext cfg ~kappa (encode_ext v recs)))
+      (List.combine grouped hashed)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  ops.Protocol.encryptions <- ops.Protocol.encryptions + (2 * List.length grouped);
+  ops.Protocol.cipher_ops <- ops.Protocol.cipher_ops + List.length grouped;
+  Channel.send ep (Message.make ~tag:tag_ext (Message.Ciphertext_pairs ext_pairs));
+  { v_r_count = List.length y_r; ops }
+
+let receiver cfg ~rng ~values ep =
+  let ops = Protocol.new_ops () in
+  let v_r = Protocol.dedup values in
+  let e_r = Commutative.gen_key cfg.Protocol.group ~rng in
+  let hashed = Protocol.hash_values cfg ops v_r in
+  let encoded =
+    Protocol.encrypt_batch cfg ops e_r (List.map snd hashed)
+    |> List.map2 (fun (v, _) c -> (Protocol.encode cfg c, v)) hashed
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Channel.send ep (Message.make ~tag:tag_y_r (Message.Elements (List.map fst encoded)));
+  (* Step 6: peel our own layer off both components; position i of the
+     pair list corresponds to our i-th sorted Y_R entry. *)
+  let pairs = Protocol.pairs_of (Protocol.recv_tagged ep tag_pairs) in
+  if List.length pairs <> List.length encoded then
+    failwith "protocol error: pairs count mismatch"
+  else begin
+    let keyed =
+      Protocol.parallel_map ~workers:cfg.Protocol.workers
+        (fun ((fes_y, fes'_y), (_, v)) ->
+          let fes_h = Commutative.decrypt cfg.Protocol.group e_r (Protocol.decode cfg fes_y) in
+          let kappa = Commutative.decrypt cfg.Protocol.group e_r (Protocol.decode cfg fes'_y) in
+          (Protocol.encode cfg fes_h, (v, kappa)))
+        (List.combine pairs encoded)
+    in
+    ops.Protocol.encryptions <- ops.Protocol.encryptions + (2 * List.length pairs);
+    let index = Hashtbl.create (List.length keyed) in
+    List.iter (fun (k, vk) -> Hashtbl.replace index k vk) keyed;
+    (* Step 7: match S's ext pairs against our keys and decrypt. *)
+    let ext_pairs = Protocol.pairs_of (Protocol.recv_tagged ep tag_ext) in
+    let matches = ref [] in
+    let collisions = ref [] in
+    List.iter
+      (fun (key_part, ciphertext) ->
+        match Hashtbl.find_opt index key_part with
+        | None -> ()
+        | Some (v, kappa) -> (
+            match decode_ext (decrypt_ext cfg ops ~kappa ciphertext) with
+            | v', records when String.equal v v' -> matches := (v, records) :: !matches
+            | _ -> collisions := v :: !collisions
+            | exception (Buf.Parse_error _ | Invalid_argument _) ->
+                collisions := v :: !collisions))
+      ext_pairs;
+    {
+      matches = List.sort (fun (a, _) (b, _) -> String.compare a b) !matches;
+      v_s_count = List.length ext_pairs;
+      collisions = List.sort String.compare !collisions;
+      ops;
+    }
+  end
+
+let run cfg ?(seed = "equijoin-seed") ~sender_records ~receiver_values () =
+  let drbg = Crypto.Drbg.create ~seed in
+  let s_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"sender") in
+  let r_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"receiver") in
+  Wire.Runner.run
+    ~sender:(fun ep -> sender cfg ~rng:s_rng ~records:sender_records ep)
+    ~receiver:(fun ep -> receiver cfg ~rng:r_rng ~values:receiver_values ep)

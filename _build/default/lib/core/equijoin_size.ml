@@ -1,0 +1,105 @@
+module Message = Wire.Message
+module Channel = Wire.Channel
+module Commutative = Crypto.Commutative
+
+type sender_report = {
+  v_r_multiset_size : int;
+  r_duplicate_distribution : (int * int) list;
+  ops : Protocol.ops;
+}
+
+type receiver_report = {
+  join_size : int;
+  v_s_multiset_size : int;
+  s_duplicate_distribution : (int * int) list;
+  class_intersections : ((int * int) * int) list;
+  ops : Protocol.ops;
+}
+
+let tag_y_r = "equijoin_size/Y_R"
+let tag_y_s = "equijoin_size/Y_S"
+let tag_z_r = "equijoin_size/Z_R"
+
+(* Given a multiset of encoded strings, the distribution of duplicates:
+   (d, how many distinct strings occur exactly d times), sorted by d. *)
+let duplicate_distribution encoded =
+  let m = Sset.Multi.of_list encoded in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let d = Sset.Multi.count m s in
+      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    (Sset.Multi.distinct m);
+  Hashtbl.fold (fun d n acc -> (d, n) :: acc) tbl [] |> List.sort Stdlib.compare
+
+(* Encrypt a multiset: one real exponentiation per distinct element,
+   replicated by multiplicity (the honest op count). *)
+let encrypt_multiset cfg ops key encoded =
+  let m = Sset.Multi.of_list encoded in
+  let distinct = Sset.Multi.distinct m in
+  Protocol.encrypt_encoded_batch cfg ops key distinct
+  |> List.map2 (fun s c -> List.init (Sset.Multi.count m s) (fun _ -> c)) distinct
+  |> List.concat
+
+let hash_and_encrypt_multiset cfg ops key values =
+  (* Hash/encrypt each distinct value once, then replicate. *)
+  let m = Sset.Multi.of_list values in
+  let hashed = Protocol.hash_values cfg ops (Sset.Multi.distinct m) in
+  Protocol.encrypt_batch cfg ops key (List.map snd hashed)
+  |> List.map2
+       (fun (v, _) c ->
+         List.init (Sset.Multi.count m v) (fun _ -> Protocol.encode cfg c))
+       hashed
+  |> List.concat |> Protocol.sort_encoded
+
+let sender cfg ~rng ~values ep =
+  let ops = Protocol.new_ops () in
+  let e_s = Commutative.gen_key cfg.Protocol.group ~rng in
+  let y_s = hash_and_encrypt_multiset cfg ops e_s values in
+  let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
+  Channel.send ep (Message.make ~tag:tag_y_s (Message.Elements y_s));
+  let z_r = Protocol.sort_encoded (encrypt_multiset cfg ops e_s y_r) in
+  Channel.send ep (Message.make ~tag:tag_z_r (Message.Elements z_r));
+  {
+    v_r_multiset_size = List.length y_r;
+    r_duplicate_distribution = duplicate_distribution y_r;
+    ops;
+  }
+
+let receiver cfg ~rng ~values ep =
+  let ops = Protocol.new_ops () in
+  let e_r = Commutative.gen_key cfg.Protocol.group ~rng in
+  let y_r = hash_and_encrypt_multiset cfg ops e_r values in
+  Channel.send ep (Message.make ~tag:tag_y_r (Message.Elements y_r));
+  let y_s = Protocol.elements_of (Protocol.recv_tagged ep tag_y_s) in
+  let z_s = Sset.Multi.of_list (encrypt_multiset cfg ops e_r y_s) in
+  let z_r = Sset.Multi.of_list (Protocol.elements_of (Protocol.recv_tagged ep tag_z_r)) in
+  let join_size = Sset.Multi.join_size z_s z_r in
+  (* §5.2 leakage, reconstructed from R's own view: bucket the distinct
+     double encryptions by (d = multiplicity in Z_R, d' = in Z_S). *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun z ->
+      let d = Sset.Multi.count z_r z in
+      let d' = Sset.Multi.count z_s z in
+      if d' > 0 then
+        Hashtbl.replace tbl (d, d') (1 + Option.value ~default:0 (Hashtbl.find_opt tbl (d, d'))))
+    (Sset.Multi.distinct z_r);
+  let class_intersections =
+    Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [] |> List.sort Stdlib.compare
+  in
+  {
+    join_size;
+    v_s_multiset_size = Sset.Multi.total (Sset.Multi.of_list y_s);
+    s_duplicate_distribution = duplicate_distribution y_s;
+    class_intersections;
+    ops;
+  }
+
+let run cfg ?(seed = "equijoin-size-seed") ~sender_values ~receiver_values () =
+  let drbg = Crypto.Drbg.create ~seed in
+  let s_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"sender") in
+  let r_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"receiver") in
+  Wire.Runner.run
+    ~sender:(fun ep -> sender cfg ~rng:s_rng ~values:sender_values ep)
+    ~receiver:(fun ep -> receiver cfg ~rng:r_rng ~values:receiver_values ep)

@@ -1,0 +1,75 @@
+module Value = Minidb.Value
+module Table = Minidb.Table
+
+type report = {
+  cells : ((Value.t * Value.t) * int) list;
+  r_class_sizes : (Value.t * int) list;
+  s_class_sizes : (Value.t * int) list;
+  total_bytes : int;
+  ops : Protocol.ops;
+}
+
+(* Partition a table's key column by a class column: class value ->
+   sorted distinct key encodings. Null keys and null classes drop out. *)
+let partition t ~key ~cls ~filter =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun row ->
+      if filter t row then begin
+        let k = Table.get t row key in
+        let c = Table.get t row cls in
+        if k <> Value.Null && c <> Value.Null then begin
+          let ck = Value.key c in
+          match Hashtbl.find_opt tbl ck with
+          | Some (c0, keys) -> Hashtbl.replace tbl ck (c0, Value.key k :: keys)
+          | None -> Hashtbl.add tbl ck (c, [ Value.key k ])
+        end
+      end)
+    (Table.rows t);
+  Hashtbl.fold (fun _ (c, keys) acc -> (c, List.sort_uniq String.compare keys) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
+
+let run cfg ?(seed = "group-by") ~t_r ~r_key ~r_class ~t_s ~s_key ~s_class
+    ?(s_filter = fun _ _ -> true) () =
+  let r_parts = partition t_r ~key:r_key ~cls:r_class ~filter:(fun _ _ -> true) in
+  let s_parts = partition t_s ~key:s_key ~cls:s_class ~filter:s_filter in
+  let total_bytes = ref 0 in
+  let ops = ref (Protocol.new_ops ()) in
+  let cells =
+    List.concat_map
+      (fun (rc, r_keys) ->
+        List.map
+          (fun (sc, s_keys) ->
+            let cell_seed =
+              Printf.sprintf "%s/%s/%s" seed (Value.key rc) (Value.key sc)
+            in
+            let result =
+              Intersection_size.run_to_third_party cfg ~seed:cell_seed
+                ~sender_values:s_keys ~receiver_values:r_keys ()
+            in
+            total_bytes := !total_bytes + result.Intersection_size.total_bytes;
+            ops := Protocol.total !ops result.Intersection_size.ops;
+            ((rc, sc), result.Intersection_size.size))
+          s_parts)
+      r_parts
+  in
+  {
+    cells = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) cells;
+    r_class_sizes = List.map (fun (c, ks) -> (c, List.length ks)) r_parts;
+    s_class_sizes = List.map (fun (c, ks) -> (c, List.length ks)) s_parts;
+    total_bytes = !total_bytes;
+    ops = !ops;
+  }
+
+let plaintext ~t_r ~r_key ~r_class ~t_s ~s_key ~s_class ?(s_filter = fun _ _ -> true) () =
+  let r_parts = partition t_r ~key:r_key ~cls:r_class ~filter:(fun _ _ -> true) in
+  let s_parts = partition t_s ~key:s_key ~cls:s_class ~filter:s_filter in
+  List.concat_map
+    (fun (rc, r_keys) ->
+      List.map
+        (fun (sc, s_keys) ->
+          let s_set = List.fold_left (fun acc k -> Sset.add k acc) Sset.empty s_keys in
+          ((rc, sc), List.length (List.filter (fun k -> Sset.mem k s_set) r_keys)))
+        s_parts)
+    r_parts
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)

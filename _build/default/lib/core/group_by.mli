@@ -1,0 +1,63 @@
+(** Private two-table GROUP BY — the generalization of Figure 2.
+
+    The paper's medical application is the 2x2 instance of a general
+    pattern: party R partitions its keys by a categorical attribute,
+    party S partitions its (optionally filtered) keys by another, and a
+    researcher T learns the full contingency table
+
+    {v
+    select r.class, s.class, count()
+    from T_R r, T_S s
+    where r.key = s.key [and s_filter]
+    group by r.class, s.class
+    v}
+
+    via one third-party intersection-size protocol per cell pair
+    (|classes_R| x |classes_S| subprotocols). T learns only the counts;
+    R and S learn only each other's partition {e sizes} (the per-class
+    |V| values, the same "additional information I" as in §2.2); no
+    party learns anything about individual keys.
+
+    This is also a direct answer to the paper's §7 future-work question
+    about protocols for aggregations. *)
+
+type report = {
+  cells : ((Minidb.Value.t * Minidb.Value.t) * int) list;
+      (** count per (R class value, S class value), sorted; what T
+          learns *)
+  r_class_sizes : (Minidb.Value.t * int) list;  (** leaked to S *)
+  s_class_sizes : (Minidb.Value.t * int) list;  (** leaked to R *)
+  total_bytes : int;
+  ops : Protocol.ops;
+}
+
+(** [run cfg ~t_r ~r_key ~r_class ~t_s ~s_key ~s_class ?s_filter ()]
+    executes the protocol. [r_key]/[s_key] are the join columns;
+    [r_class]/[s_class] the grouping columns. Rows with [Null] in the
+    key or class are excluded (as in SQL joins/grouping semantics here).
+    @raise Not_found if a named column is absent. *)
+val run :
+  Protocol.config ->
+  ?seed:string ->
+  t_r:Minidb.Table.t ->
+  r_key:string ->
+  r_class:string ->
+  t_s:Minidb.Table.t ->
+  s_key:string ->
+  s_class:string ->
+  ?s_filter:(Minidb.Table.t -> Minidb.Table.row -> bool) ->
+  unit ->
+  report
+
+(** [plaintext ...] computes the same table with the reference engine
+    (test oracle). *)
+val plaintext :
+  t_r:Minidb.Table.t ->
+  r_key:string ->
+  r_class:string ->
+  t_s:Minidb.Table.t ->
+  s_key:string ->
+  s_class:string ->
+  ?s_filter:(Minidb.Table.t -> Minidb.Table.row -> bool) ->
+  unit ->
+  ((Minidb.Value.t * Minidb.Value.t) * int) list

@@ -1,0 +1,34 @@
+module Message = Wire.Message
+module Channel = Wire.Channel
+
+let tag = "handshake/config"
+
+let fingerprint cfg =
+  Crypto.Sha256.digest_concat
+    [
+      "psi-config-v1";
+      Bignum.Nat.to_bytes_be (Crypto.Group.p cfg.Protocol.group);
+      cfg.Protocol.domain;
+      Crypto.Perfect_cipher.scheme_to_string cfg.Protocol.cipher;
+    ]
+
+let check mine theirs =
+  if not (String.equal mine theirs) then
+    failwith
+      "handshake failed: parties disagree on group/domain/cipher configuration"
+
+let recv_fp ep =
+  match Channel.recv ep with
+  | { Message.tag = t; payload = Message.Elements [ fp ] } when t = tag -> fp
+  | _ -> failwith "handshake failed: unexpected message"
+
+let initiate cfg ep =
+  let mine = fingerprint cfg in
+  Channel.send ep (Message.make ~tag (Message.Elements [ mine ]));
+  check mine (recv_fp ep)
+
+let respond cfg ep =
+  let mine = fingerprint cfg in
+  let theirs = recv_fp ep in
+  Channel.send ep (Message.make ~tag (Message.Elements [ mine ]));
+  check mine theirs

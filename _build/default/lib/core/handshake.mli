@@ -1,0 +1,24 @@
+(** Configuration agreement check.
+
+    The protocols silently assume both parties use the same group, hash
+    domain and [K] cipher — a mismatch yields an empty intersection, not
+    an error. This optional one-round handshake exchanges a fingerprint
+    of the shared configuration and fails loudly on mismatch. Run it on
+    a fresh channel before the protocol when the configs were not
+    distributed out of band.
+
+    The fingerprint commits to: wire-format version, group modulus,
+    hash domain, cipher choice. It deliberately excludes [workers]
+    (local parallelism does not affect the protocol). *)
+
+(** [fingerprint cfg] is a 32-byte digest of the protocol-relevant
+    configuration. *)
+val fingerprint : Protocol.config -> string
+
+(** [initiate cfg ep] sends this side's fingerprint, waits for the
+    peer's, and checks.
+    @raise Failure on mismatch. *)
+val initiate : Protocol.config -> Wire.Channel.endpoint -> unit
+
+(** [respond cfg ep] is the passive side. @raise Failure on mismatch. *)
+val respond : Protocol.config -> Wire.Channel.endpoint -> unit

@@ -1,0 +1,46 @@
+module Message = Wire.Message
+module Channel = Wire.Channel
+
+type receiver_report = { intersection : string list; v_s_count : int }
+
+let tag_x_s = "insecure_hash/X_S"
+let hash cfg v = Protocol.encode cfg (Crypto.Hash_to_group.hash_value cfg.Protocol.group ~domain:cfg.Protocol.domain v)
+
+let sender cfg ~values ep =
+  let x_s =
+    Protocol.dedup values |> List.map (hash cfg) |> Protocol.sort_encoded
+  in
+  Channel.send ep (Message.make ~tag:tag_x_s (Message.Elements x_s))
+
+let receiver cfg ~values ep =
+  let x_s = Protocol.elements_of (Protocol.recv_tagged ep tag_x_s) in
+  let set = List.fold_left (fun acc x -> Sset.add x acc) Sset.empty x_s in
+  let intersection =
+    Protocol.dedup values |> List.filter (fun v -> Sset.mem (hash cfg v) set)
+  in
+  { intersection; v_s_count = List.length x_s }
+
+let run cfg ~sender_values ~receiver_values () =
+  Wire.Runner.run
+    ~sender:(fun ep -> sender cfg ~values:sender_values ep)
+    ~receiver:(fun ep -> receiver cfg ~values:receiver_values ep)
+
+let dictionary_attack cfg ~transcript ~candidates =
+  (* Collect every element-sized string the curious party saw, then test
+     candidate hashes against them. Against §3.1 the observed X_S values
+     are unsalted hashes, so candidates in V_S match; against the secure
+     protocol everything observed is encrypted under a key the attacker
+     does not hold, so only coincidences (none) match. *)
+  let observed =
+    List.fold_left
+      (fun acc (m : Message.t) ->
+        match m.payload with
+        | Message.Elements es -> List.fold_left (fun a e -> Sset.add e a) acc es
+        | Message.Element_pairs ps ->
+            List.fold_left (fun a (x, y) -> Sset.add x (Sset.add y a)) acc ps
+        | Message.Element_triples ts ->
+            List.fold_left (fun a (x, y, z) -> Sset.add x (Sset.add y (Sset.add z a))) acc ts
+        | Message.Ciphertext_pairs ps -> List.fold_left (fun a (x, _) -> Sset.add x a) acc ps)
+      Sset.empty transcript
+  in
+  List.filter (fun v -> Sset.mem (hash cfg v) observed) (Protocol.dedup candidates)

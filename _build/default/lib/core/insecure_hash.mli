@@ -1,0 +1,41 @@
+(** The simple-but-incorrect hash protocol of §3.1, kept as a baseline
+    and as a demonstration of why the commutative-encryption protocol is
+    needed.
+
+    [S] ships [X_S = h(V_S)] in the clear (hashed but deterministically,
+    with no party-private key), so any party holding the transcript can
+    mount a dictionary attack: hash candidate values and test membership.
+    The test suite shows {!dictionary_attack} recovers [V_S] from this
+    protocol's transcript and recovers {e nothing} beyond the honest
+    intersection from the real protocol's transcript. *)
+
+type receiver_report = { intersection : string list; v_s_count : int }
+
+val sender :
+  Protocol.config -> values:string list -> Wire.Channel.endpoint -> unit
+
+val receiver :
+  Protocol.config ->
+  values:string list ->
+  Wire.Channel.endpoint ->
+  receiver_report
+
+val run :
+  Protocol.config ->
+  sender_values:string list ->
+  receiver_values:string list ->
+  unit ->
+  (unit, receiver_report) Wire.Runner.outcome
+
+(** [dictionary_attack cfg ~transcript ~candidates] plays the
+    honest-but-curious receiver: it hashes every candidate value exactly
+    as the protocol would and reports which ones provably belong to
+    [V_S], given the hashed set observed in [transcript] (the receiver's
+    view). Works against this protocol; returns only the honest
+    intersection against the secure one (the double encryptions are
+    unlinkable to candidate values). *)
+val dictionary_attack :
+  Protocol.config ->
+  transcript:Wire.Message.t list ->
+  candidates:string list ->
+  string list

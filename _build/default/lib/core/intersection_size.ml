@@ -1,0 +1,119 @@
+module Message = Wire.Message
+module Channel = Wire.Channel
+module Commutative = Crypto.Commutative
+
+type sender_report = { v_r_count : int; ops : Protocol.ops }
+type receiver_report = { size : int; v_s_count : int; ops : Protocol.ops }
+
+let tag_y_r = "intersection_size/Y_R"
+let tag_y_s = "intersection_size/Y_S"
+let tag_z_r = "intersection_size/Z_R"
+
+let sender cfg ~rng ~values ep =
+  let ops = Protocol.new_ops () in
+  let v_s = Protocol.dedup values in
+  let e_s = Commutative.gen_key cfg.Protocol.group ~rng in
+  let y_s =
+    Protocol.hash_values cfg ops v_s
+    |> List.map snd
+    |> Protocol.encrypt_batch cfg ops e_s
+    |> List.map (Protocol.encode cfg)
+    |> Protocol.sort_encoded
+  in
+  let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
+  Channel.send ep (Message.make ~tag:tag_y_s (Message.Elements y_s));
+  (* Step 4(b): crucially re-sorted, destroying the pairing with Y_R. *)
+  let z_r =
+    Protocol.encrypt_encoded_batch cfg ops e_s y_r |> Protocol.sort_encoded
+  in
+  Channel.send ep (Message.make ~tag:tag_z_r (Message.Elements z_r));
+  { v_r_count = List.length y_r; ops }
+
+let receiver cfg ~rng ~values ep =
+  let ops = Protocol.new_ops () in
+  let v_r = Protocol.dedup values in
+  let e_r = Commutative.gen_key cfg.Protocol.group ~rng in
+  let y_r =
+    Protocol.hash_values cfg ops v_r
+    |> List.map snd
+    |> Protocol.encrypt_batch cfg ops e_r
+    |> List.map (Protocol.encode cfg)
+    |> Protocol.sort_encoded
+  in
+  Channel.send ep (Message.make ~tag:tag_y_r (Message.Elements y_r));
+  let y_s = Protocol.elements_of (Protocol.recv_tagged ep tag_y_s) in
+  let z_s =
+    List.fold_left
+      (fun acc z -> Sset.add z acc)
+      Sset.empty
+      (Protocol.encrypt_encoded_batch cfg ops e_r y_s)
+  in
+  let z_r = Protocol.elements_of (Protocol.recv_tagged ep tag_z_r) in
+  let size = List.length (List.filter (fun z -> Sset.mem z z_s) z_r) in
+  { size; v_s_count = List.length y_s; ops }
+
+let run cfg ?(seed = "intersection-size-seed") ~sender_values ~receiver_values () =
+  let drbg = Crypto.Drbg.create ~seed in
+  let s_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"sender") in
+  let r_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"receiver") in
+  Wire.Runner.run
+    ~sender:(fun ep -> sender cfg ~rng:s_rng ~values:sender_values ep)
+    ~receiver:(fun ep -> receiver cfg ~rng:r_rng ~values:receiver_values ep)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 variant: Z_R and Z_S go to the researcher T.               *)
+(* ------------------------------------------------------------------ *)
+
+type third_party_report = { size : int; total_bytes : int; ops : Protocol.ops }
+
+let tag_z_r_to_t = "intersection_size/Z_R->T"
+let tag_z_s_to_t = "intersection_size/Z_S->T"
+
+let run_to_third_party cfg ?(seed = "intersection-size-3p") ~sender_values ~receiver_values
+    () =
+  let drbg = Crypto.Drbg.create ~seed in
+  let s_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"sender") in
+  let r_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"receiver") in
+  let outcome =
+    Wire.Runner.run
+      ~sender:(fun ep ->
+        let ops = Protocol.new_ops () in
+        let e_s = Commutative.gen_key cfg.Protocol.group ~rng:s_rng in
+        let y_s =
+          Protocol.hash_values cfg ops (Protocol.dedup sender_values)
+          |> List.map snd
+          |> Protocol.encrypt_batch cfg ops e_s
+          |> List.map (Protocol.encode cfg)
+          |> Protocol.sort_encoded
+        in
+        let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
+        Channel.send ep (Message.make ~tag:tag_y_s (Message.Elements y_s));
+        let z_r = Protocol.encrypt_encoded_batch cfg ops e_s y_r |> Protocol.sort_encoded in
+        (z_r, ops))
+      ~receiver:(fun ep ->
+        let ops = Protocol.new_ops () in
+        let e_r = Commutative.gen_key cfg.Protocol.group ~rng:r_rng in
+        let y_r =
+          Protocol.hash_values cfg ops (Protocol.dedup receiver_values)
+          |> List.map snd
+          |> Protocol.encrypt_batch cfg ops e_r
+          |> List.map (Protocol.encode cfg)
+          |> Protocol.sort_encoded
+        in
+        Channel.send ep (Message.make ~tag:tag_y_r (Message.Elements y_r));
+        let y_s = Protocol.elements_of (Protocol.recv_tagged ep tag_y_s) in
+        let z_s = Protocol.encrypt_encoded_batch cfg ops e_r y_s |> Protocol.sort_encoded in
+        (z_s, ops))
+  in
+  let z_r, s_ops = outcome.Wire.Runner.sender_result in
+  let z_s, r_ops = outcome.Wire.Runner.receiver_result in
+  (* Ship both Z sets to T and account the bytes those messages occupy. *)
+  let to_t_r = Message.make ~tag:tag_z_r_to_t (Message.Elements z_r) in
+  let to_t_s = Message.make ~tag:tag_z_s_to_t (Message.Elements z_s) in
+  let z_s_set = List.fold_left (fun acc z -> Sset.add z acc) Sset.empty z_s in
+  {
+    size = List.length (List.filter (fun z -> Sset.mem z z_s_set) z_r);
+    total_bytes =
+      outcome.Wire.Runner.total_bytes + Message.size to_t_r + Message.size to_t_s;
+    ops = Protocol.total s_ops r_ops;
+  }

@@ -1,0 +1,73 @@
+let duplicate_classes values =
+  let m = Sset.Multi.of_list values in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      let d = Sset.Multi.count m v in
+      Hashtbl.replace tbl d (v :: Option.value ~default:[] (Hashtbl.find_opt tbl d)))
+    (Sset.Multi.distinct m);
+  Hashtbl.fold (fun d vs acc -> (d, List.sort String.compare vs) :: acc) tbl []
+  |> List.sort Stdlib.compare
+
+let class_intersections ~r_values ~s_values =
+  let mr = Sset.Multi.of_list r_values in
+  let ms = Sset.Multi.of_list s_values in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let d' = Sset.Multi.count ms v in
+      if d' > 0 then begin
+        let d = Sset.Multi.count mr v in
+        Hashtbl.replace tbl (d, d') (1 + Option.value ~default:0 (Hashtbl.find_opt tbl (d, d')))
+      end)
+    (Sset.Multi.distinct mr);
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [] |> List.sort Stdlib.compare
+
+let identified_values ~r_values ~s_values =
+  let mr = Sset.Multi.of_list r_values in
+  let ms = Sset.Multi.of_list s_values in
+  (* Count shared values per class pair, then count values of R per class
+     pair that could explain a cell; R identifies a value v when the cell
+     (d, d') containing v has its intersection count equal to the number
+     of R values in class d... conservatively: cell count = 1 and R has
+     exactly one candidate is the clear-cut case; more generally R learns
+     v in V_S when every R value of class d that could land in (d, d')
+     must be shared, i.e. cell count equals the number of R values in
+     class d. We implement that general rule. *)
+  let shared_per_cell = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let d' = Sset.Multi.count ms v in
+      if d' > 0 then begin
+        let d = Sset.Multi.count mr v in
+        Hashtbl.replace shared_per_cell (d, d')
+          (1 + Option.value ~default:0 (Hashtbl.find_opt shared_per_cell (d, d')))
+      end)
+    (Sset.Multi.distinct mr);
+  let r_class_size = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let d = Sset.Multi.count mr v in
+      Hashtbl.replace r_class_size d (1 + Option.value ~default:0 (Hashtbl.find_opt r_class_size d)))
+    (Sset.Multi.distinct mr);
+  (* Total shared values in R's class d across all d' cells. *)
+  let shared_per_class = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (d, _) n ->
+      Hashtbl.replace shared_per_class d
+        (n + Option.value ~default:0 (Hashtbl.find_opt shared_per_class d)))
+    shared_per_cell;
+  List.filter
+    (fun v ->
+      let d' = Sset.Multi.count ms v in
+      d' > 0
+      &&
+      let d = Sset.Multi.count mr v in
+      (* Every R value of class d is shared -> membership of v is certain. *)
+      Option.value ~default:0 (Hashtbl.find_opt shared_per_class d)
+      = Option.value ~default:0 (Hashtbl.find_opt r_class_size d))
+    (Sset.Multi.distinct mr)
+  |> List.sort String.compare
+
+let join_size ~r_values ~s_values =
+  Sset.Multi.join_size (Sset.Multi.of_list r_values) (Sset.Multi.of_list s_values)

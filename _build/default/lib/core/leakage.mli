@@ -1,0 +1,32 @@
+(** Exact characterization of the §5.2 equijoin-size leakage.
+
+    Beyond [|V_R|], [|V_S|] and the join size, the equijoin size
+    protocol reveals: to each party, the other side's duplicate
+    distribution; and to [R], for every pair of duplicate classes
+    [(d, d')], the count [|V_R(d) ∩ V_S(d')|]. When all duplicate counts
+    are distinct, this pins down [V_R ∩ V_S] exactly; when all are equal,
+    it degenerates to just the intersection size.
+
+    This module computes the predicted leakage from the {e plaintext}
+    inputs; the tests check that the protocol's receiver report matches
+    the prediction and contains nothing more. *)
+
+(** [duplicate_classes values] partitions a multiset by multiplicity:
+    [(d, set of values occurring d times)], sorted by [d]. *)
+val duplicate_classes : string list -> (int * string list) list
+
+(** [class_intersections ~r_values ~s_values] is the §5.2 leakage matrix
+    [((d, d'), |V_R(d) ∩ V_S(d')|)], including only nonzero cells,
+    sorted. *)
+val class_intersections :
+  r_values:string list -> s_values:string list -> ((int * int) * int) list
+
+(** [identified_values ~r_values ~s_values] is the subset of
+    [V_R ∩ V_S] that [R] can {e identify} from the leakage: the values
+    in intersection cells where the [(d, d')] class pair contains exactly
+    one shared value. *)
+val identified_values : r_values:string list -> s_values:string list -> string list
+
+(** [join_size ~r_values ~s_values] is the plaintext ground truth
+    [sum_v mult_R(v) * mult_S(v)]. *)
+val join_size : r_values:string list -> s_values:string list -> int

@@ -1,0 +1,67 @@
+type counts = {
+  pattern_and_reaction : int;
+  pattern_no_reaction : int;
+  no_pattern_and_reaction : int;
+  no_pattern_no_reaction : int;
+}
+
+type report = { counts : counts; total_bytes : int; ops : Protocol.ops }
+
+(* Figure 2 is the 2x2 instance of the private GROUP BY: R's keys
+   partitioned by [pattern], S's drug-takers partitioned by [reaction],
+   one third-party intersection-size protocol per cell. *)
+let run cfg ?(seed = "medical") ~t_r ~t_s () =
+  let open Minidb in
+  let g =
+    Group_by.run cfg ~seed ~t_r ~r_key:"person_id" ~r_class:"pattern" ~t_s
+      ~s_key:"person_id" ~s_class:"reaction"
+      ~s_filter:(fun t row -> Value.equal (Table.get t row "drug") (Value.Bool true))
+      ()
+  in
+  let cell p r =
+    match List.assoc_opt (Value.Bool p, Value.Bool r) g.Group_by.cells with
+    | Some n -> n
+    | None -> 0
+  in
+  {
+    counts =
+      {
+        pattern_and_reaction = cell true true;
+        pattern_no_reaction = cell true false;
+        no_pattern_and_reaction = cell false true;
+        no_pattern_no_reaction = cell false false;
+      };
+    total_bytes = g.Group_by.total_bytes;
+    ops = g.Group_by.ops;
+  }
+
+let plaintext_counts ~t_r ~t_s =
+  let open Minidb in
+  let joined = Relop.equijoin t_r t_s ~on:("person_id", "person_id") in
+  let takers = Relop.select_eq joined "r.drug" (Value.Bool true) in
+  let groups = Relop.group_count takers [ "l.pattern"; "r.reaction" ] in
+  let cell p r =
+    match
+      List.assoc_opt [ Value.Bool p; Value.Bool r ]
+        (List.map (fun (k, n) -> (k, n)) groups)
+    with
+    | Some n -> n
+    | None -> 0
+  in
+  {
+    pattern_and_reaction = cell true true;
+    pattern_no_reaction = cell true false;
+    no_pattern_and_reaction = cell false true;
+    no_pattern_no_reaction = cell false false;
+  }
+
+let estimate (p : Cost_model.params) ~v_r ~v_s =
+  let encryptions = 2. *. float_of_int (v_r + v_s) *. 2. in
+  let comm_bits = 2. *. float_of_int ((v_r + v_s) * 2 * p.Cost_model.k_bits) in
+  {
+    Cost_model.encryptions;
+    comp_seconds =
+      encryptions *. p.Cost_model.ce_seconds /. float_of_int p.Cost_model.processors;
+    comm_bits;
+    comm_seconds = comm_bits /. p.Cost_model.bandwidth_bits_per_s;
+  }

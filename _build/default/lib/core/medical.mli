@@ -1,0 +1,46 @@
+(** Application 2: medical research (§1.1, Figure 2, §6.2.2).
+
+    A researcher [T] validates a hypothesis linking DNA pattern [D] to a
+    reaction to drug [G]:
+
+    {v
+    select pattern, reaction, count()
+    from T_R, T_S
+    where T_R.person_id = T_S.person_id and T_S.drug = true
+    group by T_R.pattern, T_S.reaction
+    v}
+
+    [T_R(person_id, pattern)] and [T_S(person_id, drug, reaction)] live
+    in different enterprises. Following Figure 2, the parties run four
+    intersection-size protocols on the partitions [V'_R / V_R - V'_R]
+    and [V'_S / V_S - V'_S], with the double-encrypted sets [Z] sent to
+    [T] instead of to each other — [T] learns the four counts and
+    nothing else; the enterprises learn nothing about individuals. *)
+
+type counts = {
+  pattern_and_reaction : int;
+  pattern_no_reaction : int;
+  no_pattern_and_reaction : int;
+  no_pattern_no_reaction : int;
+}
+
+type report = {
+  counts : counts;  (** what the researcher T learns *)
+  total_bytes : int;
+      (** bytes over all channels, including the Z sets shipped to T *)
+  ops : Protocol.ops;
+}
+
+(** [run cfg ~t_r ~t_s ()] executes Figure 2. [t_r] must have columns
+    [person_id] and [pattern]; [t_s] must have [person_id], [drug],
+    [reaction]. *)
+val run :
+  Protocol.config -> ?seed:string -> t_r:Minidb.Table.t -> t_s:Minidb.Table.t -> unit -> report
+
+(** [plaintext_counts ~t_r ~t_s] evaluates the same query with the
+    {!Minidb.Relop} reference engine (test oracle). *)
+val plaintext_counts : t_r:Minidb.Table.t -> t_s:Minidb.Table.t -> counts
+
+(** [estimate params ~v_r ~v_s] applies the §6.2.2 formulas: combined
+    computation [2(|V_R|+|V_S|) 2Ce], communication [2(|V_R|+|V_S|) 2k]. *)
+val estimate : Cost_model.params -> v_r:int -> v_s:int -> Cost_model.estimate

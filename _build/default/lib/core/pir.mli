@@ -1,0 +1,58 @@
+(** Private information retrieval — the paper's pointer for the
+    {e selection} operation (§2.4: "in the problem of private
+    information retrieval, the receiver R obtains the i-th record from
+    the set of n records held by the sender S without revealing i to S.
+    ... This literature will be useful for developing protocols for the
+    selection operation in our setting.")
+
+    This module implements the simplest computational PIR from the
+    additively homomorphic toolbox already built for {!Aggregate}:
+    [R] keygens Paillier, sends encryptions of the unit vector
+    [(delta_{ij})_j] for its secret index [i]; [S] replies with
+    [prod_j c_j^{x_j} = Enc(x_i)] per record chunk; [R] decrypts.
+
+    Guarantees (semi-honest): [S] learns nothing about [i] (the query is
+    [n] ciphertexts of 0/1, indistinguishable under Paillier's CPA
+    security); [R] learns record [i] and the public record count/width.
+    Communication is [O(n)] ciphertexts upstream — the
+    polylog-communication schemes the paper cites ([11, 32]) trade that
+    off against heavier machinery.
+
+    {v
+    R -> S   pir/query     Paillier public key + n ciphertexts
+    S -> R   pir/reply     one ciphertext per record chunk
+    v} *)
+
+type sender_report = {
+  record_count : int;
+  record_bytes : int;  (** fixed record width (padded) *)
+}
+
+type receiver_report = {
+  record : string;  (** the retrieved record, padding stripped *)
+}
+
+(** [sender ~rng ~records ep]: [records] are arbitrary strings; they are
+    padded to the longest one (the width is public). *)
+val sender :
+  rng:Bignum.Nat_rand.rng -> records:string list -> Wire.Channel.endpoint -> sender_report
+
+(** [receiver ~rng ~key_bits ~count ~index ep] retrieves record [index]
+    out of [count] (both known to R up front; [count] must match the
+    sender's).
+    @raise Invalid_argument if [index] is out of range. *)
+val receiver :
+  rng:Bignum.Nat_rand.rng ->
+  ?key_bits:int ->
+  count:int ->
+  index:int ->
+  Wire.Channel.endpoint ->
+  receiver_report
+
+val run :
+  ?seed:string ->
+  ?key_bits:int ->
+  records:string list ->
+  index:int ->
+  unit ->
+  (sender_report, receiver_report) Wire.Runner.outcome

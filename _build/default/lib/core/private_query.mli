@@ -1,0 +1,56 @@
+(** A small planner: run the paper's operations directly over
+    {!Minidb.Table} relations.
+
+    This layer does what §2.2's problem statement describes — "given a
+    database query Q spanning the tables in D_R and D_S, compute the
+    answer to Q and return it to R" — for the four supported operation
+    shapes, mapping attribute values to protocol strings and back to
+    typed values, and optionally consulting an {!Audit} policy (§2.3)
+    on the sender's side before participating. *)
+
+type spec =
+  | Intersect of { attr : string }
+      (** [V_S ∩ V_R] over a common attribute name *)
+  | Intersect_size of { attr : string }
+  | Equijoin of { attr : string; payload : string list }
+      (** [ext(v)] carries the named sender columns *)
+  | Equijoin_size of { attr : string }
+
+type rows = (Minidb.Value.t * Minidb.Value.t list list) list
+(** per joining value: the sender's rows, restricted to the payload
+    columns, as typed values *)
+
+type answer =
+  | Values of Minidb.Value.t list
+  | Size of int
+  | Rows of rows
+
+type outcome = {
+  answer : answer;
+  v_s : int;  (** |V_S| as learned by R *)
+  v_r : int;  (** |V_R| as learned by S *)
+  total_bytes : int;
+  ops : Protocol.ops;
+}
+
+(** [run cfg spec ~sender ~receiver ()] executes the query; [sender] and
+    [receiver] are the two private tables. With [?audit], the sender
+    checks the receiver's query against the policy first and refuses
+    with [Error reason] if denied (the result-size rules are applied to
+    what the receiver would learn before it is "released" — in this
+    in-process setting, before the run).
+    @raise Not_found if a named column is absent from its table. *)
+val run :
+  Protocol.config ->
+  ?seed:string ->
+  ?audit:Audit.t ->
+  ?peer:string ->
+  spec ->
+  sender:Minidb.Table.t ->
+  receiver:Minidb.Table.t ->
+  unit ->
+  (outcome, string) result
+
+(** [plaintext spec ~sender ~receiver] evaluates the same query with the
+    reference engine (test oracle). *)
+val plaintext : spec -> sender:Minidb.Table.t -> receiver:Minidb.Table.t -> answer

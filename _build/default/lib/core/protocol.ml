@@ -1,0 +1,142 @@
+module Group = Crypto.Group
+module Commutative = Crypto.Commutative
+module Hash_to_group = Crypto.Hash_to_group
+
+type config = {
+  group : Group.t;
+  domain : string;
+  cipher : Crypto.Perfect_cipher.scheme;
+  workers : int;
+}
+
+let config ?(domain = "default") ?(cipher = Crypto.Perfect_cipher.Stream_cipher)
+    ?(workers = 1) group =
+  if workers < 1 then invalid_arg "Protocol.config: workers >= 1"
+  else { group; domain; cipher; workers }
+
+(* Chunked fork-join over OCaml 5 domains. Spawning costs ~100 us, so
+   short lists stay sequential. *)
+let parallel_map ~workers f xs =
+  let n = List.length xs in
+  if workers <= 1 || n < 32 then List.map f xs
+  else begin
+    let workers = Stdlib.min workers n in
+    let arr = Array.of_list xs in
+    let out = Array.make n None in
+    let chunk = (n + workers - 1) / workers in
+    let work lo hi () =
+      for i = lo to hi do
+        out.(i) <- Some (f arr.(i))
+      done
+    in
+    let domains =
+      List.init workers (fun w ->
+          let lo = w * chunk in
+          let hi = Stdlib.min ((w + 1) * chunk) n - 1 in
+          Domain.spawn (work lo hi))
+    in
+    List.iter Domain.join domains;
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> failwith "Protocol.parallel_map: hole")
+         out)
+  end
+
+type ops = { mutable hashes : int; mutable encryptions : int; mutable cipher_ops : int }
+
+let new_ops () = { hashes = 0; encryptions = 0; cipher_ops = 0 }
+
+let total a b =
+  {
+    hashes = a.hashes + b.hashes;
+    encryptions = a.encryptions + b.encryptions;
+    cipher_ops = a.cipher_ops + b.cipher_ops;
+  }
+
+let dedup values = List.sort_uniq String.compare values
+
+let hash_values cfg ops vs =
+  let res =
+    parallel_map ~workers:cfg.workers
+      (fun v -> (v, Hash_to_group.hash_value cfg.group ~domain:cfg.domain v))
+      vs
+  in
+  ops.hashes <- ops.hashes + List.length vs;
+  (* §3.2.2: "a collision within V_S or V_R can be detected by the
+     server at the start of each protocol by sorting the hashes". With a
+     64-bit test group and millions of values this could actually fire;
+     failing loudly beats silently corrupting the result. *)
+  let sorted =
+    List.sort Bignum.Nat.compare (List.map snd res) |> Array.of_list
+  in
+  for i = 0 to Array.length sorted - 2 do
+    if Bignum.Nat.equal sorted.(i) sorted.(i + 1) then
+      failwith
+        "protocol error: hash collision within this party's value set (use a larger group)"
+  done;
+  res
+
+let encrypt_elt cfg ops key x =
+  ops.encryptions <- ops.encryptions + 1;
+  Commutative.encrypt cfg.group key x
+
+let decrypt_elt cfg ops key y =
+  ops.encryptions <- ops.encryptions + 1;
+  Commutative.decrypt cfg.group key y
+
+let encrypt_batch cfg ops key xs =
+  let res = parallel_map ~workers:cfg.workers (fun x -> Commutative.encrypt cfg.group key x) xs in
+  ops.encryptions <- ops.encryptions + List.length xs;
+  res
+
+let encode cfg x = Group.encode_elt cfg.group x
+let decode cfg s = Group.decode_elt cfg.group s
+
+let encrypt_encoded_batch cfg ops key ss =
+  let res =
+    parallel_map ~workers:cfg.workers
+      (fun s -> encode cfg (Commutative.encrypt cfg.group key (decode cfg s)))
+      ss
+  in
+  ops.encryptions <- ops.encryptions + List.length ss;
+  res
+
+let decrypt_encoded_batch cfg ops key ss =
+  let res =
+    parallel_map ~workers:cfg.workers
+      (fun s -> Commutative.decrypt cfg.group key (decode cfg s))
+      ss
+  in
+  ops.encryptions <- ops.encryptions + List.length ss;
+  res
+
+let sort_encoded ss = List.sort String.compare ss
+
+let rec is_sorted = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as tl) -> String.compare a b <= 0 && is_sorted tl
+
+
+let recv_tagged ep tag =
+  let m = Wire.Channel.recv ep in
+  if m.Wire.Message.tag <> tag then
+    failwith
+      (Printf.sprintf "protocol error: expected message %S, got %S" tag m.Wire.Message.tag)
+  else m.Wire.Message.payload
+
+let elements_of = function
+  | Wire.Message.Elements es -> es
+  | Wire.Message.Element_pairs _ | Wire.Message.Element_triples _
+  | Wire.Message.Ciphertext_pairs _ ->
+      failwith "protocol error: expected an element list"
+
+let pairs_of = function
+  | Wire.Message.Element_pairs ps | Wire.Message.Ciphertext_pairs ps -> ps
+  | Wire.Message.Elements _ | Wire.Message.Element_triples _ ->
+      failwith "protocol error: expected a pair list"
+
+let triples_of = function
+  | Wire.Message.Element_triples ts -> ts
+  | Wire.Message.Elements _ | Wire.Message.Element_pairs _
+  | Wire.Message.Ciphertext_pairs _ ->
+      failwith "protocol error: expected a triple list"

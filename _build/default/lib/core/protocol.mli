@@ -1,0 +1,102 @@
+(** Shared machinery for the four protocols of Agrawal, Evfimievski &
+    Srikant (SIGMOD 2003).
+
+    Values are arbitrary strings (the join-attribute values [V] of the
+    paper). Each party hashes its values into [QR_p] (random-oracle
+    style), encrypts them under a private commutative-encryption key, and
+    ships {e lexicographically reordered} encodings — the reordering is
+    load-bearing for security (§3.3 footnote 3) and the test suite
+    asserts it on every transcript. *)
+
+module Group = Crypto.Group
+
+(** Protocol configuration shared by both parties. *)
+type config = {
+  group : Group.t;
+  domain : string;
+      (** hash domain separation (e.g. the attribute name); both parties
+          must agree on it *)
+  cipher : Crypto.Perfect_cipher.scheme;
+      (** which [K] the equijoin uses for [ext(v)] *)
+  workers : int;
+      (** per-party parallelism for the bulk encryption steps — the
+          paper's [P] processors (§6.2 assumes "encrypting the set of
+          values is trivially parallelizable"); realized with OCaml 5
+          domains *)
+}
+
+(** [config ?domain ?cipher ?workers group] with domain ["default"], the
+    stream cipher, and [workers = 1]. *)
+val config :
+  ?domain:string ->
+  ?cipher:Crypto.Perfect_cipher.scheme ->
+  ?workers:int ->
+  Group.t ->
+  config
+
+(** [parallel_map ~workers f xs] maps [f] over [xs] on up to [workers]
+    domains, preserving order. Falls back to [List.map] for one worker
+    or short lists. [f] must be safe to run concurrently. *)
+val parallel_map : workers:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** {1 Operation counters}
+
+    The §6.1 cost model counts hash evaluations [Ch], commutative
+    encryptions [Ce] and [K]-cipher operations [CK]; parties tally their
+    own so benches can validate the model against reality. *)
+
+type ops = { mutable hashes : int; mutable encryptions : int; mutable cipher_ops : int }
+
+val new_ops : unit -> ops
+val total : ops -> ops -> ops
+
+(** {1 Helpers used by the protocol modules} *)
+
+(** [dedup values] sorts and removes duplicates — the paper's "set of
+    values (without duplicates) that occur in [T.A]". *)
+val dedup : string list -> string list
+
+(** [hash_values cfg ops vs] is [(v, h(v))] for each [v] (parallel per
+    [cfg.workers]). *)
+val hash_values : config -> ops -> string list -> (string * Group.elt) list
+
+(** [encrypt_batch cfg ops key xs] encrypts each element (parallel per
+    [cfg.workers]) and counts [length xs] encryptions. *)
+val encrypt_batch :
+  config -> ops -> Crypto.Commutative.key -> Group.elt list -> Group.elt list
+
+(** [encrypt_encoded_batch cfg ops key ss] decodes, encrypts and
+    re-encodes a batch of wire-encoded elements. *)
+val encrypt_encoded_batch :
+  config -> ops -> Crypto.Commutative.key -> string list -> string list
+
+(** [decrypt_encoded_batch cfg ops key ss] is the inverse direction. *)
+val decrypt_encoded_batch :
+  config -> ops -> Crypto.Commutative.key -> string list -> Group.elt list
+
+(** [encrypt_elt cfg ops key x] applies [f_e] and counts one [Ce]. *)
+val encrypt_elt : config -> ops -> Crypto.Commutative.key -> Group.elt -> Group.elt
+
+(** [decrypt_elt cfg ops key y] applies [f_e^-1] and counts one [Ce]. *)
+val decrypt_elt : config -> ops -> Crypto.Commutative.key -> Group.elt -> Group.elt
+
+(** [sort_encoded ss] reorders encodings lexicographically. *)
+val sort_encoded : string list -> string list
+
+(** [is_sorted ss] checks lexicographic (non-strict) order — used by the
+    security tests on transcripts. *)
+val is_sorted : string list -> bool
+
+val encode : config -> Group.elt -> string
+val decode : config -> string -> Group.elt
+
+(** [recv_tagged ep tag] receives one message and checks its tag.
+    @raise Failure on tag mismatch (protocol error). *)
+val recv_tagged : Wire.Channel.endpoint -> string -> Wire.Message.payload
+
+(** [elements_of payload] / [pairs_of payload] / [triples_of payload]
+    project a payload, raising [Failure] on shape mismatch. *)
+val elements_of : Wire.Message.payload -> string list
+
+val pairs_of : Wire.Message.payload -> (string * string) list
+val triples_of : Wire.Message.payload -> (string * string * string) list

@@ -1,0 +1,63 @@
+type op =
+  | Intersect of { s_values : string list; r_values : string list }
+  | Intersect_size of { s_values : string list; r_values : string list }
+  | Equijoin of { s_records : (string * string) list; r_values : string list }
+  | Equijoin_size of { s_values : string list; r_values : string list }
+
+type result =
+  | Values of string list
+  | Size of int
+  | Matches of (string * string list) list
+
+type report = { results : result list; total_bytes : int; ops : Protocol.ops }
+
+let run cfg ?(seed = "session") operations () =
+  let drbg = Crypto.Drbg.create ~seed in
+  let s_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"sender") in
+  let r_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"receiver") in
+  let outcome =
+    Wire.Runner.run
+      ~sender:(fun ep ->
+        Handshake.respond cfg ep;
+        List.fold_left
+          (fun acc op ->
+            let o =
+              match op with
+              | Intersect { s_values; _ } ->
+                  (Intersection.sender cfg ~rng:s_rng ~values:s_values ep).Intersection.ops
+              | Intersect_size { s_values; _ } ->
+                  (Intersection_size.sender cfg ~rng:s_rng ~values:s_values ep)
+                    .Intersection_size.ops
+              | Equijoin { s_records; _ } ->
+                  (Equijoin.sender cfg ~rng:s_rng ~records:s_records ep).Equijoin.ops
+              | Equijoin_size { s_values; _ } ->
+                  (Equijoin_size.sender cfg ~rng:s_rng ~values:s_values ep).Equijoin_size.ops
+            in
+            Protocol.total acc o)
+          (Protocol.new_ops ()) operations)
+      ~receiver:(fun ep ->
+        Handshake.initiate cfg ep;
+        List.fold_left_map
+          (fun acc op ->
+            match op with
+            | Intersect { r_values; _ } ->
+                let r = Intersection.receiver cfg ~rng:r_rng ~values:r_values ep in
+                (Protocol.total acc r.Intersection.ops, Values r.Intersection.intersection)
+            | Intersect_size { r_values; _ } ->
+                let r = Intersection_size.receiver cfg ~rng:r_rng ~values:r_values ep in
+                (Protocol.total acc r.Intersection_size.ops, Size r.Intersection_size.size)
+            | Equijoin { r_values; _ } ->
+                let r = Equijoin.receiver cfg ~rng:r_rng ~values:r_values ep in
+                (Protocol.total acc r.Equijoin.ops, Matches r.Equijoin.matches)
+            | Equijoin_size { r_values; _ } ->
+                let r = Equijoin_size.receiver cfg ~rng:r_rng ~values:r_values ep in
+                (Protocol.total acc r.Equijoin_size.ops, Size r.Equijoin_size.join_size))
+          (Protocol.new_ops ()) operations)
+  in
+  let s_ops = outcome.Wire.Runner.sender_result in
+  let r_ops, results = outcome.Wire.Runner.receiver_result in
+  {
+    results;
+    total_bytes = outcome.Wire.Runner.total_bytes;
+    ops = Protocol.total s_ops r_ops;
+  }

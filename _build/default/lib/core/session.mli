@@ -1,0 +1,34 @@
+(** Multi-query sessions: a {!Handshake} followed by any number of
+    protocol runs over a single connection.
+
+    §2.3 frames the multi-query setting (and its risks); this layer
+    provides the mechanics: both parties verify configuration agreement
+    once, then execute an agreed sequence of operations over the same
+    channel, with cumulative traffic accounting. Pair it with {!Audit}
+    to police what the sequence may reveal.
+
+    Each operation is one of the paper's protocols; the parties must
+    execute the same operation list in the same order (the protocol
+    message tags catch divergence as a protocol error). *)
+
+type op =
+  | Intersect of { s_values : string list; r_values : string list }
+  | Intersect_size of { s_values : string list; r_values : string list }
+  | Equijoin of { s_records : (string * string) list; r_values : string list }
+  | Equijoin_size of { s_values : string list; r_values : string list }
+
+type result =
+  | Values of string list
+  | Size of int
+  | Matches of (string * string list) list
+
+type report = {
+  results : result list;  (** one per op, in order — the receiver's outputs *)
+  total_bytes : int;
+  ops : Protocol.ops;  (** both parties combined *)
+}
+
+(** [run cfg ~seed ops ()] handshakes and executes [ops] sequentially
+    over one channel.
+    @raise Failure on handshake or protocol errors. *)
+val run : Protocol.config -> ?seed:string -> op list -> unit -> report

@@ -1,0 +1,68 @@
+module Message = Wire.Message
+module Group = Crypto.Group
+module Commutative = Crypto.Commutative
+
+let random_encoded cfg ~rng n =
+  List.init n (fun _ -> Protocol.encode cfg (Group.random_element cfg.Protocol.group ~rng))
+
+let intersection_sender_view cfg ~rng ~v_r_count =
+  (* "The simulator generates |V_R| random values z_i ∈r Dom F and
+     orders them lexicographically." *)
+  [
+    Message.make ~tag:"intersection/Y_R"
+      (Message.Elements (Protocol.sort_encoded (random_encoded cfg ~rng v_r_count)));
+  ]
+
+let intersection_receiver_view cfg ~rng ~y_r ~intersection ~v_s_count =
+  let tilde_e_s = Commutative.gen_key cfg.Protocol.group ~rng in
+  let ops = Protocol.new_ops () in
+  (* Step 4(a): f_~eS(h(v)) for v in the intersection, plus |V_S - V_R|
+     uniform elements. *)
+  let known =
+    Protocol.hash_values cfg ops intersection
+    |> List.map (fun (_, h) ->
+           Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group tilde_e_s h))
+  in
+  let padding = random_encoded cfg ~rng (v_s_count - List.length intersection) in
+  let y_s = Protocol.sort_encoded (known @ padding) in
+  (* Step 4(b): encrypt each (public) y R sent, preserving order. *)
+  let y_r_enc =
+    List.map
+      (fun y ->
+        Protocol.encode cfg
+          (Commutative.encrypt cfg.Protocol.group tilde_e_s (Protocol.decode cfg y)))
+      y_r
+  in
+  [
+    Message.make ~tag:"intersection/Y_S" (Message.Elements y_s);
+    Message.make ~tag:"intersection/Y_R_enc" (Message.Elements y_r_enc);
+  ]
+
+let intersection_size_receiver_view cfg ~rng ?receiver_key ~v_r_count ~v_s_count ~size () =
+  if size > Stdlib.min v_r_count v_s_count then
+    invalid_arg "Simulator.intersection_size_receiver_view: size too large"
+  else begin
+    let tilde_e_r =
+      match receiver_key with
+      | Some k -> k
+      | None -> Commutative.gen_key cfg.Protocol.group ~rng
+    in
+    (* n = |V_S ∪ V_R| random stand-ins for f_eS(h(v)); the first m are
+       Y_S, and Z_R is f_~eR of the |V_R| of them that start at
+       t = |V_S| - size (so exactly [size] are shared with Y_S). *)
+    let t = v_s_count - size in
+    let n = v_s_count + v_r_count - size in
+    let y = Array.of_list (random_encoded cfg ~rng n) in
+    let y_s = Protocol.sort_encoded (Array.to_list (Array.sub y 0 v_s_count)) in
+    let z_r =
+      Array.sub y t v_r_count |> Array.to_list
+      |> List.map (fun s ->
+             Protocol.encode cfg
+               (Commutative.encrypt cfg.Protocol.group tilde_e_r (Protocol.decode cfg s)))
+      |> Protocol.sort_encoded
+    in
+    [
+      Message.make ~tag:"intersection_size/Y_S" (Message.Elements y_s);
+      Message.make ~tag:"intersection_size/Z_R" (Message.Elements z_r);
+    ]
+  end

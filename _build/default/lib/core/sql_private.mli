@@ -1,0 +1,61 @@
+(** Private execution of SQL queries spanning two private tables — the
+    full §2.2 problem statement: "given a database query Q spanning the
+    tables in D_R and D_S, compute the answer to Q and return it to R".
+
+    [run] parses a query over the two named tables, recognizes which of
+    the paper's protocols answers it, and executes that protocol; the
+    answer comes back as an ordinary {!Minidb.Table}. Predicates local
+    to one table are applied by that table's owner before the protocol
+    (each party may filter its own rows freely); cross-table predicates
+    must be equalities and together form the (possibly composite,
+    multi-column) join key. Composite keys work for every shape except
+    GROUP BY.
+
+    Recognized shapes (R = receiver table, S = sender table):
+
+    {v
+    SELECT r.a FROM ... WHERE r.a = s.b             intersection (§3)
+    SELECT COUNT( * ) FROM ... WHERE r.a = s.b        equijoin size (§5.2)
+    SELECT SUM(s.x) FROM ... WHERE r.a = s.b        private sum (§7 ext.)
+    SELECT s.x, s.y FROM ... WHERE r.a = s.b        equijoin (§4)
+    SELECT r.c, s.d, COUNT( * ) FROM ...
+      WHERE r.a = s.b GROUP BY r.c, s.d             group-by (Fig. 2 gen.)
+    v}
+
+    Semantics note: the receiver side contributes its {e set} of join
+    values (the paper's [V_R]); rows of [R] beyond the first per value do
+    not multiply intersection/equijoin results (COUNT and SUM shapes use
+    multiset semantics via the equijoin-size and aggregation protocols
+    respectively, with SUM counting each S-row once per distinct R
+    match, i.e. R's keys deduplicated). *)
+
+type outcome = {
+  table : Minidb.Table.t;  (** the answer, as a relation *)
+  total_bytes : int;
+  ops : Protocol.ops;
+}
+
+(** [run cfg ~sql ~sender:(s_name, t_s) ~receiver:(r_name, t_r) ()]
+    parses and privately executes [sql]. Table names in the query must
+    be exactly [s_name] and [r_name] (aliases allowed). Returns
+    [Error reason] for parse errors and unsupported shapes. *)
+val run :
+  Protocol.config ->
+  ?seed:string ->
+  sql:string ->
+  sender:string * Minidb.Table.t ->
+  receiver:string * Minidb.Table.t ->
+  unit ->
+  (outcome, string) result
+
+(** [explain ~sql ~sender_name ~receiver_name] names the protocol [run]
+    would use, without executing (or an error). Unqualified column
+    references resolve only when the tables are supplied. *)
+val explain :
+  ?sender:Minidb.Table.t ->
+  ?receiver:Minidb.Table.t ->
+  sql:string ->
+  sender_name:string ->
+  receiver_name:string ->
+  unit ->
+  (string, string) result

@@ -1,0 +1,22 @@
+(* String sets and multisets used throughout the protocol modules. *)
+
+include Set.Make (String)
+
+(* Multisets as count maps. *)
+module Multi = struct
+  module M = Map.Make (String)
+
+  type t = int M.t
+
+  let of_list l =
+    List.fold_left (fun m s -> M.update s (fun n -> Some (1 + Option.value ~default:0 n)) m) M.empty l
+
+  let count m s = Option.value ~default:0 (M.find_opt s m)
+
+  (* Size of the multiset join: sum over distinct elements of the product
+     of multiplicities. *)
+  let join_size a b = M.fold (fun s na acc -> acc + (na * count b s)) a 0
+
+  let distinct m = M.bindings m |> List.map fst
+  let total m = M.fold (fun _ n acc -> acc + n) m 0
+end

@@ -1,0 +1,128 @@
+module Drbg = Crypto.Drbg
+
+(* Small deterministic helpers over a DRBG. *)
+let rand_int drbg bound =
+  assert (bound > 0);
+  let s = Drbg.generate drbg 8 in
+  let v = ref 0 in
+  String.iter (fun c -> v := (!v lsl 8) lor Char.code c) s;
+  (!v land max_int) mod bound
+
+let rand_float drbg = float_of_int (rand_int drbg 1_000_000) /. 1_000_000.
+
+let value_sets ~seed ~n_s ~n_r ~overlap =
+  if overlap > Stdlib.min n_s n_r then invalid_arg "Workload.value_sets: overlap too large"
+  else begin
+    ignore seed;
+    (* Values are synthetic tokens; the shared block appears in both. *)
+    let shared = List.init overlap (fun i -> Printf.sprintf "%s/shared/%d" seed i) in
+    let s_only = List.init (n_s - overlap) (fun i -> Printf.sprintf "%s/s-only/%d" seed i) in
+    let r_only = List.init (n_r - overlap) (fun i -> Printf.sprintf "%s/r-only/%d" seed i) in
+    (shared @ s_only, shared @ r_only)
+  end
+
+let multiset ~seed ~values ~max_dup =
+  if max_dup < 1 then invalid_arg "Workload.multiset: max_dup >= 1"
+  else begin
+    let drbg = Drbg.create ~seed:("multiset:" ^ seed) in
+    List.concat_map
+      (fun v ->
+        let d = 1 + rand_int drbg max_dup in
+        List.init d (fun _ -> v))
+      values
+  end
+
+let records_for ~seed ~values ~records_per_value ~record_bytes =
+  let drbg = Drbg.create ~seed:("records:" ^ seed) in
+  List.concat_map
+    (fun v ->
+      List.init records_per_value (fun i ->
+          let payload =
+            Printf.sprintf "%s#%d:%s" v i
+              (String.concat ""
+                 (List.init (Stdlib.max 0 (record_bytes - String.length v - 8)) (fun _ ->
+                      Printf.sprintf "%02x" (Char.code (Drbg.generate drbg 1).[0]))))
+          in
+          (v, payload)))
+    values
+
+type document = { doc_id : string; words : string list }
+
+let sample_distinct drbg ~count ~universe ~to_word =
+  (* Floyd's algorithm for a distinct sample. *)
+  let chosen = Hashtbl.create count in
+  for j = universe - count to universe - 1 do
+    let t = rand_int drbg (j + 1) in
+    if Hashtbl.mem chosen t then Hashtbl.replace chosen j () else Hashtbl.replace chosen t ()
+  done;
+  Hashtbl.fold (fun i () acc -> to_word i :: acc) chosen []
+
+let documents ~seed ~n_docs ~words_per_doc ~vocabulary ~prefix =
+  if words_per_doc > vocabulary then invalid_arg "Workload.documents: vocabulary too small"
+  else begin
+    let drbg = Drbg.create ~seed:(Printf.sprintf "docs:%s:%s" seed prefix) in
+    List.init n_docs (fun d ->
+        {
+          doc_id = Printf.sprintf "%s-%04d" prefix d;
+          words =
+            sample_distinct drbg ~count:words_per_doc ~universe:vocabulary
+              ~to_word:(Printf.sprintf "w%06d");
+        })
+  end
+
+let plant_similar_pair ~seed docs_r docs_s ~fraction_shared =
+  match (docs_r, docs_s) with
+  | [], _ | _, [] -> invalid_arg "Workload.plant_similar_pair: empty collection"
+  | dr :: rest_r, ds :: rest_s ->
+      ignore seed;
+      let n = List.length dr.words in
+      let k = int_of_float (fraction_shared *. float_of_int n) in
+      let shared = List.filteri (fun i _ -> i < k) ds.words in
+      let keep = List.filteri (fun i _ -> i >= k) dr.words in
+      ({ dr with words = shared @ keep } :: rest_r, ds :: rest_s)
+
+type medical_truth = {
+  pattern_and_reaction : int;
+  pattern_no_reaction : int;
+  no_pattern_and_reaction : int;
+  no_pattern_no_reaction : int;
+}
+
+let medical_tables ~seed ~n_patients ~p_pattern ~p_drug ~p_reaction =
+  let drbg = Drbg.create ~seed:("medical:" ^ seed) in
+  let open Minidb in
+  let r_schema = Schema.make [ Schema.col "person_id" Value.TInt; Schema.col "pattern" Value.TBool ] in
+  let s_schema =
+    Schema.make
+      [
+        Schema.col "person_id" Value.TInt;
+        Schema.col "drug" Value.TBool;
+        Schema.col "reaction" Value.TBool;
+      ]
+  in
+  let truth = ref { pattern_and_reaction = 0; pattern_no_reaction = 0;
+                    no_pattern_and_reaction = 0; no_pattern_no_reaction = 0 } in
+  let r_rows = ref [] and s_rows = ref [] in
+  for pid = 0 to n_patients - 1 do
+    let pattern = rand_float drbg < p_pattern in
+    let drug = rand_float drbg < p_drug in
+    (* Pattern carriers react three times as often: the signal the
+       researcher's hypothesis is after. *)
+    let reaction =
+      drug && rand_float drbg < (if pattern then Float.min 1. (3. *. p_reaction) else p_reaction)
+    in
+    r_rows := [| Value.Int pid; Value.Bool pattern |] :: !r_rows;
+    s_rows := [| Value.Int pid; Value.Bool drug; Value.Bool reaction |] :: !s_rows;
+    if drug then begin
+      let t = !truth in
+      truth :=
+        (match (pattern, reaction) with
+        | true, true -> { t with pattern_and_reaction = t.pattern_and_reaction + 1 }
+        | true, false -> { t with pattern_no_reaction = t.pattern_no_reaction + 1 }
+        | false, true -> { t with no_pattern_and_reaction = t.no_pattern_and_reaction + 1 }
+        | false, false -> { t with no_pattern_no_reaction = t.no_pattern_no_reaction + 1 })
+    end
+  done;
+  ( Table.create r_schema (List.rev !r_rows),
+    Table.create s_schema (List.rev !s_rows),
+    !truth )

@@ -1,0 +1,67 @@
+(** Synthetic workload generators.
+
+    The paper's evaluation uses scale parameters, not public datasets
+    (documents of ~1000 significant words; patient tables of ~10^6 ids),
+    so reproduction needs generators exposing the same knobs. Everything
+    is deterministic in the [seed]. *)
+
+(** [value_sets ~seed ~n_s ~n_r ~overlap] is [(V_S, V_R)] with
+    [|V_S| = n_s], [|V_R| = n_r] and [|V_S ∩ V_R| = overlap].
+    @raise Invalid_argument if [overlap > min n_s n_r]. *)
+val value_sets : seed:string -> n_s:int -> n_r:int -> overlap:int -> string list * string list
+
+(** [multiset ~seed ~values ~max_dup] replicates each value a
+    deterministic pseudorandom number of times in [[1, max_dup]]. *)
+val multiset : seed:string -> values:string list -> max_dup:int -> string list
+
+(** [records_for ~seed ~values ~records_per_value ~record_bytes] attaches
+    synthetic record payloads to each value (equijoin sender input). *)
+val records_for :
+  seed:string ->
+  values:string list ->
+  records_per_value:int ->
+  record_bytes:int ->
+  (string * string) list
+
+(** {1 Application 1: document corpora (§6.2.1)} *)
+
+(** A document is its set of significant words (already preprocessed in
+    the paper's abstraction). *)
+type document = { doc_id : string; words : string list }
+
+(** [documents ~seed ~n_docs ~words_per_doc ~vocabulary ~prefix]
+    generates documents by sampling [words_per_doc] distinct words from a
+    [vocabulary]-word universe. Smaller vocabularies produce higher
+    pairwise overlap. *)
+val documents :
+  seed:string -> n_docs:int -> words_per_doc:int -> vocabulary:int -> prefix:string -> document list
+
+(** [plant_similar_pair ~seed docs_r docs_s ~fraction_shared] rewrites the
+    first document of each collection so they share
+    [fraction_shared * words_per_doc] words — guaranteeing at least one
+    above-threshold pair for the demo. *)
+val plant_similar_pair :
+  seed:string -> document list -> document list -> fraction_shared:float -> document list * document list
+
+(** {1 Application 2: medical tables (Figure 2, §6.2.2)} *)
+
+(** Ground-truth cell counts for the 2x2 study table. *)
+type medical_truth = {
+  pattern_and_reaction : int;
+  pattern_no_reaction : int;
+  no_pattern_and_reaction : int;
+  no_pattern_no_reaction : int;
+}
+
+(** [medical_tables ~seed ~n_patients ~p_pattern ~p_drug ~p_reaction]
+    builds [T_R(person_id, pattern)] and [T_S(person_id, drug,
+    reaction)] over a shared id universe, plus the ground truth for
+    patients who took the drug. Reactions only occur for drug takers;
+    [p_reaction] is boosted for pattern carriers so the study has signal. *)
+val medical_tables :
+  seed:string ->
+  n_patients:int ->
+  p_pattern:float ->
+  p_drug:float ->
+  p_reaction:float ->
+  Minidb.Table.t * Minidb.Table.t * medical_truth

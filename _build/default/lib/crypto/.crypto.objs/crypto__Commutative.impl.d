@@ -1,0 +1,1 @@
+lib/crypto/commutative.ml: Bignum Group

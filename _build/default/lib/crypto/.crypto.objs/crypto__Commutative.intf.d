@@ -1,0 +1,1 @@
+lib/crypto/commutative.mli: Bignum Group

@@ -1,0 +1,1 @@
+lib/crypto/hash_to_group.ml: Bignum Buffer Char Group Printf Sha256 String

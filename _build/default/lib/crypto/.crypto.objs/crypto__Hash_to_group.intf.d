@@ -1,0 +1,1 @@
+lib/crypto/hash_to_group.mli: Group

@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Buffer Char Printf Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/perfect_cipher.ml: Bignum Char Drbg Group String

@@ -1,0 +1,18 @@
+module Nat = Bignum.Nat
+module Modular = Bignum.Modular
+
+type key = { e : Nat.t; e_inv : Nat.t }
+
+let key_of_exponent g e =
+  if Nat.is_zero e || Nat.compare e (Group.q g) >= 0 then
+    invalid_arg "Commutative.key_of_exponent: exponent outside [1, q-1]"
+  else begin
+    (* q is prime, so every nonzero exponent is invertible mod q. *)
+    let e_inv = Modular.inv_exn e (Group.q g) in
+    { e; e_inv }
+  end
+
+let gen_key g ~rng = key_of_exponent g (Group.random_exponent g ~rng)
+let exponent k = k.e
+let encrypt g k x = Group.pow g x k.e
+let decrypt g k y = Group.pow g y k.e_inv

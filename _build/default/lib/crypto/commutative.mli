@@ -1,0 +1,31 @@
+(** Commutative encryption (Definition 2 of the paper), instantiated as
+    the power cipher [f_e(x) = x^e mod p] over [QR_p] (Example 1).
+
+    Properties, each checked by the test suite:
+    {ol
+    {- commutativity: [f_e (f_e' x) = f_e' (f_e x)];}
+    {- each [f_e] is a bijection of [QR_p];}
+    {- [f_e] is invertible in polynomial time given [e]
+       (via [e^-1 mod q]);}
+    {- indistinguishability holds under DDH (not testable, but statistical
+       smoke tests are run).}} *)
+
+type key
+
+(** [gen_key g ~rng] draws a secret exponent uniformly from
+    [Key F = [1, q-1]] and precomputes its inverse. *)
+val gen_key : Group.t -> rng:Bignum.Nat_rand.rng -> key
+
+(** [key_of_exponent g e] builds a key from a fixed exponent (tests and
+    reproducible examples).
+    @raise Invalid_argument if [e] is outside [[1, q-1]] . *)
+val key_of_exponent : Group.t -> Bignum.Nat.t -> key
+
+val exponent : key -> Bignum.Nat.t
+
+(** [encrypt g k x] is [x ^ e mod p]. [x] must be in [QR_p]. *)
+val encrypt : Group.t -> key -> Group.elt -> Group.elt
+
+(** [decrypt g k y] inverts {!encrypt}: [decrypt g k (encrypt g k x) = x]
+    (Property 3). *)
+val decrypt : Group.t -> key -> Group.elt -> Group.elt

@@ -1,0 +1,30 @@
+type t = { mutable k : string; mutable v : string }
+
+let update t data =
+  t.k <- Hmac.mac_concat ~key:t.k [ t.v; "\x00"; data ];
+  t.v <- Hmac.mac ~key:t.k t.v;
+  if String.length data > 0 then begin
+    t.k <- Hmac.mac_concat ~key:t.k [ t.v; "\x01"; data ];
+    t.v <- Hmac.mac ~key:t.k t.v
+  end
+
+let create ~seed =
+  let t = { k = String.make 32 '\x00'; v = String.make 32 '\x01' } in
+  update t seed;
+  t
+
+let generate t n =
+  if n < 0 then invalid_arg "Drbg.generate: negative length"
+  else begin
+    let buf = Buffer.create n in
+    while Buffer.length buf < n do
+      t.v <- Hmac.mac ~key:t.k t.v;
+      Buffer.add_string buf t.v
+    done;
+    update t "";
+    Buffer.sub buf 0 n
+  end
+
+let reseed t ~entropy = update t entropy
+let to_rng t n = generate t n
+let split t ~label = create ~seed:(generate t 32 ^ "|" ^ label)

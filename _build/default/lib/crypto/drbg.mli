@@ -1,0 +1,26 @@
+(** Deterministic random bit generator in the style of NIST SP 800-90A
+    HMAC-DRBG (SHA-256 instantiation).
+
+    This is the only randomness source used by the protocols, which makes
+    every protocol run reproducible from its seed — essential both for
+    tests and for the benchmark harness. *)
+
+type t
+
+(** [create ~seed] instantiates a generator. Distinct seeds yield
+    independent-looking streams; equal seeds yield equal streams. *)
+val create : seed:string -> t
+
+(** [generate t n] is [n] fresh pseudorandom bytes. *)
+val generate : t -> int -> string
+
+(** [reseed t ~entropy] mixes additional entropy into the state. *)
+val reseed : t -> entropy:string -> unit
+
+(** [to_rng t] adapts [t] to the byte-supplier interface consumed by
+    [Bignum.Nat_rand]. *)
+val to_rng : t -> Bignum.Nat_rand.rng
+
+(** [split t ~label] derives an independent child generator; used to give
+    each protocol party its own stream from a test seed. *)
+val split : t -> label:string -> t

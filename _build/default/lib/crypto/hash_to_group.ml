@@ -1,0 +1,31 @@
+module Nat = Bignum.Nat
+
+let expand_bytes ~dst msg nbytes =
+  (* Counter-mode expansion: SHA256(dst || ctr_be32 || msg) blocks. *)
+  let buf = Buffer.create nbytes in
+  let ctr = ref 0 in
+  while Buffer.length buf < nbytes do
+    let ctr_bytes =
+      String.init 4 (fun i -> Char.chr ((!ctr lsr (8 * (3 - i))) land 0xff))
+    in
+    Buffer.add_string buf (Sha256.digest_concat [ dst; ctr_bytes; msg ]);
+    incr ctr
+  done;
+  Buffer.sub buf 0 nbytes
+
+let hash_value g ~domain v =
+  let p = Group.p g in
+  let nbytes = ((Group.modulus_bits g + 128) + 7) / 8 in
+  let rec attempt salt =
+    let dst = Printf.sprintf "psi:h2g:%s:%d" domain salt in
+    let y = Nat.rem (Nat.of_bytes_be (expand_bytes ~dst v nbytes)) p in
+    if Nat.is_zero y then attempt (salt + 1) (* probability ~2^-modulus_bits *)
+    else begin
+      let x = Group.mul g y y in
+      assert (Group.is_element g x);
+      x
+    end
+  in
+  attempt 0
+
+let hash g v = hash_value g ~domain:"default" v

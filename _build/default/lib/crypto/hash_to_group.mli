@@ -1,0 +1,18 @@
+(** The paper's ideal hash [h : V -> Dom F], realized as
+    expand-then-square over SHA-256.
+
+    [hash g v] expands [v] to [modulus_bits g + 128] pseudorandom bits
+    with domain-separated SHA-256 invocations, reduces modulo [p], and
+    squares — the square of a uniform nonzero residue is uniform over
+    [QR_p], the paper's requirement that hashes "look random" in [Dom F].
+
+    The collision probability analysis of §3.2.2 applies verbatim: with a
+    1024-bit-plus modulus and a million values it is around 10^-295. *)
+
+(** [hash g v] maps an arbitrary string to an element of [QR_p]. Equal
+    inputs map to equal elements across runs and parties. *)
+val hash : Group.t -> string -> Group.elt
+
+(** [hash_value g ~domain v] domain-separates [hash]: values from
+    different attributes/protocols never collide across domains. *)
+val hash_value : Group.t -> domain:string -> string -> Group.elt

@@ -1,0 +1,19 @@
+let bxor s pad =
+  String.init (String.length s) (fun i -> Char.chr (Char.code s.[i] lxor pad))
+
+let prepare_key key =
+  let key = if String.length key > Sha256.block_size then Sha256.digest key else key in
+  key ^ String.make (Sha256.block_size - String.length key) '\x00'
+
+let mac_concat ~key parts =
+  let key = prepare_key key in
+  let inner = Sha256.digest_concat (bxor key 0x36 :: parts) in
+  Sha256.digest_concat [ bxor key 0x5c; inner ]
+
+let mac ~key msg = mac_concat ~key [ msg ]
+
+let hex ~key msg =
+  let d = mac ~key msg in
+  let buf = Buffer.create 64 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** HMAC-SHA256 (RFC 2104 / FIPS 198-1), the PRF underlying {!Drbg}. *)
+
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under [key].
+    Keys of any length are accepted (hashed down if longer than one
+    block, zero-padded if shorter). *)
+val mac : key:string -> string -> string
+
+(** [mac_concat ~key parts] authenticates the concatenation of [parts]. *)
+val mac_concat : key:string -> string list -> string
+
+(** [hex ~key msg] is {!mac} in lowercase hex. *)
+val hex : key:string -> string -> string

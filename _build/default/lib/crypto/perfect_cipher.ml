@@ -1,0 +1,52 @@
+module Nat = Bignum.Nat
+module Prime = Bignum.Prime
+
+module Mul = struct
+  (* A payload m is framed as 0x01 || payload, interpreted big-endian.
+     The frame byte makes the value nonzero and preserves leading zero
+     bytes of the payload. We need 0x01 || payload < p/2 = q, hence the
+     size bound below. *)
+  let max_payload g = ((Group.modulus_bits g - 2) / 8) - 1
+
+  let encode g payload =
+    if String.length payload > max_payload g then
+      invalid_arg "Perfect_cipher.Mul.encode: payload too long"
+    else begin
+      let m = Nat.of_bytes_be ("\x01" ^ payload) in
+      assert (Nat.compare m (Group.q g) < 0);
+      if Prime.jacobi m (Group.p g) = 1 then m else Nat.sub (Group.p g) m
+    end
+
+  let decode g x =
+    if Nat.is_zero x || Nat.compare x (Group.p g) >= 0 then
+      invalid_arg "Perfect_cipher.Mul.decode: out of range"
+    else begin
+      let m = Nat.min x (Nat.sub (Group.p g) x) in
+      let s = Nat.to_bytes_be m in
+      if String.length s < 1 || s.[0] <> '\x01' then
+        invalid_arg "Perfect_cipher.Mul.decode: bad frame"
+      else String.sub s 1 (String.length s - 1)
+    end
+
+  let encrypt g ~key payload = Group.mul g key (encode g payload)
+  let decrypt g ~key c = decode g (Group.mul g (Group.inv_elt g key) c)
+end
+
+module Stream = struct
+  let keystream g ~key n =
+    let drbg = Drbg.create ~seed:("psi:K:stream:" ^ Group.encode_elt g key) in
+    Drbg.generate drbg n
+
+  let encrypt g ~key payload =
+    let ks = keystream g ~key (String.length payload) in
+    String.init (String.length payload) (fun i ->
+        Char.chr (Char.code payload.[i] lxor Char.code ks.[i]))
+
+  let decrypt = encrypt
+end
+
+type scheme = Mul_cipher | Stream_cipher
+
+let scheme_to_string = function
+  | Mul_cipher -> "mul"
+  | Stream_cipher -> "stream"

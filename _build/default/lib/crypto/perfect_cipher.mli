@@ -1,0 +1,50 @@
+(** The extra-information cipher [K : Dom F x V_ext -> C_ext] of §4.2.
+
+    Two instantiations are provided:
+
+    - {!Mul} is exactly the paper's Example 2: [K_kappa(ext) = kappa *
+      ext] over [QR_p], information-theoretically secret for a uniform
+      [kappa]. Payloads must fit in one group element.
+    - {!Stream} XORs the payload with a keystream derived from [kappa]
+      by HMAC-DRBG — computationally secret in the random-oracle model,
+      but free of the length limit, so realistic multi-record [ext(v)]
+      payloads work. The equijoin protocol is parametric in which one is
+      used.
+
+    Payload encoding for {!Mul} exploits safe primes: [p = 3 (mod 4)], so
+    [-1] is a non-residue and exactly one of [x, p-x] is in [QR_p]; a
+    payload [m < p/2] is stored as whichever of [m, p-m] is a residue and
+    recovered as [min(x, p-x)]. *)
+
+module Mul : sig
+  (** [max_payload g] is the largest payload length in bytes. *)
+  val max_payload : Group.t -> int
+
+  (** [encode g payload] injects a payload into [QR_p].
+      @raise Invalid_argument if longer than [max_payload]. *)
+  val encode : Group.t -> string -> Group.elt
+
+  (** [decode g x] inverts {!encode}.
+      @raise Invalid_argument if [x] is not a valid encoding. *)
+  val decode : Group.t -> Group.elt -> string
+
+  (** [encrypt g ~key payload] is [key * encode payload mod p]. *)
+  val encrypt : Group.t -> key:Group.elt -> string -> Group.elt
+
+  (** [decrypt g ~key c] is [decode (key^-1 * c)]. *)
+  val decrypt : Group.t -> key:Group.elt -> Group.elt -> string
+end
+
+module Stream : sig
+  (** [encrypt g ~key payload] XORs [payload] with a keystream derived
+      from the group element [key]. Involutive: applying it twice with
+      the same key returns the payload. *)
+  val encrypt : Group.t -> key:Group.elt -> string -> string
+
+  val decrypt : Group.t -> key:Group.elt -> string -> string
+end
+
+(** Which instantiation a protocol should use. *)
+type scheme = Mul_cipher | Stream_cipher
+
+val scheme_to_string : scheme -> string

@@ -1,0 +1,1 @@
+lib/minidb/csv.ml: Array Buffer Fun List Printf Schema String Table Value

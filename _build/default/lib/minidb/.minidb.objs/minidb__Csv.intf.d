@@ -1,0 +1,1 @@
+lib/minidb/csv.mli: Table

@@ -1,0 +1,1 @@
+lib/minidb/relop.ml: Array Hashtbl List Option Schema Set Stdlib String Table Value

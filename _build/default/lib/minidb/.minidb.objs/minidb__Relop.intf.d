@@ -1,0 +1,1 @@
+lib/minidb/relop.mli: Table Value

@@ -1,0 +1,1 @@
+lib/minidb/schema.ml: Format Hashtbl List Printf String Value

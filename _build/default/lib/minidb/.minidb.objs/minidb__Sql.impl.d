@@ -1,0 +1,1 @@
+lib/minidb/sql.ml: Array Buffer Format Hashtbl List Option Printf Relop Schema String Table Value

@@ -1,0 +1,1 @@
+lib/minidb/sql.mli: Format Table Value

@@ -1,0 +1,1 @@
+lib/minidb/storage.ml: Array Buffer Char Fun Hashtbl List Schema String Sys Table Unix Value

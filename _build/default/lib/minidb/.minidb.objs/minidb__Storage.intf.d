@@ -1,0 +1,1 @@
+lib/minidb/storage.mli: Schema Table

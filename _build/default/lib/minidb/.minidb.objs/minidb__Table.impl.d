@@ -1,0 +1,1 @@
+lib/minidb/table.ml: Array Format Hashtbl List Option Printf Schema Set String Value

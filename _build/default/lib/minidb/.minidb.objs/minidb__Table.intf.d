@@ -1,0 +1,1 @@
+lib/minidb/table.mli: Format Schema Value

@@ -1,0 +1,1 @@
+lib/minidb/value.ml: Bool Float Format Int Printf String

@@ -1,0 +1,146 @@
+(* RFC 4180-style records: fields separated by commas, quoted with double
+   quotes when they contain commas/quotes/newlines, quotes escaped by
+   doubling. *)
+
+let split_records s =
+  (* Split into records honoring quoted newlines. *)
+  let records = ref [] in
+  let cur = Buffer.create 64 in
+  let in_quotes = ref false in
+  let flush () =
+    records := Buffer.contents cur :: !records;
+    Buffer.clear cur
+  in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '"' ->
+          in_quotes := not !in_quotes;
+          Buffer.add_char cur c
+      | '\n' when not !in_quotes ->
+          (* Tolerate \r\n. *)
+          if Buffer.length cur > 0 && Buffer.nth cur (Buffer.length cur - 1) = '\r' then begin
+            let s' = Buffer.sub cur 0 (Buffer.length cur - 1) in
+            Buffer.clear cur;
+            Buffer.add_string cur s'
+          end;
+          flush ()
+      | _ ->
+          ignore i;
+          Buffer.add_char cur c)
+    s;
+  if Buffer.length cur > 0 then flush ();
+  List.rev (List.filter (fun r -> r <> "") !records)
+
+let split_fields record =
+  let fields = ref [] in
+  let cur = Buffer.create 32 in
+  let n = String.length record in
+  let i = ref 0 in
+  let flush () =
+    fields := Buffer.contents cur :: !fields;
+    Buffer.clear cur
+  in
+  while !i < n do
+    (match record.[!i] with
+    | '"' ->
+        (* Quoted field: consume to the closing quote. *)
+        incr i;
+        let fin = ref false in
+        while not !fin do
+          if !i >= n then invalid_arg "Csv: unterminated quote"
+          else if record.[!i] = '"' then
+            if !i + 1 < n && record.[!i + 1] = '"' then begin
+              Buffer.add_char cur '"';
+              i := !i + 1
+            end
+            else fin := true
+          else Buffer.add_char cur record.[!i];
+          incr i
+        done;
+        i := !i - 1
+    | ',' -> flush ()
+    | c -> Buffer.add_char cur c);
+    incr i
+  done;
+  flush ();
+  List.rev !fields
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let parse_header fields =
+  Schema.make
+    (List.map
+       (fun f ->
+         match String.index_opt f ':' with
+         | None -> invalid_arg ("Csv: header field missing type: " ^ f)
+         | Some i ->
+             let name = String.sub f 0 i in
+             let rest = String.sub f (i + 1) (String.length f - i - 1) in
+             let nullable = String.length rest > 0 && rest.[String.length rest - 1] = '?' in
+             let ty_s = if nullable then String.sub rest 0 (String.length rest - 1) else rest in
+             Schema.col ~nullable name (Value.ty_of_string ty_s))
+       fields)
+
+let parse_string s =
+  match split_records s with
+  | [] -> invalid_arg "Csv: empty document"
+  | header :: body ->
+      let schema = parse_header (split_fields header) in
+      let cols = Schema.columns schema in
+      let rows =
+        List.map
+          (fun record ->
+            let fields = split_fields record in
+            if List.length fields <> List.length cols then
+              invalid_arg ("Csv: wrong field count in record: " ^ record)
+            else
+              Array.of_list
+                (List.map2 (fun (c : Schema.column) f -> Value.of_string c.ty f) cols fields))
+          body
+      in
+      Table.create schema rows
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let cols = Schema.columns (Table.schema t) in
+  Buffer.add_string buf
+    (String.concat ","
+       (List.map
+          (fun (c : Schema.column) ->
+            Printf.sprintf "%s:%s%s" c.name (Value.ty_to_string c.ty)
+              (if c.nullable then "?" else ""))
+          cols));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (String.concat ","
+           (List.map quote_field (Array.to_list (Array.map Value.to_string r))));
+      Buffer.add_char buf '\n')
+    (Table.rows t);
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
+
+let save path t =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))

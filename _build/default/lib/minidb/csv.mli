@@ -1,0 +1,15 @@
+(** Minimal CSV reader/writer (RFC 4180 quoting) so the CLI can load
+    real tables.
+
+    The first line must be a header of [name:type] pairs, e.g.
+    [id:int,name:text,score:float]. *)
+
+(** [parse_string s] parses a CSV document into a table.
+    @raise Invalid_argument on malformed input. *)
+val parse_string : string -> Table.t
+
+(** [to_string t] renders a table (with typed header) as CSV. *)
+val to_string : Table.t -> string
+
+val load : string -> Table.t
+val save : string -> Table.t -> unit

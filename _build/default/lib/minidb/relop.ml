@@ -1,0 +1,120 @@
+let select p t = Table.create (Table.schema t) (List.filter (p t) (Table.rows t))
+let select_eq t col v = select (fun t r -> Value.equal (Table.get t r col) v) t
+
+let project t cols =
+  let schema = Table.schema t in
+  let idxs = List.map (Schema.index_of schema) cols in
+  let out_schema =
+    Schema.make
+      (List.map
+         (fun name ->
+           let c =
+             List.nth (Schema.columns schema) (Schema.index_of schema name)
+           in
+           c)
+         cols)
+  in
+  Table.create out_schema
+    (List.map (fun r -> Array.of_list (List.map (fun i -> r.(i)) idxs)) (Table.rows t))
+
+let distinct t =
+  let module RS = Set.Make (struct
+    type t = Value.t array
+
+    let compare a b =
+      let rec go i =
+        if i = Array.length a then 0
+        else begin
+          let c = Value.compare a.(i) b.(i) in
+          if c <> 0 then c else go (i + 1)
+        end
+      in
+      Stdlib.compare (Array.length a) (Array.length b)
+      |> fun c -> if c <> 0 then c else go 0
+  end) in
+  Table.create (Table.schema t) (RS.elements (RS.of_list (Table.rows t)))
+
+let equijoin l r ~on:(lc, rc) =
+  let ls = Schema.rename_with_prefix (Table.schema l) "l" in
+  let rs = Schema.rename_with_prefix (Table.schema r) "r" in
+  let out_schema = Schema.concat ls rs in
+  let idx = Hashtbl.create (Table.cardinality r) in
+  List.iter
+    (fun row ->
+      let v = Table.get r row rc in
+      if v <> Value.Null then Hashtbl.add idx (Value.key v) row)
+    (Table.rows r);
+  let out =
+    List.concat_map
+      (fun lrow ->
+        let v = Table.get l lrow lc in
+        if v = Value.Null then []
+        else
+          List.map
+            (fun rrow -> Array.append lrow rrow)
+            (Hashtbl.find_all idx (Value.key v)))
+      (Table.rows l)
+  in
+  Table.create out_schema out
+
+let equijoin_size l r ~on:(lc, rc) =
+  let counts = Hashtbl.create (Table.cardinality r) in
+  List.iter
+    (fun row ->
+      let v = Table.get r row rc in
+      if v <> Value.Null then begin
+        let k = Value.key v in
+        Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+      end)
+    (Table.rows r);
+  List.fold_left
+    (fun acc lrow ->
+      let v = Table.get l lrow lc in
+      if v = Value.Null then acc
+      else acc + Option.value ~default:0 (Hashtbl.find_opt counts (Value.key v)))
+    0 (Table.rows l)
+
+let cross l r =
+  let ls = Schema.rename_with_prefix (Table.schema l) "l" in
+  let rs = Schema.rename_with_prefix (Table.schema r) "r" in
+  let out_schema = Schema.concat ls rs in
+  Table.create out_schema
+    (List.concat_map
+       (fun lrow -> List.map (fun rrow -> Array.append lrow rrow) (Table.rows r))
+       (Table.rows l))
+
+let intersect_values l r ~on:(lc, rc) =
+  let module VS = Set.Make (struct
+    type t = Value.t
+
+    let compare = Value.compare
+  end) in
+  let vl = VS.of_list (Table.distinct_values l lc) in
+  let vr = VS.of_list (Table.distinct_values r rc) in
+  VS.elements (VS.inter vl vr)
+
+let group_count t cols =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let k = List.map (fun c -> Table.get t r c) cols in
+      let ks = String.concat "\x00" (List.map Value.key k) in
+      match Hashtbl.find_opt tbl ks with
+      | Some (k', n) -> Hashtbl.replace tbl ks (k', n + 1)
+      | None -> Hashtbl.add tbl ks (k, 1))
+    (Table.rows t);
+  Hashtbl.fold (fun _ kn acc -> kn :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> List.compare Value.compare a b)
+
+let order_by t cols =
+  let idxs = List.map (Schema.index_of (Table.schema t)) cols in
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | i :: tl ->
+          let c = Value.compare a.(i) b.(i) in
+          if c <> 0 then c else go tl
+    in
+    go idxs
+  in
+  Table.create (Table.schema t) (List.sort cmp (Table.rows t))

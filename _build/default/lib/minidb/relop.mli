@@ -1,0 +1,42 @@
+(** Relational operators over {!Table}.
+
+    This is the plaintext reference engine: the applications run their
+    queries both through the private protocols and through these
+    operators, and the test suite checks the answers coincide. *)
+
+(** [select p t] keeps the rows satisfying [p]. *)
+val select : (Table.t -> Table.row -> bool) -> Table.t -> Table.t
+
+(** [select_eq t col v] keeps rows with [col = v]. *)
+val select_eq : Table.t -> string -> Value.t -> Table.t
+
+(** [project t cols] reorders/restricts columns.
+    @raise Not_found if a column is absent. *)
+val project : Table.t -> string list -> Table.t
+
+(** [distinct t] removes duplicate rows (order not preserved). *)
+val distinct : Table.t -> Table.t
+
+(** [equijoin l r ~on:(lc, rc)] is the hash equijoin of [l] and [r] on
+    [l.lc = r.rc]. Output columns are prefixed ["l."] and ["r."].
+    [Null] never joins. *)
+val equijoin : Table.t -> Table.t -> on:string * string -> Table.t
+
+(** [equijoin_size l r ~on] is [|l >< r|] without materializing it. *)
+val equijoin_size : Table.t -> Table.t -> on:string * string -> int
+
+(** [cross l r] is the Cartesian product, with output columns prefixed
+    ["l."] and ["r."] like {!equijoin}. *)
+val cross : Table.t -> Table.t -> Table.t
+
+(** [intersect_values l r ~on:(lc, rc)] is the sorted set
+    [V_l ∩ V_r] of join-attribute values — the paper's intersection
+    query, computed in plaintext. *)
+val intersect_values : Table.t -> Table.t -> on:string * string -> Value.t list
+
+(** [group_count t cols] maps each distinct tuple of [cols] to its row
+    count (SQL's [GROUP BY cols] with [count]), sorted by key. *)
+val group_count : Table.t -> string list -> (Value.t list * int) list
+
+(** [order_by t cols] sorts rows lexicographically by [cols]. *)
+val order_by : Table.t -> string list -> Table.t

@@ -1,0 +1,40 @@
+type column = { name : string; ty : Value.ty; nullable : bool }
+type t = column list
+
+let make cols =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      if c.name = "" then invalid_arg "Schema.make: empty column name"
+      else if Hashtbl.mem seen c.name then
+        invalid_arg ("Schema.make: duplicate column: " ^ c.name)
+      else Hashtbl.add seen c.name ())
+    cols;
+  cols
+
+let col ?(nullable = false) name ty = { name; ty; nullable }
+let columns s = s
+let arity = List.length
+
+let index_of s name =
+  let rec go i = function
+    | [] -> raise Not_found
+    | c :: _ when c.name = name -> i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 s
+
+let mem s name = List.exists (fun c -> c.name = name) s
+let column_type s name = (List.nth s (index_of s name)).ty
+let rename_with_prefix s prefix = List.map (fun c -> { c with name = prefix ^ "." ^ c.name }) s
+let concat a b = make (a @ b)
+let equal a b = a = b
+
+let pp fmt s =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", "
+       (List.map
+          (fun c ->
+            Printf.sprintf "%s %s%s" c.name (Value.ty_to_string c.ty)
+              (if c.nullable then "?" else ""))
+          s))

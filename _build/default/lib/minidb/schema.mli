@@ -1,0 +1,33 @@
+(** Table schemas: ordered, uniquely named, typed columns. *)
+
+type column = { name : string; ty : Value.ty; nullable : bool }
+
+type t
+
+(** [make cols] validates that column names are distinct and non-empty.
+    @raise Invalid_argument otherwise. *)
+val make : column list -> t
+
+(** [col ?nullable name ty] is a column (non-nullable by default). *)
+val col : ?nullable:bool -> string -> Value.ty -> column
+
+val columns : t -> column list
+val arity : t -> int
+
+(** [index_of s name] is the position of column [name].
+    @raise Not_found if absent. *)
+val index_of : t -> string -> int
+
+val mem : t -> string -> bool
+val column_type : t -> string -> Value.ty
+
+(** [rename_with_prefix s prefix] prefixes every column name with
+    [prefix ^ "."] (used to disambiguate join outputs). *)
+val rename_with_prefix : t -> string -> t
+
+(** [concat a b] appends the columns of [b] to those of [a].
+    @raise Invalid_argument on name collision. *)
+val concat : t -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,295 @@
+(* Log-structured store. Record framing:
+     u32 body_length | body | u32 adler32(body)
+   replay stops at EOF, a short read, or a checksum mismatch. *)
+
+let magic = "MDB1"
+
+type t = {
+  file_path : string;
+  mutable oc : out_channel option; (* append handle; None after close *)
+  tables : (string, Table.t) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Checksum                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let adler32 s =
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod 65521;
+      b := (!b + !a) mod 65521)
+    s;
+  (!b lsl 16) lor !a
+
+(* ------------------------------------------------------------------ *)
+(* Body encoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let w_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xff))
+
+let w_u32 buf n =
+  for i = 3 downto 0 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xff))
+  done
+
+let rec w_varint buf n =
+  if n < 0x80 then Buffer.add_char buf (Char.chr n)
+  else begin
+    Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+    w_varint buf (n lsr 7)
+  end
+
+let w_bytes buf s =
+  w_varint buf (String.length s);
+  Buffer.add_string buf s
+
+type reader = { s : string; mutable pos : int }
+
+exception Short
+
+let r_u8 r =
+  if r.pos >= String.length r.s then raise Short
+  else begin
+    let v = Char.code r.s.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+  end
+
+let r_varint r =
+  let rec go shift acc =
+    let b = r_u8 r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let r_bytes r =
+  let n = r_varint r in
+  if r.pos + n > String.length r.s then raise Short
+  else begin
+    let v = String.sub r.s r.pos n in
+    r.pos <- r.pos + n;
+    v
+  end
+
+(* Record kinds. *)
+let k_create = 1
+let k_insert = 2
+let k_drop = 3
+
+let encode_schema buf schema =
+  let cols = Schema.columns schema in
+  w_varint buf (List.length cols);
+  List.iter
+    (fun (c : Schema.column) ->
+      w_bytes buf c.Schema.name;
+      w_bytes buf (Value.ty_to_string c.Schema.ty);
+      w_u8 buf (if c.Schema.nullable then 1 else 0))
+    cols
+
+let decode_schema r =
+  let n = r_varint r in
+  let rec go i acc =
+    if i = n then Schema.make (List.rev acc)
+    else begin
+      let name = r_bytes r in
+      let ty = Value.ty_of_string (r_bytes r) in
+      let nullable = r_u8 r = 1 in
+      go (i + 1) (Schema.col ~nullable name ty :: acc)
+    end
+  in
+  go 0 []
+
+let encode_rows buf rows =
+  w_varint buf (List.length rows);
+  List.iter
+    (fun row ->
+      w_varint buf (Array.length row);
+      Array.iter (fun v -> w_bytes buf (Value.key v)) row)
+    rows
+
+let decode_rows r =
+  let n = r_varint r in
+  let rec go i acc =
+    if i = n then List.rev acc
+    else begin
+      let arity = r_varint r in
+      let row = Array.make arity Value.Null in
+      for j = 0 to arity - 1 do
+        row.(j) <- Value.of_key (r_bytes r)
+      done;
+      go (i + 1) (row :: acc)
+    end
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* State transitions (shared by replay and live mutation)              *)
+(* ------------------------------------------------------------------ *)
+
+let apply_create tables name schema =
+  if name = "" then invalid_arg "Storage: empty table name"
+  else if Hashtbl.mem tables name then
+    invalid_arg ("Storage: table already exists: " ^ name)
+  else Hashtbl.replace tables name (Table.empty schema)
+
+let apply_insert tables name rows =
+  match Hashtbl.find_opt tables name with
+  | None -> raise Not_found
+  | Some t -> Hashtbl.replace tables name (Table.append t rows)
+
+let apply_drop tables name =
+  if not (Hashtbl.mem tables name) then raise Not_found
+  else Hashtbl.remove tables name
+
+(* ------------------------------------------------------------------ *)
+(* Log IO                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let append_record t body =
+  match t.oc with
+  | None -> invalid_arg "Storage: database is closed"
+  | Some oc ->
+      let buf = Buffer.create (String.length body + 8) in
+      w_u32 buf (String.length body);
+      Buffer.add_string buf body;
+      w_u32 buf (adler32 body);
+      output_string oc (Buffer.contents buf);
+      flush oc
+
+let body_of_create name schema =
+  let buf = Buffer.create 64 in
+  w_u8 buf k_create;
+  w_bytes buf name;
+  encode_schema buf schema;
+  Buffer.contents buf
+
+let body_of_insert name rows =
+  let buf = Buffer.create 256 in
+  w_u8 buf k_insert;
+  w_bytes buf name;
+  encode_rows buf rows;
+  Buffer.contents buf
+
+let body_of_drop name =
+  let buf = Buffer.create 32 in
+  w_u8 buf k_drop;
+  w_bytes buf name;
+  Buffer.contents buf
+
+let apply_body tables body =
+  let r = { s = body; pos = 0 } in
+  let kind = r_u8 r in
+  if kind = k_create then begin
+    let name = r_bytes r in
+    apply_create tables name (decode_schema r)
+  end
+  else if kind = k_insert then begin
+    let name = r_bytes r in
+    apply_insert tables name (decode_rows r)
+  end
+  else if kind = k_drop then apply_drop tables (r_bytes r)
+  else invalid_arg "Storage: unknown record kind"
+
+(* Replay: returns the byte offset of the valid prefix. *)
+let replay path tables =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let hdr = really_input_string ic (String.length magic) in
+      if hdr <> magic then invalid_arg "Storage: not a minidb database file"
+      else begin
+        let valid = ref (String.length magic) in
+        (try
+           while pos_in ic < len do
+             if len - pos_in ic < 4 then raise Short;
+             let blen =
+               let b = really_input_string ic 4 in
+               (Char.code b.[0] lsl 24) lor (Char.code b.[1] lsl 16)
+               lor (Char.code b.[2] lsl 8) lor Char.code b.[3]
+             in
+             if len - pos_in ic < blen + 4 then raise Short;
+             let body = really_input_string ic blen in
+             let csum =
+               let b = really_input_string ic 4 in
+               (Char.code b.[0] lsl 24) lor (Char.code b.[1] lsl 16)
+               lor (Char.code b.[2] lsl 8) lor Char.code b.[3]
+             in
+             if csum <> adler32 body then raise Short;
+             apply_body tables body;
+             valid := pos_in ic
+           done
+         with Short | End_of_file -> ());
+        !valid
+      end)
+
+let open_db file_path =
+  let tables = Hashtbl.create 8 in
+  let valid =
+    if Sys.file_exists file_path then replay file_path tables
+    else begin
+      let oc = open_out_bin file_path in
+      output_string oc magic;
+      close_out oc;
+      String.length magic
+    end
+  in
+  (* Truncate any torn tail, then reopen for appending. *)
+  let fd = Unix.openfile file_path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd valid;
+  Unix.close fd;
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 file_path in
+  { file_path; oc = Some oc; tables }
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      close_out oc;
+      t.oc <- None
+
+let path t = t.file_path
+
+let create_table t name schema =
+  apply_create t.tables name schema;
+  append_record t (body_of_create name schema)
+
+let insert t name rows =
+  apply_insert t.tables name rows;
+  append_record t (body_of_insert name rows)
+
+let drop_table t name =
+  apply_drop t.tables name;
+  append_record t (body_of_drop name)
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with Some tbl -> tbl | None -> raise Not_found
+
+let tables t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [] |> List.sort String.compare
+
+let checkpoint t =
+  let tmp = t.file_path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc magic;
+  let write_record body =
+    let buf = Buffer.create (String.length body + 8) in
+    w_u32 buf (String.length body);
+    Buffer.add_string buf body;
+    w_u32 buf (adler32 body);
+    output_string oc (Buffer.contents buf)
+  in
+  List.iter
+    (fun name ->
+      let tbl = Hashtbl.find t.tables name in
+      write_record (body_of_create name (Table.schema tbl));
+      if Table.cardinality tbl > 0 then write_record (body_of_insert name (Table.rows tbl)))
+    (tables t);
+  close_out oc;
+  (match t.oc with Some oc -> close_out oc | None -> ());
+  Sys.rename tmp t.file_path;
+  t.oc <- Some (open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 t.file_path)

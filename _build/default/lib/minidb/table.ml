@@ -1,0 +1,67 @@
+type row = Value.t array
+type t = { schema : Schema.t; rows : row list }
+
+let typecheck schema r =
+  let cols = Schema.columns schema in
+  if Array.length r <> List.length cols then
+    invalid_arg "Table: row arity does not match schema"
+  else
+    List.iteri
+      (fun i (c : Schema.column) ->
+        if not (Value.conforms r.(i) c.ty ~nullable:c.nullable) then
+          invalid_arg
+            (Printf.sprintf "Table: value %s does not conform to column %s %s"
+               (Value.to_string r.(i)) c.name
+               (Value.ty_to_string c.ty)))
+      cols
+
+let create schema rows =
+  List.iter (typecheck schema) rows;
+  { schema; rows }
+
+let empty schema = { schema; rows = [] }
+let schema t = t.schema
+let rows t = t.rows
+let cardinality t = List.length t.rows
+
+let append t new_rows =
+  List.iter (typecheck t.schema) new_rows;
+  { t with rows = t.rows @ new_rows }
+
+let get t r name = r.(Schema.index_of t.schema name)
+let column_values t name = List.map (fun r -> get t r name) t.rows
+
+let distinct_values t name =
+  let module VS = Set.Make (struct
+    type nonrec t = Value.t
+
+    let compare = Value.compare
+  end) in
+  column_values t name
+  |> List.filter (fun v -> v <> Value.Null)
+  |> VS.of_list |> VS.elements
+
+let duplicate_distribution t name =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      if v <> Value.Null then
+        Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
+    (column_values t name);
+  Hashtbl.fold (fun v n acc -> (v, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
+
+let ext t name v = List.filter (fun r -> Value.equal (get t r name) v) t.rows
+
+let equal a b =
+  Schema.equal a.schema b.schema
+  && List.length a.rows = List.length b.rows
+  && List.for_all2 (fun x y -> Array.for_all2 Value.equal x y) a.rows b.rows
+
+let pp fmt t =
+  Format.fprintf fmt "%a@." Schema.pp t.schema;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "| %s |@."
+        (String.concat " | " (Array.to_list (Array.map Value.to_string r))))
+    t.rows

@@ -1,0 +1,43 @@
+(** In-memory relations: a schema plus typed rows.
+
+    Tables are immutable; operations in {!Relop} return new tables. Rows
+    are arrays of {!Value.t} in schema column order. *)
+
+type row = Value.t array
+
+type t
+
+(** [create schema rows] type-checks every row against [schema].
+    @raise Invalid_argument on arity or type mismatch. *)
+val create : Schema.t -> row list -> t
+
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+val rows : t -> row list
+val cardinality : t -> int
+
+(** [append t rows] is [t] with [rows] added (type-checked). *)
+val append : t -> row list -> t
+
+(** [get t row name] is the value of column [name] in [row].
+    @raise Not_found if the column is absent. *)
+val get : t -> row -> string -> Value.t
+
+(** [column_values t name] is the values of column [name] in row order,
+    duplicates preserved. *)
+val column_values : t -> string -> Value.t list
+
+(** [distinct_values t name] is the sorted set of values in column
+    [name], [Null] excluded — the paper's [V_S]/[V_R] for attribute
+    [name]. *)
+val distinct_values : t -> string -> Value.t list
+
+(** [duplicate_distribution t name] maps each distinct non-null value to
+    its multiplicity — §5.2's "distribution of duplicates". *)
+val duplicate_distribution : t -> string -> (Value.t * int) list
+
+(** [ext t name v] is all rows with [name = v] — the paper's [ext(v)]. *)
+val ext : t -> string -> Value.t -> row list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+type ty = TBool | TInt | TFloat | TText
+type t = Null | Bool of bool | Int of int | Float of float | Text of string
+
+let type_of = function
+  | Null -> None
+  | Bool _ -> Some TBool
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Text _ -> Some TText
+
+let conforms v ty ~nullable =
+  match type_of v with None -> nullable | Some t -> t = ty
+
+let rank = function Null -> 0 | Bool _ -> 1 | Int _ -> 2 | Float _ -> 3 | Text _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Text x, Text y -> String.compare x y
+  | (Null | Bool _ | Int _ | Float _ | Text _), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Null -> ""
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Text s -> s
+
+let of_string ty s =
+  if s = "" then Null
+  else
+    match ty with
+    | TBool -> (
+        match String.lowercase_ascii s with
+        | "true" | "t" | "1" -> Bool true
+        | "false" | "f" | "0" -> Bool false
+        | _ -> invalid_arg ("Value.of_string: bad bool: " ^ s))
+    | TInt -> (
+        match int_of_string_opt s with
+        | Some i -> Int i
+        | None -> invalid_arg ("Value.of_string: bad int: " ^ s))
+    | TFloat -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> invalid_arg ("Value.of_string: bad float: " ^ s))
+    | TText -> Text s
+
+let ty_to_string = function
+  | TBool -> "bool"
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TText -> "text"
+
+let ty_of_string = function
+  | "bool" -> TBool
+  | "int" -> TInt
+  | "float" -> TFloat
+  | "text" -> TText
+  | s -> invalid_arg ("Value.ty_of_string: unknown type: " ^ s)
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let key = function
+  | Null -> "N"
+  | Bool b -> if b then "B1" else "B0"
+  | Int i -> "I" ^ string_of_int i
+  | Float f -> "F" ^ string_of_float f
+  | Text s -> "T" ^ s
+
+let of_key s =
+  let rest () = String.sub s 1 (String.length s - 1) in
+  if s = "N" then Null
+  else if s = "B1" then Bool true
+  else if s = "B0" then Bool false
+  else if String.length s < 1 then invalid_arg "Value.of_key: empty"
+  else
+    match s.[0] with
+    | 'I' -> (
+        match int_of_string_opt (rest ()) with
+        | Some i -> Int i
+        | None -> invalid_arg ("Value.of_key: bad int key: " ^ s))
+    | 'F' -> (
+        match float_of_string_opt (rest ()) with
+        | Some f -> Float f
+        | None -> invalid_arg ("Value.of_key: bad float key: " ^ s))
+    | 'T' -> Text (rest ())
+    | _ -> invalid_arg ("Value.of_key: unknown tag: " ^ s)

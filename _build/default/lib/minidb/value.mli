@@ -1,0 +1,39 @@
+(** Typed scalar values for the relational substrate. *)
+
+type ty = TBool | TInt | TFloat | TText
+
+type t = Null | Bool of bool | Int of int | Float of float | Text of string
+
+(** [type_of v] is [None] for [Null]. *)
+val type_of : t -> ty option
+
+(** [conforms v ty ~nullable] checks that [v] may inhabit a column of
+    type [ty]. *)
+val conforms : t -> ty -> nullable:bool -> bool
+
+(** Total order: [Null] sorts first, then by type, then by value. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+(** [of_string ty s] parses a value of type [ty]; the literal [""] is
+    [Null].
+    @raise Invalid_argument on unparsable input. *)
+val of_string : ty -> string -> t
+
+val ty_to_string : ty -> string
+
+(** [ty_of_string s] inverts {!ty_to_string}.
+    @raise Invalid_argument on unknown names. *)
+val ty_of_string : string -> ty
+
+val pp : Format.formatter -> t -> unit
+
+(** [key v] is a canonical string encoding, injective per type, suitable
+    as the join attribute fed into the PSI protocols. *)
+val key : t -> string
+
+(** [of_key s] inverts {!key}.
+    @raise Invalid_argument on strings not produced by {!key}. *)
+val of_key : string -> t

@@ -1,0 +1,1 @@
+lib/wire/channel.ml: Condition List Message Mutex Queue String

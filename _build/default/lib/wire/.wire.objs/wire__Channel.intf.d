@@ -1,0 +1,1 @@
+lib/wire/channel.mli: Message

@@ -1,0 +1,1 @@
+lib/wire/message.ml: Buf Format List Printf String

@@ -1,0 +1,1 @@
+lib/wire/runner.ml: Channel Message Thread

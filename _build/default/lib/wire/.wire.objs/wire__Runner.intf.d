@@ -1,0 +1,1 @@
+lib/wire/runner.mli: Channel Message

@@ -1,0 +1,43 @@
+(** Binary serialization: a writer over [Buffer] and a bounds-checked
+    reader over [string].
+
+    All protocol messages cross the channel as bytes produced and parsed
+    by this module, so the byte counts reported by {!Channel} are the
+    real communication cost (the paper's §6.1 communication analysis). *)
+
+(** {1 Writer} *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+val write_u8 : writer -> int -> unit
+val write_u32 : writer -> int -> unit
+
+(** [write_varint w n] writes a non-negative integer in LEB128. *)
+val write_varint : writer -> int -> unit
+
+(** [write_bytes w s] writes a varint length prefix then the raw bytes. *)
+val write_bytes : writer -> string -> unit
+
+(** [write_raw w s] writes the raw bytes with no prefix. *)
+val write_raw : writer -> string -> unit
+
+(** {1 Reader} *)
+
+type reader
+
+exception Parse_error of string
+
+val reader : string -> reader
+val read_u8 : reader -> int
+val read_u32 : reader -> int
+val read_varint : reader -> int
+val read_bytes : reader -> string
+val read_raw : reader -> int -> string
+
+(** [at_end r] is true when all input has been consumed. *)
+val at_end : reader -> bool
+
+(** [expect_end r] raises {!Parse_error} unless {!at_end}. *)
+val expect_end : reader -> unit

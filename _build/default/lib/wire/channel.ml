@@ -1,0 +1,103 @@
+type shared = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : string Queue.t; (* serialized messages in flight *)
+  mutable closed : bool;
+}
+
+type counters = {
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+  mutable messages_received : int;
+  mutable bytes_received : int;
+  mutable elements_sent : int;
+  mutable sent_log : Message.t list; (* reversed *)
+  mutable received_log : Message.t list; (* reversed *)
+}
+
+type endpoint = {
+  inbox : shared;
+  outbox : shared;
+  c : counters;
+}
+
+let fresh_shared () =
+  { mutex = Mutex.create (); cond = Condition.create (); queue = Queue.create (); closed = false }
+
+let fresh_counters () =
+  {
+    messages_sent = 0;
+    bytes_sent = 0;
+    messages_received = 0;
+    bytes_received = 0;
+    elements_sent = 0;
+    sent_log = [];
+    received_log = [];
+  }
+
+let create () =
+  let ab = fresh_shared () and ba = fresh_shared () in
+  let a = { inbox = ba; outbox = ab; c = fresh_counters () } in
+  let b = { inbox = ab; outbox = ba; c = fresh_counters () } in
+  (a, b)
+
+let send ep m =
+  let bytes = Message.encode m in
+  ep.c.messages_sent <- ep.c.messages_sent + 1;
+  ep.c.bytes_sent <- ep.c.bytes_sent + String.length bytes;
+  ep.c.elements_sent <- ep.c.elements_sent + Message.element_count m;
+  ep.c.sent_log <- m :: ep.c.sent_log;
+  let s = ep.outbox in
+  Mutex.lock s.mutex;
+  Queue.push bytes s.queue;
+  Condition.signal s.cond;
+  Mutex.unlock s.mutex
+
+let recv ep =
+  let s = ep.inbox in
+  Mutex.lock s.mutex;
+  let rec wait () =
+    if not (Queue.is_empty s.queue) then Queue.pop s.queue
+    else if s.closed then begin
+      Mutex.unlock s.mutex;
+      failwith "Channel.recv: peer closed the channel"
+    end
+    else begin
+      Condition.wait s.cond s.mutex;
+      wait ()
+    end
+  in
+  let bytes = wait () in
+  Mutex.unlock s.mutex;
+  let m = Message.decode bytes in
+  ep.c.messages_received <- ep.c.messages_received + 1;
+  ep.c.bytes_received <- ep.c.bytes_received + String.length bytes;
+  ep.c.received_log <- m :: ep.c.received_log;
+  m
+
+let close ep =
+  let s = ep.outbox in
+  Mutex.lock s.mutex;
+  s.closed <- true;
+  Condition.broadcast s.cond;
+  Mutex.unlock s.mutex
+
+type stats = {
+  messages_sent : int;
+  bytes_sent : int;
+  messages_received : int;
+  bytes_received : int;
+  elements_sent : int;
+}
+
+let stats ep =
+  {
+    messages_sent = ep.c.messages_sent;
+    bytes_sent = ep.c.bytes_sent;
+    messages_received = ep.c.messages_received;
+    bytes_received = ep.c.bytes_received;
+    elements_sent = ep.c.elements_sent;
+  }
+
+let received ep = List.rev ep.c.received_log
+let sent ep = List.rev ep.c.sent_log

@@ -1,0 +1,46 @@
+(** An in-process duplex channel between two protocol parties.
+
+    Every message is serialized by the sender and parsed by the receiver,
+    so the byte counts in {!stats} are the true communication cost of a
+    protocol run — the quantity §6.1 of the paper analyzes. Endpoints are
+    thread-safe: the two parties run concurrently under {!Runner}.
+
+    Each endpoint also records its {e view} — everything it received —
+    which is what the paper's simulation proofs reason about; the
+    security tests inspect these transcripts. *)
+
+type endpoint
+
+(** [create ()] is a connected pair of endpoints. *)
+val create : unit -> endpoint * endpoint
+
+(** [send ep m] serializes and delivers [m] to the peer. Never blocks. *)
+val send : endpoint -> Message.t -> unit
+
+(** [recv ep] blocks until a message arrives, then parses and returns it.
+    @raise Failure if the peer closed the channel with no message
+    pending. *)
+val recv : endpoint -> Message.t
+
+(** [close ep] wakes a peer blocked in {!recv}. *)
+val close : endpoint -> unit
+
+(** {1 Accounting} *)
+
+type stats = {
+  messages_sent : int;
+  bytes_sent : int;
+  messages_received : int;
+  bytes_received : int;
+  elements_sent : int;
+      (** group-element-sized fields sent (the paper's codeword count) *)
+}
+
+val stats : endpoint -> stats
+
+(** [received ep] is this endpoint's view: every message it received, in
+    order. *)
+val received : endpoint -> Message.t list
+
+(** [sent ep] is every message this endpoint sent, in order. *)
+val sent : endpoint -> Message.t list

@@ -1,0 +1,118 @@
+type payload =
+  | Elements of string list
+  | Element_pairs of (string * string) list
+  | Element_triples of (string * string * string) list
+  | Ciphertext_pairs of (string * string) list
+
+type t = { tag : string; payload : payload }
+
+let make ~tag payload = { tag; payload }
+
+let payload_kind = function
+  | Elements _ -> 0
+  | Element_pairs _ -> 1
+  | Element_triples _ -> 2
+  | Ciphertext_pairs _ -> 3
+
+(* Wire format: magic byte + version, then tag, payload kind, payload.
+   Unknown versions are rejected so incompatible builds fail fast. *)
+let magic = 0xA5
+let version = 1
+
+let encode m =
+  let w = Buf.writer () in
+  Buf.write_u8 w magic;
+  Buf.write_u8 w version;
+  Buf.write_bytes w m.tag;
+  Buf.write_u8 w (payload_kind m.payload);
+  (match m.payload with
+  | Elements es ->
+      Buf.write_varint w (List.length es);
+      List.iter (Buf.write_bytes w) es
+  | Element_pairs ps ->
+      Buf.write_varint w (List.length ps);
+      List.iter
+        (fun (a, b) ->
+          Buf.write_bytes w a;
+          Buf.write_bytes w b)
+        ps
+  | Element_triples ts ->
+      Buf.write_varint w (List.length ts);
+      List.iter
+        (fun (a, b, c) ->
+          Buf.write_bytes w a;
+          Buf.write_bytes w b;
+          Buf.write_bytes w c)
+        ts
+  | Ciphertext_pairs ps ->
+      Buf.write_varint w (List.length ps);
+      List.iter
+        (fun (a, b) ->
+          Buf.write_bytes w a;
+          Buf.write_bytes w b)
+        ps);
+  Buf.contents w
+
+(* Read [n] items strictly left to right (List.init's evaluation order is
+   unspecified, which would scramble a sequential reader). *)
+let read_n n f =
+  let rec go i acc = if i = n then List.rev acc else go (i + 1) (f () :: acc) in
+  go 0 []
+
+let decode s =
+  let r = Buf.reader s in
+  let m = Buf.read_u8 r in
+  if m <> magic then raise (Buf.Parse_error (Printf.sprintf "bad magic 0x%02x" m));
+  let v = Buf.read_u8 r in
+  if v <> version then
+    raise (Buf.Parse_error (Printf.sprintf "unsupported wire version %d" v));
+  let tag = Buf.read_bytes r in
+  let kind = Buf.read_u8 r in
+  let n = Buf.read_varint r in
+  let payload =
+    match kind with
+    | 0 -> Elements (read_n n (fun () -> Buf.read_bytes r))
+    | 1 ->
+        Element_pairs
+          (read_n n (fun () ->
+               let a = Buf.read_bytes r in
+               let b = Buf.read_bytes r in
+               (a, b)))
+    | 2 ->
+        Element_triples
+          (read_n n (fun () ->
+               let a = Buf.read_bytes r in
+               let b = Buf.read_bytes r in
+               let c = Buf.read_bytes r in
+               (a, b, c)))
+    | 3 ->
+        Ciphertext_pairs
+          (read_n n (fun () ->
+               let a = Buf.read_bytes r in
+               let b = Buf.read_bytes r in
+               (a, b)))
+    | k -> raise (Buf.Parse_error (Printf.sprintf "unknown payload kind %d" k))
+  in
+  Buf.expect_end r;
+  { tag; payload }
+
+let size m = String.length (encode m)
+
+let element_count m =
+  match m.payload with
+  | Elements es -> List.length es
+  | Element_pairs ps -> 2 * List.length ps
+  | Element_triples ts -> 3 * List.length ts
+  | Ciphertext_pairs ps -> List.length ps (* one element + one ciphertext *)
+
+let equal a b = a = b
+
+let pp fmt m =
+  let n, kind =
+    match m.payload with
+    | Elements es -> (List.length es, "elements")
+    | Element_pairs ps -> (List.length ps, "pairs")
+    | Element_triples ts -> (List.length ts, "triples")
+    | Ciphertext_pairs ps -> (List.length ps, "ciphertext-pairs")
+  in
+  Format.fprintf fmt "[%s: %d %s]" m.tag n kind

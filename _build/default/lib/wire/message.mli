@@ -1,0 +1,38 @@
+(** Protocol messages.
+
+    Each protocol step of the paper ships one message: a tag naming the
+    step plus a payload of encoded group elements (and, for the equijoin,
+    variable-length ciphertexts). Tags let the tests assert the exact
+    shape of each party's view. *)
+
+type payload =
+  | Elements of string list
+      (** a set of encoded group elements, e.g. [Y_R] or [Y_S] *)
+  | Element_pairs of (string * string) list
+      (** intersection step 4(b): [(y, f_eS(y))] *)
+  | Element_triples of (string * string * string) list
+      (** equijoin step 4: [(y, f_eS(y), f_e'S(y))] *)
+  | Ciphertext_pairs of (string * string) list
+      (** equijoin step 5: [(f_eS(h(v)), K(kappa(v), ext v))] *)
+
+type t = { tag : string; payload : payload }
+
+val make : tag:string -> payload -> t
+
+(** [encode m] is the wire encoding. *)
+val encode : t -> string
+
+(** [decode s] parses {!encode} output.
+    @raise Buf.Parse_error on malformed input. *)
+val decode : string -> t
+
+(** [size m] is the encoded size in bytes. *)
+val size : t -> int
+
+(** [element_count m] is how many group-element-sized fields [m] carries
+    (cost accounting: the paper counts messages in units of [k]-bit
+    codewords). *)
+val element_count : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type ('s, 'r) outcome = {
+  sender_result : 's;
+  receiver_result : 'r;
+  sender_stats : Channel.stats;
+  receiver_stats : Channel.stats;
+  sender_view : Message.t list;
+  receiver_view : Message.t list;
+  total_bytes : int;
+}
+
+let run ~sender ~receiver =
+  let s_ep, r_ep = Channel.create () in
+  let s_result : ('s, exn) result option ref = ref None in
+  let t =
+    Thread.create
+      (fun () ->
+        let r = try Ok (sender s_ep) with e -> Error e in
+        (* On failure, unblock a receiver waiting on us. *)
+        (match r with Error _ -> Channel.close s_ep | Ok _ -> ());
+        s_result := Some r)
+      ()
+  in
+  let r_result = try Ok (receiver r_ep) with e -> Error e in
+  (match r_result with Error _ -> Channel.close r_ep | Ok _ -> ());
+  Thread.join t;
+  match (!s_result, r_result) with
+  | Some (Ok sender_result), Ok receiver_result ->
+      let sender_stats = Channel.stats s_ep in
+      let receiver_stats = Channel.stats r_ep in
+      {
+        sender_result;
+        receiver_result;
+        sender_stats;
+        receiver_stats;
+        sender_view = Channel.received s_ep;
+        receiver_view = Channel.received r_ep;
+        total_bytes = sender_stats.Channel.bytes_sent + receiver_stats.Channel.bytes_sent;
+      }
+  | Some (Error se), Error re -> (
+      (* When both fail, surface the root cause: a "peer closed" failure
+         is the echo of the other side's crash, not the crash itself. *)
+      match (se, re) with
+      | Failure m, _ when m = "Channel.recv: peer closed the channel" -> raise re
+      | _, Failure m when m = "Channel.recv: peer closed the channel" -> raise se
+      | _ -> raise se)
+  | Some (Error e), Ok _ -> raise e
+  | (Some (Ok _) | None), Error e -> raise e
+  | None, Ok _ -> failwith "Runner.run: sender thread vanished"

@@ -1,0 +1,21 @@
+(** Executes a two-party protocol: each party runs in its own thread
+    against one endpoint of a {!Channel}. *)
+
+(** The outcome of a run, including each party's channel statistics and
+    view (transcript). *)
+type ('s, 'r) outcome = {
+  sender_result : 's;
+  receiver_result : 'r;
+  sender_stats : Channel.stats;
+  receiver_stats : Channel.stats;
+  sender_view : Message.t list;  (** messages S received from R *)
+  receiver_view : Message.t list;  (** messages R received from S *)
+  total_bytes : int;  (** bytes on the wire in both directions *)
+}
+
+(** [run ~sender ~receiver] connects a fresh channel, runs [sender] in a
+    spawned thread and [receiver] in the calling thread, and joins.
+    If either party raises, the channel is closed (unblocking the other)
+    and the exception is re-raised. *)
+val run :
+  sender:(Channel.endpoint -> 's) -> receiver:(Channel.endpoint -> 'r) -> ('s, 'r) outcome

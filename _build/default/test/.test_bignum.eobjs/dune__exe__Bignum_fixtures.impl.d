@@ -1,0 +1,1 @@
+test/bignum_fixtures.ml:

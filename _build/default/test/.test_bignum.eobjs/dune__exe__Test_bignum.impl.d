@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Array Bignum Bignum_fixtures Bool Char Fun List Printf QCheck2 QCheck_alcotest Random String

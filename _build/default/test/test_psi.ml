@@ -1,0 +1,1238 @@
+(* Tests for the core protocols of Agrawal, Evfimievski & Srikant
+   (SIGMOD 2003): correctness against plaintext oracles, the exact §6.1
+   operation/communication counts, the security-checkable transcript
+   properties, the §5.2 leakage characterization, the §3.1 strawman
+   attack, the Appendix A baseline numbers, and the two applications. *)
+
+module Runner = Wire.Runner
+module Message = Wire.Message
+module Group = Crypto.Group
+module P = Psi.Protocol
+
+let g64 = Group.named Group.Test64
+let g256 = Group.named Group.Test256
+let cfg = P.config g64
+let cfg256 = P.config g256
+
+let sorted_strings l = List.sort String.compare l
+
+let plain_intersection a b =
+  let sb = List.sort_uniq String.compare b in
+  List.filter (fun x -> List.mem x sb) (List.sort_uniq String.compare a)
+
+(* Some reusable inputs. *)
+let vs1 = [ "apple"; "beet"; "corn"; "dill"; "endive" ]
+let vr1 = [ "beet"; "corn"; "fig"; "grape" ]
+
+let check_intersection ?(cfg = cfg) ~name ~vs ~vr expected =
+  let o = Psi.Intersection.run cfg ~seed:("t:" ^ name) ~sender_values:vs ~receiver_values:vr () in
+  let r = o.Runner.receiver_result in
+  Alcotest.(check (list string)) (name ^ ": intersection") (sorted_strings expected)
+    r.Psi.Intersection.intersection;
+  Alcotest.(check int) (name ^ ": |V_S|")
+    (List.length (List.sort_uniq String.compare vs))
+    r.Psi.Intersection.v_s_count;
+  Alcotest.(check int) (name ^ ": |V_R|")
+    (List.length (List.sort_uniq String.compare vr))
+    o.Runner.sender_result.Psi.Intersection.v_r_count
+
+(* ------------------------------------------------------------------ *)
+(* Intersection: correctness                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_intersection_basic () = check_intersection ~name:"basic" ~vs:vs1 ~vr:vr1 [ "beet"; "corn" ]
+
+let test_intersection_disjoint () =
+  check_intersection ~name:"disjoint" ~vs:[ "a"; "b" ] ~vr:[ "c"; "d" ] []
+
+let test_intersection_identical () =
+  check_intersection ~name:"identical" ~vs:vs1 ~vr:vs1 vs1
+
+let test_intersection_subset () =
+  check_intersection ~name:"subset" ~vs:vs1 ~vr:[ "beet"; "dill" ] [ "beet"; "dill" ]
+
+let test_intersection_empty_sides () =
+  check_intersection ~name:"empty-s" ~vs:[] ~vr:vr1 [];
+  check_intersection ~name:"empty-r" ~vs:vs1 ~vr:[] [];
+  check_intersection ~name:"empty-both" ~vs:[] ~vr:[] []
+
+let test_intersection_dedups_input () =
+  check_intersection ~name:"dups" ~vs:[ "a"; "a"; "b" ] ~vr:[ "a"; "b"; "b"; "c" ] [ "a"; "b" ]
+
+let test_intersection_binary_values () =
+  (* Values with NULs, unicode, long strings. *)
+  let weird = [ "\x00\x01\x02"; "naïve-ключ-鍵"; String.make 5000 'x'; "" ] in
+  check_intersection ~name:"weird" ~vs:weird ~vr:(List.tl weird) (List.tl weird)
+
+let test_intersection_randomized () =
+  List.iter
+    (fun (n_s, n_r, overlap) ->
+      let vs, vr =
+        Psi.Workload.value_sets
+          ~seed:(Printf.sprintf "rand-%d-%d-%d" n_s n_r overlap)
+          ~n_s ~n_r ~overlap
+      in
+      check_intersection
+        ~name:(Printf.sprintf "random %d/%d/%d" n_s n_r overlap)
+        ~vs ~vr (plain_intersection vs vr))
+    [ (1, 1, 0); (1, 1, 1); (10, 10, 5); (50, 20, 20); (20, 50, 1); (100, 100, 37) ]
+
+let test_intersection_larger_group () =
+  check_intersection ~cfg:cfg256 ~name:"256-bit group" ~vs:vs1 ~vr:vr1 [ "beet"; "corn" ]
+
+let test_intersection_deterministic_given_seed () =
+  let run () =
+    (Psi.Intersection.run cfg ~seed:"det" ~sender_values:vs1 ~receiver_values:vr1 ())
+      .Runner.receiver_view
+  in
+  Alcotest.(check bool) "same transcript" true (List.equal Message.equal (run ()) (run ()))
+
+(* ------------------------------------------------------------------ *)
+(* Intersection: §6.1 cost accounting                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_intersection_op_counts () =
+  let o = Psi.Intersection.run cfg ~sender_values:vs1 ~receiver_values:vr1 () in
+  let s_ops = o.Runner.sender_result.Psi.Intersection.ops in
+  let r_ops = o.Runner.receiver_result.Psi.Intersection.ops in
+  let v_s = 5 and v_r = 4 in
+  let hashes, encryptions = Psi.Cost_model.exact_intersection_ops ~v_s ~v_r in
+  Alcotest.(check int) "total hashes = |V_S| + |V_R|" hashes (s_ops.P.hashes + r_ops.P.hashes);
+  Alcotest.(check int) "total Ce = 2(|V_S| + |V_R|)" encryptions
+    (s_ops.P.encryptions + r_ops.P.encryptions);
+  Alcotest.(check int) "S's Ce = |V_S| + |V_R|" (v_s + v_r) s_ops.P.encryptions;
+  Alcotest.(check int) "no K ops" 0 (s_ops.P.cipher_ops + r_ops.P.cipher_ops)
+
+let test_intersection_comm_counts () =
+  let o = Psi.Intersection.run cfg ~sender_values:vs1 ~receiver_values:vr1 () in
+  let v_s = 5 and v_r = 4 in
+  (* (|V_S| + 2|V_R|) codewords: S ships |V_S| + |V_R|, R ships |V_R|. *)
+  Alcotest.(check int) "S codewords" (v_s + v_r)
+    o.Runner.sender_stats.Wire.Channel.elements_sent;
+  Alcotest.(check int) "R codewords" v_r o.Runner.receiver_stats.Wire.Channel.elements_sent;
+  (* Bytes: within framing overhead of k/8 per codeword. *)
+  let k_bytes = Group.element_bytes g64 in
+  let payload = (v_s + (2 * v_r)) * k_bytes in
+  Alcotest.(check bool)
+    (Printf.sprintf "bytes %d close to payload %d" o.Runner.total_bytes payload)
+    true
+    (o.Runner.total_bytes >= payload && o.Runner.total_bytes <= payload + (3 * 64))
+
+(* ------------------------------------------------------------------ *)
+(* Intersection: transcript (security-checkable) properties            *)
+(* ------------------------------------------------------------------ *)
+
+let elements_of_view view tag =
+  match List.find_opt (fun (m : Message.t) -> m.tag = tag) view with
+  | Some m -> P.elements_of m.Message.payload
+  | None -> Alcotest.failf "message %s not in view" tag
+
+let test_intersection_sender_view_shape () =
+  let o = Psi.Intersection.run cfg ~sender_values:vs1 ~receiver_values:vr1 () in
+  (* S's entire view is one message: Y_R with |V_R| elements, sorted. *)
+  (match o.Runner.sender_view with
+  | [ m ] ->
+      Alcotest.(check string) "tag" "intersection/Y_R" m.Message.tag;
+      let es = P.elements_of m.Message.payload in
+      Alcotest.(check int) "|Y_R|" 4 (List.length es);
+      Alcotest.(check bool) "lexicographically reordered" true (P.is_sorted es);
+      List.iter
+        (fun e ->
+          Alcotest.(check int) "fixed width" (Group.element_bytes g64) (String.length e))
+        es
+  | _ -> Alcotest.fail "S's view should be exactly one message");
+  (* R's view: Y_S (sorted) then the encryptions of Y_R. *)
+  let y_s = elements_of_view o.Runner.receiver_view "intersection/Y_S" in
+  Alcotest.(check bool) "Y_S sorted" true (P.is_sorted y_s);
+  Alcotest.(check int) "|Y_S|" 5 (List.length y_s)
+
+let test_intersection_transcript_reveals_no_plaintext () =
+  (* No value (nor its unkeyed hash) appears in any message on the wire. *)
+  let o = Psi.Intersection.run cfg ~sender_values:vs1 ~receiver_values:vr1 () in
+  let all_fields =
+    List.concat_map
+      (fun (m : Message.t) -> P.elements_of m.Message.payload)
+      (o.Runner.sender_view @ o.Runner.receiver_view)
+  in
+  List.iter
+    (fun v ->
+      let h =
+        Group.encode_elt g64 (Crypto.Hash_to_group.hash_value g64 ~domain:"default" v)
+      in
+      Alcotest.(check bool) ("hash of " ^ v ^ " not on wire") false (List.mem h all_fields);
+      Alcotest.(check bool) ("plaintext " ^ v ^ " not on wire") false (List.mem v all_fields))
+    (vs1 @ vr1)
+
+let test_intersection_views_differ_across_seeds () =
+  (* Fresh keys => fresh-looking transcripts for identical inputs. *)
+  let view seed =
+    List.concat_map
+      (fun (m : Message.t) -> P.elements_of m.Message.payload)
+      (Psi.Intersection.run cfg ~seed ~sender_values:vs1 ~receiver_values:vr1 ())
+        .Runner.receiver_view
+  in
+  let a = view "seed-a" and b = view "seed-b" in
+  Alcotest.(check bool) "no common ciphertext" true
+    (List.for_all (fun x -> not (List.mem x b)) a)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests: random inputs through every protocol vs oracles     *)
+(* ------------------------------------------------------------------ *)
+
+let qtest name ?(count = 25) gen print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen prop)
+
+(* Small random value multisets over a tiny alphabet (forces overlaps
+   and duplicates). *)
+let gen_values =
+  QCheck2.Gen.(list_size (int_range 0 12) (map (Printf.sprintf "v%d") (int_range 0 9)))
+
+let gen_pair = QCheck2.Gen.pair gen_values gen_values
+
+let pair_print (a, b) =
+  Printf.sprintf "S=[%s] R=[%s]" (String.concat ";" a) (String.concat ";" b)
+
+let prop_intersection_oracle =
+  qtest "intersection = oracle (random)" gen_pair pair_print (fun (vs, vr) ->
+      let o = Psi.Intersection.run cfg ~sender_values:vs ~receiver_values:vr () in
+      o.Runner.receiver_result.Psi.Intersection.intersection = plain_intersection vs vr)
+
+let prop_intersection_size_oracle =
+  qtest "intersection size = oracle (random)" gen_pair pair_print (fun (vs, vr) ->
+      let o = Psi.Intersection_size.run cfg ~sender_values:vs ~receiver_values:vr () in
+      o.Runner.receiver_result.Psi.Intersection_size.size
+      = List.length (plain_intersection vs vr))
+
+let prop_equijoin_size_oracle =
+  qtest "equijoin size = oracle (random multisets)" gen_pair pair_print (fun (vs, vr) ->
+      let o = Psi.Equijoin_size.run cfg ~sender_values:vs ~receiver_values:vr () in
+      o.Runner.receiver_result.Psi.Equijoin_size.join_size
+      = Psi.Leakage.join_size ~r_values:vr ~s_values:vs)
+
+let prop_equijoin_oracle =
+  qtest "equijoin = oracle (random)" gen_pair pair_print (fun (vs, vr) ->
+      let records = List.mapi (fun i v -> (v, Printf.sprintf "%s#%d" v i)) vs in
+      let o = Psi.Equijoin.run cfg ~sender_records:records ~receiver_values:vr () in
+      let expected =
+        plain_intersection vs vr
+        |> List.map (fun v -> (v, List.filter_map
+                                    (fun (v', p) -> if v' = v then Some p else None)
+                                    records))
+      in
+      o.Runner.receiver_result.Psi.Equijoin.matches = expected
+      && o.Runner.receiver_result.Psi.Equijoin.collisions = [])
+
+let prop_aggregate_oracle =
+  qtest "aggregate sum = oracle (random)" ~count:10 gen_pair pair_print (fun (vs, vr) ->
+      let records = List.mapi (fun i v -> (v, i mod 17)) vs in
+      let o =
+        Psi.Aggregate.run cfg ~key_bits:128 ~sender_records:records ~receiver_values:vr ()
+      in
+      let expected =
+        List.fold_left
+          (fun acc (v, x) ->
+            if List.mem v (List.sort_uniq compare vr) then acc + x else acc)
+          0 records
+      in
+      o.Runner.receiver_result.Psi.Aggregate.sum = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel encryption (the paper's P processors)                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_map_matches_sequential () =
+  let xs = List.init 1000 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun workers ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "workers=%d" workers)
+        (List.map f xs)
+        (P.parallel_map ~workers f xs))
+    [ 1; 2; 3; 8; 1000; 2000 ]
+
+let test_parallel_map_short_lists () =
+  Alcotest.(check (list int)) "short" [ 2; 3 ] (P.parallel_map ~workers:8 succ [ 1; 2 ]);
+  Alcotest.(check (list int)) "empty" [] (P.parallel_map ~workers:8 succ [])
+
+let test_parallel_protocols_same_results () =
+  let vs, vr = Psi.Workload.value_sets ~seed:"par" ~n_s:80 ~n_r:80 ~overlap:33 in
+  let cfg1 = P.config ~workers:1 g64 in
+  let cfg4 = P.config ~workers:4 g64 in
+  let run cfg =
+    let o = Psi.Intersection.run cfg ~seed:"par-seed" ~sender_values:vs ~receiver_values:vr () in
+    ( o.Runner.receiver_result.Psi.Intersection.intersection,
+      o.Runner.receiver_result.Psi.Intersection.ops.P.encryptions,
+      o.Runner.sender_result.Psi.Intersection.ops.P.encryptions )
+  in
+  Alcotest.(check (triple (list string) int int)) "identical" (run cfg1) (run cfg4);
+  (* Equijoin too (distinct code path through parallel_map). *)
+  let records = List.map (fun v -> (v, "rec:" ^ v)) vs in
+  let join cfg =
+    (Psi.Equijoin.run cfg ~seed:"par-seed" ~sender_records:records ~receiver_values:vr ())
+      .Runner.receiver_result
+      .Psi.Equijoin.matches
+  in
+  Alcotest.(check (list (pair string (list string)))) "join identical" (join cfg1) (join cfg4)
+
+let test_parallel_workers_validated () =
+  Alcotest.check_raises "workers 0" (Invalid_argument "Protocol.config: workers >= 1")
+    (fun () -> ignore (P.config ~workers:0 g64))
+
+(* ------------------------------------------------------------------ *)
+(* Equijoin                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let records1 =
+  [
+    ("beet", "beet-record-1");
+    ("beet", "beet-record-2");
+    ("corn", "corn-record-1");
+    ("apple", "apple-record-1");
+    ("dill", "dill-record-1");
+  ]
+
+let test_equijoin_basic () =
+  let o = Psi.Equijoin.run cfg ~sender_records:records1 ~receiver_values:vr1 () in
+  let r = o.Runner.receiver_result in
+  Alcotest.(check (list (pair string (list string)))) "matches with ext"
+    [ ("beet", [ "beet-record-1"; "beet-record-2" ]); ("corn", [ "corn-record-1" ]) ]
+    r.Psi.Equijoin.matches;
+  Alcotest.(check int) "|V_S|" 4 r.Psi.Equijoin.v_s_count;
+  Alcotest.(check (list string)) "no collisions" [] r.Psi.Equijoin.collisions;
+  Alcotest.(check int) "S learns |V_R|" 4 o.Runner.sender_result.Psi.Equijoin.v_r_count
+
+let test_equijoin_no_matches () =
+  let o =
+    Psi.Equijoin.run cfg ~sender_records:[ ("x", "rx") ] ~receiver_values:[ "y"; "z" ] ()
+  in
+  Alcotest.(check int) "no matches" 0
+    (List.length o.Runner.receiver_result.Psi.Equijoin.matches)
+
+let test_equijoin_empty_sides () =
+  let o = Psi.Equijoin.run cfg ~sender_records:[] ~receiver_values:vr1 () in
+  Alcotest.(check int) "empty sender" 0 (List.length o.Runner.receiver_result.Psi.Equijoin.matches);
+  let o = Psi.Equijoin.run cfg ~sender_records:records1 ~receiver_values:[] () in
+  Alcotest.(check int) "empty receiver" 0 (List.length o.Runner.receiver_result.Psi.Equijoin.matches)
+
+let test_equijoin_mul_cipher () =
+  let cfg_mul = P.config ~cipher:Crypto.Perfect_cipher.Mul_cipher g256 in
+  let o = Psi.Equijoin.run cfg_mul ~sender_records:[ ("beet", "r1"); ("fig", "r2") ]
+      ~receiver_values:vr1 () in
+  Alcotest.(check (list (pair string (list string)))) "mul cipher matches"
+    [ ("beet", [ "r1" ]); ("fig", [ "r2" ]) ]
+    o.Runner.receiver_result.Psi.Equijoin.matches
+
+let test_equijoin_mul_cipher_payload_limit () =
+  let cfg_mul = P.config ~cipher:Crypto.Perfect_cipher.Mul_cipher g256 in
+  (* A payload beyond one group element must raise (documented limit). *)
+  Alcotest.(check bool) "too-long payload raises" true
+    (try
+       ignore
+         (Psi.Equijoin.run cfg_mul
+            ~sender_records:[ ("v", String.make 100 'x') ]
+            ~receiver_values:[ "v" ] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_equijoin_stream_large_payload () =
+  let big = String.make 50_000 'p' in
+  let o = Psi.Equijoin.run cfg ~sender_records:[ ("beet", big) ] ~receiver_values:vr1 () in
+  Alcotest.(check (list (pair string (list string)))) "50KB record round-trips"
+    [ ("beet", [ big ]) ]
+    o.Runner.receiver_result.Psi.Equijoin.matches
+
+let test_equijoin_op_counts () =
+  let o = Psi.Equijoin.run cfg ~sender_records:records1 ~receiver_values:vr1 () in
+  let s_ops = o.Runner.sender_result.Psi.Equijoin.ops in
+  let r_ops = o.Runner.receiver_result.Psi.Equijoin.ops in
+  let v_s = 4 and v_r = 4 and inter = 2 in
+  let hashes, encryptions, cipher_ops =
+    Psi.Cost_model.exact_equijoin_ops ~v_s ~v_r ~intersection:inter
+  in
+  Alcotest.(check int) "hashes" hashes (s_ops.P.hashes + r_ops.P.hashes);
+  Alcotest.(check int) "Ce = 2|V_S| + 5|V_R|" encryptions
+    (s_ops.P.encryptions + r_ops.P.encryptions);
+  Alcotest.(check int) "K ops = |V_S| + |inter|" cipher_ops
+    (s_ops.P.cipher_ops + r_ops.P.cipher_ops)
+
+let test_equijoin_comm_counts () =
+  let o = Psi.Equijoin.run cfg ~sender_records:records1 ~receiver_values:vr1 () in
+  let v_s = 4 and v_r = 4 in
+  (* (|V_S| + 3|V_R|) codewords + |V_S| ciphertexts. *)
+  Alcotest.(check int) "S codewords" (v_s + (2 * v_r))
+    o.Runner.sender_stats.Wire.Channel.elements_sent;
+  Alcotest.(check int) "R codewords" v_r o.Runner.receiver_stats.Wire.Channel.elements_sent
+
+let test_equijoin_ext_pairs_sorted () =
+  let o = Psi.Equijoin.run cfg ~sender_records:records1 ~receiver_values:vr1 () in
+  match List.find_opt (fun (m : Message.t) -> m.tag = "equijoin/ext") o.Runner.receiver_view with
+  | Some { payload = Message.Ciphertext_pairs ps; _ } ->
+      Alcotest.(check bool) "ext pairs sorted by key" true (P.is_sorted (List.map fst ps));
+      Alcotest.(check int) "|V_S| pairs" 4 (List.length ps)
+  | _ -> Alcotest.fail "missing equijoin/ext message"
+
+let test_equijoin_matches_minidb_join () =
+  (* End-to-end against the relational oracle: join two small tables. *)
+  let open Minidb in
+  let l =
+    Table.create
+      (Schema.make [ Schema.col "k" Value.TInt; Schema.col "a" Value.TText ])
+      [
+        [| Value.Int 1; Value.Text "x" |];
+        [| Value.Int 2; Value.Text "y" |];
+        [| Value.Int 3; Value.Text "z" |];
+      ]
+  in
+  let r =
+    Table.create
+      (Schema.make [ Schema.col "k" Value.TInt; Schema.col "b" Value.TText ])
+      [
+        [| Value.Int 2; Value.Text "m" |];
+        [| Value.Int 2; Value.Text "n" |];
+        [| Value.Int 4; Value.Text "o" |];
+      ]
+  in
+  (* S holds [r] (with payload = column b), R holds [l]'s keys. *)
+  let records =
+    List.map
+      (fun row -> (Value.key (Table.get r row "k"), Value.to_string (Table.get r row "b")))
+      (Table.rows r)
+  in
+  let values = List.map Value.key (Table.distinct_values l "k") in
+  let o = Psi.Equijoin.run cfg ~sender_records:records ~receiver_values:values () in
+  let protocol_join_size =
+    List.fold_left (fun acc (_, recs) -> acc + List.length recs) 0
+      o.Runner.receiver_result.Psi.Equijoin.matches
+  in
+  Alcotest.(check int) "join size matches minidb"
+    (Relop.equijoin_size l r ~on:("k", "k"))
+    protocol_join_size
+
+(* ------------------------------------------------------------------ *)
+(* Intersection size                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_intersection_size_basic () =
+  let o = Psi.Intersection_size.run cfg ~sender_values:vs1 ~receiver_values:vr1 () in
+  Alcotest.(check int) "size" 2 o.Runner.receiver_result.Psi.Intersection_size.size;
+  Alcotest.(check int) "|V_S|" 5 o.Runner.receiver_result.Psi.Intersection_size.v_s_count;
+  Alcotest.(check int) "|V_R|" 4 o.Runner.sender_result.Psi.Intersection_size.v_r_count
+
+let test_intersection_size_cases () =
+  List.iter
+    (fun (n_s, n_r, overlap) ->
+      let vs, vr =
+        Psi.Workload.value_sets
+          ~seed:(Printf.sprintf "isize-%d-%d-%d" n_s n_r overlap)
+          ~n_s ~n_r ~overlap
+      in
+      let o = Psi.Intersection_size.run cfg ~sender_values:vs ~receiver_values:vr () in
+      Alcotest.(check int)
+        (Printf.sprintf "%d/%d/%d" n_s n_r overlap)
+        overlap o.Runner.receiver_result.Psi.Intersection_size.size)
+    [ (0, 0, 0); (5, 5, 0); (5, 5, 5); (40, 60, 13); (100, 3, 3) ]
+
+let test_intersection_size_z_r_resorted () =
+  (* The Z_R message must be re-sorted: otherwise R could align it with
+     its own Y_R order and learn which values matched (§5.1). *)
+  let o = Psi.Intersection_size.run cfg ~sender_values:vs1 ~receiver_values:vr1 () in
+  let z_r = elements_of_view o.Runner.receiver_view "intersection_size/Z_R" in
+  Alcotest.(check bool) "Z_R sorted" true (P.is_sorted z_r);
+  Alcotest.(check int) "|Z_R| = |V_R|" 4 (List.length z_r);
+  (* And it is a plain element list (unpaired), not pairs. *)
+  match List.find_opt (fun (m : Message.t) -> m.tag = "intersection_size/Z_R") o.Runner.receiver_view with
+  | Some { payload = Message.Elements _; _ } -> ()
+  | _ -> Alcotest.fail "Z_R must be an unpaired element list"
+
+let test_intersection_size_op_counts () =
+  let o = Psi.Intersection_size.run cfg ~sender_values:vs1 ~receiver_values:vr1 () in
+  let s = o.Runner.sender_result.Psi.Intersection_size.ops in
+  let r = o.Runner.receiver_result.Psi.Intersection_size.ops in
+  Alcotest.(check int) "Ce = 2(|V_S|+|V_R|)" (2 * (5 + 4)) (s.P.encryptions + r.P.encryptions)
+
+(* ------------------------------------------------------------------ *)
+(* Equijoin size (§5.2)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ms_s = [ "a"; "a"; "a"; "b"; "c"; "c"; "d" ]
+let ms_r = [ "a"; "b"; "b"; "c"; "c"; "e" ]
+
+let test_equijoin_size_basic () =
+  let o = Psi.Equijoin_size.run cfg ~sender_values:ms_s ~receiver_values:ms_r () in
+  let r = o.Runner.receiver_result in
+  (* a: 3*1, b: 1*2, c: 2*2 => 9. *)
+  Alcotest.(check int) "join size" 9 r.Psi.Equijoin_size.join_size;
+  Alcotest.(check int) "matches Leakage.join_size"
+    (Psi.Leakage.join_size ~r_values:ms_r ~s_values:ms_s)
+    r.Psi.Equijoin_size.join_size;
+  Alcotest.(check int) "|T_S.A| multiset" 7 r.Psi.Equijoin_size.v_s_multiset_size;
+  Alcotest.(check int) "|T_R.A| multiset" 6 o.Runner.sender_result.Psi.Equijoin_size.v_r_multiset_size
+
+let test_equijoin_size_duplicate_distributions () =
+  let o = Psi.Equijoin_size.run cfg ~sender_values:ms_s ~receiver_values:ms_r () in
+  (* S's multiset: one value x3 (a), two x1 (b, d), one x2 (c). *)
+  Alcotest.(check (list (pair int int))) "R learns S's distribution"
+    [ (1, 2); (2, 1); (3, 1) ]
+    o.Runner.receiver_result.Psi.Equijoin_size.s_duplicate_distribution;
+  (* R's multiset: a x1, e x1, b x2, c x2. *)
+  Alcotest.(check (list (pair int int))) "S learns R's distribution"
+    [ (1, 2); (2, 2) ]
+    o.Runner.sender_result.Psi.Equijoin_size.r_duplicate_distribution
+
+let test_equijoin_size_class_leakage_matches_prediction () =
+  let o = Psi.Equijoin_size.run cfg ~sender_values:ms_s ~receiver_values:ms_r () in
+  Alcotest.(check (list (pair (pair int int) int))) "§5.2 leakage matrix"
+    (Psi.Leakage.class_intersections ~r_values:ms_r ~s_values:ms_s)
+    o.Runner.receiver_result.Psi.Equijoin_size.class_intersections
+
+let test_equijoin_size_no_duplicates_degenerates () =
+  (* With all multiplicities 1 the protocol reveals only the size — the
+     leakage matrix collapses to a single cell. *)
+  let o = Psi.Equijoin_size.run cfg ~sender_values:vs1 ~receiver_values:vr1 () in
+  Alcotest.(check int) "join size = intersection size" 2
+    o.Runner.receiver_result.Psi.Equijoin_size.join_size;
+  Alcotest.(check (list (pair (pair int int) int))) "single cell"
+    [ ((1, 1), 2) ]
+    o.Runner.receiver_result.Psi.Equijoin_size.class_intersections
+
+let test_equijoin_size_randomized () =
+  List.iter
+    (fun (n, max_dup, seed) ->
+      let base_s, base_r = Psi.Workload.value_sets ~seed ~n_s:n ~n_r:n ~overlap:(n / 2) in
+      let s = Psi.Workload.multiset ~seed:(seed ^ "s") ~values:base_s ~max_dup in
+      let r = Psi.Workload.multiset ~seed:(seed ^ "r") ~values:base_r ~max_dup in
+      let o = Psi.Equijoin_size.run cfg ~sender_values:s ~receiver_values:r () in
+      Alcotest.(check int) (seed ^ ": join size")
+        (Psi.Leakage.join_size ~r_values:r ~s_values:s)
+        o.Runner.receiver_result.Psi.Equijoin_size.join_size)
+    [ (10, 3, "ejs1"); (25, 5, "ejs2"); (40, 2, "ejs3") ]
+
+(* ------------------------------------------------------------------ *)
+(* Leakage analysis                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_leakage_duplicate_classes () =
+  Alcotest.(check (list (pair int (list string)))) "classes"
+    [ (1, [ "b"; "d" ]); (2, [ "c" ]); (3, [ "a" ]) ]
+    (Psi.Leakage.duplicate_classes ms_s)
+
+let test_leakage_unique_dups_identify_everything () =
+  (* All duplicate counts distinct: R identifies the whole intersection. *)
+  let r_values = [ "x"; "y"; "y"; "z"; "z"; "z" ] in
+  let s_values = [ "x"; "y"; "y"; "q" ] in
+  Alcotest.(check (list string)) "identified"
+    [ "x"; "y" ]
+    (Psi.Leakage.identified_values ~r_values ~s_values)
+
+let test_leakage_uniform_dups_identify_nothing () =
+  (* All counts equal and only part of R's set is shared: R cannot pin
+     down which values are in V_S. *)
+  let r_values = [ "x"; "y"; "z" ] in
+  let s_values = [ "x"; "y"; "q" ] in
+  Alcotest.(check (list string)) "nothing identified" []
+    (Psi.Leakage.identified_values ~r_values ~s_values)
+
+let test_leakage_full_class_shared_identifies () =
+  (* Every R value of a class is shared: identified despite equal counts. *)
+  let r_values = [ "x"; "y" ] in
+  let s_values = [ "x"; "y"; "q" ] in
+  Alcotest.(check (list string)) "whole class identified" [ "x"; "y" ]
+    (Psi.Leakage.identified_values ~r_values ~s_values)
+
+(* ------------------------------------------------------------------ *)
+(* §3.1 strawman and the dictionary attack                             *)
+(* ------------------------------------------------------------------ *)
+
+let domain_universe =
+  (* A small value domain the attacker can exhaust (the paper's point:
+     small domains are fully recoverable under the strawman). *)
+  vs1 @ vr1 @ [ "quince"; "radish"; "squash" ]
+
+let test_insecure_protocol_correct () =
+  let o = Psi.Insecure_hash.run cfg ~sender_values:vs1 ~receiver_values:vr1 () in
+  Alcotest.(check (list string)) "intersection still correct" [ "beet"; "corn" ]
+    o.Runner.receiver_result.Psi.Insecure_hash.intersection
+
+let test_dictionary_attack_breaks_strawman () =
+  let o = Psi.Insecure_hash.run cfg ~sender_values:vs1 ~receiver_values:vr1 () in
+  let recovered =
+    Psi.Insecure_hash.dictionary_attack cfg ~transcript:o.Runner.receiver_view
+      ~candidates:domain_universe
+  in
+  (* The attacker recovers ALL of V_S — including values outside V_R. *)
+  Alcotest.(check (list string)) "V_S fully recovered" (sorted_strings vs1) recovered
+
+let test_dictionary_attack_fails_against_secure_protocol () =
+  let o = Psi.Intersection.run cfg ~sender_values:vs1 ~receiver_values:vr1 () in
+  let recovered =
+    Psi.Insecure_hash.dictionary_attack cfg
+      ~transcript:(o.Runner.receiver_view @ o.Runner.sender_view)
+      ~candidates:domain_universe
+  in
+  Alcotest.(check (list string)) "nothing recovered" [] recovered;
+  (* Same for the size protocols and the equijoin. *)
+  let o2 = Psi.Intersection_size.run cfg ~sender_values:vs1 ~receiver_values:vr1 () in
+  Alcotest.(check (list string)) "nothing from size protocol" []
+    (Psi.Insecure_hash.dictionary_attack cfg
+       ~transcript:(o2.Runner.receiver_view @ o2.Runner.sender_view)
+       ~candidates:domain_universe);
+  let o3 = Psi.Equijoin.run cfg ~sender_records:records1 ~receiver_values:vr1 () in
+  Alcotest.(check (list string)) "nothing from equijoin" []
+    (Psi.Insecure_hash.dictionary_attack cfg
+       ~transcript:(o3.Runner.receiver_view @ o3.Runner.sender_view)
+       ~candidates:domain_universe)
+
+(* ------------------------------------------------------------------ *)
+(* Simulators (the proofs of Statements 2 and 6, executed)             *)
+(* ------------------------------------------------------------------ *)
+
+let sim_rng = Crypto.Drbg.to_rng (Crypto.Drbg.create ~seed:"simulator-tests")
+
+(* Structural profile of a view: tags, element counts, validity. *)
+let profile cfg view =
+  List.map
+    (fun (m : Message.t) ->
+      let es = P.elements_of m.Message.payload in
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "valid group element" true
+            (Group.is_element cfg.P.group (Group.decode_elt cfg.P.group e)))
+        es;
+      (m.Message.tag, List.length es))
+    view
+
+let pooled_bit_fraction view =
+  let ones = ref 0 and bits = ref 0 in
+  List.iter
+    (fun (m : Message.t) ->
+      List.iter
+        (fun e ->
+          String.iter
+            (fun c ->
+              let rec pop x = if x = 0 then 0 else (x land 1) + pop (x lsr 1) in
+              ones := !ones + pop (Char.code c);
+              bits := !bits + 8)
+            e)
+        (P.elements_of m.Message.payload))
+    view;
+  float_of_int !ones /. float_of_int (Stdlib.max 1 !bits)
+
+let test_simulator_sender_view () =
+  let o = Psi.Intersection.run cfg ~sender_values:vs1 ~receiver_values:vr1 () in
+  let simulated = Psi.Simulator.intersection_sender_view cfg ~rng:sim_rng ~v_r_count:4 in
+  Alcotest.(check (list (pair string int))) "same shape" (profile cfg o.Runner.sender_view)
+    (profile cfg simulated);
+  (match simulated with
+  | [ m ] -> Alcotest.(check bool) "sorted" true (P.is_sorted (P.elements_of m.Message.payload))
+  | _ -> Alcotest.fail "one message");
+  (* No ciphertext coincides between real and simulated (fresh keys). *)
+  let elements v = List.concat_map (fun (m : Message.t) -> P.elements_of m.Message.payload) v in
+  Alcotest.(check bool) "disjoint ciphertexts" true
+    (List.for_all (fun e -> not (List.mem e (elements o.Runner.sender_view))) (elements simulated))
+
+let test_simulator_receiver_view_structure () =
+  let o = Psi.Intersection.run cfg ~sender_values:vs1 ~receiver_values:vr1 () in
+  (* What R sent (public to the distinguisher). *)
+  let y_r =
+    match Wire.Runner.(o.sender_view) with
+    | [ m ] -> P.elements_of m.Message.payload
+    | _ -> Alcotest.fail "expected one message in S's view"
+  in
+  let simulated =
+    Psi.Simulator.intersection_receiver_view cfg ~rng:sim_rng ~y_r
+      ~intersection:o.Runner.receiver_result.Psi.Intersection.intersection ~v_s_count:5
+  in
+  Alcotest.(check (list (pair string int))) "same shape"
+    (profile cfg o.Runner.receiver_view)
+    (profile cfg simulated);
+  (* Statistical smoke: both views look like random bits. *)
+  let real_frac = pooled_bit_fraction o.Runner.receiver_view in
+  let sim_frac = pooled_bit_fraction simulated in
+  Alcotest.(check bool)
+    (Printf.sprintf "bit balance real=%.3f sim=%.3f" real_frac sim_frac)
+    true
+    (Float.abs (real_frac -. 0.5) < 0.05 && Float.abs (sim_frac -. 0.5) < 0.05)
+
+let test_simulator_receiver_view_consistency () =
+  (* The proof's consistency requirement: R, processing the SIMULATED
+     view with its real key and values, must output exactly the correct
+     intersection. We play R's decision procedure by hand. *)
+  let rng = Crypto.Drbg.to_rng (Crypto.Drbg.create ~seed:"sim-consistency") in
+  let e_r = Crypto.Commutative.gen_key g64 ~rng in
+  let v_r = P.dedup vr1 in
+  let ops = P.new_ops () in
+  let encoded =
+    P.hash_values cfg ops v_r
+    |> List.map (fun (v, h) -> (P.encode cfg (Crypto.Commutative.encrypt g64 e_r h), v))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let expected = plain_intersection vs1 vr1 in
+  let simulated =
+    Psi.Simulator.intersection_receiver_view cfg ~rng:sim_rng
+      ~y_r:(List.map fst encoded) ~intersection:expected ~v_s_count:5
+  in
+  match simulated with
+  | [ { Message.payload = Message.Elements y_s; _ }; { Message.payload = Message.Elements y_r_enc; _ } ]
+    ->
+      let z_s =
+        List.map
+          (fun y -> P.encode cfg (Crypto.Commutative.encrypt g64 e_r (P.decode cfg y)))
+          y_s
+      in
+      let decision =
+        List.map2
+          (fun z (_, v) -> (v, List.mem z z_s))
+          y_r_enc encoded
+        |> List.filter_map (fun (v, hit) -> if hit then Some v else None)
+        |> List.sort String.compare
+      in
+      Alcotest.(check (list string)) "R's output on the simulated view" expected decision
+  | _ -> Alcotest.fail "unexpected simulated view shape"
+
+let test_simulator_intersection_size_consistency () =
+  let rng = Crypto.Drbg.to_rng (Crypto.Drbg.create ~seed:"sim-size") in
+  let e_r = Crypto.Commutative.gen_key g64 ~rng in
+  List.iter
+    (fun (v_r_count, v_s_count, size) ->
+      let view =
+        Psi.Simulator.intersection_size_receiver_view cfg ~rng:sim_rng ~receiver_key:e_r
+          ~v_r_count ~v_s_count ~size ()
+      in
+      match view with
+      | [ { Message.payload = Message.Elements y_s; _ }; { Message.payload = Message.Elements z_r; _ } ]
+        ->
+          Alcotest.(check int) "|Y_S|" v_s_count (List.length y_s);
+          Alcotest.(check int) "|Z_R|" v_r_count (List.length z_r);
+          Alcotest.(check bool) "Z_R sorted" true (P.is_sorted z_r);
+          let z_s =
+            List.map
+              (fun y -> P.encode cfg (Crypto.Commutative.encrypt g64 e_r (P.decode cfg y)))
+              y_s
+          in
+          let matches = List.length (List.filter (fun z -> List.mem z z_s) z_r) in
+          Alcotest.(check int)
+            (Printf.sprintf "R computes size %d/%d/%d" v_r_count v_s_count size)
+            size matches
+      | _ -> Alcotest.fail "unexpected simulated view shape")
+    [ (4, 5, 2); (10, 10, 0); (10, 10, 10); (7, 3, 3); (1, 1, 1) ]
+
+let test_simulator_rejects_impossible_size () =
+  Alcotest.(check bool) "size > min rejected" true
+    (try
+       ignore
+         (Psi.Simulator.intersection_size_receiver_view cfg ~rng:sim_rng ~v_r_count:2
+            ~v_s_count:3 ~size:3 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Robustness: malformed peers cause clean failures                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive R's side of the intersection protocol against a scripted fake
+   sender and return R's outcome. *)
+let against_fake_sender script =
+  let s_ep, r_ep = Wire.Channel.create () in
+  let rng = Crypto.Drbg.to_rng (Crypto.Drbg.create ~seed:"robust") in
+  let t =
+    Thread.create
+      (fun () ->
+        (try script s_ep with _ -> ());
+        Wire.Channel.close s_ep)
+      ()
+  in
+  let result =
+    try Ok (Psi.Intersection.receiver cfg ~rng ~values:vr1 r_ep) with e -> Error e
+  in
+  Thread.join t;
+  result
+
+let expect_protocol_error name result =
+  match result with
+  | Error (Failure msg) ->
+      Alcotest.(check bool) (name ^ ": " ^ msg) true
+        (String.length msg > 0)
+  | Error (Invalid_argument msg) ->
+      Alcotest.(check bool) (name ^ ": " ^ msg) true (String.length msg > 0)
+  | Error e -> Alcotest.failf "%s: unexpected exception %s" name (Printexc.to_string e)
+  | Ok _ -> Alcotest.failf "%s: protocol accepted malformed input" name
+
+let test_robust_wrong_tag () =
+  expect_protocol_error "wrong tag"
+    (against_fake_sender (fun ep ->
+         let _ = Wire.Channel.recv ep in
+         Wire.Channel.send ep
+           (Message.make ~tag:"equijoin/pairs" (Message.Elements []))))
+
+let test_robust_count_mismatch () =
+  expect_protocol_error "count mismatch"
+    (against_fake_sender (fun ep ->
+         let yr = P.elements_of (Wire.Channel.recv ep).Message.payload in
+         Wire.Channel.send ep (Message.make ~tag:"intersection/Y_S" (Message.Elements []));
+         (* Echo one element short. *)
+         Wire.Channel.send ep
+           (Message.make ~tag:"intersection/Y_R_enc" (Message.Elements (List.tl yr)))))
+
+let test_robust_out_of_range_element () =
+  expect_protocol_error "out-of-range element"
+    (against_fake_sender (fun ep ->
+         let _ = Wire.Channel.recv ep in
+         (* An all-zero "element" is not in [1, p-1]. *)
+         let bogus = String.make (Group.element_bytes g64) '\x00' in
+         Wire.Channel.send ep
+           (Message.make ~tag:"intersection/Y_S" (Message.Elements [ bogus ]))))
+
+let test_robust_wrong_width_element () =
+  expect_protocol_error "wrong width"
+    (against_fake_sender (fun ep ->
+         let _ = Wire.Channel.recv ep in
+         Wire.Channel.send ep
+           (Message.make ~tag:"intersection/Y_S" (Message.Elements [ "short" ]))))
+
+let test_robust_wrong_payload_shape () =
+  expect_protocol_error "pairs instead of elements"
+    (against_fake_sender (fun ep ->
+         let _ = Wire.Channel.recv ep in
+         Wire.Channel.send ep
+           (Message.make ~tag:"intersection/Y_S" (Message.Element_pairs [ ("a", "b") ]))))
+
+let test_robust_early_close () =
+  expect_protocol_error "peer vanishes"
+    (against_fake_sender (fun ep ->
+         let _ = Wire.Channel.recv ep in
+         ()))
+
+(* ------------------------------------------------------------------ *)
+(* Cost model (§6) and circuit baseline (Appendix A)                   *)
+(* ------------------------------------------------------------------ *)
+
+let close ?(tol = 0.05) expected actual =
+  Float.abs (actual -. expected) <= tol *. Float.abs expected
+
+let test_cost_model_doc_sharing_paper_numbers () =
+  (* §6.2.1: 10 x 100 documents of 1000 words. *)
+  let e =
+    Psi.Doc_sharing.estimate Psi.Cost_model.paper_params ~n_r:10 ~n_s:100 ~d_r:1000 ~d_s:1000
+  in
+  Alcotest.(check bool) "4e6 Ce" true (close 4e6 e.Psi.Cost_model.encryptions);
+  (* 4e6 * 0.02 / 10 = 8000 s ~ 2.2 hours. *)
+  Alcotest.(check bool) "~2 hours" true (close 8000. e.Psi.Cost_model.comp_seconds);
+  Alcotest.(check bool) "~3 Gbits" true (close 3.07e9 ~tol:0.03 e.Psi.Cost_model.comm_bits);
+  (* ~33 minutes on a T1. *)
+  Alcotest.(check bool) "~35 minutes" true
+    (e.Psi.Cost_model.comm_seconds > 30. *. 60. && e.Psi.Cost_model.comm_seconds < 36. *. 60.)
+
+let test_cost_model_medical_paper_numbers () =
+  (* §6.2.2: |V_R| = |V_S| = 1 million. *)
+  let e = Psi.Medical.estimate Psi.Cost_model.paper_params ~v_r:1_000_000 ~v_s:1_000_000 in
+  Alcotest.(check bool) "8e6 Ce" true (close 8e6 e.Psi.Cost_model.encryptions);
+  (* 8e6 * 0.02 / 10 = 16000 s ~ 4.4 hours. *)
+  Alcotest.(check bool) "~4 hours" true (close 16000. e.Psi.Cost_model.comp_seconds);
+  Alcotest.(check bool) "~8 Gbits" true (close 8.19e9 ~tol:0.03 e.Psi.Cost_model.comm_bits);
+  (* ~1.5 hours on a T1. *)
+  Alcotest.(check bool) "~1.5 hours" true
+    (e.Psi.Cost_model.comm_seconds > 1.3 *. 3600. && e.Psi.Cost_model.comm_seconds < 1.6 *. 3600.)
+
+let test_cost_model_formulas () =
+  let p = Psi.Cost_model.paper_params in
+  let e = Psi.Cost_model.estimate p Psi.Cost_model.Intersection ~v_s:100 ~v_r:50 in
+  Alcotest.(check bool) "Ce" true (close 300. e.Psi.Cost_model.encryptions);
+  Alcotest.(check bool) "bits" true (close (200. *. 1024.) e.Psi.Cost_model.comm_bits);
+  let j = Psi.Cost_model.estimate p Psi.Cost_model.Equijoin ~v_s:100 ~v_r:50 in
+  Alcotest.(check bool) "join Ce = 2*100 + 5*50" true (close 450. j.Psi.Cost_model.encryptions);
+  Alcotest.(check bool) "join bits = (100+150)k + 100k'" true
+    (close (350. *. 1024.) j.Psi.Cost_model.comm_bits)
+
+let test_collision_probability_paper_example () =
+  (* §3.2.2: 1024-bit hash values, half are quadratic residues, n = 1
+     million => collision probability ~= 10^12 / 10^307 = 10^-295. *)
+  let mantissa, e = Psi.Cost_model.collision_probability ~modulus_bits:1024 ~n:1e6 in
+  (* The paper rounds N = 2^1023 to 10^307 and reports ~10^-295; the
+     exact exponent is -297..-296. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2fe%d ~ 1e-295" mantissa e)
+    true
+    (e >= -297 && e <= -295);
+  Alcotest.(check bool) "mantissa sane" true (mantissa >= 1. && mantissa < 10.);
+  (* Sanity at small scale against direct evaluation: 64-bit modulus,
+     n = 2^20: x = n^2/2^64 ~ 6e-8. *)
+  let m2, e2 = Psi.Cost_model.collision_probability ~modulus_bits:64 ~n:(2. ** 20.) in
+  let direct = (2. ** 40.) /. (2. ** 64.) in
+  Alcotest.(check bool) "agrees with direct computation" true
+    (Float.abs ((m2 *. (10. ** float_of_int e2)) -. direct) /. direct < 0.01)
+
+let test_circuit_optimal_m_matches_paper () =
+  List.iter
+    (fun (n, m_expected) ->
+      let m, _ = Psi.Circuit_baseline.optimal_m n in
+      Alcotest.(check int) (Printf.sprintf "m for n=%g" n) m_expected m)
+    [ (1e4, 11); (1e6, 19); (1e8, 32) ]
+
+let test_circuit_gate_counts_match_paper () =
+  List.iter
+    (fun (n, f_expected) ->
+      let _, f = Psi.Circuit_baseline.optimal_m n in
+      Alcotest.(check bool)
+        (Printf.sprintf "f(%g) = %g (got %g)" n f_expected f)
+        true (close f_expected f))
+    [ (1e4, 2.3e8); (1e6, 7.3e10); (1e8, 1.9e13) ];
+  List.iter
+    (fun (n, bf) ->
+      Alcotest.(check bool) "brute force" true
+        (close bf (Psi.Circuit_baseline.brute_force_gates n)))
+    [ (1e4, 6.3e9); (1e6, 6.3e13); (1e8, 6.3e17) ]
+
+let test_circuit_computation_table () =
+  let rows = Psi.Circuit_baseline.computation_table [ 1e4; 1e6; 1e8 ] in
+  List.iter2
+    (fun (input, eval, ours) (row : Psi.Circuit_baseline.computation_row) ->
+      Alcotest.(check bool) "input" true (close input row.Psi.Circuit_baseline.circuit_input_ce);
+      Alcotest.(check bool) "eval" true (close eval row.Psi.Circuit_baseline.circuit_eval_cr);
+      Alcotest.(check bool) "ours" true (close ours row.Psi.Circuit_baseline.ours_ce))
+    [ (5e4, 4.7e8, 4e4); (5e6, 1.5e11, 4e6); (5e8, 3.8e13, 4e8) ]
+    rows
+
+let test_circuit_communication_table () =
+  let rows = Psi.Circuit_baseline.communication_table [ 1e4; 1e6; 1e8 ] in
+  List.iter2
+    (fun (input, tables, ours) (row : Psi.Circuit_baseline.communication_row) ->
+      Alcotest.(check bool) "input" true (close input row.Psi.Circuit_baseline.circuit_input_bits);
+      Alcotest.(check bool) "tables" true
+        (close tables row.Psi.Circuit_baseline.circuit_tables_bits);
+      Alcotest.(check bool) "ours" true (close ours row.Psi.Circuit_baseline.ours_bits))
+    [ (1.02e9, 6.0e10, 3.07e7); (1.02e11, 1.88e13, 3.07e9); (1.02e13, 4.9e15, 3.07e11) ]
+    rows
+
+let test_circuit_headline_claim () =
+  (* "For n = 1 million, 144 days versus 0.5 hours": the circuit needs
+     ~1000x more communication time than our protocol. *)
+  let row = List.hd (Psi.Circuit_baseline.communication_table [ 1e6 ]) in
+  let circuit_s =
+    Psi.Circuit_baseline.transfer_seconds
+      (row.Psi.Circuit_baseline.circuit_input_bits +. row.Psi.Circuit_baseline.circuit_tables_bits)
+  in
+  let ours_s = Psi.Circuit_baseline.transfer_seconds row.Psi.Circuit_baseline.ours_bits in
+  Alcotest.(check bool) "circuit ~140 days" true (circuit_s > 120. *. 86400. && circuit_s < 160. *. 86400.);
+  Alcotest.(check bool) "ours ~0.5 hours" true (ours_s > 0.4 *. 3600. && ours_s < 0.7 *. 3600.);
+  Alcotest.(check bool) ">1000x gap" true (circuit_s /. ours_s > 1000.)
+
+(* ------------------------------------------------------------------ *)
+(* Workload generators                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_value_sets () =
+  let vs, vr = Psi.Workload.value_sets ~seed:"w" ~n_s:30 ~n_r:20 ~overlap:7 in
+  Alcotest.(check int) "|V_S|" 30 (List.length (List.sort_uniq compare vs));
+  Alcotest.(check int) "|V_R|" 20 (List.length (List.sort_uniq compare vr));
+  Alcotest.(check int) "overlap" 7 (List.length (plain_intersection vs vr));
+  Alcotest.(check bool) "overlap too large rejected" true
+    (try
+       ignore (Psi.Workload.value_sets ~seed:"w" ~n_s:3 ~n_r:2 ~overlap:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_workload_documents () =
+  let docs =
+    Psi.Workload.documents ~seed:"d" ~n_docs:5 ~words_per_doc:50 ~vocabulary:200 ~prefix:"r"
+  in
+  Alcotest.(check int) "5 docs" 5 (List.length docs);
+  List.iter
+    (fun (d : Psi.Workload.document) ->
+      Alcotest.(check int) "50 distinct words" 50
+        (List.length (List.sort_uniq compare d.Psi.Workload.words)))
+    docs;
+  (* Determinism. *)
+  let again =
+    Psi.Workload.documents ~seed:"d" ~n_docs:5 ~words_per_doc:50 ~vocabulary:200 ~prefix:"r"
+  in
+  Alcotest.(check bool) "deterministic" true (docs = again)
+
+let test_workload_medical_tables () =
+  let t_r, t_s, truth =
+    Psi.Workload.medical_tables ~seed:"m" ~n_patients:500 ~p_pattern:0.3 ~p_drug:0.5
+      ~p_reaction:0.1
+  in
+  Alcotest.(check int) "T_R rows" 500 (Minidb.Table.cardinality t_r);
+  Alcotest.(check int) "T_S rows" 500 (Minidb.Table.cardinality t_s);
+  (* Ground truth agrees with the reference SQL evaluation. *)
+  let c = Psi.Medical.plaintext_counts ~t_r ~t_s in
+  Alcotest.(check int) "cell pr" truth.Psi.Workload.pattern_and_reaction c.Psi.Medical.pattern_and_reaction;
+  Alcotest.(check int) "cell pn" truth.Psi.Workload.pattern_no_reaction c.Psi.Medical.pattern_no_reaction;
+  Alcotest.(check int) "cell nr" truth.Psi.Workload.no_pattern_and_reaction c.Psi.Medical.no_pattern_and_reaction;
+  Alcotest.(check int) "cell nn" truth.Psi.Workload.no_pattern_no_reaction c.Psi.Medical.no_pattern_no_reaction
+
+(* ------------------------------------------------------------------ *)
+(* Applications                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_app_doc_sharing () =
+  let docs_r =
+    Psi.Workload.documents ~seed:"app-doc" ~n_docs:3 ~words_per_doc:40 ~vocabulary:2000 ~prefix:"R"
+  in
+  let docs_s =
+    Psi.Workload.documents ~seed:"app-doc" ~n_docs:3 ~words_per_doc:40 ~vocabulary:2000 ~prefix:"S"
+  in
+  let docs_r, docs_s = Psi.Workload.plant_similar_pair ~seed:"app-doc" docs_r docs_s ~fraction_shared:0.8 in
+  let threshold = 0.2 in
+  let report = Psi.Doc_sharing.run cfg ~docs_r ~docs_s ~threshold () in
+  let expected = Psi.Doc_sharing.plaintext_matches ~docs_r ~docs_s ~threshold () in
+  Alcotest.(check (list (pair string string))) "matches = plaintext oracle" expected
+    (List.map (fun (p : Psi.Doc_sharing.pair_result) -> (p.Psi.Doc_sharing.r_doc, p.Psi.Doc_sharing.s_doc))
+       report.Psi.Doc_sharing.matches);
+  Alcotest.(check bool) "planted pair found" true (List.length report.Psi.Doc_sharing.matches >= 1);
+  Alcotest.(check int) "all pairs explored" 9 (List.length report.Psi.Doc_sharing.all_pairs)
+
+let test_app_medical () =
+  let t_r, t_s, truth =
+    Psi.Workload.medical_tables ~seed:"app-med" ~n_patients:300 ~p_pattern:0.25 ~p_drug:0.6
+      ~p_reaction:0.15
+  in
+  let report = Psi.Medical.run cfg ~t_r ~t_s () in
+  let c = report.Psi.Medical.counts in
+  Alcotest.(check int) "pattern+reaction" truth.Psi.Workload.pattern_and_reaction
+    c.Psi.Medical.pattern_and_reaction;
+  Alcotest.(check int) "pattern only" truth.Psi.Workload.pattern_no_reaction
+    c.Psi.Medical.pattern_no_reaction;
+  Alcotest.(check int) "reaction only" truth.Psi.Workload.no_pattern_and_reaction
+    c.Psi.Medical.no_pattern_and_reaction;
+  Alcotest.(check int) "neither" truth.Psi.Workload.no_pattern_no_reaction
+    c.Psi.Medical.no_pattern_no_reaction;
+  Alcotest.(check bool) "bytes accounted" true (report.Psi.Medical.total_bytes > 0)
+
+let test_app_medical_ce_budget () =
+  (* Figure 2's four protocols cost 2(|V_R|+|V_S|) * 2 Ce in total. *)
+  let t_r, t_s, _ =
+    Psi.Workload.medical_tables ~seed:"budget" ~n_patients:200 ~p_pattern:0.5 ~p_drug:0.5
+      ~p_reaction:0.2
+  in
+  let report = Psi.Medical.run cfg ~t_r ~t_s () in
+  let v_r = 200 in
+  let v_s =
+    Minidb.Table.cardinality (Minidb.Relop.select_eq t_s "drug" (Minidb.Value.Bool true))
+  in
+  Alcotest.(check int) "total Ce = 4(|V_R| + |V_S|)"
+    (4 * (v_r + v_s))
+    report.Psi.Medical.ops.P.encryptions
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "psi"
+    [
+      ( "intersection",
+        [
+          Alcotest.test_case "basic" `Quick test_intersection_basic;
+          Alcotest.test_case "disjoint" `Quick test_intersection_disjoint;
+          Alcotest.test_case "identical" `Quick test_intersection_identical;
+          Alcotest.test_case "subset" `Quick test_intersection_subset;
+          Alcotest.test_case "empty sides" `Quick test_intersection_empty_sides;
+          Alcotest.test_case "input deduplication" `Quick test_intersection_dedups_input;
+          Alcotest.test_case "binary/unicode/long values" `Quick test_intersection_binary_values;
+          Alcotest.test_case "randomized sizes" `Slow test_intersection_randomized;
+          Alcotest.test_case "256-bit group" `Quick test_intersection_larger_group;
+          Alcotest.test_case "deterministic given seed" `Quick test_intersection_deterministic_given_seed;
+        ] );
+      ( "intersection-costs",
+        [
+          Alcotest.test_case "op counts = §6.1" `Quick test_intersection_op_counts;
+          Alcotest.test_case "comm counts = §6.1" `Quick test_intersection_comm_counts;
+        ] );
+      ( "intersection-security",
+        [
+          Alcotest.test_case "sender view shape" `Quick test_intersection_sender_view_shape;
+          Alcotest.test_case "no plaintext or raw hash on wire" `Quick
+            test_intersection_transcript_reveals_no_plaintext;
+          Alcotest.test_case "transcripts differ across seeds" `Quick
+            test_intersection_views_differ_across_seeds;
+        ] );
+      ( "property-oracles",
+        [
+          prop_intersection_oracle;
+          prop_intersection_size_oracle;
+          prop_equijoin_size_oracle;
+          prop_equijoin_oracle;
+          prop_aggregate_oracle;
+        ] );
+      ( "parallelism",
+        [
+          Alcotest.test_case "parallel_map = map" `Quick test_parallel_map_matches_sequential;
+          Alcotest.test_case "short lists stay sequential" `Quick test_parallel_map_short_lists;
+          Alcotest.test_case "protocols agree across worker counts" `Quick
+            test_parallel_protocols_same_results;
+          Alcotest.test_case "worker validation" `Quick test_parallel_workers_validated;
+        ] );
+      ( "equijoin",
+        [
+          Alcotest.test_case "basic with multi-record ext" `Quick test_equijoin_basic;
+          Alcotest.test_case "no matches" `Quick test_equijoin_no_matches;
+          Alcotest.test_case "empty sides" `Quick test_equijoin_empty_sides;
+          Alcotest.test_case "Mul cipher (Example 2)" `Quick test_equijoin_mul_cipher;
+          Alcotest.test_case "Mul cipher payload limit" `Quick test_equijoin_mul_cipher_payload_limit;
+          Alcotest.test_case "Stream cipher 50KB record" `Quick test_equijoin_stream_large_payload;
+          Alcotest.test_case "op counts = §6.1" `Quick test_equijoin_op_counts;
+          Alcotest.test_case "comm counts = §6.1" `Quick test_equijoin_comm_counts;
+          Alcotest.test_case "ext pairs sorted" `Quick test_equijoin_ext_pairs_sorted;
+          Alcotest.test_case "matches minidb join" `Quick test_equijoin_matches_minidb_join;
+        ] );
+      ( "intersection-size",
+        [
+          Alcotest.test_case "basic" `Quick test_intersection_size_basic;
+          Alcotest.test_case "size sweep" `Slow test_intersection_size_cases;
+          Alcotest.test_case "Z_R re-sorted and unpaired" `Quick test_intersection_size_z_r_resorted;
+          Alcotest.test_case "op counts" `Quick test_intersection_size_op_counts;
+        ] );
+      ( "equijoin-size",
+        [
+          Alcotest.test_case "basic multiset join size" `Quick test_equijoin_size_basic;
+          Alcotest.test_case "duplicate distributions" `Quick test_equijoin_size_duplicate_distributions;
+          Alcotest.test_case "class leakage = prediction" `Quick
+            test_equijoin_size_class_leakage_matches_prediction;
+          Alcotest.test_case "no duplicates degenerates" `Quick test_equijoin_size_no_duplicates_degenerates;
+          Alcotest.test_case "randomized" `Slow test_equijoin_size_randomized;
+        ] );
+      ( "leakage",
+        [
+          Alcotest.test_case "duplicate classes" `Quick test_leakage_duplicate_classes;
+          Alcotest.test_case "unique dups identify" `Quick test_leakage_unique_dups_identify_everything;
+          Alcotest.test_case "uniform dups hide" `Quick test_leakage_uniform_dups_identify_nothing;
+          Alcotest.test_case "fully shared class identifies" `Quick
+            test_leakage_full_class_shared_identifies;
+        ] );
+      ( "strawman-attack",
+        [
+          Alcotest.test_case "strawman computes intersection" `Quick test_insecure_protocol_correct;
+          Alcotest.test_case "dictionary attack recovers V_S" `Quick test_dictionary_attack_breaks_strawman;
+          Alcotest.test_case "attack fails vs secure protocols" `Quick
+            test_dictionary_attack_fails_against_secure_protocol;
+        ] );
+      ( "handshake",
+        [
+          Alcotest.test_case "matching configs agree" `Quick (fun () ->
+              let o =
+                Runner.run
+                  ~sender:(fun ep -> Psi.Handshake.respond cfg ep)
+                  ~receiver:(fun ep -> Psi.Handshake.initiate cfg ep)
+              in
+              Alcotest.(check int) "one message each way" 2
+                (o.Runner.sender_stats.Wire.Channel.messages_sent
+                + o.Runner.receiver_stats.Wire.Channel.messages_sent));
+          Alcotest.test_case "group mismatch detected" `Quick (fun () ->
+              Alcotest.(check bool) "fails" true
+                (try
+                   ignore
+                     (Runner.run
+                        ~sender:(fun ep -> Psi.Handshake.respond cfg256 ep)
+                        ~receiver:(fun ep -> Psi.Handshake.initiate cfg ep));
+                   false
+                 with Failure _ -> true));
+          Alcotest.test_case "domain mismatch detected" `Quick (fun () ->
+              let cfg_b = P.config ~domain:"other" g64 in
+              Alcotest.(check bool) "fails" true
+                (try
+                   ignore
+                     (Runner.run
+                        ~sender:(fun ep -> Psi.Handshake.respond cfg_b ep)
+                        ~receiver:(fun ep -> Psi.Handshake.initiate cfg ep));
+                   false
+                 with Failure _ -> true));
+          Alcotest.test_case "cipher mismatch detected" `Quick (fun () ->
+              let cfg_b = P.config ~cipher:Crypto.Perfect_cipher.Mul_cipher g64 in
+              Alcotest.(check bool) "fails" true
+                (try
+                   ignore
+                     (Runner.run
+                        ~sender:(fun ep -> Psi.Handshake.respond cfg_b ep)
+                        ~receiver:(fun ep -> Psi.Handshake.initiate cfg ep));
+                   false
+                 with Failure _ -> true));
+          Alcotest.test_case "workers do not affect fingerprint" `Quick (fun () ->
+              Alcotest.(check string) "equal"
+                (Psi.Handshake.fingerprint (P.config ~workers:1 g64))
+                (Psi.Handshake.fingerprint (P.config ~workers:8 g64)));
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "handshake + three protocols, one channel" `Quick (fun () ->
+              let report =
+                Psi.Session.run cfg
+                  [
+                    Psi.Session.Intersect { s_values = vs1; r_values = vr1 };
+                    Psi.Session.Intersect_size { s_values = vs1; r_values = vr1 };
+                    Psi.Session.Equijoin
+                      { s_records = records1; r_values = vr1 };
+                    Psi.Session.Equijoin_size
+                      { s_values = [ "a"; "a"; "b" ]; r_values = [ "a"; "c" ] };
+                  ]
+                  ()
+              in
+              match report.Psi.Session.results with
+              | [ Psi.Session.Values inter; Psi.Session.Size sz;
+                  Psi.Session.Matches m; Psi.Session.Size jsz ] ->
+                  Alcotest.(check (list string)) "intersect" [ "beet"; "corn" ] inter;
+                  Alcotest.(check int) "size" 2 sz;
+                  Alcotest.(check int) "join matches" 2 (List.length m);
+                  Alcotest.(check int) "join size" 2 jsz;
+                  Alcotest.(check bool) "bytes accumulate" true
+                    (report.Psi.Session.total_bytes > 0)
+              | _ -> Alcotest.fail "wrong result shapes");
+          Alcotest.test_case "session ops accounting" `Quick (fun () ->
+              let report =
+                Psi.Session.run cfg
+                  [ Psi.Session.Intersect { s_values = vs1; r_values = vr1 } ]
+                  ()
+              in
+              (* Handshake adds no encryptions; counts match a plain run. *)
+              Alcotest.(check int) "Ce" (2 * (5 + 4)) report.Psi.Session.ops.P.encryptions);
+        ] );
+      ( "proof-simulators",
+        [
+          Alcotest.test_case "sender view simulator (Stmt 2)" `Quick test_simulator_sender_view;
+          Alcotest.test_case "receiver view simulator: structure" `Quick
+            test_simulator_receiver_view_structure;
+          Alcotest.test_case "receiver view simulator: consistency" `Quick
+            test_simulator_receiver_view_consistency;
+          Alcotest.test_case "size simulator: consistency (Stmt 6)" `Quick
+            test_simulator_intersection_size_consistency;
+          Alcotest.test_case "size simulator: validation" `Quick
+            test_simulator_rejects_impossible_size;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "wrong tag rejected" `Quick test_robust_wrong_tag;
+          Alcotest.test_case "count mismatch rejected" `Quick test_robust_count_mismatch;
+          Alcotest.test_case "out-of-range element rejected" `Quick test_robust_out_of_range_element;
+          Alcotest.test_case "wrong-width element rejected" `Quick test_robust_wrong_width_element;
+          Alcotest.test_case "wrong payload shape rejected" `Quick test_robust_wrong_payload_shape;
+          Alcotest.test_case "early close fails cleanly" `Quick test_robust_early_close;
+        ] );
+      ( "cost-model",
+        [
+          Alcotest.test_case "§6.2.1 document sharing numbers" `Quick
+            test_cost_model_doc_sharing_paper_numbers;
+          Alcotest.test_case "§6.2.2 medical numbers" `Quick test_cost_model_medical_paper_numbers;
+          Alcotest.test_case "§6.1 formulas" `Quick test_cost_model_formulas;
+          Alcotest.test_case "§3.2.2 collision probability" `Quick
+            test_collision_probability_paper_example;
+        ] );
+      ( "circuit-baseline",
+        [
+          Alcotest.test_case "optimal m = paper" `Quick test_circuit_optimal_m_matches_paper;
+          Alcotest.test_case "gate counts = paper table" `Quick test_circuit_gate_counts_match_paper;
+          Alcotest.test_case "computation table (A.2)" `Quick test_circuit_computation_table;
+          Alcotest.test_case "communication table (A.2)" `Quick test_circuit_communication_table;
+          Alcotest.test_case "144 days vs 0.5 hours" `Quick test_circuit_headline_claim;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "value sets" `Quick test_workload_value_sets;
+          Alcotest.test_case "documents" `Quick test_workload_documents;
+          Alcotest.test_case "medical tables vs reference SQL" `Quick test_workload_medical_tables;
+        ] );
+      ( "applications",
+        [
+          Alcotest.test_case "document sharing = oracle" `Slow test_app_doc_sharing;
+          Alcotest.test_case "medical counts = ground truth" `Slow test_app_medical;
+          Alcotest.test_case "medical Ce budget" `Slow test_app_medical_ce_budget;
+        ] );
+    ]

@@ -1,0 +1,334 @@
+(* Tests for the wire substrate: serialization primitives, message
+   encoding, the metered channel, and the two-thread runner. *)
+
+module Buf = Wire.Buf
+module Message = Wire.Message
+module Channel = Wire.Channel
+module Runner = Wire.Runner
+
+let msg = Alcotest.testable Message.pp Message.equal
+
+let qtest name ?(count = 200) gen print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen prop)
+
+let gen_string max_len =
+  QCheck2.Gen.(
+    bind (int_range 0 max_len) (fun n ->
+        map
+          (fun l -> String.init n (List.nth l))
+          (list_repeat n (map Char.chr (int_range 0 255)))))
+
+(* ------------------------------------------------------------------ *)
+(* Buf                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_varint_known () =
+  let enc n =
+    let w = Buf.writer () in
+    Buf.write_varint w n;
+    Buf.contents w
+  in
+  Alcotest.(check string) "0" "\x00" (enc 0);
+  Alcotest.(check string) "127" "\x7f" (enc 127);
+  Alcotest.(check string) "128" "\x80\x01" (enc 128);
+  Alcotest.(check string) "300" "\xac\x02" (enc 300)
+
+let prop_varint_roundtrip =
+  qtest "varint roundtrip"
+    QCheck2.Gen.(int_range 0 max_int)
+    string_of_int
+    (fun n ->
+      let w = Buf.writer () in
+      Buf.write_varint w n;
+      let r = Buf.reader (Buf.contents w) in
+      let v = Buf.read_varint r in
+      Buf.at_end r && v = n)
+
+let prop_bytes_roundtrip =
+  qtest "length-prefixed bytes roundtrip" (gen_string 300) String.escaped (fun s ->
+      let w = Buf.writer () in
+      Buf.write_bytes w s;
+      let r = Buf.reader (Buf.contents w) in
+      String.equal (Buf.read_bytes r) s && Buf.at_end r)
+
+let test_u32_roundtrip () =
+  List.iter
+    (fun n ->
+      let w = Buf.writer () in
+      Buf.write_u32 w n;
+      let r = Buf.reader (Buf.contents w) in
+      Alcotest.(check int) (string_of_int n) n (Buf.read_u32 r))
+    [ 0; 1; 255; 65536; 0xffffffff ]
+
+let test_truncated_input () =
+  let r = Buf.reader "\x05abc" in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Buf.read_bytes r);
+       false
+     with Buf.Parse_error _ -> true)
+
+let test_trailing_bytes () =
+  let r = Buf.reader "\x00extra" in
+  ignore (Buf.read_u8 r);
+  Alcotest.(check bool) "raises" true
+    (try
+       Buf.expect_end r;
+       false
+     with Buf.Parse_error _ -> true)
+
+let test_writer_bounds () =
+  let w = Buf.writer () in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "rejected" true
+        (try
+           f ();
+           false
+         with Invalid_argument _ -> true))
+    [
+      (fun () -> Buf.write_u8 w 256);
+      (fun () -> Buf.write_u8 w (-1));
+      (fun () -> Buf.write_u32 w (-1));
+      (fun () -> Buf.write_u32 w 0x1_0000_0000);
+      (fun () -> Buf.write_varint w (-5));
+    ];
+  (* Reader: negative raw length is a parse error, not a crash. *)
+  Alcotest.(check bool) "negative read_raw" true
+    (try
+       ignore (Buf.read_raw (Buf.reader "abc") (-2));
+       false
+     with Buf.Parse_error _ -> true)
+
+let test_sequenced_fields () =
+  let w = Buf.writer () in
+  Buf.write_u8 w 7;
+  Buf.write_bytes w "hello";
+  Buf.write_varint w 1000;
+  Buf.write_raw w "xy";
+  let r = Buf.reader (Buf.contents w) in
+  Alcotest.(check int) "u8" 7 (Buf.read_u8 r);
+  Alcotest.(check string) "bytes" "hello" (Buf.read_bytes r);
+  Alcotest.(check int) "varint" 1000 (Buf.read_varint r);
+  Alcotest.(check string) "raw" "xy" (Buf.read_raw r 2);
+  Buf.expect_end r
+
+(* ------------------------------------------------------------------ *)
+(* Message                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_message =
+  QCheck2.Gen.(
+    let elt = gen_string 40 in
+    bind (int_range 0 3) (fun kind ->
+        bind (list_size (int_range 0 10) elt) (fun es ->
+            map
+              (fun tag ->
+                let payload =
+                  match kind with
+                  | 0 -> Message.Elements es
+                  | 1 -> Message.Element_pairs (List.map (fun e -> (e, e ^ "x")) es)
+                  | 2 -> Message.Element_triples (List.map (fun e -> (e, e ^ "y", "z")) es)
+                  | _ -> Message.Ciphertext_pairs (List.map (fun e -> (e, "ct" ^ e)) es)
+                in
+                Message.make ~tag payload)
+              (map (fun i -> "tag" ^ string_of_int i) (int_range 0 99)))))
+
+let prop_message_roundtrip =
+  qtest "message encode/decode roundtrip" gen_message
+    (fun m -> Format.asprintf "%a" Message.pp m)
+    (fun m -> Message.equal m (Message.decode (Message.encode m)))
+
+let test_message_element_count () =
+  Alcotest.(check int) "elements" 3
+    (Message.element_count (Message.make ~tag:"t" (Message.Elements [ "a"; "b"; "c" ])));
+  Alcotest.(check int) "pairs" 4
+    (Message.element_count (Message.make ~tag:"t" (Message.Element_pairs [ ("a", "b"); ("c", "d") ])));
+  Alcotest.(check int) "triples" 6
+    (Message.element_count
+       (Message.make ~tag:"t" (Message.Element_triples [ ("a", "b", "c"); ("d", "e", "f") ])));
+  Alcotest.(check int) "ciphertext pairs" 2
+    (Message.element_count
+       (Message.make ~tag:"t" (Message.Ciphertext_pairs [ ("a", "b"); ("c", "d") ])))
+
+let test_message_decode_garbage () =
+  (* Valid magic/version/tag but an unknown payload kind. *)
+  Alcotest.(check bool) "bad kind raises" true
+    (try
+       ignore (Message.decode "\xa5\x01\x01t\x09\x00");
+       false
+     with Buf.Parse_error _ -> true)
+
+let test_message_versioning () =
+  let m = Message.make ~tag:"t" (Message.Elements [ "a" ]) in
+  let enc = Message.encode m in
+  Alcotest.(check char) "magic byte" '\xa5' enc.[0];
+  Alcotest.(check char) "version byte" '\x01' enc.[1];
+  (* Wrong magic / unknown version are rejected. *)
+  let patch i c = String.mapi (fun j x -> if j = i then c else x) enc in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "rejected" true
+        (try
+           ignore (Message.decode s);
+           false
+         with Buf.Parse_error _ -> true))
+    [ patch 0 '\x00'; patch 1 '\x02' ]
+
+let test_message_size () =
+  let m = Message.make ~tag:"t" (Message.Elements [ "aaaa" ]) in
+  Alcotest.(check int) "size = encoded length" (String.length (Message.encode m))
+    (Message.size m)
+
+(* ------------------------------------------------------------------ *)
+(* Channel                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let m1 = Message.make ~tag:"m1" (Message.Elements [ "hello"; "world" ])
+let m2 = Message.make ~tag:"m2" (Message.Element_pairs [ ("a", "b") ])
+
+let test_channel_order () =
+  let a, b = Channel.create () in
+  Channel.send a m1;
+  Channel.send a m2;
+  Alcotest.check msg "first" m1 (Channel.recv b);
+  Alcotest.check msg "second" m2 (Channel.recv b);
+  Channel.send b m2;
+  Alcotest.check msg "reverse direction" m2 (Channel.recv a)
+
+let test_channel_stats () =
+  let a, b = Channel.create () in
+  Channel.send a m1;
+  Channel.send a m2;
+  ignore (Channel.recv b);
+  ignore (Channel.recv b);
+  let sa = Channel.stats a and sb = Channel.stats b in
+  Alcotest.(check int) "a sent msgs" 2 sa.Channel.messages_sent;
+  Alcotest.(check int) "a sent bytes" (Message.size m1 + Message.size m2) sa.Channel.bytes_sent;
+  Alcotest.(check int) "a sent elements" 4 sa.Channel.elements_sent;
+  Alcotest.(check int) "b recv msgs" 2 sb.Channel.messages_received;
+  Alcotest.(check int) "b recv bytes" sa.Channel.bytes_sent sb.Channel.bytes_received
+
+let test_channel_transcripts () =
+  let a, b = Channel.create () in
+  Channel.send a m1;
+  Channel.send b m2;
+  ignore (Channel.recv b);
+  ignore (Channel.recv a);
+  Alcotest.(check (list msg)) "a sent" [ m1 ] (Channel.sent a);
+  Alcotest.(check (list msg)) "b view" [ m1 ] (Channel.received b);
+  Alcotest.(check (list msg)) "a view" [ m2 ] (Channel.received a)
+
+let test_channel_close_unblocks () =
+  let a, b = Channel.create () in
+  let t = Thread.create (fun () -> Channel.close a) () in
+  Alcotest.(check bool) "recv fails after close" true
+    (try
+       ignore (Channel.recv b);
+       false
+     with Failure _ -> true);
+  Thread.join t
+
+let test_channel_threads () =
+  (* Concurrent producer/consumer of 100 messages. *)
+  let a, b = Channel.create () in
+  let t =
+    Thread.create
+      (fun () ->
+        for i = 1 to 100 do
+          Channel.send a (Message.make ~tag:(string_of_int i) (Message.Elements []))
+        done)
+      ()
+  in
+  for i = 1 to 100 do
+    let m = Channel.recv b in
+    Alcotest.(check string) "ordered" (string_of_int i) m.Message.tag
+  done;
+  Thread.join t
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_runner_pingpong () =
+  let outcome =
+    Runner.run
+      ~sender:(fun ep ->
+        Channel.send ep m1;
+        let got = Channel.recv ep in
+        got.Message.tag)
+      ~receiver:(fun ep ->
+        let got = Channel.recv ep in
+        Channel.send ep m2;
+        got.Message.tag)
+  in
+  Alcotest.(check string) "sender got" "m2" outcome.Runner.sender_result;
+  Alcotest.(check string) "receiver got" "m1" outcome.Runner.receiver_result;
+  Alcotest.(check int) "total bytes" (Message.size m1 + Message.size m2) outcome.Runner.total_bytes;
+  Alcotest.(check (list msg)) "receiver view" [ m1 ] outcome.Runner.receiver_view;
+  Alcotest.(check (list msg)) "sender view" [ m2 ] outcome.Runner.sender_view
+
+let test_runner_sender_exception () =
+  Alcotest.check_raises "propagates" (Failure "sender boom") (fun () ->
+      ignore
+        (Runner.run
+           ~sender:(fun _ -> failwith "sender boom")
+           ~receiver:(fun ep -> try ignore (Channel.recv ep) with Failure _ -> ())))
+
+let test_runner_receiver_exception () =
+  Alcotest.check_raises "propagates" (Failure "receiver boom") (fun () ->
+      ignore
+        (Runner.run
+           ~sender:(fun ep -> try ignore (Channel.recv ep) with Failure _ -> ())
+           ~receiver:(fun _ -> failwith "receiver boom")))
+
+let test_runner_deadlock_free_on_crash () =
+  (* Receiver crashes while sender waits forever: close must unblock. *)
+  match
+    Runner.run
+      ~sender:(fun ep -> try ignore (Channel.recv ep); "no" with Failure _ -> "unblocked")
+      ~receiver:(fun _ -> failwith "early crash")
+  with
+  | exception Failure m -> Alcotest.(check string) "receiver error wins" "early crash" m
+  | _ -> Alcotest.fail "expected exception"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "buf",
+        [
+          Alcotest.test_case "varint known encodings" `Quick test_varint_known;
+          prop_varint_roundtrip;
+          prop_bytes_roundtrip;
+          Alcotest.test_case "u32 roundtrip" `Quick test_u32_roundtrip;
+          Alcotest.test_case "truncated input" `Quick test_truncated_input;
+          Alcotest.test_case "trailing bytes" `Quick test_trailing_bytes;
+          Alcotest.test_case "writer bounds" `Quick test_writer_bounds;
+          Alcotest.test_case "sequenced fields" `Quick test_sequenced_fields;
+        ] );
+      ( "message",
+        [
+          prop_message_roundtrip;
+          Alcotest.test_case "element counts" `Quick test_message_element_count;
+          Alcotest.test_case "garbage rejected" `Quick test_message_decode_garbage;
+          Alcotest.test_case "magic and version" `Quick test_message_versioning;
+          Alcotest.test_case "size" `Quick test_message_size;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "FIFO order" `Quick test_channel_order;
+          Alcotest.test_case "stats" `Quick test_channel_stats;
+          Alcotest.test_case "transcripts" `Quick test_channel_transcripts;
+          Alcotest.test_case "close unblocks" `Quick test_channel_close_unblocks;
+          Alcotest.test_case "cross-thread" `Quick test_channel_threads;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "ping-pong" `Quick test_runner_pingpong;
+          Alcotest.test_case "sender exception" `Quick test_runner_sender_exception;
+          Alcotest.test_case "receiver exception" `Quick test_runner_receiver_exception;
+          Alcotest.test_case "crash does not deadlock" `Quick test_runner_deadlock_free_on_crash;
+        ] );
+    ]
