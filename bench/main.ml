@@ -161,6 +161,73 @@ let table_model_validation () =
     "\n(model bytes exclude per-message framing: tag, lengths -- a few dozen bytes/message)\n"
 
 (* ------------------------------------------------------------------ *)
+(* §6.1 model vs telemetry (T-OBS): the same validation, but driven     *)
+(* entirely by the Obs metric registry, and exported to BENCH_obs.json  *)
+(* ------------------------------------------------------------------ *)
+
+let table_obs () =
+  hr "§6.1 model vs Obs telemetry (Test256; written to BENCH_obs.json)";
+  let group = Crypto.Group.named Crypto.Group.Test256 in
+  let cfg = Psi.Protocol.config ~domain:"bench-obs" group in
+  let k_bits = 8 * Crypto.Group.element_bytes group in
+  let n = if quick then 60 else 200 in
+  let vs, vr = Psi.Workload.value_sets ~seed:"bench-obs" ~n_s:n ~n_r:n ~overlap:(n / 2) in
+  let records = List.map (fun v -> (v, "record-of-" ^ v)) vs in
+  let run_op op =
+    Obs.Metrics.reset ();
+    (match op with
+    | Psi.Cost_model.Intersection ->
+        ignore (Psi.Intersection.run cfg ~sender_values:vs ~receiver_values:vr ())
+    | Psi.Cost_model.Equijoin ->
+        ignore (Psi.Equijoin.run cfg ~sender_records:records ~receiver_values:vr ())
+    | Psi.Cost_model.Intersection_size ->
+        ignore (Psi.Intersection_size.run cfg ~sender_values:vs ~receiver_values:vr ())
+    | Psi.Cost_model.Equijoin_size ->
+        ignore (Psi.Equijoin_size.run cfg ~sender_values:vs ~receiver_values:vr ()));
+    let snap = Obs.Metrics.snapshot () in
+    let base = { Psi.Cost_model.paper_params with k_bits } in
+    let params =
+      match op with
+      | Psi.Cost_model.Equijoin ->
+          (* k' is by definition the encrypted ext(v) size; read it off
+             the equijoin's own size histogram. *)
+          let k'_bits =
+            match Obs.Metrics.find_histogram snap "psi.equijoin.ext_bytes" with
+            | Some h -> int_of_float ((8. *. Obs.Metrics.mean h) +. 0.5)
+            | None -> base.Psi.Cost_model.k'_bits
+          in
+          { base with k'_bits }
+      | _ -> base
+    in
+    Psi.Obs_report.model_vs_measured params op snap
+  in
+  let ops =
+    [ Psi.Cost_model.Intersection; Psi.Cost_model.Equijoin;
+      Psi.Cost_model.Intersection_size; Psi.Cost_model.Equijoin_size ]
+  in
+  let comparisons = Obs.Runtime.with_enabled (fun () -> List.map run_op ops) in
+  Printf.printf "n = %d per side, k = %d bits\n" n k_bits;
+  List.iter (fun c -> Format.printf "%a@." Obs.Report.pp c) comparisons;
+  let path = "BENCH_obs.json" in
+  let json =
+    Obs.Export.Json.Obj
+      [
+        ("group", Obs.Export.Json.Str "test256");
+        ("n", Obs.Export.Json.of_int n);
+        ("k_bits", Obs.Export.Json.of_int k_bits);
+        ("comparisons",
+         Obs.Export.Json.Arr (List.map Obs.Report.to_json comparisons));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Export.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  if List.exists (fun c -> not c.Obs.Report.within_tolerance) comparisons then
+    print_endline "WARNING: some protocols diverge from the §6.1 model beyond tolerance"
+
+(* ------------------------------------------------------------------ *)
 (* Protocol scaling (M-PROTO): wall-clock linearity in n                *)
 (* ------------------------------------------------------------------ *)
 
@@ -483,6 +550,7 @@ let () =
   table_a2_communication ();
   table_applications ();
   table_model_validation ();
+  table_obs ();
   table_scaling ();
   table_apps_end_to_end ();
   table_parallel_speedup ();

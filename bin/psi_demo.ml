@@ -22,6 +22,26 @@ let group_arg =
 let seed_arg =
   Arg.(value & opt string "psi-demo" & info [ "seed" ] ~doc:"Deterministic RNG seed.")
 
+let trace_arg =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Collect telemetry during the run and print the span tree \
+                 (per party and protocol phase) plus counters to stderr.")
+
+(* Wrap a command body in span collection; the report goes to stderr so
+   stdout stays pipeable. *)
+let with_trace trace f =
+  if not trace then f ()
+  else begin
+    let r, roots, snapshot = Obs.trace f in
+    Format.eprintf "@.== span tree ==@.%a" Obs.Export.pp_tree roots;
+    Format.eprintf "@.== counters ==@.";
+    List.iter
+      (fun (name, v) -> Format.eprintf "%-40s %d@." name v)
+      snapshot.Obs.Metrics.counters;
+    r
+  end
+
 let values_of_csv path attr =
   let t = Minidb.Csv.load path in
   List.map Minidb.Value.key (Minidb.Table.distinct_values t attr)
@@ -60,8 +80,9 @@ let attr_arg =
 
 let report_traffic (o_total : int) = Printf.printf "wire traffic: %d bytes\n" o_total
 
-let run_intersect group seed op csv_s csv_r attr =
+let run_intersect group seed op csv_s csv_r attr trace =
   let cfg = Psi.Protocol.config ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
+  with_trace trace @@ fun () ->
   match op with
   | Op_intersection ->
       let vs = values_of_csv csv_s attr and vr = values_of_csv csv_r attr in
@@ -118,7 +139,8 @@ let intersect_cmd =
   let doc = "Run a private set operation between two CSV tables." in
   Cmd.v
     (Cmd.info "intersect" ~doc)
-    Term.(const run_intersect $ group_arg $ seed_arg $ op_arg $ csv_s_arg $ csv_r_arg $ attr_arg)
+    Term.(const run_intersect $ group_arg $ seed_arg $ op_arg $ csv_s_arg $ csv_r_arg
+          $ attr_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen-medical / medical                                               *)
@@ -142,9 +164,10 @@ let gen_medical_cmd =
     (Cmd.info "gen-medical" ~doc:"Generate a synthetic medical cohort (two CSV tables).")
     Term.(const run_gen_medical $ seed_arg $ patients $ out_r $ out_s)
 
-let run_medical group seed table_r table_s =
+let run_medical group seed table_r table_s trace =
   let cfg = Psi.Protocol.config ~domain:"medical:person_id" (Crypto.Group.named group) in
   let t_r = Minidb.Csv.load table_r and t_s = Minidb.Csv.load table_s in
+  with_trace trace @@ fun () ->
   let report = Psi.Medical.run cfg ~seed ~t_r ~t_s () in
   let c = report.Psi.Medical.counts in
   Printf.printf "pattern & reaction:      %d\n" c.Psi.Medical.pattern_and_reaction;
@@ -163,7 +186,7 @@ let medical_cmd =
   in
   Cmd.v
     (Cmd.info "medical" ~doc:"Run the Figure-2 medical research query privately.")
-    Term.(const run_medical $ group_arg $ seed_arg $ table_r $ table_s)
+    Term.(const run_medical $ group_arg $ seed_arg $ table_r $ table_s $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* estimate                                                            *)

@@ -41,6 +41,13 @@ type t = {
 let create policy = { policy; entries = []; inputs = Hashtbl.create 8 }
 let log t = List.rev t.entries
 
+let c_allow = Obs.Metrics.counter "audit.allow"
+let c_deny = Obs.Metrics.counter "audit.deny"
+
+let record_decision = function
+  | Allow -> Obs.Metrics.incr c_allow
+  | Deny _ -> Obs.Metrics.incr c_deny
+
 let queries_from t ~peer =
   List.length
     (List.filter (fun e -> e.peer = peer && e.decision = Allow) t.entries)
@@ -90,6 +97,7 @@ let check_query t ~peer ~operation ~input_values =
     }
   in
   t.entries <- entry :: t.entries;
+  record_decision decision;
   (match decision with
   | Allow ->
       Hashtbl.replace t.inputs peer
@@ -122,4 +130,5 @@ let check_result t ~peer ~result_size ~own_set_size =
     | e :: tl -> e :: attach tl
   in
   t.entries <- attach t.entries;
+  record_decision decision;
   decision

@@ -68,7 +68,10 @@ let group_records records =
     records;
   List.rev_map (fun v -> (v, List.rev (Hashtbl.find tbl v))) !order |> List.rev
 
+let h_ext_bytes = Obs.Metrics.histogram "psi.equijoin.ext_bytes"
+
 let sender cfg ~rng ~records ep =
+  Obs.Span.with_ "equijoin/sender" @@ fun () ->
   let ops = Protocol.new_ops () in
   let grouped = group_records records in
   let e_s = Commutative.gen_key cfg.Protocol.group ~rng in
@@ -77,41 +80,64 @@ let sender cfg ~rng ~records ep =
   let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
   (* Step 4: double-encrypt each y under e_S and e'_S, Y_R order. *)
   let pairs =
-    Protocol.parallel_map ~workers:cfg.Protocol.workers
-      (fun y ->
-        let x = Protocol.decode cfg y in
-        ( Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s x),
-          Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s' x) ))
-      y_r
+    Obs.Span.with_ "encrypt-peer"
+      ~attrs:[ ("n", string_of_int (List.length y_r)) ]
+      (fun () ->
+        Protocol.parallel_map ~workers:cfg.Protocol.workers
+          (fun y ->
+            let x = Protocol.decode cfg y in
+            ( Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s x),
+              Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s' x) ))
+          y_r)
   in
   ops.Protocol.encryptions <- ops.Protocol.encryptions + (2 * List.length y_r);
   Channel.send ep (Message.make ~tag:tag_pairs (Message.Element_pairs pairs));
   (* Step 5: for each v, ship (f_eS(h(v)), K(kappa(v), ext v)), sorted. *)
-  let hashed = Protocol.hash_values cfg ops (List.map fst grouped) in
-  let ext_pairs =
-    Protocol.parallel_map ~workers:cfg.Protocol.workers
-      (fun ((v, recs), (v', h)) ->
-        assert (String.equal v v');
-        let key_part = Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s h) in
-        let kappa = Commutative.encrypt cfg.Protocol.group e_s' h in
-        (key_part, encrypt_ext cfg ~kappa (encode_ext v recs)))
-      (List.combine grouped hashed)
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let hashed =
+    Obs.Span.with_ "hash"
+      ~attrs:[ ("n", string_of_int (List.length grouped)) ]
+      (fun () -> Protocol.hash_values cfg ops (List.map fst grouped))
   in
+  let ext_pairs =
+    Obs.Span.with_ "encrypt-own"
+      ~attrs:[ ("n", string_of_int (List.length grouped)) ]
+      (fun () ->
+        Protocol.parallel_map ~workers:cfg.Protocol.workers
+          (fun ((v, recs), (v', h)) ->
+            assert (String.equal v v');
+            let key_part =
+              Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s h)
+            in
+            let kappa = Commutative.encrypt cfg.Protocol.group e_s' h in
+            (key_part, encrypt_ext cfg ~kappa (encode_ext v recs)))
+          (List.combine grouped hashed))
+    |> fun ps ->
+    Obs.Span.with_ "reorder" (fun () ->
+        List.sort (fun (a, _) (b, _) -> String.compare a b) ps)
+  in
+  List.iter
+    (fun (_, ciphertext) ->
+      Obs.Metrics.observe h_ext_bytes (float_of_int (String.length ciphertext)))
+    ext_pairs;
   ops.Protocol.encryptions <- ops.Protocol.encryptions + (2 * List.length grouped);
   ops.Protocol.cipher_ops <- ops.Protocol.cipher_ops + List.length grouped;
   Channel.send ep (Message.make ~tag:tag_ext (Message.Ciphertext_pairs ext_pairs));
   { v_r_count = List.length y_r; ops }
 
 let receiver cfg ~rng ~values ep =
+  Obs.Span.with_ "equijoin/receiver" @@ fun () ->
   let ops = Protocol.new_ops () in
   let v_r = Protocol.dedup values in
+  let attrs = [ ("n", string_of_int (List.length v_r)) ] in
   let e_r = Commutative.gen_key cfg.Protocol.group ~rng in
-  let hashed = Protocol.hash_values cfg ops v_r in
+  let hashed = Obs.Span.with_ ~attrs "hash" (fun () -> Protocol.hash_values cfg ops v_r) in
   let encoded =
-    Protocol.encrypt_batch cfg ops e_r (List.map snd hashed)
-    |> List.map2 (fun (v, _) c -> (Protocol.encode cfg c, v)) hashed
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    Obs.Span.with_ ~attrs "encrypt-own" (fun () ->
+        Protocol.encrypt_batch cfg ops e_r (List.map snd hashed)
+        |> List.map2 (fun (v, _) c -> (Protocol.encode cfg c, v)) hashed)
+    |> fun ps ->
+    Obs.Span.with_ "reorder" (fun () ->
+        List.sort (fun (a, _) (b, _) -> String.compare a b) ps)
   in
   Channel.send ep (Message.make ~tag:tag_y_r (Message.Elements (List.map fst encoded)));
   (* Step 6: peel our own layer off both components; position i of the
@@ -121,18 +147,28 @@ let receiver cfg ~rng ~values ep =
     failwith "protocol error: pairs count mismatch"
   else begin
     let keyed =
-      Protocol.parallel_map ~workers:cfg.Protocol.workers
-        (fun ((fes_y, fes'_y), (_, v)) ->
-          let fes_h = Commutative.decrypt cfg.Protocol.group e_r (Protocol.decode cfg fes_y) in
-          let kappa = Commutative.decrypt cfg.Protocol.group e_r (Protocol.decode cfg fes'_y) in
-          (Protocol.encode cfg fes_h, (v, kappa)))
-        (List.combine pairs encoded)
+      Obs.Span.with_ "encrypt-peer"
+        ~attrs:[ ("n", string_of_int (List.length pairs)) ]
+        (fun () ->
+          Protocol.parallel_map ~workers:cfg.Protocol.workers
+            (fun ((fes_y, fes'_y), (_, v)) ->
+              let fes_h =
+                Commutative.decrypt cfg.Protocol.group e_r (Protocol.decode cfg fes_y)
+              in
+              let kappa =
+                Commutative.decrypt cfg.Protocol.group e_r (Protocol.decode cfg fes'_y)
+              in
+              (Protocol.encode cfg fes_h, (v, kappa)))
+            (List.combine pairs encoded))
     in
     ops.Protocol.encryptions <- ops.Protocol.encryptions + (2 * List.length pairs);
     let index = Hashtbl.create (List.length keyed) in
     List.iter (fun (k, vk) -> Hashtbl.replace index k vk) keyed;
     (* Step 7: match S's ext pairs against our keys and decrypt. *)
     let ext_pairs = Protocol.pairs_of (Protocol.recv_tagged ep tag_ext) in
+    Obs.Span.with_ "match"
+      ~attrs:[ ("n", string_of_int (List.length ext_pairs)) ]
+    @@ fun () ->
     let matches = ref [] in
     let collisions = ref [] in
     List.iter
@@ -158,6 +194,14 @@ let run cfg ?(seed = "equijoin-seed") ~sender_records ~receiver_values () =
   let drbg = Crypto.Drbg.create ~seed in
   let s_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"sender") in
   let r_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"receiver") in
-  Wire.Runner.run
-    ~sender:(fun ep -> sender cfg ~rng:s_rng ~records:sender_records ep)
-    ~receiver:(fun ep -> receiver cfg ~rng:r_rng ~values:receiver_values ep)
+  let o =
+    Wire.Runner.run
+      ~sender:(fun ep -> sender cfg ~rng:s_rng ~records:sender_records ep)
+      ~receiver:(fun ep -> receiver cfg ~rng:r_rng ~values:receiver_values ep)
+  in
+  Protocol.record_run ~op:"equijoin" ~v_s:o.Wire.Runner.receiver_result.v_s_count
+    ~v_r:o.Wire.Runner.sender_result.v_r_count
+    ~ops:
+      (Protocol.total o.Wire.Runner.sender_result.ops o.Wire.Runner.receiver_result.ops)
+    ~wire_bytes:o.Wire.Runner.total_bytes;
+  o

@@ -44,21 +44,33 @@ let encrypt_multiset cfg ops key encoded =
 let hash_and_encrypt_multiset cfg ops key values =
   (* Hash/encrypt each distinct value once, then replicate. *)
   let m = Sset.Multi.of_list values in
-  let hashed = Protocol.hash_values cfg ops (Sset.Multi.distinct m) in
-  Protocol.encrypt_batch cfg ops key (List.map snd hashed)
-  |> List.map2
-       (fun (v, _) c ->
-         List.init (Sset.Multi.count m v) (fun _ -> Protocol.encode cfg c))
-       hashed
-  |> List.concat |> Protocol.sort_encoded
+  let attrs = [ ("distinct", string_of_int (List.length (Sset.Multi.distinct m))) ] in
+  let hashed =
+    Obs.Span.with_ ~attrs "hash" (fun () ->
+        Protocol.hash_values cfg ops (Sset.Multi.distinct m))
+  in
+  Obs.Span.with_ ~attrs "encrypt-own" (fun () ->
+      Protocol.encrypt_batch cfg ops key (List.map snd hashed)
+      |> List.map2
+           (fun (v, _) c ->
+             List.init (Sset.Multi.count m v) (fun _ -> Protocol.encode cfg c))
+           hashed
+      |> List.concat)
+  |> fun encoded -> Obs.Span.with_ "reorder" (fun () -> Protocol.sort_encoded encoded)
 
 let sender cfg ~rng ~values ep =
+  Obs.Span.with_ "equijoin_size/sender" @@ fun () ->
   let ops = Protocol.new_ops () in
   let e_s = Commutative.gen_key cfg.Protocol.group ~rng in
   let y_s = hash_and_encrypt_multiset cfg ops e_s values in
   let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
   Channel.send ep (Message.make ~tag:tag_y_s (Message.Elements y_s));
-  let z_r = Protocol.sort_encoded (encrypt_multiset cfg ops e_s y_r) in
+  let z_r =
+    Obs.Span.with_ "encrypt-peer"
+      ~attrs:[ ("n", string_of_int (List.length y_r)) ]
+      (fun () -> encrypt_multiset cfg ops e_s y_r)
+    |> fun es -> Obs.Span.with_ "reorder" (fun () -> Protocol.sort_encoded es)
+  in
   Channel.send ep (Message.make ~tag:tag_z_r (Message.Elements z_r));
   {
     v_r_multiset_size = List.length y_r;
@@ -67,14 +79,19 @@ let sender cfg ~rng ~values ep =
   }
 
 let receiver cfg ~rng ~values ep =
+  Obs.Span.with_ "equijoin_size/receiver" @@ fun () ->
   let ops = Protocol.new_ops () in
   let e_r = Commutative.gen_key cfg.Protocol.group ~rng in
   let y_r = hash_and_encrypt_multiset cfg ops e_r values in
   Channel.send ep (Message.make ~tag:tag_y_r (Message.Elements y_r));
   let y_s = Protocol.elements_of (Protocol.recv_tagged ep tag_y_s) in
-  let z_s = Sset.Multi.of_list (encrypt_multiset cfg ops e_r y_s) in
+  let z_s =
+    Obs.Span.with_ "encrypt-peer"
+      ~attrs:[ ("n", string_of_int (List.length y_s)) ]
+      (fun () -> Sset.Multi.of_list (encrypt_multiset cfg ops e_r y_s))
+  in
   let z_r = Sset.Multi.of_list (Protocol.elements_of (Protocol.recv_tagged ep tag_z_r)) in
-  let join_size = Sset.Multi.join_size z_s z_r in
+  let join_size = Obs.Span.with_ "match" (fun () -> Sset.Multi.join_size z_s z_r) in
   (* §5.2 leakage, reconstructed from R's own view: bucket the distinct
      double encryptions by (d = multiplicity in Z_R, d' = in Z_S). *)
   let tbl = Hashtbl.create 16 in
@@ -100,6 +117,15 @@ let run cfg ?(seed = "equijoin-size-seed") ~sender_values ~receiver_values () =
   let drbg = Crypto.Drbg.create ~seed in
   let s_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"sender") in
   let r_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"receiver") in
-  Wire.Runner.run
-    ~sender:(fun ep -> sender cfg ~rng:s_rng ~values:sender_values ep)
-    ~receiver:(fun ep -> receiver cfg ~rng:r_rng ~values:receiver_values ep)
+  let o =
+    Wire.Runner.run
+      ~sender:(fun ep -> sender cfg ~rng:s_rng ~values:sender_values ep)
+      ~receiver:(fun ep -> receiver cfg ~rng:r_rng ~values:receiver_values ep)
+  in
+  Protocol.record_run ~op:"equijoin_size"
+    ~v_s:o.Wire.Runner.receiver_result.v_s_multiset_size
+    ~v_r:o.Wire.Runner.sender_result.v_r_multiset_size
+    ~ops:
+      (Protocol.total o.Wire.Runner.sender_result.ops o.Wire.Runner.receiver_result.ops)
+    ~wire_bytes:o.Wire.Runner.total_bytes;
+  o

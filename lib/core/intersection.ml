@@ -15,16 +15,20 @@ let tag_y_s = "intersection/Y_S"
 let tag_y_r_enc = "intersection/Y_R_enc"
 
 let sender cfg ~rng ~values ep =
+  Obs.Span.with_ "intersection/sender" @@ fun () ->
   let ops = Protocol.new_ops () in
   let v_s = Protocol.dedup values in
+  let attrs = [ ("n", string_of_int (List.length v_s)) ] in
   let e_s = Commutative.gen_key cfg.Protocol.group ~rng in
   (* Step 1-2: hash and encrypt own set. *)
+  let hashed =
+    Obs.Span.with_ ~attrs "hash" (fun () ->
+        Protocol.hash_values cfg ops v_s |> List.map snd)
+  in
   let y_s =
-    Protocol.hash_values cfg ops v_s
-    |> List.map snd
-    |> Protocol.encrypt_batch cfg ops e_s
-    |> List.map (Protocol.encode cfg)
-    |> Protocol.sort_encoded
+    Obs.Span.with_ ~attrs "encrypt-own" (fun () ->
+        Protocol.encrypt_batch cfg ops e_s hashed |> List.map (Protocol.encode cfg))
+    |> fun encoded -> Obs.Span.with_ "reorder" (fun () -> Protocol.sort_encoded encoded)
   in
   (* Step 3: receive Y_R. *)
   let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
@@ -32,21 +36,30 @@ let sender cfg ~rng ~values ep =
   Channel.send ep (Message.make ~tag:tag_y_s (Message.Elements y_s));
   (* Step 4(b): encrypt each y in Y_R, preserving R's order (the §6.1
      optimization: no need to echo y itself). *)
-  let y_r_enc = Protocol.encrypt_encoded_batch cfg ops e_s y_r in
+  let y_r_enc =
+    Obs.Span.with_ "encrypt-peer"
+      ~attrs:[ ("n", string_of_int (List.length y_r)) ]
+      (fun () -> Protocol.encrypt_encoded_batch cfg ops e_s y_r)
+  in
   Channel.send ep (Message.make ~tag:tag_y_r_enc (Message.Elements y_r_enc));
   { v_r_count = List.length y_r; ops }
 
 let receiver cfg ~rng ~values ep =
+  Obs.Span.with_ "intersection/receiver" @@ fun () ->
   let ops = Protocol.new_ops () in
   let v_r = Protocol.dedup values in
+  let attrs = [ ("n", string_of_int (List.length v_r)) ] in
   let e_r = Commutative.gen_key cfg.Protocol.group ~rng in
   (* Step 1-2: hash and encrypt own set, remembering which encoding
      belongs to which value. *)
-  let hashed = Protocol.hash_values cfg ops v_r in
+  let hashed = Obs.Span.with_ ~attrs "hash" (fun () -> Protocol.hash_values cfg ops v_r) in
   let encoded =
-    Protocol.encrypt_batch cfg ops e_r (List.map snd hashed)
-    |> List.map2 (fun (v, _) c -> (Protocol.encode cfg c, v)) hashed
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    Obs.Span.with_ ~attrs "encrypt-own" (fun () ->
+        Protocol.encrypt_batch cfg ops e_r (List.map snd hashed)
+        |> List.map2 (fun (v, _) c -> (Protocol.encode cfg c, v)) hashed)
+    |> fun pairs ->
+    Obs.Span.with_ "reorder" (fun () ->
+        List.sort (fun (a, _) (b, _) -> String.compare a b) pairs)
   in
   (* Step 3: send Y_R reordered lexicographically. *)
   Channel.send ep (Message.make ~tag:tag_y_r (Message.Elements (List.map fst encoded)));
@@ -54,10 +67,13 @@ let receiver cfg ~rng ~values ep =
   let y_s = Protocol.elements_of (Protocol.recv_tagged ep tag_y_s) in
   (* Step 5: Z_S = f_eR(Y_S). *)
   let z_s =
-    List.fold_left
-      (fun acc z -> Sset.add z acc)
-      Sset.empty
-      (Protocol.encrypt_encoded_batch cfg ops e_r y_s)
+    Obs.Span.with_ "encrypt-peer"
+      ~attrs:[ ("n", string_of_int (List.length y_s)) ]
+      (fun () ->
+        List.fold_left
+          (fun acc z -> Sset.add z acc)
+          Sset.empty
+          (Protocol.encrypt_encoded_batch cfg ops e_r y_s))
   in
   (* Step 4(b) arrival: f_eS(f_eR(h(v))) in the order of our sorted Y_R,
      so position i corresponds to the i-th entry of [encoded]. *)
@@ -67,10 +83,11 @@ let receiver cfg ~rng ~values ep =
   else begin
     (* Step 6: v in the intersection iff f_eS(f_eR(h(v))) in Z_S. *)
     let intersection =
-      List.fold_left2
-        (fun acc z (_, v) -> if Sset.mem z z_s then v :: acc else acc)
-        [] y_r_enc encoded
-      |> List.sort String.compare
+      Obs.Span.with_ "match" (fun () ->
+          List.fold_left2
+            (fun acc z (_, v) -> if Sset.mem z z_s then v :: acc else acc)
+            [] y_r_enc encoded
+          |> List.sort String.compare)
     in
     { intersection; v_s_count = List.length y_s; ops }
   end
@@ -79,6 +96,14 @@ let run cfg ?(seed = "intersection-seed") ~sender_values ~receiver_values () =
   let drbg = Crypto.Drbg.create ~seed in
   let s_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"sender") in
   let r_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"receiver") in
-  Wire.Runner.run
-    ~sender:(fun ep -> sender cfg ~rng:s_rng ~values:sender_values ep)
-    ~receiver:(fun ep -> receiver cfg ~rng:r_rng ~values:receiver_values ep)
+  let o =
+    Wire.Runner.run
+      ~sender:(fun ep -> sender cfg ~rng:s_rng ~values:sender_values ep)
+      ~receiver:(fun ep -> receiver cfg ~rng:r_rng ~values:receiver_values ep)
+  in
+  Protocol.record_run ~op:"intersection" ~v_s:o.Wire.Runner.receiver_result.v_s_count
+    ~v_r:o.Wire.Runner.sender_result.v_r_count
+    ~ops:
+      (Protocol.total o.Wire.Runner.sender_result.ops o.Wire.Runner.receiver_result.ops)
+    ~wire_bytes:o.Wire.Runner.total_bytes;
+  o

@@ -9,56 +9,74 @@ let tag_y_r = "intersection_size/Y_R"
 let tag_y_s = "intersection_size/Y_S"
 let tag_z_r = "intersection_size/Z_R"
 
+let hash_encrypt_sort label cfg ops key values =
+  let attrs = [ ("n", string_of_int (List.length values)) ] in
+  Obs.Span.with_ label @@ fun () ->
+  Obs.Span.with_ ~attrs "hash" (fun () ->
+      Protocol.hash_values cfg ops values |> List.map snd)
+  |> (fun hs ->
+       Obs.Span.with_ ~attrs "encrypt-own" (fun () ->
+           Protocol.encrypt_batch cfg ops key hs |> List.map (Protocol.encode cfg)))
+  |> fun encoded -> Obs.Span.with_ "reorder" (fun () -> Protocol.sort_encoded encoded)
+
 let sender cfg ~rng ~values ep =
+  Obs.Span.with_ "intersection_size/sender" @@ fun () ->
   let ops = Protocol.new_ops () in
   let v_s = Protocol.dedup values in
   let e_s = Commutative.gen_key cfg.Protocol.group ~rng in
-  let y_s =
-    Protocol.hash_values cfg ops v_s
-    |> List.map snd
-    |> Protocol.encrypt_batch cfg ops e_s
-    |> List.map (Protocol.encode cfg)
-    |> Protocol.sort_encoded
-  in
+  let y_s = hash_encrypt_sort "own-set" cfg ops e_s v_s in
   let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
   Channel.send ep (Message.make ~tag:tag_y_s (Message.Elements y_s));
   (* Step 4(b): crucially re-sorted, destroying the pairing with Y_R. *)
   let z_r =
-    Protocol.encrypt_encoded_batch cfg ops e_s y_r |> Protocol.sort_encoded
+    Obs.Span.with_ "encrypt-peer"
+      ~attrs:[ ("n", string_of_int (List.length y_r)) ]
+      (fun () -> Protocol.encrypt_encoded_batch cfg ops e_s y_r)
+    |> fun es -> Obs.Span.with_ "reorder" (fun () -> Protocol.sort_encoded es)
   in
   Channel.send ep (Message.make ~tag:tag_z_r (Message.Elements z_r));
   { v_r_count = List.length y_r; ops }
 
 let receiver cfg ~rng ~values ep =
+  Obs.Span.with_ "intersection_size/receiver" @@ fun () ->
   let ops = Protocol.new_ops () in
   let v_r = Protocol.dedup values in
   let e_r = Commutative.gen_key cfg.Protocol.group ~rng in
-  let y_r =
-    Protocol.hash_values cfg ops v_r
-    |> List.map snd
-    |> Protocol.encrypt_batch cfg ops e_r
-    |> List.map (Protocol.encode cfg)
-    |> Protocol.sort_encoded
-  in
+  let y_r = hash_encrypt_sort "own-set" cfg ops e_r v_r in
   Channel.send ep (Message.make ~tag:tag_y_r (Message.Elements y_r));
   let y_s = Protocol.elements_of (Protocol.recv_tagged ep tag_y_s) in
   let z_s =
-    List.fold_left
-      (fun acc z -> Sset.add z acc)
-      Sset.empty
-      (Protocol.encrypt_encoded_batch cfg ops e_r y_s)
+    Obs.Span.with_ "encrypt-peer"
+      ~attrs:[ ("n", string_of_int (List.length y_s)) ]
+      (fun () ->
+        List.fold_left
+          (fun acc z -> Sset.add z acc)
+          Sset.empty
+          (Protocol.encrypt_encoded_batch cfg ops e_r y_s))
   in
   let z_r = Protocol.elements_of (Protocol.recv_tagged ep tag_z_r) in
-  let size = List.length (List.filter (fun z -> Sset.mem z z_s) z_r) in
+  let size =
+    Obs.Span.with_ "match" (fun () ->
+        List.length (List.filter (fun z -> Sset.mem z z_s) z_r))
+  in
   { size; v_s_count = List.length y_s; ops }
 
 let run cfg ?(seed = "intersection-size-seed") ~sender_values ~receiver_values () =
   let drbg = Crypto.Drbg.create ~seed in
   let s_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"sender") in
   let r_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"receiver") in
-  Wire.Runner.run
-    ~sender:(fun ep -> sender cfg ~rng:s_rng ~values:sender_values ep)
-    ~receiver:(fun ep -> receiver cfg ~rng:r_rng ~values:receiver_values ep)
+  let o =
+    Wire.Runner.run
+      ~sender:(fun ep -> sender cfg ~rng:s_rng ~values:sender_values ep)
+      ~receiver:(fun ep -> receiver cfg ~rng:r_rng ~values:receiver_values ep)
+  in
+  Protocol.record_run ~op:"intersection_size"
+    ~v_s:o.Wire.Runner.receiver_result.v_s_count
+    ~v_r:o.Wire.Runner.sender_result.v_r_count
+    ~ops:
+      (Protocol.total o.Wire.Runner.sender_result.ops o.Wire.Runner.receiver_result.ops)
+    ~wire_bytes:o.Wire.Runner.total_bytes;
+  o
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2 variant: Z_R and Z_S go to the researcher T.               *)
@@ -77,32 +95,32 @@ let run_to_third_party cfg ?(seed = "intersection-size-3p") ~sender_values ~rece
   let outcome =
     Wire.Runner.run
       ~sender:(fun ep ->
+        Obs.Span.with_ "intersection_size_3p/sender" @@ fun () ->
         let ops = Protocol.new_ops () in
         let e_s = Commutative.gen_key cfg.Protocol.group ~rng:s_rng in
-        let y_s =
-          Protocol.hash_values cfg ops (Protocol.dedup sender_values)
-          |> List.map snd
-          |> Protocol.encrypt_batch cfg ops e_s
-          |> List.map (Protocol.encode cfg)
-          |> Protocol.sort_encoded
-        in
+        let y_s = hash_encrypt_sort "own-set" cfg ops e_s (Protocol.dedup sender_values) in
         let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
         Channel.send ep (Message.make ~tag:tag_y_s (Message.Elements y_s));
-        let z_r = Protocol.encrypt_encoded_batch cfg ops e_s y_r |> Protocol.sort_encoded in
+        let z_r =
+          Obs.Span.with_ "encrypt-peer"
+            ~attrs:[ ("n", string_of_int (List.length y_r)) ]
+            (fun () -> Protocol.encrypt_encoded_batch cfg ops e_s y_r)
+          |> fun es -> Obs.Span.with_ "reorder" (fun () -> Protocol.sort_encoded es)
+        in
         (z_r, ops))
       ~receiver:(fun ep ->
+        Obs.Span.with_ "intersection_size_3p/receiver" @@ fun () ->
         let ops = Protocol.new_ops () in
         let e_r = Commutative.gen_key cfg.Protocol.group ~rng:r_rng in
-        let y_r =
-          Protocol.hash_values cfg ops (Protocol.dedup receiver_values)
-          |> List.map snd
-          |> Protocol.encrypt_batch cfg ops e_r
-          |> List.map (Protocol.encode cfg)
-          |> Protocol.sort_encoded
-        in
+        let y_r = hash_encrypt_sort "own-set" cfg ops e_r (Protocol.dedup receiver_values) in
         Channel.send ep (Message.make ~tag:tag_y_r (Message.Elements y_r));
         let y_s = Protocol.elements_of (Protocol.recv_tagged ep tag_y_s) in
-        let z_s = Protocol.encrypt_encoded_batch cfg ops e_r y_s |> Protocol.sort_encoded in
+        let z_s =
+          Obs.Span.with_ "encrypt-peer"
+            ~attrs:[ ("n", string_of_int (List.length y_s)) ]
+            (fun () -> Protocol.encrypt_encoded_batch cfg ops e_r y_s)
+          |> fun es -> Obs.Span.with_ "reorder" (fun () -> Protocol.sort_encoded es)
+        in
         (z_s, ops))
   in
   let z_r, s_ops = outcome.Wire.Runner.sender_result in
@@ -111,9 +129,17 @@ let run_to_third_party cfg ?(seed = "intersection-size-3p") ~sender_values ~rece
   let to_t_r = Message.make ~tag:tag_z_r_to_t (Message.Elements z_r) in
   let to_t_s = Message.make ~tag:tag_z_s_to_t (Message.Elements z_s) in
   let z_s_set = List.fold_left (fun acc z -> Sset.add z acc) Sset.empty z_s in
-  {
-    size = List.length (List.filter (fun z -> Sset.mem z z_s_set) z_r);
-    total_bytes =
-      outcome.Wire.Runner.total_bytes + Message.size to_t_r + Message.size to_t_s;
-    ops = Protocol.total s_ops r_ops;
-  }
+  let total_bytes =
+    outcome.Wire.Runner.total_bytes + Message.size to_t_r + Message.size to_t_s
+  in
+  let ops = Protocol.total s_ops r_ops in
+  let size =
+    Obs.Span.with_ "match" (fun () ->
+        List.length (List.filter (fun z -> Sset.mem z z_s_set) z_r))
+  in
+  (* Distinct op name: the third-party variant ships Z_R and Z_S to T on
+     top of the two-party traffic, so its comm bits are (2|V_S| +
+     2|V_R|) k rather than the §6.1 two-party figure. *)
+  Protocol.record_run ~op:"intersection_size_3p"
+    ~v_s:(List.length z_s) ~v_r:(List.length z_r) ~ops ~wire_bytes:total_bytes;
+  { size; total_bytes; ops }

@@ -1,0 +1,38 @@
+let op_name = function
+  | Cost_model.Intersection -> "intersection"
+  | Cost_model.Equijoin -> "equijoin"
+  | Cost_model.Intersection_size -> "intersection_size"
+  | Cost_model.Equijoin_size -> "equijoin_size"
+
+let get what = function
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Obs_report.model_vs_measured: %s missing from snapshot (was telemetry \
+            enabled during the run?)"
+           what)
+
+let model_vs_measured ?tolerance params op (snapshot : Obs.Metrics.snapshot) =
+  let name = op_name op in
+  let key suffix = Printf.sprintf "psi.%s.%s" name suffix in
+  let gauge suffix = get (key suffix) (Obs.Metrics.find_gauge snapshot (key suffix)) in
+  let counter suffix =
+    get (key suffix) (Obs.Metrics.find_counter snapshot (key suffix))
+  in
+  let runs = counter "runs" in
+  if runs = 0 then
+    invalid_arg
+      (Printf.sprintf "Obs_report.model_vs_measured: no %s runs in snapshot" name);
+  let v_s = int_of_float (gauge "v_s") and v_r = int_of_float (gauge "v_r") in
+  let estimate = Cost_model.estimate params op ~v_s ~v_r in
+  (* Counters accumulate across runs while the v_s/v_r gauges hold the
+     latest run's sizes, so average the counters per run — exact when
+     every run in the snapshot used the same input sizes. *)
+  let per_run c = float_of_int c /. float_of_int runs in
+  Obs.Report.compare ?tolerance ~label:name
+    ~predicted_ce:estimate.Cost_model.encryptions
+    ~observed_ce:(per_run (counter "encryptions"))
+    ~predicted_bits:estimate.Cost_model.comm_bits
+    ~observed_bits:(8. *. per_run (counter "wire_bytes"))
+    ()

@@ -1,0 +1,26 @@
+(** Live §6.1 model-vs-measured comparison.
+
+    Every protocol [run] publishes [psi.<op>.{v_s,v_r}] gauges and
+    [psi.<op>.{runs,encryptions,wire_bytes}] counters through
+    {!Protocol.record_run}. Given a snapshot of those metrics, this
+    module recomputes the paper's §6.1 predictions for the observed
+    input sizes and reports relative errors via {!Obs.Report}.
+
+    The encryption-count prediction is exact (the protocols perform
+    precisely the modexps the model counts), so its relative error
+    should be 0. Wire bits differ from [(|V_S| + 2|V_R|) k] by framing
+    (message tags, length varints) — a few percent, flagged only beyond
+    the tolerance (default 10%). *)
+
+(** [model_vs_measured ?tolerance params op snapshot] compares the
+    model against the telemetry of the runs captured in [snapshot].
+    Counters are averaged over [psi.<op>.runs] — exact when all runs in
+    the snapshot used the same input sizes.
+    @raise Invalid_argument if [snapshot] has no telemetry for [op]
+    (e.g. it was taken with telemetry disabled). *)
+val model_vs_measured :
+  ?tolerance:float ->
+  Cost_model.params ->
+  Cost_model.operation ->
+  Obs.Metrics.snapshot ->
+  Obs.Report.comparison

@@ -53,6 +53,23 @@ let total a b =
     cipher_ops = a.cipher_ops + b.cipher_ops;
   }
 
+(* Per-protocol telemetry rollup, written by each protocol's [run]:
+   gauges [psi.<op>.v_s]/[.v_r] (set sizes of the latest run) and
+   counters [psi.<op>.{runs,encryptions,hashes,cipher_ops,wire_bytes}].
+   [Obs_report.model_vs_measured] reads these back from a snapshot. *)
+let record_run ~op ~v_s ~v_r ~(ops : ops) ~wire_bytes =
+  if Obs.Runtime.is_enabled () then begin
+    let c name = Obs.Metrics.counter (Printf.sprintf "psi.%s.%s" op name) in
+    let g name = Obs.Metrics.gauge (Printf.sprintf "psi.%s.%s" op name) in
+    Obs.Metrics.set (g "v_s") (float_of_int v_s);
+    Obs.Metrics.set (g "v_r") (float_of_int v_r);
+    Obs.Metrics.incr (c "runs");
+    Obs.Metrics.incr ~by:ops.encryptions (c "encryptions");
+    Obs.Metrics.incr ~by:ops.hashes (c "hashes");
+    Obs.Metrics.incr ~by:ops.cipher_ops (c "cipher_ops");
+    Obs.Metrics.incr ~by:wire_bytes (c "wire_bytes")
+  end
+
 let dedup values = List.sort_uniq String.compare values
 
 let hash_values cfg ops vs =

@@ -50,6 +50,14 @@ type ops = { mutable hashes : int; mutable encryptions : int; mutable cipher_ops
 val new_ops : unit -> ops
 val total : ops -> ops -> ops
 
+(** [record_run ~op ~v_s ~v_r ~ops ~wire_bytes] publishes a finished
+    run's tallies to the default {!Obs.Metrics} registry (no-op when
+    telemetry is disabled): gauges [psi.<op>.v_s] / [psi.<op>.v_r] and
+    counters [psi.<op>.{runs,encryptions,hashes,cipher_ops,wire_bytes}].
+    Every protocol's [run] calls this; [Obs_report.model_vs_measured]
+    consumes it. *)
+val record_run : op:string -> v_s:int -> v_r:int -> ops:ops -> wire_bytes:int -> unit
+
 (** {1 Helpers used by the protocol modules} *)
 
 (** [dedup values] sorts and removes duplicates — the paper's "set of

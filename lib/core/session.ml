@@ -11,6 +11,18 @@ type result =
 
 type report = { results : result list; total_bytes : int; ops : Protocol.ops }
 
+let op_name = function
+  | Intersect _ -> "intersect"
+  | Intersect_size _ -> "intersect_size"
+  | Equijoin _ -> "equijoin"
+  | Equijoin_size _ -> "equijoin_size"
+
+(* Per-operation rollups under the session namespace, plus a span per
+   operation on each party's thread. *)
+let record_op op =
+  Obs.Metrics.incr (Obs.Metrics.counter "session.operations");
+  Obs.Metrics.incr (Obs.Metrics.counter ("session." ^ op_name op ^ ".runs"))
+
 let run cfg ?(seed = "session") operations () =
   let drbg = Crypto.Drbg.create ~seed in
   let s_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"sender") in
@@ -21,6 +33,7 @@ let run cfg ?(seed = "session") operations () =
         Handshake.respond cfg ep;
         List.fold_left
           (fun acc op ->
+            Obs.Span.with_ ("session/" ^ op_name op) @@ fun () ->
             let o =
               match op with
               | Intersect { s_values; _ } ->
@@ -39,6 +52,8 @@ let run cfg ?(seed = "session") operations () =
         Handshake.initiate cfg ep;
         List.fold_left_map
           (fun acc op ->
+            record_op op;
+            Obs.Span.with_ ("session/" ^ op_name op) @@ fun () ->
             match op with
             | Intersect { r_values; _ } ->
                 let r = Intersection.receiver cfg ~rng:r_rng ~values:r_values ep in
@@ -56,8 +71,8 @@ let run cfg ?(seed = "session") operations () =
   in
   let s_ops = outcome.Wire.Runner.sender_result in
   let r_ops, results = outcome.Wire.Runner.receiver_result in
-  {
-    results;
-    total_bytes = outcome.Wire.Runner.total_bytes;
-    ops = Protocol.total s_ops r_ops;
-  }
+  let ops = Protocol.total s_ops r_ops in
+  Obs.Metrics.incr ~by:ops.Protocol.encryptions (Obs.Metrics.counter "session.encryptions");
+  Obs.Metrics.incr ~by:outcome.Wire.Runner.total_bytes
+    (Obs.Metrics.counter "session.wire_bytes");
+  { results; total_bytes = outcome.Wire.Runner.total_bytes; ops }

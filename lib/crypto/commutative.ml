@@ -3,16 +3,35 @@ module Modular = Bignum.Modular
 
 type key = { e : Nat.t; e_inv : Nat.t }
 
+(* Telemetry: the §6.1 model's Ce is exactly one modexp, so these
+   counters are the ground truth the model is validated against. *)
+let c_encrypts = Obs.Metrics.counter "crypto.commutative.encrypts"
+let c_decrypts = Obs.Metrics.counter "crypto.commutative.decrypts"
+let c_keygens = Obs.Metrics.counter "crypto.commutative.keygens"
+let h_modexp_ns = Obs.Metrics.histogram "crypto.commutative.modexp_ns"
+let h_keygen_ns = Obs.Metrics.histogram "crypto.commutative.keygen_ns"
+
+let timed counter hist f =
+  if Obs.Runtime.is_enabled () then begin
+    let t0 = Obs.Clock.now_ns () in
+    let r = f () in
+    Obs.Metrics.observe hist (Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0));
+    Obs.Metrics.incr counter;
+    r
+  end
+  else f ()
+
 let key_of_exponent g e =
   if Nat.is_zero e || Nat.compare e (Group.q g) >= 0 then
     invalid_arg "Commutative.key_of_exponent: exponent outside [1, q-1]"
   else begin
-    (* q is prime, so every nonzero exponent is invertible mod q. *)
-    let e_inv = Modular.inv_exn e (Group.q g) in
-    { e; e_inv }
+    timed c_keygens h_keygen_ns (fun () ->
+        (* q is prime, so every nonzero exponent is invertible mod q. *)
+        let e_inv = Modular.inv_exn e (Group.q g) in
+        { e; e_inv })
   end
 
 let gen_key g ~rng = key_of_exponent g (Group.random_exponent g ~rng)
 let exponent k = k.e
-let encrypt g k x = Group.pow g x k.e
-let decrypt g k y = Group.pow g y k.e_inv
+let encrypt g k x = timed c_encrypts h_modexp_ns (fun () -> Group.pow g x k.e)
+let decrypt g k y = timed c_decrypts h_modexp_ns (fun () -> Group.pow g y k.e_inv)

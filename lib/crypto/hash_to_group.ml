@@ -1,5 +1,8 @@
 module Nat = Bignum.Nat
 
+(* The §6.1 model's Ch: one ideal-hash evaluation per call. *)
+let c_evals = Obs.Metrics.counter "crypto.hash_to_group.evals"
+
 let expand_bytes ~dst msg nbytes =
   (* Counter-mode expansion: SHA256(dst || ctr_be32 || msg) blocks. *)
   let buf = Buffer.create nbytes in
@@ -14,6 +17,7 @@ let expand_bytes ~dst msg nbytes =
   Buffer.sub buf 0 nbytes
 
 let hash_value g ~domain v =
+  Obs.Metrics.incr c_evals;
   let p = Group.p g in
   let nbytes = ((Group.modulus_bits g + 128) + 7) / 8 in
   let rec attempt salt =

@@ -1,0 +1,24 @@
+(* Wall clock forced monotone: concurrent readers CAS the latest
+   observation so the sequence of returned stamps never decreases, even
+   if the system clock steps backwards mid-run. *)
+
+let last = Atomic.make 0L
+
+let now_ns () =
+  let t = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  let rec fix () =
+    let l = Atomic.get last in
+    if Int64.compare t l <= 0 then l
+    else if Atomic.compare_and_set last l t then t
+    else fix ()
+  in
+  fix ()
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+
+let pp_duration fmt ns =
+  let f = Int64.to_float ns in
+  if f < 1e3 then Format.fprintf fmt "%.0fns" f
+  else if f < 1e6 then Format.fprintf fmt "%.1fus" (f /. 1e3)
+  else if f < 1e9 then Format.fprintf fmt "%.1fms" (f /. 1e6)
+  else Format.fprintf fmt "%.2fs" (f /. 1e9)

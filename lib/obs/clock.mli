@@ -1,0 +1,11 @@
+(** Monotonic nanosecond clock for spans and latency histograms.
+
+    Successive calls never go backwards (a CAS keeps the high-water
+    mark), so span durations are always non-negative. *)
+
+val now_ns : unit -> int64
+val ns_to_ms : int64 -> float
+
+(** [pp_duration fmt ns] renders ["532ns"], ["1.5us"], ["12.3ms"],
+    ["2.10s"]. *)
+val pp_duration : Format.formatter -> int64 -> unit

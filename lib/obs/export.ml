@@ -1,0 +1,509 @@
+(* The three exporters: pretty console span tree, JSONL event stream
+   (with a parser, so streams round-trip), Prometheus text format. *)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON (no external deps)                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of string (* raw literal: preserves int64 exactly *)
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let of_int i = Num (string_of_int i)
+  let of_int64 i = Num (Int64.to_string i)
+
+  let of_float f =
+    if Float.is_integer f && Float.abs f < 1e15 then Num (Printf.sprintf "%.0f" f)
+    else if Float.is_nan f then Str "nan"
+    else if f = Float.infinity then Str "inf"
+    else if f = Float.neg_infinity then Str "-inf"
+    else Num (Printf.sprintf "%.17g" f)
+
+  let escape b s =
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+
+  let rec write b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (string_of_bool x)
+    | Num raw -> Buffer.add_string b raw
+    | Str s -> escape b s
+    | Arr xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            write b x)
+          xs;
+        Buffer.add_char b ']'
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            escape b k;
+            Buffer.add_char b ':';
+            write b v)
+          fields;
+        Buffer.add_char b '}'
+
+  let to_string j =
+    let b = Buffer.create 256 in
+    write b j;
+    Buffer.contents b
+
+  exception Parse_error of string
+
+  let of_string s =
+    let pos = ref 0 in
+    let len = String.length s in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < len then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail "bad literal"
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= len then fail "unterminated string"
+        else begin
+          let c = s.[!pos] in
+          advance ();
+          match c with
+          | '"' -> Buffer.contents b
+          | '\\' -> (
+              if !pos >= len then fail "unterminated escape"
+              else begin
+                let e = s.[!pos] in
+                advance ();
+                match e with
+                | '"' | '\\' | '/' ->
+                    Buffer.add_char b e;
+                    go ()
+                | 'n' ->
+                    Buffer.add_char b '\n';
+                    go ()
+                | 'r' ->
+                    Buffer.add_char b '\r';
+                    go ()
+                | 't' ->
+                    Buffer.add_char b '\t';
+                    go ()
+                | 'b' ->
+                    Buffer.add_char b '\b';
+                    go ()
+                | 'f' ->
+                    Buffer.add_char b '\012';
+                    go ()
+                | 'u' ->
+                    if !pos + 4 > len then fail "bad \\u escape"
+                    else begin
+                      let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+                      pos := !pos + 4;
+                      (* ASCII range only — all we ever emit. *)
+                      if code < 0x80 then Buffer.add_char b (Char.chr code)
+                      else fail "non-ASCII \\u escape unsupported";
+                      go ()
+                    end
+                | _ -> fail "bad escape"
+              end)
+          | c ->
+              Buffer.add_char b c;
+              go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+      in
+      while !pos < len && is_num_char s.[!pos] do
+        advance ()
+      done;
+      if !pos = start then fail "expected number"
+      else Num (String.sub s start (!pos - start))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected , or }"
+            in
+            fields []
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected , or ]"
+            in
+            items []
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+      | None -> fail "unexpected end of input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then fail "trailing garbage" else v
+
+  let member name = function Obj fields -> List.assoc_opt name fields | _ -> None
+
+  let to_str = function Str s -> Some s | _ -> None
+  let to_i = function Num raw -> int_of_string_opt raw | _ -> None
+  let to_i64 = function Num raw -> Int64.of_string_opt raw | _ -> None
+
+  let to_f = function
+    | Num raw -> float_of_string_opt raw
+    | Str "inf" -> Some Float.infinity
+    | Str "-inf" -> Some Float.neg_infinity
+    | Str "nan" -> Some Float.nan
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type span_event = {
+  id : int;
+  parent : int option;
+  name : string;
+  thread : int;
+  start_ns : int64;
+  dur_ns : int64;
+  attrs : (string * string) list;
+}
+
+type event =
+  | Span_event of span_event
+  | Counter_event of { name : string; value : int }
+  | Gauge_event of { name : string; value : float }
+  | Histogram_event of {
+      name : string;
+      count : int;
+      sum : float;
+      max_value : float;
+      buckets : (float * int) list;
+    }
+
+let span_events roots =
+  let next = ref 0 in
+  let rec walk parent span acc =
+    let id = !next in
+    incr next;
+    let ev =
+      Span_event
+        {
+          id;
+          parent;
+          name = Span.name span;
+          thread = Span.thread span;
+          start_ns = Span.start_ns span;
+          dur_ns = Span.dur_ns span;
+          attrs = Span.attrs span;
+        }
+    in
+    List.fold_left (fun acc child -> walk (Some id) child acc) (ev :: acc)
+      (Span.children span)
+  in
+  List.rev (List.fold_left (fun acc root -> walk None root acc) [] roots)
+
+let snapshot_events (s : Metrics.snapshot) =
+  List.map (fun (name, value) -> Counter_event { name; value }) s.Metrics.counters
+  @ List.map (fun (name, value) -> Gauge_event { name; value }) s.Metrics.gauges
+  @ List.map
+      (fun (name, (h : Metrics.hist_snapshot)) ->
+        Histogram_event
+          {
+            name;
+            count = h.Metrics.count;
+            sum = h.Metrics.sum;
+            max_value = h.Metrics.max_value;
+            buckets = h.Metrics.buckets;
+          })
+      s.Metrics.histograms
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_event = function
+  | Span_event e ->
+      Json.Obj
+        ([ ("type", Json.Str "span"); ("id", Json.of_int e.id) ]
+        @ (match e.parent with
+          | Some p -> [ ("parent", Json.of_int p) ]
+          | None -> [])
+        @ [
+            ("name", Json.Str e.name);
+            ("thread", Json.of_int e.thread);
+            ("start_ns", Json.of_int64 e.start_ns);
+            ("dur_ns", Json.of_int64 e.dur_ns);
+            ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.attrs));
+          ])
+  | Counter_event e ->
+      Json.Obj
+        [ ("type", Json.Str "counter"); ("name", Json.Str e.name);
+          ("value", Json.of_int e.value) ]
+  | Gauge_event e ->
+      Json.Obj
+        [ ("type", Json.Str "gauge"); ("name", Json.Str e.name);
+          ("value", Json.of_float e.value) ]
+  | Histogram_event e ->
+      Json.Obj
+        [
+          ("type", Json.Str "histogram");
+          ("name", Json.Str e.name);
+          ("count", Json.of_int e.count);
+          ("sum", Json.of_float e.sum);
+          ("max", Json.of_float e.max_value);
+          ( "buckets",
+            Json.Arr
+              (List.filter_map
+                 (fun (bound, n) ->
+                   if n = 0 then None
+                   else Some (Json.Arr [ Json.of_float bound; Json.of_int n ]))
+                 e.buckets) );
+        ]
+
+let jsonl events =
+  String.concat "" (List.map (fun e -> Json.to_string (json_of_event e) ^ "\n") events)
+
+exception Parse_error of string
+
+let get_exn what = function
+  | Some v -> v
+  | None -> raise (Parse_error (Printf.sprintf "missing or ill-typed field %S" what))
+
+let event_of_json j =
+  let field name conv = Option.bind (Json.member name j) conv in
+  match get_exn "type" (field "type" Json.to_str) with
+  | "span" ->
+      let attrs =
+        match Json.member "attrs" j with
+        | Some (Json.Obj fields) ->
+            List.map (fun (k, v) -> (k, get_exn "attr" (Json.to_str v))) fields
+        | _ -> []
+      in
+      Span_event
+        {
+          id = get_exn "id" (field "id" Json.to_i);
+          parent = field "parent" Json.to_i;
+          name = get_exn "name" (field "name" Json.to_str);
+          thread = get_exn "thread" (field "thread" Json.to_i);
+          start_ns = get_exn "start_ns" (field "start_ns" Json.to_i64);
+          dur_ns = get_exn "dur_ns" (field "dur_ns" Json.to_i64);
+          attrs;
+        }
+  | "counter" ->
+      Counter_event
+        {
+          name = get_exn "name" (field "name" Json.to_str);
+          value = get_exn "value" (field "value" Json.to_i);
+        }
+  | "gauge" ->
+      Gauge_event
+        {
+          name = get_exn "name" (field "name" Json.to_str);
+          value = get_exn "value" (field "value" Json.to_f);
+        }
+  | "histogram" ->
+      let buckets =
+        match Json.member "buckets" j with
+        | Some (Json.Arr pairs) ->
+            List.map
+              (function
+                | Json.Arr [ bound; n ] ->
+                    (get_exn "bound" (Json.to_f bound), get_exn "n" (Json.to_i n))
+                | _ -> raise (Parse_error "bad bucket"))
+              pairs
+        | _ -> []
+      in
+      Histogram_event
+        {
+          name = get_exn "name" (field "name" Json.to_str);
+          count = get_exn "count" (field "count" Json.to_i);
+          sum = get_exn "sum" (field "sum" Json.to_f);
+          max_value = get_exn "max" (field "max" Json.to_f);
+          buckets;
+        }
+  | other -> raise (Parse_error (Printf.sprintf "unknown event type %S" other))
+
+let events_of_jsonl s =
+  String.split_on_char '\n' s
+  |> List.filter (fun line -> String.trim line <> "")
+  |> List.map (fun line ->
+         match Json.of_string line with
+         | j -> event_of_json j
+         | exception Json.Parse_error m -> raise (Parse_error m))
+
+let spans_of_events events =
+  (* Children arrive after their parent (pre-order emission), so one
+     right fold rebuilds bottom-up: collect each id's children first. *)
+  let span_evs =
+    List.filter_map (function Span_event e -> Some e | _ -> None) events
+  in
+  let children_of = Hashtbl.create 16 in
+  List.iter
+    (fun (e : _) ->
+      match e.parent with
+      | Some p ->
+          Hashtbl.replace children_of p
+            (e :: Option.value ~default:[] (Hashtbl.find_opt children_of p))
+      | None -> ())
+    (List.rev span_evs);
+  let rec build e =
+    let kids = Option.value ~default:[] (Hashtbl.find_opt children_of e.id) in
+    Span.make ~name:e.name ~attrs:e.attrs ~thread:e.thread ~start_ns:e.start_ns
+      ~dur_ns:e.dur_ns ~children:(List.map build kids)
+  in
+  List.filter_map (fun e -> if e.parent = None then Some (build e) else None) span_evs
+
+(* ------------------------------------------------------------------ *)
+(* Pretty console span tree                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_attrs fmt = function
+  | [] -> ()
+  | attrs ->
+      Format.fprintf fmt "  (%s)"
+        (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs))
+
+let pp_tree fmt roots =
+  let rec pp_span prefix is_last span =
+    let branch, cont =
+      match prefix with
+      | None -> ("", "")
+      | Some p -> ((p ^ if is_last then "└─ " else "├─ "), p ^ if is_last then "   " else "│  ")
+    in
+    let label = Format.asprintf "%s%s" branch (Span.name span) in
+    Format.fprintf fmt "%-44s %a%a@\n" label Clock.pp_duration (Span.dur_ns span)
+      pp_attrs (Span.attrs span);
+    let kids = Span.children span in
+    let n = List.length kids in
+    List.iteri (fun i child -> pp_span (Some cont) (i = n - 1) child) kids
+  in
+  List.iter
+    (fun root ->
+      Format.fprintf fmt "[thread %d]@\n" (Span.thread root);
+      pp_span None true root)
+    roots
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text format                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+let prom_float f =
+  if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let prometheus (s : Metrics.snapshot) =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    s.Metrics.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (prom_float v)))
+    s.Metrics.gauges;
+  List.iter
+    (fun (name, (h : Metrics.hist_snapshot)) ->
+      let n = sanitize name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cumulative = ref 0 in
+      List.iter
+        (fun (bound, count) ->
+          cumulative := !cumulative + count;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (prom_float bound) !cumulative))
+        h.Metrics.buckets;
+      Buffer.add_string b (Printf.sprintf "%s_sum %s\n" n (prom_float h.Metrics.sum));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.Metrics.count))
+    s.Metrics.histograms;
+  Buffer.contents b

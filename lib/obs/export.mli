@@ -1,0 +1,85 @@
+(** The three exporters: pretty console span tree, JSONL event stream,
+    and Prometheus-style text dump. *)
+
+(** Dependency-free JSON values, used by the JSONL exporter and by
+    benches that emit JSON reports. Numbers are kept as raw literals so
+    64-bit timestamps survive a round-trip exactly. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of string  (** raw literal *)
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val of_int : int -> t
+  val of_int64 : int64 -> t
+
+  (** Non-finite floats are encoded as the strings ["nan"], ["inf"],
+      ["-inf"] (JSON has no literals for them). *)
+  val of_float : float -> t
+
+  val to_string : t -> string
+
+  exception Parse_error of string
+
+  (** @raise Parse_error on malformed input. *)
+  val of_string : string -> t
+
+  val member : string -> t -> t option
+  val to_str : t -> string option
+  val to_i : t -> int option
+  val to_i64 : t -> int64 option
+  val to_f : t -> float option
+end
+
+type span_event = {
+  id : int;
+  parent : int option;
+  name : string;
+  thread : int;
+  start_ns : int64;
+  dur_ns : int64;
+  attrs : (string * string) list;
+}
+
+(** One JSONL line each. Span events are emitted pre-order with integer
+    ids, children referencing their parent. *)
+type event =
+  | Span_event of span_event
+  | Counter_event of { name : string; value : int }
+  | Gauge_event of { name : string; value : float }
+  | Histogram_event of {
+      name : string;
+      count : int;
+      sum : float;
+      max_value : float;
+      buckets : (float * int) list;  (** only non-empty buckets *)
+    }
+
+(** [span_events roots] flattens span trees to events, pre-order. *)
+val span_events : Span.t list -> event list
+
+val snapshot_events : Metrics.snapshot -> event list
+
+(** [jsonl events] is one JSON object per line (newline-terminated). *)
+val jsonl : event list -> string
+
+exception Parse_error of string
+
+(** Inverse of {!jsonl}; blank lines are skipped.
+    @raise Parse_error on malformed lines. *)
+val events_of_jsonl : string -> event list
+
+(** [spans_of_events events] rebuilds the span forest from its events
+    (inverse of {!span_events} up to bucket elision). *)
+val spans_of_events : event list -> Span.t list
+
+(** [pp_tree fmt roots] renders an indented span tree with durations and
+    attributes, one block per root. *)
+val pp_tree : Format.formatter -> Span.t list -> unit
+
+(** [prometheus snapshot] is the text exposition format: counters,
+    gauges, and histograms with cumulative [le] buckets. *)
+val prometheus : Metrics.snapshot -> string

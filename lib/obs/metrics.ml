@@ -1,0 +1,168 @@
+type counter = { c_name : string; cell : int Atomic.t }
+type gauge = { g_name : string; g_cell : float Atomic.t }
+
+(* Fixed log-scale bucket upper bounds: powers of two from 2^0 to 2^39
+   (~5.5e11 — covers bytes, counts, and nanosecond latencies up to ~9
+   minutes), plus an implicit overflow bucket. Fixed boundaries keep
+   histograms mergeable across runs and processes. *)
+let bucket_bounds = Array.init 40 (fun i -> Float.pow 2. (float_of_int i))
+
+type histogram = {
+  h_name : string;
+  mutex : Mutex.t;
+  buckets : int array; (* length = |bounds| + 1; last = overflow *)
+  mutable count : int;
+  mutable sum : float;
+  mutable max_value : float;
+}
+
+type item = C of counter | G of gauge | H of histogram
+
+type registry = {
+  r_mutex : Mutex.t;
+  tbl : (string, item) Hashtbl.t;
+}
+
+let create () = { r_mutex = Mutex.create (); tbl = Hashtbl.create 32 }
+let default = create ()
+
+let intern reg name make classify =
+  Mutex.lock reg.r_mutex;
+  let r =
+    match Hashtbl.find_opt reg.tbl name with
+    | Some item -> (
+        match classify item with
+        | Some x -> x
+        | None ->
+            Mutex.unlock reg.r_mutex;
+            invalid_arg
+              (Printf.sprintf "Metrics: %S already registered with another type" name))
+    | None ->
+        let x, item = make () in
+        Hashtbl.add reg.tbl name item;
+        x
+  in
+  Mutex.unlock reg.r_mutex;
+  r
+
+let counter ?(registry = default) name =
+  intern registry name
+    (fun () ->
+      let c = { c_name = name; cell = Atomic.make 0 } in
+      (c, C c))
+    (function C c -> Some c | G _ | H _ -> None)
+
+let gauge ?(registry = default) name =
+  intern registry name
+    (fun () ->
+      let g = { g_name = name; g_cell = Atomic.make 0. } in
+      (g, G g))
+    (function G g -> Some g | C _ | H _ -> None)
+
+let histogram ?(registry = default) name =
+  intern registry name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          mutex = Mutex.create ();
+          buckets = Array.make (Array.length bucket_bounds + 1) 0;
+          count = 0;
+          sum = 0.;
+          max_value = Float.neg_infinity;
+        }
+      in
+      (h, H h))
+    (function H h -> Some h | C _ | G _ -> None)
+
+let incr ?(by = 1) c =
+  if Runtime.is_enabled () then ignore (Atomic.fetch_and_add c.cell by)
+
+let counter_value c = Atomic.get c.cell
+let set g v = if Runtime.is_enabled () then Atomic.set g.g_cell v
+let gauge_value g = Atomic.get g.g_cell
+
+let bucket_index v =
+  let n = Array.length bucket_bounds in
+  let rec go i = if i >= n then n else if v <= bucket_bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  if Runtime.is_enabled () then begin
+    Mutex.lock h.mutex;
+    h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v > h.max_value then h.max_value <- v;
+    Mutex.unlock h.mutex
+  end
+
+let reset ?(registry = default) () =
+  Mutex.lock registry.r_mutex;
+  Hashtbl.iter
+    (fun _ item ->
+      match item with
+      | C c -> Atomic.set c.cell 0
+      | G g -> Atomic.set g.g_cell 0.
+      | H h ->
+          Mutex.lock h.mutex;
+          Array.fill h.buckets 0 (Array.length h.buckets) 0;
+          h.count <- 0;
+          h.sum <- 0.;
+          h.max_value <- Float.neg_infinity;
+          Mutex.unlock h.mutex)
+    registry.tbl;
+  Mutex.unlock registry.r_mutex
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  max_value : float; (* neg_infinity when empty *)
+  buckets : (float * int) list; (* (upper bound, count), overflow = +inf *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let snapshot ?(registry = default) () =
+  Mutex.lock registry.r_mutex;
+  let cs = ref [] and gs = ref [] and hs = ref [] in
+  Hashtbl.iter
+    (fun name item ->
+      match item with
+      | C c -> cs := (name, Atomic.get c.cell) :: !cs
+      | G g -> gs := (name, Atomic.get g.g_cell) :: !gs
+      | H h ->
+          Mutex.lock h.mutex;
+          let buckets =
+            List.init
+              (Array.length h.buckets)
+              (fun i ->
+                let bound =
+                  if i < Array.length bucket_bounds then bucket_bounds.(i)
+                  else Float.infinity
+                in
+                (bound, h.buckets.(i)))
+          in
+          let s =
+            { count = h.count; sum = h.sum; max_value = h.max_value; buckets }
+          in
+          Mutex.unlock h.mutex;
+          hs := (name, s) :: !hs)
+    registry.tbl;
+  Mutex.unlock registry.r_mutex;
+  let by_name (a, _) (b, _) = String.compare a b in
+  {
+    counters = List.sort by_name !cs;
+    gauges = List.sort by_name !gs;
+    histograms = List.sort by_name !hs;
+  }
+
+let find_counter s name = List.assoc_opt name s.counters
+let find_gauge s name = List.assoc_opt name s.gauges
+let find_histogram s name = List.assoc_opt name s.histograms
+
+let mean (h : hist_snapshot) = if h.count = 0 then 0. else h.sum /. float_of_int h.count

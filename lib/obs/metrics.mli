@@ -1,0 +1,78 @@
+(** A process-wide metrics registry: counters, gauges, and log-scale
+    histograms.
+
+    Instruments are {e registered} eagerly (typically at module
+    initialization) and {e updated} only while {!Runtime.is_enabled} —
+    an update when telemetry is off is one atomic load and a branch.
+    Counter updates are atomic and histogram updates mutex-protected,
+    so probes are safe from [Domain]-parallel workers and [Thread]s
+    alike. *)
+
+type counter
+type gauge
+type histogram
+
+type registry
+
+val create : unit -> registry
+
+(** The registry every probe in the stack uses unless told otherwise. *)
+val default : registry
+
+(** [counter ?registry name] finds or creates the counter [name].
+    @raise Invalid_argument if [name] is registered as another type. *)
+val counter : ?registry:registry -> string -> counter
+
+val gauge : ?registry:registry -> string -> gauge
+
+(** [histogram ?registry name] finds or creates a histogram with fixed
+    power-of-two bucket bounds [2^0 .. 2^39] plus an overflow bucket. *)
+val histogram : ?registry:registry -> string -> histogram
+
+(** Upper bounds shared by all histograms. *)
+val bucket_bounds : float array
+
+(** [incr ?by c] adds [by] (default 1) when telemetry is enabled. *)
+val incr : ?by:int -> counter -> unit
+
+val counter_value : counter -> int
+
+(** [set g v] stores [v] when telemetry is enabled. *)
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+(** [observe h v] records [v] into the bucket with the smallest bound
+    [>= v] (overflow past [2^39]) when telemetry is enabled. *)
+val observe : histogram -> float -> unit
+
+(** [reset ()] zeroes every instrument in the registry (instruments stay
+    registered). *)
+val reset : ?registry:registry -> unit -> unit
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  max_value : float;  (** [neg_infinity] when empty *)
+  buckets : (float * int) list;
+      (** (upper bound, count) per bucket; the overflow bound is
+          [infinity] *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+(** [snapshot ()] is a consistent-enough copy of the registry: each
+    instrument is read atomically, the set as a whole is not. *)
+val snapshot : ?registry:registry -> unit -> snapshot
+
+val find_counter : snapshot -> string -> int option
+val find_gauge : snapshot -> string -> float option
+val find_histogram : snapshot -> string -> hist_snapshot option
+
+val mean : hist_snapshot -> float

@@ -1,0 +1,31 @@
+(** Telemetry for the protocol stack: spans, metrics, exporters.
+
+    Everything is off by default — instrumented code pays one atomic
+    load per probe — and switched on per-process with {!enable} (or
+    {!Runtime.with_enabled} for a scoped region). See
+    [docs/OBSERVABILITY.md] for the full tour. *)
+
+module Runtime = Runtime
+module Clock = Clock
+module Metrics = Metrics
+module Span = Span
+module Export = Export
+module Report = Report
+
+(** Turn metric recording on process-wide. *)
+let enable = Runtime.enable
+
+let disable = Runtime.disable
+
+(** [reset ()] zeroes the default metrics registry. *)
+let reset () = Metrics.reset ()
+
+(** [snapshot ()] of the default metrics registry. *)
+let snapshot () = Metrics.snapshot ()
+
+(** [trace f] = enable metrics, collect spans around [f]:
+    [(result, roots, snapshot)]. Restores the previous enabled state. *)
+let trace f =
+  Runtime.with_enabled (fun () ->
+      let r, roots = Span.collect f in
+      (r, roots, Metrics.snapshot ()))

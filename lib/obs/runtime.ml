@@ -1,0 +1,8 @@
+let enabled = Atomic.make false
+let is_enabled () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+
+let with_enabled f =
+  let was = Atomic.exchange enabled true in
+  Fun.protect ~finally:(fun () -> Atomic.set enabled was) f

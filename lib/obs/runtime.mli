@@ -1,0 +1,14 @@
+(** The process-wide telemetry switch.
+
+    Instrumentation throughout the stack is gated on {!is_enabled}: when
+    off (the default), every probe is a single atomic load and the
+    no-op sink swallows everything, so instrumented code runs at full
+    speed. Benches, tests and [psi_demo --trace] flip it on. *)
+
+val is_enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** [with_enabled f] runs [f] with telemetry on, restoring the previous
+    state afterwards (exception-safe). *)
+val with_enabled : (unit -> 'a) -> 'a

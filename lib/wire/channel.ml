@@ -11,6 +11,8 @@ type counters = {
   mutable messages_received : int;
   mutable bytes_received : int;
   mutable elements_sent : int;
+  mutable closes : int;
+  mutable max_message_bytes : int;
   mutable sent_log : Message.t list; (* reversed *)
   mutable received_log : Message.t list; (* reversed *)
 }
@@ -20,6 +22,14 @@ type endpoint = {
   outbox : shared;
   c : counters;
 }
+
+(* Process-wide telemetry (no-ops unless Obs is enabled). *)
+let m_messages_sent = Obs.Metrics.counter "wire.messages_sent"
+let m_bytes_sent = Obs.Metrics.counter "wire.bytes_sent"
+let m_elements_sent = Obs.Metrics.counter "wire.elements_sent"
+let m_closes = Obs.Metrics.counter "wire.closes"
+let h_message_bytes = Obs.Metrics.histogram "wire.message_bytes"
+let h_recv_wait_ns = Obs.Metrics.histogram "wire.recv_wait_ns"
 
 let fresh_shared () =
   { mutex = Mutex.create (); cond = Condition.create (); queue = Queue.create (); closed = false }
@@ -31,6 +41,8 @@ let fresh_counters () =
     messages_received = 0;
     bytes_received = 0;
     elements_sent = 0;
+    closes = 0;
+    max_message_bytes = 0;
     sent_log = [];
     received_log = [];
   }
@@ -43,10 +55,16 @@ let create () =
 
 let send ep m =
   let bytes = Message.encode m in
+  let len = String.length bytes in
   ep.c.messages_sent <- ep.c.messages_sent + 1;
-  ep.c.bytes_sent <- ep.c.bytes_sent + String.length bytes;
+  ep.c.bytes_sent <- ep.c.bytes_sent + len;
   ep.c.elements_sent <- ep.c.elements_sent + Message.element_count m;
+  if len > ep.c.max_message_bytes then ep.c.max_message_bytes <- len;
   ep.c.sent_log <- m :: ep.c.sent_log;
+  Obs.Metrics.incr m_messages_sent;
+  Obs.Metrics.incr ~by:len m_bytes_sent;
+  Obs.Metrics.incr ~by:(Message.element_count m) m_elements_sent;
+  Obs.Metrics.observe h_message_bytes (float_of_int len);
   let s = ep.outbox in
   Mutex.lock s.mutex;
   Queue.push bytes s.queue;
@@ -55,6 +73,7 @@ let send ep m =
 
 let recv ep =
   let s = ep.inbox in
+  let t0 = if Obs.Runtime.is_enabled () then Obs.Clock.now_ns () else 0L in
   Mutex.lock s.mutex;
   let rec wait () =
     if not (Queue.is_empty s.queue) then Queue.pop s.queue
@@ -69,6 +88,9 @@ let recv ep =
   in
   let bytes = wait () in
   Mutex.unlock s.mutex;
+  if Obs.Runtime.is_enabled () then
+    Obs.Metrics.observe h_recv_wait_ns
+      (Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0));
   let m = Message.decode bytes in
   ep.c.messages_received <- ep.c.messages_received + 1;
   ep.c.bytes_received <- ep.c.bytes_received + String.length bytes;
@@ -76,6 +98,8 @@ let recv ep =
   m
 
 let close ep =
+  ep.c.closes <- ep.c.closes + 1;
+  Obs.Metrics.incr m_closes;
   let s = ep.outbox in
   Mutex.lock s.mutex;
   s.closed <- true;
@@ -88,6 +112,8 @@ type stats = {
   messages_received : int;
   bytes_received : int;
   elements_sent : int;
+  closes : int;
+  max_message_bytes : int;
 }
 
 let stats ep =
@@ -97,6 +123,8 @@ let stats ep =
     messages_received = ep.c.messages_received;
     bytes_received = ep.c.bytes_received;
     elements_sent = ep.c.elements_sent;
+    closes = ep.c.closes;
+    max_message_bytes = ep.c.max_message_bytes;
   }
 
 let received ep = List.rev ep.c.received_log

@@ -34,6 +34,9 @@ type stats = {
   bytes_received : int;
   elements_sent : int;
       (** group-element-sized fields sent (the paper's codeword count) *)
+  closes : int;  (** how often {!close} was called on this endpoint *)
+  max_message_bytes : int;
+      (** largest frame this endpoint sent (0 if none) *)
 }
 
 val stats : endpoint -> stats

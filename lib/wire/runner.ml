@@ -14,13 +14,18 @@ let run ~sender ~receiver =
   let t =
     Thread.create
       (fun () ->
-        let r = try Ok (sender s_ep) with e -> Error e in
+        let r =
+          try Ok (Obs.Span.with_ "party:sender" (fun () -> sender s_ep))
+          with e -> Error e
+        in
         (* On failure, unblock a receiver waiting on us. *)
         (match r with Error _ -> Channel.close s_ep | Ok _ -> ());
         s_result := Some r)
       ()
   in
-  let r_result = try Ok (receiver r_ep) with e -> Error e in
+  let r_result =
+    try Ok (Obs.Span.with_ "party:receiver" (fun () -> receiver r_ep)) with e -> Error e
+  in
   (match r_result with Error _ -> Channel.close r_ep | Ok _ -> ());
   Thread.join t;
   match (!s_result, r_result) with

@@ -1,0 +1,333 @@
+(* Tests for the Obs telemetry library: runtime gating, metric
+   registry semantics, histogram bucketing, span nesting, and the
+   exporter round-trips. *)
+
+module Metrics = Obs.Metrics
+module Span = Obs.Span
+module Export = Obs.Export
+
+let with_enabled = Obs.Runtime.with_enabled
+
+(* ------------------------------------------------------------------ *)
+(* Runtime gating                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_probes_are_noops () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "t.off.counter" in
+  let g = Metrics.gauge ~registry:r "t.off.gauge" in
+  let h = Metrics.histogram ~registry:r "t.off.hist" in
+  Obs.Runtime.disable ();
+  Metrics.incr c;
+  Metrics.set g 42.;
+  Metrics.observe h 7.;
+  Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value c);
+  Alcotest.(check (float 0.)) "gauge untouched" 0. (Metrics.gauge_value g);
+  let s = Metrics.snapshot ~registry:r () in
+  Alcotest.(check int) "histogram untouched" 0
+    (match Metrics.find_histogram s "t.off.hist" with
+    | Some h -> h.Metrics.count
+    | None -> -1)
+
+let test_with_enabled_restores () =
+  Obs.Runtime.disable ();
+  with_enabled (fun () ->
+      Alcotest.(check bool) "enabled inside" true (Obs.Runtime.is_enabled ()));
+  Alcotest.(check bool) "disabled after" false (Obs.Runtime.is_enabled ());
+  Alcotest.(check bool) "restores even on raise" true
+    (try
+       with_enabled (fun () -> failwith "boom")
+     with Failure _ -> not (Obs.Runtime.is_enabled ()))
+
+(* ------------------------------------------------------------------ *)
+(* Counters, gauges, reset                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_reset () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "t.c" in
+  let g = Metrics.gauge ~registry:r "t.g" in
+  let h = Metrics.histogram ~registry:r "t.h" in
+  with_enabled (fun () ->
+      Metrics.incr c;
+      Metrics.incr ~by:41 c;
+      Metrics.set g 2.5;
+      Metrics.observe h 3.);
+  Alcotest.(check int) "accumulated" 42 (Metrics.counter_value c);
+  Metrics.reset ~registry:r ();
+  Alcotest.(check int) "counter zeroed" 0 (Metrics.counter_value c);
+  Alcotest.(check (float 0.)) "gauge zeroed" 0. (Metrics.gauge_value g);
+  let s = Metrics.snapshot ~registry:r () in
+  (match Metrics.find_histogram s "t.h" with
+  | Some h ->
+      Alcotest.(check int) "histogram count zeroed" 0 h.Metrics.count;
+      Alcotest.(check (float 0.)) "histogram sum zeroed" 0. h.Metrics.sum
+  | None -> Alcotest.fail "histogram vanished on reset");
+  (* Instruments stay registered and usable after reset. *)
+  with_enabled (fun () -> Metrics.incr c);
+  Alcotest.(check int) "still wired" 1 (Metrics.counter_value c)
+
+let test_name_type_clash () =
+  let r = Metrics.create () in
+  let _ = Metrics.counter ~registry:r "t.clash" in
+  Alcotest.check_raises "same name, other type"
+    (Invalid_argument "Metrics: \"t.clash\" already registered with another type")
+    (fun () -> ignore (Metrics.gauge ~registry:r "t.clash"))
+
+let test_find_same_instrument () =
+  let r = Metrics.create () in
+  let c1 = Metrics.counter ~registry:r "t.same" in
+  let c2 = Metrics.counter ~registry:r "t.same" in
+  with_enabled (fun () ->
+      Metrics.incr c1;
+      Metrics.incr c2);
+  Alcotest.(check int) "one cell behind both handles" 2 (Metrics.counter_value c1)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucket boundaries                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bucket_count s name bound =
+  match Metrics.find_histogram s name with
+  | None -> Alcotest.fail ("no histogram " ^ name)
+  | Some h -> (
+      match List.assoc_opt bound h.Metrics.buckets with
+      | Some n -> n
+      | None -> Alcotest.fail (Printf.sprintf "no bucket with bound %g" bound))
+
+let test_histogram_buckets () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "t.buckets" in
+  with_enabled (fun () ->
+      List.iter (Metrics.observe h)
+        [ 0.5; 1.0 (* both land in the 2^0 bucket *); 1.5; 2.0 (* 2^1 *);
+          2.0001 (* 2^2 *); 1024. (* 2^10, exactly on the bound *) ]);
+  let s = Metrics.snapshot ~registry:r () in
+  Alcotest.(check int) "<= 1" 2 (bucket_count s "t.buckets" 1.);
+  Alcotest.(check int) "<= 2" 2 (bucket_count s "t.buckets" 2.);
+  Alcotest.(check int) "<= 4" 1 (bucket_count s "t.buckets" 4.);
+  Alcotest.(check int) "<= 1024 (on the boundary)" 1 (bucket_count s "t.buckets" 1024.);
+  (match Metrics.find_histogram s "t.buckets" with
+  | Some hs ->
+      Alcotest.(check int) "count" 6 hs.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sum" 1031.0001 hs.Metrics.sum;
+      Alcotest.(check (float 0.)) "max" 1024. hs.Metrics.max_value
+  | None -> assert false);
+  (* Overflow: beyond the last power-of-two bound. *)
+  with_enabled (fun () -> Metrics.observe h (Float.ldexp 1. 45));
+  let s = Metrics.snapshot ~registry:r () in
+  Alcotest.(check int) "overflow bucket" 1 (bucket_count s "t.buckets" infinity)
+
+let test_bucket_bounds_shape () =
+  let b = Metrics.bucket_bounds in
+  Alcotest.(check (float 0.)) "first bound" 1. b.(0);
+  Alcotest.(check bool) "strictly increasing powers of two" true
+    (Array.for_all
+       (fun i -> b.(i) = 2. *. b.(i - 1))
+       (Array.init (Array.length b - 1) (fun i -> i + 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Span nesting                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let result, roots =
+    with_enabled (fun () ->
+        Span.collect (fun () ->
+            Span.with_ "root" (fun () ->
+                Span.with_ "child-a"
+                  ~attrs:[ ("k", "v") ]
+                  (fun () -> Span.with_ "grandchild" (fun () -> ()));
+                Span.with_ "child-b" (fun () -> ()));
+            17))
+  in
+  Alcotest.(check int) "result threads through" 17 result;
+  Alcotest.(check int) "one root" 1 (List.length roots);
+  let root = List.hd roots in
+  Alcotest.(check string) "root name" "root" (Span.name root);
+  let children = Span.children root in
+  Alcotest.(check (list string)) "children in order" [ "child-a"; "child-b" ]
+    (List.map Span.name children);
+  let child_a = List.hd children in
+  Alcotest.(check (list (pair string string))) "attrs kept" [ ("k", "v") ]
+    (Span.attrs child_a);
+  Alcotest.(check (list string)) "grandchild under child-a" [ "grandchild" ]
+    (List.map Span.name (Span.children child_a));
+  (* Durations nest: parent >= each child. *)
+  Alcotest.(check bool) "parent covers child" true
+    (Span.dur_ns root >= Span.dur_ns child_a)
+
+let test_span_exception_safe () =
+  let roots =
+    with_enabled (fun () ->
+        Span.start_trace ();
+        (try Span.with_ "outer" (fun () -> failwith "inner crash")
+         with Failure _ -> ());
+        Span.stop_trace ())
+  in
+  Alcotest.(check (list string)) "span closed despite raise" [ "outer" ]
+    (List.map Span.name roots)
+
+let test_span_without_trace () =
+  (* No trace installed: with_ must be a pass-through. *)
+  Alcotest.(check int) "plain call" 5 (Span.with_ "ghost" (fun () -> 5));
+  Alcotest.(check bool) "not tracing" false (Span.tracing ())
+
+let test_spans_across_threads () =
+  let _, roots =
+    with_enabled (fun () ->
+        Span.collect (fun () ->
+            let t =
+              Thread.create
+                (fun () -> Span.with_ "thread-root" (fun () -> Thread.yield ()))
+                ()
+            in
+            Span.with_ "main-root" (fun () -> ());
+            Thread.join t))
+  in
+  let names = List.sort String.compare (List.map Span.name roots) in
+  Alcotest.(check (list string)) "one root per thread" [ "main-root"; "thread-root" ]
+    names;
+  let by_name n = List.find (fun s -> Span.name s = n) roots in
+  Alcotest.(check bool) "distinct thread ids" true
+    (Span.thread (by_name "main-root") <> Span.thread (by_name "thread-root"))
+
+(* ------------------------------------------------------------------ *)
+(* JSONL round-trip                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec span_equal a b =
+  Span.name a = Span.name b
+  && Span.attrs a = Span.attrs b
+  && Span.thread a = Span.thread b
+  && Span.start_ns a = Span.start_ns b
+  && Span.dur_ns a = Span.dur_ns b
+  && List.length (Span.children a) = List.length (Span.children b)
+  && List.for_all2 span_equal (Span.children a) (Span.children b)
+
+let test_jsonl_span_roundtrip () =
+  (* Hand-built forest with an int64 timestamp beyond 2^53 to make sure
+     the raw-literal JSON numbers preserve it exactly. *)
+  let leaf =
+    Span.make ~name:"leaf" ~attrs:[ ("n", "3") ] ~thread:7
+      ~start_ns:9_007_199_254_740_993L ~dur_ns:12L ~children:[]
+  in
+  let root =
+    Span.make ~name:"root" ~attrs:[] ~thread:7 ~start_ns:9_007_199_254_740_990L
+      ~dur_ns:100L ~children:[ leaf ]
+  in
+  let lone =
+    Span.make ~name:"lone" ~attrs:[ ("x", "y"); ("z", "w") ] ~thread:8 ~start_ns:5L
+      ~dur_ns:0L ~children:[]
+  in
+  let text = Export.jsonl (Export.span_events [ root; lone ]) in
+  let rebuilt = Export.spans_of_events (Export.events_of_jsonl text) in
+  Alcotest.(check int) "two roots" 2 (List.length rebuilt);
+  Alcotest.(check bool) "forest preserved" true
+    (List.for_all2 span_equal [ root; lone ] rebuilt)
+
+let test_jsonl_snapshot_roundtrip () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "t.rt.counter" in
+  let g = Metrics.gauge ~registry:r "t.rt.gauge" in
+  let h = Metrics.histogram ~registry:r "t.rt.hist" in
+  with_enabled (fun () ->
+      Metrics.incr ~by:3 c;
+      Metrics.set g 1.5;
+      Metrics.observe h 2.;
+      Metrics.observe h 300.);
+  let events = Export.snapshot_events (Metrics.snapshot ~registry:r ()) in
+  let rebuilt = Export.events_of_jsonl (Export.jsonl events) in
+  Alcotest.(check int) "same number of events" (List.length events)
+    (List.length rebuilt);
+  Alcotest.(check string) "events identical" (Export.jsonl events)
+    (Export.jsonl rebuilt)
+
+let test_jsonl_rejects_garbage () =
+  Alcotest.(check bool) "malformed line raises" true
+    (try
+       ignore (Export.events_of_jsonl "{\"type\":\"span\",\"id\":");
+       false
+     with Export.Parse_error _ | Export.Json.Parse_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exporter                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_prometheus_format () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "t.prom.counter" in
+  let h = Metrics.histogram ~registry:r "t.prom.hist" in
+  with_enabled (fun () ->
+      Metrics.incr ~by:5 c;
+      Metrics.observe h 3.);
+  let text = Export.prometheus (Metrics.snapshot ~registry:r ()) in
+  let has needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter line" true (has "t_prom_counter 5");
+  Alcotest.(check bool) "histogram count" true (has "t_prom_hist_count 1");
+  Alcotest.(check bool) "+Inf bucket" true (has "le=\"+Inf\"")
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_compare () =
+  let c =
+    Obs.Report.compare ~label:"x" ~predicted_ce:100. ~observed_ce:100.
+      ~predicted_bits:1000. ~observed_bits:1050. ()
+  in
+  Alcotest.(check (float 0.)) "exact ce" 0. c.Obs.Report.ce_rel_error;
+  Alcotest.(check (float 1e-9)) "5% bits" 0.05 c.Obs.Report.bits_rel_error;
+  Alcotest.(check bool) "within default 10%" true c.Obs.Report.within_tolerance;
+  let c =
+    Obs.Report.compare ~tolerance:0.01 ~label:"x" ~predicted_ce:100. ~observed_ce:100.
+      ~predicted_bits:1000. ~observed_bits:1050. ()
+  in
+  Alcotest.(check bool) "beyond tight tolerance" false c.Obs.Report.within_tolerance;
+  let c =
+    Obs.Report.compare ~label:"x" ~predicted_ce:0. ~observed_ce:3. ~predicted_bits:1.
+      ~observed_bits:1. ()
+  in
+  Alcotest.(check bool) "zero prediction, nonzero observation" true
+    (c.Obs.Report.ce_rel_error = infinity && not c.Obs.Report.within_tolerance)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "runtime",
+        [
+          Alcotest.test_case "disabled probes are no-ops" `Quick
+            test_disabled_probes_are_noops;
+          Alcotest.test_case "with_enabled restores" `Quick test_with_enabled_restores;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter reset" `Quick test_counter_reset;
+          Alcotest.test_case "name/type clash" `Quick test_name_type_clash;
+          Alcotest.test_case "same name, same cell" `Quick test_find_same_instrument;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "bucket bounds shape" `Quick test_bucket_bounds_shape;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safe;
+          Alcotest.test_case "no trace, no overhead" `Quick test_span_without_trace;
+          Alcotest.test_case "one subtree per thread" `Quick test_spans_across_threads;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl span round-trip" `Quick test_jsonl_span_roundtrip;
+          Alcotest.test_case "jsonl snapshot round-trip" `Quick
+            test_jsonl_snapshot_roundtrip;
+          Alcotest.test_case "jsonl rejects garbage" `Quick test_jsonl_rejects_garbage;
+          Alcotest.test_case "prometheus text" `Quick test_prometheus_format;
+        ] );
+      ("report", [ Alcotest.test_case "compare" `Quick test_report_compare ]);
+    ]

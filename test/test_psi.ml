@@ -844,6 +844,35 @@ let test_cost_model_formulas () =
   Alcotest.(check bool) "join bits = (100+150)k + 100k'" true
     (close (350. *. 1024.) j.Psi.Cost_model.comm_bits)
 
+let test_obs_telemetry_matches_cost_model () =
+  (* End-to-end through the telemetry layer: run a small intersection
+     with Obs enabled and check the observed Ce count equals the §6.1
+     prediction exactly — both at the protocol level (psi.* counters via
+     Obs_report) and at the crypto level (every modexp the Commutative
+     module performed). *)
+  Obs.Runtime.with_enabled (fun () ->
+      Obs.Metrics.reset ();
+      let vs, vr = Psi.Workload.value_sets ~seed:"obs-psi" ~n_s:9 ~n_r:7 ~overlap:3 in
+      ignore (Psi.Intersection.run cfg ~seed:"t:obs" ~sender_values:vs ~receiver_values:vr ());
+      let snap = Obs.Metrics.snapshot () in
+      let p = { Psi.Cost_model.paper_params with k_bits = 8 * Group.element_bytes g64 } in
+      let c = Psi.Obs_report.model_vs_measured p Psi.Cost_model.Intersection snap in
+      Alcotest.(check (float 0.)) "predicted Ce = 2(|V_S|+|V_R|)" 32.
+        c.Obs.Report.predicted_ce;
+      Alcotest.(check (float 0.)) "observed = predicted, exactly" 0.
+        c.Obs.Report.ce_rel_error;
+      let crypto_modexps =
+        Option.value ~default:0 (Obs.Metrics.find_counter snap "crypto.commutative.encrypts")
+        + Option.value ~default:0
+            (Obs.Metrics.find_counter snap "crypto.commutative.decrypts")
+      in
+      Alcotest.(check int) "crypto layer agrees" 32 crypto_modexps;
+      (* Framing (tags, length varints) only ever adds bytes, so the
+         wire can't undershoot the model. *)
+      Alcotest.(check bool) "wire bits >= model bits" true
+        (c.Obs.Report.observed_bits >= c.Obs.Report.predicted_bits);
+      Obs.Metrics.reset ())
+
 let test_collision_probability_paper_example () =
   (* §3.2.2: 1024-bit hash values, half are quadratic residues, n = 1
      million => collision probability ~= 10^12 / 10^307 = 10^-295. *)
@@ -1212,6 +1241,8 @@ let () =
             test_cost_model_doc_sharing_paper_numbers;
           Alcotest.test_case "§6.2.2 medical numbers" `Quick test_cost_model_medical_paper_numbers;
           Alcotest.test_case "§6.1 formulas" `Quick test_cost_model_formulas;
+          Alcotest.test_case "telemetry matches §6.1" `Quick
+            test_obs_telemetry_matches_cost_model;
           Alcotest.test_case "§3.2.2 collision probability" `Quick
             test_collision_probability_paper_example;
         ] );

@@ -207,7 +207,16 @@ let test_channel_stats () =
   Alcotest.(check int) "a sent bytes" (Message.size m1 + Message.size m2) sa.Channel.bytes_sent;
   Alcotest.(check int) "a sent elements" 4 sa.Channel.elements_sent;
   Alcotest.(check int) "b recv msgs" 2 sb.Channel.messages_received;
-  Alcotest.(check int) "b recv bytes" sa.Channel.bytes_sent sb.Channel.bytes_received
+  Alcotest.(check int) "b recv bytes" sa.Channel.bytes_sent sb.Channel.bytes_received;
+  Alcotest.(check int) "a largest frame"
+    (max (Message.size m1) (Message.size m2))
+    sa.Channel.max_message_bytes;
+  Alcotest.(check int) "b sent nothing, no max" 0 sb.Channel.max_message_bytes;
+  Alcotest.(check int) "no closes yet" 0 sa.Channel.closes;
+  Channel.close a;
+  Channel.close a;
+  Alcotest.(check int) "a closes counted" 2 (Channel.stats a).Channel.closes;
+  Alcotest.(check int) "b never closed" 0 (Channel.stats b).Channel.closes
 
 let test_channel_transcripts () =
   let a, b = Channel.create () in

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Tier-1 gate: everything builds, every test passes, no build artifacts
+# are tracked, and the telemetry smoke test runs end to end.
+set -eu
+cd "$(dirname "$0")/.."
+
+tracked_artifacts=$(git ls-files | grep -E '^_build/|\.install$|^\.merlin$' || true)
+if [ -n "$tracked_artifacts" ]; then
+  echo "error: build artifacts are tracked by git:" >&2
+  echo "$tracked_artifacts" >&2
+  exit 1
+fi
+
+dune build
+dune runtest
+dune build @obs-smoke
+
+echo "check.sh: all green"
