@@ -1,0 +1,104 @@
+(* psi_lint — crypto-hygiene static analyzer for the protocol stack.
+
+   Scans lib/ and bin/ (by default) for the rule families documented in
+   docs/STATIC_ANALYSIS.md: CT01 (polymorphic comparison in
+   secret-bearing modules), RNG01 (ad-hoc randomness), EXN01 (exception
+   swallowing), WIRE01 (unbounded length-prefixed reads), DBG01 (stray
+   console output / assert false in libraries). Exit status 0 iff there
+   are no non-baselined findings and no errors. *)
+
+let usage = "psi_lint [--root DIR] [--baseline FILE] [--json FILE] [--update-baseline] [--list-rules] [DIR...]"
+
+let root = ref "."
+let baseline_path = ref "tools/lint_baseline.txt"
+let json_out = ref ""
+let update_baseline = ref false
+let list_rules = ref false
+let dirs = ref []
+
+let spec =
+  [
+    ("--root", Arg.Set_string root, "DIR repository root (default .)");
+    ( "--baseline",
+      Arg.Set_string baseline_path,
+      "FILE baseline file, relative to root (default tools/lint_baseline.txt)" );
+    ( "--json",
+      Arg.Set_string json_out,
+      "FILE write a JSONL report (findings + summary) to FILE, '-' for stdout" );
+    ( "--update-baseline",
+      Arg.Set update_baseline,
+      " rewrite the baseline from current findings (keeps existing justifications, \
+       marks new entries TODO)" );
+    ("--list-rules", Arg.Set list_rules, " print the rule catalog and exit");
+  ]
+
+(* Collect RULE.ml files under [dir] (repo-relative), skipping build and
+   hidden directories. Deterministic order. *)
+let rec collect acc dir =
+  let entries = try Sys.readdir (Filename.concat !root dir) with Sys_error _ -> [||] in
+  Array.sort String.compare entries;
+  Array.fold_left
+    (fun acc name ->
+      if String.length name = 0 || name.[0] = '.' || name.[0] = '_' then acc
+      else begin
+        let rel = if String.equal dir "" then name else dir ^ "/" ^ name in
+        let full = Filename.concat !root rel in
+        if Sys.is_directory full then collect acc rel
+        else if Filename.check_suffix name ".ml" then rel :: acc
+        else acc
+      end)
+    acc entries
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+let () =
+  Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Analysis.Rule.t) -> Printf.printf "%s  %s\n" r.id r.summary)
+      Analysis.Driver.rules;
+    exit 0
+  end;
+  let scan_dirs = match List.rev !dirs with [] -> [ "lib"; "bin" ] | ds -> ds in
+  let files = List.concat_map (fun d -> List.rev (collect [] d)) scan_dirs in
+  let sources =
+    List.map
+      (fun rel ->
+        { Analysis.Driver.path = rel; content = read_file (Filename.concat !root rel) })
+      files
+  in
+  let baseline_file = Filename.concat !root !baseline_path in
+  let baseline =
+    if Sys.file_exists baseline_file then
+      match Analysis.Suppress.Baseline.parse (read_file baseline_file) with
+      | Ok b -> b
+      | Error e ->
+          Printf.eprintf "psi_lint: %s: %s\n" !baseline_path e;
+          exit 2
+    else Analysis.Suppress.Baseline.empty
+  in
+  let outcome = Analysis.Driver.analyze ~baseline sources in
+  if !update_baseline then begin
+    let entries = Analysis.Driver.updated_baseline outcome in
+    write_file baseline_file (Analysis.Suppress.Baseline.render entries);
+    Printf.printf "psi_lint: wrote %d entr%s to %s\n" (List.length entries)
+      (if List.length entries = 1 then "y" else "ies")
+      !baseline_path;
+    exit 0
+  end;
+  (match !json_out with
+  | "" -> ()
+  | "-" -> print_string (Analysis.Report.jsonl outcome)
+  | path -> write_file path (Analysis.Report.jsonl outcome));
+  Format.printf "%a@?" Analysis.Report.pp_console outcome;
+  exit (if Analysis.Driver.clean outcome then 0 else 1)

@@ -1,0 +1,143 @@
+(* Ties the pieces together: lex each source, run the applicable rules,
+   apply inline suppressions and the baseline, classify the results.
+   Pure — callers (the psi_lint binary, the tests) do all IO. *)
+
+type source = { path : string; content : string }
+
+type classified = {
+  finding : Rule.finding;
+  fingerprint : string; (* "token#occurrence", see Suppress.Baseline *)
+  status : [ `New | `Baselined of string | `Suppressed of string ];
+}
+
+type outcome = {
+  files_scanned : int;
+  results : classified list; (* in scan order *)
+  errors : string list;
+      (* malformed annotations, stale or unexplained baseline entries,
+         lexer failures — any of these fails the run *)
+}
+
+let rules : Rule.t list =
+  [ Rules_ct.rule; Rules_rng.rule; Rules_exn.rule; Rules_wire.rule; Rules_dbg.rule ]
+
+let rule_ids = List.map (fun (r : Rule.t) -> r.id) rules
+
+(* Occurrence-indexed fingerprints: the k-th finding of a rule matching
+   the same token text in the same file gets "text#k". *)
+let fingerprints (findings : Rule.finding list) =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun (f : Rule.finding) ->
+      let key = (f.rule, f.token) in
+      let k = 1 + (try Hashtbl.find seen key with Not_found -> 0) in
+      Hashtbl.replace seen key k;
+      (f, Printf.sprintf "%s#%d" f.token k))
+    findings
+
+let analyze ?(rules = rules) ~(baseline : Suppress.Baseline.t) (sources : source list) :
+    outcome =
+  let errors = ref [] in
+  let results = ref [] in
+  let used_baseline : (Suppress.Baseline.entry, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun { path; content } ->
+      match Lexer.tokens_of_string ~file:path content with
+      | exception Lexer.Error { line; col; message } ->
+          errors := Printf.sprintf "%s:%d:%d: lexer error: %s" path line col message :: !errors
+      | tokens ->
+          let anns, ann_errs = Suppress.scan ~file:path tokens in
+          errors := List.rev_append ann_errs !errors;
+          let sig_toks = Array.of_list (Lexer.significant tokens) in
+          let findings =
+            List.concat_map
+              (fun (r : Rule.t) -> if r.applies path then r.check ~file:path sig_toks else [])
+              rules
+            (* scan order: by position, stable across rules *)
+            |> List.stable_sort (fun (a : Rule.finding) b ->
+                   if a.line <> b.line then Int.compare a.line b.line
+                   else if a.col <> b.col then Int.compare a.col b.col
+                   else String.compare a.rule b.rule)
+          in
+          List.iter
+            (fun (f, fingerprint) ->
+              let status =
+                match Suppress.covering anns f with
+                | Some reason -> `Suppressed reason
+                | None -> (
+                    match
+                      List.find_opt
+                        (fun (e : Suppress.Baseline.entry) ->
+                          String.equal e.rule f.Rule.rule
+                          && String.equal e.file f.Rule.file
+                          && String.equal e.fingerprint fingerprint
+                          && not (Hashtbl.mem used_baseline e))
+                        baseline
+                    with
+                    | Some e ->
+                        Hashtbl.replace used_baseline e ();
+                        if not (Suppress.Baseline.is_explained e) then
+                          errors :=
+                            Printf.sprintf
+                              "baseline entry %s %s %s has no justification; explain it \
+                               or fix the finding"
+                              e.rule e.file e.fingerprint
+                            :: !errors;
+                        `Baselined e.reason
+                    | None -> `New)
+              in
+              results := { finding = f; fingerprint; status } :: !results)
+            (fingerprints findings))
+    sources;
+  (* Baseline entries that matched nothing are stale. *)
+  List.iter
+    (fun (e : Suppress.Baseline.entry) ->
+      if not (Hashtbl.mem used_baseline e) then
+        errors :=
+          Printf.sprintf
+            "stale baseline entry %s %s %s: no such finding (fixed code? regenerate \
+             with --update-baseline)"
+            e.rule e.file e.fingerprint
+          :: !errors)
+    baseline;
+  {
+    files_scanned = List.length sources;
+    results = List.rev !results;
+    errors = List.rev !errors;
+  }
+
+let new_findings outcome =
+  List.filter_map
+    (fun c -> match c.status with `New -> Some c.finding | _ -> None)
+    outcome.results
+
+let clean outcome =
+  (match new_findings outcome with [] -> true | _ :: _ -> false)
+  && match outcome.errors with [] -> true | _ :: _ -> false
+
+(* [updated_baseline outcome ~old] carries forward justifications for
+   findings that remain and adds TODO entries for new ones: the
+   workflow for a consciously-accepted finding is update, then edit the
+   TODO into a real justification (the checker rejects TODOs). *)
+let updated_baseline (outcome : outcome) : Suppress.Baseline.t =
+  List.filter_map
+    (fun c ->
+      match c.status with
+      | `Suppressed _ -> None
+      | `New ->
+          Some
+            {
+              Suppress.Baseline.rule = c.finding.Rule.rule;
+              file = c.finding.Rule.file;
+              fingerprint = c.fingerprint;
+              reason = Suppress.Baseline.todo_reason ^ " — justify or fix";
+            }
+      | `Baselined reason ->
+          Some
+            {
+              Suppress.Baseline.rule = c.finding.Rule.rule;
+              file = c.finding.Rule.file;
+              fingerprint = c.fingerprint;
+              reason;
+            })
+    outcome.results

@@ -1,0 +1,223 @@
+(* A small hand-rolled lexer for OCaml source, built for linting rather
+   than parsing: it must classify every byte of a real source file into
+   identifiers, literals, comments and symbols without ever
+   misinterpreting a comment or string, but it does not need a full
+   grammar. No ppx, no compiler-libs. *)
+
+type kind =
+  | Ident (* lowercase identifier or keyword: [a-z_][A-Za-z0-9_']* *)
+  | Uident (* capitalized identifier: [A-Z][A-Za-z0-9_']* *)
+  | Number (* int or float literal, any base *)
+  | Char_lit (* 'a', '\n', '\x41' — quotes included in [text] *)
+  | String_lit (* "..." or {|...|} — delimiters included in [text] *)
+  | Comment (* (* ... *) including nested comments, delimiters included *)
+  | Symbol (* operator run or single punctuation character *)
+
+type token = { kind : kind; text : string; line : int; col : int }
+
+exception Error of { line : int; col : int; message : string }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let error st message = raise (Error { line = st.line; col = st.col; message })
+let peek st k = if st.pos + k < String.length st.src then Some st.src.[st.pos + k] else None
+
+let advance st =
+  (match st.src.[st.pos] with
+  | '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | _ -> st.col <- st.col + 1);
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = (c >= 'a' && c <= 'z') || c = '_'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '\''
+
+(* Operator characters form maximal runs ("->", ":=", "|>", "=", ...).
+   '.' is an operator character, so qualified access lexes as a lone "."
+   run between identifiers, which is exactly what rules want. *)
+let is_op_char c = String.contains "!$%&*+-./:<=>?@^|~#" c
+
+let take st pred =
+  let start = st.pos in
+  while st.pos < String.length st.src && pred st.src.[st.pos] do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Consume a string literal body after the opening quote; the opening
+   quote has already been consumed. OCaml escapes: a backslash protects
+   the next character, which is enough to never misread an escaped
+   quote as the terminator. *)
+let rec finish_string st =
+  match peek st 0 with
+  | None -> error st "unterminated string literal"
+  | Some '"' -> advance st
+  | Some '\\' ->
+      advance st;
+      if peek st 0 = None then error st "unterminated escape";
+      advance st;
+      finish_string st
+  | Some _ ->
+      advance st;
+      finish_string st
+
+(* {id|...|id} quoted string; [id] is the (possibly empty) delimiter. *)
+let finish_quoted_string st id =
+  let closer = "|" ^ id ^ "}" in
+  let n = String.length closer in
+  let rec go () =
+    if st.pos + n > String.length st.src then error st "unterminated quoted string"
+    else if String.equal (String.sub st.src st.pos n) closer then
+      for _ = 1 to n do
+        advance st
+      done
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+(* Comments nest, and string literals inside comments are honoured (an
+   unbalanced quote inside a comment is an error in OCaml too). *)
+let rec finish_comment st depth =
+  match peek st 0 with
+  | None -> error st "unterminated comment"
+  | Some '(' when peek st 1 = Some '*' ->
+      advance st;
+      advance st;
+      finish_comment st (depth + 1)
+  | Some '*' when peek st 1 = Some ')' ->
+      advance st;
+      advance st;
+      if depth > 1 then finish_comment st (depth - 1)
+  | Some '"' ->
+      advance st;
+      finish_string st;
+      finish_comment st depth
+  | Some _ ->
+      advance st;
+      finish_comment st depth
+
+(* A quote starts a char literal iff it closes as one: '<char>' or
+   '\<escape>'. Otherwise it is a type variable / polymorphic name
+   quote and is emitted as a symbol. *)
+let is_char_literal st =
+  match peek st 1 with
+  | Some '\\' -> true
+  | Some _ -> peek st 2 = Some '\''
+  | None -> false
+
+let finish_char st =
+  advance st (* opening quote *);
+  (match peek st 0 with
+  | Some '\\' ->
+      advance st;
+      (* escape body: one protected char, then possibly digits/hex *)
+      if peek st 0 = None then error st "unterminated char literal";
+      advance st;
+      ignore (take st (fun c -> is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')))
+  | Some _ -> advance st
+  | None -> error st "unterminated char literal");
+  match peek st 0 with
+  | Some '\'' -> advance st
+  | _ -> error st "unterminated char literal"
+
+let number st =
+  let start = st.pos in
+  ignore
+    (take st (fun c ->
+         is_digit c || is_lower c || is_upper c || c = '.'
+         (* hex digits, 0x/0o/0b prefixes, '_' separators, exponents *)));
+  (* exponent sign: 1e-5, 0x1p+3 *)
+  (match (peek st 0, st.pos > start && (let c = st.src.[st.pos - 1] in c = 'e' || c = 'E' || c = 'p' || c = 'P')) with
+  | Some ('+' | '-'), true ->
+      advance st;
+      ignore (take st (fun c -> is_digit c || c = '_'))
+  | _ -> ());
+  String.sub st.src start (st.pos - start)
+
+let tokens_of_string ?(file = "<string>") src =
+  ignore file;
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let emit kind text line col = out := { kind; text; line; col } :: !out in
+  let rec loop () =
+    match peek st 0 with
+    | None -> ()
+    | Some (' ' | '\t' | '\r' | '\n') ->
+        advance st;
+        loop ()
+    | Some c ->
+        let line = st.line and col = st.col and start = st.pos in
+        let slice () = String.sub st.src start (st.pos - start) in
+        (match c with
+        | '(' when peek st 1 = Some '*' ->
+            advance st;
+            advance st;
+            finish_comment st 1;
+            emit Comment (slice ()) line col
+        | '"' ->
+            advance st;
+            finish_string st;
+            emit String_lit (slice ()) line col
+        | '{' when peek st 1 = Some '|' ->
+            advance st;
+            advance st;
+            finish_quoted_string st "";
+            emit String_lit (slice ()) line col
+        | '{' when (match peek st 1 with Some c1 -> is_lower c1 | None -> false) -> (
+            (* Could be {id|...|id} — look ahead for the pipe. *)
+            let j = ref (st.pos + 1) in
+            while !j < String.length src && is_lower src.[!j] do
+              incr j
+            done;
+            match if !j < String.length src then Some src.[!j] else None with
+            | Some '|' ->
+                let id = String.sub src (st.pos + 1) (!j - st.pos - 1) in
+                while st.pos <= !j do
+                  advance st
+                done;
+                finish_quoted_string st id;
+                emit String_lit (slice ()) line col
+            | _ ->
+                advance st;
+                emit Symbol "{" line col)
+        | '\'' when is_char_literal st ->
+            finish_char st;
+            emit Char_lit (slice ()) line col
+        | c when is_digit c ->
+            let text = number st in
+            emit Number text line col
+        | c when is_lower c ->
+            let text = take st is_ident_char in
+            emit Ident text line col
+        | c when is_upper c ->
+            let text = take st is_ident_char in
+            emit Uident text line col
+        | c when is_op_char c ->
+            (* Maximal operator run, but never swallow a comment open:
+               stop a run before a "(*" can begin — '(' is not an op
+               char, so only the run itself matters here. *)
+            let text = take st is_op_char in
+            emit Symbol text line col
+        | ('(' | ')' | '[' | ']' | '{' | '}' | ',' | ';' | '`' | '\'') as c ->
+            advance st;
+            emit Symbol (String.make 1 c) line col
+        | c -> error st (Printf.sprintf "unexpected character %C" c));
+        loop ()
+  in
+  loop ();
+  List.rev !out
+
+(* [significant tokens] drops comments — most rules scan only code —
+   while [tokens_of_string] keeps them for the suppression scanner. *)
+let significant tokens = List.filter (fun t -> t.kind <> Comment) tokens

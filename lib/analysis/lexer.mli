@@ -1,0 +1,27 @@
+(** Token-level lexer for OCaml source (linting grade: classifies every
+    byte into identifiers, literals, comments and symbols; no grammar).
+
+    Handles the parts that make naive grepping unsound: nested comments,
+    string literals inside comments, escape sequences, [{|...|}] quoted
+    strings, and the char-literal vs type-variable quote ambiguity. *)
+
+type kind =
+  | Ident  (** lowercase identifier or keyword *)
+  | Uident  (** capitalized identifier (module/constructor) *)
+  | Number
+  | Char_lit
+  | String_lit  (** delimiters included in [text] *)
+  | Comment  (** delimiters included in [text]; comments nest *)
+  | Symbol  (** maximal operator run or single punctuation char *)
+
+type token = { kind : kind; text : string; line : int; col : int }
+
+exception Error of { line : int; col : int; message : string }
+
+(** [tokens_of_string src] lexes a compilation unit. Comments are kept
+    as tokens (the suppression scanner reads them).
+    @raise Error on unterminated comments/strings or stray bytes. *)
+val tokens_of_string : ?file:string -> string -> token list
+
+(** [significant tokens] drops comment tokens. *)
+val significant : token list -> token list

@@ -1,0 +1,98 @@
+(* Rendering: a human console report and machine-readable JSON in the
+   lib/obs JSONL conventions (one object per line, a trailing summary
+   object; BENCH_lint.json is the summary object alone). This module
+   only builds strings/formatters — the binary owns the channels. *)
+
+module Json = Obs.Export.Json
+
+let status_label = function
+  | `New -> "new"
+  | `Baselined _ -> "baselined"
+  | `Suppressed _ -> "suppressed"
+
+(* Count per rule as (rule, new, baselined, suppressed), in rule order. *)
+let tally (o : Driver.outcome) =
+  List.map
+    (fun id ->
+      let count p =
+        List.length
+          (List.filter
+             (fun (c : Driver.classified) ->
+               String.equal c.finding.Rule.rule id && p c.status)
+             o.results)
+      in
+      ( id,
+        count (function `New -> true | _ -> false),
+        count (function `Baselined _ -> true | _ -> false),
+        count (function `Suppressed _ -> true | _ -> false) ))
+    Driver.rule_ids
+
+let pp_console fmt (o : Driver.outcome) =
+  let newf = Driver.new_findings o in
+  List.iter
+    (fun (f : Rule.finding) ->
+      Format.fprintf fmt "%s:%d:%d: [%s] %s@\n" f.file f.line f.col f.rule f.message)
+    newf;
+  List.iter (fun e -> Format.fprintf fmt "error: %s@\n" e) o.errors;
+  Format.fprintf fmt "psi_lint: %d file%s scanned@\n" o.files_scanned
+    (if o.files_scanned = 1 then "" else "s");
+  List.iter
+    (fun (id, n, b, s) ->
+      if n + b + s > 0 then
+        Format.fprintf fmt "  %s: %d new, %d baselined, %d suppressed@\n" id n b s)
+    (tally o);
+  if Driver.clean o then Format.fprintf fmt "psi_lint: clean@\n"
+  else
+    Format.fprintf fmt "psi_lint: FAILED (%d new finding%s, %d error%s)@\n"
+      (List.length newf)
+      (if List.length newf = 1 then "" else "s")
+      (List.length o.errors)
+      (if List.length o.errors = 1 then "" else "s")
+
+let json_of_classified (c : Driver.classified) =
+  let f = c.finding in
+  Json.Obj
+    ([
+       ("type", Json.Str "finding");
+       ("rule", Json.Str f.Rule.rule);
+       ("file", Json.Str f.Rule.file);
+       ("line", Json.of_int f.Rule.line);
+       ("col", Json.of_int f.Rule.col);
+       ("token", Json.Str f.Rule.token);
+       ("fingerprint", Json.Str c.fingerprint);
+       ("status", Json.Str (status_label c.status));
+       ("message", Json.Str f.Rule.message);
+     ]
+    @
+    match c.status with
+    | `Baselined reason | `Suppressed reason -> [ ("reason", Json.Str reason) ]
+    | `New -> [])
+
+let summary_json (o : Driver.outcome) =
+  Json.Obj
+    [
+      ("type", Json.Str "summary");
+      ("tool", Json.Str "psi_lint");
+      ("files_scanned", Json.of_int o.files_scanned);
+      ( "rules",
+        Json.Obj
+          (List.map
+             (fun (id, n, b, s) ->
+               ( id,
+                 Json.Obj
+                   [
+                     ("new", Json.of_int n);
+                     ("baselined", Json.of_int b);
+                     ("suppressed", Json.of_int s);
+                   ] ))
+             (tally o)) );
+      ("errors", Json.of_int (List.length o.errors));
+      ("clean", Json.Bool (Driver.clean o));
+    ]
+
+(* JSONL: one finding object per line, summary object last. *)
+let jsonl (o : Driver.outcome) =
+  String.concat ""
+    (List.map (fun c -> Json.to_string (json_of_classified c) ^ "\n") o.results)
+  ^ Json.to_string (summary_json o)
+  ^ "\n"

@@ -1,0 +1,60 @@
+(* The rule interface: a rule looks at one file's token stream and
+   reports findings. Rules never see the filesystem; the driver feeds
+   them (path, tokens) pairs, which keeps them trivially testable. *)
+
+type finding = {
+  rule : string;
+  file : string; (* repo-relative, '/'-separated *)
+  line : int;
+  col : int;
+  token : string; (* matched token text — part of the baseline fingerprint *)
+  message : string;
+}
+
+type t = {
+  id : string;
+  summary : string; (* one line for --list-rules and the docs *)
+  applies : string -> bool; (* relative path filter *)
+  check : file:string -> Lexer.token array -> finding list;
+}
+
+let finding ~rule ~file (tok : Lexer.token) message =
+  { rule; file; line = tok.line; col = tok.col; token = tok.text; message }
+
+(* ------------------------------------------------------------------ *)
+(* Path helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let in_dir prefix path =
+  let n = String.length prefix in
+  String.length path >= n && String.equal (String.sub path 0 n) prefix
+
+let any_dir prefixes path = List.exists (fun p -> in_dir p path) prefixes
+
+(* ------------------------------------------------------------------ *)
+(* Token helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let is_kind (t : Lexer.token) k = t.kind = k
+let has_text (t : Lexer.token) s = String.equal t.text s
+let is_sym t s = is_kind t Lexer.Symbol && has_text t s
+let is_ident t s = is_kind t Lexer.Ident && has_text t s
+
+(* [qualified_at toks i] reads the longest dotted path starting at a
+   [Uident] at index [i]: for [Stdlib.compare] it returns
+   (["Stdlib"; "compare"], next_index). Stops before a [.(] projection
+   so [Stdlib.(=)] yields (["Stdlib"], index_of_dot). *)
+let qualified_at (toks : Lexer.token array) i =
+  let n = Array.length toks in
+  let rec go acc j =
+    (* acc holds path components in reverse; toks.(j-1) was the last one *)
+    if j + 1 < n && is_sym toks.(j) "." then
+      match toks.(j + 1).kind with
+      | Lexer.Ident | Lexer.Uident -> go (toks.(j + 1).text :: acc) (j + 2)
+      | _ -> (List.rev acc, j)
+    else (List.rev acc, j)
+  in
+  if i < n && is_kind toks.(i) Lexer.Uident then go [ toks.(i).text ] (i + 1)
+  else ([], i)
+
+let path_string components = String.concat "." components

@@ -1,0 +1,67 @@
+(* EXN01 — no exception swallowing.
+
+   [try ... with _ -> ...] hides every failure, including the typed
+   protocol errors ([Wire.Protocol_error], [Buf.Parse_error]) that the
+   security tests rely on to prove malformed input is rejected. A
+   swallowed exception in a protocol party turns "abort on bad frame"
+   into "continue with garbage" — exactly the §3.1 class of silent
+   deviation. Handlers must name the exceptions they mean to catch.
+
+   Token-level detection distinguishes the three meanings of [with]:
+   - [try ... with]     — a catch-all arm here is flagged;
+   - [match ... with]   — wildcard arms are normal, skipped;
+   - [{ r with f = v }] — record update, skipped (tracked via braces).
+   Module-type constraints ([S with type t = u]) appear with an empty
+   tracking stack and are ignored. *)
+
+let id = "EXN01"
+
+type frame = Try | Match | Brace
+
+let check ~file (toks : Lexer.token array) =
+  let toks = Array.of_list (Lexer.significant (Array.to_list toks)) in
+  let n = Array.length toks in
+  let findings = ref [] in
+  let stack = ref [] in
+  let push f = stack := f :: !stack in
+  let i = ref 0 in
+  while !i < n do
+    let t = toks.(!i) in
+    (match t.kind with
+    | Lexer.Ident when String.equal t.text "try" -> push Try
+    | Lexer.Ident when String.equal t.text "match" -> push Match
+    | Lexer.Symbol when String.equal t.text "{" -> push Brace
+    | Lexer.Symbol when String.equal t.text "}" -> (
+        (* Pop through any unconsumed try/match frames opened inside the
+           braces (e.g. a match whose arms end at the brace). *)
+        let rec pop () =
+          match !stack with
+          | Brace :: rest -> stack := rest
+          | (Try | Match) :: rest ->
+              stack := rest;
+              pop ()
+          | [] -> ()
+        in
+        pop ())
+    | Lexer.Ident when String.equal t.text "with" -> (
+        match !stack with
+        | Try :: rest ->
+            stack := rest;
+            (* the handler may open with an optional leading [|] *)
+            let j = if !i + 1 < n && Rule.is_sym toks.(!i + 1) "|" then !i + 2 else !i + 1 in
+            if j + 1 < n && Rule.is_ident toks.(j) "_" && Rule.is_sym toks.(j + 1) "->"
+            then
+              findings :=
+                Rule.finding ~rule:id ~file t
+                  "catch-all `try ... with _ ->` swallows typed protocol errors; \
+                   name the exceptions this handler is meant to catch"
+                :: !findings
+        | Match :: rest -> stack := rest
+        | Brace :: _ | [] -> (* record update or module constraint *) ())
+    | _ -> ());
+    incr i
+  done;
+  List.rev !findings
+
+let rule : Rule.t =
+  { id; summary = "no exception-swallowing `try ... with _ ->`"; applies = (fun _ -> true); check }

@@ -30,7 +30,7 @@ let add a b =
 
 let sub a b = add a (neg b)
 let mul a b = make (a.sign * b.sign) (Nat.mul a.mag b.mag)
-let compare a b = if a.sign <> b.sign then Stdlib.compare a.sign b.sign else a.sign * Nat.compare a.mag b.mag
+let compare a b = if a.sign <> b.sign then Int.compare a.sign b.sign else a.sign * Nat.compare a.mag b.mag
 let equal a b = compare a b = 0
 
 let ediv_rem a b =

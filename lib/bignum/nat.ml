@@ -42,10 +42,12 @@ let is_even (a : t) = Array.length a = 0 || a.(0) land 1 = 0
 
 let compare (a : t) (b : t) =
   let la = Array.length a and lb = Array.length b in
+  (* psi-lint: allow CT01 — limb counts are public: magnitude length leaks anyway *)
   if la <> lb then Stdlib.compare la lb
   else begin
     let rec go i =
       if i < 0 then 0
+      (* psi-lint: allow CT01 — ordering must exit on the first differing limb *)
       else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
       else go (i - 1)
     in
@@ -239,7 +241,7 @@ let shift_limbs (a : t) k =
     w
   end
 
-let low_limbs (a : t) k = normalize (Array.sub a 0 (Stdlib.min k (Array.length a)))
+let low_limbs (a : t) k = normalize (Array.sub a 0 (Int.min k (Array.length a)))
 
 let high_limbs (a : t) k =
   let la = Array.length a in
@@ -254,7 +256,7 @@ let rec mul (a : t) (b : t) =
   let la = Array.length a and lb = Array.length b in
   if la < karatsuba_threshold || lb < karatsuba_threshold then mul_schoolbook a b
   else begin
-    let m = (Stdlib.max la lb + 1) / 2 in
+    let m = (Int.max la lb + 1) / 2 in
     let a0 = low_limbs a m and a1 = high_limbs a m in
     let b0 = low_limbs b m and b1 = high_limbs b m in
     let z0 = mul a0 b0 in
@@ -315,7 +317,7 @@ let divmod_knuth (a : t) (b : t) =
     let u' = shift_left a s in
     let lu = Array.length u' in
     (* Always provide the extra top limb u.(m+n). *)
-    let w = Array.make (Stdlib.max (lu + 1) (n + 1)) 0 in
+    let w = Array.make (Int.max (lu + 1) (n + 1)) 0 in
     Array.blit u' 0 w 0 lu;
     w
   in
@@ -423,7 +425,7 @@ let of_bytes_be s =
 
 let to_bytes_be ?width (a : t) =
   let nbytes = (num_bits a + 7) / 8 in
-  let nbytes = Stdlib.max nbytes 1 in
+  let nbytes = Int.max nbytes 1 in
   let width =
     match width with
     | None -> nbytes
@@ -503,7 +505,7 @@ let of_decimal s =
     let acc = ref zero in
     let i = ref 0 in
     while !i < n do
-      let len = Stdlib.min chunk_digits (n - !i) in
+      let len = Int.min chunk_digits (n - !i) in
       let chunk = int_of_string (String.sub s !i len) in
       let scale = of_int (int_of_float (10. ** float_of_int len)) in
       acc := add (mul !acc scale) (of_int chunk);
@@ -523,6 +525,7 @@ let to_decimal (a : t) =
       cur := q
     done;
     match !chunks with
+    (* psi-lint: allow DBG01 — the loop above runs at least once for non-zero a *)
     | [] -> assert false
     | hd :: tl ->
         let buf = Buffer.create 32 in

@@ -30,7 +30,8 @@ let duplicate_distribution encoded =
       let d = Sset.Multi.count m s in
       Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
     (Sset.Multi.distinct m);
-  Hashtbl.fold (fun d n acc -> (d, n) :: acc) tbl [] |> List.sort Stdlib.compare
+  Hashtbl.fold (fun d n acc -> (d, n) :: acc) tbl []
+  |> List.sort (fun (d1, _) (d2, _) -> Int.compare d1 d2)
 
 (* Encrypt a multiset: one real exponentiation per distinct element,
    replicated by multiplicity (the honest op count). *)
@@ -103,7 +104,9 @@ let receiver cfg ~rng ~values ep =
         Hashtbl.replace tbl (d, d') (1 + Option.value ~default:0 (Hashtbl.find_opt tbl (d, d'))))
     (Sset.Multi.distinct z_r);
   let class_intersections =
-    Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [] |> List.sort Stdlib.compare
+    Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+    |> List.sort (fun ((a, b), _) ((c, d), _) ->
+           match Int.compare a c with 0 -> Int.compare b d | o -> o)
   in
   {
     join_size;

@@ -7,7 +7,7 @@ let duplicate_classes values =
       Hashtbl.replace tbl d (v :: Option.value ~default:[] (Hashtbl.find_opt tbl d)))
     (Sset.Multi.distinct m);
   Hashtbl.fold (fun d vs acc -> (d, List.sort String.compare vs) :: acc) tbl []
-  |> List.sort Stdlib.compare
+  |> List.sort (fun (d1, _) (d2, _) -> Int.compare d1 d2)
 
 let class_intersections ~r_values ~s_values =
   let mr = Sset.Multi.of_list r_values in
@@ -21,7 +21,9 @@ let class_intersections ~r_values ~s_values =
         Hashtbl.replace tbl (d, d') (1 + Option.value ~default:0 (Hashtbl.find_opt tbl (d, d')))
       end)
     (Sset.Multi.distinct mr);
-  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [] |> List.sort Stdlib.compare
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun ((a, b), _) ((c, d), _) ->
+         match Int.compare a c with 0 -> Int.compare b d | o -> o)
 
 let identified_values ~r_values ~s_values =
   let mr = Sset.Multi.of_list r_values in

@@ -274,7 +274,8 @@ let recognize a ~r_schema ~s_schema =
            (else values would be revealed at finer granularity than the
            protocol computes). *)
         let idxs = List.map (function Key i -> i | Pay _ -> assert false) fields in
-        if List.sort_uniq compare idxs = List.init n_join (fun i -> i) then
+        if List.equal Int.equal (List.sort_uniq Int.compare idxs) (List.init n_join (fun i -> i))
+        then
           Sh_intersect { out_names; idxs }
         else unsupported "intersection must select the full join key"
       end

@@ -96,7 +96,7 @@ let update ctx s =
     let pos = ref 0 in
     (* Top up a partial block first. *)
     if ctx.buf_len > 0 then begin
-      let take = Stdlib.min (block_size - ctx.buf_len) len in
+      let take = Int.min (block_size - ctx.buf_len) len in
       Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
       ctx.buf_len <- ctx.buf_len + take;
       pos := take;

@@ -73,6 +73,16 @@ let read_raw r n =
     v
   end
 
-let read_bytes r = read_raw r (read_varint r)
+(* Default ceiling on a single length-prefixed field. A malicious peer
+   can claim any length in the prefix; bounding it before [read_raw]
+   keeps a malformed frame from turning into a huge allocation request
+   and guarantees the failure is a typed [Parse_error]. 16 MiB is far
+   above any legitimate protocol field (group elements are < 1 KiB). *)
+let max_chunk_bytes = 16 * 1024 * 1024
+
+let read_bytes ?(max = max_chunk_bytes) r =
+  let n = read_varint r in
+  if n > max then fail (Printf.sprintf "length %d exceeds bound %d" n max);
+  read_raw r n
 let at_end r = r.pos = String.length r.s
 let expect_end r = if not (at_end r) then fail "trailing bytes"

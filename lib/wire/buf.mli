@@ -33,7 +33,17 @@ val reader : string -> reader
 val read_u8 : reader -> int
 val read_u32 : reader -> int
 val read_varint : reader -> int
-val read_bytes : reader -> string
+
+(** Default upper bound (16 MiB) for {!read_bytes} length prefixes. *)
+val max_chunk_bytes : int
+
+(** [read_bytes ?max r] reads a varint length prefix then that many raw
+    bytes. The claimed length is checked against [max] (default
+    {!max_chunk_bytes}) {e before} any allocation.
+    @raise Parse_error if the prefix exceeds [max] or the input is
+    truncated. *)
+val read_bytes : ?max:int -> reader -> string
+
 val read_raw : reader -> int -> string
 
 (** [at_end r] is true when all input has been consumed. *)

@@ -71,7 +71,13 @@ let send ep m =
   Condition.signal s.cond;
   Mutex.unlock s.mutex
 
-let recv ep =
+(* Frames larger than this are rejected on receive before decoding. A
+   frame holds a whole protocol message (up to a few thousand group
+   elements), so the cap is generous; it exists to bound what a broken
+   or hostile peer can make us buffer and parse. *)
+let max_frame_bytes = 64 * 1024 * 1024
+
+let recv ?(max_bytes = max_frame_bytes) ep =
   let s = ep.inbox in
   let t0 = if Obs.Runtime.is_enabled () then Obs.Clock.now_ns () else 0L in
   Mutex.lock s.mutex;
@@ -79,7 +85,7 @@ let recv ep =
     if not (Queue.is_empty s.queue) then Queue.pop s.queue
     else if s.closed then begin
       Mutex.unlock s.mutex;
-      failwith "Channel.recv: peer closed the channel"
+      raise (Errors.Protocol_error Errors.peer_closed_message)
     end
     else begin
       Condition.wait s.cond s.mutex;
@@ -88,6 +94,9 @@ let recv ep =
   in
   let bytes = wait () in
   Mutex.unlock s.mutex;
+  if String.length bytes > max_bytes then
+    Errors.protocol_errorf "Channel.recv: frame of %d bytes exceeds bound %d"
+      (String.length bytes) max_bytes;
   if Obs.Runtime.is_enabled () then
     Obs.Metrics.observe h_recv_wait_ns
       (Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0));

@@ -17,10 +17,15 @@ val create : unit -> endpoint * endpoint
 (** [send ep m] serializes and delivers [m] to the peer. Never blocks. *)
 val send : endpoint -> Message.t -> unit
 
+(** Default receive-side frame-size bound (64 MiB). *)
+val max_frame_bytes : int
+
 (** [recv ep] blocks until a message arrives, then parses and returns it.
-    @raise Failure if the peer closed the channel with no message
-    pending. *)
-val recv : endpoint -> Message.t
+    Frames larger than [max_bytes] (default {!max_frame_bytes}) are
+    rejected before decoding.
+    @raise Errors.Protocol_error if the peer closed the channel with no
+    message pending, or on an oversized frame. *)
+val recv : ?max_bytes:int -> endpoint -> Message.t
 
 (** [close ep] wakes a peer blocked in {!recv}. *)
 val close : endpoint -> unit

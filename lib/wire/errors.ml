@@ -1,0 +1,16 @@
+(* Typed wire-level failures, in a leaf module so that both [Channel]
+   and [Runner] can raise them while [Wire] (the library root) re-exports
+   the exception under the short name [Wire.Protocol_error]. *)
+
+(* A protocol-level fault: the peer closed the channel, sent an
+   oversized frame, or otherwise violated the wire contract. Distinct
+   from [Failure]/[Invalid_argument], which keep meaning programming
+   errors, so callers and future retry logic can tell the two apart. *)
+exception Protocol_error of string
+
+let protocol_errorf fmt =
+  Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+(* [Runner] matches on this exact message to tell a crash echo (the
+   other party died and closed on us) from a root-cause failure. *)
+let peer_closed_message = "Channel.recv: peer closed the channel"

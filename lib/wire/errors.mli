@@ -1,0 +1,15 @@
+(** Typed wire-level failures (re-exported as {!Wire.Protocol_error}). *)
+
+(** Raised on protocol-level faults: peer closed the channel, oversized
+    frame, malformed handshake. Deliberately distinct from [Failure] so
+    callers can distinguish peer behaviour from programming errors. *)
+exception Protocol_error of string
+
+(** [protocol_errorf fmt ...] raises {!Protocol_error} with a formatted
+    message. *)
+val protocol_errorf : ('a, unit, string, 'b) format4 -> 'a
+
+(** The exact message carried by the {!Protocol_error} that
+    [Channel.recv] raises when the peer closed with nothing pending;
+    [Runner] uses it to suppress crash echoes. *)
+val peer_closed_message : string

@@ -105,7 +105,24 @@ let element_count m =
   | Element_triples ts -> 3 * List.length ts
   | Ciphertext_pairs ps -> List.length ps (* one element + one ciphertext *)
 
-let equal a b = a = b
+(* Field-wise equality with explicit string comparison; keeps the wire
+   types free of polymorphic structural compare. *)
+let equal_pair (a1, b1) (a2, b2) = String.equal a1 a2 && String.equal b1 b2
+
+let equal_payload a b =
+  match (a, b) with
+  | Elements x, Elements y -> List.equal String.equal x y
+  | Element_pairs x, Element_pairs y -> List.equal equal_pair x y
+  | Element_triples x, Element_triples y ->
+      List.equal
+        (fun (a1, b1, c1) (a2, b2, c2) ->
+          String.equal a1 a2 && String.equal b1 b2 && String.equal c1 c2)
+        x y
+  | Ciphertext_pairs x, Ciphertext_pairs y -> List.equal equal_pair x y
+  | (Elements _ | Element_pairs _ | Element_triples _ | Ciphertext_pairs _), _ ->
+      false
+
+let equal a b = String.equal a.tag b.tag && equal_payload a.payload b.payload
 
 let pp fmt m =
   let n, kind =

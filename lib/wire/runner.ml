@@ -42,12 +42,14 @@ let run ~sender ~receiver =
         total_bytes = sender_stats.Channel.bytes_sent + receiver_stats.Channel.bytes_sent;
       }
   | Some (Error se), Error re -> (
-      (* When both fail, surface the root cause: a "peer closed" failure
+      (* When both fail, surface the root cause: a "peer closed" error
          is the echo of the other side's crash, not the crash itself. *)
       match (se, re) with
-      | Failure m, _ when m = "Channel.recv: peer closed the channel" -> raise re
-      | _, Failure m when m = "Channel.recv: peer closed the channel" -> raise se
+      | Errors.Protocol_error m, _ when String.equal m Errors.peer_closed_message ->
+          raise re
+      | _, Errors.Protocol_error m when String.equal m Errors.peer_closed_message ->
+          raise se
       | _ -> raise se)
   | Some (Error e), Ok _ -> raise e
   | (Some (Ok _) | None), Error e -> raise e
-  | None, Ok _ -> failwith "Runner.run: sender thread vanished"
+  | None, Ok _ -> raise (Errors.Protocol_error "Runner.run: sender thread vanished")

@@ -1,0 +1,10 @@
+(* Library root: re-export the wire modules and give the protocol-error
+   exception its short, stable name. *)
+
+exception Protocol_error = Errors.Protocol_error
+
+module Errors = Errors
+module Buf = Buf
+module Message = Message
+module Channel = Channel
+module Runner = Runner

@@ -1,0 +1,404 @@
+(* psi_lint unit tests: the lexer against tricky OCaml surface syntax,
+   every rule both firing and suppressed, and the baseline freeze /
+   unfreeze workflow. All fixtures are in-memory sources fed through
+   [Analysis.Driver.analyze] — the linter never touches the filesystem
+   here, exactly as in production (the binary does the IO). *)
+
+module Lexer = Analysis.Lexer
+module Rule = Analysis.Rule
+module Suppress = Analysis.Suppress
+module Driver = Analysis.Driver
+
+let no_baseline = Suppress.Baseline.empty
+
+let analyze ?(baseline = no_baseline) ~path src =
+  Driver.analyze ~baseline [ { Driver.path; content = src } ]
+
+let new_rules o = List.map (fun (f : Rule.finding) -> f.rule) (Driver.new_findings o)
+
+let suppressed_rules (o : Driver.outcome) =
+  List.filter_map
+    (fun (c : Driver.classified) ->
+      match c.status with `Suppressed _ -> Some c.finding.Rule.rule | _ -> None)
+    o.results
+
+let baselined_rules (o : Driver.outcome) =
+  List.filter_map
+    (fun (c : Driver.classified) ->
+      match c.status with `Baselined _ -> Some c.finding.Rule.rule | _ -> None)
+    o.results
+
+let check_rules = Alcotest.(check (list string))
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Concatenating token texts must reproduce the source minus layout:
+   nothing is lost and nothing is invented, whatever the nesting. *)
+let strip_ws s =
+  String.to_seq s
+  |> Seq.filter (fun c -> not (c = ' ' || c = '\t' || c = '\n' || c = '\r'))
+  |> String.of_seq
+
+let roundtrip src =
+  let toks = Lexer.tokens_of_string src in
+  Alcotest.(check string)
+    "token texts reproduce the source" (strip_ws src)
+    (strip_ws (String.concat "" (List.map (fun (t : Lexer.token) -> t.text) toks)))
+
+let test_lexer_roundtrip () =
+  roundtrip {x|let f (a : int) = a + 1|x};
+  roundtrip {x|let s = "quote \" and (* not a comment *) inside"|x};
+  roundtrip {x|(* outer (* nested *) and a "string *) inside" *) let x = 1|x};
+  roundtrip {x|let c = 'a' and nl = '\n' and hex = '\x41' and poly : 'a t = v|x};
+  roundtrip {x|let raw = {q|verbatim "no escapes" here|q} and empty = {||}|x};
+  roundtrip {x|let n = 0xFF_EC and f = 1.5e-3 and g = 0x1p+4|x}
+
+let kinds src = List.map (fun (t : Lexer.token) -> t.Lexer.kind) (Lexer.tokens_of_string src)
+
+let test_lexer_kinds () =
+  (* A nested comment is ONE token; the string inside does not escape. *)
+  (match kinds {x|(* a (* b *) "c *) d" *) x|x} with
+  | [ Lexer.Comment; Lexer.Ident ] -> ()
+  | _ -> Alcotest.fail "nested comment with embedded string should be one Comment token");
+  (* Char literal vs type-variable quote. *)
+  (match kinds {x|'a' 'b|x} with
+  | [ Lexer.Char_lit; Lexer.Symbol; Lexer.Ident ] -> ()
+  | _ -> Alcotest.fail "char literal then type variable");
+  (* Qualified access lexes as Uident / "." / Ident. *)
+  match Lexer.significant (Lexer.tokens_of_string "Stdlib.compare") with
+  | [ { kind = Lexer.Uident; text = "Stdlib"; _ }; { kind = Lexer.Symbol; text = "."; _ };
+      { kind = Lexer.Ident; text = "compare"; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "qualified path token shape"
+
+let test_lexer_positions () =
+  match Lexer.tokens_of_string "let x =\n  y" with
+  | [ _let; _x; _eq; y ] ->
+      Alcotest.(check int) "line" 2 y.Lexer.line;
+      Alcotest.(check int) "col" 3 y.Lexer.col
+  | _ -> Alcotest.fail "expected four tokens"
+
+let test_lexer_errors () =
+  let expect_error src =
+    match Lexer.tokens_of_string src with
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.fail ("lexer accepted: " ^ src)
+  in
+  expect_error "(* never closed";
+  expect_error {x|let s = "no closing quote|x};
+  expect_error "let c = '\\n";
+  (* A lexer failure surfaces as a run error, not a crash. *)
+  let o = analyze ~path:"lib/core/broken.ml" "(* open" in
+  Alcotest.(check bool) "lexer error fails the run" false (Driver.clean o);
+  Alcotest.(check int) "one error" 1 (List.length o.errors)
+
+(* ------------------------------------------------------------------ *)
+(* CT01                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ct01_fires () =
+  let o = analyze ~path:"lib/bignum/fixture.ml" "let f a b = Stdlib.compare a b" in
+  check_rules "qualified Stdlib.compare" [ "CT01" ] (new_rules o);
+  let o = analyze ~path:"lib/crypto/fixture.ml" "let eq a b = a == b" in
+  check_rules "physical equality" [ "CT01" ] (new_rules o);
+  let o = analyze ~path:"lib/bignum/fixture.ml" "let m xs x = List.mem x xs" in
+  check_rules "List.mem" [ "CT01" ] (new_rules o);
+  let o = analyze ~path:"lib/bignum/fixture.ml" "let s xs = List.sort ( <> ) xs" in
+  check_rules "operator section" [ "CT01" ] (new_rules o);
+  (* Unqualified compare means Stdlib's unless the file defined one. *)
+  let o = analyze ~path:"lib/bignum/fixture.ml" "let g x y = compare x y" in
+  check_rules "bare compare" [ "CT01" ] (new_rules o)
+
+let test_ct01_shadowing_and_scope () =
+  let shadowed =
+    "let compare a b = Int.compare a b\nlet g x y = compare x y\nlet h a = Nat.compare a a"
+  in
+  check_rules "local definition shadows Stdlib" []
+    (new_rules (analyze ~path:"lib/bignum/fixture.ml" shadowed));
+  (* Qualified use of another module's compare is monomorphic: fine. *)
+  check_rules "Int.compare is fine" []
+    (new_rules (analyze ~path:"lib/bignum/fixture.ml" "let f a b = Int.compare a b"));
+  (* Outside the secret-bearing modules the rule does not apply. *)
+  check_rules "lib/core is out of scope" []
+    (new_rules (analyze ~path:"lib/core/fixture.ml" "let f a b = Stdlib.compare a b"))
+
+let test_ct01_suppressed () =
+  let src =
+    "(* psi-lint: allow CT01 — fixture: operands are public lengths *)\n\
+     let f a b = Stdlib.compare a b"
+  in
+  let o = analyze ~path:"lib/bignum/fixture.ml" src in
+  check_rules "no new findings" [] (new_rules o);
+  check_rules "suppressed instead" [ "CT01" ] (suppressed_rules o);
+  Alcotest.(check bool) "clean" true (Driver.clean o)
+
+(* ------------------------------------------------------------------ *)
+(* RNG01                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng01_fires () =
+  let o = analyze ~path:"lib/core/fixture.ml" "let x = Random.int 5" in
+  check_rules "Random.int" [ "RNG01" ] (new_rules o);
+  let o = analyze ~path:"bin/fixture.ml" "let s = Random.State.make [| 1 |]" in
+  check_rules "Random.State in bin/" [ "RNG01" ] (new_rules o);
+  (* A constructor named Random is not a module use. *)
+  let o = analyze ~path:"lib/core/fixture.ml" "let src = Random" in
+  check_rules "bare constructor" [] (new_rules o)
+
+let test_rng01_suppressed () =
+  let src =
+    "let jitter () = Random.int 3 (* psi-lint: allow RNG01 — fixture: jitter is not \
+     protocol randomness *)"
+  in
+  let o = analyze ~path:"lib/core/fixture.ml" src in
+  check_rules "suppressed" [ "RNG01" ] (suppressed_rules o);
+  Alcotest.(check bool) "clean" true (Driver.clean o)
+
+(* ------------------------------------------------------------------ *)
+(* EXN01                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_exn01_fires () =
+  let o = analyze ~path:"lib/core/fixture.ml" "let f g = try g () with _ -> 0" in
+  check_rules "catch-all" [ "EXN01" ] (new_rules o);
+  let o = analyze ~path:"lib/core/fixture.ml" "let f g = try g () with | _ -> 0" in
+  check_rules "catch-all with leading bar" [ "EXN01" ] (new_rules o)
+
+let test_exn01_negatives () =
+  let ok src = check_rules src [] (new_rules (analyze ~path:"lib/core/fixture.ml" src)) in
+  ok "let f x = match x with _ -> 0";
+  ok "let f g = try g () with Not_found -> 0";
+  ok "let g r = { r with x = 1 }";
+  (* A match nested inside a try must not eat the try's [with]. *)
+  ok "let f g x = try (match x with _ -> g ()) with Not_found -> 0"
+
+let test_exn01_suppressed () =
+  let src =
+    "(* psi-lint: allow EXN01 — fixture: best-effort cleanup may not fail *)\n\
+     let f g = try g () with _ -> ()"
+  in
+  let o = analyze ~path:"lib/core/fixture.ml" src in
+  check_rules "suppressed" [ "EXN01" ] (suppressed_rules o);
+  Alcotest.(check bool) "clean" true (Driver.clean o)
+
+(* ------------------------------------------------------------------ *)
+(* WIRE01                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire01_fires () =
+  let o =
+    analyze ~path:"lib/wire/fixture.ml" "let read_bytes r = read_raw r (read_varint r)"
+  in
+  check_rules "inline varint into read_raw" [ "WIRE01" ] (new_rules o);
+  let o =
+    analyze ~path:"lib/wire/fixture.ml" "let f r b = String.sub b 0 (read_u32 r)"
+  in
+  check_rules "inline u32 into String.sub" [ "WIRE01" ] (new_rules o);
+  let o = analyze ~path:"lib/wire/fixture.ml" "let g r = Bytes.create (read_varint r)" in
+  check_rules "inline varint into Bytes.create" [ "WIRE01" ] (new_rules o)
+
+let test_wire01_negatives () =
+  (* The enforced fix shape: name the length, bound it, then allocate. *)
+  let fixed =
+    "let read_bytes ?(max = max_chunk_bytes) r =\n\
+    \  let n = read_varint r in\n\
+    \  if n > max then fail n;\n\
+    \  read_raw r n"
+  in
+  check_rules "bounded read passes" []
+    (new_rules (analyze ~path:"lib/wire/fixture.ml" fixed));
+  (* Outside lib/wire the rule does not apply. *)
+  check_rules "out of scope" []
+    (new_rules
+       (analyze ~path:"lib/core/fixture.ml" "let f r = read_raw r (read_varint r)"))
+
+let test_wire01_suppressed () =
+  let src =
+    "(* psi-lint: allow WIRE01 — fixture: length was bounded by the framing layer *)\n\
+     let f r = read_raw r (read_varint r)"
+  in
+  let o = analyze ~path:"lib/wire/fixture.ml" src in
+  check_rules "suppressed" [ "WIRE01" ] (suppressed_rules o);
+  Alcotest.(check bool) "clean" true (Driver.clean o)
+
+(* ------------------------------------------------------------------ *)
+(* DBG01                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_dbg01_fires () =
+  let o = analyze ~path:"lib/core/fixture.ml" {|let f () = print_endline "x"|} in
+  check_rules "print_endline" [ "DBG01" ] (new_rules o);
+  let o = analyze ~path:"lib/core/fixture.ml" {|let f () = Printf.printf "%d" 1|} in
+  check_rules "Printf.printf" [ "DBG01" ] (new_rules o);
+  let o = analyze ~path:"lib/core/fixture.ml" "let g () = assert false" in
+  check_rules "assert false" [ "DBG01" ] (new_rules o)
+
+let test_dbg01_negatives () =
+  let ok path src = check_rules src [] (new_rules (analyze ~path src)) in
+  ok "lib/core/fixture.ml" {|let s = Printf.sprintf "%d" 1|};
+  ok "lib/core/fixture.ml" "let ok x = assert (x > 0)";
+  (* Binaries own their stdout. *)
+  ok "bin/fixture.ml" {|let () = print_endline "usage"|}
+
+let test_dbg01_suppressed () =
+  let src =
+    "let g = function\n\
+    \  (* psi-lint: allow DBG01 — fixture: list is non-empty by construction *)\n\
+    \  | [] -> assert false\n\
+    \  | x :: _ -> x"
+  in
+  let o = analyze ~path:"lib/core/fixture.ml" src in
+  check_rules "suppressed" [ "DBG01" ] (suppressed_rules o);
+  Alcotest.(check bool) "clean" true (Driver.clean o)
+
+(* ------------------------------------------------------------------ *)
+(* Annotations                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_annotation_reason_mandatory () =
+  let src = "(* psi-lint: allow DBG01 *)\nlet g () = assert false" in
+  let o = analyze ~path:"lib/core/fixture.ml" src in
+  Alcotest.(check bool) "missing reason is an error" false (Driver.clean o);
+  Alcotest.(check int) "one error" 1 (List.length o.errors)
+
+let test_annotation_range () =
+  (* Coverage is the annotation's line and the next line only. *)
+  let src = "(* psi-lint: allow DBG01 — fixture: too far away *)\nlet a = 1\nlet g () = assert false" in
+  let o = analyze ~path:"lib/core/fixture.ml" src in
+  check_rules "two lines below: not covered" [ "DBG01" ] (new_rules o)
+
+let test_annotation_wrong_rule () =
+  let src = "(* psi-lint: allow CT01 — fixture: wrong rule id *)\nlet g () = assert false" in
+  let o = analyze ~path:"lib/core/fixture.ml" src in
+  check_rules "annotation for another rule does not cover" [ "DBG01" ] (new_rules o)
+
+let test_annotation_multi_rule () =
+  let src =
+    "(* psi-lint: allow CT01,DBG01 — fixture: one reason for both *)\n\
+     let g a b = if compare a b = 0 then assert false"
+  in
+  let o = analyze ~path:"lib/bignum/fixture.ml" src in
+  check_rules "both suppressed" [] (new_rules o);
+  Alcotest.(check int) "two suppressions" 2 (List.length (suppressed_rules o))
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fixture_path = "lib/core/fixture.ml"
+let fixture_src = "let g () = assert false"
+
+let entry ?(reason = "fixture: frozen pre-existing finding") fingerprint =
+  { Suppress.Baseline.rule = "DBG01"; file = fixture_path; fingerprint; reason }
+
+let test_baseline_freezes () =
+  let baseline = [ entry "assert false#1" ] in
+  let o = analyze ~baseline ~path:fixture_path fixture_src in
+  check_rules "no new findings" [] (new_rules o);
+  check_rules "baselined instead" [ "DBG01" ] (baselined_rules o);
+  Alcotest.(check bool) "clean" true (Driver.clean o)
+
+let test_baseline_does_not_cover_new () =
+  (* A second finding of the same shape gets occurrence #2 — not frozen. *)
+  let baseline = [ entry "assert false#1" ] in
+  let src = fixture_src ^ "\nlet h () = assert false" in
+  let o = analyze ~baseline ~path:fixture_path src in
+  check_rules "second occurrence is new" [ "DBG01" ] (new_rules o);
+  check_rules "first stays frozen" [ "DBG01" ] (baselined_rules o);
+  Alcotest.(check bool) "not clean" false (Driver.clean o)
+
+let test_baseline_stale_entry () =
+  (* Finding fixed but entry left behind: the baseline can only shrink. *)
+  let baseline = [ entry "assert false#1" ] in
+  let o = analyze ~baseline ~path:fixture_path "let g () = 0" in
+  Alcotest.(check bool) "stale entry fails the run" false (Driver.clean o);
+  Alcotest.(check int) "one error" 1 (List.length o.errors)
+
+let test_baseline_todo_rejected () =
+  let baseline = [ entry ~reason:"TODO — justify or fix" "assert false#1" ] in
+  let o = analyze ~baseline ~path:fixture_path fixture_src in
+  Alcotest.(check bool) "TODO reason is an error" false (Driver.clean o)
+
+let test_baseline_update_roundtrip () =
+  (* --update-baseline: new findings become TODO entries; rendering and
+     re-parsing reproduces them; once justified, the run is clean. *)
+  let o = analyze ~path:fixture_path fixture_src in
+  let entries = Driver.updated_baseline o in
+  Alcotest.(check int) "one entry" 1 (List.length entries);
+  let e = List.hd entries in
+  Alcotest.(check string) "fingerprint" "assert false#1" e.Suppress.Baseline.fingerprint;
+  Alcotest.(check bool) "TODO entry is unexplained" false
+    (Suppress.Baseline.is_explained e);
+  (match Suppress.Baseline.parse (Suppress.Baseline.render entries) with
+  | Ok parsed ->
+      Alcotest.(check int) "render/parse round-trip" (List.length entries)
+        (List.length parsed)
+  | Error e -> Alcotest.fail e);
+  let justified = [ { e with Suppress.Baseline.reason = "fixture: justified" } ] in
+  let o = analyze ~baseline:justified ~path:fixture_path fixture_src in
+  Alcotest.(check bool) "clean once justified" true (Driver.clean o)
+
+let test_baseline_parse_rejects_malformed () =
+  match Suppress.Baseline.parse "DBG01 lib/x.ml assert_false#1 spaces not tabs" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "space-separated line should be rejected"
+
+(* ------------------------------------------------------------------ *)
+
+let tc = Alcotest.test_case
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "lexer",
+        [
+          tc "roundtrip" `Quick test_lexer_roundtrip;
+          tc "kinds" `Quick test_lexer_kinds;
+          tc "positions" `Quick test_lexer_positions;
+          tc "errors" `Quick test_lexer_errors;
+        ] );
+      ( "ct01",
+        [
+          tc "fires" `Quick test_ct01_fires;
+          tc "shadowing & scope" `Quick test_ct01_shadowing_and_scope;
+          tc "suppressed" `Quick test_ct01_suppressed;
+        ] );
+      ( "rng01",
+        [ tc "fires" `Quick test_rng01_fires; tc "suppressed" `Quick test_rng01_suppressed ] );
+      ( "exn01",
+        [
+          tc "fires" `Quick test_exn01_fires;
+          tc "negatives" `Quick test_exn01_negatives;
+          tc "suppressed" `Quick test_exn01_suppressed;
+        ] );
+      ( "wire01",
+        [
+          tc "fires" `Quick test_wire01_fires;
+          tc "negatives" `Quick test_wire01_negatives;
+          tc "suppressed" `Quick test_wire01_suppressed;
+        ] );
+      ( "dbg01",
+        [
+          tc "fires" `Quick test_dbg01_fires;
+          tc "negatives" `Quick test_dbg01_negatives;
+          tc "suppressed" `Quick test_dbg01_suppressed;
+        ] );
+      ( "annotations",
+        [
+          tc "reason mandatory" `Quick test_annotation_reason_mandatory;
+          tc "range" `Quick test_annotation_range;
+          tc "wrong rule" `Quick test_annotation_wrong_rule;
+          tc "multi-rule" `Quick test_annotation_multi_rule;
+        ] );
+      ( "baseline",
+        [
+          tc "freezes" `Quick test_baseline_freezes;
+          tc "new finding not covered" `Quick test_baseline_does_not_cover_new;
+          tc "stale entry" `Quick test_baseline_stale_entry;
+          tc "TODO rejected" `Quick test_baseline_todo_rejected;
+          tc "update round-trip" `Quick test_baseline_update_roundtrip;
+          tc "parse rejects malformed" `Quick test_baseline_parse_rejects_malformed;
+        ] );
+    ]

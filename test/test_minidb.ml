@@ -188,7 +188,7 @@ let test_equijoin () =
   (* ids 1 (x2 orders) and 3 join; 2, 4 and order-person 9 do not. *)
   Alcotest.(check int) "3 joined rows" 3 (Table.cardinality j);
   let names =
-    List.sort compare (List.map Value.to_string (Table.column_values j "l.name"))
+    List.sort String.compare (List.map Value.to_string (Table.column_values j "l.name"))
   in
   Alcotest.(check (list string)) "join partners" [ "ana"; "ana"; "cy" ] names
 

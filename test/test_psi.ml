@@ -231,7 +231,7 @@ let prop_aggregate_oracle =
       let expected =
         List.fold_left
           (fun acc (v, x) ->
-            if List.mem v (List.sort_uniq compare vr) then acc + x else acc)
+            if List.mem v (List.sort_uniq String.compare vr) then acc + x else acc)
           0 records
       in
       o.Runner.receiver_result.Psi.Aggregate.sum = expected)
@@ -750,6 +750,9 @@ let against_fake_sender script =
 
 let expect_protocol_error name result =
   match result with
+  | Error (Wire.Protocol_error msg) ->
+      Alcotest.(check bool) (name ^ ": " ^ msg) true
+        (String.length msg > 0)
   | Error (Failure msg) ->
       Alcotest.(check bool) (name ^ ": " ^ msg) true
         (String.length msg > 0)
@@ -952,8 +955,8 @@ let test_circuit_headline_claim () =
 
 let test_workload_value_sets () =
   let vs, vr = Psi.Workload.value_sets ~seed:"w" ~n_s:30 ~n_r:20 ~overlap:7 in
-  Alcotest.(check int) "|V_S|" 30 (List.length (List.sort_uniq compare vs));
-  Alcotest.(check int) "|V_R|" 20 (List.length (List.sort_uniq compare vr));
+  Alcotest.(check int) "|V_S|" 30 (List.length (List.sort_uniq String.compare vs));
+  Alcotest.(check int) "|V_R|" 20 (List.length (List.sort_uniq String.compare vr));
   Alcotest.(check int) "overlap" 7 (List.length (plain_intersection vs vr));
   Alcotest.(check bool) "overlap too large rejected" true
     (try
@@ -969,7 +972,7 @@ let test_workload_documents () =
   List.iter
     (fun (d : Psi.Workload.document) ->
       Alcotest.(check int) "50 distinct words" 50
-        (List.length (List.sort_uniq compare d.Psi.Workload.words)))
+        (List.length (List.sort_uniq String.compare d.Psi.Workload.words)))
     docs;
   (* Determinism. *)
   let again =

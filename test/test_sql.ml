@@ -33,7 +33,7 @@ let resolve = function
 let cells t =
   Table.rows t
   |> List.map (fun r -> List.map Value.key (Array.to_list r))
-  |> List.sort compare
+  |> List.sort (List.compare String.compare)
 
 let check_cells name expected t = Alcotest.(check (list (list string))) name expected (cells t)
 

@@ -235,8 +235,54 @@ let test_channel_close_unblocks () =
     (try
        ignore (Channel.recv b);
        false
-     with Failure _ -> true);
+     with Wire.Protocol_error _ -> true);
   Thread.join t
+
+let test_channel_oversized_frame () =
+  let a, b = Channel.create () in
+  let big = Message.make ~tag:"big" (Message.Elements [ String.make 200 'x' ]) in
+  Channel.send a big;
+  Alcotest.(check bool) "oversized frame rejected" true
+    (try
+       ignore (Channel.recv ~max_bytes:64 b);
+       false
+     with Wire.Protocol_error _ -> true);
+  (* A small frame under the same bound still goes through. *)
+  Channel.send a m1;
+  Alcotest.check msg "small frame ok" m1 (Channel.recv ~max_bytes:64 b)
+
+let test_bounded_read_bytes () =
+  let w = Buf.writer () in
+  Buf.write_bytes w (String.make 100 'a');
+  let enc = Buf.contents w in
+  (* Claimed length over the caller's bound: typed parse error, before
+     any allocation. *)
+  Alcotest.(check bool) "over bound rejected" true
+    (try
+       ignore (Buf.read_bytes ~max:99 (Buf.reader enc));
+       false
+     with Buf.Parse_error _ -> true);
+  Alcotest.(check string) "at bound ok" (String.make 100 'a')
+    (Buf.read_bytes ~max:100 (Buf.reader enc));
+  (* A length prefix claiming far more than the input holds: the bound
+     check fires first (no dependence on the truncation check). *)
+  let w = Buf.writer () in
+  Buf.write_varint w max_int;
+  Alcotest.(check bool) "huge claimed length rejected" true
+    (try
+       ignore (Buf.read_bytes (Buf.reader (Buf.contents w)));
+       false
+     with Buf.Parse_error _ -> true)
+
+let test_truncated_frame_typed_error () =
+  (* A frame cut mid-element decodes to Parse_error, not a crash. *)
+  let enc = Message.encode m1 in
+  let cut = String.sub enc 0 (String.length enc - 3) in
+  Alcotest.(check bool) "truncated frame rejected" true
+    (try
+       ignore (Message.decode cut);
+       false
+     with Buf.Parse_error _ -> true)
 
 let test_channel_threads () =
   (* Concurrent producer/consumer of 100 messages. *)
@@ -282,20 +328,23 @@ let test_runner_sender_exception () =
       ignore
         (Runner.run
            ~sender:(fun _ -> failwith "sender boom")
-           ~receiver:(fun ep -> try ignore (Channel.recv ep) with Failure _ -> ())))
+           ~receiver:(fun ep ->
+             try ignore (Channel.recv ep) with Wire.Protocol_error _ -> ())))
 
 let test_runner_receiver_exception () =
   Alcotest.check_raises "propagates" (Failure "receiver boom") (fun () ->
       ignore
         (Runner.run
-           ~sender:(fun ep -> try ignore (Channel.recv ep) with Failure _ -> ())
+           ~sender:(fun ep ->
+             try ignore (Channel.recv ep) with Wire.Protocol_error _ -> ())
            ~receiver:(fun _ -> failwith "receiver boom")))
 
 let test_runner_deadlock_free_on_crash () =
   (* Receiver crashes while sender waits forever: close must unblock. *)
   match
     Runner.run
-      ~sender:(fun ep -> try ignore (Channel.recv ep); "no" with Failure _ -> "unblocked")
+      ~sender:(fun ep ->
+        try ignore (Channel.recv ep); "no" with Wire.Protocol_error _ -> "unblocked")
       ~receiver:(fun _ -> failwith "early crash")
   with
   | exception Failure m -> Alcotest.(check string) "receiver error wins" "early crash" m
@@ -315,6 +364,7 @@ let () =
           Alcotest.test_case "truncated input" `Quick test_truncated_input;
           Alcotest.test_case "trailing bytes" `Quick test_trailing_bytes;
           Alcotest.test_case "writer bounds" `Quick test_writer_bounds;
+          Alcotest.test_case "bounded read_bytes" `Quick test_bounded_read_bytes;
           Alcotest.test_case "sequenced fields" `Quick test_sequenced_fields;
         ] );
       ( "message",
@@ -322,6 +372,8 @@ let () =
           prop_message_roundtrip;
           Alcotest.test_case "element counts" `Quick test_message_element_count;
           Alcotest.test_case "garbage rejected" `Quick test_message_decode_garbage;
+          Alcotest.test_case "truncated frame typed error" `Quick
+            test_truncated_frame_typed_error;
           Alcotest.test_case "magic and version" `Quick test_message_versioning;
           Alcotest.test_case "size" `Quick test_message_size;
         ] );
@@ -331,6 +383,7 @@ let () =
           Alcotest.test_case "stats" `Quick test_channel_stats;
           Alcotest.test_case "transcripts" `Quick test_channel_transcripts;
           Alcotest.test_case "close unblocks" `Quick test_channel_close_unblocks;
+          Alcotest.test_case "oversized frame" `Quick test_channel_oversized_frame;
           Alcotest.test_case "cross-thread" `Quick test_channel_threads;
         ] );
       ( "runner",

@@ -223,8 +223,8 @@ let test_yao_psi_matches_commutative_protocol () =
       .Psi.Intersection.intersection
   in
   Alcotest.(check (list string)) "same result"
-    (List.sort compare (List.map string_of_int yao))
-    (List.sort compare psi)
+    (List.sort String.compare (List.map string_of_int yao))
+    (List.sort String.compare psi)
 
 let test_yao_psi_much_more_expensive () =
   (* The reproduction's headline: at equal n the circuit baseline ships

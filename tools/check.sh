@@ -1,6 +1,7 @@
 #!/bin/sh
 # Tier-1 gate: everything builds, every test passes, no build artifacts
-# are tracked, and the telemetry smoke test runs end to end.
+# are tracked, the telemetry smoke test runs end to end, and psi_lint
+# reports no new findings.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,5 +15,6 @@ fi
 dune build
 dune runtest
 dune build @obs-smoke
+dune build @lint
 
 echo "check.sh: all green"
