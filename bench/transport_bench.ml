@@ -1,0 +1,164 @@
+(* Transport benchmark: raw frame throughput of the memory and socket
+   backends, the end-to-end cost of running a protocol session over
+   each, and the overhead of chaos-grade fault injection with
+   checkpoint/resume. Writes BENCH_transport.json.
+
+   Run: dune exec bench/transport_bench.exe *)
+
+module Json = Obs.Export.Json
+module Transport = Wire.Transport
+module Fault = Wire.Fault
+module Channel = Wire.Channel
+module Session = Psi.Session
+
+let now_s () = Int64.to_float (Obs.Clock.now_ns ()) *. 1e-9
+
+let hr title =
+  Printf.printf "\n== %s ==\n%!" title
+
+(* Raw throughput: one producer and one consumer thread pump [frames]
+   frames of [size] bytes through a connected transport pair. *)
+let raw_throughput ~name ~pair ~frames ~size =
+  let a, b = pair () in
+  let frame = String.make size 'x' in
+  let t0 = now_s () in
+  let consumer =
+    Thread.create
+      (fun () ->
+        for _ = 1 to frames do
+          ignore (Transport.recv b)
+        done)
+      ()
+  in
+  for _ = 1 to frames do
+    Transport.send a frame
+  done;
+  Thread.join consumer;
+  let dt = now_s () -. t0 in
+  Transport.close a;
+  Transport.close b;
+  let mib_s = float_of_int (frames * size) /. dt /. (1024. *. 1024.) in
+  Printf.printf "%-8s %6d frames x %7d B: %8.1f frames/ms, %8.1f MiB/s\n%!" name
+    frames size
+    (float_of_int frames /. (dt *. 1000.))
+    mib_s;
+  Json.Obj
+    [
+      ("transport", Json.Str name);
+      ("frames", Json.of_int frames);
+      ("frame_bytes", Json.of_int size);
+      ("seconds", Json.of_float dt);
+      ("mib_per_s", Json.of_float mib_s);
+    ]
+
+let cfg = Psi.Protocol.config ~domain:"bench" (Crypto.Group.named Crypto.Group.Test64)
+
+let values prefix n = List.init n (fun i -> Printf.sprintf "%s-%06d" prefix i)
+
+let session_ops n =
+  let s_values = values "s" n and r_values = values "r" (n / 2) in
+  [ Session.Intersect { s_values; r_values } ]
+
+let clean_resilience =
+  { Session.max_attempts = 1; backoff_s = 0.; max_backoff_s = 0.; recv_timeout_s = Some 30. }
+
+(* A full session (handshake + resume exchange + intersection) over a
+   given connector; returns wall seconds plus the session's own report. *)
+let timed_session ~connect ~resilience n =
+  let t0 = now_s () in
+  let r = Session.run_resilient ~resilience cfg ~seed:"bench" ~connect (session_ops n) in
+  (now_s () -. t0, r)
+
+let session_over ~name ~connect n =
+  let dt, r = timed_session ~connect ~resilience:clean_resilience n in
+  Printf.printf "%-8s n=%4d: %7.1f ms, %7d payload bytes\n%!" name n (dt *. 1000.)
+    r.Session.report.Session.total_bytes;
+  ( r.Session.report.Session.total_bytes,
+    Json.Obj
+      [
+        ("transport", Json.Str name);
+        ("n", Json.of_int n);
+        ("seconds", Json.of_float dt);
+        ("payload_bytes", Json.of_int r.Session.report.Session.total_bytes);
+      ] )
+
+let memory_connect ~attempt:_ = Channel.create ()
+
+let socket_connect ~attempt:_ =
+  let a, b = Transport.Socket.pair () in
+  (Channel.of_transport a, Channel.of_transport b)
+
+let faulty_connect rate ~attempt =
+  let a, b = Transport.Memory.pair () in
+  let plan =
+    Fault.plan ~drop:rate ~duplicate:rate ~disconnect:(rate /. 4.)
+      ~seed:(Printf.sprintf "bench-fault-%f-%d" rate attempt)
+      ()
+  in
+  let (fa, fb), _ = Fault.wrap_pair plan (a, b) in
+  (Channel.of_transport fa, Channel.of_transport fb)
+
+let chaos_resilience =
+  { Session.max_attempts = 200; backoff_s = 0.0005; max_backoff_s = 0.005; recv_timeout_s = Some 0.1 }
+
+let retry_overhead ~baseline_s ~baseline_bytes rate n =
+  let connect = if rate = 0. then memory_connect else faulty_connect rate in
+  let dt, r = timed_session ~connect ~resilience:chaos_resilience n in
+  let bytes = r.Session.report.Session.total_bytes in
+  Printf.printf
+    "fault %4.2f n=%4d: %7.1f ms (%5.2fx), %2d attempt(s), %d replay(s), %7d bytes (%5.2fx)\n%!"
+    rate n (dt *. 1000.) (dt /. baseline_s) r.Session.attempts r.Session.replays bytes
+    (float_of_int bytes /. float_of_int baseline_bytes);
+  Json.Obj
+    [
+      ("fault_rate", Json.of_float rate);
+      ("n", Json.of_int n);
+      ("seconds", Json.of_float dt);
+      ("slowdown", Json.of_float (dt /. baseline_s));
+      ("attempts", Json.of_int r.Session.attempts);
+      ("replays", Json.of_int r.Session.replays);
+      ("payload_bytes", Json.of_int bytes);
+      ("byte_overhead", Json.of_float (float_of_int bytes /. float_of_int baseline_bytes));
+    ]
+
+let () =
+  hr "raw frame throughput (producer/consumer threads)";
+  let raw =
+    List.concat_map
+      (fun (frames, size) ->
+        [
+          raw_throughput ~name:"memory" ~pair:Transport.Memory.pair ~frames ~size;
+          raw_throughput ~name:"socket" ~pair:Transport.Socket.pair ~frames ~size;
+        ])
+      [ (20_000, 64); (5_000, 4_096); (200, 1_048_576) ]
+  in
+
+  hr "intersection session, memory vs socket transport";
+  let n = 400 in
+  let mem_bytes, mem_json = session_over ~name:"memory" ~connect:memory_connect n in
+  let sock_bytes, sock_json = session_over ~name:"socket" ~connect:socket_connect n in
+  assert (mem_bytes = sock_bytes);
+
+  hr "fault injection + checkpoint/resume overhead";
+  let baseline_s, base_r =
+    timed_session ~connect:memory_connect ~resilience:clean_resilience n
+  in
+  let baseline_bytes = base_r.Session.report.Session.total_bytes in
+  let retries =
+    List.map (fun rate -> retry_overhead ~baseline_s ~baseline_bytes rate n) [ 0.0; 0.05; 0.1 ]
+  in
+
+  let json =
+    Json.Obj
+      [
+        ("group", Json.Str "test64");
+        ("raw_throughput", Json.Arr raw);
+        ("session", Json.Arr [ mem_json; sock_json ]);
+        ("retry_overhead", Json.Arr retries);
+      ]
+  in
+  let oc = open_out "BENCH_transport.json" in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_transport.json\n"

@@ -143,6 +143,181 @@ let intersect_cmd =
           $ attr_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
+(* net: two-process mode over a real socket                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The listener plays the paper's sender S (it learns nothing); the
+   connecting side plays the receiver R and prints the results. Both
+   run the same config handshake as in-process sessions, so mismatched
+   --group/--attr fail fast instead of producing garbage. *)
+
+let records_of_csv path attr =
+  let t = Minidb.Csv.load path in
+  List.filter_map
+    (fun row ->
+      let v = Minidb.Table.get t row attr in
+      if v = Minidb.Value.Null then None
+      else begin
+        let payload =
+          String.concat "," (Array.to_list (Array.map Minidb.Value.to_string row))
+        in
+        Some (Minidb.Value.key v, payload)
+      end)
+    (Minidb.Table.rows t)
+
+let report_net_stats ep =
+  let s = Wire.Channel.stats ep in
+  Printf.printf "wire traffic: %d bytes sent, %d bytes received (total %d)\n"
+    s.Wire.Channel.bytes_sent s.Wire.Channel.bytes_received
+    (s.Wire.Channel.bytes_sent + s.Wire.Channel.bytes_received);
+  Printf.printf "messages: %d sent, %d received; largest frame %d bytes\n"
+    s.Wire.Channel.messages_sent s.Wire.Channel.messages_received
+    s.Wire.Channel.max_message_bytes
+
+let net_sender cfg ~seed ~csv ~attr ~op ep =
+  let rng = Crypto.Drbg.to_rng (Crypto.Drbg.split (Crypto.Drbg.create ~seed) ~label:"sender") in
+  Psi.Handshake.respond cfg ep;
+  (match op with
+  | Op_intersection ->
+      let vs = values_of_csv csv attr in
+      let r = Psi.Intersection.sender cfg ~rng ~values:vs ep in
+      Printf.printf "sender: shared %d value(s) obliviously; peer holds %d\n"
+        (List.length vs) r.Psi.Intersection.v_r_count
+  | Op_size ->
+      let vs = values_of_csv csv attr in
+      let r = Psi.Intersection_size.sender cfg ~rng ~values:vs ep in
+      Printf.printf "sender: intersection-size run done; peer holds %d value(s)\n"
+        r.Psi.Intersection_size.v_r_count
+  | Op_join ->
+      let records = records_of_csv csv attr in
+      let r = Psi.Equijoin.sender cfg ~rng ~records ep in
+      Printf.printf "sender: equijoin run done over %d record(s); peer holds %d value(s)\n"
+        (List.length records) r.Psi.Equijoin.v_r_count
+  | Op_join_size ->
+      let vs = multiset_of_csv csv attr in
+      let r = Psi.Equijoin_size.sender cfg ~rng ~values:vs ep in
+      Printf.printf "sender: join-size run done; peer has %d duplicate class(es)\n"
+        (List.length r.Psi.Equijoin_size.r_duplicate_distribution))
+
+let net_receiver cfg ~seed ~csv ~attr ~op ep =
+  let rng =
+    Crypto.Drbg.to_rng (Crypto.Drbg.split (Crypto.Drbg.create ~seed) ~label:"receiver")
+  in
+  Psi.Handshake.initiate cfg ep;
+  match op with
+  | Op_intersection ->
+      let vr = values_of_csv csv attr in
+      let r = Psi.Intersection.receiver cfg ~rng ~values:vr ep in
+      Printf.printf "|V_S| = %d, |V_R| = %d, |V_S ∩ V_R| = %d\n"
+        r.Psi.Intersection.v_s_count (List.length vr)
+        (List.length r.Psi.Intersection.intersection);
+      List.iter (Printf.printf "%s\n") r.Psi.Intersection.intersection
+  | Op_size ->
+      let vr = values_of_csv csv attr in
+      let r = Psi.Intersection_size.receiver cfg ~rng ~values:vr ep in
+      Printf.printf "|V_S ∩ V_R| = %d (|V_S| = %d, |V_R| = %d)\n"
+        r.Psi.Intersection_size.size r.Psi.Intersection_size.v_s_count (List.length vr)
+  | Op_join ->
+      let vr = values_of_csv csv attr in
+      let r = Psi.Equijoin.receiver cfg ~rng ~values:vr ep in
+      List.iter
+        (fun (v, recs) ->
+          Printf.printf "%s:\n" v;
+          List.iter (Printf.printf "  %s\n") recs)
+        r.Psi.Equijoin.matches;
+      Printf.printf "%d joining value(s); |V_S| = %d\n"
+        (List.length r.Psi.Equijoin.matches)
+        r.Psi.Equijoin.v_s_count
+  | Op_join_size ->
+      let vr = multiset_of_csv csv attr in
+      let r = Psi.Equijoin_size.receiver cfg ~rng ~values:vr ep in
+      Printf.printf "|T_S >< T_R| = %d\n" r.Psi.Equijoin_size.join_size
+
+(* Give a just-started listener a moment to bind before giving up. *)
+let connect_with_retry ~host ~port =
+  let rec go tries =
+    match Wire.Transport.Socket.connect ~host ~port with
+    | tr -> tr
+    | exception Wire.Protocol_error _ when tries > 0 ->
+        Unix.sleepf 0.3;
+        go (tries - 1)
+  in
+  go 10
+
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p -> (host, p)
+      | None -> invalid_arg (Printf.sprintf "net: bad port in %S" s))
+  | None -> (
+      match int_of_string_opt s with
+      | Some p -> ("127.0.0.1", p)
+      | None -> invalid_arg (Printf.sprintf "net: expected HOST:PORT, got %S" s))
+
+let run_net group seed listen connect csv attr op timeout trace =
+  let cfg = Psi.Protocol.config ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
+  with_trace trace @@ fun () ->
+  match (listen, connect) with
+  | Some port, None ->
+      let lfd, bound = Wire.Transport.Socket.listen ~port () in
+      Printf.printf "listening on port %d\n%!" bound;
+      let tr = Wire.Transport.Socket.accept lfd in
+      let ep = Wire.Channel.of_transport tr in
+      Wire.Channel.set_timeout ep (Some timeout);
+      net_sender cfg ~seed ~csv ~attr ~op ep;
+      Wire.Channel.close ep;
+      Unix.close lfd;
+      report_net_stats ep
+  | None, Some hostport ->
+      let host, port = parse_hostport hostport in
+      let ep = Wire.Channel.of_transport (connect_with_retry ~host ~port) in
+      Wire.Channel.set_timeout ep (Some timeout);
+      net_receiver cfg ~seed ~csv ~attr ~op ep;
+      Wire.Channel.close ep;
+      report_net_stats ep
+  | Some _, Some _ | None, None ->
+      Printf.eprintf "error: pass exactly one of --listen PORT / --connect HOST:PORT\n";
+      exit 2
+
+let net_cmd =
+  let listen =
+    Arg.(value & opt (some int) None
+         & info [ "listen" ] ~docv:"PORT"
+             ~doc:"Listen on loopback $(docv) (0 picks a free port) and play the \
+                   sender S. Prints the bound port once listening.")
+  in
+  let connect =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ] ~docv:"HOST:PORT"
+             ~doc:"Connect to a listening peer and play the receiver R (the party \
+                   that learns the result).")
+  in
+  let csv =
+    Arg.(required & opt (some file) None
+         & info [ "csv" ] ~doc:"This side's CSV table.")
+  in
+  let timeout =
+    Arg.(value & opt float 30.
+         & info [ "timeout" ] ~docv:"SECS"
+             ~doc:"Receive deadline per protocol message; a stalled peer fails the \
+                   run with a typed timeout instead of hanging.")
+  in
+  Cmd.v
+    (Cmd.info "net"
+       ~doc:"Run a protocol between two OS processes over a real socket."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "Terminal 1: psi_demo net --listen 7001 --csv s.csv --attr email";
+           `P "Terminal 2: psi_demo net --connect 127.0.0.1:7001 --csv r.csv --attr email";
+         ])
+    Term.(const run_net $ group_arg $ seed_arg $ listen $ connect $ csv $ attr_arg
+          $ op_arg $ timeout $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
 (* gen-medical / medical                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -335,7 +510,7 @@ let main_cmd =
     (Cmd.info "psi_demo" ~version:"1.0.0"
        ~doc:"Information sharing across private databases (SIGMOD 2003 protocols)")
     [
-      intersect_cmd; gen_medical_cmd; medical_cmd; estimate_cmd; group_by_cmd;
+      intersect_cmd; net_cmd; gen_medical_cmd; medical_cmd; estimate_cmd; group_by_cmd;
       aggregate_cmd; sql_cmd;
     ]
 

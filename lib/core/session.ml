@@ -23,6 +23,41 @@ let record_op op =
   Obs.Metrics.incr (Obs.Metrics.counter "session.operations");
   Obs.Metrics.incr (Obs.Metrics.counter ("session." ^ op_name op ^ ".runs"))
 
+let m_retries = Obs.Metrics.counter "session.retries"
+let m_reconnects = Obs.Metrics.counter "session.reconnects"
+let m_replays = Obs.Metrics.counter "session.replays"
+
+(* One operation, sender side; returns the op tallies. *)
+let sender_op cfg ~rng ep op =
+  Obs.Span.with_ ("session/" ^ op_name op) @@ fun () ->
+  match op with
+  | Intersect { s_values; _ } ->
+      (Intersection.sender cfg ~rng ~values:s_values ep).Intersection.ops
+  | Intersect_size { s_values; _ } ->
+      (Intersection_size.sender cfg ~rng ~values:s_values ep).Intersection_size.ops
+  | Equijoin { s_records; _ } ->
+      (Equijoin.sender cfg ~rng ~records:s_records ep).Equijoin.ops
+  | Equijoin_size { s_values; _ } ->
+      (Equijoin_size.sender cfg ~rng ~values:s_values ep).Equijoin_size.ops
+
+(* One operation, receiver side; returns the tallies and the output. *)
+let receiver_op cfg ~rng ep op =
+  record_op op;
+  Obs.Span.with_ ("session/" ^ op_name op) @@ fun () ->
+  match op with
+  | Intersect { r_values; _ } ->
+      let r = Intersection.receiver cfg ~rng ~values:r_values ep in
+      (r.Intersection.ops, Values r.Intersection.intersection)
+  | Intersect_size { r_values; _ } ->
+      let r = Intersection_size.receiver cfg ~rng ~values:r_values ep in
+      (r.Intersection_size.ops, Size r.Intersection_size.size)
+  | Equijoin { r_values; _ } ->
+      let r = Equijoin.receiver cfg ~rng ~values:r_values ep in
+      (r.Equijoin.ops, Matches r.Equijoin.matches)
+  | Equijoin_size { r_values; _ } ->
+      let r = Equijoin_size.receiver cfg ~rng ~values:r_values ep in
+      (r.Equijoin_size.ops, Size r.Equijoin_size.join_size)
+
 let run cfg ?(seed = "session") operations () =
   let drbg = Crypto.Drbg.create ~seed in
   let s_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"sender") in
@@ -32,41 +67,14 @@ let run cfg ?(seed = "session") operations () =
       ~sender:(fun ep ->
         Handshake.respond cfg ep;
         List.fold_left
-          (fun acc op ->
-            Obs.Span.with_ ("session/" ^ op_name op) @@ fun () ->
-            let o =
-              match op with
-              | Intersect { s_values; _ } ->
-                  (Intersection.sender cfg ~rng:s_rng ~values:s_values ep).Intersection.ops
-              | Intersect_size { s_values; _ } ->
-                  (Intersection_size.sender cfg ~rng:s_rng ~values:s_values ep)
-                    .Intersection_size.ops
-              | Equijoin { s_records; _ } ->
-                  (Equijoin.sender cfg ~rng:s_rng ~records:s_records ep).Equijoin.ops
-              | Equijoin_size { s_values; _ } ->
-                  (Equijoin_size.sender cfg ~rng:s_rng ~values:s_values ep).Equijoin_size.ops
-            in
-            Protocol.total acc o)
+          (fun acc op -> Protocol.total acc (sender_op cfg ~rng:s_rng ep op))
           (Protocol.new_ops ()) operations)
       ~receiver:(fun ep ->
         Handshake.initiate cfg ep;
         List.fold_left_map
           (fun acc op ->
-            record_op op;
-            Obs.Span.with_ ("session/" ^ op_name op) @@ fun () ->
-            match op with
-            | Intersect { r_values; _ } ->
-                let r = Intersection.receiver cfg ~rng:r_rng ~values:r_values ep in
-                (Protocol.total acc r.Intersection.ops, Values r.Intersection.intersection)
-            | Intersect_size { r_values; _ } ->
-                let r = Intersection_size.receiver cfg ~rng:r_rng ~values:r_values ep in
-                (Protocol.total acc r.Intersection_size.ops, Size r.Intersection_size.size)
-            | Equijoin { r_values; _ } ->
-                let r = Equijoin.receiver cfg ~rng:r_rng ~values:r_values ep in
-                (Protocol.total acc r.Equijoin.ops, Matches r.Equijoin.matches)
-            | Equijoin_size { r_values; _ } ->
-                let r = Equijoin_size.receiver cfg ~rng:r_rng ~values:r_values ep in
-                (Protocol.total acc r.Equijoin_size.ops, Size r.Equijoin_size.join_size))
+            let o, res = receiver_op cfg ~rng:r_rng ep op in
+            (Protocol.total acc o, res))
           (Protocol.new_ops ()) operations)
   in
   let s_ops = outcome.Wire.Runner.sender_result in
@@ -76,3 +84,155 @@ let run cfg ?(seed = "session") operations () =
   Obs.Metrics.incr ~by:outcome.Wire.Runner.total_bytes
     (Obs.Metrics.counter "session.wire_bytes");
   { results; total_bytes = outcome.Wire.Runner.total_bytes; ops }
+
+(* ------------------------------------------------------------------ *)
+(* Resilient sessions: checkpoint, reconnect, resume                   *)
+(* ------------------------------------------------------------------ *)
+
+type resilience = {
+  max_attempts : int;
+  backoff_s : float;
+  max_backoff_s : float;
+  recv_timeout_s : float option;
+}
+
+let default_resilience =
+  { max_attempts = 5; backoff_s = 0.1; max_backoff_s = 2.0; recv_timeout_s = Some 5.0 }
+
+type resilient_report = {
+  report : report;
+  attempts : int;
+  replays : int;
+  receiver_views : Wire.Message.t list list;
+}
+
+let resume_tag = "session/resume"
+
+let send_resume ep n =
+  Wire.Channel.send ep
+    (Wire.Message.make ~tag:resume_tag (Wire.Message.Elements [ string_of_int n ]))
+
+let recv_resume ep =
+  match Wire.Channel.recv ep with
+  | { Wire.Message.tag; payload = Wire.Message.Elements [ s ] }
+    when String.equal tag resume_tag -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> n
+      | _ -> failwith "session resume failed: malformed checkpoint index")
+  | _ -> failwith "session resume failed: unexpected message"
+
+(* Accumulate [src] into the mutable tally [dst]. Field updates are
+   single read-add-store sequences, safe under systhreads. *)
+let add_ops dst (src : Protocol.ops) =
+  dst.Protocol.hashes <- dst.Protocol.hashes + src.Protocol.hashes;
+  dst.Protocol.encryptions <- dst.Protocol.encryptions + src.Protocol.encryptions;
+  dst.Protocol.cipher_ops <- dst.Protocol.cipher_ops + src.Protocol.cipher_ops
+
+(* Errors a reconnect can plausibly cure: a peer (or fault proxy)
+   closing, a deadline expiring, a frame mangled in flight, a protocol
+   step detecting divergence. Everything else is a programming error
+   and propagates immediately. *)
+let transient = function
+  | Wire.Errors.Protocol_error _ | Wire.Errors.Timeout _ | Wire.Buf.Parse_error _
+  | Failure _ ->
+      true
+  | _ -> false
+
+let run_resilient ?(resilience = default_resilience) cfg ?(seed = "session")
+    ~connect operations =
+  let ops_arr = Array.of_list operations in
+  let n_ops = Array.length ops_arr in
+  let drbg = Crypto.Drbg.create ~seed in
+  (* Checkpoints: how many operations each party has fully completed.
+     In a two-process deployment each party persists its own; here they
+     live on either side of the thread boundary. *)
+  let s_done = ref 0 and r_done = ref 0 in
+  let results = Array.make (max n_ops 1) None in
+  let replays = ref 0 in
+  let total_bytes = ref 0 in
+  let acc_ops = Protocol.new_ops () in
+  let views = ref [] in
+  let attempts = ref 0 in
+  let replay i done_count =
+    if i < done_count then begin
+      incr replays;
+      Obs.Metrics.incr m_replays
+    end
+  in
+  let rec attempt () =
+    incr attempts;
+    let a = !attempts in
+    let s_ep, r_ep = connect ~attempt:a in
+    Wire.Channel.set_timeout s_ep resilience.recv_timeout_s;
+    Wire.Channel.set_timeout r_ep resilience.recv_timeout_s;
+    (* Fresh per-attempt streams: a replayed operation must not reuse
+       the encryption keys the interrupted attempt already derived. *)
+    let party_rng label =
+      Crypto.Drbg.to_rng
+        (Crypto.Drbg.split drbg ~label:(Printf.sprintf "%s#%d" label a))
+    in
+    let s_rng = party_rng "sender" and r_rng = party_rng "receiver" in
+    let finish () =
+      total_bytes :=
+        !total_bytes
+        + (Wire.Channel.stats s_ep).Wire.Channel.bytes_sent
+        + (Wire.Channel.stats r_ep).Wire.Channel.bytes_sent;
+      views := Wire.Channel.received r_ep :: !views;
+      Wire.Channel.close s_ep;
+      Wire.Channel.close r_ep
+    in
+    match
+      Wire.Runner.run_on (s_ep, r_ep)
+        ~sender:(fun ep ->
+          Handshake.respond cfg ep;
+          let theirs = recv_resume ep in
+          send_resume ep !s_done;
+          for i = min !s_done theirs to n_ops - 1 do
+            replay i !s_done;
+            add_ops acc_ops (sender_op cfg ~rng:s_rng ep ops_arr.(i));
+            s_done := max !s_done (i + 1)
+          done)
+        ~receiver:(fun ep ->
+          Handshake.initiate cfg ep;
+          send_resume ep !r_done;
+          let theirs = recv_resume ep in
+          for i = min !r_done theirs to n_ops - 1 do
+            let is_replay = i < !r_done in
+            replay i !r_done;
+            let o, res = receiver_op cfg ~rng:r_rng ep ops_arr.(i) in
+            add_ops acc_ops o;
+            (* Idempotent replay: the first completed result wins; a
+               replayed operation only re-derives it for the peer. *)
+            if not is_replay then results.(i) <- Some res;
+            r_done := max !r_done (i + 1)
+          done)
+    with
+    | _outcome -> finish ()
+    | exception e when transient e ->
+        finish ();
+        Obs.Metrics.incr m_retries;
+        if !attempts >= resilience.max_attempts then raise e;
+        let backoff =
+          Float.min resilience.max_backoff_s
+            (resilience.backoff_s *. (2. ** float_of_int (a - 1)))
+        in
+        if backoff > 0. then Thread.delay backoff;
+        Obs.Metrics.incr m_reconnects;
+        attempt ()
+  in
+  attempt ();
+  let results =
+    List.init n_ops (fun i ->
+        match results.(i) with
+        | Some r -> r
+        | None -> failwith "session: operation completed without a result")
+  in
+  Obs.Metrics.incr ~by:acc_ops.Protocol.encryptions
+    (Obs.Metrics.counter "session.encryptions");
+  Obs.Metrics.incr ~by:!total_bytes (Obs.Metrics.counter "session.wire_bytes");
+  {
+    report = { results; total_bytes = !total_bytes; ops = acc_ops };
+    attempts = !attempts;
+    replays = !replays;
+    receiver_views = List.rev !views;
+  }

@@ -9,7 +9,14 @@
 
     Each operation is one of the paper's protocols; the parties must
     execute the same operation list in the same order (the protocol
-    message tags catch divergence as a protocol error). *)
+    message tags catch divergence as a protocol error).
+
+    {!run} executes in-process over one in-memory channel and fails on
+    the first error. {!run_resilient} is the deployment-shaped variant:
+    it runs over {e any} connector (sockets, fault-injected transports),
+    checkpoints after every completed operation, and on a transient
+    failure reconnects with exponential backoff and resumes from the
+    last common checkpoint. *)
 
 type op =
   | Intersect of { s_values : string list; r_values : string list }
@@ -32,3 +39,65 @@ type report = {
     over one channel.
     @raise Failure on handshake or protocol errors. *)
 val run : Protocol.config -> ?seed:string -> op list -> unit -> report
+
+(** {1 Resilient sessions} *)
+
+(** Retry policy for {!run_resilient}. *)
+type resilience = {
+  max_attempts : int;  (** connection attempts before giving up *)
+  backoff_s : float;  (** sleep before reconnect #2; doubles each retry *)
+  max_backoff_s : float;  (** backoff ceiling *)
+  recv_timeout_s : float option;
+      (** per-message deadline applied to both endpoints
+          ({!Wire.Channel.set_timeout}); [None] waits forever, which
+          leaves dropped frames undetectable *)
+}
+
+(** 5 attempts, 0.1 s initial backoff capped at 2 s, 5 s receive
+    deadline. *)
+val default_resilience : resilience
+
+(** What {!run_resilient} adds over a {!report}. *)
+type resilient_report = {
+  report : report;
+      (** [results] are identical to an uninterrupted {!run};
+          [total_bytes]/[ops] count {e all} attempts, including work an
+          interrupted attempt threw away *)
+  attempts : int;  (** connections made (1 = no faults encountered) *)
+  replays : int;
+      (** operations re-executed because one party had completed them
+          but the other had not when the connection died *)
+  receiver_views : Wire.Message.t list list;
+      (** the receiver's transcript of each attempt, in order — what
+          leakage analyses inspect *)
+}
+
+(** [run_resilient cfg ~seed ~connect ops] executes [ops] with
+    checkpoint/resume semantics. [connect ~attempt] supplies a fresh
+    endpoint pair per attempt (attempt numbering starts at 1) — an
+    in-memory pair, a socket pair, or anything wrapped by
+    {!Wire.Fault.wrap_pair}.
+
+    After each completed operation both parties advance a checkpoint.
+    On reconnection, each party announces its checkpoint in a
+    [session/resume] exchange (after the config handshake) and both
+    resume from the {e minimum} — an operation one party finished but
+    the other did not is replayed; the receiver keeps the first
+    completed result ({e idempotent replay}). Both parties draw fresh
+    key material per attempt, so replays never reuse encryption keys.
+
+    Transient failures ({!Wire.Errors.Protocol_error},
+    {!Wire.Errors.Timeout}, {!Wire.Buf.Parse_error}, [Failure]) trigger
+    reconnection with exponential backoff; other exceptions propagate.
+    Retries, reconnects and replays are published to {!Obs.Metrics} as
+    [session.retries] / [session.reconnects] / [session.replays].
+
+    @raise Failure (or the last transient error) after [max_attempts]
+    failed attempts. *)
+val run_resilient :
+  ?resilience:resilience ->
+  Protocol.config ->
+  ?seed:string ->
+  connect:(attempt:int -> Wire.Channel.endpoint * Wire.Channel.endpoint) ->
+  op list ->
+  resilient_report

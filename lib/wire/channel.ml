@@ -1,10 +1,3 @@
-type shared = {
-  mutex : Mutex.t;
-  cond : Condition.t;
-  queue : string Queue.t; (* serialized messages in flight *)
-  mutable closed : bool;
-}
-
 type counters = {
   mutable messages_sent : int;
   mutable bytes_sent : int;
@@ -18,9 +11,9 @@ type counters = {
 }
 
 type endpoint = {
-  inbox : shared;
-  outbox : shared;
+  tr : Transport.t;
   c : counters;
+  mutable recv_timeout_s : float option;
 }
 
 (* Process-wide telemetry (no-ops unless Obs is enabled). *)
@@ -28,11 +21,9 @@ let m_messages_sent = Obs.Metrics.counter "wire.messages_sent"
 let m_bytes_sent = Obs.Metrics.counter "wire.bytes_sent"
 let m_elements_sent = Obs.Metrics.counter "wire.elements_sent"
 let m_closes = Obs.Metrics.counter "wire.closes"
+let m_timeouts = Obs.Metrics.counter "wire.timeouts"
 let h_message_bytes = Obs.Metrics.histogram "wire.message_bytes"
 let h_recv_wait_ns = Obs.Metrics.histogram "wire.recv_wait_ns"
-
-let fresh_shared () =
-  { mutex = Mutex.create (); cond = Condition.create (); queue = Queue.create (); closed = false }
 
 let fresh_counters () =
   {
@@ -47,11 +38,14 @@ let fresh_counters () =
     received_log = [];
   }
 
+let of_transport tr = { tr; c = fresh_counters (); recv_timeout_s = None }
+
 let create () =
-  let ab = fresh_shared () and ba = fresh_shared () in
-  let a = { inbox = ba; outbox = ab; c = fresh_counters () } in
-  let b = { inbox = ab; outbox = ba; c = fresh_counters () } in
-  (a, b)
+  let a, b = Transport.Memory.pair () in
+  (of_transport a, of_transport b)
+
+let transport_name ep = Transport.name ep.tr
+let set_timeout ep t = ep.recv_timeout_s <- t
 
 let send ep m =
   let bytes = Message.encode m in
@@ -65,35 +59,28 @@ let send ep m =
   Obs.Metrics.incr ~by:len m_bytes_sent;
   Obs.Metrics.incr ~by:(Message.element_count m) m_elements_sent;
   Obs.Metrics.observe h_message_bytes (float_of_int len);
-  let s = ep.outbox in
-  Mutex.lock s.mutex;
-  Queue.push bytes s.queue;
-  Condition.signal s.cond;
-  Mutex.unlock s.mutex
+  Transport.send ep.tr bytes
 
 (* Frames larger than this are rejected on receive before decoding. A
    frame holds a whole protocol message (up to a few thousand group
    elements), so the cap is generous; it exists to bound what a broken
    or hostile peer can make us buffer and parse. *)
-let max_frame_bytes = 64 * 1024 * 1024
+let max_frame_bytes = Transport.max_frame_bytes
 
-let recv ?(max_bytes = max_frame_bytes) ep =
-  let s = ep.inbox in
+let recv ?timeout_s ?(max_bytes = max_frame_bytes) ep =
   let t0 = if Obs.Runtime.is_enabled () then Obs.Clock.now_ns () else 0L in
-  Mutex.lock s.mutex;
-  let rec wait () =
-    if not (Queue.is_empty s.queue) then Queue.pop s.queue
-    else if s.closed then begin
-      Mutex.unlock s.mutex;
-      raise (Errors.Protocol_error Errors.peer_closed_message)
-    end
-    else begin
-      Condition.wait s.cond s.mutex;
-      wait ()
-    end
+  let deadline =
+    match (timeout_s, ep.recv_timeout_s) with
+    | Some s, _ | None, Some s -> Some (Transport.now_s () +. s)
+    | None, None -> None
   in
-  let bytes = wait () in
-  Mutex.unlock s.mutex;
+  let bytes =
+    match Transport.recv ?deadline ~max_bytes ep.tr with
+    | bytes -> bytes
+    | exception (Errors.Timeout _ as e) ->
+        Obs.Metrics.incr m_timeouts;
+        raise e
+  in
   if String.length bytes > max_bytes then
     Errors.protocol_errorf "Channel.recv: frame of %d bytes exceeds bound %d"
       (String.length bytes) max_bytes;
@@ -109,11 +96,7 @@ let recv ?(max_bytes = max_frame_bytes) ep =
 let close ep =
   ep.c.closes <- ep.c.closes + 1;
   Obs.Metrics.incr m_closes;
-  let s = ep.outbox in
-  Mutex.lock s.mutex;
-  s.closed <- true;
-  Condition.broadcast s.cond;
-  Mutex.unlock s.mutex
+  Transport.close ep.tr
 
 type stats = {
   messages_sent : int;

@@ -1,4 +1,5 @@
-(** An in-process duplex channel between two protocol parties.
+(** A metered duplex channel between two protocol parties, over any
+    {!Transport} backend.
 
     Every message is serialized by the sender and parsed by the receiver,
     so the byte counts in {!stats} are the true communication cost of a
@@ -11,23 +12,47 @@
 
 type endpoint
 
-(** [create ()] is a connected pair of endpoints. *)
+(** [create ()] is a connected pair of in-memory endpoints
+    ({!Transport.Memory}). *)
 val create : unit -> endpoint * endpoint
 
-(** [send ep m] serializes and delivers [m] to the peer. Never blocks. *)
+(** [of_transport tr] is an endpoint speaking over [tr] — a socket, a
+    fault-injection proxy, or one side of a memory pair. *)
+val of_transport : Transport.t -> endpoint
+
+(** [transport_name ep] names the backend ([e.g.] ["memory"],
+    ["socket"], ["fault"]). *)
+val transport_name : endpoint -> string
+
+(** [set_timeout ep (Some s)] makes every subsequent {!recv} on [ep]
+    fail with {!Errors.Timeout} after [s] seconds without a complete
+    message — including when a frame stalls {e mid-transfer}. [None]
+    (the default) waits forever. A per-call [?timeout_s] overrides it. *)
+val set_timeout : endpoint -> float option -> unit
+
+(** [send ep m] serializes and delivers [m] to the peer. Never blocks on
+    memory transports; may block on socket backpressure.
+    @raise Errors.Protocol_error if the peer is gone. *)
 val send : endpoint -> Message.t -> unit
 
-(** Default receive-side frame-size bound (64 MiB). *)
+(** Default receive-side frame-size bound (64 MiB), equal to
+    {!Transport.max_frame_bytes}. *)
 val max_frame_bytes : int
 
 (** [recv ep] blocks until a message arrives, then parses and returns it.
     Frames larger than [max_bytes] (default {!max_frame_bytes}) are
-    rejected before decoding.
+    rejected before decoding — on self-framing transports, before the
+    payload is even allocated.
+    @raise Errors.Timeout when the deadline ([?timeout_s], or the
+    endpoint default from {!set_timeout}) expires first.
     @raise Errors.Protocol_error if the peer closed the channel with no
-    message pending, or on an oversized frame. *)
-val recv : ?max_bytes:int -> endpoint -> Message.t
+    message pending, or on an oversized frame.
+    @raise Buf.Parse_error if the frame does not decode to a
+    {!Message.t}. *)
+val recv : ?timeout_s:float -> ?max_bytes:int -> endpoint -> Message.t
 
-(** [close ep] wakes a peer blocked in {!recv}. *)
+(** [close ep] half-closes: wakes a peer blocked in {!recv}; frames
+    already in flight are still delivered. Idempotent. *)
 val close : endpoint -> unit
 
 (** {1 Accounting} *)
@@ -44,6 +69,8 @@ type stats = {
       (** largest frame this endpoint sent (0 if none) *)
 }
 
+(** Byte counts are message payload bytes: identical across transports;
+    the socket backend's 4-byte framing prefix is not included. *)
 val stats : endpoint -> stats
 
 (** [received ep] is this endpoint's view: every message it received, in

@@ -1,15 +1,25 @@
-(* Typed wire-level failures, in a leaf module so that both [Channel]
-   and [Runner] can raise them while [Wire] (the library root) re-exports
-   the exception under the short name [Wire.Protocol_error]. *)
+(* Typed wire-level failures, in a leaf module so that [Transport],
+   [Channel] and [Runner] can raise them while [Wire] (the library root)
+   re-exports the exceptions under their short names
+   [Wire.Protocol_error] and [Wire.Timeout]. *)
 
 (* A protocol-level fault: the peer closed the channel, sent an
    oversized frame, or otherwise violated the wire contract. Distinct
    from [Failure]/[Invalid_argument], which keep meaning programming
-   errors, so callers and future retry logic can tell the two apart. *)
+   errors, so callers and the retry logic in [Core.Session] can tell
+   the two apart. *)
 exception Protocol_error of string
+
+(* A deadline expired while waiting for the peer. Carries what was
+   being waited for and roughly how long we waited, so retry layers can
+   log and back off meaningfully. Deliberately not a [Protocol_error]:
+   a timeout says nothing about the peer having misbehaved. *)
+exception Timeout of { what : string; waited_s : float }
 
 let protocol_errorf fmt =
   Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+let timeout ~what ~waited_s = raise (Timeout { what; waited_s })
 
 (* [Runner] matches on this exact message to tell a crash echo (the
    other party died and closed on us) from a root-cause failure. *)

@@ -1,13 +1,23 @@
-(** Typed wire-level failures (re-exported as {!Wire.Protocol_error}). *)
+(** Typed wire-level failures (re-exported as {!Wire.Protocol_error}
+    and {!Wire.Timeout}). *)
 
 (** Raised on protocol-level faults: peer closed the channel, oversized
     frame, malformed handshake. Deliberately distinct from [Failure] so
     callers can distinguish peer behaviour from programming errors. *)
 exception Protocol_error of string
 
+(** Raised when a receive deadline expires. [what] names the waiting
+    operation (e.g. ["socket recv"]); [waited_s] is how long it waited.
+    Distinct from {!Protocol_error}: a timeout carries no verdict on the
+    peer, so retry layers treat it as transient. *)
+exception Timeout of { what : string; waited_s : float }
+
 (** [protocol_errorf fmt ...] raises {!Protocol_error} with a formatted
     message. *)
 val protocol_errorf : ('a, unit, string, 'b) format4 -> 'a
+
+(** [timeout ~what ~waited_s] raises {!Timeout}. *)
+val timeout : what:string -> waited_s:float -> 'a
 
 (** The exact message carried by the {!Protocol_error} that
     [Channel.recv] raises when the peer closed with nothing pending;

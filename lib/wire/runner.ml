@@ -8,8 +8,7 @@ type ('s, 'r) outcome = {
   total_bytes : int;
 }
 
-let run ~sender ~receiver =
-  let s_ep, r_ep = Channel.create () in
+let run_on (s_ep, r_ep) ~sender ~receiver =
   let s_result : ('s, exn) result option ref = ref None in
   let t =
     Thread.create
@@ -53,3 +52,5 @@ let run ~sender ~receiver =
   | Some (Error e), Ok _ -> raise e
   | (Some (Ok _) | None), Error e -> raise e
   | None, Ok _ -> raise (Errors.Protocol_error "Runner.run: sender thread vanished")
+
+let run ~sender ~receiver = run_on (Channel.create ()) ~sender ~receiver

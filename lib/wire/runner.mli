@@ -13,9 +13,19 @@ type ('s, 'r) outcome = {
   total_bytes : int;  (** bytes on the wire in both directions *)
 }
 
-(** [run ~sender ~receiver] connects a fresh channel, runs [sender] in a
-    spawned thread and [receiver] in the calling thread, and joins.
-    If either party raises, the channel is closed (unblocking the other)
-    and the exception is re-raised. *)
+(** [run ~sender ~receiver] connects a fresh in-memory channel, runs
+    [sender] in a spawned thread and [receiver] in the calling thread,
+    and joins. If either party raises, the channel is closed (unblocking
+    the other) and the exception is re-raised. *)
 val run :
   sender:(Channel.endpoint -> 's) -> receiver:(Channel.endpoint -> 'r) -> ('s, 'r) outcome
+
+(** [run_on (s_ep, r_ep) ~sender ~receiver] is {!run} over caller-made
+    endpoints — a socket pair, fault-wrapped transports, or a resumed
+    connection. The endpoints are {e not} closed on success; on failure
+    both are closed before the exception propagates. *)
+val run_on :
+  Channel.endpoint * Channel.endpoint ->
+  sender:(Channel.endpoint -> 's) ->
+  receiver:(Channel.endpoint -> 'r) ->
+  ('s, 'r) outcome

@@ -1,10 +1,13 @@
-(* Library root: re-export the wire modules and give the protocol-error
-   exception its short, stable name. *)
+(* Library root: re-export the wire modules and give the typed failure
+   exceptions their short, stable names. *)
 
 exception Protocol_error = Errors.Protocol_error
+exception Timeout = Errors.Timeout
 
 module Errors = Errors
 module Buf = Buf
 module Message = Message
+module Transport = Transport
+module Fault = Fault
 module Channel = Channel
 module Runner = Runner

@@ -302,6 +302,211 @@ let test_channel_threads () =
   Thread.join t
 
 (* ------------------------------------------------------------------ *)
+(* Channel edge cases, transports, fault injection                     *)
+(* ------------------------------------------------------------------ *)
+
+module Transport = Wire.Transport
+module Fault = Wire.Fault
+
+let test_recv_after_close_with_pending () =
+  (* A peer that sends then closes: the message must still arrive, and
+     only the next recv fails. *)
+  let a, b = Channel.create () in
+  Channel.send a m1;
+  Channel.close a;
+  Alcotest.check msg "pending message delivered" m1 (Channel.recv b);
+  Alcotest.(check bool) "then peer-closed" true
+    (try
+       ignore (Channel.recv b);
+       false
+     with Wire.Protocol_error _ -> true)
+
+let test_double_close () =
+  let a, b = Channel.create () in
+  Channel.send a m1;
+  Channel.close a;
+  Channel.close a;
+  Alcotest.(check int) "closes counted" 2 (Channel.stats a).Channel.closes;
+  Alcotest.check msg "pending survives double close" m1 (Channel.recv b);
+  (* Closing after the peer closed is still fine, on both ends. *)
+  Channel.close b;
+  Channel.close b;
+  Alcotest.(check int) "peer closes counted" 2 (Channel.stats b).Channel.closes
+
+let test_zero_byte_frame () =
+  (* An empty frame is a transport-level possibility (truncation fault,
+     hostile peer); it must fail message decoding, not crash. *)
+  let a, b = Transport.Memory.pair () in
+  let ep = Channel.of_transport b in
+  Transport.send a "";
+  Alcotest.(check bool) "zero-byte frame is a parse error" true
+    (try
+       ignore (Channel.recv ep);
+       false
+     with Buf.Parse_error _ -> true)
+
+let test_recv_timeout () =
+  let _, b = Channel.create () in
+  Alcotest.(check bool) "per-call timeout fires" true
+    (try
+       ignore (Channel.recv ~timeout_s:0.02 b);
+       false
+     with Wire.Timeout _ -> true);
+  Channel.set_timeout b (Some 0.02);
+  Alcotest.(check bool) "endpoint default timeout fires" true
+    (try
+       ignore (Channel.recv b);
+       false
+     with Wire.Timeout _ -> true)
+
+let test_timeout_then_delivery () =
+  (* A timeout is transient: the same endpoint still works afterwards. *)
+  let a, b = Channel.create () in
+  (try ignore (Channel.recv ~timeout_s:0.01 b) with Wire.Timeout _ -> ());
+  Channel.send a m1;
+  Alcotest.check msg "delivery after a timeout" m1 (Channel.recv ~timeout_s:1.0 b)
+
+let test_socket_channel_roundtrip () =
+  let ta, tb = Transport.Socket.pair () in
+  let a = Channel.of_transport ta and b = Channel.of_transport tb in
+  Alcotest.(check string) "backend name" "socket" (Channel.transport_name a);
+  Channel.send a m1;
+  Channel.send a m2;
+  Channel.send b m2;
+  Alcotest.check msg "first" m1 (Channel.recv ~timeout_s:5. b);
+  Alcotest.check msg "second" m2 (Channel.recv ~timeout_s:5. b);
+  Alcotest.check msg "reverse" m2 (Channel.recv ~timeout_s:5. a);
+  (* Payload accounting is identical to the memory transport. *)
+  Alcotest.(check int) "byte accounting"
+    (Message.size m1 + Message.size m2)
+    (Channel.stats a).Channel.bytes_sent;
+  Channel.close a;
+  Alcotest.(check bool) "close reaches the peer" true
+    (try
+       ignore (Channel.recv ~timeout_s:5. b);
+       false
+     with Wire.Protocol_error _ -> true)
+
+let test_socket_oversized_frame () =
+  let ta, tb = Transport.Socket.pair () in
+  let a = Channel.of_transport ta and b = Channel.of_transport tb in
+  let big = Message.make ~tag:"big" (Message.Elements [ String.make 200 'x' ]) in
+  Channel.send a big;
+  (* The prefix is checked against the bound before the payload buffer
+     is allocated or read. *)
+  Alcotest.(check bool) "oversized socket frame rejected" true
+    (try
+       ignore (Channel.recv ~timeout_s:5. ~max_bytes:64 b);
+       false
+     with Wire.Protocol_error _ -> true)
+
+let test_socket_deadline_mid_frame () =
+  (* A frame that stalls after the header: the deadline must fire even
+     though the transfer already started. *)
+  let fd_a, fd_b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let ep = Channel.of_transport (Transport.Socket.of_fd fd_a) in
+  (* Header claims 10 bytes; only 3 ever arrive. *)
+  let partial = "\x00\x00\x00\x0aabc" in
+  let n = Unix.write_substring fd_b partial 0 (String.length partial) in
+  Alcotest.(check int) "partial frame written" (String.length partial) n;
+  Alcotest.(check bool) "deadline fires mid-frame" true
+    (try
+       ignore (Channel.recv ~timeout_s:0.05 ep);
+       false
+     with Wire.Timeout _ -> true);
+  Unix.close fd_a;
+  Unix.close fd_b
+
+let test_socket_peer_vanishes_mid_frame () =
+  (* EOF inside a frame is a protocol error, not a clean close. *)
+  let fd_a, fd_b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let ep = Channel.of_transport (Transport.Socket.of_fd fd_a) in
+  let partial = "\x00\x00\x00\x0aabc" in
+  ignore (Unix.write_substring fd_b partial 0 (String.length partial));
+  Unix.close fd_b;
+  Alcotest.(check bool) "EOF mid-frame is a protocol error" true
+    (try
+       ignore (Channel.recv ~timeout_s:5. ep);
+       false
+     with Wire.Protocol_error _ -> true);
+  Unix.close fd_a
+
+let fault_pair plan =
+  let a, b = Transport.Memory.pair () in
+  let (fa, fb), stats = Fault.wrap_pair plan (a, b) in
+  (Channel.of_transport fa, Channel.of_transport fb, stats)
+
+let test_fault_drop () =
+  let a, b, stats = fault_pair (Fault.plan ~drop:1.0 ~seed:"drop" ()) in
+  Channel.send a m1;
+  Alcotest.(check int) "drop counted" 1 stats.Fault.drops;
+  Alcotest.(check bool) "dropped frame never arrives" true
+    (try
+       ignore (Channel.recv ~timeout_s:0.02 b);
+       false
+     with Wire.Timeout _ -> true)
+
+let test_fault_duplicate () =
+  let a, b, stats = fault_pair (Fault.plan ~duplicate:1.0 ~seed:"dup" ()) in
+  Channel.send a m1;
+  Alcotest.check msg "first copy" m1 (Channel.recv ~timeout_s:1. b);
+  Alcotest.check msg "second copy" m1 (Channel.recv ~timeout_s:1. b);
+  Alcotest.(check int) "duplicate counted" 1 stats.Fault.duplicates
+
+let test_fault_truncate () =
+  let a, b, stats = fault_pair (Fault.plan ~truncate:1.0 ~seed:"trunc" ()) in
+  Channel.send a m1;
+  Alcotest.(check bool) "truncated frame fails to parse" true
+    (try
+       ignore (Channel.recv ~timeout_s:1. b);
+       false
+     with Buf.Parse_error _ -> true);
+  Alcotest.(check int) "truncation counted" 1 stats.Fault.truncates
+
+let test_fault_cut_after () =
+  let a, b, stats = fault_pair (Fault.plan ~cut_after:1 ~seed:"cut" ()) in
+  Channel.send a m1;
+  Alcotest.(check bool) "second send disconnects" true
+    (try
+       Channel.send a m2;
+       false
+     with Wire.Protocol_error _ -> true);
+  Alcotest.(check int) "disconnect counted" 1 stats.Fault.disconnects;
+  (* The frame sent before the cut still drains; then the close shows. *)
+  Alcotest.check msg "pre-cut frame drains" m1 (Channel.recv ~timeout_s:1. b);
+  Alcotest.(check bool) "then peer-closed" true
+    (try
+       ignore (Channel.recv ~timeout_s:1. b);
+       false
+     with Wire.Protocol_error _ -> true)
+
+let test_fault_determinism () =
+  (* Same seed, same frame sequence: identical fault schedule. *)
+  let run () =
+    let a, b, stats =
+      fault_pair
+        (Fault.plan ~drop:0.3 ~truncate:0.2 ~duplicate:0.2 ~seed:"determinism" ())
+    in
+    for i = 1 to 30 do
+      Channel.send a (Message.make ~tag:(string_of_int i) (Message.Elements []))
+    done;
+    let received = ref 0 in
+    (try
+       while true do
+         match Channel.recv ~timeout_s:0.01 b with
+         | _ -> incr received
+         | exception Buf.Parse_error _ -> incr received
+       done
+     with Wire.Timeout _ -> ());
+    (stats.Fault.drops, stats.Fault.truncates, stats.Fault.duplicates, !received)
+  in
+  let d1, t1, u1, r1 = run () in
+  let d2, t2, u2, r2 = run () in
+  Alcotest.(check (list int))
+    "fault schedule replays from the seed" [ d1; t1; u1; r1 ] [ d2; t2; u2; r2 ];
+  Alcotest.(check bool) "schedule actually injected faults" true (d1 > 0 && t1 > 0 && u1 > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -385,6 +590,30 @@ let () =
           Alcotest.test_case "close unblocks" `Quick test_channel_close_unblocks;
           Alcotest.test_case "oversized frame" `Quick test_channel_oversized_frame;
           Alcotest.test_case "cross-thread" `Quick test_channel_threads;
+          Alcotest.test_case "recv after close with pending" `Quick
+            test_recv_after_close_with_pending;
+          Alcotest.test_case "double close" `Quick test_double_close;
+          Alcotest.test_case "zero-byte frame" `Quick test_zero_byte_frame;
+          Alcotest.test_case "recv timeout" `Quick test_recv_timeout;
+          Alcotest.test_case "timeout then delivery" `Quick test_timeout_then_delivery;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "socket channel roundtrip" `Quick
+            test_socket_channel_roundtrip;
+          Alcotest.test_case "socket oversized frame" `Quick test_socket_oversized_frame;
+          Alcotest.test_case "socket deadline mid-frame" `Quick
+            test_socket_deadline_mid_frame;
+          Alcotest.test_case "socket EOF mid-frame" `Quick
+            test_socket_peer_vanishes_mid_frame;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "drop" `Quick test_fault_drop;
+          Alcotest.test_case "duplicate" `Quick test_fault_duplicate;
+          Alcotest.test_case "truncate" `Quick test_fault_truncate;
+          Alcotest.test_case "cut after" `Quick test_fault_cut_after;
+          Alcotest.test_case "determinism" `Quick test_fault_determinism;
         ] );
       ( "runner",
         [

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Tier-1 gate: everything builds, every test passes, no build artifacts
-# are tracked, the telemetry smoke test runs end to end, and psi_lint
-# reports no new findings.
+# are tracked, the telemetry and two-process network smoke tests run end
+# to end, and psi_lint reports no new findings.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,6 +15,14 @@ fi
 dune build
 dune runtest
 dune build @obs-smoke
+dune build @net-smoke
 dune build @lint
+
+# API docs must stay warning-free; odoc is optional in minimal images.
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc
+else
+  echo "check.sh: odoc not installed, skipping @doc" >&2
+fi
 
 echo "check.sh: all green"

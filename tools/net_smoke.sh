@@ -1,0 +1,77 @@
+#!/bin/sh
+# Two-process smoke test: run the intersection protocol between two real
+# OS processes over a loopback socket (psi_demo net) and check that
+#   - the receiver's intersection matches the in-process run, and
+#   - both sides report the same total payload byte count.
+#
+# Usage: net_smoke.sh path/to/psi_demo.exe
+set -eu
+
+BIN=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+cat > "$dir/s.csv" <<'EOF'
+id:int,email:text
+1,alice@example.org
+2,bob@example.org
+3,carol@example.org
+4,dave@example.org
+5,erin@example.org
+EOF
+
+cat > "$dir/r.csv" <<'EOF'
+id:int,email:text
+10,bob@example.org
+11,mallory@example.org
+12,carol@example.org
+13,erin@example.org
+EOF
+
+# Reference: same protocol, same tables, in one process.
+"$BIN" intersect --group test64 --csv-s "$dir/s.csv" --csv-r "$dir/r.csv" \
+  --attr email > "$dir/ref.out"
+
+# Listener (sender role) on an ephemeral port; it prints the bound port.
+"$BIN" net --group test64 --listen 0 --csv "$dir/s.csv" --attr email \
+  > "$dir/s.out" 2>&1 &
+spid=$!
+
+port=
+i=0
+while [ $i -lt 100 ]; do
+  port=$(sed -n 's/^listening on port \([0-9]*\)$/\1/p' "$dir/s.out")
+  [ -n "$port" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "net_smoke: listener never reported a port" >&2
+  cat "$dir/s.out" >&2
+  kill "$spid" 2>/dev/null || true
+  exit 1
+fi
+
+"$BIN" net --group test64 --connect "127.0.0.1:$port" --csv "$dir/r.csv" \
+  --attr email > "$dir/r.out" 2>&1
+wait "$spid"
+
+# The receiver's result lines (everything before the traffic report) must
+# match the in-process run's result lines.
+sed -n '/^|V_S|/,/^wire traffic/p' "$dir/r.out" | grep -v '^wire traffic' > "$dir/net_result"
+sed -n '/^|V_S|/,/^wire traffic/p' "$dir/ref.out" | grep -v '^wire traffic' > "$dir/ref_result"
+if ! cmp -s "$dir/net_result" "$dir/ref_result"; then
+  echo "net_smoke: networked intersection differs from in-process run" >&2
+  diff "$dir/ref_result" "$dir/net_result" >&2 || true
+  exit 1
+fi
+
+# Both sides must agree on the total payload bytes moved.
+s_total=$(sed -n 's/.*(total \([0-9]*\)).*/\1/p' "$dir/s.out")
+r_total=$(sed -n 's/.*(total \([0-9]*\)).*/\1/p' "$dir/r.out")
+if [ -z "$s_total" ] || [ "$s_total" != "$r_total" ]; then
+  echo "net_smoke: byte totals disagree (sender=$s_total receiver=$r_total)" >&2
+  exit 1
+fi
+
+echo "net_smoke: ok (port $port, $s_total bytes each way combined)"
