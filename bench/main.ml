@@ -12,6 +12,20 @@ open Toolkit
 
 let quick = Array.exists (String.equal "--quick") Sys.argv
 
+(* --jobs N: pool size for the measured protocol runs (defaults to the
+   machine's available cores; 1 keeps everything on the sequential
+   path). Results are identical at every setting. *)
+let jobs =
+  let rec find = function
+    | "--jobs" :: v :: _ -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> n
+        | _ -> failwith "bench: --jobs expects a positive integer")
+    | _ :: tl -> find tl
+    | [] -> Psi.Pool.default_jobs ()
+  in
+  find (Array.to_list Sys.argv)
+
 let hr title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
 
@@ -104,7 +118,7 @@ let time f =
 let table_model_validation () =
   hr "§6.1 model vs measured protocol runs (Test256 group, k = 256 bits)";
   let group = Crypto.Group.named Crypto.Group.Test256 in
-  let cfg = Psi.Protocol.config ~domain:"bench" group in
+  let cfg = Psi.Protocol.config ~workers:jobs ~domain:"bench" group in
   let k_bytes = Crypto.Group.element_bytes group in
   Printf.printf "%-14s %6s | %10s %10s | %12s %12s | %10s\n" "protocol" "n" "Ce(model)"
     "Ce(count)" "bytes(model)" "bytes(wire)" "wall";
@@ -168,7 +182,7 @@ let table_model_validation () =
 let table_obs () =
   hr "§6.1 model vs Obs telemetry (Test256; written to BENCH_obs.json)";
   let group = Crypto.Group.named Crypto.Group.Test256 in
-  let cfg = Psi.Protocol.config ~domain:"bench-obs" group in
+  let cfg = Psi.Protocol.config ~workers:jobs ~domain:"bench-obs" group in
   let k_bits = 8 * Crypto.Group.element_bytes group in
   let n = if quick then 60 else 200 in
   let vs, vr = Psi.Workload.value_sets ~seed:"bench-obs" ~n_s:n ~n_r:n ~overlap:(n / 2) in
@@ -234,7 +248,7 @@ let table_obs () =
 let table_scaling () =
   hr "Protocol scaling in n (Test256; §6.1 predicts linear)";
   let group = Crypto.Group.named Crypto.Group.Test256 in
-  let cfg = Psi.Protocol.config ~domain:"bench-scale" group in
+  let cfg = Psi.Protocol.config ~workers:jobs ~domain:"bench-scale" group in
   Printf.printf "%8s %14s %14s %14s %14s\n" "n" "intersection" "equijoin" "int-size" "join-size";
   let ns = if quick then [ 32; 64 ] else [ 32; 64; 128; 256; 512 ] in
   List.iter
@@ -260,7 +274,7 @@ let table_scaling () =
 let table_apps_end_to_end () =
   hr "Applications end-to-end at reduced scale (measured, Test128)";
   let group = Crypto.Group.named Crypto.Group.Test128 in
-  let cfg = Psi.Protocol.config ~domain:"bench-apps" group in
+  let cfg = Psi.Protocol.config ~workers:jobs ~domain:"bench-apps" group in
   (* Figure 2 medical. *)
   let n = if quick then 100 else 400 in
   let t_r, t_s, truth =
@@ -314,17 +328,38 @@ let table_parallel_speedup () =
   let group = Crypto.Group.named Crypto.Group.Test256 in
   let n = if quick then 150 else 600 in
   let vs, vr = Psi.Workload.value_sets ~seed:"bench-par" ~n_s:n ~n_r:n ~overlap:(n / 2) in
+  let measured, snap =
+    Obs.Runtime.with_enabled (fun () ->
+        Obs.Metrics.reset ();
+        let measured =
+          List.map
+            (fun workers ->
+              let cfg = Psi.Protocol.config ~domain:"bench-par" ~workers group in
+              let _, dt =
+                time (fun () ->
+                    Psi.Intersection.run cfg ~sender_values:vs ~receiver_values:vr ())
+              in
+              (workers, dt))
+            [ 1; 2; 4; 8 ]
+        in
+        (measured, Obs.Metrics.snapshot ()))
+  in
   Printf.printf "%8s %10s %9s\n" "workers" "wall" "speedup";
-  let base = ref 0. in
+  let base = List.assoc 1 measured in
   List.iter
-    (fun workers ->
-      let cfg = Psi.Protocol.config ~domain:"bench-par" ~workers group in
-      let _, dt =
-        time (fun () -> Psi.Intersection.run cfg ~sender_values:vs ~receiver_values:vr ())
-      in
-      if workers = 1 then base := dt;
-      Printf.printf "%8d %8.0fms %8.2fx\n" workers (1000. *. dt) (!base /. dt))
-    [ 1; 2; 4; 8 ]
+    (fun (workers, dt) ->
+      Printf.printf "%8d %8.0fms %8.2fx\n" workers (1000. *. dt) (base /. dt))
+    measured;
+  (* Measured vs the §6.1 model's P-way wall-clock at P = 1, 2, 4 (Ce
+     measured on this machine so the modeled seconds are comparable). *)
+  let params =
+    { (Psi.Cost_model.measured_params ~samples:(if quick then 3 else 9) group) with
+      Psi.Cost_model.k_bits = 8 * Crypto.Group.element_bytes group }
+  in
+  let rows =
+    Psi.Obs_report.speedup_table ~measured params Psi.Cost_model.Intersection snap
+  in
+  Format.printf "%a" Psi.Obs_report.pp_speedup rows
 
 (* ------------------------------------------------------------------ *)
 (* Measured circuit baseline vs our protocol (executable Appendix A)    *)
@@ -481,6 +516,17 @@ let rec micro_tests () =
       (Staged.stage (fun () -> ignore (Bignum.Modular.Mont.pow mont x256 e256)));
     Test.make ~name:"abl/pow-binary-256"
       (Staged.stage (fun () -> ignore (Bignum.Modular.pow_binary x256 e256 p256)));
+    (* Ablation: dedicated squaring (SOS with the doubling trick) vs the
+       general CIOS multiply it replaced in pow's inner loop. *)
+    Test.make ~name:"abl/mont-sqr-256"
+      (Staged.stage (fun () -> ignore (Bignum.Modular.Mont.sqr mont x256)));
+    Test.make ~name:"abl/mont-mul-self-256"
+      (Staged.stage (fun () -> ignore (Bignum.Modular.Mont.mul mont x256 x256)));
+    (* Ablation: per-key precomputed 4-bit windows vs decomposing the
+       exponent on every call. *)
+    (let w256 = Bignum.Modular.Mont.precompute_exp e256 in
+     Test.make ~name:"abl/pow-precomp-window-256"
+       (Staged.stage (fun () -> ignore (Bignum.Modular.Mont.pow_exp mont x256 w256))));
     (* Ablation: Karatsuba vs schoolbook on 16384-bit operands (crossover ~12k bits). *)
     Test.make ~name:"abl/mul-karatsuba-16384"
       (Staged.stage (fun () -> ignore (Bignum.Nat.mul a16k b16k)));

@@ -1,0 +1,162 @@
+(* Multicore batch-encryption benchmark: raw exponentiation throughput
+   and end-to-end protocol wall-clock as a function of pool size, over
+   both the in-process memory transport and a real socketpair. Writes
+   BENCH_parallel.json.
+
+   Run: dune exec bench/parallel_bench.exe [--quick]
+
+   Results are byte-identical at every pool size (the chunking is a
+   pure function of input length), so this file measures time only.
+   The "cores" field records what the machine can actually deliver:
+   with one available core the pool falls back to its sequential path
+   and every speedup is ~1.0x by construction — the numbers are honest,
+   not tuned. *)
+
+module Json = Obs.Export.Json
+module Transport = Wire.Transport
+module Channel = Wire.Channel
+module Session = Psi.Session
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
+let jobs_list = [ 1; 2; 4 ]
+let now_s () = Int64.to_float (Obs.Clock.now_ns ()) *. 1e-9
+
+let hr title = Printf.printf "\n== %s ==\n%!" title
+
+let group = Crypto.Group.named Crypto.Group.Test256
+let rng = Crypto.Drbg.to_rng (Crypto.Drbg.create ~seed:"parallel-bench")
+
+(* ------------------------------------------------------------------ *)
+(* Raw throughput: batch commutative encryptions per second vs pool.   *)
+(* ------------------------------------------------------------------ *)
+
+let throughput () =
+  hr "batch encryption throughput (Test256, modexps/s)";
+  let n = if quick then 500 else 2_000 in
+  let key = Crypto.Commutative.gen_key group ~rng in
+  let xs = List.init n (fun _ -> Crypto.Group.random_element group ~rng) in
+  let expected = Crypto.Commutative.encrypt_batch group key xs in
+  List.map
+    (fun jobs ->
+      let pool = if jobs = 1 then None else Some (Psi.Pool.get jobs) in
+      let t0 = now_s () in
+      let got = Crypto.Commutative.encrypt_batch ?pool group key xs in
+      let dt = now_s () -. t0 in
+      (* Parity is the whole point: same elements in the same order. *)
+      assert (List.for_all2 Crypto.Group.equal_elt expected got);
+      let eps = float_of_int n /. dt in
+      Printf.printf "jobs=%d: %6d modexps in %6.1f ms = %8.0f/s\n%!" jobs n
+        (1000. *. dt) eps;
+      Json.Obj
+        [
+          ("jobs", Json.of_int jobs);
+          ("modexps", Json.of_int n);
+          ("seconds", Json.of_float dt);
+          ("modexps_per_s", Json.of_float eps);
+        ])
+    jobs_list
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: intersection session over memory and socket transports. *)
+(* ------------------------------------------------------------------ *)
+
+let values prefix n = List.init n (fun i -> Printf.sprintf "%s-%06d" prefix i)
+
+let resilience =
+  { Session.max_attempts = 1; backoff_s = 0.; max_backoff_s = 0.; recv_timeout_s = Some 60. }
+
+let memory_connect ~attempt:_ = Channel.create ()
+
+let socket_connect ~attempt:_ =
+  let a, b = Transport.Socket.pair () in
+  (Channel.of_transport a, Channel.of_transport b)
+
+let end_to_end () =
+  let n = if quick then 150 else 500 in
+  hr (Printf.sprintf "end-to-end intersection session, n=%d (Test256)" n);
+  let s_values = values "s" n and r_values = values "r" n in
+  let ops = [ Session.Intersect { s_values; r_values } ] in
+  let transports = [ ("memory", memory_connect); ("socket", socket_connect) ] in
+  List.concat_map
+    (fun (name, connect) ->
+      let base = ref 0. in
+      List.map
+        (fun jobs ->
+          let cfg = Psi.Protocol.config ~workers:jobs ~domain:"parallel-bench" group in
+          let t0 = now_s () in
+          let r = Session.run_resilient ~resilience cfg ~seed:"parallel-bench" ~connect ops in
+          let dt = now_s () -. t0 in
+          if jobs = 1 then base := dt;
+          Printf.printf "%-8s jobs=%d: %7.1f ms (%5.2fx), %d payload bytes\n%!" name
+            jobs (1000. *. dt) (!base /. dt)
+            r.Session.report.Session.total_bytes;
+          ( (name, jobs, dt),
+            Json.Obj
+              [
+                ("transport", Json.Str name);
+                ("jobs", Json.of_int jobs);
+                ("n", Json.of_int n);
+                ("seconds", Json.of_float dt);
+                ("speedup", Json.of_float (!base /. dt));
+                ("payload_bytes", Json.of_int r.Session.report.Session.total_bytes);
+              ] ))
+        jobs_list)
+    transports
+
+(* ------------------------------------------------------------------ *)
+(* Measured vs the §6.1 model's P-way wall-clock.                      *)
+(* ------------------------------------------------------------------ *)
+
+let speedup_rows measured =
+  let n = if quick then 150 else 500 in
+  let vs, vr =
+    Psi.Workload.value_sets ~seed:"parallel-bench" ~n_s:n ~n_r:n ~overlap:(n / 2)
+  in
+  let snap =
+    Obs.Runtime.with_enabled (fun () ->
+        Obs.Metrics.reset ();
+        let cfg = Psi.Protocol.config ~domain:"parallel-bench" group in
+        ignore (Psi.Intersection.run cfg ~sender_values:vs ~receiver_values:vr ());
+        Obs.Metrics.snapshot ())
+  in
+  let params =
+    { (Psi.Cost_model.measured_params ~samples:(if quick then 3 else 9) group) with
+      Psi.Cost_model.k_bits = 8 * Crypto.Group.element_bytes group }
+  in
+  let rows =
+    Psi.Obs_report.speedup_table ~measured params Psi.Cost_model.Intersection snap
+  in
+  hr "measured vs modeled speedup (intersection; model: Ce*n/P + comm)";
+  Format.printf "%a%!" Psi.Obs_report.pp_speedup rows;
+  rows
+
+let () =
+  let cores = Psi.Pool.default_jobs () in
+  Printf.printf "available cores: %d%s\n%!" cores
+    (if cores <= 1 then
+       " -- the pool degrades to its sequential path; expect ~1.0x throughout"
+     else "");
+  let raw = throughput () in
+  let e2e = end_to_end () in
+  let mem_measured =
+    List.filter_map
+      (fun ((name, jobs, dt), _) -> if String.equal name "memory" then Some (jobs, dt) else None)
+      e2e
+  in
+  let rows = speedup_rows mem_measured in
+  let json =
+    Json.Obj
+      [
+        ("group", Json.Str "test256");
+        ("cores", Json.of_int cores);
+        ("jobs", Json.Arr (List.map Json.of_int jobs_list));
+        ("throughput", Json.Arr raw);
+        ("end_to_end", Json.Arr (List.map snd e2e));
+        ("speedup_table", Psi.Obs_report.speedup_to_json rows);
+      ]
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_parallel.json\n"

@@ -22,6 +22,14 @@ let group_arg =
 let seed_arg =
   Arg.(value & opt string "psi-demo" & info [ "seed" ] ~doc:"Deterministic RNG seed.")
 
+let jobs_arg =
+  Arg.(value
+       & opt int (Psi.Pool.default_jobs ())
+       & info [ "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the bulk hash/encryption steps (defaults to \
+                 the machine's available cores). Results are identical at every \
+                 setting; only wall-clock changes.")
+
 let trace_arg =
   Arg.(value & flag
        & info [ "trace" ]
@@ -80,8 +88,8 @@ let attr_arg =
 
 let report_traffic (o_total : int) = Printf.printf "wire traffic: %d bytes\n" o_total
 
-let run_intersect group seed op csv_s csv_r attr trace =
-  let cfg = Psi.Protocol.config ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
+let run_intersect group seed jobs op csv_s csv_r attr trace =
+  let cfg = Psi.Protocol.config ~workers:jobs ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
   with_trace trace @@ fun () ->
   match op with
   | Op_intersection ->
@@ -139,8 +147,8 @@ let intersect_cmd =
   let doc = "Run a private set operation between two CSV tables." in
   Cmd.v
     (Cmd.info "intersect" ~doc)
-    Term.(const run_intersect $ group_arg $ seed_arg $ op_arg $ csv_s_arg $ csv_r_arg
-          $ attr_arg $ trace_arg)
+    Term.(const run_intersect $ group_arg $ seed_arg $ jobs_arg $ op_arg $ csv_s_arg
+          $ csv_r_arg $ attr_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* net: two-process mode over a real socket                            *)
@@ -257,8 +265,8 @@ let parse_hostport s =
       | Some p -> ("127.0.0.1", p)
       | None -> invalid_arg (Printf.sprintf "net: expected HOST:PORT, got %S" s))
 
-let run_net group seed listen connect csv attr op timeout trace =
-  let cfg = Psi.Protocol.config ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
+let run_net group seed jobs listen connect csv attr op timeout trace =
+  let cfg = Psi.Protocol.config ~workers:jobs ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
   with_trace trace @@ fun () ->
   match (listen, connect) with
   | Some port, None ->
@@ -314,8 +322,8 @@ let net_cmd =
            `P "Terminal 1: psi_demo net --listen 7001 --csv s.csv --attr email";
            `P "Terminal 2: psi_demo net --connect 127.0.0.1:7001 --csv r.csv --attr email";
          ])
-    Term.(const run_net $ group_arg $ seed_arg $ listen $ connect $ csv $ attr_arg
-          $ op_arg $ timeout $ trace_arg)
+    Term.(const run_net $ group_arg $ seed_arg $ jobs_arg $ listen $ connect $ csv
+          $ attr_arg $ op_arg $ timeout $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen-medical / medical                                               *)
@@ -339,8 +347,8 @@ let gen_medical_cmd =
     (Cmd.info "gen-medical" ~doc:"Generate a synthetic medical cohort (two CSV tables).")
     Term.(const run_gen_medical $ seed_arg $ patients $ out_r $ out_s)
 
-let run_medical group seed table_r table_s trace =
-  let cfg = Psi.Protocol.config ~domain:"medical:person_id" (Crypto.Group.named group) in
+let run_medical group seed jobs table_r table_s trace =
+  let cfg = Psi.Protocol.config ~workers:jobs ~domain:"medical:person_id" (Crypto.Group.named group) in
   let t_r = Minidb.Csv.load table_r and t_s = Minidb.Csv.load table_s in
   with_trace trace @@ fun () ->
   let report = Psi.Medical.run cfg ~seed ~t_r ~t_s () in
@@ -361,7 +369,7 @@ let medical_cmd =
   in
   Cmd.v
     (Cmd.info "medical" ~doc:"Run the Figure-2 medical research query privately.")
-    Term.(const run_medical $ group_arg $ seed_arg $ table_r $ table_s $ trace_arg)
+    Term.(const run_medical $ group_arg $ seed_arg $ jobs_arg $ table_r $ table_s $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* estimate                                                            *)
@@ -404,8 +412,8 @@ let estimate_cmd =
 (* group-by                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run_group_by group seed csv_r csv_s key r_class s_class =
-  let cfg = Psi.Protocol.config ~domain:("group-by:" ^ key) (Crypto.Group.named group) in
+let run_group_by group seed jobs csv_r csv_s key r_class s_class =
+  let cfg = Psi.Protocol.config ~workers:jobs ~domain:("group-by:" ^ key) (Crypto.Group.named group) in
   let t_r = Minidb.Csv.load csv_r and t_s = Minidb.Csv.load csv_s in
   let g =
     Psi.Group_by.run cfg ~seed ~t_r ~r_key:key ~r_class ~t_s ~s_key:key ~s_class ()
@@ -426,14 +434,14 @@ let group_by_cmd =
   let s_class = Arg.(required & opt (some string) None & info [ "s-class" ] ~doc:"S's grouping column.") in
   Cmd.v
     (Cmd.info "group-by" ~doc:"Private two-table GROUP BY count (generalized Figure 2).")
-    Term.(const run_group_by $ group_arg $ seed_arg $ csv_r $ csv_s $ key $ r_class $ s_class)
+    Term.(const run_group_by $ group_arg $ seed_arg $ jobs_arg $ csv_r $ csv_s $ key $ r_class $ s_class)
 
 (* ------------------------------------------------------------------ *)
 (* aggregate                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run_aggregate group seed csv_s csv_r attr sum_col =
-  let cfg = Psi.Protocol.config ~domain:("aggregate:" ^ attr) (Crypto.Group.named group) in
+let run_aggregate group seed jobs csv_s csv_r attr sum_col =
+  let cfg = Psi.Protocol.config ~workers:jobs ~domain:("aggregate:" ^ attr) (Crypto.Group.named group) in
   let t_s = Minidb.Csv.load csv_s in
   let records =
     List.filter_map
@@ -464,13 +472,13 @@ let aggregate_cmd =
   Cmd.v
     (Cmd.info "aggregate"
        ~doc:"Private equijoin SUM of a sender column over the joining values.")
-    Term.(const run_aggregate $ group_arg $ seed_arg $ csv_s_arg $ csv_r_arg $ attr_arg $ sum_col)
+    Term.(const run_aggregate $ group_arg $ seed_arg $ jobs_arg $ csv_s_arg $ csv_r_arg $ attr_arg $ sum_col)
 
 (* ------------------------------------------------------------------ *)
 (* sql                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_sql group seed query csv_s s_name csv_r r_name explain_only =
+let run_sql group seed jobs query csv_s s_name csv_r r_name explain_only =
   if explain_only then begin
     match Psi.Sql_private.explain ~sender:(Minidb.Csv.load csv_s) ~receiver:(Minidb.Csv.load csv_r)
         ~sql:query ~sender_name:s_name ~receiver_name:r_name () with
@@ -480,7 +488,7 @@ let run_sql group seed query csv_s s_name csv_r r_name explain_only =
         exit 1
   end
   else begin
-    let cfg = Psi.Protocol.config ~domain:("sql:" ^ s_name ^ ":" ^ r_name) (Crypto.Group.named group) in
+    let cfg = Psi.Protocol.config ~workers:jobs ~domain:("sql:" ^ s_name ^ ":" ^ r_name) (Crypto.Group.named group) in
     let t_s = Minidb.Csv.load csv_s and t_r = Minidb.Csv.load csv_r in
     match
       Psi.Sql_private.run cfg ~seed ~sql:query ~sender:(s_name, t_s) ~receiver:(r_name, t_r) ()
@@ -501,7 +509,7 @@ let sql_cmd =
   let explain_only = Arg.(value & flag & info [ "explain" ] ~doc:"Only print the protocol plan.") in
   Cmd.v
     (Cmd.info "sql" ~doc:"Privately execute a SQL query spanning two CSV tables.")
-    Term.(const run_sql $ group_arg $ seed_arg $ query $ csv_s_arg $ s_name $ csv_r_arg $ r_name $ explain_only)
+    Term.(const run_sql $ group_arg $ seed_arg $ jobs_arg $ query $ csv_s_arg $ s_name $ csv_r_arg $ r_name $ explain_only)
 
 (* ------------------------------------------------------------------ *)
 

@@ -46,11 +46,13 @@ module Mont = struct
 
   let modulus ctx = ctx.m
 
-  (* Montgomery product of two n-limb arrays (CIOS). Result is a fresh
-     n-limb array holding a*b*base^(-n) mod m. *)
-  let mont_mul ctx (a : int array) (b : int array) : int array =
+  (* Montgomery product into [dst] (CIOS): dst <- a*b*base^(-n) mod m.
+     [t] is caller-provided scratch of length >= n+2 (zeroed here);
+     [dst] must not alias [a] or [b]. *)
+  let mont_mul_into ctx (t : int array) (a : int array) (b : int array)
+      (dst : int array) =
     let n = ctx.n and ml = ctx.ml and m' = ctx.m' in
-    let t = Array.make (n + 2) 0 in
+    Array.fill t 0 (n + 2) 0;
     for i = 0 to n - 1 do
       let ai = a.(i) in
       let c = ref 0 in
@@ -86,24 +88,119 @@ module Mont = struct
         cmp (n - 1)
       end
     in
-    let r = Array.make n 0 in
     if ge then begin
       let borrow = ref 0 in
       for i = 0 to n - 1 do
         let v = t.(i) - ml.(i) - !borrow in
         if v < 0 then begin
-          r.(i) <- v + base;
+          dst.(i) <- v + base;
           borrow := 1
         end
         else begin
-          r.(i) <- v;
+          dst.(i) <- v;
           borrow := 0
         end
       done;
       assert (t.(n) - !borrow = 0)
     end
-    else Array.blit t 0 r 0 n;
-    r
+    else Array.blit t 0 dst 0 n
+
+  (* Montgomery product of two n-limb arrays; fresh result array. *)
+  let mont_mul ctx (a : int array) (b : int array) : int array =
+    let t = Array.make (ctx.n + 2) 0 in
+    let dst = Array.make ctx.n 0 in
+    mont_mul_into ctx t a b dst;
+    dst
+
+  (* Full 2n-limb square of an n-limb array into [t] (length 2n+1),
+     schoolbook with the doubling trick: cross products are accumulated
+     once as 2*a_i*a_j (2*a_i*a_j < 2^53 fits a 63-bit int with room
+     for carries), then the diagonal a_i^2 terms are added. *)
+  let sqr_full (a : int array) n (t : int array) =
+    Array.fill t 0 ((2 * n) + 1) 0;
+    for i = 0 to n - 2 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let c = ref 0 in
+        for j = i + 1 to n - 1 do
+          let v = t.(i + j) + (2 * ai * a.(j)) + !c in
+          t.(i + j) <- v land base_mask;
+          c := v lsr base_bits
+        done;
+        let k = ref (i + n) in
+        while !c <> 0 do
+          let v = t.(!k) + !c in
+          t.(!k) <- v land base_mask;
+          c := v lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    let c = ref 0 in
+    for i = 0 to n - 1 do
+      let v = t.(2 * i) + (a.(i) * a.(i)) + !c in
+      t.(2 * i) <- v land base_mask;
+      let v1 = t.((2 * i) + 1) + (v lsr base_bits) in
+      t.((2 * i) + 1) <- v1 land base_mask;
+      c := v1 lsr base_bits
+    done;
+    if !c <> 0 then t.(2 * n) <- t.(2 * n) + !c
+
+  (* Montgomery reduction of the 2n+1-limb product in [t] into the
+     n-limb [dst]: dst <- t * base^(-n) mod m. Destroys [t]. *)
+  let mont_reduce_into ctx (t : int array) (dst : int array) =
+    let n = ctx.n and ml = ctx.ml and m' = ctx.m' in
+    for i = 0 to n - 1 do
+      let mi = (t.(i) * m') land base_mask in
+      let c = ref 0 in
+      for j = 0 to n - 1 do
+        let v = t.(i + j) + (mi * ml.(j)) + !c in
+        t.(i + j) <- v land base_mask;
+        c := v lsr base_bits
+      done;
+      let k = ref (i + n) in
+      while !c <> 0 && !k <= 2 * n do
+        let v = t.(!k) + !c in
+        t.(!k) <- v land base_mask;
+        c := v lsr base_bits;
+        incr k
+      done;
+      assert (!c = 0)
+    done;
+    (* Result is t[n .. 2n] < 2m: subtract m at most once. *)
+    let ge =
+      if t.(2 * n) <> 0 then true
+      else begin
+        let rec cmp i =
+          if i < 0 then true
+          else if t.(n + i) <> ml.(i) then t.(n + i) > ml.(i)
+          else cmp (i - 1)
+        in
+        cmp (n - 1)
+      end
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to n - 1 do
+        let v = t.(n + i) - ml.(i) - !borrow in
+        if v < 0 then begin
+          dst.(i) <- v + base;
+          borrow := 1
+        end
+        else begin
+          dst.(i) <- v;
+          borrow := 0
+        end
+      done;
+      assert (t.(2 * n) - !borrow = 0)
+    end
+    else Array.blit t n dst 0 n
+
+  (* Montgomery square into [dst]: dst <- a*a*base^(-n) mod m. [t] is
+     scratch of length >= 2n+1; [dst] must not alias [a]. *)
+  let mont_sqr_into ctx (t : int array) (a : int array) (dst : int array) =
+    sqr_full a ctx.n t;
+    mont_reduce_into ctx t dst
 
   let create m =
     if Nat.is_even m || Nat.compare m (Nat.of_int 3) < 0 then
@@ -138,35 +235,74 @@ module Mont = struct
       Nat.Internal.of_limbs (mont_mul ctx ab ctx.r2)
     end
 
-  let pow ctx b e =
+  let sqr ctx a =
+    if Nat.compare a ctx.m >= 0 then
+      invalid_arg "Modular.Mont.sqr: operand out of range"
+    else begin
+      let n = ctx.n in
+      let t = Array.make ((2 * n) + 1) 0 in
+      let aa = Array.make n 0 in
+      mont_sqr_into ctx t (of_nat_arr ctx a) aa;
+      let r = Array.make n 0 in
+      mont_mul_into ctx t aa ctx.r2 r;
+      Nat.Internal.of_limbs r
+    end
+
+  (* The 4-bit window decomposition of an exponent, nibble [w] covering
+     bits [4w .. 4w+3]. Precomputed once per key so a batch of
+     exponentiations under the same exponent skips the bit scan. *)
+  type exponent = { nibbles : int array }
+
+  let precompute_exp e =
+    let nw = (Nat.num_bits e + 3) / 4 in
+    {
+      nibbles =
+        Array.init nw (fun w ->
+            (if Nat.test_bit e ((4 * w) + 3) then 8 else 0)
+            lor (if Nat.test_bit e ((4 * w) + 2) then 4 else 0)
+            lor (if Nat.test_bit e ((4 * w) + 1) then 2 else 0)
+            lor if Nat.test_bit e (4 * w) then 1 else 0);
+    }
+
+  let pow_exp ctx b { nibbles } =
     if Nat.compare b ctx.m >= 0 then invalid_arg "Modular.Mont.pow: base out of range"
     else begin
+      let n = ctx.n in
+      (* One scratch buffer serves both kernels (2n+1 >= n+2), and the
+         accumulator ping-pongs between two n-limb buffers, so the
+         window loop allocates nothing. *)
+      let scratch = Array.make ((2 * n) + 1) 0 in
       let bm = to_mont ctx b in
-      (* 4-bit fixed window, scanning the exponent from the top nibble. *)
       let table = Array.make 16 ctx.one_m in
       for i = 1 to 15 do
         table.(i) <- mont_mul ctx table.(i - 1) bm
       done;
-      let nb = Nat.num_bits e in
-      let nw = (nb + 3) / 4 in
-      let acc = ref ctx.one_m in
-      for w = nw - 1 downto 0 do
+      let acc = ref (Array.copy ctx.one_m) in
+      let tmp = ref (Array.make n 0) in
+      let swap () =
+        let x = !acc in
+        acc := !tmp;
+        tmp := x
+      in
+      for w = Array.length nibbles - 1 downto 0 do
         for _ = 1 to 4 do
-          acc := mont_mul ctx !acc !acc
+          mont_sqr_into ctx scratch !acc !tmp;
+          swap ()
         done;
-        let nib =
-          (if Nat.test_bit e ((4 * w) + 3) then 8 else 0)
-          lor (if Nat.test_bit e ((4 * w) + 2) then 4 else 0)
-          lor (if Nat.test_bit e ((4 * w) + 1) then 2 else 0)
-          lor if Nat.test_bit e (4 * w) then 1 else 0
-        in
-        if nib <> 0 then acc := mont_mul ctx !acc table.(nib)
+        let nib = nibbles.(w) in
+        if nib <> 0 then begin
+          mont_mul_into ctx scratch !acc table.(nib) !tmp;
+          swap ()
+        end
       done;
       (* Leave Montgomery form: multiply by 1. *)
-      let one_arr = Array.make ctx.n 0 in
+      let one_arr = Array.make n 0 in
       one_arr.(0) <- 1;
-      Nat.Internal.of_limbs (mont_mul ctx !acc one_arr)
+      mont_mul_into ctx scratch !acc one_arr !tmp;
+      Nat.Internal.of_limbs !tmp
     end
+
+  let pow ctx b e = pow_exp ctx b (precompute_exp e)
 end
 
 let pow b e m =

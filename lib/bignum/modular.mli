@@ -50,4 +50,20 @@ module Mont : sig
 
   (** [mul ctx a b] is [a*b mod m] for [a], [b] in [[0, m)]. *)
   val mul : ctx -> Nat.t -> Nat.t -> Nat.t
+
+  (** [sqr ctx a] is [a*a mod m] via the dedicated Montgomery squaring
+      kernel (schoolbook-with-doubling, ~half the limb products of a
+      general multiply). Exposed for tests and the squaring ablation
+      bench; {!pow} uses it internally for the window-loop squarings. *)
+  val sqr : ctx -> Nat.t -> Nat.t
+
+  (** A 4-bit window decomposition of an exponent, precomputed once so
+      repeated [pow]s under one fixed exponent (a batch encrypted under
+      one key) skip the per-call bit scan. *)
+  type exponent
+
+  val precompute_exp : Nat.t -> exponent
+
+  (** [pow_exp ctx b w] is [b^e mod m] where [w = precompute_exp e]. *)
+  val pow_exp : ctx -> Nat.t -> exponent -> Nat.t
 end

@@ -78,20 +78,20 @@ let sender cfg ~rng ~records ep =
   let e_s' = Commutative.gen_key cfg.Protocol.group ~rng in
   (* Step 3: receive Y_R. *)
   let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
-  (* Step 4: double-encrypt each y under e_S and e'_S, Y_R order. *)
-  let pairs =
-    Obs.Span.with_ "encrypt-peer"
-      ~attrs:[ ("n", string_of_int (List.length y_r)) ]
-      (fun () ->
-        Protocol.parallel_map ~workers:cfg.Protocol.workers
-          (fun y ->
-            let x = Protocol.decode cfg y in
-            ( Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s x),
-              Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s' x) ))
-          y_r)
-  in
+  (* Step 4: double-encrypt each y under e_S and e'_S, Y_R order.
+     Streamed: each chunk is encrypted across the pool while the
+     previous chunk is on the wire. *)
+  Obs.Span.with_ "encrypt-peer"
+    ~attrs:[ ("n", string_of_int (List.length y_r)) ]
+    (fun () ->
+      Protocol.send_pairs_stream cfg ep ~tag:tag_pairs
+        ~of_chunk:
+          (Protocol.parallel_map ~workers:cfg.Protocol.workers (fun y ->
+               let x = Protocol.decode cfg y in
+               ( Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s x),
+                 Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s' x) )))
+        y_r);
   ops.Protocol.encryptions <- ops.Protocol.encryptions + (2 * List.length y_r);
-  Channel.send ep (Message.make ~tag:tag_pairs (Message.Element_pairs pairs));
   (* Step 5: for each v, ship (f_eS(h(v)), K(kappa(v), ext v)), sorted. *)
   let hashed =
     Obs.Span.with_ "hash"
@@ -139,7 +139,7 @@ let receiver cfg ~rng ~values ep =
     Obs.Span.with_ "reorder" (fun () ->
         List.sort (fun (a, _) (b, _) -> String.compare a b) ps)
   in
-  Channel.send ep (Message.make ~tag:tag_y_r (Message.Elements (List.map fst encoded)));
+  Protocol.send_elements_stream cfg ep ~tag:tag_y_r (List.map fst encoded);
   (* Step 6: peel our own layer off both components; position i of the
      pair list corresponds to our i-th sorted Y_R entry. *)
   let pairs = Protocol.pairs_of (Protocol.recv_tagged ep tag_pairs) in

@@ -32,16 +32,15 @@ let sender cfg ~rng ~values ep =
   in
   (* Step 3: receive Y_R. *)
   let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
-  (* Step 4(a): ship Y_S. *)
-  Channel.send ep (Message.make ~tag:tag_y_s (Message.Elements y_s));
+  (* Step 4(a): ship Y_S (fully computed — the sort is a shuffle point —
+     so this streams for I/O chunking only). *)
+  Protocol.send_elements_stream cfg ep ~tag:tag_y_s y_s;
   (* Step 4(b): encrypt each y in Y_R, preserving R's order (the §6.1
-     optimization: no need to echo y itself). *)
-  let y_r_enc =
-    Obs.Span.with_ "encrypt-peer"
-      ~attrs:[ ("n", string_of_int (List.length y_r)) ]
-      (fun () -> Protocol.encrypt_encoded_batch cfg ops e_s y_r)
-  in
-  Channel.send ep (Message.make ~tag:tag_y_r_enc (Message.Elements y_r_enc));
+     optimization: no need to echo y itself). Streamed: chunk k+1 is
+     encrypted while chunk k is on the wire. *)
+  Obs.Span.with_ "encrypt-peer"
+    ~attrs:[ ("n", string_of_int (List.length y_r)) ]
+    (fun () -> Protocol.send_encrypted_stream cfg ops e_s ep ~tag:tag_y_r_enc y_r);
   { v_r_count = List.length y_r; ops }
 
 let receiver cfg ~rng ~values ep =
@@ -62,7 +61,7 @@ let receiver cfg ~rng ~values ep =
         List.sort (fun (a, _) (b, _) -> String.compare a b) pairs)
   in
   (* Step 3: send Y_R reordered lexicographically. *)
-  Channel.send ep (Message.make ~tag:tag_y_r (Message.Elements (List.map fst encoded)));
+  Protocol.send_elements_stream cfg ep ~tag:tag_y_r (List.map fst encoded);
   (* Step 4(a): receive Y_S. *)
   let y_s = Protocol.elements_of (Protocol.recv_tagged ep tag_y_s) in
   (* Step 5: Z_S = f_eR(Y_S). *)

@@ -26,7 +26,7 @@ let sender cfg ~rng ~values ep =
   let e_s = Commutative.gen_key cfg.Protocol.group ~rng in
   let y_s = hash_encrypt_sort "own-set" cfg ops e_s v_s in
   let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
-  Channel.send ep (Message.make ~tag:tag_y_s (Message.Elements y_s));
+  Protocol.send_elements_stream cfg ep ~tag:tag_y_s y_s;
   (* Step 4(b): crucially re-sorted, destroying the pairing with Y_R. *)
   let z_r =
     Obs.Span.with_ "encrypt-peer"
@@ -34,7 +34,7 @@ let sender cfg ~rng ~values ep =
       (fun () -> Protocol.encrypt_encoded_batch cfg ops e_s y_r)
     |> fun es -> Obs.Span.with_ "reorder" (fun () -> Protocol.sort_encoded es)
   in
-  Channel.send ep (Message.make ~tag:tag_z_r (Message.Elements z_r));
+  Protocol.send_elements_stream cfg ep ~tag:tag_z_r z_r;
   { v_r_count = List.length y_r; ops }
 
 let receiver cfg ~rng ~values ep =
@@ -43,7 +43,7 @@ let receiver cfg ~rng ~values ep =
   let v_r = Protocol.dedup values in
   let e_r = Commutative.gen_key cfg.Protocol.group ~rng in
   let y_r = hash_encrypt_sort "own-set" cfg ops e_r v_r in
-  Channel.send ep (Message.make ~tag:tag_y_r (Message.Elements y_r));
+  Protocol.send_elements_stream cfg ep ~tag:tag_y_r y_r;
   let y_s = Protocol.elements_of (Protocol.recv_tagged ep tag_y_s) in
   let z_s =
     Obs.Span.with_ "encrypt-peer"
@@ -100,7 +100,7 @@ let run_to_third_party cfg ?(seed = "intersection-size-3p") ~sender_values ~rece
         let e_s = Commutative.gen_key cfg.Protocol.group ~rng:s_rng in
         let y_s = hash_encrypt_sort "own-set" cfg ops e_s (Protocol.dedup sender_values) in
         let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
-        Channel.send ep (Message.make ~tag:tag_y_s (Message.Elements y_s));
+        Protocol.send_elements_stream cfg ep ~tag:tag_y_s y_s;
         let z_r =
           Obs.Span.with_ "encrypt-peer"
             ~attrs:[ ("n", string_of_int (List.length y_r)) ]
@@ -113,7 +113,7 @@ let run_to_third_party cfg ?(seed = "intersection-size-3p") ~sender_values ~rece
         let ops = Protocol.new_ops () in
         let e_r = Commutative.gen_key cfg.Protocol.group ~rng:r_rng in
         let y_r = hash_encrypt_sort "own-set" cfg ops e_r (Protocol.dedup receiver_values) in
-        Channel.send ep (Message.make ~tag:tag_y_r (Message.Elements y_r));
+        Protocol.send_elements_stream cfg ep ~tag:tag_y_r y_r;
         let y_s = Protocol.elements_of (Protocol.recv_tagged ep tag_y_s) in
         let z_s =
           Obs.Span.with_ "encrypt-peer"

@@ -13,8 +13,7 @@ let get what = function
             enabled during the run?)"
            what)
 
-let model_vs_measured ?tolerance params op (snapshot : Obs.Metrics.snapshot) =
-  let name = op_name op in
+let sizes_of_snapshot name (snapshot : Obs.Metrics.snapshot) =
   let key suffix = Printf.sprintf "psi.%s.%s" name suffix in
   let gauge suffix = get (key suffix) (Obs.Metrics.find_gauge snapshot (key suffix)) in
   let counter suffix =
@@ -22,9 +21,12 @@ let model_vs_measured ?tolerance params op (snapshot : Obs.Metrics.snapshot) =
   in
   let runs = counter "runs" in
   if runs = 0 then
-    invalid_arg
-      (Printf.sprintf "Obs_report.model_vs_measured: no %s runs in snapshot" name);
-  let v_s = int_of_float (gauge "v_s") and v_r = int_of_float (gauge "v_r") in
+    invalid_arg (Printf.sprintf "Obs_report: no %s runs in snapshot" name);
+  (runs, int_of_float (gauge "v_s"), int_of_float (gauge "v_r"), counter)
+
+let model_vs_measured ?tolerance params op (snapshot : Obs.Metrics.snapshot) =
+  let name = op_name op in
+  let runs, v_s, v_r, counter = sizes_of_snapshot name snapshot in
   let estimate = Cost_model.estimate params op ~v_s ~v_r in
   (* Counters accumulate across runs while the v_s/v_r gauges hold the
      latest run's sizes, so average the counters per run — exact when
@@ -36,3 +38,73 @@ let model_vs_measured ?tolerance params op (snapshot : Obs.Metrics.snapshot) =
     ~predicted_bits:estimate.Cost_model.comm_bits
     ~observed_bits:(8. *. per_run (counter "wire_bytes"))
     ()
+
+(* ------------------------------------------------------------------ *)
+(* Measured-vs-modeled speedup at P processors (§6.2's parallelism     *)
+(* claim, checked live against the domain pool).                       *)
+(* ------------------------------------------------------------------ *)
+
+type speedup_row = {
+  processors : int;
+  modeled_seconds : float;
+  modeled_speedup : float;
+  measured_seconds : float option;
+  measured_speedup : float option;
+}
+
+let speedup_table ?(processors = [ 1; 2; 4 ]) ?(measured = []) params op
+    (snapshot : Obs.Metrics.snapshot) =
+  let name = op_name op in
+  let _, v_s, v_r, _ = sizes_of_snapshot name snapshot in
+  let wall p =
+    let e =
+      Cost_model.estimate { params with Cost_model.processors = p } op ~v_s ~v_r
+    in
+    e.Cost_model.comp_seconds +. e.Cost_model.comm_seconds
+  in
+  let modeled_base = wall 1 in
+  let measured_base = List.assoc_opt 1 measured in
+  List.map
+    (fun p ->
+      let modeled_seconds = wall p in
+      let measured_seconds = List.assoc_opt p measured in
+      {
+        processors = p;
+        modeled_seconds;
+        modeled_speedup = modeled_base /. modeled_seconds;
+        measured_seconds;
+        measured_speedup =
+          (match (measured_base, measured_seconds) with
+          | Some b, Some m when m > 0. -> Some (b /. m)
+          | _ -> None);
+      })
+    processors
+
+let pp_speedup fmt rows =
+  Format.fprintf fmt "  P   modeled wall  modeled x  measured wall  measured x@\n";
+  List.iter
+    (fun r ->
+      let opt f = function Some v -> Printf.sprintf f v | None -> "-" in
+      Format.fprintf fmt "  %-3d %11.3fs  %8.2fx  %13s  %10s@\n" r.processors
+        r.modeled_seconds r.modeled_speedup
+        (opt "%.3fs" r.measured_seconds)
+        (opt "%.2fx" r.measured_speedup))
+    rows
+
+let speedup_to_json rows =
+  let opt = function
+    | Some v -> Obs.Export.Json.of_float v
+    | None -> Obs.Export.Json.Null
+  in
+  Obs.Export.Json.Arr
+    (List.map
+       (fun r ->
+         Obs.Export.Json.Obj
+           [
+             ("processors", Obs.Export.Json.of_int r.processors);
+             ("modeled_seconds", Obs.Export.Json.of_float r.modeled_seconds);
+             ("modeled_speedup", Obs.Export.Json.of_float r.modeled_speedup);
+             ("measured_seconds", opt r.measured_seconds);
+             ("measured_speedup", opt r.measured_speedup);
+           ])
+       rows)

@@ -24,3 +24,35 @@ val model_vs_measured :
   Cost_model.operation ->
   Obs.Metrics.snapshot ->
   Obs.Report.comparison
+
+(** {1 Measured vs modeled speedup}
+
+    §6.2 assumes bulk encryption is "trivially parallelizable" across
+    [P] processors. These rows check that claim: the modeled wall-clock
+    is [comp_seconds(P) + comm_seconds] from {!Cost_model.estimate} at
+    the snapshot's input sizes; measured times (if supplied, keyed by
+    pool size) come from an actual run such as [bench/parallel_bench]. *)
+
+type speedup_row = {
+  processors : int;
+  modeled_seconds : float;
+  modeled_speedup : float;  (** modeled wall(1) / wall(P) *)
+  measured_seconds : float option;
+  measured_speedup : float option;
+      (** measured wall(1) / wall(P); [None] unless [measured] covers
+          both [1] and this [P] *)
+}
+
+(** [speedup_table ?processors ?measured params op snapshot] builds one
+    row per pool size (default [P ∈ {1, 2, 4}]).
+    @raise Invalid_argument if [snapshot] has no telemetry for [op]. *)
+val speedup_table :
+  ?processors:int list ->
+  ?measured:(int * float) list ->
+  Cost_model.params ->
+  Cost_model.operation ->
+  Obs.Metrics.snapshot ->
+  speedup_row list
+
+val pp_speedup : Format.formatter -> speedup_row list -> unit
+val speedup_to_json : speedup_row list -> Obs.Export.Json.t

@@ -1,0 +1,8 @@
+(** The domain pool, re-exported from [psi.parallel] so protocol code
+    and callers can say [Psi.Pool]. [Psi.Pool.t] {e is}
+    [Parallel.Pool.t] — the same pools flow through the crypto batch
+    APIs. See {!Parallel.Pool} for the full documentation. *)
+
+include module type of struct
+  include Parallel.Pool
+end

@@ -14,33 +14,18 @@ let config ?(domain = "default") ?(cipher = Crypto.Perfect_cipher.Stream_cipher)
   if workers < 1 then invalid_arg "Protocol.config: workers >= 1"
   else { group; domain; cipher; workers }
 
-(* Chunked fork-join over OCaml 5 domains. Spawning costs ~100 us, so
-   short lists stay sequential. *)
+(* [pool cfg] is the shared domain pool for [cfg.workers] — [None] for
+   the sequential default, which keeps single-worker runs on the exact
+   pre-pool code path. *)
+let pool_of cfg = if cfg.workers <= 1 then None else Some (Pool.get cfg.workers)
+
+(* Chunked fork-join over the shared domain pool ([Psi.Pool]; direct
+   [Domain.spawn] is banned outside lib/parallel by lint rule DOM01).
+   Short lists stay sequential: a chunk dispatch costs more than a few
+   exponentiations. *)
 let parallel_map ~workers f xs =
-  let n = List.length xs in
-  if workers <= 1 || n < 32 then List.map f xs
-  else begin
-    let workers = Stdlib.min workers n in
-    let arr = Array.of_list xs in
-    let out = Array.make n None in
-    let chunk = (n + workers - 1) / workers in
-    let work lo hi () =
-      for i = lo to hi do
-        out.(i) <- Some (f arr.(i))
-      done
-    in
-    let domains =
-      List.init workers (fun w ->
-          let lo = w * chunk in
-          let hi = Stdlib.min ((w + 1) * chunk) n - 1 in
-          Domain.spawn (work lo hi))
-    in
-    List.iter Domain.join domains;
-    Array.to_list
-      (Array.map
-         (function Some v -> v | None -> failwith "Protocol.parallel_map: hole")
-         out)
-  end
+  if workers <= 1 || List.length xs < 32 then List.map f xs
+  else Pool.map (Pool.get workers) f xs
 
 type ops = { mutable hashes : int; mutable encryptions : int; mutable cipher_ops : int }
 
@@ -73,11 +58,8 @@ let record_run ~op ~v_s ~v_r ~(ops : ops) ~wire_bytes =
 let dedup values = List.sort_uniq String.compare values
 
 let hash_values cfg ops vs =
-  let res =
-    parallel_map ~workers:cfg.workers
-      (fun v -> (v, Hash_to_group.hash_value cfg.group ~domain:cfg.domain v))
-      vs
-  in
+  let hs = Hash_to_group.hash_batch ?pool:(pool_of cfg) cfg.group ~domain:cfg.domain vs in
+  let res = List.map2 (fun v h -> (v, h)) vs hs in
   ops.hashes <- ops.hashes + List.length vs;
   (* §3.2.2: "a collision within V_S or V_R can be detected by the
      server at the start of each protocol by sorting the hashes". With a
@@ -102,7 +84,7 @@ let decrypt_elt cfg ops key y =
   Commutative.decrypt cfg.group key y
 
 let encrypt_batch cfg ops key xs =
-  let res = parallel_map ~workers:cfg.workers (fun x -> Commutative.encrypt cfg.group key x) xs in
+  let res = Commutative.encrypt_batch ?pool:(pool_of cfg) cfg.group key xs in
   ops.encryptions <- ops.encryptions + List.length xs;
   res
 
@@ -132,6 +114,60 @@ let sort_encoded ss = List.sort String.compare ss
 let rec is_sorted = function
   | [] | [ _ ] -> true
   | a :: (b :: _ as tl) -> String.compare a b <= 0 && is_sorted tl
+
+(* ------------------------------------------------------------------ *)
+(* Streaming sends: encrypt chunk k+1 while chunk k is on the wire.    *)
+(* The frame is byte-identical to the equivalent batch send — same     *)
+(* items, same order — so leakage shapes and wire accounting are       *)
+(* unchanged; only the production schedule overlaps compute with I/O.  *)
+(* ------------------------------------------------------------------ *)
+
+(* Elements per streamed chunk. Big enough that a chunk amortizes the
+   pool dispatch, small enough that the peer starts parsing while most
+   of the batch is still being encrypted. *)
+let stream_chunk = 64
+
+let chunked_producer xs ~of_chunk =
+  let rest = ref xs in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | l ->
+        let rec take k acc l =
+          if k = 0 then (List.rev acc, l)
+          else
+            match l with
+            | [] -> (List.rev acc, [])
+            | x :: tl -> take (k - 1) (x :: acc) tl
+        in
+        let chunk, tl = take stream_chunk [] l in
+        rest := tl;
+        Some (of_chunk chunk)
+
+(* Stream [Elements] under [tag]: each encoded element of [ss] is
+   re-encrypted (order-preserving) chunk by chunk as the transport
+   drains the previous chunk. *)
+let send_encrypted_stream cfg ops key ep ~tag ss =
+  Wire.Channel.send_elements_stream ep ~tag
+    ~width:(Group.element_bytes cfg.group)
+    ~count:(List.length ss)
+    (chunked_producer ss ~of_chunk:(encrypt_encoded_batch cfg ops key))
+
+(* Stream already-computed fixed-width elements (I/O chunking only;
+   for sends whose shuffle point forces the whole batch to exist
+   before the first byte may leave). *)
+let send_elements_stream cfg ep ~tag ss =
+  Wire.Channel.send_elements_stream ep ~tag
+    ~width:(Group.element_bytes cfg.group)
+    ~count:(List.length ss)
+    (chunked_producer ss ~of_chunk:(fun c -> c))
+
+(* Streamed [Element_pairs] with a per-chunk transform. *)
+let send_pairs_stream cfg ep ~tag ~of_chunk ps =
+  Wire.Channel.send_pairs_stream ep ~tag
+    ~width:(Group.element_bytes cfg.group)
+    ~count:(List.length ps)
+    (chunked_producer ps ~of_chunk)
 
 
 let recv_tagged ep tag =

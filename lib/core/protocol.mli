@@ -91,6 +91,47 @@ val decrypt_elt : config -> ops -> Crypto.Commutative.key -> Group.elt -> Group.
 (** [sort_encoded ss] reorders encodings lexicographically. *)
 val sort_encoded : string list -> string list
 
+(** {1 Streaming sends}
+
+    Chunked producers over {!Wire.Channel.send_elements_stream}: the
+    frame on the wire is byte-identical to the equivalent batch send
+    (same items, same order), so leakage shapes are unchanged — only
+    the production schedule overlaps compute with I/O. *)
+
+(** Elements per streamed chunk (64). *)
+val stream_chunk : int
+
+(** [send_encrypted_stream cfg ops key ep ~tag ss] encrypts each
+    wire-encoded element of [ss] under [key] ({e order-preserving})
+    and streams the results: chunk [k+1] is encrypted across the pool
+    while chunk [k] is on the wire. Counts [length ss] encryptions. *)
+val send_encrypted_stream :
+  config ->
+  ops ->
+  Crypto.Commutative.key ->
+  Wire.Channel.endpoint ->
+  tag:string ->
+  string list ->
+  unit
+
+(** [send_elements_stream cfg ep ~tag ss] streams already-computed
+    fixed-width encodings (I/O chunking only — for sends whose shuffle
+    point forces the whole batch to exist before the first byte may
+    leave). *)
+val send_elements_stream :
+  config -> Wire.Channel.endpoint -> tag:string -> string list -> unit
+
+(** [send_pairs_stream cfg ep ~tag ~of_chunk xs] streams
+    [Element_pairs] produced chunk-by-chunk by [of_chunk] (e.g. a
+    pooled double-encryption), overlapping production with I/O. *)
+val send_pairs_stream :
+  config ->
+  Wire.Channel.endpoint ->
+  tag:string ->
+  of_chunk:('a list -> (string * string) list) ->
+  'a list ->
+  unit
+
 (** [is_sorted ss] checks lexicographic (non-strict) order — used by the
     security tests on transcripts. *)
 val is_sorted : string list -> bool

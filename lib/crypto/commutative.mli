@@ -29,3 +29,13 @@ val encrypt : Group.t -> key -> Group.elt -> Group.elt
 (** [decrypt g k y] inverts {!encrypt}: [decrypt g k (encrypt g k x) = x]
     (Property 3). *)
 val decrypt : Group.t -> key -> Group.elt -> Group.elt
+
+(** [encrypt_batch ?pool g k xs] is [List.map (encrypt g k) xs], run
+    across the pool's worker domains when one is given. Order-preserving
+    and pool-size-independent; telemetry counters tally identically to
+    the sequential path. *)
+val encrypt_batch :
+  ?pool:Parallel.Pool.t -> Group.t -> key -> Group.elt list -> Group.elt list
+
+val decrypt_batch :
+  ?pool:Parallel.Pool.t -> Group.t -> key -> Group.elt list -> Group.elt list

@@ -28,3 +28,12 @@ let generate t n =
 let reseed t ~entropy = update t entropy
 let to_rng t n = generate t n
 let split t ~label = create ~seed:(generate t 32 ^ "|" ^ label)
+
+(* Non-mutating child derivation: HMAC under the parent's key with a
+   dedicated domain-separation byte (0x02 — [update] only uses 0x00 and
+   0x01), over the parent's chaining value and the label. Forks with
+   distinct labels are independent; the parent stream is untouched, so
+   forking k children then generating from the parent yields the same
+   bytes as not forking at all. *)
+let fork t ~label =
+  create ~seed:(Hmac.mac_concat ~key:t.k [ t.v; "\x02"; label ])

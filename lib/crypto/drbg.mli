@@ -22,5 +22,14 @@ val reseed : t -> entropy:string -> unit
 val to_rng : t -> Bignum.Nat_rand.rng
 
 (** [split t ~label] derives an independent child generator; used to give
-    each protocol party its own stream from a test seed. *)
+    each protocol party its own stream from a test seed. Advances the
+    parent's state (two splits with one label differ). *)
 val split : t -> label:string -> t
+
+(** [fork t ~label] derives an independent child {e without} touching
+    the parent's state: a pure function of the parent's current state
+    and [label] (HMAC domain separation). This is what hands each pool
+    worker its own generator — the children are label-wise independent
+    and the caller's stream continues exactly as if no fork happened,
+    so batch results cannot depend on the pool size. *)
+val fork : t -> label:string -> t

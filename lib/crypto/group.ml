@@ -101,6 +101,8 @@ let element_bytes g = g.bytes
 let is_element g x = not (Nat.is_zero x) && Nat.compare x g.p < 0 && Prime.jacobi x g.p = 1
 let mul g a b = Modular.Mont.mul g.ctx a b
 let pow g a e = Modular.Mont.pow g.ctx a e
+let precompute_exp = Modular.Mont.precompute_exp
+let pow_pre g a w = Modular.Mont.pow_exp g.ctx a w
 let inv_elt g a = Bignum.Modular.inv_exn a g.p
 let generator _g = Nat.of_int 4
 

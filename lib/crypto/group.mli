@@ -59,6 +59,13 @@ val is_element : t -> Bignum.Nat.t -> bool
 val mul : t -> elt -> elt -> elt
 val pow : t -> elt -> Bignum.Nat.t -> elt
 
+(** [precompute_exp e] is {!Bignum.Modular.Mont.precompute_exp}: the
+    window decomposition of a fixed exponent, computed once per key. *)
+val precompute_exp : Bignum.Nat.t -> Bignum.Modular.Mont.exponent
+
+(** [pow_pre g a w] is {!pow} with the exponent's windows precomputed. *)
+val pow_pre : t -> elt -> Bignum.Modular.Mont.exponent -> elt
+
 (** [inv_elt g x] is the group inverse of [x]. *)
 val inv_elt : t -> elt -> elt
 

@@ -33,3 +33,11 @@ let hash_value g ~domain v =
   attempt 0
 
 let hash g v = hash_value g ~domain:"default" v
+
+(* Pool variant: hashing draws no randomness and the eval counter is
+   atomic, so the pooled result and telemetry match the sequential map
+   at every pool size. *)
+let hash_batch ?pool g ~domain vs =
+  match pool with
+  | None -> List.map (hash_value g ~domain) vs
+  | Some pool -> Parallel.Pool.map pool (hash_value g ~domain) vs

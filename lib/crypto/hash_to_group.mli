@@ -16,3 +16,8 @@ val hash : Group.t -> string -> Group.elt
 (** [hash_value g ~domain v] domain-separates [hash]: values from
     different attributes/protocols never collide across domains. *)
 val hash_value : Group.t -> domain:string -> string -> Group.elt
+
+(** [hash_batch ?pool g ~domain vs] is [List.map (hash_value g ~domain) vs],
+    run across the pool's worker domains when one is given. *)
+val hash_batch :
+  ?pool:Parallel.Pool.t -> Group.t -> domain:string -> string list -> Group.elt list

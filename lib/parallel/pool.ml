@@ -1,0 +1,344 @@
+(* A fixed-size domain pool with chunked, order-preserving map.
+
+   Design constraints, in order of importance:
+
+   - Determinism: results (and any randomness drawn through
+     [map_seeded]) must not depend on the pool size or on scheduling.
+     Chunk boundaries are therefore a fixed function of the input
+     length — [chunk] items per task regardless of worker count — and
+     every chunk writes into its own slice of a preallocated output
+     array, so [map pool f xs = List.map f xs] observationally.
+
+   - Systhread friendliness: protocol runs drive both parties from
+     [Thread.t]s on the main domain, and both may call [map] on the
+     same pool concurrently. Callers help drain the shared queue while
+     they wait (recorded as [pool.caller_chunks]), so a map can never
+     deadlock behind another caller's chunks, and a pool of [k]
+     workers gives [k + callers] lanes of progress.
+
+   - Nesting: [f] running on a pool worker must not submit to the same
+     pool and block — that can deadlock once all workers are waiting.
+     A map issued from inside a worker of the same pool runs the
+     chunks inline instead.
+
+   All [Domain.spawn]/[Domain.join] in the codebase lives here, behind
+   the pool; the DOM01 lint rule keeps it that way. *)
+
+type task = { run : unit -> unit }
+
+type shared = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* queued a task, or shutting down *)
+  queue : task Queue.t;
+  mutable stop : bool;
+}
+
+type t = {
+  size : int;  (* worker domains; 0 = sequential pool *)
+  chunk : int;
+  shared : shared option;  (* [None] iff sequential *)
+  mutable domains : unit Domain.t list;
+  worker_ids : int array;  (* filled by each worker at startup *)
+  mutable closed : bool;
+}
+
+(* Telemetry ---------------------------------------------------------- *)
+
+let m_maps = Obs.Metrics.counter "pool.maps"
+let m_chunks = Obs.Metrics.counter "pool.chunks"
+let m_items = Obs.Metrics.counter "pool.items"
+let m_seq_fallbacks = Obs.Metrics.counter "pool.seq_fallbacks"
+let m_caller_chunks = Obs.Metrics.counter "pool.caller_chunks"
+let m_busy_ns = Obs.Metrics.counter "pool.busy_ns"
+let m_wall_ns = Obs.Metrics.counter "pool.wall_ns"
+let g_workers = Obs.Metrics.gauge "pool.workers"
+let h_chunk_ns = Obs.Metrics.histogram "pool.chunk_ns"
+
+(* Pool lifecycle ----------------------------------------------------- *)
+
+let default_chunk = 16
+let default_jobs () = Domain.recommended_domain_count ()
+
+let worker_loop shared ids slot =
+  ids.(slot) <- (Domain.self () :> int);
+  let rec loop () =
+    Mutex.lock shared.mutex;
+    while Queue.is_empty shared.queue && not shared.stop do
+      Condition.wait shared.work shared.mutex
+    done;
+    (* Drain outstanding work even when stopping, so [shutdown] never
+       strands a submitted chunk. *)
+    if Queue.is_empty shared.queue then Mutex.unlock shared.mutex
+    else begin
+      let task = Queue.pop shared.queue in
+      Mutex.unlock shared.mutex;
+      task.run ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(chunk = default_chunk) ?(force = false) size =
+  if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+  if chunk < 1 then invalid_arg "Pool.create: chunk must be >= 1";
+  if size = 1 || ((not force) && Domain.recommended_domain_count () = 1) then
+    (* Sequential pool: no domains, maps run on the caller. A size
+       above 1 on a single-core host still degrades gracefully. *)
+    {
+      size = 0;
+      chunk;
+      shared = None;
+      domains = [];
+      worker_ids = [||];
+      closed = false;
+    }
+  else begin
+    let shared =
+      {
+        mutex = Mutex.create ();
+        work = Condition.create ();
+        queue = Queue.create ();
+        stop = false;
+      }
+    in
+    let worker_ids = Array.make size (-1) in
+    let domains =
+      List.init size (fun slot ->
+          Domain.spawn (fun () -> worker_loop shared worker_ids slot))
+    in
+    Obs.Metrics.set g_workers (float_of_int size);
+    { size; chunk; shared = Some shared; domains; worker_ids; closed = false }
+  end
+
+let size t = if t.size = 0 then 1 else t.size
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    (match t.shared with
+    | None -> ()
+    | Some shared ->
+        Mutex.lock shared.mutex;
+        shared.stop <- true;
+        Condition.broadcast shared.work;
+        Mutex.unlock shared.mutex);
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let check_open t = if t.closed then invalid_arg "Pool: pool is shut down"
+
+let on_worker t =
+  let self = (Domain.self () :> int) in
+  Array.exists (fun id -> id = self) t.worker_ids
+
+(* Chunked execution -------------------------------------------------- *)
+
+(* Chunk boundaries for [n] items: [start, stop) pairs of fixed width
+   [t.chunk], independent of pool size (determinism). *)
+let chunk_bounds chunk n =
+  let count = (n + chunk - 1) / chunk in
+  List.init count (fun i -> (i * chunk, min n ((i + 1) * chunk)))
+
+(* State of one in-flight map call: the caller blocks until every chunk
+   it submitted has run (on a worker or on itself). *)
+type 'e call = {
+  c_mutex : Mutex.t;
+  c_done : Condition.t;
+  mutable remaining : int;
+  mutable failed : 'e option;
+}
+
+let chunk_done call =
+  Mutex.lock call.c_mutex;
+  call.remaining <- call.remaining - 1;
+  if call.remaining = 0 then Condition.signal call.c_done;
+  Mutex.unlock call.c_mutex
+
+let run_task task =
+  let enabled = Obs.Runtime.is_enabled () in
+  if not enabled then task.run ()
+  else begin
+    let t0 = Obs.Clock.now_ns () in
+    task.run ();
+    let dt = Int64.sub (Obs.Clock.now_ns ()) t0 in
+    Obs.Metrics.incr ~by:(Int64.to_int dt) m_busy_ns;
+    Obs.Metrics.observe h_chunk_ns (Int64.to_float dt)
+  end
+
+(* Run [bodies] (one closure per chunk, each writing its own output
+   slice) across the pool, helping from the caller's thread. *)
+let run_chunks shared bodies =
+  let call =
+    {
+      c_mutex = Mutex.create ();
+      c_done = Condition.create ();
+      remaining = List.length bodies;
+      failed = None;
+    }
+  in
+  let wrap body =
+    {
+      run =
+        (fun () ->
+          (try body ()
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             Mutex.lock call.c_mutex;
+             if call.failed = None then call.failed <- Some (e, bt);
+             Mutex.unlock call.c_mutex);
+          chunk_done call);
+    }
+  in
+  let tasks = List.map wrap bodies in
+  Mutex.lock shared.mutex;
+  List.iter (fun task -> Queue.push task shared.queue) tasks;
+  Condition.broadcast shared.work;
+  Mutex.unlock shared.mutex;
+  (* Caller loop: help with queued chunks (this call's or another
+     caller's) until every chunk of this call has completed. *)
+  let rec drive () =
+    Mutex.lock call.c_mutex;
+    let finished = call.remaining = 0 in
+    Mutex.unlock call.c_mutex;
+    if not finished then begin
+      Mutex.lock shared.mutex;
+      let task =
+        if Queue.is_empty shared.queue then None
+        else Some (Queue.pop shared.queue)
+      in
+      Mutex.unlock shared.mutex;
+      match task with
+      | Some task ->
+          Obs.Metrics.incr m_caller_chunks;
+          run_task task;
+          drive ()
+      | None ->
+          (* Nothing to help with: the stragglers are on workers. *)
+          Mutex.lock call.c_mutex;
+          while call.remaining > 0 do
+            Condition.wait call.c_done call.c_mutex
+          done;
+          Mutex.unlock call.c_mutex
+    end
+  in
+  drive ();
+  match call.failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+(* map ---------------------------------------------------------------- *)
+
+let map_chunked t ~chunk_ctx xs =
+  check_open t;
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    Obs.Metrics.incr m_maps;
+    Obs.Metrics.incr ~by:n m_items;
+    let bounds = chunk_bounds t.chunk n in
+    let out = Array.make n None in
+    (* [chunk_ctx] may consume caller-side state (e.g. fork a DRBG per
+       chunk), so it runs here, in chunk order, before any dispatch. *)
+    let bodies =
+      List.rev
+        (snd
+           (List.fold_left
+              (fun (ci, acc) (start, stop) ->
+                let f = chunk_ctx ci in
+                let body () =
+                  for i = start to stop - 1 do
+                    out.(i) <- Some (f arr.(i))
+                  done
+                in
+                (ci + 1, body :: acc))
+              (0, []) bounds))
+    in
+    Obs.Metrics.incr ~by:(List.length bodies) m_chunks;
+    let inline () = List.iter (fun b -> b ()) bodies in
+    (match t.shared with
+    | None ->
+        Obs.Metrics.incr m_seq_fallbacks;
+        inline ()
+    | Some shared ->
+        if on_worker t then begin
+          (* Nested map from a pool worker: run inline rather than
+             queueing behind every other worker (deadlock risk). *)
+          Obs.Metrics.incr m_seq_fallbacks;
+          inline ()
+        end
+        else begin
+          let t0 = Obs.Clock.now_ns () in
+          run_chunks shared bodies;
+          if Obs.Runtime.is_enabled () then
+            Obs.Metrics.incr
+              ~by:(Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) t0))
+              m_wall_ns
+        end);
+    Array.to_list
+      (Array.map
+         (function
+           | Some v -> v
+           | None -> invalid_arg "Pool.map: chunk did not complete")
+         out)
+  end
+
+let map t f xs = map_chunked t ~chunk_ctx:(fun _ -> f) xs
+
+let map_seeded t ~seed f xs =
+  map_chunked t ~chunk_ctx:(fun ci -> f (seed ci)) xs
+
+let map_reduce t ~map:fm ~combine ~init xs =
+  (* Split into the same fixed-width chunks as [map], fold each chunk
+     on a worker, then fold the partials left to right. *)
+  let rec split acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: tl ->
+        if k = t.chunk then split (List.rev cur :: acc) [ x ] 1 tl
+        else split acc (x :: cur) (k + 1) tl
+  in
+  match xs with
+  | [] -> init
+  | _ ->
+      let partials =
+        map_chunked t
+          ~chunk_ctx:(fun _ chunk ->
+            match chunk with
+            | [] -> init
+            | x :: tl ->
+                List.fold_left (fun acc y -> combine acc (fm y)) (fm x) tl)
+          (split [] [] 0 xs)
+      in
+      List.fold_left combine init partials
+
+(* Shared pools ------------------------------------------------------- *)
+
+(* Process-wide pools keyed by requested size, so `--jobs 4` across a
+   bench loop reuses one set of domains. Joined at exit. *)
+let registry : (int, t) Hashtbl.t = Hashtbl.create 4
+let registry_mutex = Mutex.create ()
+let cleanup_registered = ref false
+
+let get jobs =
+  if jobs < 1 then invalid_arg "Pool.get: jobs must be >= 1";
+  Mutex.lock registry_mutex;
+  let pool =
+    match Hashtbl.find_opt registry jobs with
+    | Some pool when not pool.closed -> pool
+    | _ ->
+        let pool = create jobs in
+        Hashtbl.replace registry jobs pool;
+        if not !cleanup_registered then begin
+          cleanup_registered := true;
+          at_exit (fun () ->
+              Mutex.lock registry_mutex;
+              let pools = Hashtbl.fold (fun _ p acc -> p :: acc) registry [] in
+              Hashtbl.reset registry;
+              Mutex.unlock registry_mutex;
+              List.iter shutdown pools)
+        end;
+        pool
+  in
+  Mutex.unlock registry_mutex;
+  pool

@@ -1,0 +1,70 @@
+(** A fixed-size pool of worker domains with chunked, order-preserving
+    parallel map.
+
+    Every concurrency primitive ([Domain.spawn]/[Domain.join]) in the
+    codebase lives behind this module; the [DOM01] lint rule enforces
+    it. Results are deterministic: chunk boundaries depend only on the
+    input length and the pool's chunk size (default
+    {!default_chunk}), never on the worker count or scheduling, so
+    [map pool f xs = List.map f xs] for a pure [f] at every pool size.
+
+    Pools are safe to share between systhreads: concurrent [map] calls
+    interleave on one queue and callers help run queued chunks while
+    they wait. A nested [map] issued from a worker of the same pool
+    runs inline (sequentially) instead of deadlocking.
+
+    Telemetry (all under [pool.*], recorded when [Obs] is enabled):
+    [pool.maps], [pool.chunks], [pool.items], [pool.seq_fallbacks],
+    [pool.caller_chunks] (chunks stolen by waiting callers),
+    [pool.busy_ns] / [pool.wall_ns] (utilization =
+    busy / (wall x workers)), gauge [pool.workers], histogram
+    [pool.chunk_ns]. *)
+
+type t
+
+(** Items per task; fixed across pool sizes so chunked execution is
+    deterministic. *)
+val default_chunk : int
+
+(** [Domain.recommended_domain_count ()] — the default for [--jobs]. *)
+val default_jobs : unit -> int
+
+(** [create ?chunk ?force size] spawns [size] worker domains. When
+    [size = 1] or the host reports a single core
+    ([default_jobs () = 1]), no domains are spawned and every map runs
+    sequentially on the caller; [~force:true] spawns domains anyway
+    (oversubscribed but correct — used by the tests to exercise the
+    worker path on single-core machines).
+    @raise Invalid_argument when [size < 1] or [chunk < 1]. *)
+val create : ?chunk:int -> ?force:bool -> int -> t
+
+(** Configured parallelism: [size] as given to {!create} (1 for a
+    sequential pool). *)
+val size : t -> int
+
+(** [map pool f xs] applies [f] to every element, in parallel across
+    chunks, preserving order. Exceptions from [f] are re-raised in the
+    caller (first one wins). *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_seeded pool ~seed f xs] is [map] where chunk [i] applies
+    [f (seed i)]. The [seed] derivations run on the caller's thread in
+    chunk order {e before} dispatch, so they may consume caller-side
+    state (fork a DRBG per chunk) and the overall result is a function
+    of the input alone — identical at every pool size. *)
+val map_seeded : t -> seed:(int -> 's) -> ('s -> 'a -> 'b) -> 'a list -> 'b list
+
+(** [map_reduce pool ~map ~combine ~init xs] folds [combine] over the
+    per-chunk partial folds, left to right. [combine] must be
+    associative with [init] as identity for the result to match the
+    sequential fold. *)
+val map_reduce :
+  t -> map:('a -> 'b) -> combine:('b -> 'b -> 'b) -> init:'b -> 'a list -> 'b
+
+(** Join all workers after draining outstanding chunks. Idempotent;
+    subsequent [map] calls raise [Invalid_argument]. *)
+val shutdown : t -> unit
+
+(** [get jobs] returns a process-wide shared pool of [jobs] workers,
+    creating (and registering for at-exit shutdown) on first use. *)
+val get : int -> t

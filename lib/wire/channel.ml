@@ -47,9 +47,7 @@ let create () =
 let transport_name ep = Transport.name ep.tr
 let set_timeout ep t = ep.recv_timeout_s <- t
 
-let send ep m =
-  let bytes = Message.encode m in
-  let len = String.length bytes in
+let record_sent ep m len =
   ep.c.messages_sent <- ep.c.messages_sent + 1;
   ep.c.bytes_sent <- ep.c.bytes_sent + len;
   ep.c.elements_sent <- ep.c.elements_sent + Message.element_count m;
@@ -58,8 +56,65 @@ let send ep m =
   Obs.Metrics.incr m_messages_sent;
   Obs.Metrics.incr ~by:len m_bytes_sent;
   Obs.Metrics.incr ~by:(Message.element_count m) m_elements_sent;
-  Obs.Metrics.observe h_message_bytes (float_of_int len);
+  Obs.Metrics.observe h_message_bytes (float_of_int len)
+
+let send ep m =
+  let bytes = Message.encode m in
+  record_sent ep m (String.length bytes);
   Transport.send ep.tr bytes
+
+(* Streamed sends: one frame, byte-identical to [send] of the
+   equivalent message, whose items are pulled from [next] in chunks as
+   the transport drains them. Fixed-width fields make the total frame
+   length computable upfront. The assembled message still lands in the
+   sent log (transcript/leakage tests see the same view either way);
+   accounting happens once the frame is fully on the wire. *)
+let send_stream_generic ep ~tag ~kind ~count ~item_len ~encode_item ~to_payload
+    next =
+  let header = Message.encode_header ~tag ~kind ~count in
+  let total = String.length header + (count * item_len) in
+  let collected = ref [] in
+  let header_sent = ref false in
+  let produce () =
+    if not !header_sent then begin
+      header_sent := true;
+      Some header
+    end
+    else
+      match next () with
+      | None -> None
+      | Some items ->
+          collected := List.rev_append items !collected;
+          let w = Buf.writer () in
+          List.iter (encode_item w) items;
+          Some (Buf.contents w)
+  in
+  Transport.send_stream ep.tr ~total produce;
+  let m = Message.make ~tag (to_payload (List.rev !collected)) in
+  record_sent ep m total
+
+let check_width ~what ~width s =
+  if String.length s <> width then
+    invalid_arg (Printf.sprintf "%s: element is not %d bytes" what width)
+
+let send_elements_stream ep ~tag ~width ~count next =
+  send_stream_generic ep ~tag ~kind:0 ~count ~item_len:(Message.field_len width)
+    ~encode_item:(fun w s ->
+      check_width ~what:"Channel.send_elements_stream" ~width s;
+      Buf.write_bytes w s)
+    ~to_payload:(fun es -> Message.Elements es)
+    next
+
+let send_pairs_stream ep ~tag ~width ~count next =
+  send_stream_generic ep ~tag ~kind:1 ~count
+    ~item_len:(2 * Message.field_len width)
+    ~encode_item:(fun w (a, b) ->
+      check_width ~what:"Channel.send_pairs_stream" ~width a;
+      check_width ~what:"Channel.send_pairs_stream" ~width b;
+      Buf.write_bytes w a;
+      Buf.write_bytes w b)
+    ~to_payload:(fun ps -> Message.Element_pairs ps)
+    next
 
 (* Frames larger than this are rejected on receive before decoding. A
    frame holds a whole protocol message (up to a few thousand group

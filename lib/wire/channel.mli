@@ -35,6 +35,34 @@ val set_timeout : endpoint -> float option -> unit
     @raise Errors.Protocol_error if the peer is gone. *)
 val send : endpoint -> Message.t -> unit
 
+(** [send_elements_stream ep ~tag ~width ~count next] sends the frame
+    [send ep (make ~tag (Elements items))] would send — byte-identical,
+    same single frame — but pulls [items] from [next] in chunks while
+    earlier chunks are already on the wire, overlapping the producer's
+    compute (encryption) with transport I/O. Every element must be
+    exactly [width] bytes and the chunks must total [count] elements;
+    [next] returning [None] ends the stream. The assembled message is
+    recorded in {!sent} and {!stats} as usual.
+    @raise Invalid_argument on a width or count mismatch. *)
+val send_elements_stream :
+  endpoint ->
+  tag:string ->
+  width:int ->
+  count:int ->
+  (unit -> string list option) ->
+  unit
+
+(** [send_pairs_stream] is {!send_elements_stream} for an
+    [Element_pairs] payload; both components of every pair must be
+    [width] bytes. *)
+val send_pairs_stream :
+  endpoint ->
+  tag:string ->
+  width:int ->
+  count:int ->
+  (unit -> (string * string) list option) ->
+  unit
+
 (** Default receive-side frame-size bound (64 MiB), equal to
     {!Transport.max_frame_bytes}. *)
 val max_frame_bytes : int

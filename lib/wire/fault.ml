@@ -122,6 +122,21 @@ let send c frame =
       Thread.delay (Stream.next_float c.stream *. c.plan.max_delay_s);
       Transport.send c.inner frame
 
+(* The fault schedule draws exactly one event per frame, so a streamed
+   send is assembled first and then fed through [send]: seeded
+   schedules replay identically whether the sender streamed or not. *)
+let send_stream c ~total produce =
+  let buf = Buffer.create total in
+  let rec pull () =
+    match produce () with
+    | Some chunk ->
+        Buffer.add_string buf chunk;
+        pull ()
+    | None -> ()
+  in
+  pull ();
+  send c (Buffer.contents buf)
+
 let recv ?deadline ?max_bytes c = Transport.recv ?deadline ?max_bytes c.inner
 let close c = Transport.close c.inner
 
@@ -134,6 +149,7 @@ let wrap_conn c =
 
         let name = backend_name
         let send = send
+        let send_stream = send_stream
         let recv = recv
         let close = close
       end),

@@ -96,6 +96,27 @@ let decode s =
   Buf.expect_end r;
   { tag; payload }
 
+(* Streaming support: the frame header (everything before the items)
+   and exact item sizes, so a sender can announce a frame's total
+   length before producing its body. Must mirror [encode] exactly —
+   [test_wire] checks streamed and plain encodings byte for byte. *)
+
+let varint_len n =
+  let rec go n k = if n < 0x80 then k else go (n lsr 7) (k + 1) in
+  go n 1
+
+let encode_header ~tag ~kind ~count =
+  let w = Buf.writer () in
+  Buf.write_u8 w magic;
+  Buf.write_u8 w version;
+  Buf.write_bytes w tag;
+  Buf.write_u8 w kind;
+  Buf.write_varint w count;
+  Buf.contents w
+
+(* Encoded size of one fixed-width item field. *)
+let field_len width = varint_len width + width
+
 let size m = String.length (encode m)
 
 let element_count m =

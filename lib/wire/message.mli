@@ -29,6 +29,25 @@ val decode : string -> t
 (** [size m] is the encoded size in bytes. *)
 val size : t -> int
 
+(** {1 Streaming encode}
+
+    A streamed frame is the {!encode} bytes of a message emitted
+    incrementally: {!encode_header} first, then each item's fields as
+    varint-length-prefixed bytes. {!Channel} uses these to announce the
+    exact frame length before the items exist. *)
+
+(** LEB128 width of a non-negative integer. *)
+val varint_len : int -> int
+
+(** [encode_header ~tag ~kind ~count] is everything {!encode} writes
+    before the first item: magic, version, tag, payload kind
+    (0 = elements, 1 = element pairs, 2 = triples, 3 = ciphertext
+    pairs), item count. *)
+val encode_header : tag:string -> kind:int -> count:int -> string
+
+(** [field_len width] is the encoded size of one [width]-byte field. *)
+val field_len : int -> int
+
 (** [element_count m] is how many group-element-sized fields [m] carries
     (cost accounting: the paper counts messages in units of [k]-bit
     codewords). *)

@@ -3,6 +3,7 @@ module type S = sig
 
   val name : string
   val send : conn -> string -> unit
+  val send_stream : conn -> total:int -> (unit -> string option) -> unit
   val recv : ?deadline:float -> ?max_bytes:int -> conn -> string
   val close : conn -> unit
 end
@@ -13,6 +14,26 @@ let max_frame_bytes = 64 * 1024 * 1024
 let now_s () = Int64.to_float (Obs.Clock.now_ns ()) *. 1e-9
 
 let send (Conn ((module M), c)) frame = M.send c frame
+
+let send_stream (Conn ((module M), c)) ~total produce =
+  M.send_stream c ~total produce
+
+(* Default [send_stream] for backends without incremental writes: pull
+   every chunk, then hand the assembled frame to [send] — semantics
+   (whole frames, one per send) identical to a plain send. *)
+let buffered_send_stream send c ~total produce =
+  let buf = Buffer.create total in
+  let rec pull () =
+    match produce () with
+    | Some chunk ->
+        Buffer.add_string buf chunk;
+        pull ()
+    | None -> ()
+  in
+  pull ();
+  if Buffer.length buf <> total then
+    invalid_arg "Transport.send_stream: produced bytes do not match total";
+  send c (Buffer.contents buf)
 
 let recv ?deadline ?max_bytes (Conn ((module M), c)) =
   M.recv ?deadline ?max_bytes c
@@ -52,6 +73,11 @@ module Memory = struct
     Queue.push frame s.queue;
     Condition.signal s.cond;
     Mutex.unlock s.mutex
+
+  (* Queue granularity is whole frames, so a streamed send assembles
+     the frame first: the producer's interleaving is invisible to the
+     peer, exactly as with plain [send]. *)
+  let send_stream c ~total produce = buffered_send_stream send c ~total produce
 
   (* Pending frames win over a close: a peer that sent then closed has
      those frames delivered before recv starts failing (half-closed TCP
@@ -104,6 +130,7 @@ module Memory = struct
 
                       let name = name
                       let send = send
+                      let send_stream = send_stream
                       let recv = recv
                       let close = close
                     end), c)
@@ -202,8 +229,7 @@ module Socket = struct
       len := !len - k
     done
 
-  let send c frame =
-    let len = String.length frame in
+  let write_prefix c len =
     if len > 0xffffffff then
       invalid_arg "Transport.Socket.send: frame exceeds u32 length prefix";
     let prefix = Bytes.create 4 in
@@ -211,8 +237,35 @@ module Socket = struct
     Bytes.set prefix 1 (Char.chr ((len lsr 16) land 0xff));
     Bytes.set prefix 2 (Char.chr ((len lsr 8) land 0xff));
     Bytes.set prefix 3 (Char.chr (len land 0xff));
-    write_all c.fd prefix;
+    write_all c.fd prefix
+
+  let send c frame =
+    write_prefix c (String.length frame);
     write_all c.fd (Bytes.of_string frame)
+
+  (* Streamed send: the length prefix is known upfront, so each chunk
+     goes to the kernel as soon as it is produced — the peer can be
+     reading chunk k while the producer encrypts chunk k+1. On the wire
+     this is byte-identical to [send] of the concatenated chunks. *)
+  let send_stream c ~total produce =
+    write_prefix c total;
+    let written = ref 0 in
+    let rec pull () =
+      match produce () with
+      | Some chunk ->
+          written := !written + String.length chunk;
+          if !written > total then
+            invalid_arg
+              "Transport.Socket.send_stream: produced bytes exceed total";
+          write_all c.fd (Bytes.of_string chunk);
+          pull ()
+      | None ->
+          if !written <> total then
+            Errors.protocol_errorf
+              "Transport.Socket.send_stream: produced %d of %d bytes" !written
+              total
+    in
+    pull ()
 
   let close c =
     if not c.fin_sent then begin
@@ -231,6 +284,7 @@ module Socket = struct
 
                       let name = name
                       let send = send
+                      let send_stream = send_stream
                       let recv = recv
                       let close = close
                     end), c)

@@ -28,6 +28,18 @@ module type S = sig
       @raise Errors.Protocol_error if the peer is gone. *)
   val send : conn -> string -> unit
 
+  (** [send_stream c ~total produce] sends one frame of exactly [total]
+      bytes whose body is pulled incrementally: [produce] is called
+      until it returns [None] and the concatenated chunks form the
+      frame. Observationally identical to [send] of the concatenation —
+      same frame boundary, same bytes — but backends with incremental
+      writes ({!Socket}) push each chunk to the peer as it is produced,
+      overlapping the producer's compute with wire I/O.
+      @raise Invalid_argument if the chunks exceed [total];
+      @raise Errors.Protocol_error if they fall short (the frame is
+      unrecoverably truncated at the peer). *)
+  val send_stream : conn -> total:int -> (unit -> string option) -> unit
+
   (** [recv ?deadline ?max_bytes c] blocks for the next frame.
       Frames longer than [max_bytes] (default {!max_frame_bytes}) are
       rejected — on backends with their own framing, {e before} the
@@ -49,6 +61,7 @@ end
 type t = Conn : (module S with type conn = 'c) * 'c -> t
 
 val send : t -> string -> unit
+val send_stream : t -> total:int -> (unit -> string option) -> unit
 val recv : ?deadline:float -> ?max_bytes:int -> t -> string
 val close : t -> unit
 

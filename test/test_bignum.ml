@@ -421,6 +421,33 @@ let prop_pow_tower =
         (Modular.Mont.pow ctx (Modular.Mont.pow ctx a x) y)
         (Modular.Mont.pow ctx a (Nat.mul x y)))
 
+let prop_sqr_matches_mul =
+  qtest "Mont.sqr = Mont.mul a a" ~count:200 gen_mod_elt nat_print (fun a ->
+      let ctx = Modular.Mont.create test_modulus in
+      Nat.equal (Modular.Mont.sqr ctx a) (Modular.Mont.mul ctx a a))
+
+let prop_pow_exp_matches_pow =
+  qtest "Mont.pow_exp over precompute_exp = Mont.pow" ~count:80
+    QCheck2.Gen.(pair gen_mod_elt (gen_nat_bytes 24))
+    nat_pair_print
+    (fun (b, e) ->
+      let ctx = Modular.Mont.create test_modulus in
+      let w = Modular.Mont.precompute_exp e in
+      Nat.equal (Modular.Mont.pow_exp ctx b w) (Modular.Mont.pow ctx b e))
+
+let test_pow_exp_corners () =
+  let ctx = Modular.Mont.create test_modulus in
+  let check name e b =
+    Alcotest.check nat name
+      (Modular.Mont.pow ctx b e)
+      (Modular.Mont.pow_exp ctx b (Modular.Mont.precompute_exp e))
+  in
+  check "e=0" Nat.zero (Nat.of_int 7);
+  check "e=1" Nat.one (Nat.of_int 7);
+  check "e=15 (one full window)" (Nat.of_int 15) (Nat.of_int 7);
+  check "e=16 (window boundary)" (Nat.of_int 16) (Nat.of_int 7);
+  check "b=0" (Nat.of_int 9) Nat.zero
+
 let test_pow_known () =
   let m = Nat.of_int 1000000007 in
   Alcotest.check nat "2^10 mod p" (Nat.of_int 1024) (Modular.pow Nat.two (Nat.of_int 10) m);
@@ -650,6 +677,9 @@ let () =
           prop_pow_homomorphic;
           prop_mont_mul_matches_naive;
           prop_pow_tower;
+          prop_sqr_matches_mul;
+          prop_pow_exp_matches_pow;
+          Alcotest.test_case "pow_exp corner exponents" `Quick test_pow_exp_corners;
           Alcotest.test_case "pow known values" `Quick test_pow_known;
           Alcotest.test_case "pow even modulus" `Quick test_pow_even_modulus;
           prop_inverse;

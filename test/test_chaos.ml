@@ -160,6 +160,37 @@ let test_chaos_each_protocol seed () =
       check_results name plain r.Session.report)
     all_ops
 
+let test_chaos_streaming_parallel () =
+  (* The streaming compute/I-O pipeline with the batch engine enabled:
+     faults now land on partially-streamed frames while later chunks
+     are still being encrypted. Results and leakage shapes must match
+     the sequential fault-free baseline at every pool size. *)
+  let plain = Lazy.force baseline in
+  let profile = Lazy.force baseline_profile in
+  List.iter
+    (fun workers ->
+      let cfg =
+        Psi.Protocol.config ~workers ~domain:"chaos"
+          (Crypto.Group.named Crypto.Group.Test64)
+      in
+      let r =
+        Session.run_resilient ~resilience:chaos_resilience cfg
+          ~seed:"session-stream"
+          ~connect:(faulty_connect (chaos_plan (Printf.sprintf "stream-w%d" workers)))
+          all_ops
+      in
+      check_results
+        (Printf.sprintf "streamed under faults, workers=%d" workers)
+        plain r.Session.report;
+      List.iter
+        (fun (tag, n) ->
+          if not (shape_mem (tag, n) profile) then
+            Alcotest.failf
+              "unexpected shape under faults at workers=%d: (%s, %d)" workers tag
+              n)
+        (shapes r.Session.receiver_views))
+    [ 2; 4 ]
+
 let test_killed_then_resumed () =
   let plain = Lazy.force baseline in
   (* First connection is cut after a handful of frames — mid-session,
@@ -247,7 +278,11 @@ let () =
             (fun seed ->
               Alcotest.test_case ("each protocol alone, seed " ^ seed) `Slow
                 (test_chaos_each_protocol seed))
-            [ "1"; "2"; "3" ] );
+            [ "1"; "2"; "3" ]
+        @ [
+            Alcotest.test_case "streaming pipeline under faults" `Slow
+              test_chaos_streaming_parallel;
+          ] );
       ( "resume",
         [
           Alcotest.test_case "killed then resumed" `Quick test_killed_then_resumed;

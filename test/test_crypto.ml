@@ -157,6 +157,29 @@ let test_drbg_split_independent () =
   Alcotest.(check bool) "children differ" false
     (String.equal (Drbg.generate c1 32) (Drbg.generate c2 32))
 
+let test_drbg_fork_non_mutating () =
+  let a = Drbg.create ~seed:"s" and b = Drbg.create ~seed:"s" in
+  let _c = Drbg.fork a ~label:"child" in
+  (* Unlike [split], forking does not advance the parent stream. *)
+  Alcotest.(check string) "parent stream unchanged" (Drbg.generate b 64)
+    (Drbg.generate a 64)
+
+let test_drbg_fork_deterministic_and_separated () =
+  let mk () = Drbg.create ~seed:"s" in
+  let c1 = Drbg.fork (mk ()) ~label:"one" in
+  let c2 = Drbg.fork (mk ()) ~label:"one" in
+  Alcotest.(check string) "same label, same stream" (Drbg.generate c1 32)
+    (Drbg.generate c2 32);
+  let d1 = Drbg.fork (mk ()) ~label:"one" in
+  let d2 = Drbg.fork (mk ()) ~label:"two" in
+  Alcotest.(check bool) "labels separate domains" false
+    (String.equal (Drbg.generate d1 32) (Drbg.generate d2 32));
+  (* Fork and parent produce unrelated streams. *)
+  let p = mk () in
+  let c = Drbg.fork p ~label:"one" in
+  Alcotest.(check bool) "child differs from parent" false
+    (String.equal (Drbg.generate c 32) (Drbg.generate p 32))
+
 let test_drbg_chi_square () =
   (* Chi-square goodness of fit over byte values: 64 KiB of output, 256
      cells, expected 256 per cell. 99.9% critical value for 255 degrees
@@ -406,6 +429,51 @@ let test_h2g_domain_separation () =
        (Hash_to_group.hash_value g128 ~domain:"b" "v"))
 
 (* ------------------------------------------------------------------ *)
+(* Batch crypto over the domain pool                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* [~force:true] spawns real worker domains even on one core, so these
+   parity checks exercise actual cross-domain use of the shared
+   Montgomery context and hash machinery. *)
+let with_forced_pool size f =
+  let p = Parallel.Pool.create ~force:true size in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown p) (fun () -> f p)
+
+let test_batch_encrypt_parity () =
+  let key = Commutative.gen_key g256 ~rng:test_rng in
+  let xs = List.init 100 (fun i -> Hash_to_group.hash g256 (string_of_int i)) in
+  let expected = List.map (Commutative.encrypt g256 key) xs in
+  Alcotest.(check bool) "no pool = sequential" true
+    (List.equal Nat.equal expected (Commutative.encrypt_batch g256 key xs));
+  List.iter
+    (fun size ->
+      with_forced_pool size (fun pool ->
+          Alcotest.(check bool)
+            (Printf.sprintf "encrypt_batch pool=%d" size)
+            true
+            (List.equal Nat.equal expected
+               (Commutative.encrypt_batch ~pool g256 key xs));
+          Alcotest.(check bool)
+            (Printf.sprintf "decrypt_batch pool=%d roundtrips" size)
+            true
+            (List.equal Nat.equal xs
+               (Commutative.decrypt_batch ~pool g256 key expected))))
+    [ 1; 2; 4 ]
+
+let test_batch_hash_parity () =
+  let vs = List.init 100 string_of_int in
+  let expected = List.map (Hash_to_group.hash_value g256 ~domain:"batch") vs in
+  List.iter
+    (fun size ->
+      with_forced_pool size (fun pool ->
+          Alcotest.(check bool)
+            (Printf.sprintf "hash_batch pool=%d" size)
+            true
+            (List.equal Nat.equal expected
+               (Hash_to_group.hash_batch ~pool g256 ~domain:"batch" vs))))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Perfect cipher                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -568,6 +636,9 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_drbg_seed_sensitivity;
           Alcotest.test_case "reseed diverges" `Quick test_drbg_reseed_changes_stream;
           Alcotest.test_case "split independence" `Quick test_drbg_split_independent;
+          Alcotest.test_case "fork leaves parent intact" `Quick test_drbg_fork_non_mutating;
+          Alcotest.test_case "fork deterministic + domain-separated" `Quick
+            test_drbg_fork_deterministic_and_separated;
           Alcotest.test_case "bit balance" `Quick test_drbg_byte_balance;
           Alcotest.test_case "chi-square byte distribution" `Quick test_drbg_chi_square;
           Alcotest.test_case "serial correlation" `Quick test_drbg_serial_correlation;
@@ -592,6 +663,12 @@ let () =
           Alcotest.test_case "injectivity sample" `Quick test_encrypt_injective_sample;
           Alcotest.test_case "key validation" `Quick test_key_of_exponent_validation;
           Alcotest.test_case "double-layer peeling" `Quick test_double_encryption_decodes_in_any_order;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "encrypt/decrypt parity across pool sizes" `Quick
+            test_batch_encrypt_parity;
+          Alcotest.test_case "hash parity across pool sizes" `Quick test_batch_hash_parity;
         ] );
       ( "hash-to-group",
         [

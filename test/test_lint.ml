@@ -254,6 +254,34 @@ let test_dbg01_suppressed () =
   Alcotest.(check bool) "clean" true (Driver.clean o)
 
 (* ------------------------------------------------------------------ *)
+(* DOM01                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_dom01_fires () =
+  let o = analyze ~path:"lib/core/fixture.ml" "let d f = Domain.spawn f" in
+  check_rules "Domain.spawn" [ "DOM01" ] (new_rules o);
+  let o = analyze ~path:"bin/fixture.ml" "let r d = Domain.join d" in
+  check_rules "Domain.join in bin/" [ "DOM01" ] (new_rules o)
+
+let test_dom01_negatives () =
+  let ok path src = check_rules src [] (new_rules (analyze ~path src)) in
+  (* The pool implementation is the one place raw domains are allowed. *)
+  ok "lib/parallel/pool.ml" "let d f = Domain.spawn f";
+  (* Reading the core count is not spawning. *)
+  ok "lib/core/fixture.ml" "let n () = Domain.recommended_domain_count ()";
+  (* A constructor named Domain is not the module. *)
+  ok "lib/core/fixture.ml" "let d = Domain"
+
+let test_dom01_suppressed () =
+  let src =
+    "(* psi-lint: allow DOM01 — fixture: one-shot helper domain in a test rig *)\n\
+     let d f = Domain.spawn f"
+  in
+  let o = analyze ~path:"lib/core/fixture.ml" src in
+  check_rules "suppressed" [ "DOM01" ] (suppressed_rules o);
+  Alcotest.(check bool) "clean" true (Driver.clean o)
+
+(* ------------------------------------------------------------------ *)
 (* Annotations                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -384,6 +412,12 @@ let () =
           tc "fires" `Quick test_dbg01_fires;
           tc "negatives" `Quick test_dbg01_negatives;
           tc "suppressed" `Quick test_dbg01_suppressed;
+        ] );
+      ( "dom01",
+        [
+          tc "fires" `Quick test_dom01_fires;
+          tc "negatives" `Quick test_dom01_negatives;
+          tc "suppressed" `Quick test_dom01_suppressed;
         ] );
       ( "annotations",
         [

@@ -1,0 +1,200 @@
+(* The domain pool: parity with sequential map at every pool size,
+   deterministic chunking, exception propagation, shutdown semantics,
+   reentrancy, and concurrent use from systhreads (the wire runner
+   drives both protocol parties as threads of one domain, so pools
+   must tolerate two callers mapping at once). *)
+
+module Pool = Parallel.Pool
+
+let tc = Alcotest.test_case
+
+(* [~force:true] spawns real worker domains even on a single-core host
+   (where [create] would otherwise fall back to its sequential path),
+   so these tests always exercise the queue/worker machinery. *)
+let with_pool ?chunk size f =
+  let p = Pool.create ?chunk ~force:true size in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+(* ------------------------------------------------------------------ *)
+(* Parity and ordering                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_parity () =
+  let f x = (x * 31) lxor 5 in
+  List.iter
+    (fun size ->
+      List.iter
+        (fun n ->
+          let xs = List.init n (fun i -> i) in
+          with_pool size (fun p ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "size=%d n=%d" size n)
+                (List.map f xs) (Pool.map p f xs)))
+        [ 0; 1; 15; 16; 17; 33; 100 ])
+    [ 1; 2; 4 ]
+
+let test_map_qcheck =
+  QCheck.Test.make ~count:100 ~name:"Pool.map = List.map at every pool size"
+    QCheck.(pair (small_list small_int) (int_range 1 4))
+    (fun (xs, size) ->
+      with_pool size (fun p ->
+          Pool.map p (fun x -> x + 1) xs = List.map (fun x -> x + 1) xs))
+
+let test_map_reduce () =
+  let xs = List.init 100 (fun i -> i + 1) in
+  List.iter
+    (fun size ->
+      with_pool size (fun p ->
+          Alcotest.(check int)
+            (Printf.sprintf "sum at size=%d" size)
+            (List.fold_left ( + ) 0 xs)
+            (Pool.map_reduce p ~map:Fun.id ~combine:( + ) ~init:0 xs)))
+    [ 1; 2; 4 ];
+  with_pool 2 (fun p ->
+      Alcotest.(check int) "empty list is init" 42
+        (Pool.map_reduce p ~map:Fun.id ~combine:( + ) ~init:42 []))
+
+(* The seed derivations must run on the caller in chunk order, so a
+   stateful seed source (like a DRBG) is consumed identically at every
+   pool size. *)
+let test_map_seeded_deterministic () =
+  let run size =
+    let counter = ref 0 in
+    let seed _chunk_index =
+      incr counter;
+      !counter
+    in
+    let xs = List.init 70 (fun i -> i) in
+    let r = with_pool size (fun p -> Pool.map_seeded p ~seed (fun s x -> (s, x)) xs) in
+    (r, !counter)
+  in
+  let r1, c1 = run 1 in
+  List.iter
+    (fun size ->
+      let r, c = run size in
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "results at size=%d" size)
+        r1 r;
+      Alcotest.(check int) (Printf.sprintf "seed draws at size=%d" size) c1 c)
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Exceptions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun size ->
+      with_pool size (fun p ->
+          match Pool.map p (fun x -> if x = 37 then raise (Boom x) else x)
+                  (List.init 64 (fun i -> i))
+          with
+          | _ -> Alcotest.fail "expected Boom"
+          | exception Boom 37 -> ());
+      (* The pool survives a failed map and stays usable. *)
+      with_pool size (fun p ->
+          (try ignore (Pool.map p (fun _ -> raise Exit) [ 1; 2; 3 ]) with Exit -> ());
+          Alcotest.(check (list int)) "pool usable after failure" [ 2; 4; 6 ]
+            (Pool.map p (fun x -> 2 * x) [ 1; 2; 3 ])))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_unforced_create_degrades () =
+  (* Without [~force] a single-core host gets a sequential pool; on a
+     multicore host this is a real pool. Either way the contract holds. *)
+  let p = Pool.create 3 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      Alcotest.(check bool) "size is 3 (real) or 1 (sequential fallback)" true
+        (List.mem (Pool.size p) [ 1; 3 ]);
+      Alcotest.(check (list int)) "map" [ 0; 2; 4 ]
+        (Pool.map p (fun x -> 2 * x) [ 0; 1; 2 ]))
+
+let test_shutdown_idempotent () =
+  let p = Pool.create ~force:true 2 in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* Shutting down an already-shut pool is a no-op, using it raises. *)
+  (match Pool.map p Fun.id [ 1 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
+  | exception Invalid_argument _ -> ());
+  (* Sequential pools follow the same contract. *)
+  let s = Pool.create 1 in
+  Pool.shutdown s;
+  match Pool.map s Fun.id [ 1 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown (sequential)"
+  | exception Invalid_argument _ -> ()
+
+let test_registry_replaces_closed () =
+  let p = Pool.get 2 in
+  Pool.shutdown p;
+  let q = Pool.get 2 in
+  Alcotest.(check (list int)) "registry hands out a live pool" [ 1; 2 ]
+    (Pool.map q Fun.id [ 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Reentrancy and concurrent callers                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_nested_map_runs_inline () =
+  with_pool 2 (fun p ->
+      let r =
+        Pool.map p
+          (fun x -> List.fold_left ( + ) 0 (Pool.map p (fun y -> x * y) [ 1; 2; 3 ]))
+          (List.init 40 (fun i -> i))
+      in
+      Alcotest.(check (list int)) "nested map"
+        (List.init 40 (fun i -> 6 * i))
+        r)
+
+let test_concurrent_systhread_callers () =
+  (* Both protocol parties hammer one pool from plain threads, as the
+     in-process wire runner does. *)
+  with_pool 2 (fun p ->
+      let xs = List.init 200 (fun i -> i) in
+      let expected = List.map (fun x -> x + 7) xs in
+      let results = Array.make 4 [] in
+      let threads =
+        Array.init 4 (fun t ->
+            Thread.create
+              (fun () -> results.(t) <- Pool.map p (fun x -> x + 7) xs)
+              ())
+      in
+      Array.iter Thread.join threads;
+      Array.iteri
+        (fun t r ->
+          Alcotest.(check (list int)) (Printf.sprintf "thread %d" t) expected r)
+        results)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "map",
+        [
+          tc "parity across sizes and lengths" `Quick test_map_parity;
+          QCheck_alcotest.to_alcotest test_map_qcheck;
+          tc "map_reduce" `Quick test_map_reduce;
+          tc "map_seeded deterministic" `Quick test_map_seeded_deterministic;
+        ] );
+      ( "exceptions",
+        [ tc "propagates and pool survives" `Quick test_exception_propagates ] );
+      ( "shutdown",
+        [
+          tc "unforced create degrades gracefully" `Quick test_unforced_create_degrades;
+          tc "idempotent, use-after raises" `Quick test_shutdown_idempotent;
+          tc "registry replaces closed pools" `Quick test_registry_replaces_closed;
+        ] );
+      ( "reentrancy",
+        [
+          tc "nested map runs inline" `Quick test_nested_map_runs_inline;
+          tc "concurrent systhread callers" `Quick test_concurrent_systhread_callers;
+        ] );
+    ]

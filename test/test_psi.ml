@@ -279,6 +279,37 @@ let test_parallel_workers_validated () =
   Alcotest.check_raises "workers 0" (Invalid_argument "Protocol.config: workers >= 1")
     (fun () -> ignore (P.config ~workers:0 g64))
 
+(* Pool-size independence across all four protocols: identical results
+   AND identical leakage shapes (the full message transcripts, which the
+   streamed sends must reproduce byte-for-byte) at every pool size. *)
+let views o = (o.Runner.sender_view, o.Runner.receiver_view)
+
+let same_views (sv1, rv1) (sv2, rv2) =
+  List.equal Message.equal sv1 sv2 && List.equal Message.equal rv1 rv2
+
+let prop_pool_size_invariance =
+  qtest "protocols are pool-size invariant (results + transcripts)" ~count:10 gen_pair
+    pair_print (fun (vs, vr) ->
+      let records = List.mapi (fun i v -> (v, Printf.sprintf "%s#%d" v i)) vs in
+      let run_all workers =
+        let cfg = P.config ~workers g64 in
+        let oi = Psi.Intersection.run cfg ~seed:"pool" ~sender_values:vs ~receiver_values:vr () in
+        let oj = Psi.Equijoin.run cfg ~seed:"pool" ~sender_records:records ~receiver_values:vr () in
+        let os = Psi.Intersection_size.run cfg ~seed:"pool" ~sender_values:vs ~receiver_values:vr () in
+        let oz = Psi.Equijoin_size.run cfg ~seed:"pool" ~sender_values:vs ~receiver_values:vr () in
+        ( ( oi.Runner.receiver_result.Psi.Intersection.intersection,
+            oj.Runner.receiver_result.Psi.Equijoin.matches,
+            os.Runner.receiver_result.Psi.Intersection_size.size,
+            oz.Runner.receiver_result.Psi.Equijoin_size.join_size ),
+          [ views oi; views oj; views os; views oz ] )
+      in
+      let base_results, base_views = run_all 1 in
+      List.for_all
+        (fun workers ->
+          let results, views = run_all workers in
+          results = base_results && List.for_all2 same_views base_views views)
+        [ 2; 4 ])
+
 (* ------------------------------------------------------------------ *)
 (* Equijoin                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -1093,6 +1124,7 @@ let () =
           Alcotest.test_case "protocols agree across worker counts" `Quick
             test_parallel_protocols_same_results;
           Alcotest.test_case "worker validation" `Quick test_parallel_workers_validated;
+          prop_pool_size_invariance;
         ] );
       ( "equijoin",
         [

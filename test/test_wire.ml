@@ -431,6 +431,117 @@ let test_socket_peer_vanishes_mid_frame () =
      with Wire.Protocol_error _ -> true);
   Unix.close fd_a
 
+(* ------------------------------------------------------------------ *)
+(* Streaming sends                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A [next] that hands out [xs] in chunks of [k]. *)
+let chunked k xs =
+  let rest = ref xs in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | _ ->
+        let rec take n = function
+          | x :: tl when n > 0 ->
+              let hd, rest = take (n - 1) tl in
+              (x :: hd, rest)
+          | l -> ([], l)
+        in
+        let hd, tl = take k !rest in
+        rest := tl;
+        Some hd
+
+let test_stream_elements_byte_identical () =
+  let width = 7 in
+  let els = List.init 9 (fun i -> String.init width (fun j -> Char.chr (i + j))) in
+  let plain = Message.make ~tag:"ys" (Message.Elements els) in
+  let a, b = Channel.create () in
+  (* Uneven chunking (4+4+1) must still assemble the exact frame
+     [send a plain] would produce. *)
+  Channel.send_elements_stream a ~tag:"ys" ~width ~count:(List.length els)
+    (chunked 4 els);
+  Alcotest.check msg "streamed frame decodes to the plain message" plain
+    (Channel.recv b);
+  Alcotest.(check int) "streamed frame length = Message.size"
+    (Message.size plain)
+    (Channel.stats a).Channel.bytes_sent;
+  Alcotest.(check (list msg)) "transcript records the assembled message"
+    [ plain ] (Channel.sent a)
+
+let test_stream_pairs_byte_identical () =
+  let width = 5 in
+  let mk i c = String.init width (fun j -> Char.chr (i + j + Char.code c)) in
+  let prs = List.init 11 (fun i -> (mk i 'a', mk i 'B')) in
+  let plain = Message.make ~tag:"y-fy" (Message.Element_pairs prs) in
+  let a, b = Channel.create () in
+  Channel.send_pairs_stream a ~tag:"y-fy" ~width ~count:(List.length prs)
+    (chunked 3 prs);
+  Alcotest.check msg "streamed pairs decode to the plain message" plain
+    (Channel.recv b);
+  Alcotest.(check int) "streamed pairs frame length = Message.size"
+    (Message.size plain)
+    (Channel.stats a).Channel.bytes_sent
+
+let test_stream_header_math () =
+  (* The incremental encode writes [encode_header] then [count] fields
+     of [field_len width] bytes each; that arithmetic must agree with
+     the one-shot [encode] for every payload kind that streams. *)
+  let check ~kind ~tag ~width m =
+    let n = Message.element_count m in
+    let per_item = match kind with 0 -> 1 | _ -> 2 in
+    Alcotest.(check int)
+      (Printf.sprintf "size arithmetic (kind %d)" kind)
+      (String.length (Message.encode m))
+      (String.length (Message.encode_header ~tag ~kind ~count:(n / per_item))
+      + n * Message.field_len width)
+  in
+  let els = List.init 5 (fun _ -> String.make 4 'x') in
+  check ~kind:0 ~tag:"t" ~width:4 (Message.make ~tag:"t" (Message.Elements els));
+  let prs = List.init 6 (fun _ -> (String.make 9 'p', String.make 9 'q')) in
+  check ~kind:1 ~tag:"pairs" ~width:9
+    (Message.make ~tag:"pairs" (Message.Element_pairs prs));
+  (* field_len folds the varint length prefix in. *)
+  Alcotest.(check int) "field_len small" (1 + 4) (Message.field_len 4);
+  Alcotest.(check int) "field_len at varint boundary" (2 + 128)
+    (Message.field_len 128);
+  Alcotest.(check int) "varint_len 0" 1 (Message.varint_len 0);
+  Alcotest.(check int) "varint_len 127" 1 (Message.varint_len 127);
+  Alcotest.(check int) "varint_len 128" 2 (Message.varint_len 128)
+
+let test_stream_mismatch_rejected () =
+  let a, _b = Channel.create () in
+  Alcotest.(check bool) "wrong width rejected" true
+    (try
+       Channel.send_elements_stream a ~tag:"w" ~width:4 ~count:1
+         (chunked 1 [ "toolong" ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "short count rejected" true
+    (try
+       Channel.send_elements_stream a ~tag:"w" ~width:4 ~count:3
+         (chunked 2 [ "aaaa"; "bbbb" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_stream_over_socket () =
+  let ta, tb = Transport.Socket.pair () in
+  let a = Channel.of_transport ta and b = Channel.of_transport tb in
+  let width = 8 in
+  let els = List.init 100 (fun i -> Printf.sprintf "%08d" i) in
+  let plain = Message.make ~tag:"ys" (Message.Elements els) in
+  let got = ref None in
+  let t = Thread.create (fun () -> got := Some (Channel.recv ~timeout_s:5. b)) () in
+  Channel.send_elements_stream a ~tag:"ys" ~width ~count:(List.length els)
+    (chunked 16 els);
+  Thread.join t;
+  (match !got with
+  | Some m -> Alcotest.check msg "socket streamed frame" plain m
+  | None -> Alcotest.fail "no message received");
+  Alcotest.(check int) "socket streamed bytes = Message.size"
+    (Message.size plain)
+    (Channel.stats a).Channel.bytes_sent
+
 let fault_pair plan =
   let a, b = Transport.Memory.pair () in
   let (fa, fb), stats = Fault.wrap_pair plan (a, b) in
@@ -606,6 +717,18 @@ let () =
             test_socket_deadline_mid_frame;
           Alcotest.test_case "socket EOF mid-frame" `Quick
             test_socket_peer_vanishes_mid_frame;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "elements frame byte-identical" `Quick
+            test_stream_elements_byte_identical;
+          Alcotest.test_case "pairs frame byte-identical" `Quick
+            test_stream_pairs_byte_identical;
+          Alcotest.test_case "header/field size arithmetic" `Quick
+            test_stream_header_math;
+          Alcotest.test_case "width/count mismatch rejected" `Quick
+            test_stream_mismatch_rejected;
+          Alcotest.test_case "streamed over socket" `Quick test_stream_over_socket;
         ] );
       ( "fault",
         [

@@ -16,6 +16,7 @@ dune build
 dune runtest
 dune build @obs-smoke
 dune build @net-smoke
+dune build @par-smoke
 dune build @lint
 
 # API docs must stay warning-free; odoc is optional in minimal images.
