@@ -132,10 +132,16 @@ let speedup_rows measured =
 
 let () =
   let cores = Psi.Pool.default_jobs () in
+  let degraded = cores <= 1 in
   Printf.printf "available cores: %d%s\n%!" cores
-    (if cores <= 1 then
+    (if degraded then
        " -- the pool degrades to its sequential path; expect ~1.0x throughout"
      else "");
+  if degraded then
+    Printf.eprintf
+      "warning: only 1 core available; every pool size runs on the \
+       sequential path, so the ~1.0x speedups below measure the host, not \
+       a regression (BENCH_parallel.json records \"degraded\": true)\n%!";
   let raw = throughput () in
   let e2e = end_to_end () in
   let mem_measured =
@@ -149,6 +155,7 @@ let () =
       [
         ("group", Json.Str "test256");
         ("cores", Json.of_int cores);
+        ("degraded", Json.Bool degraded);
         ("jobs", Json.Arr (List.map Json.of_int jobs_list));
         ("throughput", Json.Arr raw);
         ("end_to_end", Json.Arr (List.map snd e2e));

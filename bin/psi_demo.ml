@@ -22,19 +22,44 @@ let group_arg =
 let seed_arg =
   Arg.(value & opt string "psi-demo" & info [ "seed" ] ~doc:"Deterministic RNG seed.")
 
+(* Validated at parse time: a pool of zero (or negative) workers is a
+   usage error, not a silent fall-through to the sequential path. *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "--jobs must be at least 1, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "--jobs expects an integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(value
-       & opt int (Psi.Pool.default_jobs ())
+       & opt jobs_conv (Psi.Pool.default_jobs ())
        & info [ "jobs" ] ~docv:"N"
            ~doc:"Worker domains for the bulk hash/encryption steps (defaults to \
-                 the machine's available cores). Results are identical at every \
-                 setting; only wall-clock changes.")
+                 the machine's available cores; minimum 1). Results are identical \
+                 at every setting; only wall-clock changes.")
 
 let trace_arg =
   Arg.(value & flag
        & info [ "trace" ]
            ~doc:"Collect telemetry during the run and print the span tree \
                  (per party and protocol phase) plus counters to stderr.")
+
+(* What the pool will actually do with the requested --jobs: Pool.create
+   degrades to the sequential path for a single worker or a single-core
+   host. Printed under --trace (stderr) so ~1x wall-clock on a 1-core
+   box is explainable rather than mistaken for a regression. *)
+let report_workers ~trace jobs =
+  if trace then begin
+    let cores = Psi.Pool.default_jobs () in
+    let effective = if jobs <= 1 || cores <= 1 then 1 else jobs in
+    Printf.eprintf "workers: requested %d, effective %d (%d core%s available)%s\n%!" jobs
+      effective cores
+      (if cores = 1 then "" else "s")
+      (if effective = 1 then " — sequential path" else "")
+  end
 
 (* Wrap a command body in span collection; the report goes to stderr so
    stdout stays pipeable. *)
@@ -59,6 +84,20 @@ let multiset_of_csv path attr =
   List.filter_map
     (fun v -> if v = Minidb.Value.Null then None else Some (Minidb.Value.key v))
     (Minidb.Table.column_values t attr)
+
+let records_of_csv path attr =
+  let t = Minidb.Csv.load path in
+  List.filter_map
+    (fun row ->
+      let v = Minidb.Table.get t row attr in
+      if v = Minidb.Value.Null then None
+      else begin
+        let payload =
+          String.concat "," (Array.to_list (Array.map Minidb.Value.to_string row))
+        in
+        Some (Minidb.Value.key v, payload)
+      end)
+    (Minidb.Table.rows t)
 
 (* ------------------------------------------------------------------ *)
 (* intersect                                                           *)
@@ -88,10 +127,78 @@ let attr_arg =
 
 let report_traffic (o_total : int) = Printf.printf "wire traffic: %d bytes\n" o_total
 
-let run_intersect group seed jobs op csv_s csv_r attr trace =
+(* --cache DIR: route the operation through Session.run_incremental so
+   repeat runs against slowly-changing CSVs only pay crypto for the
+   delta. stdout is byte-identical to what the cold path would print
+   for the same session (asserted by tools/cache_smoke.sh); the cache
+   diagnostics go to stderr behind --delta. *)
+let run_cached cfg ~seed ~keys ~dir ~delta op csv_s csv_r attr =
+  let session_op, print_result =
+    match op with
+    | Op_intersection ->
+        let vs = values_of_csv csv_s attr and vr = values_of_csv csv_r attr in
+        ( Psi.Session.Intersect { s_values = vs; r_values = vr },
+          function
+          | Psi.Session.Values inter ->
+              Printf.printf "|V_S| = %d, |V_R| = %d, |V_S ∩ V_R| = %d\n" (List.length vs)
+                (List.length vr) (List.length inter);
+              List.iter (Printf.printf "%s\n") inter
+          | _ -> failwith "psi_demo: unexpected session result shape" )
+    | Op_size ->
+        let vs = values_of_csv csv_s attr and vr = values_of_csv csv_r attr in
+        ( Psi.Session.Intersect_size { s_values = vs; r_values = vr },
+          function
+          | Psi.Session.Size sz ->
+              Printf.printf "|V_S ∩ V_R| = %d (|V_S| = %d, |V_R| = %d)\n" sz
+                (List.length vs) (List.length vr)
+          | _ -> failwith "psi_demo: unexpected session result shape" )
+    | Op_join ->
+        let records = records_of_csv csv_s attr in
+        let vr = values_of_csv csv_r attr in
+        let v_s_count =
+          List.length (List.sort_uniq String.compare (List.map fst records))
+        in
+        ( Psi.Session.Equijoin { s_records = records; r_values = vr },
+          function
+          | Psi.Session.Matches matches ->
+              List.iter
+                (fun (v, recs) ->
+                  Printf.printf "%s:\n" v;
+                  List.iter (Printf.printf "  %s\n") recs)
+                matches;
+              Printf.printf "%d joining value(s); |V_S| = %d\n" (List.length matches)
+                v_s_count
+          | _ -> failwith "psi_demo: unexpected session result shape" )
+    | Op_join_size ->
+        let vs = multiset_of_csv csv_s attr and vr = multiset_of_csv csv_r attr in
+        ( Psi.Session.Equijoin_size { s_values = vs; r_values = vr },
+          function
+          | Psi.Session.Size sz -> Printf.printf "|T_S >< T_R| = %d\n" sz
+          | _ -> failwith "psi_demo: unexpected session result shape" )
+  in
+  let r = Psi.Session.run_incremental cfg ~seed ~keys ~cache_dir:dir [ session_op ] () in
+  (match r.Psi.Session.report.Psi.Session.results with
+  | [ res ] -> print_result res
+  | _ -> failwith "psi_demo: unexpected session result count");
+  report_traffic r.Psi.Session.report.Psi.Session.total_bytes;
+  if delta then begin
+    let i = r.Psi.Session.incremental in
+    Printf.eprintf "ecache: run=%d cold=%b hits=%d misses=%d added=%d removed=%d unchanged=%d\n"
+      i.Psi.Session.run_id i.Psi.Session.cold i.Psi.Session.hits i.Psi.Session.misses
+      i.Psi.Session.added i.Psi.Session.removed i.Psi.Session.unchanged
+  end
+
+let run_intersect group seed jobs op csv_s csv_r attr cache delta fresh_keys trace =
   let cfg = Psi.Protocol.config ~workers:jobs ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
+  report_workers ~trace jobs;
   with_trace trace @@ fun () ->
-  match op with
+  match cache with
+  | Some dir ->
+      run_cached cfg ~seed
+        ~keys:(if fresh_keys then `Fresh else `Cached)
+        ~dir ~delta op csv_s csv_r attr
+  | None -> (
+      match op with
   | Op_intersection ->
       let vs = values_of_csv csv_s attr and vr = values_of_csv csv_r attr in
       let o = Psi.Intersection.run cfg ~seed ~sender_values:vs ~receiver_values:vr () in
@@ -141,14 +248,38 @@ let run_intersect group seed jobs op csv_s csv_r attr trace =
       let vs = multiset_of_csv csv_s attr and vr = multiset_of_csv csv_r attr in
       let o = Psi.Equijoin_size.run cfg ~seed ~sender_values:vs ~receiver_values:vr () in
       Printf.printf "|T_S >< T_R| = %d\n" o.Wire.Runner.receiver_result.Psi.Equijoin_size.join_size;
-      report_traffic o.Wire.Runner.total_bytes
+      report_traffic o.Wire.Runner.total_bytes)
+
+let cache_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache" ] ~docv:"DIR"
+           ~doc:"Persist per-element crypto work (and a run snapshot) under \
+                 $(docv), making repeat runs against slowly-changing tables cost \
+                 O(|delta|) crypto instead of O(n). Output is byte-identical to \
+                 a cold run; delete the directory at any time to force one.")
+
+let delta_arg =
+  Arg.(value & flag
+       & info [ "delta" ]
+           ~doc:"With --cache: print the incremental statistics (cache \
+                 hits/misses, elements added/removed since the last committed \
+                 run) to stderr.")
+
+let fresh_keys_arg =
+  Arg.(value & flag
+       & info [ "fresh-keys" ]
+           ~doc:"With --cache: rotate the commutative-encryption keys every run \
+                 instead of reusing them. Fresh keys make runs unlinkable but \
+                 invalidate all cached ciphertexts by construction — only the \
+                 key-independent hashing amortizes (see docs/PROTOCOLS.md, \
+                 \"Key reuse across runs\").")
 
 let intersect_cmd =
   let doc = "Run a private set operation between two CSV tables." in
   Cmd.v
     (Cmd.info "intersect" ~doc)
     Term.(const run_intersect $ group_arg $ seed_arg $ jobs_arg $ op_arg $ csv_s_arg
-          $ csv_r_arg $ attr_arg $ trace_arg)
+          $ csv_r_arg $ attr_arg $ cache_arg $ delta_arg $ fresh_keys_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* net: two-process mode over a real socket                            *)
@@ -158,20 +289,6 @@ let intersect_cmd =
    connecting side plays the receiver R and prints the results. Both
    run the same config handshake as in-process sessions, so mismatched
    --group/--attr fail fast instead of producing garbage. *)
-
-let records_of_csv path attr =
-  let t = Minidb.Csv.load path in
-  List.filter_map
-    (fun row ->
-      let v = Minidb.Table.get t row attr in
-      if v = Minidb.Value.Null then None
-      else begin
-        let payload =
-          String.concat "," (Array.to_list (Array.map Minidb.Value.to_string row))
-        in
-        Some (Minidb.Value.key v, payload)
-      end)
-    (Minidb.Table.rows t)
 
 let report_net_stats ep =
   let s = Wire.Channel.stats ep in
@@ -267,6 +384,7 @@ let parse_hostport s =
 
 let run_net group seed jobs listen connect csv attr op timeout trace =
   let cfg = Psi.Protocol.config ~workers:jobs ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
+  report_workers ~trace jobs;
   with_trace trace @@ fun () ->
   match (listen, connect) with
   | Some port, None ->
@@ -350,6 +468,7 @@ let gen_medical_cmd =
 let run_medical group seed jobs table_r table_s trace =
   let cfg = Psi.Protocol.config ~workers:jobs ~domain:"medical:person_id" (Crypto.Group.named group) in
   let t_r = Minidb.Csv.load table_r and t_s = Minidb.Csv.load table_s in
+  report_workers ~trace jobs;
   with_trace trace @@ fun () ->
   let report = Psi.Medical.run cfg ~seed ~t_r ~t_s () in
   let c = report.Psi.Medical.counts in

@@ -1,7 +1,8 @@
 (* CT01 — constant-time hygiene in secret-bearing modules.
 
-   Inside [lib/bignum] and [lib/crypto] the operands of a comparison may
-   be key material or blinded values, and OCaml's polymorphic
+   Inside [lib/bignum], [lib/crypto], [lib/minidb] and [lib/cache] the
+   operands of a comparison may be key material, blinded values, joined
+   attributes or cached ciphertexts, and OCaml's polymorphic
    comparisons ([Stdlib.compare], [Hashtbl.hash], structural [=] on
    boxed values) walk their operands with data-dependent early exits —
    a textbook timing side channel. The rule flags every use of a
@@ -20,7 +21,9 @@
      to the local, explicitly-written function and are skipped. *)
 
 let id = "CT01"
-let secret_dirs = [ "lib/bignum/"; "lib/crypto/" ]
+
+let secret_dirs =
+  [ "lib/bignum/"; "lib/crypto/"; "lib/minidb/"; "lib/cache/" ]
 
 (* Named functions that dispatch to the polymorphic runtime compare. *)
 let banned_paths =
@@ -105,7 +108,7 @@ let rule : Rule.t =
     id;
     summary =
       "no polymorphic compare/hash (Stdlib.compare, Hashtbl.hash, (=), min/max, \
-       List.mem/assoc) in lib/bignum or lib/crypto";
+       List.mem/assoc) in lib/bignum, lib/crypto, lib/minidb or lib/cache";
     applies = Rule.any_dir secret_dirs;
     check;
   }

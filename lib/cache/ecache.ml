@@ -1,0 +1,320 @@
+module Buf = Wire.Buf
+module Sha256 = Crypto.Sha256
+
+(* On-disk layout of <dir>/ecache.psi:
+
+     "PSIECACH" | version u8 | entry*
+     entry = u32 body_len | body | 8-byte checksum
+
+   body is Buf-framed (varint-prefixed key, then value); the checksum
+   is SHA-256 over the body, domain separated and truncated. The frame
+   length lives outside the checksum on purpose: a corrupt body is
+   skipped without losing framing, and a corrupt length (or a cut-off
+   tail) simply ends the load. Either way the damage degrades to a
+   cache miss — never to serving a wrong value. *)
+
+let magic = "PSIECACH"
+let version = 1
+let checksum_bytes = 8
+let checksum body = String.sub (Sha256.digest_concat [ "psi:ecache:v1"; body ]) 0 checksum_bytes
+let default_max_entries = 65536
+
+let c_hits = Obs.Metrics.counter "ecache.hits"
+let c_misses = Obs.Metrics.counter "ecache.misses"
+let c_puts = Obs.Metrics.counter "ecache.puts"
+let c_evictions = Obs.Metrics.counter "ecache.evictions"
+let c_corrupt = Obs.Metrics.counter "ecache.corrupt_entries"
+let c_loaded = Obs.Metrics.counter "ecache.loaded_entries"
+let c_flushes = Obs.Metrics.counter "ecache.flushes"
+
+type stats = {
+  hits : int;
+  misses : int;
+  puts : int;
+  evictions : int;
+  corrupt : int;
+  loaded : int;
+  entries : int;
+}
+
+(* Intrusive doubly-linked list for LRU order: head = most recent. *)
+type node = {
+  key : string;
+  mutable value : string;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  dir : string;
+  max_entries : int;
+  tbl : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable count : int;
+  mutable dirty : bool;
+  mutable closed : bool;
+  lock : Mutex.t;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_puts : int;
+  mutable s_evictions : int;
+  mutable s_corrupt : int;
+  mutable s_loaded : int;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let check_open t = if t.closed then invalid_arg "Ecache: cache is closed"
+
+(* The composite key concatenates the three coordinates with a
+   separator that cannot occur inside [ns] or a hex [key_fp], so
+   distinct coordinates never alias. *)
+let composite ~ns ~key_fp input = String.concat "\x00" [ ns; key_fp; input ]
+
+let unlink t n =
+  (match n.prev with None -> t.head <- n.next | Some p -> p.next <- n.next);
+  (match n.next with None -> t.tail <- n.prev | Some s -> s.prev <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let evict_over_bound t =
+  while t.count > t.max_entries do
+    match t.tail with
+    | None -> t.count <- 0
+    | Some n ->
+        unlink t n;
+        Hashtbl.remove t.tbl n.key;
+        t.count <- t.count - 1;
+        t.s_evictions <- t.s_evictions + 1;
+        Obs.Metrics.incr c_evictions
+  done
+
+(* Insert without recency bookkeeping beyond push-to-front; caller
+   holds the lock. *)
+let insert t key value =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      n.value <- value;
+      unlink t n;
+      push_front t n;
+      t.dirty <- true
+  | None ->
+      let n = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.tbl key n;
+      push_front t n;
+      t.count <- t.count + 1;
+      t.s_puts <- t.s_puts + 1;
+      Obs.Metrics.incr c_puts;
+      t.dirty <- true;
+      evict_over_bound t
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cache_file dir = Filename.concat dir "ecache.psi"
+
+let rec ensure_dir d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if not (String.equal parent d) then ensure_dir parent;
+    (* A concurrent creator winning the race is fine; any real failure
+       (permissions, name collision with a file) resurfaces at flush. *)
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | data -> Some data
+  | exception Sys_error _ -> None
+
+let corrupt t =
+  t.s_corrupt <- t.s_corrupt + 1;
+  Obs.Metrics.incr c_corrupt
+
+(* Decode one frame; [None] means the rest of the file is unusable. *)
+let load_entries t data =
+  let r = Buf.reader data in
+  let _header = Buf.read_raw r (String.length magic + 1) in
+  let continue = ref true in
+  while !continue && not (Buf.at_end r) do
+    match
+      let body_len = Buf.read_u32 r in
+      if body_len > Buf.max_chunk_bytes then raise (Buf.Parse_error "ecache: oversized entry");
+      let body = Buf.read_raw r body_len in
+      let sum = Buf.read_raw r checksum_bytes in
+      (body, sum)
+    with
+    | exception Buf.Parse_error _ ->
+        (* Truncated or unframeable tail: keep what we have. *)
+        corrupt t;
+        continue := false
+    | body, sum ->
+        if not (String.equal sum (checksum body)) then corrupt t
+        else begin
+          match
+            let br = Buf.reader body in
+            let key = Buf.read_bytes br in
+            let value = Buf.read_bytes br in
+            Buf.expect_end br;
+            (key, value)
+          with
+          | exception Buf.Parse_error _ -> corrupt t
+          | key, value ->
+              insert t key value;
+              (* [insert] counted a put; reclassify as a load. *)
+              t.s_puts <- t.s_puts - 1;
+              t.s_loaded <- t.s_loaded + 1;
+              Obs.Metrics.incr c_loaded
+        end
+  done;
+  t.dirty <- false
+
+let load t =
+  match read_file (cache_file t.dir) with
+  | None -> ()
+  | Some data ->
+      let header_len = String.length magic + 1 in
+      if String.length data < header_len then corrupt t
+      else if not (String.equal (String.sub data 0 (String.length magic)) magic) then corrupt t
+      else if Char.code data.[String.length magic] <> version then
+        (* Stale format: every lookup misses and the next flush
+           rewrites the file at the current version. *)
+        corrupt t
+      else load_entries t data
+
+let write_entry w key value =
+  let bw = Buf.writer () in
+  Buf.write_bytes bw key;
+  Buf.write_bytes bw value;
+  let body = Buf.contents bw in
+  Buf.write_u32 w (String.length body);
+  Buf.write_raw w body;
+  Buf.write_raw w (checksum body)
+
+let flush t =
+  with_lock t (fun () ->
+      if t.dirty && not t.closed then begin
+        ensure_dir t.dir;
+        let w = Buf.writer () in
+        Buf.write_raw w magic;
+        Buf.write_u8 w version;
+        (* Oldest first, so loading (which pushes to front) restores
+           the same recency order. *)
+        let rec walk = function
+          | None -> ()
+          | Some n ->
+              write_entry w n.key n.value;
+              walk n.prev
+        in
+        walk t.tail;
+        let path = cache_file t.dir in
+        let tmp = path ^ ".tmp" in
+        Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc (Buf.contents w));
+        Sys.rename tmp path;
+        t.dirty <- false;
+        Obs.Metrics.incr c_flushes
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* API                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let open_ ?(max_entries = default_max_entries) ~dir () =
+  if max_entries < 1 then invalid_arg "Ecache.open_: max_entries must be >= 1";
+  ensure_dir dir;
+  let t =
+    {
+      dir;
+      max_entries;
+      tbl = Hashtbl.create 1024;
+      head = None;
+      tail = None;
+      count = 0;
+      dirty = false;
+      closed = false;
+      lock = Mutex.create ();
+      s_hits = 0;
+      s_misses = 0;
+      s_puts = 0;
+      s_evictions = 0;
+      s_corrupt = 0;
+      s_loaded = 0;
+    }
+  in
+  with_lock t (fun () -> load t);
+  t
+
+let find t ~ns ~key_fp input =
+  with_lock t (fun () ->
+      check_open t;
+      match Hashtbl.find_opt t.tbl (composite ~ns ~key_fp input) with
+      | Some n ->
+          unlink t n;
+          push_front t n;
+          t.s_hits <- t.s_hits + 1;
+          Obs.Metrics.incr c_hits;
+          Some n.value
+      | None ->
+          t.s_misses <- t.s_misses + 1;
+          Obs.Metrics.incr c_misses;
+          None)
+
+let put t ~ns ~key_fp input output =
+  with_lock t (fun () ->
+      check_open t;
+      insert t (composite ~ns ~key_fp input) output)
+
+let warm t ?pool ~ns ~key_fp ~f inputs =
+  (* Peek without touching hit/miss stats: warm-up is provisioning.
+     Deduplicate (first occurrence wins) so [f] runs once per element,
+     and compute outside the lock so pool workers never contend on it.
+     Two racing warm-ups may both compute an element; [put] makes that
+     an idempotent overwrite with the identical value. *)
+  let seen = Hashtbl.create (Int.max 16 (List.length inputs)) in
+  let missing =
+    with_lock t (fun () ->
+        check_open t;
+        List.filter
+          (fun input ->
+            let k = composite ~ns ~key_fp input in
+            if Hashtbl.mem t.tbl k || Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.replace seen k ();
+              true
+            end)
+          inputs)
+  in
+  let outputs =
+    match pool with
+    | None -> List.map f missing
+    | Some pool -> Parallel.Pool.map pool f missing
+  in
+  List.iter2 (fun input output -> put t ~ns ~key_fp input output) missing outputs
+
+let close t =
+  flush t;
+  with_lock t (fun () -> t.closed <- true)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.s_hits;
+        misses = t.s_misses;
+        puts = t.s_puts;
+        evictions = t.s_evictions;
+        corrupt = t.s_corrupt;
+        loaded = t.s_loaded;
+        entries = t.count;
+      })
+
+let entries t = with_lock t (fun () -> t.count)

@@ -1,0 +1,105 @@
+(** Persistent, content-addressed store of per-element crypto work.
+
+    The paper's cost model (§6.1) is dominated by the [Ce·n] encryption
+    term, and both §6.2 applications re-run the same protocol
+    periodically against slowly-changing sets. This cache remembers the
+    expensive per-element results — hash-to-group outputs and
+    commutative-encryption powers — across runs, so a repeat execution
+    pays [Ce·|Δ|] instead of [Ce·n].
+
+    {2 Addressing}
+
+    Entries are keyed by [(namespace, key_fingerprint, input)] where all
+    three are opaque strings:
+    {ul
+    {- [ns] separates kinds of work (["h2g:<domain>"] for hash-to-group,
+       ["enc"] / ["dec"] for encryption and decryption);}
+    {- [key_fp] is {!Crypto.Commutative.fingerprint} for keyed work (and
+       [""] for key-independent work such as hashing), so cached
+       ciphertexts are only ever served back under the exact key that
+       produced them — a fresh key misses everything by construction;}
+    {- [input] and the stored output are wire encodings
+       ([Crypto.Group.encode_elt] or raw values), so a hit is returned
+       byte-for-byte as the cold path would have produced it.}}
+
+    {2 Durability}
+
+    [flush] writes [<dir>/ecache.psi]: a versioned magic header followed
+    by length-prefixed entries, each carrying a truncated-SHA-256
+    checksum. Loading is forgiving by design: a stale version means
+    every lookup misses, a corrupt entry is skipped, and a truncated
+    file loads up to the damage — a damaged cache degrades to recompute,
+    it {e never} serves a wrong value. Files are replaced atomically
+    (write to a temp file, then rename).
+
+    {2 Concurrency}
+
+    All operations take an internal mutex, so one cache may be shared by
+    both protocol parties (systhreads) and fed from {!Parallel.Pool}
+    workers. {!warm} computes misses outside the lock; two concurrent
+    warm-ups may duplicate work but converge to identical entries.
+
+    Telemetry (under [ecache.*], recorded when [Obs] is enabled):
+    [ecache.hits], [ecache.misses], [ecache.puts], [ecache.evictions],
+    [ecache.corrupt_entries], [ecache.loaded_entries], [ecache.flushes].
+    {!stats} is an always-on equivalent scoped to one cache instance. *)
+
+type t
+
+(** Always-on per-instance statistics (independent of [Obs] being
+    enabled — the incremental driver reports these even in untraced
+    runs). *)
+type stats = {
+  hits : int;  (** {!find} calls answered from the store *)
+  misses : int;  (** {!find} calls that found nothing *)
+  puts : int;  (** entries inserted (excluding overwrites) *)
+  evictions : int;  (** entries dropped by the LRU bound *)
+  corrupt : int;  (** skipped entries + truncations at load time *)
+  loaded : int;  (** entries restored from disk at {!open_} *)
+  entries : int;  (** current size of the store *)
+}
+
+(** [open_ ?max_entries ~dir ()] opens (creating [dir] if needed) the
+    cache persisted at [dir/ecache.psi]. A missing, foreign, stale or
+    damaged file yields an empty or partial cache, never an error.
+    [max_entries] (default [65536]) bounds the store; the least recently
+    used entry is evicted first.
+    @raise Invalid_argument if [max_entries < 1]. *)
+val open_ : ?max_entries:int -> dir:string -> unit -> t
+
+(** [find t ~ns ~key_fp input] returns the cached output, refreshing the
+    entry's recency. Counts one hit or one miss.
+    @raise Invalid_argument on a closed cache. *)
+val find : t -> ns:string -> key_fp:string -> string -> string option
+
+(** [put t ~ns ~key_fp input output] stores (or refreshes) an entry,
+    evicting from the LRU tail past [max_entries].
+    @raise Invalid_argument on a closed cache. *)
+val put : t -> ns:string -> key_fp:string -> string -> string -> unit
+
+(** [warm t ?pool ~ns ~key_fp ~f inputs] computes [f] for every input
+    not already present (deduplicated, in parallel across [pool] when
+    given) and stores the results. Peeking does not count hits or
+    misses — warm-up is provisioning, not protocol work. *)
+val warm :
+  t ->
+  ?pool:Parallel.Pool.t ->
+  ns:string ->
+  key_fp:string ->
+  f:(string -> string) ->
+  string list ->
+  unit
+
+(** [flush t] persists the store to [dir/ecache.psi] atomically (temp
+    file + rename), oldest entry first so a reload preserves recency
+    order. No-op if nothing changed since the last flush. *)
+val flush : t -> unit
+
+(** [close t] flushes and marks the cache closed; later {!find}/{!put}
+    raise [Invalid_argument]. Idempotent. *)
+val close : t -> unit
+
+val stats : t -> stats
+
+(** Number of entries currently in the store. *)
+val entries : t -> int

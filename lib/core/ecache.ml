@@ -1,0 +1,1 @@
+include Cache.Ecache

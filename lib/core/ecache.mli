@@ -1,0 +1,9 @@
+(** The persistent encrypted-set cache, re-exported from [psi.cache] so
+    protocol code and callers can say [Psi.Ecache]. [Psi.Ecache.t] {e is}
+    [Cache.Ecache.t] — the same cache plugs into {!Protocol.config} and
+    feeds {!Session.run_incremental}. See {!Cache.Ecache} for the full
+    documentation. *)
+
+include module type of struct
+  include Cache.Ecache
+end

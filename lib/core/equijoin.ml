@@ -80,18 +80,18 @@ let sender cfg ~rng ~records ep =
   let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
   (* Step 4: double-encrypt each y under e_S and e'_S, Y_R order.
      Streamed: each chunk is encrypted across the pool while the
-     previous chunk is on the wire. *)
+     previous chunk is on the wire. The counting batch helpers also
+     consult the session cache when one is configured, so a repeat run
+     only pays for changed elements. *)
   Obs.Span.with_ "encrypt-peer"
     ~attrs:[ ("n", string_of_int (List.length y_r)) ]
     (fun () ->
       Protocol.send_pairs_stream cfg ep ~tag:tag_pairs
-        ~of_chunk:
-          (Protocol.parallel_map ~workers:cfg.Protocol.workers (fun y ->
-               let x = Protocol.decode cfg y in
-               ( Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s x),
-                 Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s' x) )))
+        ~of_chunk:(fun ys ->
+          List.combine
+            (Protocol.encrypt_encoded_batch cfg ops e_s ys)
+            (Protocol.encrypt_encoded_batch cfg ops e_s' ys))
         y_r);
-  ops.Protocol.encryptions <- ops.Protocol.encryptions + (2 * List.length y_r);
   (* Step 5: for each v, ship (f_eS(h(v)), K(kappa(v), ext v)), sorted. *)
   let hashed =
     Obs.Span.with_ "hash"
@@ -102,15 +102,21 @@ let sender cfg ~rng ~records ep =
     Obs.Span.with_ "encrypt-own"
       ~attrs:[ ("n", string_of_int (List.length grouped)) ]
       (fun () ->
+        (* Both powers of each h(v) through the counting (cache-aware)
+           batch helper, then the K-cipher pass over the pool. *)
+        let hs = List.map snd hashed in
+        let key_parts = Protocol.encrypt_batch cfg ops e_s hs in
+        let kappas = Protocol.encrypt_batch cfg ops e_s' hs in
+        let tasks =
+          List.map2
+            (fun ((v, recs), key_part) kappa -> (v, recs, key_part, kappa))
+            (List.combine grouped key_parts)
+            kappas
+        in
         Protocol.parallel_map ~workers:cfg.Protocol.workers
-          (fun ((v, recs), (v', h)) ->
-            assert (String.equal v v');
-            let key_part =
-              Protocol.encode cfg (Commutative.encrypt cfg.Protocol.group e_s h)
-            in
-            let kappa = Commutative.encrypt cfg.Protocol.group e_s' h in
-            (key_part, encrypt_ext cfg ~kappa (encode_ext v recs)))
-          (List.combine grouped hashed))
+          (fun (v, recs, key_part, kappa) ->
+            (Protocol.encode cfg key_part, encrypt_ext cfg ~kappa (encode_ext v recs)))
+          tasks)
     |> fun ps ->
     Obs.Span.with_ "reorder" (fun () ->
         List.sort (fun (a, _) (b, _) -> String.compare a b) ps)
@@ -119,7 +125,6 @@ let sender cfg ~rng ~records ep =
     (fun (_, ciphertext) ->
       Obs.Metrics.observe h_ext_bytes (float_of_int (String.length ciphertext)))
     ext_pairs;
-  ops.Protocol.encryptions <- ops.Protocol.encryptions + (2 * List.length grouped);
   ops.Protocol.cipher_ops <- ops.Protocol.cipher_ops + List.length grouped;
   Channel.send ep (Message.make ~tag:tag_ext (Message.Ciphertext_pairs ext_pairs));
   { v_r_count = List.length y_r; ops }
@@ -150,18 +155,13 @@ let receiver cfg ~rng ~values ep =
       Obs.Span.with_ "encrypt-peer"
         ~attrs:[ ("n", string_of_int (List.length pairs)) ]
         (fun () ->
-          Protocol.parallel_map ~workers:cfg.Protocol.workers
-            (fun ((fes_y, fes'_y), (_, v)) ->
-              let fes_h =
-                Commutative.decrypt cfg.Protocol.group e_r (Protocol.decode cfg fes_y)
-              in
-              let kappa =
-                Commutative.decrypt cfg.Protocol.group e_r (Protocol.decode cfg fes'_y)
-              in
-              (Protocol.encode cfg fes_h, (v, kappa)))
-            (List.combine pairs encoded))
+          let fes_hs = Protocol.decrypt_encoded_batch cfg ops e_r (List.map fst pairs) in
+          let kappas = Protocol.decrypt_encoded_batch cfg ops e_r (List.map snd pairs) in
+          List.map2
+            (fun ((_, v), fes_h) kappa -> (Protocol.encode cfg fes_h, (v, kappa)))
+            (List.combine encoded fes_hs)
+            kappas)
     in
-    ops.Protocol.encryptions <- ops.Protocol.encryptions + (2 * List.length pairs);
     let index = Hashtbl.create (List.length keyed) in
     List.iter (fun (k, vk) -> Hashtbl.replace index k vk) keyed;
     (* Step 7: match S's ext pairs against our keys and decrypt. *)

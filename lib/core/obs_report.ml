@@ -91,6 +91,74 @@ let pp_speedup fmt rows =
         (opt "%.2fx" r.measured_speedup))
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Amortized cost: a warm (cached) re-run pays Ce·|Δ| instead of Ce·n. *)
+(* ------------------------------------------------------------------ *)
+
+type amortized_row = {
+  delta_fraction : float;
+  delta_s : int;
+  delta_r : int;
+  modeled_encryptions : float;
+  measured_encryptions : float option;
+  modeled_seconds : float;
+  measured_seconds : float option;
+}
+
+let amortized_row params op ~v_s ~v_r ~delta_s ~delta_r ?measured_encryptions
+    ?measured_seconds () =
+  (* Crypto scales with the delta (the §6.1 estimate evaluated at the
+     changed sizes — exactly Ce·|Δ| plus the protocol's constant
+     factors), while communication still ships the full sets: the wire
+     transcript of a warm run is byte-identical to a cold one. *)
+  let at_delta = Cost_model.estimate params op ~v_s:delta_s ~v_r:delta_r in
+  let at_full = Cost_model.estimate params op ~v_s ~v_r in
+  let total = v_s + v_r in
+  {
+    delta_fraction =
+      (if total = 0 then 0. else float_of_int (delta_s + delta_r) /. float_of_int total);
+    delta_s;
+    delta_r;
+    modeled_encryptions = at_delta.Cost_model.encryptions;
+    measured_encryptions;
+    modeled_seconds = at_delta.Cost_model.comp_seconds +. at_full.Cost_model.comm_seconds;
+    measured_seconds;
+  }
+
+let pp_amortized fmt rows =
+  Format.fprintf fmt
+    "  delta      |Δ_S|  |Δ_R|  modeled Ce·|Δ|  measured Ce  modeled wall  measured \
+     wall@\n";
+  List.iter
+    (fun r ->
+      let opt f = function Some v -> Printf.sprintf f v | None -> "-" in
+      Format.fprintf fmt "  %5.1f%%  %7d  %5d  %14.0f  %11s  %11.3fs  %13s@\n"
+        (100. *. r.delta_fraction) r.delta_s r.delta_r r.modeled_encryptions
+        (opt "%.0f" r.measured_encryptions)
+        r.modeled_seconds
+        (opt "%.3fs" r.measured_seconds))
+    rows
+
+let amortized_to_json rows =
+  let opt = function
+    | Some v -> Obs.Export.Json.of_float v
+    | None -> Obs.Export.Json.Null
+  in
+  Obs.Export.Json.Arr
+    (List.map
+       (fun r ->
+         Obs.Export.Json.Obj
+           [
+             ("delta_fraction", Obs.Export.Json.of_float r.delta_fraction);
+             ("delta_s", Obs.Export.Json.of_int r.delta_s);
+             ("delta_r", Obs.Export.Json.of_int r.delta_r);
+             ("modeled_encryptions", Obs.Export.Json.of_float r.modeled_encryptions);
+             ("measured_encryptions", opt r.measured_encryptions);
+             ("modeled_seconds", Obs.Export.Json.of_float r.modeled_seconds);
+             ("measured_seconds", opt r.measured_seconds);
+           ])
+       rows)
+
 let speedup_to_json rows =
   let opt = function
     | Some v -> Obs.Export.Json.of_float v

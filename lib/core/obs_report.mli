@@ -56,3 +56,42 @@ val speedup_table :
 
 val pp_speedup : Format.formatter -> speedup_row list -> unit
 val speedup_to_json : speedup_row list -> Obs.Export.Json.t
+
+(** {1 Amortized cost}
+
+    With the persistent element cache ({!Ecache} via
+    {!Session.run_incremental}), a repeat run against a set with [|Δ|]
+    changed elements pays the §6.1 crypto term at the delta sizes —
+    [Ce·|Δ|] — while the communication term still covers the full sets
+    (the warm transcript is byte-identical to a cold one). Each row
+    pairs that model against a measurement, e.g. from
+    [bench/incremental_bench]. *)
+
+type amortized_row = {
+  delta_fraction : float;  (** (|Δ_S| + |Δ_R|) / (|V_S| + |V_R|) *)
+  delta_s : int;
+  delta_r : int;
+  modeled_encryptions : float;  (** §6.1 encryption count at Δ sizes *)
+  measured_encryptions : float option;
+      (** the warm run's [ops.encryptions] — modexps actually paid
+          (cache hits don't tick the counter) *)
+  modeled_seconds : float;  (** comp_seconds(Δ) + comm_seconds(full) *)
+  measured_seconds : float option;
+}
+
+(** [amortized_row params op ~v_s ~v_r ~delta_s ~delta_r ()] models one
+    churn point for full sizes [(v_s, v_r)] and per-side deltas. *)
+val amortized_row :
+  Cost_model.params ->
+  Cost_model.operation ->
+  v_s:int ->
+  v_r:int ->
+  delta_s:int ->
+  delta_r:int ->
+  ?measured_encryptions:float ->
+  ?measured_seconds:float ->
+  unit ->
+  amortized_row
+
+val pp_amortized : Format.formatter -> amortized_row list -> unit
+val amortized_to_json : amortized_row list -> Obs.Export.Json.t

@@ -7,12 +7,13 @@ type config = {
   domain : string;
   cipher : Crypto.Perfect_cipher.scheme;
   workers : int;
+  ecache : Ecache.t option;
 }
 
 let config ?(domain = "default") ?(cipher = Crypto.Perfect_cipher.Stream_cipher)
-    ?(workers = 1) group =
+    ?(workers = 1) ?ecache group =
   if workers < 1 then invalid_arg "Protocol.config: workers >= 1"
-  else { group; domain; cipher; workers }
+  else { group; domain; cipher; workers; ecache }
 
 (* [pool cfg] is the shared domain pool for [cfg.workers] — [None] for
    the sequential default, which keeps single-worker runs on the exact
@@ -57,10 +58,53 @@ let record_run ~op ~v_s ~v_r ~(ops : ops) ~wire_bytes =
 
 let dedup values = List.sort_uniq String.compare values
 
+(* Bridge one (namespace, key) slice of the session's Ecache into the
+   crypto layer's closure pair. [store] fires exactly once per computed
+   miss, on the caller's thread, so threading the per-party [count]
+   callback through it keeps the ops tallies meaning "modexps actually
+   performed" — the quantity the amortized Ce·|Δ| model is validated
+   against. *)
+let elt_cache_of cache ~ns ~key_fp ~count =
+  {
+    Commutative.find = (fun s -> Ecache.find cache ~ns ~key_fp s);
+    store =
+      (fun s out ->
+        count ();
+        Ecache.put cache ~ns ~key_fp s out);
+  }
+
+(* Hash namespace: key-independent (key_fp = ""), separated per hash
+   domain so two attributes never alias. Both parties share it — h(v)
+   is the same function on either side. *)
+let h2g_ns cfg = "h2g:" ^ cfg.domain
+
+let hash_batch_cached cfg ops cache vs =
+  let ns = h2g_ns cfg in
+  let looked = List.map (fun v -> (v, Ecache.find cache ~ns ~key_fp:"" v)) vs in
+  let missing = List.filter_map (function v, None -> Some v | _, Some _ -> None) looked in
+  ops.hashes <- ops.hashes + List.length missing;
+  let computed =
+    Hash_to_group.hash_batch ?pool:(pool_of cfg) cfg.group ~domain:cfg.domain missing
+    |> List.map (fun h -> Group.encode_elt cfg.group h)
+  in
+  List.iter2 (fun v s -> Ecache.put cache ~ns ~key_fp:"" v s) missing computed;
+  let tbl = Hashtbl.create (max 1 (List.length missing)) in
+  List.iter2 (Hashtbl.replace tbl) missing computed;
+  List.map
+    (fun (v, found) ->
+      let s = match found with Some s -> s | None -> Hashtbl.find tbl v in
+      Group.decode_elt cfg.group s)
+    looked
+
 let hash_values cfg ops vs =
-  let hs = Hash_to_group.hash_batch ?pool:(pool_of cfg) cfg.group ~domain:cfg.domain vs in
+  let hs =
+    match cfg.ecache with
+    | None ->
+        ops.hashes <- ops.hashes + List.length vs;
+        Hash_to_group.hash_batch ?pool:(pool_of cfg) cfg.group ~domain:cfg.domain vs
+    | Some cache -> hash_batch_cached cfg ops cache vs
+  in
   let res = List.map2 (fun v h -> (v, h)) vs hs in
-  ops.hashes <- ops.hashes + List.length vs;
   (* §3.2.2: "a collision within V_S or V_R can be detected by the
      server at the start of each protocol by sorting the hashes". With a
      64-bit test group and millions of values this could actually fire;
@@ -83,31 +127,62 @@ let decrypt_elt cfg ops key y =
   ops.encryptions <- ops.encryptions + 1;
   Commutative.decrypt cfg.group key y
 
-let encrypt_batch cfg ops key xs =
-  let res = Commutative.encrypt_batch ?pool:(pool_of cfg) cfg.group key xs in
-  ops.encryptions <- ops.encryptions + List.length xs;
-  res
-
 let encode cfg x = Group.encode_elt cfg.group x
 let decode cfg s = Group.decode_elt cfg.group s
 
+(* Per-key encryption/decryption slices: keyed by the key fingerprint,
+   so a `Fresh exponent misses everything by construction and a cached
+   ciphertext is only ever served under the exact key that made it. *)
+let enc_cache cache ops key =
+  elt_cache_of cache ~ns:"enc"
+    ~key_fp:(Commutative.fingerprint key)
+    ~count:(fun () -> ops.encryptions <- ops.encryptions + 1)
+
+let dec_cache cache ops key =
+  elt_cache_of cache ~ns:"dec"
+    ~key_fp:(Commutative.fingerprint key)
+    ~count:(fun () -> ops.encryptions <- ops.encryptions + 1)
+
+let encrypt_batch cfg ops key xs =
+  match cfg.ecache with
+  | None ->
+      let res = Commutative.encrypt_batch ?pool:(pool_of cfg) cfg.group key xs in
+      ops.encryptions <- ops.encryptions + List.length xs;
+      res
+  | Some cache ->
+      Commutative.encrypt_batch_cached ?pool:(pool_of cfg)
+        ~cache:(enc_cache cache ops key) cfg.group key
+        (List.map (encode cfg) xs)
+      |> List.map (decode cfg)
+
 let encrypt_encoded_batch cfg ops key ss =
-  let res =
-    parallel_map ~workers:cfg.workers
-      (fun s -> encode cfg (Commutative.encrypt cfg.group key (decode cfg s)))
-      ss
-  in
-  ops.encryptions <- ops.encryptions + List.length ss;
-  res
+  match cfg.ecache with
+  | None ->
+      let res =
+        parallel_map ~workers:cfg.workers
+          (fun s -> encode cfg (Commutative.encrypt cfg.group key (decode cfg s)))
+          ss
+      in
+      ops.encryptions <- ops.encryptions + List.length ss;
+      res
+  | Some cache ->
+      Commutative.encrypt_batch_cached ?pool:(pool_of cfg)
+        ~cache:(enc_cache cache ops key) cfg.group key ss
 
 let decrypt_encoded_batch cfg ops key ss =
-  let res =
-    parallel_map ~workers:cfg.workers
-      (fun s -> Commutative.decrypt cfg.group key (decode cfg s))
-      ss
-  in
-  ops.encryptions <- ops.encryptions + List.length ss;
-  res
+  match cfg.ecache with
+  | None ->
+      let res =
+        parallel_map ~workers:cfg.workers
+          (fun s -> Commutative.decrypt cfg.group key (decode cfg s))
+          ss
+      in
+      ops.encryptions <- ops.encryptions + List.length ss;
+      res
+  | Some cache ->
+      Commutative.decrypt_batch_cached ?pool:(pool_of cfg)
+        ~cache:(dec_cache cache ops key) cfg.group key ss
+      |> List.map (decode cfg)
 
 let sort_encoded ss = List.sort String.compare ss
 

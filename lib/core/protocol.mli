@@ -23,14 +23,21 @@ type config = {
           paper's [P] processors (§6.2 assumes "encrypting the set of
           values is trivially parallelizable"); realized with OCaml 5
           domains *)
+  ecache : Ecache.t option;
+      (** persistent per-element crypto-work cache. When set, the bulk
+          hash/encrypt/decrypt helpers consult it first and only pay a
+          modexp (and tick an ops counter) for misses, making a repeat
+          run cost [Ce·|Δ|]; results are byte-identical to a cold run.
+          [None] (the default) is the exact pre-cache code path. *)
 }
 
-(** [config ?domain ?cipher ?workers group] with domain ["default"], the
-    stream cipher, and [workers = 1]. *)
+(** [config ?domain ?cipher ?workers ?ecache group] with domain
+    ["default"], the stream cipher, [workers = 1], and no cache. *)
 val config :
   ?domain:string ->
   ?cipher:Crypto.Perfect_cipher.scheme ->
   ?workers:int ->
+  ?ecache:Ecache.t ->
   Group.t ->
   config
 

@@ -40,6 +40,57 @@ type report = {
     @raise Failure on handshake or protocol errors. *)
 val run : Protocol.config -> ?seed:string -> op list -> unit -> report
 
+(** {1 Incremental sessions}
+
+    Both §6.2 applications re-run the same protocols periodically
+    against slowly-changing sets. {!run_incremental} makes the repeat
+    run cost [O(|Δ|)] crypto work instead of [O(n)]: it opens a
+    persistent {!Ecache} in [cache_dir], diffs the current element sets
+    against the snapshot committed by the previous run, executes the
+    session with the cache plugged into {!Protocol.config} (only
+    changed elements pay a modexp), and commits a new snapshot.
+    Results are byte-identical to a cold run — the cache changes the
+    compute schedule, never the transcript. *)
+
+type incremental_stats = {
+  cold : bool;
+      (** no usable previous snapshot (first run, damaged file, changed
+          operation list, or changed key policy) *)
+  added : int;  (** elements in this run missing from the snapshot *)
+  removed : int;  (** snapshot elements no longer present *)
+  unchanged : int;  (** elements in both *)
+  hits : int;  (** cache hits during this run *)
+  misses : int;  (** cache misses (≈ crypto ops actually paid) *)
+  run_id : int;  (** monotonically increasing run counter *)
+}
+
+type incremental_report = { report : report; incremental : incremental_stats }
+
+(** [run_incremental cfg ~cache_dir ops ()] is {!run} with persistent
+    amortization state in [cache_dir] ([ecache.psi] + [session.snap],
+    both created on demand and safe to delete at any time — damage
+    degrades to a cold run, never a wrong result).
+
+    [keys] is the explicit reuse-policy knob (default [`Cached]):
+    {ul
+    {- [`Cached] replays [seed] verbatim, so the session derives the
+       {e same} keys as the previous run and cached ciphertexts are
+       reusable — maximum amortization, but runs become linkable
+       through the reused [e_S] (see "Key reuse across runs" in
+       docs/PROTOCOLS.md);}
+    {- [`Fresh] folds the run counter into the seed: new keys whose
+       fingerprints miss every cached ciphertext by construction —
+       only the key-independent hash-to-group work amortizes.}} *)
+val run_incremental :
+  Protocol.config ->
+  ?seed:string ->
+  ?keys:[ `Cached | `Fresh ] ->
+  ?max_entries:int ->
+  cache_dir:string ->
+  op list ->
+  unit ->
+  incremental_report
+
 (** {1 Resilient sessions} *)
 
 (** Retry policy for {!run_resilient}. *)

@@ -3,12 +3,17 @@ module Modular = Bignum.Modular
 
 (* Keys carry the 4-bit window decomposition of both exponents,
    computed once at keygen: a batch of encryptions under one key skips
-   the per-element exponent scan. *)
+   the per-element exponent scan. The fingerprint is computed once too:
+   the persistent encrypted-set cache ([Psi.Ecache]) keys entries by it,
+   so two runs that derive the same exponent from the same Drbg seed
+   address the same cache lines, and a fresh key misses everything by
+   construction. *)
 type key = {
   e : Nat.t;
   e_inv : Nat.t;
   e_win : Modular.Mont.exponent;
   e_inv_win : Modular.Mont.exponent;
+  fp : string;
 }
 
 (* Telemetry: the §6.1 model's Ce is exactly one modexp, so these
@@ -29,6 +34,21 @@ let timed counter hist f =
   end
   else f ()
 
+let hex s =
+  String.concat "" (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+(* One-way fingerprint of the key material: SHA-256 over (p, e), domain
+   separated and truncated to 128 bits. Safe to persist in cache files
+   on the key owner's own disk — recovering [e] from it means inverting
+   SHA-256 — but it is a stable identifier, so two runs reusing one key
+   are linkable through it (the documented `Cached key-policy tradeoff). *)
+let fp_of_exponent g e =
+  let d =
+    Sha256.digest_concat
+      [ "psi:key-fp:v1"; Nat.to_bytes_be (Group.p g); Nat.to_bytes_be e ]
+  in
+  hex (String.sub d 0 16)
+
 let key_of_exponent g e =
   if Nat.is_zero e || Nat.compare e (Group.q g) >= 0 then
     invalid_arg "Commutative.key_of_exponent: exponent outside [1, q-1]"
@@ -41,11 +61,13 @@ let key_of_exponent g e =
           e_inv;
           e_win = Group.precompute_exp e;
           e_inv_win = Group.precompute_exp e_inv;
+          fp = fp_of_exponent g e;
         })
   end
 
 let gen_key g ~rng = key_of_exponent g (Group.random_exponent g ~rng)
 let exponent k = k.e
+let fingerprint k = k.fp
 
 let encrypt g k x =
   timed c_encrypts h_modexp_ns (fun () -> Group.pow_pre g x k.e_win)
@@ -66,3 +88,41 @@ let decrypt_batch ?pool g k ys =
   match pool with
   | None -> List.map (decrypt g k) ys
   | Some pool -> Parallel.Pool.map pool (decrypt g k) ys
+
+(* ------------------------------------------------------------------ *)
+(* Cache-aware front-end.                                              *)
+(*                                                                     *)
+(* The store itself lives above this library (Psi.Ecache); here it is  *)
+(* just a pair of closures over wire encodings, so the crypto layer    *)
+(* stays dependency-free. Hits cost no modexp and tick no counter —    *)
+(* the telemetry keeps meaning "modexps actually performed", which is  *)
+(* what the amortized Ce·|Δ| model is validated against.               *)
+(* ------------------------------------------------------------------ *)
+
+type elt_cache = {
+  find : string -> string option;
+  store : string -> string -> unit;
+}
+
+(* Shared shape of both directions: look every encoding up, batch the
+   misses through [f] (pooled), store and stitch back in order. A
+   duplicate input may be computed more than once — exactly like the
+   uncached batch — and deterministically maps to one output. *)
+let batch_cached g cache ~f ss =
+  let looked = List.map (fun s -> (s, cache.find s)) ss in
+  let misses =
+    List.filter_map (function s, None -> Some s | _, Some _ -> None) looked
+  in
+  let computed =
+    f (List.map (Group.decode_elt g) misses) |> List.map (Group.encode_elt g)
+  in
+  List.iter2 (fun s c -> cache.store s c) misses computed;
+  let tbl = Hashtbl.create (Int.max 1 (List.length misses)) in
+  List.iter2 (Hashtbl.replace tbl) misses computed;
+  List.map (function _, Some c -> c | s, None -> Hashtbl.find tbl s) looked
+
+let encrypt_batch_cached ?pool ~cache g k ss =
+  batch_cached g cache ~f:(encrypt_batch ?pool g k) ss
+
+let decrypt_batch_cached ?pool ~cache g k ss =
+  batch_cached g cache ~f:(decrypt_batch ?pool g k) ss

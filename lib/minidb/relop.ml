@@ -29,7 +29,7 @@ let distinct t =
           if c <> 0 then c else go (i + 1)
         end
       in
-      Stdlib.compare (Array.length a) (Array.length b)
+      Int.compare (Array.length a) (Array.length b)
       |> fun c -> if c <> 0 then c else go 0
   end) in
   Table.create (Table.schema t) (RS.elements (RS.of_list (Table.rows t)))

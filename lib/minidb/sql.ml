@@ -19,6 +19,15 @@ type query = {
 
 exception Parse_error of string
 
+let expr_equal a b =
+  match (a, b) with
+  | Col (qa, ca), Col (qb, cb) ->
+      Option.equal String.equal qa qb && String.equal ca cb
+  | Lit va, Lit vb -> Value.equal va vb
+  | (Col _ | Lit _), _ -> false
+
+let is_star = function Star -> true | Column _ | Count_star _ | Sum _ -> false
+
 (* ------------------------------------------------------------------ *)
 (* Lexer                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -144,9 +153,11 @@ let keywords =
   [ "SELECT"; "FROM"; "WHERE"; "AND"; "GROUP"; "BY"; "AS"; "JOIN"; "ON"; "COUNT"; "SUM";
     "TRUE"; "FALSE"; "NULL" ]
 
+let is_keyword s = List.exists (String.equal (String.uppercase_ascii s)) keywords
+
 let parse_ident p =
   match peek p with
-  | TIdent s when not (List.mem (String.uppercase_ascii s) keywords) ->
+  | TIdent s when not (is_keyword s) ->
       advance p;
       s
   | _ -> fail_tok p "expected identifier"
@@ -188,8 +199,7 @@ let parse_alias_opt p =
   end
   else
     match peek p with
-    | TIdent s
-      when not (List.mem (String.uppercase_ascii s) keywords) ->
+    | TIdent s when not (is_keyword s) ->
         advance p;
         Some s
     | _ -> None
@@ -479,12 +489,12 @@ let execute resolve q =
     (* Every bare column must be one of the grouped expressions. *)
     List.iter
       (function
-        | Column (e, _) when not (List.mem e q.group_by) ->
+        | Column (e, _) when not (List.exists (expr_equal e) q.group_by) ->
             invalid_arg
               (Printf.sprintf "Sql: column %s must appear in GROUP BY" (expr_to_string e))
         | Column _ | Star | Count_star _ | Sum _ -> ())
       q.select;
-    if List.mem Star q.select then invalid_arg "Sql: * not allowed with aggregates"
+    if List.exists is_star q.select then invalid_arg "Sql: * not allowed with aggregates"
     else begin
       (* Group rows by the GROUP BY key. *)
       let groups = Hashtbl.create 16 in
@@ -585,7 +595,8 @@ let execute resolve q =
     (* Plain projection. *)
     match q.select with
     | [ Star ] -> env.relation
-    | items when List.mem Star items -> invalid_arg "Sql: * must be the only select item"
+    | items when List.exists is_star items ->
+        invalid_arg "Sql: * must be the only select item"
     | items ->
         let out_schema =
           Schema.make

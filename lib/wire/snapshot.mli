@@ -1,0 +1,40 @@
+(** Committed-run snapshots for the incremental driver.
+
+    After a successful run, [Session.run_incremental] saves the input
+    sets it executed against (plus the key fingerprint it used); the
+    next run diffs its current sets against this snapshot to learn the
+    delta [Δ] and only pays crypto work for added elements.
+
+    Format: ["PSISNAP"] magic, a version byte, a Buf-framed body
+    (varint run counter, then per-operation entries of op tag, key
+    fingerprint, and both parties' element lists), and a trailing
+    FNV-1a-64 checksum. Like the element cache, damage degrades
+    safely: {!load} answers [None] for a missing, foreign, stale or
+    corrupt file, which the driver treats as "no previous run" — a
+    cold run, never a wrong diff. Snapshots live on the operator's own
+    disk; the checksum guards against accidental damage, not
+    tampering. *)
+
+type entry = {
+  op : string;  (** stable operation tag, e.g. ["intersection"] *)
+  key_fp : string;  (** fingerprint of the session's key material *)
+  s_elements : string list;  (** sender set, sorted and deduplicated *)
+  r_elements : string list;  (** receiver set, sorted and deduplicated *)
+}
+
+type t = {
+  run_id : int;  (** monotonically increasing run counter *)
+  entries : entry list;
+}
+
+val encode : t -> string
+
+(** [decode data] parses {!encode} output. All claimed lengths are
+    bounded by the input size before any allocation. *)
+val decode : string -> (t, string) result
+
+(** [save ~path t] writes atomically (temp file + rename). *)
+val save : path:string -> t -> unit
+
+(** [load ~path] is [None] when the file is missing or unusable. *)
+val load : path:string -> t option

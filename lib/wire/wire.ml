@@ -11,3 +11,4 @@ module Transport = Transport
 module Fault = Fault
 module Channel = Channel
 module Runner = Runner
+module Snapshot = Snapshot

@@ -1079,6 +1079,124 @@ let test_app_medical_ce_budget () =
     report.Psi.Medical.ops.P.encryptions
 
 (* ------------------------------------------------------------------ *)
+(* Incremental sessions: persistent cache + snapshot diffs             *)
+(* ------------------------------------------------------------------ *)
+
+let tmp_dir_counter = ref 0
+
+let fresh_cache_dir () =
+  incr tmp_dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "psi-incr-test-%d-%d" (Unix.getpid ()) !tmp_dir_counter)
+
+let session_result_equal a b =
+  match (a, b) with
+  | Psi.Session.Values x, Psi.Session.Values y -> List.equal String.equal x y
+  | Psi.Session.Size x, Psi.Session.Size y -> Int.equal x y
+  | Psi.Session.Matches x, Psi.Session.Matches y ->
+      List.equal
+        (fun (v1, r1) (v2, r2) -> String.equal v1 v2 && List.equal String.equal r1 r2)
+        x y
+  | _ -> false
+
+let all_four_ops ~r_values =
+  [
+    Psi.Session.Intersect { s_values = vs1; r_values };
+    Psi.Session.Intersect_size { s_values = vs1; r_values };
+    Psi.Session.Equijoin { s_records = records1; r_values };
+    Psi.Session.Equijoin_size { s_values = vs1; r_values };
+  ]
+
+(* The tentpole's correctness claim: a warm (cached) re-run produces
+   results identical to a cold run of the same inputs, for all four
+   protocols, with identical wire traffic. *)
+let test_incremental_identical_to_cold () =
+  let dir = fresh_cache_dir () in
+  let seed = "t:incremental" in
+  let run ops = Psi.Session.run_incremental cfg ~seed ~cache_dir:dir ops () in
+  let cold = run (all_four_ops ~r_values:vr1) in
+  Alcotest.(check bool) "first run is cold" true cold.Psi.Session.incremental.cold;
+  Alcotest.(check int) "run 1" 1 cold.Psi.Session.incremental.run_id;
+  (* Mutate the receiver set: drop "fig", add two new values. *)
+  let vr' = [ "beet"; "corn"; "grape"; "hazel"; "iris" ] in
+  let warm = run (all_four_ops ~r_values:vr') in
+  Alcotest.(check bool) "second run is warm" false warm.Psi.Session.incremental.cold;
+  Alcotest.(check int) "run 2" 2 warm.Psi.Session.incremental.run_id;
+  (* Reference: the exact same session without any cache. *)
+  let reference = Psi.Session.run cfg ~seed (all_four_ops ~r_values:vr') () in
+  Alcotest.(check bool) "results byte-identical to cold" true
+    (List.equal session_result_equal reference.Psi.Session.results
+       warm.Psi.Session.report.Psi.Session.results);
+  Alcotest.(check int) "wire traffic identical" reference.Psi.Session.total_bytes
+    warm.Psi.Session.report.Psi.Session.total_bytes
+
+(* Warm-run hit/miss counts are deterministic (unlike a cold run's,
+   where the two parties race to populate the shared hash namespace):
+   a receiver-side delta of [d] values costs exactly 3d misses on the
+   intersection — hash d, encrypt-own d, sender re-encrypt d. *)
+let test_incremental_miss_counts_match_delta () =
+  let dir = fresh_cache_dir () in
+  let seed = "t:misses" in
+  let op r_values = [ Psi.Session.Intersect { s_values = vs1; r_values } ] in
+  ignore (Psi.Session.run_incremental cfg ~seed ~cache_dir:dir (op vr1) ());
+  let vr' = [ "beet"; "corn"; "grape"; "huckle" ] in
+  let warm = Psi.Session.run_incremental cfg ~seed ~cache_dir:dir (op vr') () in
+  let i = warm.Psi.Session.incremental in
+  let n_s = 5 and n_r = 4 and d = 1 in
+  Alcotest.(check int) "added" d i.Psi.Session.added;
+  Alcotest.(check int) "removed" 1 i.Psi.Session.removed;
+  Alcotest.(check int) "unchanged" (n_s + n_r - 1) i.Psi.Session.unchanged;
+  Alcotest.(check int) "misses = 3·|Δ|" (3 * d) i.Psi.Session.misses;
+  Alcotest.(check int) "hits = 3(n_s + n_r) - 3·|Δ|"
+    ((3 * (n_s + n_r)) - (3 * d))
+    i.Psi.Session.hits;
+  (* Ce actually paid on the warm run: own-encrypt + peer re-encrypt. *)
+  Alcotest.(check int) "warm Ce = 2·|Δ|" (2 * d)
+    warm.Psi.Session.report.Psi.Session.ops.P.encryptions
+
+(* `Fresh keys miss every cached ciphertext by construction; only the
+   key-independent hashing amortizes. *)
+let test_incremental_fresh_keys_invalidate () =
+  let dir = fresh_cache_dir () in
+  let seed = "t:fresh" in
+  let op = [ Psi.Session.Intersect { s_values = vs1; r_values = vr1 } ] in
+  let run () = Psi.Session.run_incremental cfg ~seed ~keys:`Fresh ~cache_dir:dir op () in
+  ignore (run ());
+  let warm = run () in
+  let n = 5 + 4 in
+  let i = warm.Psi.Session.incremental in
+  (* Unchanged inputs, but the key policy rotated the exponents: all
+     2(n_s+n_r) encryption lookups miss, all n_s+n_r hash lookups hit. *)
+  Alcotest.(check int) "hash hits only" n i.Psi.Session.hits;
+  Alcotest.(check int) "all ciphertexts recomputed" (2 * n) i.Psi.Session.misses;
+  Alcotest.(check int) "full Ce paid" (2 * n)
+    warm.Psi.Session.report.Psi.Session.ops.P.encryptions;
+  let reference = Psi.Session.run cfg ~seed:(seed ^ "/run-2") op () in
+  Alcotest.(check bool) "results still correct" true
+    (List.equal session_result_equal reference.Psi.Session.results
+       warm.Psi.Session.report.Psi.Session.results)
+
+(* A damaged cache degrades to recompute with identical results. *)
+let test_incremental_survives_cache_damage () =
+  let dir = fresh_cache_dir () in
+  let seed = "t:damage" in
+  let op = [ Psi.Session.Intersect { s_values = vs1; r_values = vr1 } ] in
+  ignore (Psi.Session.run_incremental cfg ~seed ~cache_dir:dir op ());
+  (* Flip a byte in the middle of the cache file. *)
+  let path = Filename.concat dir "ecache.psi" in
+  let data = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+  let mid = Bytes.length data / 2 in
+  Bytes.set data mid (Char.chr (Char.code (Bytes.get data mid) lxor 0xFF));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Bytes.to_string data));
+  let warm = Psi.Session.run_incremental cfg ~seed ~cache_dir:dir op () in
+  let reference = Psi.Session.run cfg ~seed op () in
+  Alcotest.(check bool) "results unharmed" true
+    (List.equal session_result_equal reference.Psi.Session.results
+       warm.Psi.Session.report.Psi.Session.results)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "psi"
@@ -1248,6 +1366,17 @@ let () =
               in
               (* Handshake adds no encryptions; counts match a plain run. *)
               Alcotest.(check int) "Ce" (2 * (5 + 4)) report.Psi.Session.ops.P.encryptions);
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "warm run identical to cold (all four protocols)" `Quick
+            test_incremental_identical_to_cold;
+          Alcotest.test_case "miss counts match the delta" `Quick
+            test_incremental_miss_counts_match_delta;
+          Alcotest.test_case "`Fresh keys invalidate by construction" `Quick
+            test_incremental_fresh_keys_invalidate;
+          Alcotest.test_case "cache damage degrades to recompute" `Quick
+            test_incremental_survives_cache_damage;
         ] );
       ( "proof-simulators",
         [

@@ -1,0 +1,113 @@
+#!/bin/sh
+# Incremental-cache smoke test: the persistent element cache must be
+# invisible in every output and visible in every counter. For each of
+# the four protocols: run cold against a 200-row pair of tables, mutate
+# 1% of the receiver's rows (2 of 200), run warm against the same cache
+# directory, and require
+#   - the warm stdout to be byte-identical to a cold run (fresh cache
+#     directory) over the mutated tables — the cache changes the
+#     compute schedule, never the transcript;
+#   - the warm protocol results to equal the plain uncached CLI path's
+#     (which skips the session handshake, so only its wire-traffic
+#     accounting line may differ);
+#   - the warm ecache counters to match the delta exactly: 2 added,
+#     2 removed, 398 unchanged (200 sender + 198 receiver) — and for
+#     the intersection the full 3-lookups-per-element law:
+#     misses = 3*|delta| = 6, hits = 3*(200+200) - 6 = 1194.
+#
+# Usage: cache_smoke.sh path/to/psi_demo.exe
+set -eu
+
+BIN=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+{
+  echo "id:int,email:text"
+  i=1
+  while [ "$i" -le 200 ]; do
+    echo "$i,user$i@example.org"
+    i=$((i + 1))
+  done
+} > "$dir/s.csv"
+
+{
+  echo "id:int,email:text"
+  i=101
+  while [ "$i" -le 300 ]; do
+    echo "$i,user$i@example.org"
+    i=$((i + 1))
+  done
+} > "$dir/r.csv"
+
+# 1% churn: replace the receiver's last two attribute values.
+sed -e 's/^299,user299@example.org$/299,user1299@example.org/' \
+    -e 's/^300,user300@example.org$/300,user1300@example.org/' \
+    "$dir/r.csv" > "$dir/r2.csv"
+
+for op in intersection size equijoin join-size; do
+  cdir="$dir/cache-$op"
+
+  "$BIN" intersect --group test64 --op "$op" --attr email \
+    --csv-s "$dir/s.csv" --csv-r "$dir/r.csv" \
+    --cache "$cdir" --delta \
+    > "$dir/$op.cold.out" 2> "$dir/$op.cold.err"
+
+  "$BIN" intersect --group test64 --op "$op" --attr email \
+    --csv-s "$dir/s.csv" --csv-r "$dir/r2.csv" \
+    --cache "$cdir" --delta \
+    > "$dir/$op.warm.out" 2> "$dir/$op.warm.err"
+
+  # Reference 1: a cold run (fresh cache directory) over the same
+  # mutated inputs. Warm and cold must be byte-identical.
+  "$BIN" intersect --group test64 --op "$op" --attr email \
+    --csv-s "$dir/s.csv" --csv-r "$dir/r2.csv" \
+    --cache "$cdir-ref" --delta \
+    > "$dir/$op.ref.out" 2> "$dir/$op.ref.err"
+
+  if ! cmp -s "$dir/$op.warm.out" "$dir/$op.ref.out"; then
+    echo "cache_smoke: $op warm output differs from cold reference" >&2
+    diff "$dir/$op.warm.out" "$dir/$op.ref.out" >&2 || true
+    exit 1
+  fi
+
+  # Reference 2: the plain uncached CLI path over the same inputs. It
+  # runs the protocol without the session handshake, so strip the
+  # traffic-accounting line and compare the protocol results alone.
+  "$BIN" intersect --group test64 --op "$op" --attr email \
+    --csv-s "$dir/s.csv" --csv-r "$dir/r2.csv" \
+    > "$dir/$op.plain.out"
+
+  grep -v '^wire traffic' "$dir/$op.warm.out" > "$dir/$op.warm.res"
+  grep -v '^wire traffic' "$dir/$op.plain.out" > "$dir/$op.plain.res"
+  if ! cmp -s "$dir/$op.warm.res" "$dir/$op.plain.res"; then
+    echo "cache_smoke: $op warm results differ from the uncached CLI path" >&2
+    diff "$dir/$op.warm.res" "$dir/$op.plain.res" >&2 || true
+    exit 1
+  fi
+
+  if ! grep -q 'cold=false' "$dir/$op.warm.err"; then
+    echo "cache_smoke: $op warm run did not reuse the snapshot" >&2
+    cat "$dir/$op.warm.err" >&2
+    exit 1
+  fi
+
+  if ! grep -q 'added=2 removed=2 unchanged=398' "$dir/$op.warm.err"; then
+    echo "cache_smoke: $op warm delta accounting is wrong (want 2/2/398)" >&2
+    cat "$dir/$op.warm.err" >&2
+    exit 1
+  fi
+done
+
+# The intersection's warm counters obey the exact per-element law:
+# every element costs 3 lookups (hash-to-group, own encryption, partner
+# re-encryption), so a 2-element receiver delta is 6 misses and the
+# remaining 3*(200+200) - 6 = 1194 lookups all hit.
+if ! grep -q 'hits=1194 misses=6' "$dir/intersection.warm.err"; then
+  echo "cache_smoke: intersection warm counters do not match the delta" >&2
+  echo "  want: hits=1194 misses=6 (3 lookups/element, |delta|=2)" >&2
+  cat "$dir/intersection.warm.err" >&2
+  exit 1
+fi
+
+echo "cache_smoke: ok (4 ops warm == cold byte-identically; counters match |delta|)"

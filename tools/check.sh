@@ -17,6 +17,7 @@ dune runtest
 dune build @obs-smoke
 dune build @net-smoke
 dune build @par-smoke
+dune build @cache-smoke
 dune build @lint
 
 # API docs must stay warning-free; odoc is optional in minimal images.
