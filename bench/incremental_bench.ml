@@ -161,7 +161,8 @@ let () =
     (if pass then "PASS" else "FAIL");
   let json =
     Json.Obj
-      [
+      (Obs.Export.box_profile ()
+      @ [
         ("group", Json.Str "test256");
         ("n_per_side", Json.of_int n);
         ("fractions", Json.Arr (List.map Json.of_float fractions));
@@ -176,7 +177,7 @@ let () =
              ("achieved_speedup", Json.of_float achieved);
              ("pass", Json.Bool pass);
            ]);
-      ]
+      ])
   in
   let oc = open_out "BENCH_incremental.json" in
   output_string oc (Json.to_string json);

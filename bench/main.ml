@@ -225,13 +225,14 @@ let table_obs () =
   let path = "BENCH_obs.json" in
   let json =
     Obs.Export.Json.Obj
-      [
-        ("group", Obs.Export.Json.Str "test256");
-        ("n", Obs.Export.Json.of_int n);
-        ("k_bits", Obs.Export.Json.of_int k_bits);
-        ("comparisons",
-         Obs.Export.Json.Arr (List.map Obs.Report.to_json comparisons));
-      ]
+      (Obs.Export.box_profile ()
+      @ [
+          ("group", Obs.Export.Json.Str "test256");
+          ("n", Obs.Export.Json.of_int n);
+          ("k_bits", Obs.Export.Json.of_int k_bits);
+          ("comparisons",
+           Obs.Export.Json.Arr (List.map Obs.Report.to_json comparisons));
+        ])
   in
   let oc = open_out path in
   output_string oc (Obs.Export.Json.to_string json);

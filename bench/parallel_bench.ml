@@ -151,16 +151,17 @@ let () =
   in
   let rows = speedup_rows mem_measured in
   let json =
+    (* The box profile carries the cores/degraded fields (plus git rev
+       and toolchain) shared by every BENCH_*.json header. *)
     Json.Obj
-      [
+      (Obs.Export.box_profile ()
+      @ [
         ("group", Json.Str "test256");
-        ("cores", Json.of_int cores);
-        ("degraded", Json.Bool degraded);
         ("jobs", Json.Arr (List.map Json.of_int jobs_list));
         ("throughput", Json.Arr raw);
         ("end_to_end", Json.Arr (List.map snd e2e));
         ("speedup_table", Psi.Obs_report.speedup_to_json rows);
-      ]
+      ])
   in
   let oc = open_out "BENCH_parallel.json" in
   output_string oc (Json.to_string json);

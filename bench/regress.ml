@@ -1,0 +1,314 @@
+(* Perf-regression gate: compare fresh measurements against the
+   committed BENCH_*.json files and fail on regression.
+
+   Run: dune exec bench/regress.exe -- BENCH_obs.json BENCH_parallel.json \
+          BENCH_incremental.json [--inject-slowdown F]
+
+   Two kinds of checks:
+
+   - Count checks (box-independent, always run): the committed
+     BENCH_obs.json comparisons must all be within_tolerance, and a
+     fresh rerun at the committed n must reproduce the committed
+     observed Ce exactly — the protocols are deterministic, so a single
+     extra encryption is a real behaviour change, not noise — and the
+     observed wire bits within a small tolerance.
+
+   - Wall-clock checks (box-dependent): fresh single-job modexp
+     throughput vs BENCH_parallel.json's jobs=1 row, and fresh cold
+     incremental-session throughput vs BENCH_incremental.json's
+     zero-churn point, each within a slack factor (default 1.6,
+     override with PSI_BENCH_SLACK). Skipped with a warning when the
+     committed header's core count differs from this machine's — the
+     committed numbers then describe a different box.
+
+   --inject-slowdown F divides every fresh throughput by F; the gate
+   script uses it to prove the gate actually fails on a 2x regression. *)
+
+module Json = Obs.Export.Json
+
+let now_s () = Int64.to_float (Obs.Clock.now_ns ()) *. 1e-9
+
+(* ---------------- argv ---------------- *)
+
+let files, inject =
+  let files = ref [] and inject = ref 1.0 in
+  let rec parse = function
+    | [] -> ()
+    | "--inject-slowdown" :: f :: rest ->
+        (match float_of_string_opt f with
+        | Some v when v > 0. -> inject := v
+        | _ ->
+            Printf.eprintf "regress: bad --inject-slowdown %S\n" f;
+            exit 2);
+        parse rest
+    | "--inject-slowdown" :: [] ->
+        Printf.eprintf "regress: --inject-slowdown needs a factor\n";
+        exit 2
+    | arg :: rest ->
+        files := arg :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ obs; par; incr ] -> ((obs, par, incr), !inject)
+  | _ ->
+      Printf.eprintf
+        "usage: regress BENCH_obs.json BENCH_parallel.json \
+         BENCH_incremental.json [--inject-slowdown F]\n";
+      exit 2
+
+let slack =
+  match Sys.getenv_opt "PSI_BENCH_SLACK" with
+  | None -> 1.6
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some v when v >= 1.0 -> v
+      | _ ->
+          Printf.eprintf "regress: bad PSI_BENCH_SLACK %S (need >= 1.0)\n" s;
+          exit 2)
+
+(* ---------------- committed-file access ---------------- *)
+
+let load path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.of_string s with
+  | j -> j
+  | exception Json.Parse_error msg ->
+      Printf.eprintf "regress: %s: %s\n" path msg;
+      exit 2
+
+let need path what = function
+  | Some v -> v
+  | None ->
+      Printf.eprintf "regress: %s: missing %s\n" path what;
+      exit 2
+
+let get_f path j field =
+  need path field (Option.bind (Json.member field j) Json.to_f)
+
+let get_i path j field =
+  need path field (Option.bind (Json.member field j) Json.to_i)
+
+let get_arr path j field =
+  match Json.member field j with
+  | Some (Json.Arr xs) -> xs
+  | _ ->
+      Printf.eprintf "regress: %s: missing array %s\n" path field;
+      exit 2
+
+(* ---------------- check plumbing ---------------- *)
+
+let failures = ref 0
+let wall_clock_ran = ref false
+
+let check ~label ok detail =
+  Printf.printf "%s %-42s %s\n%!" (if ok then "ok  " else "FAIL") label detail;
+  if not ok then incr failures
+
+let skip ~label why = Printf.printf "skip %-42s %s\n%!" label why
+
+(* Wall-clock checks only mean something when the committed numbers come
+   from a box with the same parallelism. *)
+let cores_match path header =
+  let here = Domain.recommended_domain_count () in
+  match Option.bind (Json.member "cores" header) Json.to_i with
+  | Some c when c = here -> true
+  | Some c ->
+      skip ~label:(Filename.basename path ^ " wall-clock")
+        (Printf.sprintf "committed on a %d-core box, this one has %d" c here);
+      false
+  | None ->
+      skip ~label:(Filename.basename path ^ " wall-clock")
+        "committed file predates box-profile headers";
+      false
+
+(* ---------------- 1. committed + fresh Obs counts ---------------- *)
+
+let group = Crypto.Group.named Crypto.Group.Test256
+
+let fresh_counts n =
+  let cfg = Psi.Protocol.config ~domain:"bench-obs" group in
+  let k_bits = 8 * Crypto.Group.element_bytes group in
+  let vs, vr =
+    Psi.Workload.value_sets ~seed:"bench-obs" ~n_s:n ~n_r:n ~overlap:(n / 2)
+  in
+  let records = List.map (fun v -> (v, "record-of-" ^ v)) vs in
+  let run_op op =
+    Obs.Metrics.reset ();
+    (match op with
+    | Psi.Cost_model.Intersection ->
+        ignore (Psi.Intersection.run cfg ~sender_values:vs ~receiver_values:vr ())
+    | Psi.Cost_model.Equijoin ->
+        ignore (Psi.Equijoin.run cfg ~sender_records:records ~receiver_values:vr ())
+    | Psi.Cost_model.Intersection_size ->
+        ignore (Psi.Intersection_size.run cfg ~sender_values:vs ~receiver_values:vr ())
+    | Psi.Cost_model.Equijoin_size ->
+        ignore (Psi.Equijoin_size.run cfg ~sender_values:vs ~receiver_values:vr ()));
+    let snap = Obs.Metrics.snapshot () in
+    let params = { Psi.Cost_model.paper_params with k_bits } in
+    let c = Psi.Obs_report.model_vs_measured params op snap in
+    (c.Obs.Report.label, c.Obs.Report.observed_ce, c.Obs.Report.observed_bits)
+  in
+  Obs.Runtime.with_enabled (fun () ->
+      List.map run_op
+        [ Psi.Cost_model.Intersection; Psi.Cost_model.Equijoin;
+          Psi.Cost_model.Intersection_size; Psi.Cost_model.Equijoin_size ])
+
+let check_obs path =
+  let j = load path in
+  let n = get_i path j "n" in
+  let comparisons = get_arr path j "comparisons" in
+  List.iter
+    (fun c ->
+      let label = need path "protocol" (Option.bind (Json.member "protocol" c) Json.to_str) in
+      let ok =
+        match Json.member "within_tolerance" c with
+        | Some (Json.Bool b) -> b
+        | _ -> false
+      in
+      check ~label:("obs committed " ^ label) ok "within_tolerance")
+    comparisons;
+  let fresh = fresh_counts n in
+  List.iter
+    (fun c ->
+      let label = need path "protocol" (Option.bind (Json.member "protocol" c) Json.to_str) in
+      let committed_ce = get_f path c "observed_ce" in
+      let committed_bits = get_f path c "observed_bits" in
+      match List.find_opt (fun (l, _, _) -> String.equal l label) fresh with
+      | None -> check ~label:("obs fresh " ^ label) false "protocol not measured"
+      | Some (_, ce, bits) ->
+          check ~label:("obs fresh " ^ label ^ " Ce")
+            (Float.equal ce committed_ce)
+            (Printf.sprintf "%.0f = %.0f committed (exact)" ce committed_ce);
+          let rel =
+            if committed_bits = 0. then Float.abs bits
+            else Float.abs (bits -. committed_bits) /. committed_bits
+          in
+          check ~label:("obs fresh " ^ label ^ " bits") (rel <= 0.005)
+            (Printf.sprintf "%.0f vs %.0f committed (%.2f%%)" bits committed_bits
+               (100. *. rel)))
+    comparisons
+
+(* ---------------- 2. modexp throughput ---------------- *)
+
+let check_modexp path =
+  let j = load path in
+  if cores_match path j then begin
+    let rows = get_arr path j "throughput" in
+    let committed =
+      match
+        List.find_opt (fun r -> Option.bind (Json.member "jobs" r) Json.to_i = Some 1) rows
+      with
+      | Some r -> get_f path r "modexps_per_s"
+      | None ->
+          Printf.eprintf "regress: %s: no jobs=1 throughput row\n" path;
+          exit 2
+    in
+    let n =
+      match
+        List.find_opt (fun r -> Option.bind (Json.member "jobs" r) Json.to_i = Some 1) rows
+      with
+      | Some r -> get_i path r "modexps"
+      | None -> 500
+    in
+    let rng = Crypto.Drbg.to_rng (Crypto.Drbg.create ~seed:"regress") in
+    let key = Crypto.Commutative.gen_key group ~rng in
+    let xs = List.init n (fun _ -> Crypto.Group.random_element group ~rng) in
+    let t0 = now_s () in
+    ignore (Crypto.Commutative.encrypt_batch group key xs);
+    let dt = now_s () -. t0 in
+    let fresh = float_of_int n /. dt /. inject in
+    let floor = committed /. slack in
+    wall_clock_ran := true;
+    check ~label:"modexp throughput (jobs=1)" (fresh >= floor)
+      (Printf.sprintf "%.0f/s >= %.0f/s (committed %.0f / slack %.2f)" fresh
+         floor committed slack)
+  end
+
+(* ---------------- 3. cold incremental throughput ---------------- *)
+
+let temp_dir () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psi-regress-%d" (Unix.getpid ()))
+  in
+  (try Sys.mkdir dir 0o700 with Sys_error _ -> ());
+  dir
+
+let remove_dir dir =
+  match Sys.readdir dir with
+  | names ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        names;
+      (try Sys.rmdir dir with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let check_incremental path =
+  let j = load path in
+  if cores_match path j then begin
+    let n = get_i path j "n_per_side" in
+    let points = get_arr path j "points" in
+    let committed =
+      match
+        List.find_opt
+          (fun p -> Option.bind (Json.member "delta_fraction" p) Json.to_f = Some 0.)
+          points
+      with
+      | Some p -> get_f path p "cold_elements_per_s"
+      | None ->
+          Printf.eprintf "regress: %s: no zero-churn point\n" path;
+          exit 2
+    in
+    let dir = temp_dir () in
+    let dt =
+      Fun.protect
+        ~finally:(fun () -> remove_dir dir)
+        (fun () ->
+          let cfg = Psi.Protocol.config ~domain:"incremental-bench" group in
+          let vs, vr =
+            Psi.Workload.value_sets ~seed:"incremental-bench" ~n_s:n ~n_r:n
+              ~overlap:(n / 2)
+          in
+          let ops = [ Psi.Session.Intersect { s_values = vs; r_values = vr } ] in
+          let t0 = now_s () in
+          ignore (Psi.Session.run_incremental cfg ~cache_dir:dir ops ());
+          now_s () -. t0)
+    in
+    let fresh = float_of_int (2 * n) /. dt /. inject in
+    let floor = committed /. slack in
+    wall_clock_ran := true;
+    check ~label:"cold incremental session (el/s)" (fresh >= floor)
+      (Printf.sprintf "%.0f/s >= %.0f/s (committed %.0f / slack %.2f)" fresh
+         floor committed slack)
+  end
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let obs, par, incr = files in
+  if inject <> 1.0 then
+    Printf.printf "injecting a synthetic %.2fx slowdown into fresh measurements\n%!"
+      inject;
+  check_obs obs;
+  check_modexp par;
+  check_incremental incr;
+  if !failures > 0 then begin
+    Printf.printf "\nbench gate: %d check(s) FAILED\n%!" !failures;
+    exit 1
+  end;
+  if inject <> 1.0 && not !wall_clock_ran then begin
+    (* Injection only perturbs wall-clock measurements; if every one was
+       skipped (core-count mismatch) the injected run proves nothing.
+       Exit 3 so the gate script can tell "detected" from "not
+       exercised". *)
+    Printf.printf "\nbench gate: no wall-clock check ran; injection not exercised\n%!";
+    exit 3
+  end;
+  Printf.printf "\nbench gate: all checks passed\n%!"

@@ -150,12 +150,13 @@ let () =
 
   let json =
     Json.Obj
-      [
-        ("group", Json.Str "test64");
-        ("raw_throughput", Json.Arr raw);
-        ("session", Json.Arr [ mem_json; sock_json ]);
-        ("retry_overhead", Json.Arr retries);
-      ]
+      (Obs.Export.box_profile ()
+      @ [
+          ("group", Json.Str "test64");
+          ("raw_throughput", Json.Arr raw);
+          ("session", Json.Arr [ mem_json; sock_json ]);
+          ("retry_overhead", Json.Arr retries);
+        ])
   in
   let oc = open_out "BENCH_transport.json" in
   output_string oc (Json.to_string json);

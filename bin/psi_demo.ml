@@ -45,7 +45,18 @@ let trace_arg =
   Arg.(value & flag
        & info [ "trace" ]
            ~doc:"Collect telemetry during the run and print the span tree \
-                 (per party and protocol phase) plus counters to stderr.")
+                 (per party and protocol phase) plus counters to stderr. Also \
+                 installs the flight recorder: the last telemetry events are \
+                 dumped to stderr on a fatal exception or SIGUSR1.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write this run's telemetry to $(docv) as JSONL: a versioned \
+                 trace header (handshake-derived trace_id and party), the span \
+                 events, and the final counter snapshot. Feed both parties' \
+                 files to psi_trace to merge them into one timeline. Implies \
+                 telemetry collection even without --trace.")
 
 (* What the pool will actually do with the requested --jobs: Pool.create
    degrades to the sequential path for a single worker or a single-core
@@ -62,16 +73,45 @@ let report_workers ~trace jobs =
   end
 
 (* Wrap a command body in span collection; the report goes to stderr so
-   stdout stays pipeable. *)
-let with_trace trace f =
-  if not trace then f ()
+   stdout stays pipeable. With [out] set, the run's telemetry (header +
+   spans + counters) is also written as JSONL for psi_trace. While
+   tracing, a flight recorder rides along: its recent-event window is
+   dumped to stderr if the run dies (or on SIGUSR1). *)
+let with_trace ?out trace f =
+  if (not trace) && out = None then f ()
   else begin
-    let r, roots, snapshot = Obs.trace f in
-    Format.eprintf "@.== span tree ==@.%a" Obs.Export.pp_tree roots;
-    Format.eprintf "@.== counters ==@.";
-    List.iter
-      (fun (name, v) -> Format.eprintf "%-40s %d@." name v)
-      snapshot.Obs.Metrics.counters;
+    Obs.Context.clear ();
+    Obs.Ring.install ();
+    Obs.Ring.set_sink
+      (Some (fun events -> prerr_string (Format.asprintf "%a" Obs.Ring.pp events)));
+    Obs.Ring.install_signal Sys.sigusr1;
+    let r, roots, snapshot =
+      match Obs.trace f with
+      | v -> v
+      | exception e ->
+          Obs.Ring.trip "psi_demo: fatal exception";
+          Obs.Ring.uninstall ();
+          raise e
+    in
+    Obs.Ring.uninstall ();
+    (match out with
+    | None -> ()
+    | Some path ->
+        let events =
+          (match Obs.Export.trace_header () with Some h -> [ h ] | None -> [])
+          @ Obs.Export.span_events roots
+          @ Obs.Export.snapshot_events snapshot
+        in
+        let oc = open_out path in
+        output_string oc (Obs.Export.jsonl events);
+        close_out oc);
+    if trace then begin
+      Format.eprintf "@.== span tree ==@.%a" Obs.Export.pp_tree roots;
+      Format.eprintf "@.== counters ==@.";
+      List.iter
+        (fun (name, v) -> Format.eprintf "%-40s %d@." name v)
+        snapshot.Obs.Metrics.counters
+    end;
     r
   end
 
@@ -188,10 +228,11 @@ let run_cached cfg ~seed ~keys ~dir ~delta op csv_s csv_r attr =
       i.Psi.Session.added i.Psi.Session.removed i.Psi.Session.unchanged
   end
 
-let run_intersect group seed jobs op csv_s csv_r attr cache delta fresh_keys trace =
+let run_intersect group seed jobs op csv_s csv_r attr cache delta fresh_keys trace
+    trace_out =
   let cfg = Psi.Protocol.config ~workers:jobs ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
   report_workers ~trace jobs;
-  with_trace trace @@ fun () ->
+  with_trace ?out:trace_out trace @@ fun () ->
   match cache with
   | Some dir ->
       run_cached cfg ~seed
@@ -279,7 +320,8 @@ let intersect_cmd =
   Cmd.v
     (Cmd.info "intersect" ~doc)
     Term.(const run_intersect $ group_arg $ seed_arg $ jobs_arg $ op_arg $ csv_s_arg
-          $ csv_r_arg $ attr_arg $ cache_arg $ delta_arg $ fresh_keys_arg $ trace_arg)
+          $ csv_r_arg $ attr_arg $ cache_arg $ delta_arg $ fresh_keys_arg $ trace_arg
+          $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* net: two-process mode over a real socket                            *)
@@ -300,6 +342,9 @@ let report_net_stats ep =
     s.Wire.Channel.max_message_bytes
 
 let net_sender cfg ~seed ~csv ~attr ~op ep =
+  (* Same root-span name as the in-process Runner gives this party, so
+     psi_trace sees one shape for both deployments. *)
+  Obs.Span.with_ "party:sender" @@ fun () ->
   let rng = Crypto.Drbg.to_rng (Crypto.Drbg.split (Crypto.Drbg.create ~seed) ~label:"sender") in
   Psi.Handshake.respond cfg ep;
   (match op with
@@ -325,6 +370,7 @@ let net_sender cfg ~seed ~csv ~attr ~op ep =
         (List.length r.Psi.Equijoin_size.r_duplicate_distribution))
 
 let net_receiver cfg ~seed ~csv ~attr ~op ep =
+  Obs.Span.with_ "party:receiver" @@ fun () ->
   let rng =
     Crypto.Drbg.to_rng (Crypto.Drbg.split (Crypto.Drbg.create ~seed) ~label:"receiver")
   in
@@ -382,10 +428,10 @@ let parse_hostport s =
       | Some p -> ("127.0.0.1", p)
       | None -> invalid_arg (Printf.sprintf "net: expected HOST:PORT, got %S" s))
 
-let run_net group seed jobs listen connect csv attr op timeout trace =
+let run_net group seed jobs listen connect csv attr op timeout trace trace_out =
   let cfg = Psi.Protocol.config ~workers:jobs ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
   report_workers ~trace jobs;
-  with_trace trace @@ fun () ->
+  with_trace ?out:trace_out trace @@ fun () ->
   match (listen, connect) with
   | Some port, None ->
       let lfd, bound = Wire.Transport.Socket.listen ~port () in
@@ -441,7 +487,7 @@ let net_cmd =
            `P "Terminal 2: psi_demo net --connect 127.0.0.1:7001 --csv r.csv --attr email";
          ])
     Term.(const run_net $ group_arg $ seed_arg $ jobs_arg $ listen $ connect $ csv
-          $ attr_arg $ op_arg $ timeout $ trace_arg)
+          $ attr_arg $ op_arg $ timeout $ trace_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen-medical / medical                                               *)

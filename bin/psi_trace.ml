@@ -1,0 +1,70 @@
+(* Cross-party trace analyzer: merge the JSONL files both parties of a
+   protocol run wrote (psi_demo --trace-out) into one timeline.
+
+   Usage:
+     psi_trace a.jsonl b.jsonl [--chrome trace.json]
+
+   Joins the files on the handshake-derived trace id, aligns the two
+   clocks on the handshake span, and prints trace/party/orphan tallies,
+   the critical path, a compute-vs-wire-wait breakdown per protocol
+   step, pool/ecache counter attribution, and the per-key leakage
+   ledger. --chrome additionally writes a Chrome trace-event file that
+   loads in Perfetto (ui.perfetto.dev) or chrome://tracing. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run files chrome_out =
+  if files = [] then begin
+    Printf.eprintf "psi_trace: pass at least one JSONL trace file\n";
+    exit 2
+  end;
+  let merged =
+    match Obs.Merge.of_files (List.map (fun f -> (f, read_file f)) files) with
+    | m -> m
+    | exception Obs.Export.Parse_error msg ->
+        Printf.eprintf "psi_trace: malformed trace: %s\n" msg;
+        exit 1
+    | exception Sys_error msg ->
+        Printf.eprintf "psi_trace: %s\n" msg;
+        exit 1
+  in
+  Format.printf "%a@?" Obs.Merge.pp_summary merged;
+  match chrome_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Merge.chrome merged);
+      close_out oc;
+      Printf.printf "chrome trace: %s (load in ui.perfetto.dev)\n" path
+
+let files_arg =
+  Arg.(value & pos_all file []
+       & info [] ~docv:"FILE"
+           ~doc:"JSONL trace files, one per party (psi_demo --trace-out).")
+
+let chrome_arg =
+  Arg.(value & opt (some string) None
+       & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"Also write the merged timeline as a Chrome trace-event file \
+                 loadable in Perfetto or chrome://tracing.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "psi_trace" ~version:"1.0.0"
+       ~doc:"Merge per-party telemetry JSONL into one cross-party timeline."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "psi_demo net --listen 0 --csv s.csv --trace-out s.jsonl &";
+           `P "psi_demo net --connect 127.0.0.1:PORT --csv r.csv --trace-out r.jsonl";
+           `P "psi_trace s.jsonl r.jsonl --chrome trace.json";
+         ])
+    Term.(const run $ files_arg $ chrome_arg)
+
+let () = exit (Cmd.eval cmd)

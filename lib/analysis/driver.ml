@@ -21,7 +21,7 @@ type outcome = {
 let rules : Rule.t list =
   [
     Rules_ct.rule; Rules_rng.rule; Rules_exn.rule; Rules_wire.rule; Rules_dbg.rule;
-    Rules_dom.rule;
+    Rules_dom.rule; Rules_obs.rule;
   ]
 
 let rule_ids = List.map (fun (r : Rule.t) -> r.id) rules

@@ -186,6 +186,21 @@ let run_incremental cfg ?(seed = "session") ?(keys = `Cached) ?max_entries ~cach
   let before = Ecache.stats cache in
   let report = run { cfg with Protocol.ecache = Some cache } ~seed:effective_seed operations () in
   let after = Ecache.stats cache in
+  (* Leakage ledger: cumulative exposure per key fingerprint. Each run
+     reveals its newly-processed elements ([added] — everything on a
+     cold run) under [key_fp]; with `Cached keys the same fingerprint
+     accrues across runs (runs stay linkable through reused keys),
+     while `Fresh lands every run on a new fingerprint. psi_trace
+     renders these counters as the per-key ledger. *)
+  let fp12 = String.sub key_fp 0 12 in
+  Obs.Metrics.incr (Obs.Metrics.counter ("leakage.key." ^ fp12 ^ ".runs"));
+  Obs.Metrics.incr ~by:added
+    (Obs.Metrics.counter ("leakage.key." ^ fp12 ^ ".elements"));
+  Obs.Metrics.incr
+    (Obs.Metrics.counter
+       (match keys with
+       | `Cached -> "leakage.cached_key_runs"
+       | `Fresh -> "leakage.fresh_key_runs"));
   Wire.Snapshot.save ~path
     {
       Wire.Snapshot.run_id;
@@ -280,7 +295,9 @@ let run_resilient ?(resilience = default_resilience) cfg ?(seed = "session")
   let replay i done_count =
     if i < done_count then begin
       incr replays;
-      Obs.Metrics.incr m_replays
+      Obs.Metrics.incr m_replays;
+      if Obs.Ring.active () then
+        Obs.Ring.note (Printf.sprintf "session: replaying op %d" i)
     end
   in
   let rec attempt () =
@@ -335,13 +352,25 @@ let run_resilient ?(resilience = default_resilience) cfg ?(seed = "session")
     | exception e when transient e ->
         finish ();
         Obs.Metrics.incr m_retries;
-        if !attempts >= resilience.max_attempts then raise e;
+        (* Flight-recorder trail: every retry/reconnect leaves a note;
+           exhausting the budget trips the ring so the sink preserves
+           the whole window around the failure. *)
+        if Obs.Ring.active () then
+          Obs.Ring.note
+            (Printf.sprintf "session: attempt %d/%d failed: %s" a
+               resilience.max_attempts (Printexc.to_string e));
+        if !attempts >= resilience.max_attempts then begin
+          Obs.Ring.trip "session: retry budget exhausted";
+          raise e
+        end;
         let backoff =
           Float.min resilience.max_backoff_s
             (resilience.backoff_s *. (2. ** float_of_int (a - 1)))
         in
         if backoff > 0. then Thread.delay backoff;
         Obs.Metrics.incr m_reconnects;
+        if Obs.Ring.active () then
+          Obs.Ring.note (Printf.sprintf "session: reconnecting (attempt %d)" (a + 1));
         attempt ()
   in
   attempt ();

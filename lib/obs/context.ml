@@ -1,0 +1,42 @@
+(* Ambient trace identity shared by both halves of a protocol run.
+
+   The trace id is process-wide (two parties in one process — the
+   in-process Runner — share one run and therefore one id); the party
+   label is per-thread, because that same in-process run executes the
+   sender and receiver on different threads. Neither is ever sent on
+   the wire: both sides derive the same id from handshake material they
+   already exchange, so transcripts stay byte-identical. *)
+
+let trace_id_cell : string option Atomic.t = Atomic.make None
+let mutex = Mutex.create ()
+let parties : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let set_trace_id id = Atomic.set trace_id_cell (Some id)
+let trace_id () = Atomic.get trace_id_cell
+
+let set_party label =
+  Mutex.lock mutex;
+  Hashtbl.replace parties (Thread.id (Thread.self ())) label;
+  Mutex.unlock mutex
+
+let party () =
+  Mutex.lock mutex;
+  let r = Hashtbl.find_opt parties (Thread.id (Thread.self ())) in
+  Mutex.unlock mutex;
+  r
+
+let clear () =
+  Atomic.set trace_id_cell None;
+  Mutex.lock mutex;
+  Hashtbl.reset parties;
+  Mutex.unlock mutex
+
+let trace_id_attr = "trace_id"
+let party_attr = "party"
+
+let stamp attrs =
+  let add k v attrs = if List.mem_assoc k attrs then attrs else (k, v) :: attrs in
+  let attrs =
+    match party () with None -> attrs | Some p -> add party_attr p attrs
+  in
+  match trace_id () with None -> attrs | Some t -> add trace_id_attr t attrs

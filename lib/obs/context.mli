@@ -1,0 +1,35 @@
+(** Ambient trace identity: a process-wide [trace_id] and a per-thread
+    party label.
+
+    Both are set by [Core.Handshake] once the config fingerprints have
+    been exchanged — the id is derived from handshake material both
+    sides already hold, so no extra bytes ride on the wire and protocol
+    transcripts stay byte-identical whether tracing is on or off.
+
+    {!Span} stamps finished root spans with the current context (attrs
+    [trace_id] and [party]), and the JSONL trace header carries the same
+    pair, which is what lets [psi_trace] join the two parties' files. *)
+
+(** [set_trace_id id] installs the process-wide trace id. *)
+val set_trace_id : string -> unit
+
+val trace_id : unit -> string option
+
+(** [set_party label] tags the calling thread (conventionally ["S"] for
+    the sender/responder and ["R"] for the receiver/initiator). *)
+val set_party : string -> unit
+
+(** The calling thread's party label, if set. *)
+val party : unit -> string option
+
+(** Forget the trace id and all party labels. *)
+val clear : unit -> unit
+
+(** Attr keys used when stamping spans: ["trace_id"] and ["party"]. *)
+val trace_id_attr : string
+
+val party_attr : string
+
+(** [stamp attrs] prepends the current context as attrs (existing keys
+    win; nothing is added for unset context). *)
+val stamp : (string * string) list -> (string * string) list

@@ -132,11 +132,32 @@ module Json = struct
                 | 'u' ->
                     if !pos + 4 > len then fail "bad \\u escape"
                     else begin
-                      let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+                      let hex_digit c =
+                        match c with
+                        | '0' .. '9' -> Char.code c - Char.code '0'
+                        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                        | _ -> fail "bad \\u escape"
+                      in
+                      let code =
+                        let d k = hex_digit s.[!pos + k] in
+                        (d 0 lsl 12) lor (d 1 lsl 8) lor (d 2 lsl 4) lor d 3
+                      in
                       pos := !pos + 4;
-                      (* ASCII range only — all we ever emit. *)
-                      if code < 0x80 then Buffer.add_char b (Char.chr code)
-                      else fail "non-ASCII \\u escape unsupported";
+                      if code >= 0xD800 && code <= 0xDFFF then
+                        fail "surrogate \\u escape unsupported"
+                      else if code < 0x80 then Buffer.add_char b (Char.chr code)
+                      else if code < 0x800 then begin
+                        (* Re-encode as UTF-8 (we emit raw bytes, but
+                           accept what other writers produce). *)
+                        Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                      end
+                      else begin
+                        Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                      end;
                       go ()
                     end
                 | _ -> fail "bad escape"
@@ -250,6 +271,7 @@ type span_event = {
 }
 
 type event =
+  | Header_event of { version : int; trace_id : string; party : string }
   | Span_event of span_event
   | Counter_event of { name : string; value : int }
   | Gauge_event of { name : string; value : float }
@@ -260,6 +282,23 @@ type event =
       max_value : float;
       buckets : (float * int) list;
     }
+
+(* The trace header is the first JSONL line of a traced run: stream
+   format version plus the handshake-derived identity. Bump the version
+   when the line set or semantics change. *)
+let trace_header_version = 1
+
+let trace_header () =
+  match Context.trace_id () with
+  | None -> None
+  | Some trace_id ->
+      Some
+        (Header_event
+           {
+             version = trace_header_version;
+             trace_id;
+             party = Option.value ~default:"" (Context.party ());
+           })
 
 let span_events roots =
   let next = ref 0 in
@@ -303,6 +342,14 @@ let snapshot_events (s : Metrics.snapshot) =
 (* ------------------------------------------------------------------ *)
 
 let json_of_event = function
+  | Header_event e ->
+      Json.Obj
+        [
+          ("type", Json.Str "trace_header");
+          ("version", Json.of_int e.version);
+          ("trace_id", Json.Str e.trace_id);
+          ("party", Json.Str e.party);
+        ]
   | Span_event e ->
       Json.Obj
         ([ ("type", Json.Str "span"); ("id", Json.of_int e.id) ]
@@ -353,6 +400,13 @@ let get_exn what = function
 let event_of_json j =
   let field name conv = Option.bind (Json.member name j) conv in
   match get_exn "type" (field "type" Json.to_str) with
+  | "trace_header" ->
+      Header_event
+        {
+          version = get_exn "version" (field "version" Json.to_i);
+          trace_id = get_exn "trace_id" (field "trace_id" Json.to_str);
+          party = get_exn "party" (field "party" Json.to_str);
+        }
   | "span" ->
       let attrs =
         match Json.member "attrs" j with
@@ -507,3 +561,78 @@ let prometheus (s : Metrics.snapshot) =
       Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.Metrics.count))
     s.Metrics.histograms;
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event format (Perfetto / chrome://tracing)             *)
+(* ------------------------------------------------------------------ *)
+
+let chrome_trace parties =
+  (* Microseconds with nanosecond precision, as the format expects. *)
+  let us ns = Json.Num (Printf.sprintf "%.3f" (Int64.to_float ns /. 1000.)) in
+  let events =
+    List.concat
+      (List.mapi
+         (fun i (party_label, evs) ->
+           let pid = i + 1 in
+           let meta =
+             Json.Obj
+               [
+                 ("ph", Json.Str "M");
+                 ("pid", Json.of_int pid);
+                 ("name", Json.Str "process_name");
+                 ("args", Json.Obj [ ("name", Json.Str party_label) ]);
+               ]
+           in
+           meta
+           :: List.filter_map
+                (function
+                  | Span_event e ->
+                      Some
+                        (Json.Obj
+                           [
+                             ("name", Json.Str e.name);
+                             ("cat", Json.Str "psi");
+                             ("ph", Json.Str "X");
+                             ("ts", us e.start_ns);
+                             ("dur", us e.dur_ns);
+                             ("pid", Json.of_int pid);
+                             ("tid", Json.of_int e.thread);
+                             ( "args",
+                               Json.Obj
+                                 (List.map (fun (k, v) -> (k, Json.Str v)) e.attrs)
+                             );
+                           ])
+                  | _ -> None)
+                evs)
+         parties)
+  in
+  Json.to_string
+    (Json.Obj
+       [ ("traceEvents", Json.Arr events); ("displayTimeUnit", Json.Str "ms") ])
+
+(* ------------------------------------------------------------------ *)
+(* Box profile for bench reports                                       *)
+(* ------------------------------------------------------------------ *)
+
+let git_rev () =
+  let read () =
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = match input_line ic with l -> l | exception End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  in
+  match read () with
+  | rev -> rev
+  | exception (Unix.Unix_error _ | Sys_error _) -> "unknown"
+
+let box_profile () =
+  let cores = Domain.recommended_domain_count () in
+  [
+    ("cores", Json.of_int cores);
+    ("degraded", Json.Bool (cores <= 1));
+    ("os_type", Json.Str Sys.os_type);
+    ("word_size", Json.of_int Sys.word_size);
+    ("ocaml_version", Json.Str Sys.ocaml_version);
+    ("git_rev", Json.Str (git_rev ()));
+  ]

@@ -45,8 +45,11 @@ type span_event = {
 }
 
 (** One JSONL line each. Span events are emitted pre-order with integer
-    ids, children referencing their parent. *)
+    ids, children referencing their parent. A [Header_event] — the
+    first line of a traced run's stream — carries the stream version
+    and the handshake-derived trace identity. *)
 type event =
+  | Header_event of { version : int; trace_id : string; party : string }
   | Span_event of span_event
   | Counter_event of { name : string; value : int }
   | Gauge_event of { name : string; value : float }
@@ -57,6 +60,13 @@ type event =
       max_value : float;
       buckets : (float * int) list;  (** only non-empty buckets *)
     }
+
+(** Current trace-header stream version. *)
+val trace_header_version : int
+
+(** [trace_header ()] is the header event for the ambient {!Context},
+    or [None] when no trace id has been established. *)
+val trace_header : unit -> event option
 
 (** [span_events roots] flattens span trees to events, pre-order. *)
 val span_events : Span.t list -> event list
@@ -83,3 +93,19 @@ val pp_tree : Format.formatter -> Span.t list -> unit
 (** [prometheus snapshot] is the text exposition format: counters,
     gauges, and histograms with cumulative [le] buckets. *)
 val prometheus : Metrics.snapshot -> string
+
+(** [chrome_trace parties] renders one Chrome trace-event JSON document
+    (loadable in Perfetto / [chrome://tracing]) from per-party event
+    lists: each [(label, events)] becomes one process named [label];
+    span events become ["ph":"X"] duration slices (timestamps in µs).
+    Callers align clocks first — timestamps are used as given. *)
+val chrome_trace : (string * event list) list -> string
+
+(** [git_rev ()] is the short git revision of the working tree, or
+    ["unknown"] outside a checkout. *)
+val git_rev : unit -> string
+
+(** [box_profile ()] is a hostname-free description of the machine for
+    bench report headers: [cores], [degraded] (single-core box),
+    [os_type], [word_size], [ocaml_version], [git_rev]. *)
+val box_profile : unit -> (string * Json.t) list

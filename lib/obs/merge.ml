@@ -1,0 +1,343 @@
+(* Joining two parties' JSONL streams into one timeline.
+
+   Each side of a protocol run exports its own JSONL file (trace header
+   + span events + metric snapshot). This module joins them on the
+   handshake-derived trace id, aligns the two clocks using the
+   handshake span — both sides bracket the same config-fingerprint
+   exchange, so the midpoints of their handshake spans mark (nearly)
+   the same instant — and derives the cross-party views the psi_trace
+   CLI reports: critical path, compute vs. wire-wait per protocol
+   step, pool/ecache counter attribution, and the per-key leakage
+   ledger. *)
+
+type party = {
+  p_label : string;
+  p_source : string;
+  p_trace_id : string option;
+  p_version : int option;
+  p_offset_ns : int64; (* clock shift applied, relative to the reference *)
+  p_events : Export.event list; (* span times already shifted *)
+  p_spans : Span.t list;
+  p_orphans : int;
+}
+
+type step = {
+  s_party : string;
+  s_path : string;
+  s_total_ns : int64;
+  s_wire_ns : int64; (* wire/recv + wire/send descendants *)
+}
+
+type t = {
+  traces : string list; (* distinct trace ids, first-seen order *)
+  parties : party list;
+  steps : step list;
+  critical : (string * (string * int64) list) option;
+      (* (party, root-to-leaf chain of (name, dur)) *)
+}
+
+(* ---------------- per-file digestion ---------------- *)
+
+let span_evs events =
+  List.filter_map
+    (function Export.Span_event e -> Some e | _ -> None)
+    events
+
+let counters events =
+  List.filter_map
+    (function
+      | Export.Counter_event { name; value } -> Some (name, value) | _ -> None)
+    events
+
+let header events =
+  List.find_map
+    (function
+      | Export.Header_event { version; trace_id; party } ->
+          Some (version, trace_id, party)
+      | _ -> None)
+    events
+
+let orphan_count events =
+  let evs = span_evs events in
+  let ids = Hashtbl.create 64 in
+  List.iter (fun (e : Export.span_event) -> Hashtbl.replace ids e.id ()) evs;
+  List.length
+    (List.filter
+       (fun (e : Export.span_event) ->
+         match e.parent with
+         | Some p -> not (Hashtbl.mem ids p)
+         | None -> false)
+       evs)
+
+let rec find_span name span =
+  if String.equal (Span.name span) name then Some span
+  else List.find_map (find_span name) (Span.children span)
+
+let find_in_forest name spans = List.find_map (find_span name) spans
+
+let midpoint span =
+  Int64.add (Span.start_ns span) (Int64.div (Span.dur_ns span) 2L)
+
+let shift_events offset events =
+  if Int64.equal offset 0L then events
+  else
+    List.map
+      (function
+        | Export.Span_event e ->
+            Export.Span_event { e with start_ns = Int64.add e.start_ns offset }
+        | ev -> ev)
+      events
+
+let root_attr key spans =
+  List.find_map (fun s -> List.assoc_opt key (Span.attrs s)) spans
+
+(* ---------------- merge ---------------- *)
+
+let of_files files =
+  let raw =
+    List.map
+      (fun (source, content) ->
+        let events = Export.events_of_jsonl content in
+        let spans = Export.spans_of_events events in
+        let version, trace_id, party_label =
+          match header events with
+          | Some (v, tid, p) -> (Some v, Some tid, if p = "" then None else Some p)
+          | None -> (None, None, None)
+        in
+        let label =
+          match party_label with
+          | Some p -> p
+          | None -> (
+              (* fall back to root span attrs, then the file name *)
+              match root_attr Context.party_attr spans with
+              | Some p -> p
+              | None -> Filename.basename source)
+        in
+        let trace_id =
+          match trace_id with
+          | Some _ as t -> t
+          | None -> root_attr Context.trace_id_attr spans
+        in
+        (source, label, version, trace_id, events, spans))
+      files
+  in
+  (* Clock alignment: shift every party so handshake midpoints agree
+     with the reference party (the receiver "R" when present). *)
+  let reference =
+    match
+      List.find_opt (fun (_, label, _, _, _, _) -> String.equal label "R") raw
+    with
+    | Some r -> Some r
+    | None -> ( match raw with r :: _ -> Some r | [] -> None)
+  in
+  let ref_mid =
+    Option.bind reference (fun (_, _, _, _, _, spans) ->
+        Option.map midpoint (find_in_forest "handshake" spans))
+  in
+  let parties =
+    List.map
+      (fun (source, label, version, trace_id, events, spans) ->
+        let offset =
+          match (ref_mid, find_in_forest "handshake" spans) with
+          | Some r, Some h -> Int64.sub r (midpoint h)
+          | _ -> 0L
+        in
+        let events = shift_events offset events in
+        let spans =
+          if Int64.equal offset 0L then spans
+          else Export.spans_of_events events
+        in
+        {
+          p_label = label;
+          p_source = source;
+          p_trace_id = trace_id;
+          p_version = version;
+          p_offset_ns = offset;
+          p_events = events;
+          p_spans = spans;
+          p_orphans = orphan_count events;
+        })
+      raw
+  in
+  let traces =
+    List.fold_left
+      (fun acc p ->
+        match p.p_trace_id with
+        | Some tid when not (List.mem tid acc) -> acc @ [ tid ]
+        | _ -> acc)
+      [] parties
+  in
+  (* Protocol steps: roots and two levels below them, excluding the
+     wire spans themselves (those are what we attribute as wait). *)
+  let is_wire name =
+    String.length name >= 5 && String.equal (String.sub name 0 5) "wire/"
+  in
+  let rec wire_ns span =
+    let own = if is_wire (Span.name span) then Span.dur_ns span else 0L in
+    List.fold_left
+      (fun acc c -> Int64.add acc (wire_ns c))
+      own (Span.children span)
+  in
+  let steps =
+    List.concat_map
+      (fun p ->
+        let rec walk depth path span acc =
+          let name = Span.name span in
+          if is_wire name then acc
+          else begin
+            let full = if path = "" then name else path ^ "/" ^ name in
+            let acc =
+              {
+                s_party = p.p_label;
+                s_path = full;
+                s_total_ns = Span.dur_ns span;
+                s_wire_ns = wire_ns span;
+              }
+              :: acc
+            in
+            if depth < 2 then
+              List.fold_left (fun acc c -> walk (depth + 1) full c acc) acc
+                (Span.children span)
+            else acc
+          end
+        in
+        List.rev (List.fold_left (fun acc r -> walk 0 "" r acc) [] p.p_spans))
+      parties
+  in
+  (* Critical path: from the longest root anywhere, follow the longest
+     child at each level. With wire waits attributed per step this is
+     the chain a latency fix has to shorten. *)
+  let longest spans =
+    List.fold_left
+      (fun best s ->
+        match best with
+        | Some b when Int64.compare (Span.dur_ns b) (Span.dur_ns s) >= 0 -> best
+        | _ -> Some s)
+      None spans
+  in
+  let critical =
+    let best =
+      List.fold_left
+        (fun acc p ->
+          match longest p.p_spans with
+          | Some s -> (
+              match acc with
+              | Some (_, b) when Int64.compare (Span.dur_ns b) (Span.dur_ns s) >= 0
+                -> acc
+              | _ -> Some (p.p_label, s))
+          | None -> acc)
+        None parties
+    in
+    Option.map
+      (fun (label, root) ->
+        let rec chain span acc =
+          let acc = (Span.name span, Span.dur_ns span) :: acc in
+          match longest (Span.children span) with
+          | Some c -> chain c acc
+          | None -> List.rev acc
+        in
+        (label, chain root []))
+      best
+  in
+  { traces; parties; steps; critical }
+
+(* ---------------- derived tables ---------------- *)
+
+let prefixed prefixes (name, _) =
+  List.exists
+    (fun p ->
+      String.length name >= String.length p
+      && String.equal (String.sub name 0 (String.length p)) p)
+    prefixes
+
+let attribution t =
+  List.concat_map
+    (fun p ->
+      counters p.p_events
+      |> List.filter (prefixed [ "pool."; "ecache." ])
+      |> List.filter (fun (_, v) -> v <> 0)
+      |> List.map (fun (n, v) -> (p.p_label, n, v)))
+    t.parties
+
+(* The ledger counters live in one shared registry when both parties
+   run in-process, so de-duplicate by counter name taking the max. *)
+let leakage t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      counters p.p_events
+      |> List.filter (prefixed [ "leakage." ])
+      |> List.iter (fun (n, v) ->
+             let prev = Option.value ~default:0 (Hashtbl.find_opt tbl n) in
+             if v > prev then Hashtbl.replace tbl n v))
+    t.parties;
+  Hashtbl.fold (fun n v acc -> (n, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let total_orphans t =
+  List.fold_left (fun acc p -> acc + p.p_orphans) 0 t.parties
+
+let chrome t =
+  Export.chrome_trace (List.map (fun p -> (p.p_label, p.p_events)) t.parties)
+
+(* ---------------- report ---------------- *)
+
+let pp_ms fmt ns = Format.fprintf fmt "%.3fms" (Int64.to_float ns /. 1e6)
+
+let pp_summary fmt t =
+  Format.fprintf fmt "traces: %d@\n" (List.length t.traces);
+  List.iter (fun tid -> Format.fprintf fmt "trace_id: %s@\n" tid) t.traces;
+  Format.fprintf fmt "parties: %d (%s)@\n" (List.length t.parties)
+    (String.concat ", " (List.map (fun p -> p.p_label) t.parties));
+  Format.fprintf fmt "orphan spans: %d@\n" (total_orphans t);
+  List.iter
+    (fun p ->
+      if not (Int64.equal p.p_offset_ns 0L) then
+        Format.fprintf fmt "clock offset: %s shifted %+.3fus@\n" p.p_label
+          (Int64.to_float p.p_offset_ns /. 1e3))
+    t.parties;
+  (match t.critical with
+  | None -> ()
+  | Some (label, chain) ->
+      Format.fprintf fmt "critical path (%s):@\n" label;
+      List.iteri
+        (fun i (name, dur) ->
+          Format.fprintf fmt "  %s%-36s %a@\n"
+            (String.concat "" (List.init i (fun _ -> "  ")))
+            name pp_ms dur)
+        chain);
+  (match t.steps with
+  | [] -> ()
+  | steps ->
+      Format.fprintf fmt "compute vs wire-wait per step:@\n";
+      Format.fprintf fmt "  %-5s %-44s %12s %12s %12s %6s@\n" "party" "step"
+        "total" "compute" "wire-wait" "wait%";
+      List.iter
+        (fun s ->
+          let compute = Int64.sub s.s_total_ns s.s_wire_ns in
+          let pct =
+            if Int64.equal s.s_total_ns 0L then 0.
+            else Int64.to_float s.s_wire_ns /. Int64.to_float s.s_total_ns *. 100.
+          in
+          Format.fprintf fmt "  %-5s %-44s %12s %12s %12s %5.1f%%@\n" s.s_party
+            s.s_path
+            (Format.asprintf "%a" pp_ms s.s_total_ns)
+            (Format.asprintf "%a" pp_ms compute)
+            (Format.asprintf "%a" pp_ms s.s_wire_ns)
+            pct)
+        steps);
+  (match attribution t with
+  | [] -> ()
+  | rows ->
+      Format.fprintf fmt "pool/ecache attribution:@\n";
+      List.iter
+        (fun (party, name, v) ->
+          Format.fprintf fmt "  [%s] %-40s %d@\n" party name v)
+        rows);
+  match leakage t with
+  | [] -> ()
+  | rows ->
+      Format.fprintf fmt "leakage ledger:@\n";
+      List.iter
+        (fun (name, v) -> Format.fprintf fmt "  %-46s %d@\n" name v)
+        rows

@@ -1,0 +1,57 @@
+(** Merge two (or more) parties' exported JSONL streams into one
+    cross-party timeline.
+
+    Files are joined on the handshake-derived trace id (from the
+    stream's trace header, falling back to root-span attrs), clocks are
+    aligned on the midpoint of each side's ["handshake"] span — both
+    sides bracket the same fingerprint exchange — and the result feeds
+    the [psi_trace] CLI: critical path, compute vs. wire-wait per
+    protocol step, [pool.*]/[ecache.*] attribution, the [leakage.*]
+    ledger, and a Perfetto-loadable chrome trace. *)
+
+type party = {
+  p_label : string;  (** party id from the header ("R"/"S") or fallback *)
+  p_source : string;  (** file name the stream came from *)
+  p_trace_id : string option;
+  p_version : int option;  (** trace-header stream version *)
+  p_offset_ns : int64;  (** clock shift applied vs. the reference party *)
+  p_events : Export.event list;  (** span times already shifted *)
+  p_spans : Span.t list;
+  p_orphans : int;  (** span events whose parent id is missing *)
+}
+
+type step = {
+  s_party : string;
+  s_path : string;  (** slash-joined span path, up to three levels deep *)
+  s_total_ns : int64;
+  s_wire_ns : int64;  (** wire/recv + wire/send descendant time *)
+}
+
+type t = {
+  traces : string list;  (** distinct trace ids, first-seen order *)
+  parties : party list;
+  steps : step list;
+  critical : (string * (string * int64) list) option;
+      (** longest root's party and its longest-child chain *)
+}
+
+(** [of_files [(name, jsonl); ...]] parses and joins the streams.
+    @raise Export.Parse_error on malformed input. *)
+val of_files : (string * string) list -> t
+
+(** Non-zero [pool.*]/[ecache.*] counters as [(party, name, value)]
+    rows. *)
+val attribution : t -> (string * string * int) list
+
+(** [leakage.*] counters, de-duplicated across parties by max (both
+    parties of an in-process run share one registry). *)
+val leakage : t -> (string * int) list
+
+val total_orphans : t -> int
+
+(** Chrome trace-event document over the aligned per-party events. *)
+val chrome : t -> string
+
+(** Human-readable report; the first lines ([traces: n], [parties: n
+    (...)], [orphan spans: n]) are stable and grep-able. *)
+val pp_summary : Format.formatter -> t -> unit

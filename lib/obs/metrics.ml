@@ -76,7 +76,10 @@ let histogram ?(registry = default) name =
     (function H h -> Some h | C _ | G _ -> None)
 
 let incr ?(by = 1) c =
-  if Runtime.is_enabled () then ignore (Atomic.fetch_and_add c.cell by)
+  if Runtime.is_enabled () then begin
+    ignore (Atomic.fetch_and_add c.cell by);
+    if Ring.active () then Ring.record (Ring.Count (c.c_name, by))
+  end
 
 let counter_value c = Atomic.get c.cell
 let set g v = if Runtime.is_enabled () then Atomic.set g.g_cell v

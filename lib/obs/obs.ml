@@ -7,9 +7,12 @@
 
 module Runtime = Runtime
 module Clock = Clock
+module Context = Context
+module Ring = Ring
 module Metrics = Metrics
 module Span = Span
 module Export = Export
+module Merge = Merge
 module Report = Report
 
 (** Turn metric recording on process-wide. *)

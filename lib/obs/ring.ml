@@ -1,0 +1,95 @@
+(* Bounded flight recorder: a fixed-size ring of recent telemetry
+   events, cheap enough to leave on in production. Writers claim a slot
+   with one fetch-and-add and store the event with one atomic set — no
+   locks, safe from threads and domains alike. Readers ([dump]) get a
+   best-effort snapshot: under heavy concurrent writing a slot can hold
+   an event newer than its neighbours, which is fine for forensics. *)
+
+type kind =
+  | Enter of string
+  | Exit of string * int64
+  | Count of string * int
+  | Note of string
+
+type event = { seq : int; at_ns : int64; thread : int; kind : kind }
+
+type ring = {
+  cap : int;
+  slots : event option Atomic.t array;
+  cursor : int Atomic.t; (* next sequence number *)
+}
+
+let current : ring option Atomic.t = Atomic.make None
+let sink : (event list -> unit) option Atomic.t = Atomic.make None
+let default_capacity = 1024
+
+let install ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Ring.install: capacity must be >= 1";
+  Atomic.set current
+    (Some
+       {
+         cap = capacity;
+         slots = Array.init capacity (fun _ -> Atomic.make None);
+         cursor = Atomic.make 0;
+       })
+
+let uninstall () = Atomic.set current None
+let active () = Atomic.get current <> None
+
+let record kind =
+  match Atomic.get current with
+  | None -> ()
+  | Some r ->
+      let seq = Atomic.fetch_and_add r.cursor 1 in
+      Atomic.set r.slots.(seq mod r.cap)
+        (Some
+           {
+             seq;
+             at_ns = Clock.now_ns ();
+             thread = Thread.id (Thread.self ());
+             kind;
+           })
+
+let note msg = record (Note msg)
+
+let dump () =
+  match Atomic.get current with
+  | None -> []
+  | Some r ->
+      Array.to_list r.slots
+      |> List.filter_map Atomic.get
+      |> List.sort (fun a b -> Int.compare a.seq b.seq)
+
+let set_sink f = Atomic.set sink f
+
+let trip reason =
+  note reason;
+  match Atomic.get sink with None -> () | Some f -> f (dump ())
+
+let install_signal signo =
+  Sys.set_signal signo (Sys.Signal_handle (fun _ -> trip "signal"))
+
+let pp_kind fmt = function
+  | Enter name -> Format.fprintf fmt "enter %s" name
+  | Exit (name, dur) ->
+      Format.fprintf fmt "exit  %s  %a" name Clock.pp_duration dur
+  | Count (name, by) -> Format.fprintf fmt "count %s +%d" name by
+  | Note msg -> Format.fprintf fmt "note  %s" msg
+
+let pp fmt events =
+  match events with
+  | [] -> Format.fprintf fmt "flight recorder: empty@\n"
+  | first :: _ ->
+      Format.fprintf fmt "flight recorder (%d events, oldest first):@\n"
+        (List.length events);
+      List.iter
+        (fun e ->
+          let rel =
+            Format.asprintf "%a" Clock.pp_duration (Int64.sub e.at_ns first.at_ns)
+          in
+          Format.fprintf fmt "  +%-12s [#%d t%d] %a@\n" rel e.seq e.thread
+            pp_kind e.kind)
+        events
+
+let dump_to_channel oc =
+  output_string oc (Format.asprintf "%a" pp (dump ()))

@@ -1,0 +1,59 @@
+(** Always-on bounded flight recorder.
+
+    A lock-free fixed-size ring of the most recent telemetry events
+    (span enter/exit, counter bumps, free-form notes), intended to stay
+    installed in production and be dumped when something goes wrong —
+    an exception that exhausts {!Core.Session.run_resilient}'s retry
+    budget, or a signal.
+
+    Writers pay one fetch-and-add plus one atomic store; when no ring
+    is installed every probe is a single atomic load. {!dump} is
+    best-effort under concurrent writing (a slot may briefly hold an
+    event newer than its neighbours), which is acceptable for a
+    forensic trail. *)
+
+type kind =
+  | Enter of string  (** span opened *)
+  | Exit of string * int64  (** span closed, with its duration *)
+  | Count of string * int  (** counter bumped by [int] *)
+  | Note of string  (** free-form marker (retries, reconnects, …) *)
+
+type event = { seq : int; at_ns : int64; thread : int; kind : kind }
+
+(** [install ?capacity ()] starts recording into a fresh ring holding
+    the last [capacity] (default 1024) events.
+    @raise Invalid_argument if [capacity < 1]. *)
+val install : ?capacity:int -> unit -> unit
+
+val uninstall : unit -> unit
+val active : unit -> bool
+
+(** [record kind] appends an event if a ring is installed, else no-op.
+    Call sites that must build an expensive [kind] should guard with
+    {!active} first. *)
+val record : kind -> unit
+
+(** [note msg] = [record (Note msg)]. *)
+val note : string -> unit
+
+(** The surviving events, oldest first ([[]] if no ring). *)
+val dump : unit -> event list
+
+(** [set_sink f] registers the dump consumer invoked by {!trip}. *)
+val set_sink : (event list -> unit) option -> unit
+
+(** [trip reason] records [Note reason] and hands {!dump} to the sink —
+    the "something went wrong, preserve the trail" entry point. *)
+val trip : string -> unit
+
+(** [install_signal signo] makes [signo] call [trip "signal"]. *)
+val install_signal : int -> unit
+
+val pp_kind : Format.formatter -> kind -> unit
+
+(** [pp fmt events] renders a dump, one line per event, timestamps
+    relative to the oldest surviving event. *)
+val pp : Format.formatter -> event list -> unit
+
+(** [dump_to_channel oc] writes [pp (dump ())] to [oc]. *)
+val dump_to_channel : out_channel -> unit

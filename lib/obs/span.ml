@@ -1,6 +1,6 @@
 type t = {
   name : string;
-  attrs : (string * string) list;
+  mutable attrs : (string * string) list;
   thread : int;
   start_ns : int64;
   mutable dur_ns : int64;
@@ -35,9 +35,25 @@ let stop_trace () =
          returned in start order across threads. *)
       List.sort (fun a b -> Int64.compare a.start_ns b.start_ns) (List.rev tr.rev_roots)
 
-let with_ ?(attrs = []) name f =
+(* Roots carry the ambient trace identity as attrs; children inherit it
+   by nesting, so the JSONL stream stays lean. *)
+let add_root tr span =
+  span.attrs <- Context.stamp span.attrs;
+  tr.rev_roots <- span :: tr.rev_roots
+
+type handle = unit -> unit
+
+let idle_handle : handle = fun () -> ()
+
+let enter ?(attrs = []) name =
+  if Ring.active () then Ring.record (Ring.Enter name);
   match Atomic.get current with
-  | None -> f ()
+  | None ->
+      if Ring.active () then begin
+        let t0 = Clock.now_ns () in
+        fun () -> Ring.record (Ring.Exit (name, Int64.sub (Clock.now_ns ()) t0))
+      end
+      else idle_handle
   | Some tr ->
       let tid = Thread.id (Thread.self ()) in
       let span =
@@ -47,22 +63,31 @@ let with_ ?(attrs = []) name f =
       let stack = Option.value ~default:[] (Hashtbl.find_opt tr.stacks tid) in
       Hashtbl.replace tr.stacks tid (span :: stack);
       Mutex.unlock tr.mutex;
-      let finish () =
+      fun () ->
         span.dur_ns <- Int64.sub (Clock.now_ns ()) span.start_ns;
+        if Ring.active () then Ring.record (Ring.Exit (name, span.dur_ns));
         Mutex.lock tr.mutex;
         (match Hashtbl.find_opt tr.stacks tid with
         | Some (top :: rest) when top == span ->
             Hashtbl.replace tr.stacks tid rest;
             (match rest with
             | parent :: _ -> parent.rev_children <- span :: parent.rev_children
-            | [] -> tr.rev_roots <- span :: tr.rev_roots)
+            | [] -> add_root tr span)
         | _ ->
             (* The stack was perturbed (span closed out of order, e.g. by
                an exception in a sibling) — keep the data as a root. *)
-            tr.rev_roots <- span :: tr.rev_roots);
+            add_root tr span);
         Mutex.unlock tr.mutex
-      in
-      Fun.protect ~finally:finish f
+
+let exit h = h ()
+
+let with_ ?attrs name f =
+  (* Fast path: no trace, no flight recorder — just run [f]. *)
+  if Atomic.get current = None && not (Ring.active ()) then f ()
+  else begin
+    let h = enter ?attrs name in
+    Fun.protect ~finally:h f
+  end
 
 let collect f =
   start_trace ();

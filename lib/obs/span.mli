@@ -25,9 +25,32 @@ val children : t -> t list
 (** {1 Recording} *)
 
 (** [with_ ?attrs name f] runs [f] inside a span when a trace is active,
-    and is just [f ()] otherwise. Exception-safe: the span closes even
-    if [f] raises. *)
+    and is just [f ()] otherwise (when a {!Ring} is installed, enter and
+    exit events are recorded even without a trace). Exception-safe: the
+    span closes even if [f] raises.
+
+    Spans that finish as roots are stamped with the ambient
+    {!Context} ([trace_id]/[party] attrs); nested spans inherit it
+    structurally. *)
 val with_ : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** {1 Manual bracketing}
+
+    For the rare site where [with_]'s closure is awkward (callback
+    seams). Every [enter] must be matched by exactly one [exit] on the
+    same thread before the enclosing scope unwinds — [psi_lint]'s OBS01
+    flags [Span.enter] in [lib/] without a structurally matching
+    [Span.exit]. Prefer {!with_}, which is exception-safe. *)
+
+type handle
+
+(** [enter ?attrs name] opens a span (or just records to the flight
+    recorder when no trace is active). *)
+val enter : ?attrs:(string * string) list -> string -> handle
+
+(** [exit h] closes the span opened by the matching {!enter}. Calling
+    it twice records the span twice — don't. *)
+val exit : handle -> unit
 
 (** [start_trace ()] installs a fresh process-wide trace collector. *)
 val start_trace : unit -> unit

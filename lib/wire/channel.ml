@@ -61,7 +61,7 @@ let record_sent ep m len =
 let send ep m =
   let bytes = Message.encode m in
   record_sent ep m (String.length bytes);
-  Transport.send ep.tr bytes
+  Obs.Span.with_ "wire/send" (fun () -> Transport.send ep.tr bytes)
 
 (* Streamed sends: one frame, byte-identical to [send] of the
    equivalent message, whose items are pulled from [next] in chunks as
@@ -89,7 +89,7 @@ let send_stream_generic ep ~tag ~kind ~count ~item_len ~encode_item ~to_payload
           List.iter (encode_item w) items;
           Some (Buf.contents w)
   in
-  Transport.send_stream ep.tr ~total produce;
+  Obs.Span.with_ "wire/send" (fun () -> Transport.send_stream ep.tr ~total produce);
   let m = Message.make ~tag (to_payload (List.rev !collected)) in
   record_sent ep m total
 
@@ -130,6 +130,9 @@ let recv ?timeout_s ?(max_bytes = max_frame_bytes) ep =
     | None, None -> None
   in
   let bytes =
+    (* The recv span is what psi_trace attributes as wire wait; the
+       body covers only the blocking read, not decode/accounting. *)
+    Obs.Span.with_ "wire/recv" @@ fun () ->
     match Transport.recv ?deadline ~max_bytes ep.tr with
     | bytes -> bytes
     | exception (Errors.Timeout _ as e) ->

@@ -260,6 +260,45 @@ let test_retry_metrics () =
   Alcotest.(check bool) "wire.fault.disconnects > 0" true
     (counter "wire.fault.disconnects" > 0)
 
+let test_ring_forensic_trail () =
+  (* The always-on flight recorder must hold a forensic trail of the
+     retry path after a killed-then-resumed session: the failed
+     attempt's note and the reconnect note both survive in the ring. *)
+  let plain = Lazy.force baseline in
+  Obs.Ring.install ~capacity:65536 ();
+  Fun.protect ~finally:Obs.Ring.uninstall (fun () ->
+      let connect ~attempt =
+        if attempt = 1 then
+          faulty_connect (fun _ -> Fault.plan ~cut_after:5 ~seed:"ring" ()) ~attempt
+        else memory_connect ~attempt
+      in
+      let r =
+        Session.run_resilient
+          ~resilience:{ chaos_resilience with Session.max_attempts = 4 }
+          cfg ~seed:"chaos-baseline" ~connect all_ops
+      in
+      Alcotest.(check bool) "resumed at least once" true (r.Session.attempts >= 2);
+      check_results "results with recorder installed" plain r.Session.report;
+      let notes =
+        List.filter_map
+          (fun (e : Obs.Ring.event) ->
+            match e.Obs.Ring.kind with Obs.Ring.Note n -> Some n | _ -> None)
+          (Obs.Ring.dump ())
+      in
+      let has_prefix p s =
+        String.length s >= String.length p && String.equal (String.sub s 0 (String.length p)) p
+      in
+      Alcotest.(check bool) "failed attempt noted" true
+        (List.exists (has_prefix "session: attempt") notes);
+      Alcotest.(check bool) "reconnect noted" true
+        (List.exists (has_prefix "session: reconnecting") notes);
+      (* The recorder also saw the protocol's spans, not just notes. *)
+      Alcotest.(check bool) "span events recorded" true
+        (List.exists
+           (fun (e : Obs.Ring.event) ->
+             match e.Obs.Ring.kind with Obs.Ring.Enter _ -> true | _ -> false)
+           (Obs.Ring.dump ())))
+
 let () =
   Alcotest.run "chaos"
     [
@@ -290,5 +329,7 @@ let () =
           Alcotest.test_case "unrecoverable surfaces typed error" `Quick
             test_unrecoverable_raises;
           Alcotest.test_case "retry metrics" `Quick test_retry_metrics;
+          Alcotest.test_case "flight-recorder forensic trail" `Quick
+            test_ring_forensic_trail;
         ] );
     ]

@@ -282,6 +282,51 @@ let test_dom01_suppressed () =
   Alcotest.(check bool) "clean" true (Driver.clean o)
 
 (* ------------------------------------------------------------------ *)
+(* OBS01                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_obs01_fires () =
+  let o =
+    analyze ~path:"lib/core/fixture.ml"
+      "let f () = let h = Obs.Span.enter \"x\" in work ()"
+  in
+  check_rules "enter without exit" [ "OBS01" ] (new_rules o);
+  (* Two enters, one exit: only the surplus enter is flagged. *)
+  let o =
+    analyze ~path:"lib/core/fixture.ml"
+      "let f () =\n\
+      \  let a = Span.enter \"x\" in\n\
+      \  let b = Span.enter \"y\" in\n\
+      \  Span.exit a; work b"
+  in
+  check_rules "surplus enter flagged once" [ "OBS01" ] (new_rules o)
+
+let test_obs01_negatives () =
+  let ok path src = check_rules src [] (new_rules (analyze ~path src)) in
+  (* Balanced bracketing within one top-level item. *)
+  ok "lib/core/fixture.ml"
+    "let f () = let h = Obs.Span.enter \"x\" in work (); Obs.Span.exit h";
+  (* with_ is the recommended scoped form; nothing to pair. *)
+  ok "lib/core/fixture.ml" "let f () = Obs.Span.with_ \"x\" work";
+  (* Counting resets at each top-level item: a balanced pair in one item
+     does not excuse (or condemn) its neighbour. *)
+  ok "lib/core/fixture.ml"
+    "let f h = Span.exit h\nlet g () = let h = Span.enter \"x\" in f h; Span.exit h";
+  (* bin/ may hand-bracket across scopes (interactive CLIs). *)
+  ok "bin/fixture.ml" "let f () = ignore (Obs.Span.enter \"x\")";
+  (* The Ring constructor Enter is not Span.enter. *)
+  ok "lib/core/fixture.ml" "let e = Ring.Enter \"x\""
+
+let test_obs01_suppressed () =
+  let src =
+    "(* psi-lint: allow OBS01 — fixture: handle escapes to the caller *)\n\
+     let begin_step () = Obs.Span.enter \"step\""
+  in
+  let o = analyze ~path:"lib/core/fixture.ml" src in
+  check_rules "suppressed" [ "OBS01" ] (suppressed_rules o);
+  Alcotest.(check bool) "clean" true (Driver.clean o)
+
+(* ------------------------------------------------------------------ *)
 (* Annotations                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -418,6 +463,12 @@ let () =
           tc "fires" `Quick test_dom01_fires;
           tc "negatives" `Quick test_dom01_negatives;
           tc "suppressed" `Quick test_dom01_suppressed;
+        ] );
+      ( "obs01",
+        [
+          tc "fires" `Quick test_obs01_fires;
+          tc "negatives" `Quick test_obs01_negatives;
+          tc "suppressed" `Quick test_obs01_suppressed;
         ] );
       ( "annotations",
         [

@@ -271,6 +271,291 @@ let test_prometheus_format () =
   Alcotest.(check bool) "histogram count" true (has "t_prom_hist_count 1");
   Alcotest.(check bool) "+Inf bucket" true (has "le=\"+Inf\"")
 
+let has_sub text needle =
+  let n = String.length needle and m = String.length text in
+  let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+  go 0
+
+let test_prometheus_bucket_boundaries () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "t.promb" in
+  (* Observations exactly on power-of-two bounds land in that bound's
+     bucket; prometheus buckets are cumulative. *)
+  with_enabled (fun () -> List.iter (Metrics.observe h) [ 1.; 2.; 2.; 4. ]);
+  let text = Export.prometheus (Metrics.snapshot ~registry:r ()) in
+  Alcotest.(check bool) "le=1 cumulative 1" true (has_sub text "t_promb_bucket{le=\"1\"} 1");
+  Alcotest.(check bool) "le=2 cumulative 3" true (has_sub text "t_promb_bucket{le=\"2\"} 3");
+  Alcotest.(check bool) "le=4 cumulative 4" true (has_sub text "t_promb_bucket{le=\"4\"} 4");
+  Alcotest.(check bool) "+Inf cumulative 4" true (has_sub text "t_promb_bucket{le=\"+Inf\"} 4");
+  Alcotest.(check bool) "count 4" true (has_sub text "t_promb_count 4")
+
+let test_prometheus_zero_observation_series () =
+  (* A registered-but-never-observed instrument must still export: a
+     scrape that silently drops idle series can't tell "no work" from
+     "no instrumentation". *)
+  let r = Metrics.create () in
+  let _ = Metrics.counter ~registry:r "t.zero.counter" in
+  let _ = Metrics.histogram ~registry:r "t.zero.hist" in
+  let text = Export.prometheus (Metrics.snapshot ~registry:r ()) in
+  Alcotest.(check bool) "counter at 0" true (has_sub text "t_zero_counter 0");
+  Alcotest.(check bool) "histogram count at 0" true (has_sub text "t_zero_hist_count 0");
+  Alcotest.(check bool) "+Inf bucket at 0" true
+    (has_sub text "t_zero_hist_bucket{le=\"+Inf\"} 0")
+
+let test_concurrent_pool_increments () =
+  (* Counter increments from pool worker domains must not lose updates;
+     ~force:true spawns real domains even on a single-core box. *)
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "t.pool.counter" in
+  let items = 1_000 in
+  let p = Parallel.Pool.create ~chunk:16 ~force:true 4 in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown p)
+    (fun () ->
+      with_enabled (fun () ->
+          ignore
+            (Parallel.Pool.map p
+               (fun i ->
+                 Metrics.incr c;
+                 i)
+               (List.init items Fun.id))));
+  Alcotest.(check int) "no lost increments" items (Metrics.counter_value c)
+
+(* ------------------------------------------------------------------ *)
+(* Attr escaping: arbitrary bytes must round-trip the JSONL exporter    *)
+(* ------------------------------------------------------------------ *)
+
+let nasty_string =
+  (* Newlines, quotes, backslashes, control chars, and non-ASCII bytes:
+     everything that has ever broken a hand-rolled JSON layer. *)
+  QCheck.(
+    string_gen_of_size (Gen.int_range 0 40)
+      (Gen.frequency
+         [
+           (4, Gen.printable);
+           (2, Gen.oneofl [ '\n'; '\r'; '\t'; '"'; '\\'; '\x00'; '\x1f' ]);
+           (2, Gen.char_range '\x80' '\xff');
+         ]))
+
+let qcheck_attr_roundtrip =
+  QCheck.Test.make ~name:"jsonl attr escaping round-trips" ~count:200
+    QCheck.(pair nasty_string nasty_string)
+    (fun (k, v) ->
+      let span =
+        Span.make ~name:"q" ~attrs:[ ("k" ^ k, v) ] ~thread:1 ~start_ns:1L
+          ~dur_ns:1L ~children:[]
+      in
+      let text = Export.jsonl (Export.span_events [ span ]) in
+      match Export.spans_of_events (Export.events_of_jsonl text) with
+      | [ s ] -> Span.attrs s = [ ("k" ^ k, v) ]
+      | _ -> false)
+
+let test_unicode_escape_parsing () =
+  (* \u escapes decode to UTF-8; broken escapes raise Parse_error (not
+     a stray Failure from int_of_string). *)
+  let str s =
+    match Export.Json.of_string s with
+    | Export.Json.Obj [ ("k", Export.Json.Str v) ] -> v
+    | _ -> Alcotest.fail ("unexpected parse of " ^ s)
+  in
+  Alcotest.(check string) "ascii escape" "A" (str "{\"k\":\"\\u0041\"}");
+  Alcotest.(check string) "2-byte utf-8" "\xc3\xa9" (str "{\"k\":\"\\u00e9\"}");
+  Alcotest.(check string) "3-byte utf-8" "\xe2\x82\xac" (str "{\"k\":\"\\u20ac\"}");
+  let rejects s =
+    match Export.Json.of_string s with
+    | exception Export.Json.Parse_error _ -> true
+    | exception _ -> false
+    | _ -> false
+  in
+  Alcotest.(check bool) "non-hex digits" true (rejects "{\"k\":\"\\uZZ12\"}");
+  Alcotest.(check bool) "truncated escape" true (rejects "{\"k\":\"\\u00\"}");
+  Alcotest.(check bool) "surrogate half" true (rejects "{\"k\":\"\\ud800\"}")
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_ring ?capacity f =
+  Obs.Ring.install ?capacity ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Ring.set_sink None;
+      Obs.Ring.uninstall ())
+    f
+
+let test_ring_wraps () =
+  with_ring ~capacity:4 (fun () ->
+      for i = 1 to 10 do
+        Obs.Ring.note (Printf.sprintf "n%d" i)
+      done;
+      let events = Obs.Ring.dump () in
+      Alcotest.(check int) "keeps only the last capacity events" 4
+        (List.length events);
+      let notes =
+        List.filter_map
+          (fun (e : Obs.Ring.event) ->
+            match e.Obs.Ring.kind with Obs.Ring.Note n -> Some n | _ -> None)
+          events
+      in
+      Alcotest.(check (list string)) "latest notes, oldest first"
+        [ "n7"; "n8"; "n9"; "n10" ] notes)
+
+let test_ring_trip_sink () =
+  let dumped = ref [] in
+  with_ring (fun () ->
+      Obs.Ring.set_sink (Some (fun events -> dumped := events));
+      Obs.Ring.note "before";
+      Obs.Ring.trip "forensic dump";
+      let kinds =
+        List.filter_map
+          (fun (e : Obs.Ring.event) ->
+            match e.Obs.Ring.kind with Obs.Ring.Note n -> Some n | _ -> None)
+          !dumped
+      in
+      Alcotest.(check (list string)) "sink saw the trail, reason last"
+        [ "before"; "forensic dump" ] kinds)
+
+let test_ring_records_spans_and_counts () =
+  with_ring (fun () ->
+      (* Spans bracket into the ring even with no trace collector
+         installed — that is the always-on part of the flight recorder. *)
+      Span.with_ "ringed" (fun () -> ());
+      let r = Metrics.create () in
+      let c = Metrics.counter ~registry:r "t.ring.counter" in
+      with_enabled (fun () -> Metrics.incr ~by:2 c);
+      let kinds = List.map (fun (e : Obs.Ring.event) -> e.Obs.Ring.kind) (Obs.Ring.dump ()) in
+      Alcotest.(check bool) "enter recorded" true
+        (List.mem (Obs.Ring.Enter "ringed") kinds);
+      Alcotest.(check bool) "exit recorded" true
+        (List.exists
+           (function Obs.Ring.Exit ("ringed", _) -> true | _ -> false)
+           kinds);
+      Alcotest.(check bool) "count recorded" true
+        (List.mem (Obs.Ring.Count ("t.ring.counter", 2)) kinds))
+
+(* ------------------------------------------------------------------ *)
+(* Trace context, headers, chrome export, merge                        *)
+(* ------------------------------------------------------------------ *)
+
+let with_context ~trace_id ~party f =
+  Obs.Context.set_trace_id trace_id;
+  Obs.Context.set_party party;
+  Fun.protect ~finally:Obs.Context.clear f
+
+let test_context_stamps_roots () =
+  with_context ~trace_id:"cafe" ~party:"R" (fun () ->
+      let _, roots =
+        with_enabled (fun () ->
+            Span.collect (fun () ->
+                Span.with_ "root" (fun () -> Span.with_ "child" (fun () -> ()))))
+      in
+      let root = List.hd roots in
+      Alcotest.(check (option string)) "trace id on root" (Some "cafe")
+        (List.assoc_opt Obs.Context.trace_id_attr (Span.attrs root));
+      Alcotest.(check (option string)) "party on root" (Some "R")
+        (List.assoc_opt Obs.Context.party_attr (Span.attrs root));
+      (* Children inherit structurally; no per-span stamping. *)
+      let child = List.hd (Span.children root) in
+      Alcotest.(check (option string)) "child not stamped" None
+        (List.assoc_opt Obs.Context.trace_id_attr (Span.attrs child)))
+
+let test_trace_header_roundtrip () =
+  Alcotest.(check bool) "no context, no header" true
+    (Obs.Context.clear ();
+     Export.trace_header () = None);
+  with_context ~trace_id:"feed" ~party:"S" (fun () ->
+      match Export.trace_header () with
+      | None -> Alcotest.fail "header missing with context set"
+      | Some h -> (
+          match Export.events_of_jsonl (Export.jsonl [ h ]) with
+          | [ Export.Header_event { version; trace_id; party } ] ->
+              Alcotest.(check int) "version" Export.trace_header_version version;
+              Alcotest.(check string) "trace id" "feed" trace_id;
+              Alcotest.(check string) "party" "S" party
+          | _ -> Alcotest.fail "header did not round-trip"))
+
+let test_chrome_trace_structure () =
+  let span =
+    Span.make ~name:"work" ~attrs:[ ("k", "v") ] ~thread:3 ~start_ns:2_000L
+      ~dur_ns:1_000L ~children:[]
+  in
+  let doc =
+    Export.chrome_trace
+      [ ("R", Export.span_events [ span ]); ("S", Export.span_events [ span ]) ]
+  in
+  (* Must itself be valid JSON with the trace-event envelope. *)
+  (match Export.Json.of_string doc with
+  | Export.Json.Obj fields ->
+      Alcotest.(check bool) "traceEvents array" true
+        (match List.assoc_opt "traceEvents" fields with
+        | Some (Export.Json.Arr _) -> true
+        | _ -> false)
+  | _ -> Alcotest.fail "chrome trace is not a JSON object");
+  Alcotest.(check bool) "process metadata" true (has_sub doc "process_name");
+  Alcotest.(check bool) "duration slices" true (has_sub doc "\"ph\":\"X\"");
+  Alcotest.(check bool) "both parties" true
+    (has_sub doc "\"pid\":1" && has_sub doc "\"pid\":2")
+
+(* Two synthetic party streams: same trace id, clocks skewed by 1ms,
+   each with a handshake span and a wire child under the root. *)
+let mk_stream ~party ~skew_ns =
+  let base = Int64.add 1_000_000L skew_ns in
+  let at off = Int64.add base off in
+  let handshake =
+    Span.make ~name:"handshake" ~attrs:[] ~thread:1 ~start_ns:(at 0L)
+      ~dur_ns:100_000L ~children:[]
+  in
+  let wire =
+    Span.make ~name:"wire/recv" ~attrs:[] ~thread:1 ~start_ns:(at 150_000L)
+      ~dur_ns:200_000L ~children:[]
+  in
+  let root =
+    Span.make ~name:("party:" ^ party)
+      ~attrs:[ (Obs.Context.trace_id_attr, "beef"); (Obs.Context.party_attr, party) ]
+      ~thread:1 ~start_ns:(at 0L) ~dur_ns:500_000L
+      ~children:[ handshake; wire ]
+  in
+  let header = Export.Header_event
+      { version = Export.trace_header_version; trace_id = "beef"; party }
+  in
+  let counters =
+    [
+      Export.Counter_event { name = "pool.items"; value = (if party = "R" then 7 else 0) };
+      Export.Counter_event { name = "leakage.key.abc.runs"; value = 2 };
+    ]
+  in
+  Export.jsonl ((header :: Export.span_events [ root ]) @ counters)
+
+let test_merge_two_streams () =
+  let m =
+    Obs.Merge.of_files
+      [ ("r.jsonl", mk_stream ~party:"R" ~skew_ns:0L);
+        ("s.jsonl", mk_stream ~party:"S" ~skew_ns:1_000_000L) ]
+  in
+  Alcotest.(check (list string)) "one shared trace" [ "beef" ] m.Obs.Merge.traces;
+  Alcotest.(check (list string)) "both parties labelled" [ "R"; "S" ]
+    (List.map (fun p -> p.Obs.Merge.p_label) m.Obs.Merge.parties);
+  Alcotest.(check int) "no orphans" 0 (Obs.Merge.total_orphans m);
+  (* Clock alignment: S's handshake midpoint must now equal R's, so the
+     1ms skew shows up as a -1ms shift on S. *)
+  let s = List.find (fun p -> p.Obs.Merge.p_label = "S") m.Obs.Merge.parties in
+  Alcotest.(check int64) "skew recovered" (-1_000_000L) s.Obs.Merge.p_offset_ns;
+  (* Steps carry the wire-wait attribution. *)
+  let root_step =
+    List.find
+      (fun st -> st.Obs.Merge.s_party = "R" && st.Obs.Merge.s_path = "party:R")
+      m.Obs.Merge.steps
+  in
+  Alcotest.(check int64) "wire wait summed" 200_000L root_step.Obs.Merge.s_wire_ns;
+  (* Zero-valued counters are dropped from attribution; leakage rows are
+     de-duplicated across parties by max. *)
+  Alcotest.(check (list (triple string string int))) "attribution skips zeros"
+    [ ("R", "pool.items", 7) ]
+    (Obs.Merge.attribution m);
+  Alcotest.(check (list (pair string int))) "leakage deduped"
+    [ ("leakage.key.abc.runs", 2) ]
+    (Obs.Merge.leakage m)
+
 (* ------------------------------------------------------------------ *)
 (* Report                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -328,6 +613,31 @@ let () =
             test_jsonl_snapshot_roundtrip;
           Alcotest.test_case "jsonl rejects garbage" `Quick test_jsonl_rejects_garbage;
           Alcotest.test_case "prometheus text" `Quick test_prometheus_format;
+          Alcotest.test_case "prometheus bucket boundaries" `Quick
+            test_prometheus_bucket_boundaries;
+          Alcotest.test_case "prometheus zero-observation series" `Quick
+            test_prometheus_zero_observation_series;
+          Alcotest.test_case "concurrent pool increments" `Quick
+            test_concurrent_pool_increments;
+          QCheck_alcotest.to_alcotest qcheck_attr_roundtrip;
+          Alcotest.test_case "unicode escape parsing" `Quick
+            test_unicode_escape_parsing;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "wraps at capacity" `Quick test_ring_wraps;
+          Alcotest.test_case "trip reaches the sink" `Quick test_ring_trip_sink;
+          Alcotest.test_case "records spans and counts" `Quick
+            test_ring_records_spans_and_counts;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "context stamps roots" `Quick test_context_stamps_roots;
+          Alcotest.test_case "trace header round-trip" `Quick
+            test_trace_header_roundtrip;
+          Alcotest.test_case "chrome trace structure" `Quick
+            test_chrome_trace_structure;
+          Alcotest.test_case "merge two streams" `Quick test_merge_two_streams;
         ] );
       ("report", [ Alcotest.test_case "compare" `Quick test_report_compare ]);
     ]

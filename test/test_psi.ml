@@ -907,6 +907,34 @@ let test_obs_telemetry_matches_cost_model () =
         (c.Obs.Report.observed_bits >= c.Obs.Report.predicted_bits);
       Obs.Metrics.reset ())
 
+let test_tracing_leaves_transcript_identical () =
+  (* The observability layer must never change what crosses the wire:
+     with trace context, span collection and the flight recorder all
+     switched on, the Message-level transcript of a seeded run is
+     identical to the untraced run's — no new wire bytes, ever. *)
+  let run () =
+    let o =
+      Psi.Intersection.run cfg ~seed:"t:traced" ~sender_values:vs1
+        ~receiver_values:vr1 ()
+    in
+    (o.Runner.sender_view, o.Runner.receiver_view)
+  in
+  let plain_s, plain_r = run () in
+  Obs.Ring.install ();
+  Obs.Context.set_trace_id "feedbeeffeedbeeffeedbeeffeedbeef";
+  Obs.Context.set_party "R";
+  let (traced_s, traced_r), _roots, _snap =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Context.clear ();
+        Obs.Ring.uninstall ())
+      (fun () -> Obs.trace run)
+  in
+  Alcotest.(check bool) "sender view identical under tracing" true
+    (List.equal Message.equal plain_s traced_s);
+  Alcotest.(check bool) "receiver view identical under tracing" true
+    (List.equal Message.equal plain_r traced_r)
+
 let test_collision_probability_paper_example () =
   (* §3.2.2: 1024-bit hash values, half are quadratic residues, n = 1
      million => collision probability ~= 10^12 / 10^307 = 10^-295. *)
@@ -1407,6 +1435,8 @@ let () =
           Alcotest.test_case "§6.1 formulas" `Quick test_cost_model_formulas;
           Alcotest.test_case "telemetry matches §6.1" `Quick
             test_obs_telemetry_matches_cost_model;
+          Alcotest.test_case "tracing leaves transcript identical" `Quick
+            test_tracing_leaves_transcript_identical;
           Alcotest.test_case "§3.2.2 collision probability" `Quick
             test_collision_probability_paper_example;
         ] );

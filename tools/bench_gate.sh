@@ -1,0 +1,41 @@
+#!/bin/sh
+# Perf-regression gate, run by `dune build @bench-gate`.
+#
+# Two passes of bench/regress.exe over the committed BENCH_*.json files:
+# the first must pass (no regression on this box), the second injects a
+# synthetic 2x slowdown into every fresh measurement and must FAIL —
+# proving the gate actually trips on a real regression instead of
+# vacuously succeeding (e.g. because every wall-clock check was skipped
+# on a core-count mismatch).
+set -eu
+
+regress=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+obs=$2
+par=$3
+incr=$4
+
+echo "== bench gate: committed BENCH files =="
+"$regress" "$obs" "$par" "$incr"
+
+echo
+echo "== bench gate: injected 2x slowdown (must fail) =="
+status=0
+"$regress" "$obs" "$par" "$incr" --inject-slowdown 2 || status=$?
+case $status in
+  0)
+    echo "bench gate: regress did NOT fail under an injected 2x slowdown" >&2
+    exit 1
+    ;;
+  1)
+    echo "bench gate: injected regression correctly detected"
+    ;;
+  3)
+    # Core-count mismatch: wall-clock checks were skipped, so injection
+    # had nothing to perturb. The count checks above still gate.
+    echo "bench gate: wall-clock checks skipped on this box; injection not exercised"
+    ;;
+  *)
+    echo "bench gate: regress exited $status under injection" >&2
+    exit 1
+    ;;
+esac

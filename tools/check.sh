@@ -1,7 +1,9 @@
 #!/bin/sh
 # Tier-1 gate: everything builds, every test passes, no build artifacts
-# are tracked, the telemetry and two-process network smoke tests run end
-# to end, and psi_lint reports no new findings.
+# are tracked, the telemetry, two-process network, and cross-party
+# tracing smoke tests run end to end, psi_lint reports no new findings,
+# and fresh benchmarks stay within tolerance of the committed
+# BENCH_*.json files.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,7 +20,9 @@ dune build @obs-smoke
 dune build @net-smoke
 dune build @par-smoke
 dune build @cache-smoke
+dune build @trace-smoke
 dune build @lint
+dune build @bench-gate
 
 # API docs must stay warning-free; odoc is optional in minimal images.
 if command -v odoc >/dev/null 2>&1; then
