@@ -1,19 +1,33 @@
 (* psi_lint — crypto-hygiene static analyzer for the protocol stack.
 
    Scans lib/ and bin/ (by default) for the rule families documented in
-   docs/STATIC_ANALYSIS.md: CT01 (polymorphic comparison in
-   secret-bearing modules), RNG01 (ad-hoc randomness), EXN01 (exception
-   swallowing), WIRE01 (unbounded length-prefixed reads), DBG01 (stray
-   console output / assert false in libraries). Exit status 0 iff there
-   are no non-baselined findings and no errors. *)
+   docs/STATIC_ANALYSIS.md. Token rules (CT01, RNG01, EXN01, WIRE01,
+   DBG01, DOM01, OBS01) run per file over the token stream; semantic
+   rules (SEC01, CT02, RACE01) run after the parse/resolve/taint phases
+   over the whole program at once. Exit status 0 iff there are no
+   non-baselined findings and no errors.
 
-let usage = "psi_lint [--root DIR] [--baseline FILE] [--json FILE] [--update-baseline] [--list-rules] [DIR...]"
+   --selfcheck DIR runs the engine over the seeded-bad fixture corpus:
+   every `(* lint-expect: RULE *)` comment in DIR must be matched by a
+   finding of that rule on that line, and every finding must be
+   expected — the corpus is the executable spec of the rules.
+
+   --bench-out / --check-bench write and verify BENCH_lint.json
+   (per-phase and per-rule wall times plus counts); the @bench-gate
+   alias uses the latter so analysis runtime is regression-gated. *)
+
+let usage =
+  "psi_lint [--root DIR] [--baseline FILE] [--json FILE] [--update-baseline] \
+   [--list-rules] [--selfcheck DIR] [--bench-out FILE] [--check-bench FILE] [DIR...]"
 
 let root = ref "."
 let baseline_path = ref "tools/lint_baseline.txt"
 let json_out = ref ""
 let update_baseline = ref false
 let list_rules = ref false
+let selfcheck_root = ref ""
+let bench_out = ref ""
+let check_bench = ref ""
 let dirs = ref []
 
 let spec =
@@ -24,12 +38,22 @@ let spec =
       "FILE baseline file, relative to root (default tools/lint_baseline.txt)" );
     ( "--json",
       Arg.Set_string json_out,
-      "FILE write a JSONL report (findings + summary) to FILE, '-' for stdout" );
+      "FILE write a JSONL report (header + findings + summary) to FILE, '-' for stdout" );
     ( "--update-baseline",
       Arg.Set update_baseline,
       " rewrite the baseline from current findings (keeps existing justifications, \
        marks new entries TODO)" );
     ("--list-rules", Arg.Set list_rules, " print the rule catalog and exit");
+    ( "--selfcheck",
+      Arg.Set_string selfcheck_root,
+      "DIR verify every lint-expect annotation in the fixture corpus at DIR fires" );
+    ( "--bench-out",
+      Arg.Set_string bench_out,
+      "FILE write BENCH_lint.json-style timing/counts to FILE" );
+    ( "--check-bench",
+      Arg.Set_string check_bench,
+      "FILE compare this run's counts and wall time against a committed \
+       BENCH_lint.json" );
   ]
 
 (* Collect RULE.ml files under [dir] (repo-relative), skipping build and
@@ -61,22 +85,211 @@ let write_file path content =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc content)
 
+let sources_of files =
+  List.map
+    (fun rel ->
+      { Analysis.Driver.path = rel; content = read_file (Filename.concat !root rel) })
+    files
+
+(* ------------------------------------------------------------------ *)
+(* --list-rules                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let print_rules () =
+  List.iter
+    (fun (e : Analysis.Registry.entry) ->
+      Printf.printf "%-7s %-9s %s\n        scope: %s\n        %s\n" e.e_id
+        (match e.e_kind with `Token -> "token" | `Semantic -> "semantic")
+        e.e_summary e.e_scope e.e_description)
+    Analysis.Registry.entries
+
+(* ------------------------------------------------------------------ *)
+(* --selfcheck                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Expected findings are written next to the seeded violation:
+   [(* lint-expect: SEC01 *)] (comma-separated for several rules) on
+   the offending line. *)
+let expectations_of ~path content =
+  let marker = "lint-expect:" in
+  let find_marker text =
+    let n = String.length text and m = String.length marker in
+    let rec go i =
+      if i + m > n then None
+      else if String.equal (String.sub text i m) marker then Some (i + m)
+      else go (i + 1)
+    in
+    go 0
+  in
+  match Analysis.Lexer.tokens_of_string ~file:path content with
+  | exception Analysis.Lexer.Error _ -> []
+  | toks ->
+      List.concat_map
+        (fun (t : Analysis.Lexer.token) ->
+          if t.kind <> Analysis.Lexer.Comment then []
+          else
+            match find_marker t.text with
+            | None -> []
+            | Some start ->
+                let rest = String.sub t.text start (String.length t.text - start) in
+                let rest =
+                  match String.index_opt rest '*' with
+                  | Some j when j + 1 < String.length rest && rest.[j + 1] = ')' ->
+                      String.sub rest 0 j
+                  | _ -> rest
+                in
+                String.split_on_char ',' rest
+                |> List.filter_map (fun r ->
+                       match String.trim r with
+                       | "" -> None
+                       | r -> Some (path, t.line, r)))
+        toks
+
+let selfcheck dir =
+  root := dir;
+  let files = List.rev (collect [] "") in
+  if files = [] then begin
+    Printf.eprintf "psi_lint: selfcheck: no fixture files under %s\n" dir;
+    exit 2
+  end;
+  let sources = sources_of files in
+  let expected =
+    List.concat_map
+      (fun (s : Analysis.Driver.source) -> expectations_of ~path:s.path s.content)
+      sources
+  in
+  if expected = [] then begin
+    Printf.eprintf "psi_lint: selfcheck: no lint-expect annotations under %s\n" dir;
+    exit 2
+  end;
+  let outcome =
+    Analysis.Driver.analyze ~sem_rules:Analysis.Registry.sem_rules
+      ~baseline:Analysis.Suppress.Baseline.empty sources
+  in
+  List.iter (fun e -> Printf.eprintf "psi_lint: selfcheck: error: %s\n" e) outcome.errors;
+  let found =
+    List.map
+      (fun (f : Analysis.Rule.finding) -> (f.file, f.line, f.rule))
+      (Analysis.Driver.new_findings outcome)
+  in
+  let failures = ref (List.length outcome.errors) in
+  List.iter
+    (fun ((file, line, rule) as e) ->
+      if List.mem e found then Printf.printf "ok   %s:%d: %s\n" file line rule
+      else begin
+        Printf.printf "MISS %s:%d: seeded %s violation not reported\n" file line rule;
+        incr failures
+      end)
+    expected;
+  List.iter
+    (fun ((file, line, rule) as f) ->
+      if not (List.mem f expected) then begin
+        Printf.printf "EXTRA %s:%d: unexpected %s finding\n" file line rule;
+        incr failures
+      end)
+    found;
+  Printf.printf "psi_lint: selfcheck: %d expectation%s, %d finding%s, %d failure%s\n"
+    (List.length expected)
+    (if List.length expected = 1 then "" else "s")
+    (List.length found)
+    (if List.length found = 1 then "" else "s")
+    !failures
+    (if !failures = 1 then "" else "s");
+  exit (if !failures = 0 then 0 else 1)
+
+(* ------------------------------------------------------------------ *)
+(* --check-bench                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Obs.Export.Json
+
+let bench_compare path (outcome : Analysis.Driver.outcome) =
+  let j =
+    match Json.of_string (read_file path) with
+    | j -> j
+    | exception Json.Parse_error msg ->
+        Printf.eprintf "psi_lint: %s: %s\n" path msg;
+        exit 2
+  in
+  let failures = ref 0 in
+  let check label ok detail =
+    Printf.printf "%s %-40s %s\n" (if ok then "ok  " else "FAIL") label detail;
+    if not ok then incr failures
+  in
+  (match Option.bind (Json.member "version" j) Json.to_i with
+  | Some v ->
+      check "bench schema version"
+        (v = Analysis.Report.json_version)
+        (Printf.sprintf "%d = %d" v Analysis.Report.json_version)
+  | None -> check "bench schema version" false "missing");
+  (* Counts are box-independent: a fresh run must reproduce them
+     exactly, per rule. *)
+  let committed_rules =
+    match Json.member "rules" j with Some (Json.Obj o) -> o | _ -> []
+  in
+  List.iter
+    (fun (id, n, b, s) ->
+      match List.assoc_opt id committed_rules with
+      | None ->
+          check (id ^ " counts") false
+            "not in committed file (regenerate with --bench-out)"
+      | Some r ->
+          let f field = Option.bind (Json.member field r) Json.to_i in
+          let ok =
+            f "new" = Some n && f "baselined" = Some b && f "suppressed" = Some s
+          in
+          check (id ^ " counts") ok
+            (Printf.sprintf "new=%d baselined=%d suppressed=%d" n b s))
+    (Analysis.Report.tally outcome);
+  (* Wall clock is box-dependent: compare total analysis time within a
+     slack factor plus a small absolute grace (single runs of a
+     millisecond-scale tool are noisy), and only on a box with the same
+     core count as the committed file — same convention as
+     bench/regress.ml. *)
+  let fresh_total = List.fold_left (fun acc (_, dt) -> acc +. dt) 0. outcome.phases in
+  (match Option.bind (Json.member "cores" j) Json.to_i with
+  | Some c when c = Domain.recommended_domain_count () ->
+      let committed_total =
+        match Json.member "phases" j with
+        | Some (Json.Obj ps) ->
+            List.fold_left
+              (fun acc (_, v) -> acc +. Option.value ~default:0. (Json.to_f v))
+              0. ps
+        | _ -> 0.
+      in
+      let slack =
+        match Option.bind (Sys.getenv_opt "PSI_BENCH_SLACK") float_of_string_opt with
+        | Some v when v >= 1.0 -> v
+        | _ -> 1.6
+      in
+      let grace_ms = 50. in
+      let ceiling = (committed_total *. slack) +. grace_ms in
+      check "analysis wall time" (fresh_total <= ceiling)
+        (Printf.sprintf "%.1fms <= %.1fms (committed %.1fms * slack %.2f + %.0fms)"
+           fresh_total ceiling committed_total slack grace_ms)
+  | Some c ->
+      Printf.printf
+        "skip analysis wall time: committed on a %d-core box, this one has %d\n" c
+        (Domain.recommended_domain_count ())
+  | None -> check "analysis wall time" false "committed file has no box profile");
+  if !failures > 0 then begin
+    Printf.printf "psi_lint: bench check: %d FAILED\n" !failures;
+    exit 1
+  end;
+  Printf.printf "psi_lint: bench check: all passed\n"
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
   if !list_rules then begin
-    List.iter
-      (fun (r : Analysis.Rule.t) -> Printf.printf "%s  %s\n" r.id r.summary)
-      Analysis.Driver.rules;
+    print_rules ();
     exit 0
   end;
+  if not (String.equal !selfcheck_root "") then selfcheck !selfcheck_root;
   let scan_dirs = match List.rev !dirs with [] -> [ "lib"; "bin" ] | ds -> ds in
   let files = List.concat_map (fun d -> List.rev (collect [] d)) scan_dirs in
-  let sources =
-    List.map
-      (fun rel ->
-        { Analysis.Driver.path = rel; content = read_file (Filename.concat !root rel) })
-      files
-  in
+  let sources = sources_of files in
   let baseline_file = Filename.concat !root !baseline_path in
   let baseline =
     if Sys.file_exists baseline_file then
@@ -87,7 +300,9 @@ let () =
           exit 2
     else Analysis.Suppress.Baseline.empty
   in
-  let outcome = Analysis.Driver.analyze ~baseline sources in
+  let outcome =
+    Analysis.Driver.analyze ~sem_rules:Analysis.Registry.sem_rules ~baseline sources
+  in
   if !update_baseline then begin
     let entries = Analysis.Driver.updated_baseline outcome in
     write_file baseline_file (Analysis.Suppress.Baseline.render entries);
@@ -100,5 +315,9 @@ let () =
   | "" -> ()
   | "-" -> print_string (Analysis.Report.jsonl outcome)
   | path -> write_file path (Analysis.Report.jsonl outcome));
+  (match !bench_out with
+  | "" -> ()
+  | path -> write_file path (Json.to_string (Analysis.Report.bench_json outcome) ^ "\n"));
+  if not (String.equal !check_bench "") then bench_compare !check_bench outcome;
   Format.printf "%a@?" Analysis.Report.pp_console outcome;
   exit (if Analysis.Driver.clean outcome then 0 else 1)

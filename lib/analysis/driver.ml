@@ -1,12 +1,15 @@
-(* Ties the pieces together: lex each source, run the applicable rules,
-   apply inline suppressions and the baseline, classify the results.
-   Pure — callers (the psi_lint binary, the tests) do all IO. *)
+(* Ties the pieces together: lex each source, run the applicable token
+   rules, then (when semantic rules are requested) parse the whole
+   tree, build the resolver and taint summaries, and run the semantic
+   rules over the program at once. Findings from both kinds feed the
+   same suppression/baseline pipeline. Pure — callers (the psi_lint
+   binary, the tests) do all IO. *)
 
 type source = { path : string; content : string }
 
 type classified = {
   finding : Rule.finding;
-  fingerprint : string; (* "token#occurrence", see Suppress.Baseline *)
+  fingerprint : string; (* "token@ctxhash#occurrence", see [fingerprints] *)
   status : [ `New | `Baselined of string | `Suppressed of string ];
 }
 
@@ -15,57 +18,215 @@ type outcome = {
   results : classified list; (* in scan order *)
   errors : string list;
       (* malformed annotations, stale or unexplained baseline entries,
-         lexer failures — any of these fails the run *)
+         lexer/parser failures — any of these fails the run *)
+  phases : (string * float) list; (* phase name -> wall ms, in run order *)
+  rule_ms : (string * float) list; (* rule id -> wall ms *)
 }
 
-let rules : Rule.t list =
-  [
-    Rules_ct.rule; Rules_rng.rule; Rules_exn.rule; Rules_wire.rule; Rules_dbg.rule;
-    Rules_dom.rule; Rules_obs.rule;
-  ]
+let rules = Registry.token_rules
+let rule_ids = Registry.rule_ids
 
-let rule_ids = List.map (fun (r : Rule.t) -> r.id) rules
+let now_ms () = Int64.to_float (Obs.Clock.now_ns ()) /. 1e6
 
-(* Occurrence-indexed fingerprints: the k-th finding of a rule matching
-   the same token text in the same file gets "text#k". *)
-let fingerprints (findings : Rule.finding list) =
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Line-move-tolerant fingerprints: token text, a 32-bit FNV-1a hash of
+   the surrounding significant-token texts (3 on each side — no line
+   numbers, so inserting code above a finding does not invalidate its
+   baseline entry), and an occurrence index for identical contexts:
+   "token@1a2b3c4d#k". *)
+
+let fnv1a32 (texts : string list) =
+  let h = ref 0x811c9dc5 in
+  List.iter
+    (fun s ->
+      String.iter
+        (fun c ->
+          h := !h lxor Char.code c;
+          h := !h * 0x01000193 land 0xffffffff)
+        s;
+      (* separator so ["ab";"c"] and ["a";"bc"] differ *)
+      h := !h lxor 0xff;
+      h := !h * 0x01000193 land 0xffffffff)
+    texts;
+  !h
+
+let context_window = 3
+
+(* Index in [sig_toks] of the token a finding points at: exact
+   (line, col) match first, then the first token on the line. *)
+let token_index (sig_toks : Lexer.token array) ~line ~col =
+  let n = Array.length sig_toks in
+  let exact = ref (-1) and on_line = ref (-1) in
+  let i = ref 0 in
+  while !exact < 0 && !i < n do
+    let t = sig_toks.(!i) in
+    if t.Lexer.line = line then begin
+      if !on_line < 0 then on_line := !i;
+      if t.Lexer.col = col then exact := !i
+    end;
+    incr i
+  done;
+  if !exact >= 0 then !exact else !on_line
+
+let context_hash (sig_toks : Lexer.token array) idx =
+  if idx < 0 then fnv1a32 []
+  else begin
+    let n = Array.length sig_toks in
+    let lo = Stdlib.max 0 (idx - context_window) in
+    let hi = Stdlib.min (n - 1) (idx + context_window) in
+    let texts = ref [] in
+    for j = hi downto lo do
+      if j <> idx then texts := sig_toks.(j).Lexer.text :: !texts
+    done;
+    fnv1a32 !texts
+  end
+
+let fingerprints (sig_toks : Lexer.token array) (findings : Rule.finding list) =
   let seen = Hashtbl.create 16 in
   List.map
     (fun (f : Rule.finding) ->
-      let key = (f.rule, f.token) in
+      let idx = token_index sig_toks ~line:f.line ~col:f.col in
+      (* Semantic findings arrive with an empty token; anchor them to
+         the source token they point at so fingerprints and reports
+         show real code. *)
+      let f =
+        if String.equal f.token "" && idx >= 0 then
+          { f with Rule.token = sig_toks.(idx).Lexer.text }
+        else f
+      in
+      let h = context_hash sig_toks idx in
+      let key = (f.rule, f.token, h) in
       let k = 1 + (try Hashtbl.find seen key with Not_found -> 0) in
       Hashtbl.replace seen key k;
-      (f, Printf.sprintf "%s#%d" f.token k))
+      (f, Printf.sprintf "%s@%08x#%d" f.token h k))
     findings
 
-let analyze ?(rules = rules) ~(baseline : Suppress.Baseline.t) (sources : source list) :
-    outcome =
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type lexed = {
+  l_path : string;
+  l_anns : Suppress.annotation list;
+  l_sig : Lexer.token array;
+  l_toks : Lexer.token list;
+}
+
+let by_position (a : Rule.finding) (b : Rule.finding) =
+  if a.line <> b.line then Int.compare a.line b.line
+  else if a.col <> b.col then Int.compare a.col b.col
+  else String.compare a.rule b.rule
+
+let analyze ?(rules = rules) ?(sem_rules = []) ?(spec = Registry.taint_spec)
+    ~(baseline : Suppress.Baseline.t) (sources : source list) : outcome =
   let errors = ref [] in
+  let phases = ref [] in
+  let rule_ms = ref [] in
+  let timed name f =
+    let t0 = now_ms () in
+    let r = f () in
+    phases := (name, now_ms () -. t0) :: !phases;
+    r
+  in
+  let add_rule_ms id dt =
+    rule_ms :=
+      match List.assoc_opt id !rule_ms with
+      | Some prev -> (id, prev +. dt) :: List.remove_assoc id !rule_ms
+      | None -> (id, dt) :: !rule_ms
+  in
+  (* Phase 1: lex. A file that fails to lex is reported and dropped. *)
+  let lexed =
+    timed "lex" (fun () ->
+        List.filter_map
+          (fun { path; content } ->
+            match Lexer.tokens_of_string ~file:path content with
+            | exception Lexer.Error { line; col; message } ->
+                errors :=
+                  Printf.sprintf "%s:%d:%d: lexer error: %s" path line col message
+                  :: !errors;
+                None
+            | tokens ->
+                let anns, ann_errs = Suppress.scan ~file:path tokens in
+                errors := List.rev_append ann_errs !errors;
+                Some
+                  {
+                    l_path = path;
+                    l_anns = anns;
+                    l_sig = Array.of_list (Lexer.significant tokens);
+                    l_toks = tokens;
+                  })
+          sources)
+  in
+  (* Phase 2: token rules, per file. *)
+  let token_findings =
+    timed "token_rules" (fun () ->
+        List.map
+          (fun l ->
+            ( l.l_path,
+              List.concat_map
+                (fun (r : Rule.t) ->
+                  if r.applies l.l_path then begin
+                    let t0 = now_ms () in
+                    let fs = r.check ~file:l.l_path l.l_sig in
+                    add_rule_ms r.id (now_ms () -. t0);
+                    fs
+                  end
+                  else [])
+                rules ))
+          lexed)
+  in
+  (* Phases 3-5: parse / resolve / taint, then the semantic rules —
+     only when any are requested, so token-only runs stay cheap. *)
+  let sem_findings =
+    if sem_rules = [] then []
+    else begin
+      let structures =
+        timed "parse" (fun () ->
+            List.filter_map
+              (fun l ->
+                match Parser.structure_of_tokens ~file:l.l_path l.l_toks with
+                | exception Parser.Error { line; col; message } ->
+                    errors :=
+                      Printf.sprintf "%s:%d:%d: parse error: %s" l.l_path line col
+                        message
+                      :: !errors;
+                    None
+                | s -> Some (l.l_path, s))
+              lexed)
+      in
+      let resolver = timed "resolve" (fun () -> Resolve.build structures) in
+      let taint = timed "taint" (fun () -> Taint.analyze ~spec resolver) in
+      let ctx = { Rule.structures; resolver; taint } in
+      timed "sem_rules" (fun () ->
+          List.concat_map
+            (fun (s : Rule.sem) ->
+              let t0 = now_ms () in
+              let fs = s.s_check ctx in
+              add_rule_ms s.s_id (now_ms () -. t0);
+              fs)
+            sem_rules)
+    end
+  in
+  (* Classify per file, in scan order. *)
   let results = ref [] in
   let used_baseline : (Suppress.Baseline.entry, unit) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun { path; content } ->
-      match Lexer.tokens_of_string ~file:path content with
-      | exception Lexer.Error { line; col; message } ->
-          errors := Printf.sprintf "%s:%d:%d: lexer error: %s" path line col message :: !errors
-      | tokens ->
-          let anns, ann_errs = Suppress.scan ~file:path tokens in
-          errors := List.rev_append ann_errs !errors;
-          let sig_toks = Array.of_list (Lexer.significant tokens) in
+  timed "classify" (fun () ->
+      List.iter
+        (fun l ->
           let findings =
-            List.concat_map
-              (fun (r : Rule.t) -> if r.applies path then r.check ~file:path sig_toks else [])
-              rules
-            (* scan order: by position, stable across rules *)
-            |> List.stable_sort (fun (a : Rule.finding) b ->
-                   if a.line <> b.line then Int.compare a.line b.line
-                   else if a.col <> b.col then Int.compare a.col b.col
-                   else String.compare a.rule b.rule)
+            (try List.assoc l.l_path token_findings with Not_found -> [])
+            @ List.filter
+                (fun (f : Rule.finding) -> String.equal f.file l.l_path)
+                sem_findings
+            |> List.stable_sort by_position
           in
           List.iter
-            (fun (f, fingerprint) ->
+            (fun ((f : Rule.finding), fingerprint) ->
               let status =
-                match Suppress.covering anns f with
+                match Suppress.covering l.l_anns f with
                 | Some reason -> `Suppressed reason
                 | None -> (
                     match
@@ -82,16 +243,16 @@ let analyze ?(rules = rules) ~(baseline : Suppress.Baseline.t) (sources : source
                         if not (Suppress.Baseline.is_explained e) then
                           errors :=
                             Printf.sprintf
-                              "baseline entry %s %s %s has no justification; explain it \
-                               or fix the finding"
+                              "baseline entry %s %s %s has no justification; explain \
+                               it or fix the finding"
                               e.rule e.file e.fingerprint
                             :: !errors;
                         `Baselined e.reason
                     | None -> `New)
               in
               results := { finding = f; fingerprint; status } :: !results)
-            (fingerprints findings))
-    sources;
+            (fingerprints l.l_sig findings))
+        lexed);
   (* Baseline entries that matched nothing are stale. *)
   List.iter
     (fun (e : Suppress.Baseline.entry) ->
@@ -107,6 +268,8 @@ let analyze ?(rules = rules) ~(baseline : Suppress.Baseline.t) (sources : source
     files_scanned = List.length sources;
     results = List.rev !results;
     errors = List.rev !errors;
+    phases = List.rev !phases;
+    rule_ms = List.rev !rule_ms;
   }
 
 let new_findings outcome =
@@ -118,7 +281,7 @@ let clean outcome =
   (match new_findings outcome with [] -> true | _ :: _ -> false)
   && match outcome.errors with [] -> true | _ :: _ -> false
 
-(* [updated_baseline outcome ~old] carries forward justifications for
+(* [updated_baseline outcome] carries forward justifications for
    findings that remain and adds TODO entries for new ones: the
    workflow for a consciously-accepted finding is update, then edit the
    TODO into a real justification (the checker rejects TODOs). *)

@@ -1,0 +1,1233 @@
+(* Recursive-descent parser from the [Lexer] token stream to the
+   simplified [Ast]. It is linting-grade, not compiling-grade: it must
+   accept every construct this codebase actually writes (let-bindings,
+   functions with labeled/optional arguments, match/try/function with
+   or-patterns and guards, records with puns and [with]-updates, local
+   opens, first-class modules, polymorphic variants) and may flatten
+   what the analysis does not need:
+
+   - all types are skipped (annotations, declarations, module types);
+   - operator precedence is collapsed to one left-associative level —
+     [a + b * c] parses as [((a + b) * c)], which preserves exactly the
+     def/use and call structure taint analysis cares about, not
+     arithmetic meaning;
+   - inline [struct ... end] module expressions in expression position
+     are kept as opaque [Pack ["<struct>"]] black boxes.
+
+   Known limits are documented in docs/STATIC_ANALYSIS.md. *)
+
+open Ast
+
+exception Error of { line : int; col : int; message : string }
+
+type st = { toks : Lexer.token array; mutable i : int; file : string }
+
+let tok_pos (t : Lexer.token) = { line = t.line; col = t.col }
+
+let fail_at _st pos message = raise (Error { line = pos.line; col = pos.col; message })
+
+let peek st k = if st.i + k < Array.length st.toks then Some st.toks.(st.i + k) else None
+let cur st = peek st 0
+
+let cur_pos st =
+  match cur st with
+  | Some t -> tok_pos t
+  | None -> (
+      match Array.length st.toks with
+      | 0 -> { line = 1; col = 1 }
+      | n -> tok_pos st.toks.(n - 1))
+
+let advance st = st.i <- st.i + 1
+
+let fail st message = fail_at st (cur_pos st) message
+
+let is_kind t k = (t : Lexer.token).kind = k
+let is_sym_t (t : Lexer.token) s = t.kind = Lexer.Symbol && String.equal t.text s
+let is_ident_t (t : Lexer.token) s = t.kind = Lexer.Ident && String.equal t.text s
+
+let at_sym st s = match cur st with Some t -> is_sym_t t s | None -> false
+let at_ident st s = match cur st with Some t -> is_ident_t t s | None -> false
+
+let eat_sym st s =
+  if at_sym st s then advance st
+  else fail st (Printf.sprintf "expected %s" s)
+
+let eat_ident st s =
+  if at_ident st s then advance st
+  else fail st (Printf.sprintf "expected keyword %s" s)
+
+let keywords =
+  [
+    "and"; "as"; "assert"; "begin"; "class"; "constraint"; "do"; "done"; "downto";
+    "else"; "end"; "exception"; "external"; "for"; "fun"; "function"; "functor";
+    "if"; "in"; "include"; "inherit"; "initializer"; "lazy"; "let"; "match";
+    "method"; "module"; "mutable"; "new"; "nonrec"; "object"; "of"; "open";
+    "private"; "rec"; "sig"; "struct"; "then"; "to"; "try"; "type"; "val";
+    "virtual"; "when"; "while"; "with";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+(* Ident-spelled infix operators. *)
+let ident_infix = [ "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr"; "or" ]
+
+let is_op_run s =
+  String.length s > 0
+  && String.for_all (fun c -> String.contains "!$%&*+-./:<=>?@^|~#" c) s
+
+(* Infix operator tokens: maximal symbol runs minus the structural ones. *)
+let is_infix_tok (t : Lexer.token) =
+  match t.kind with
+  | Lexer.Symbol ->
+      is_op_run t.text
+      && not
+           (List.mem t.text
+              [ "|"; "->"; "<-"; "."; "!"; "?"; "~"; ":"; ".."; "#" ])
+  | Lexer.Ident -> List.mem t.text ident_infix
+  | _ -> false
+
+(* Does the current token begin a "simple" expression (applicable as a
+   function argument)? *)
+let starts_simple st =
+  match cur st with
+  | None -> false
+  | Some t -> (
+      match t.kind with
+      | Lexer.Number | Lexer.String_lit | Lexer.Char_lit | Lexer.Uident -> true
+      | Lexer.Ident ->
+          (not (is_keyword t.text) && not (List.mem t.text ident_infix))
+          || String.equal t.text "begin"
+      | Lexer.Symbol -> List.mem t.text [ "("; "["; "{"; "`"; "!" ]
+      | Lexer.Comment -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Balanced skipping (types, signatures, inline structs)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Skip a type expression: consume tokens until one of [stops] appears
+   at bracket depth 0 (the stop token is not consumed). *)
+let skip_type st ~stops =
+  let depth = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match cur st with
+    | None -> continue_ := false
+    | Some t ->
+        if !depth = 0 && List.exists (fun s -> is_sym_t t s || is_ident_t t s) stops
+        then continue_ := false
+        else begin
+          (match t.text with
+          | "(" | "[" | "{" -> incr depth
+          | ")" | "]" | "}" ->
+              if !depth = 0 then continue_ := false else decr depth
+          | _ -> ());
+          if !continue_ then advance st
+        end
+  done
+
+(* Skip a parenthesized group; the current token is the "(". *)
+let skip_parens st =
+  eat_sym st "(";
+  let depth = ref 1 in
+  while !depth > 0 do
+    match cur st with
+    | None -> fail st "unterminated parenthesis"
+    | Some t ->
+        (match t.text with
+        | "(" -> incr depth
+        | ")" -> decr depth
+        | _ -> ());
+        advance st
+  done
+
+(* Skip a [struct]/[sig]/[begin] ... [end] block, nesting included.
+   The opening keyword is the current token. *)
+let skip_block st =
+  let depth = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match cur st with
+    | None -> fail st "unterminated struct/sig block"
+    | Some t ->
+        if is_ident_t t "struct" || is_ident_t t "sig" || is_ident_t t "begin" then
+          incr depth
+        else if is_ident_t t "end" then begin
+          decr depth;
+          if !depth = 0 then continue_ := false
+        end;
+        advance st
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Paths                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Parse a module path [A.B] or value path [A.B.c]; the current token
+   is the leading identifier. Stops before [.(] so local opens can be
+   detected by the caller. Returns the components and whether the last
+   component is capitalized. *)
+let parse_path st =
+  let rec go acc =
+    match cur st with
+    | Some t when is_kind t Lexer.Uident ->
+        advance st;
+        if
+          at_sym st "."
+          && match peek st 1 with
+             | Some n -> is_kind n Lexer.Uident || is_kind n Lexer.Ident
+             | None -> false
+        then begin
+          advance st (* "." *);
+          go (t.text :: acc)
+        end
+        else (List.rev (t.text :: acc), true)
+    | Some t when is_kind t Lexer.Ident && not (is_keyword t.text) ->
+        advance st;
+        (List.rev (t.text :: acc), false)
+    | _ -> fail st "expected identifier in path"
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_pat st =
+  let p = parse_pat_or st in
+  let rec alias p =
+    if at_ident st "as" then begin
+      advance st;
+      match cur st with
+      | Some t when is_kind t Lexer.Ident ->
+          advance st;
+          alias (Palias (p, t.text, tok_pos t))
+      | _ -> fail st "expected name after `as`"
+    end
+    else p
+  in
+  alias p
+
+and parse_pat_or st =
+  let p = parse_pat_tuple st in
+  if at_sym st "|" then begin
+    advance st;
+    Por (p, parse_pat_or st)
+  end
+  else p
+
+and parse_pat_tuple st =
+  let p = parse_pat_cons st in
+  if at_sym st "," then begin
+    let items = ref [ p ] in
+    while at_sym st "," do
+      advance st;
+      items := parse_pat_cons st :: !items
+    done;
+    Ptuple (List.rev !items)
+  end
+  else p
+
+and parse_pat_cons st =
+  let p = parse_pat_app st in
+  if at_sym st "::" then begin
+    advance st;
+    Pcons (p, parse_pat_cons st)
+  end
+  else p
+
+and parse_pat_app st =
+  match cur st with
+  | Some t when is_kind t Lexer.Uident ->
+      let path, capital = parse_path_pat st in
+      if capital then
+        let arg = if starts_pat_simple st then Some (parse_pat_simple st) else None in
+        Pconstruct (path, arg)
+      else
+        (* lowercase-terminated path in a pattern: only a record field
+           name reaches here via parse_record_pat, so treat as var *)
+        Pvar (List.nth path (List.length path - 1), tok_pos t)
+  | Some t when is_sym_t t "`" ->
+      advance st;
+      let tag =
+        match cur st with
+        | Some n when is_kind n Lexer.Uident || is_kind n Lexer.Ident ->
+            advance st;
+            "`" ^ n.text
+        | _ -> fail st "expected tag after `"
+      in
+      let arg = if starts_pat_simple st then Some (parse_pat_simple st) else None in
+      Pconstruct ([ tag ], arg)
+  | Some t when is_ident_t t "exception" ->
+      advance st;
+      ignore t;
+      Pexception (parse_pat_app st)
+  | Some t when is_ident_t t "lazy" ->
+      advance st;
+      Plazy (parse_pat_simple st)
+  | _ -> parse_pat_simple st
+
+and parse_path_pat st =
+  (* like parse_path but used in patterns *)
+  parse_path st
+
+and starts_pat_simple st =
+  match cur st with
+  | None -> false
+  | Some t -> (
+      match t.kind with
+      | Lexer.Number | Lexer.String_lit | Lexer.Char_lit | Lexer.Uident -> true
+      | Lexer.Ident -> not (is_keyword t.text)
+      | Lexer.Symbol -> List.mem t.text [ "("; "["; "{"; "`"; "-" ]
+      | Lexer.Comment -> false)
+
+and parse_pat_simple st =
+  match cur st with
+  | None -> fail st "expected pattern"
+  | Some t -> (
+      match t.kind with
+      | Lexer.Ident when String.equal t.text "_" ->
+          advance st;
+          Pany
+      | Lexer.Ident when not (is_keyword t.text) ->
+          advance st;
+          Pvar (t.text, tok_pos t)
+      | Lexer.Number | Lexer.String_lit | Lexer.Char_lit ->
+          advance st;
+          (* char-range pattern 'a' .. 'z' *)
+          if t.kind = Lexer.Char_lit && at_sym st ".." then begin
+            advance st;
+            match cur st with
+            | Some hi when is_kind hi Lexer.Char_lit ->
+                advance st;
+                Pconst (t.text ^ " .. " ^ hi.text)
+            | _ -> fail st "expected char after .."
+          end
+          else Pconst t.text
+      | Lexer.Uident -> parse_pat_app st
+      | Lexer.Symbol when String.equal t.text "-" ->
+          advance st;
+          (match cur st with
+          | Some n when is_kind n Lexer.Number ->
+              advance st;
+              Pconst ("-" ^ n.text)
+          | _ -> fail st "expected number after - in pattern")
+      | Lexer.Symbol when String.equal t.text "`" -> parse_pat_app st
+      | Lexer.Symbol when String.equal t.text "(" ->
+          advance st;
+          if at_sym st ")" then begin
+            advance st;
+            Pconst "()"
+          end
+          else if at_ident st "module" then begin
+            advance st;
+            match cur st with
+            | Some m when is_kind m Lexer.Uident || is_ident_t m "_" ->
+                advance st;
+                if at_sym st ":" then skip_type st ~stops:[ ")" ];
+                eat_sym st ")";
+                Pmodule (m.text, tok_pos m)
+            | _ -> fail st "expected module name in (module ...) pattern"
+          end
+          else begin
+            (* operator name: ( + ) *)
+            match cur st with
+            | Some op
+              when (is_kind op Lexer.Symbol && is_op_run op.text
+                   && match peek st 1 with Some n -> is_sym_t n ")" | None -> false)
+                   || (List.mem op.text ident_infix
+                      && match peek st 1 with Some n -> is_sym_t n ")" | None -> false)
+              ->
+                advance st;
+                advance st;
+                Pvar (op.text, tok_pos op)
+            | _ ->
+                let p = parse_pat st in
+                if at_sym st ":" then skip_type st ~stops:[ ")" ];
+                eat_sym st ")";
+                p
+          end
+      | Lexer.Symbol when String.equal t.text "[" ->
+          advance st;
+          if at_sym st "||" then begin
+            advance st;
+            eat_sym st "]";
+            Parray_pat []
+          end
+          else if at_sym st "|" then begin
+            advance st;
+            let items = parse_pat_semi_list st in
+            eat_sym st "|";
+            eat_sym st "]";
+            Parray_pat items
+          end
+          else begin
+            let items = parse_pat_semi_list st in
+            eat_sym st "]";
+            Plist items
+          end
+      | Lexer.Symbol when String.equal t.text "{" ->
+          advance st;
+          parse_record_pat st
+      | _ -> fail st (Printf.sprintf "unexpected token %S in pattern" t.text))
+
+and parse_pat_semi_list st =
+  if at_sym st "]" || at_sym st "|" then []
+  else begin
+    let items = ref [ parse_pat st ] in
+    while at_sym st ";" do
+      advance st;
+      if not (at_sym st "]" || at_sym st "|") then items := parse_pat st :: !items
+    done;
+    List.rev !items
+  end
+
+and parse_record_pat st =
+  let fields = ref [] in
+  let open_ = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    if at_ident st "_" then begin
+      advance st;
+      open_ := true;
+      continue_ := false
+    end
+    else begin
+      let path, _ = parse_path st in
+      let pat =
+        if at_sym st "=" then begin
+          advance st;
+          parse_pat st
+        end
+        else
+          (* pun: { line; col } *)
+          Pvar (List.nth path (List.length path - 1), cur_pos st)
+      in
+      fields := (path, pat) :: !fields;
+      if at_sym st ";" then advance st else continue_ := false
+    end
+  done;
+  eat_sym st "}";
+  Precord (List.rev !fields, !open_)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mk pos desc = { desc; pos }
+
+let rec parse_expr st =
+  (* sequence level: e1; e2; ... *)
+  let e = parse_el_or_tuple st in
+  if at_sym st ";" then begin
+    advance st;
+    (* tolerate a trailing semicolon before a closing token *)
+    match cur st with
+    | Some t
+      when is_sym_t t ")" || is_sym_t t "]" || is_sym_t t "}" || is_ident_t t "end"
+           || is_ident_t t "done" ->
+        e
+    | Some _ -> mk e.pos (Sequence (e, parse_expr st))
+    | None -> e
+  end
+  else e
+
+and parse_el_or_tuple st =
+  let e = parse_el st in
+  if at_sym st "," then begin
+    let items = ref [ e ] in
+    while at_sym st "," do
+      advance st;
+      items := parse_el st :: !items
+    done;
+    mk e.pos (Tuple (List.rev !items))
+  end
+  else e
+
+(* One element: an infix chain whose operands may be keyword forms.
+   A keyword form is greedy — it consumes through its own body — so it
+   terminates the chain when it appears as a right operand. *)
+and parse_el st =
+  if is_keyword_form st then parse_keyword_form st
+  else begin
+    let rec chain lhs =
+      match cur st with
+      | Some t when is_infix_tok t ->
+          advance st;
+          let op = mk (tok_pos t) (Var [ t.text ]) in
+          if is_keyword_form st then
+            (* greedy rhs: [xs |> fun x -> ...] *)
+            mk lhs.pos (Apply (op, [ (Nolabel, lhs); (Nolabel, parse_el st) ]))
+          else begin
+            let rhs = parse_app st in
+            chain (mk lhs.pos (Apply (op, [ (Nolabel, lhs); (Nolabel, rhs) ])))
+          end
+      | _ -> lhs
+    in
+    chain (parse_app st)
+  end
+
+and is_keyword_form st =
+  match cur st with
+  | Some t when is_kind t Lexer.Ident ->
+      List.mem t.text
+        [ "let"; "fun"; "function"; "match"; "try"; "if"; "while"; "for"; "assert"; "lazy" ]
+  | Some t when is_sym_t t "-" || is_sym_t t "-." -> false
+  | _ -> false
+
+and parse_keyword_form st =
+  let t = match cur st with Some t -> t | None -> fail st "expected expression" in
+  let pos = tok_pos t in
+  match t.text with
+  | "let" ->
+      advance st;
+      if at_ident st "open" then begin
+        advance st;
+        let path, _ = parse_path st in
+        eat_ident st "in";
+        mk pos (Letopen (path, parse_expr st))
+      end
+      else if at_ident st "module" then begin
+        advance st;
+        let name =
+          match cur st with
+          | Some m when is_kind m Lexer.Uident ->
+              advance st;
+              m.text
+          | _ -> fail st "expected module name"
+        in
+        eat_sym st "=";
+        let alias =
+          if at_ident st "struct" then begin
+            skip_block st;
+            None
+          end
+          else begin
+            let path, _ = parse_path st in
+            (* functor application: skip argument parens *)
+            while at_sym st "(" do
+              skip_parens st
+            done;
+            Some path
+          end
+        in
+        eat_ident st "in";
+        mk pos (Letmodule (name, alias, parse_expr st))
+      end
+      else if at_ident st "exception" then begin
+        advance st;
+        skip_type st ~stops:[ "in" ];
+        eat_ident st "in";
+        parse_expr st
+      end
+      else begin
+        let recursive =
+          if at_ident st "rec" then begin
+            advance st;
+            true
+          end
+          else false
+        in
+        let bindings = parse_bindings st in
+        eat_ident st "in";
+        mk pos (Let { recursive; bindings; body = parse_expr st })
+      end
+  | "fun" ->
+      advance st;
+      let params = parse_params st in
+      (* optional return-type annotation: fun x : t -> ... *)
+      if at_sym st ":" then skip_type st ~stops:[ "->" ];
+      eat_sym st "->";
+      mk pos (Fun (params, parse_expr st))
+  | "function" ->
+      advance st;
+      mk pos (Function (parse_cases st))
+  | "match" ->
+      advance st;
+      let scrut = parse_expr st in
+      eat_ident st "with";
+      mk pos (Match (scrut, parse_cases st))
+  | "try" ->
+      advance st;
+      let body = parse_expr st in
+      eat_ident st "with";
+      mk pos (Try (body, parse_cases st))
+  | "if" ->
+      advance st;
+      let cond = parse_expr st in
+      eat_ident st "then";
+      let then_ = parse_el_or_tuple st in
+      let else_ =
+        if at_ident st "else" then begin
+          advance st;
+          Some (parse_el_or_tuple st)
+        end
+        else None
+      in
+      mk pos (If (cond, then_, else_))
+  | "while" ->
+      advance st;
+      let cond = parse_expr st in
+      eat_ident st "do";
+      let body = parse_expr st in
+      eat_ident st "done";
+      mk pos (While (cond, body))
+  | "for" ->
+      advance st;
+      let var =
+        match cur st with
+        | Some v when is_kind v Lexer.Ident ->
+            advance st;
+            v.text
+        | _ -> fail st "expected loop variable"
+      in
+      eat_sym st "=";
+      let from_ = parse_el st in
+      let up =
+        if at_ident st "to" then true
+        else if at_ident st "downto" then false
+        else fail st "expected to/downto"
+      in
+      advance st;
+      let to_ = parse_el st in
+      eat_ident st "do";
+      let body = parse_expr st in
+      eat_ident st "done";
+      mk pos (For { var; from_; to_; up; body })
+  | "assert" ->
+      advance st;
+      mk pos (Assert (parse_prefix st))
+  | "lazy" ->
+      advance st;
+      mk pos (Lazy_ (parse_prefix st))
+  | _ -> fail st "unexpected keyword"
+
+and parse_bindings st =
+  let b = parse_binding st in
+  let bindings = ref [ b ] in
+  while at_ident st "and" do
+    advance st;
+    bindings := parse_binding st :: !bindings
+  done;
+  List.rev !bindings
+
+and parse_binding st =
+  let b_pos = cur_pos st in
+  let b_pat = parse_pat_simple st in
+  (* unparenthesized destructuring heads: [let a, b = ...],
+     [let x :: rest = ...] — no parameters can follow these *)
+  let b_pat =
+    if at_sym st "," then begin
+      let items = ref [ b_pat ] in
+      while at_sym st "," do
+        advance st;
+        items := parse_pat_cons st :: !items
+      done;
+      Ptuple (List.rev !items)
+    end
+    else if at_sym st "::" then begin
+      advance st;
+      Pcons (b_pat, parse_pat_cons st)
+    end
+    else b_pat
+  in
+  let b_params = parse_params st in
+  if at_sym st ":" then skip_type st ~stops:[ "=" ];
+  eat_sym st "=";
+  let b_body = parse_expr st in
+  { b_pat; b_params; b_body; b_pos }
+
+and parse_params st =
+  let params = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match cur st with
+    | Some t when is_sym_t t "~" ->
+        advance st;
+        if at_sym st "(" then begin
+          (* ~(label : ty) *)
+          advance st;
+          match cur st with
+          | Some n when is_kind n Lexer.Ident ->
+              advance st;
+              if at_sym st ":" then skip_type st ~stops:[ ")" ];
+              eat_sym st ")";
+              params :=
+                { label = Labelled n.text; pat = Pvar (n.text, tok_pos n); default = None }
+                :: !params
+          | _ -> fail st "expected name in ~( ... ) parameter"
+        end
+        else begin
+          match cur st with
+          | Some n when is_kind n Lexer.Ident ->
+              advance st;
+              if at_sym st ":" then begin
+                advance st;
+                let pat = parse_pat_simple st in
+                params := { label = Labelled n.text; pat; default = None } :: !params
+              end
+              else
+                params :=
+                  { label = Labelled n.text; pat = Pvar (n.text, tok_pos n); default = None }
+                  :: !params
+          | _ -> fail st "expected label name after ~"
+        end
+    | Some t when is_sym_t t "?" ->
+        advance st;
+        if at_sym st "(" then begin
+          (* ?(name = default) *)
+          advance st;
+          match cur st with
+          | Some n when is_kind n Lexer.Ident ->
+              advance st;
+              if at_sym st ":" then skip_type st ~stops:[ "=" ; ")" ];
+              let default =
+                if at_sym st "=" then begin
+                  advance st;
+                  Some (parse_el st)
+                end
+                else None
+              in
+              eat_sym st ")";
+              params :=
+                { label = Optional n.text; pat = Pvar (n.text, tok_pos n); default }
+                :: !params
+          | _ -> fail st "expected name in ?( ... ) parameter"
+        end
+        else begin
+          match cur st with
+          | Some n when is_kind n Lexer.Ident ->
+              advance st;
+              if at_sym st ":" then begin
+                advance st;
+                if at_sym st "(" then begin
+                  (* ?label:(pat = default) or ?label:(pat : ty) *)
+                  advance st;
+                  let pat = parse_pat st in
+                  if at_sym st ":" then skip_type st ~stops:[ "="; ")" ];
+                  let default =
+                    if at_sym st "=" then begin
+                      advance st;
+                      Some (parse_el st)
+                    end
+                    else None
+                  in
+                  eat_sym st ")";
+                  params := { label = Optional n.text; pat; default } :: !params
+                end
+                else begin
+                  let pat = parse_pat_simple st in
+                  params := { label = Optional n.text; pat; default = None } :: !params
+                end
+              end
+              else
+                params :=
+                  { label = Optional n.text; pat = Pvar (n.text, tok_pos n); default = None }
+                  :: !params
+          | _ -> fail st "expected label name after ?"
+        end
+    | Some t when is_sym_t t "(" && (match peek st 1 with
+                                     | Some n -> is_ident_t n "type"
+                                     | None -> false) ->
+        (* (type a) — locally abstract type, dropped *)
+        advance st;
+        skip_type st ~stops:[ ")" ];
+        eat_sym st ")"
+    | Some t
+      when (is_kind t Lexer.Ident && not (is_keyword t.text))
+           || is_kind t Lexer.Uident
+           || is_sym_t t "(" || is_sym_t t "{" || is_sym_t t "[" ->
+        params := { label = Nolabel; pat = parse_pat_simple st; default = None } :: !params
+    | _ -> continue_ := false
+  done;
+  List.rev !params
+
+and parse_cases st =
+  if at_sym st "|" then advance st;
+  let cases = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let lhs = parse_pat st in
+    let guard =
+      if at_ident st "when" then begin
+        advance st;
+        Some (parse_el st)
+      end
+      else None
+    in
+    eat_sym st "->";
+    let rhs = parse_expr st in
+    cases := { lhs; guard; rhs } :: !cases;
+    if at_sym st "|" then advance st else continue_ := false
+  done;
+  List.rev !cases
+
+(* Application: head followed by labeled/plain simple arguments. *)
+and parse_app st =
+  let head = parse_prefix st in
+  let args = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match cur st with
+    | Some t when is_sym_t t "~" -> (
+        advance st;
+        match cur st with
+        | Some n when is_kind n Lexer.Ident ->
+            advance st;
+            if at_sym st ":" then begin
+              advance st;
+              args := (Labelled n.text, parse_prefix st) :: !args
+            end
+            else args := (Labelled n.text, mk (tok_pos n) (Var [ n.text ])) :: !args
+        | _ -> fail st "expected label after ~")
+    | Some t when is_sym_t t "?" -> (
+        advance st;
+        match cur st with
+        | Some n when is_kind n Lexer.Ident ->
+            advance st;
+            if at_sym st ":" then begin
+              advance st;
+              args := (Optional n.text, parse_prefix st) :: !args
+            end
+            else args := (Optional n.text, mk (tok_pos n) (Var [ n.text ])) :: !args
+        | _ -> fail st "expected label after ?")
+    | Some _ when starts_simple st -> args := (Nolabel, parse_prefix st) :: !args
+    | _ -> continue_ := false
+  done;
+  match List.rev !args with
+  | [] -> head
+  | args -> (
+      (* a bare constructor applied to its first argument *)
+      match (head.desc, args) with
+      | Construct (path, None), (Nolabel, arg) :: rest -> (
+          let c = mk head.pos (Construct (path, Some arg)) in
+          match rest with [] -> c | rest -> mk head.pos (Apply (c, rest)))
+      | _ -> mk head.pos (Apply (head, args)))
+
+and parse_prefix st =
+  match cur st with
+  | Some t when is_sym_t t "!" ->
+      advance st;
+      let e = parse_prefix st in
+      mk (tok_pos t) (Apply (mk (tok_pos t) (Var [ "!" ]), [ (Nolabel, e) ]))
+  | Some t when (is_sym_t t "-" || is_sym_t t "-.") ->
+      advance st;
+      let e = parse_prefix st in
+      mk (tok_pos t) (Apply (mk (tok_pos t) (Var [ t.text ]), [ (Nolabel, e) ]))
+  | _ -> parse_postfix st
+
+(* Postfix chains: field access, [.( )] / [.[ ]] indexing, and the
+   [<-] assignments that follow them. *)
+and parse_postfix st =
+  let e = parse_primary st in
+  let rec chain e =
+    if at_sym st "." then begin
+      match peek st 1 with
+      | Some n when is_sym_t n "(" ->
+          advance st;
+          advance st;
+          let idx = parse_expr st in
+          eat_sym st ")";
+          let g = mk e.pos (Index_get (e, idx)) in
+          if at_sym st "<-" then begin
+            advance st;
+            mk e.pos (Index_set (e, idx, parse_el st))
+          end
+          else chain g
+      | Some n when is_sym_t n "[" ->
+          advance st;
+          advance st;
+          let idx = parse_expr st in
+          eat_sym st "]";
+          let g = mk e.pos (Index_get (e, idx)) in
+          if at_sym st "<-" then begin
+            advance st;
+            mk e.pos (Index_set (e, idx, parse_el st))
+          end
+          else chain g
+      | Some n when is_kind n Lexer.Ident || is_kind n Lexer.Uident ->
+          advance st;
+          let path, _ = parse_path st in
+          let f = mk e.pos (Field (e, path)) in
+          if at_sym st "<-" then begin
+            advance st;
+            mk e.pos (Setfield (e, path, parse_el st))
+          end
+          else chain f
+      | _ -> e
+    end
+    else e
+  in
+  chain e
+
+and parse_primary st =
+  match cur st with
+  | None -> fail st "expected expression"
+  | Some t -> (
+      let pos = tok_pos t in
+      match t.kind with
+      | Lexer.Number | Lexer.String_lit | Lexer.Char_lit ->
+          advance st;
+          mk pos (Const t.text)
+      | Lexer.Ident when String.equal t.text "begin" ->
+          advance st;
+          if at_ident st "end" then begin
+            advance st;
+            mk pos (Const "()")
+          end
+          else begin
+            let e = parse_expr st in
+            eat_ident st "end";
+            e
+          end
+      | Lexer.Ident when is_keyword t.text && not (List.mem t.text [ "true"; "false" ]) ->
+          fail st (Printf.sprintf "unexpected keyword %S in expression" t.text)
+      | Lexer.Ident ->
+          advance st;
+          mk pos (Var [ t.text ])
+      | Lexer.Uident -> (
+          (* qualified path; may end in a local open [M.(e)] or a
+             module-qualified bracket [M.[...]] *)
+          let rec collect acc =
+            match cur st with
+            | Some u when is_kind u Lexer.Uident -> (
+                advance st;
+                match (cur st, peek st 1) with
+                | Some d, Some n when is_sym_t d "." && is_kind n Lexer.Uident ->
+                    advance st;
+                    collect (u.text :: acc)
+                | Some d, Some n when is_sym_t d "." && is_kind n Lexer.Ident
+                                      && not (is_keyword n.text) ->
+                    advance st;
+                    advance st;
+                    `Value (List.rev (n.text :: u.text :: acc))
+                | Some d, Some n when is_sym_t d "." && is_sym_t n "(" -> (
+                    (* M.( ... ): local open, or an operator path M.( + ) *)
+                    advance st;
+                    advance st;
+                    match (cur st, peek st 1) with
+                    | Some op, Some close
+                      when (is_op_run op.text || List.mem op.text ident_infix)
+                           && is_sym_t close ")" ->
+                        advance st;
+                        advance st;
+                        `Value (List.rev (op.text :: u.text :: acc))
+                    | _ -> `Open (List.rev (u.text :: acc)))
+                | _ -> `Constr (List.rev (u.text :: acc)))
+            | _ -> fail st "expected module path"
+          in
+          match collect [] with
+          | `Value path -> mk pos (Var path)
+          | `Constr path -> mk pos (Construct (path, None))
+          | `Open path ->
+              let e = parse_expr st in
+              eat_sym st ")";
+              mk pos (Letopen (path, e)))
+      | Lexer.Symbol when String.equal t.text "`" ->
+          advance st;
+          let tag =
+            match cur st with
+            | Some n when is_kind n Lexer.Uident || is_kind n Lexer.Ident ->
+                advance st;
+                "`" ^ n.text
+            | _ -> fail st "expected tag after `"
+          in
+          mk pos (Construct ([ tag ], None))
+      | Lexer.Symbol when String.equal t.text "(" -> parse_paren st pos
+      | Lexer.Symbol when String.equal t.text "[" ->
+          advance st;
+          if at_sym st "||" then begin
+            (* [||] lexes as "[" "||" "]" *)
+            advance st;
+            eat_sym st "]";
+            mk pos (Array_lit [])
+          end
+          else if at_sym st "|" then begin
+            advance st;
+            if at_sym st "|" then begin
+              advance st;
+              eat_sym st "]";
+              mk pos (Array_lit [])
+            end
+            else begin
+              let items = parse_semi_exprs st ~closers:[ "|" ] in
+              eat_sym st "|";
+              eat_sym st "]";
+              mk pos (Array_lit items)
+            end
+          end
+          else if at_sym st "]" then begin
+            advance st;
+            mk pos (List_lit [])
+          end
+          else begin
+            let items = parse_semi_exprs st ~closers:[ "]" ] in
+            eat_sym st "]";
+            mk pos (List_lit items)
+          end
+      | Lexer.Symbol when String.equal t.text "{" ->
+          advance st;
+          parse_record st pos
+      | _ -> fail st (Printf.sprintf "unexpected token %S in expression" t.text))
+
+and parse_semi_exprs st ~closers =
+  let items = ref [ parse_el st ] in
+  let at_closer () = List.exists (fun c -> at_sym st c) closers in
+  while at_sym st ";" do
+    advance st;
+    if not (at_closer ()) then items := parse_el st :: !items
+  done;
+  List.rev !items
+
+and parse_paren st pos =
+  advance st (* "(" *);
+  if at_sym st ")" then begin
+    advance st;
+    mk pos (Const "()")
+  end
+  else if at_ident st "module" then begin
+    advance st;
+    if at_ident st "struct" then begin
+      skip_block st;
+      if at_sym st ":" then skip_type st ~stops:[ ")" ];
+      eat_sym st ")";
+      mk pos (Pack [ "<struct>" ])
+    end
+    else begin
+      let path, _ = parse_path st in
+      if at_sym st ":" then skip_type st ~stops:[ ")" ];
+      eat_sym st ")";
+      mk pos (Pack path)
+    end
+  end
+  else if at_ident st "val" then begin
+    advance st;
+    skip_type st ~stops:[ ")" ];
+    eat_sym st ")";
+    mk pos (Pack [ "<val>" ])
+  end
+  else begin
+    (* operator section: ( + ), ( mod ), ( :: ) *)
+    match (cur st, peek st 1) with
+    | Some op, Some close
+      when is_sym_t close ")"
+           && ((is_kind op Lexer.Symbol && is_op_run op.text)
+              || List.mem op.text ident_infix) ->
+        advance st;
+        advance st;
+        mk pos (Var [ op.text ])
+    | _ ->
+        let e = parse_expr st in
+        if at_sym st ":" then skip_type st ~stops:[ ")" ];
+        eat_sym st ")";
+        e
+  end
+
+and parse_record st pos =
+  (* { f = e; g } or { base with f = e } *)
+  let first = parse_app st in
+  if at_ident st "with" then begin
+    advance st;
+    let fields = parse_record_fields st in
+    eat_sym st "}";
+    mk pos (Record (fields, Some first))
+  end
+  else begin
+    let rec path_of (e : expr) =
+      match e.desc with
+      | Var p -> Some p
+      | Construct (p, None) -> Some p
+      | Field (e', p) -> (
+          match path_of e' with Some q -> Some (q @ p) | None -> None)
+      | _ -> None
+    in
+    match path_of first with
+    | None -> fail_at st pos "expected record field name"
+    | Some path ->
+        let first_field =
+          if at_sym st "=" then begin
+            advance st;
+            (path, parse_el st)
+          end
+          else (path, mk pos (Var [ List.nth path (List.length path - 1) ]))
+        in
+        let rest =
+          if at_sym st ";" then begin
+            advance st;
+            if at_sym st "}" then []
+            else parse_record_fields st
+          end
+          else []
+        in
+        eat_sym st "}";
+        mk pos (Record (first_field :: rest, None))
+  end
+
+and parse_record_fields st =
+  let fields = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    if at_sym st "}" then continue_ := false
+    else begin
+      let path, _ = parse_path st in
+      let value =
+        if at_sym st "=" then begin
+          advance st;
+          parse_el st
+        end
+        else mk (cur_pos st) (Var [ List.nth path (List.length path - 1) ])
+      in
+      fields := (path, value) :: !fields;
+      if at_sym st ";" then advance st else continue_ := false
+    end
+  done;
+  List.rev !fields
+
+(* ------------------------------------------------------------------ *)
+(* Structure                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Skip a declaration (type/exception/external) up to the next item
+   keyword at depth 0. *)
+let skip_decl st =
+  advance st;
+  let depth = ref 0 in
+  let continue_ = ref true in
+  let item_kw =
+    [ "let"; "module"; "open"; "include"; "exception"; "type"; "external"; "end" ]
+  in
+  while !continue_ do
+    match cur st with
+    | None -> continue_ := false
+    | Some t ->
+        if
+          !depth = 0 && is_kind t Lexer.Ident
+          && List.mem t.text item_kw
+        then continue_ := false
+        else begin
+          (match t.text with
+          | "(" | "[" | "{" -> incr depth
+          | ")" | "]" | "}" -> decr depth
+          | _ -> ());
+          advance st
+        end
+  done
+
+let rec parse_items st ~top =
+  let items = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match cur st with
+    | None ->
+        if not top then fail st "unexpected end of file (missing `end`)";
+        continue_ := false
+    | Some t when is_ident_t t "end" && not top ->
+        advance st;
+        continue_ := false
+    | Some t -> (
+        let pos = tok_pos t in
+        match t.text with
+        | "let" ->
+            advance st;
+            let recursive =
+              if at_ident st "rec" then (advance st; true) else false
+            in
+            (* [let open M] at structure level is rare; treat like open *)
+            if at_ident st "open" then begin
+              advance st;
+              let path, _ = parse_path st in
+              (match cur st with
+              | Some i when is_ident_t i "in" -> advance st
+              | _ -> ());
+              items := Iopen (path, pos) :: !items
+            end
+            else begin
+              let bindings = parse_bindings st in
+              items := Ilet { recursive; bindings; i_pos = pos } :: !items
+            end
+        | "module" ->
+            advance st;
+            if at_ident st "type" then begin
+              (* module type S = sig ... end — opaque *)
+              advance st;
+              (match cur st with
+              | Some n when is_kind n Lexer.Uident -> advance st
+              | _ -> fail st "expected module type name");
+              eat_sym st "=";
+              if at_ident st "sig" then skip_block st
+              else begin
+                let _ = parse_path st in
+                ()
+              end;
+              items := Iskipped ("module type", pos) :: !items
+            end
+            else begin
+              let name =
+                match cur st with
+                | Some n when is_kind n Lexer.Uident ->
+                    advance st;
+                    n.text
+                | _ -> fail st "expected module name"
+              in
+              (* functor parameters and signature constraints, skipped *)
+              while at_sym st "(" do
+                skip_parens st
+              done;
+              if at_sym st ":" then skip_type st ~stops:[ "=" ];
+              eat_sym st "=";
+              if at_ident st "struct" then begin
+                advance st;
+                let body = parse_items st ~top:false in
+                items := Imodule (name, body, pos) :: !items
+              end
+              else begin
+                let path, _ = parse_path st in
+                while at_sym st "(" do
+                  skip_parens st
+                done;
+                items := Imodule_alias (name, path, pos) :: !items
+              end
+            end
+        | "open" ->
+            advance st;
+            let path, _ = parse_path st in
+            items := Iopen (path, pos) :: !items
+        | "include" ->
+            advance st;
+            let path, _ = parse_path st in
+            while at_sym st "(" do
+              skip_parens st
+            done;
+            items := Iinclude (path, pos) :: !items
+        | "type" ->
+            skip_decl st;
+            items := Iskipped ("type", pos) :: !items
+        | "exception" ->
+            skip_decl st;
+            items := Iskipped ("exception", pos) :: !items
+        | "external" ->
+            skip_decl st;
+            items := Iskipped ("external", pos) :: !items
+        | ";" ->
+            advance st (* stray ;; *)
+        | _ ->
+            fail st
+              (Printf.sprintf "unexpected token %S at structure level" t.text))
+  done;
+  List.rev !items
+
+let structure_of_tokens ?(file = "<string>") tokens =
+  let toks = Array.of_list (Lexer.significant tokens) in
+  let st = { toks; i = 0; file } in
+  parse_items st ~top:true
+
+let structure_of_string ?(file = "<string>") src =
+  structure_of_tokens ~file (Lexer.tokens_of_string ~file src)
+
+let expr_of_string ?(file = "<string>") src =
+  let toks = Array.of_list (Lexer.significant (Lexer.tokens_of_string ~file src)) in
+  let st = { toks; i = 0; file } in
+  let e = parse_expr st in
+  (match cur st with
+  | Some t -> fail_at st (tok_pos t) "trailing tokens after expression"
+  | None -> ());
+  e

@@ -1,9 +1,15 @@
 (* Rendering: a human console report and machine-readable JSON in the
-   lib/obs JSONL conventions (one object per line, a trailing summary
-   object; BENCH_lint.json is the summary object alone). This module
-   only builds strings/formatters — the binary owns the channels. *)
+   lib/obs JSONL conventions (a versioned header object first — the
+   trace-header pattern from Obs.Export — then one object per finding,
+   a summary object last; BENCH_lint.json is [bench_json] alone). This
+   module only builds strings/formatters — the binary owns the
+   channels. *)
 
 module Json = Obs.Export.Json
+
+(* Bump when the shape of the header/summary objects changes; consumers
+   (tools/lint_selfcheck.sh, the bench gate) check it. *)
+let json_version = 1
 
 let status_label = function
   | `New -> "new"
@@ -25,7 +31,7 @@ let tally (o : Driver.outcome) =
         count (function `New -> true | _ -> false),
         count (function `Baselined _ -> true | _ -> false),
         count (function `Suppressed _ -> true | _ -> false) ))
-    Driver.rule_ids
+    Registry.rule_ids
 
 let pp_console fmt (o : Driver.outcome) =
   let newf = Driver.new_findings o in
@@ -49,6 +55,32 @@ let pp_console fmt (o : Driver.outcome) =
       (List.length o.errors)
       (if List.length o.errors = 1 then "" else "s")
 
+let kind_label = function `Token -> "token" | `Semantic -> "semantic"
+
+(* First JSONL line: tool identity, schema version, and the rule
+   catalog (id/summary/description/scope straight from Registry) so a
+   report is self-describing. *)
+let header_json () =
+  Json.Obj
+    [
+      ("type", Json.Str "lint_header");
+      ("version", Json.of_int json_version);
+      ("tool", Json.Str "psi_lint");
+      ( "rules",
+        Json.Arr
+          (List.map
+             (fun (e : Registry.entry) ->
+               Json.Obj
+                 [
+                   ("id", Json.Str e.Registry.e_id);
+                   ("kind", Json.Str (kind_label e.Registry.e_kind));
+                   ("scope", Json.Str e.Registry.e_scope);
+                   ("summary", Json.Str e.Registry.e_summary);
+                   ("description", Json.Str e.Registry.e_description);
+                 ])
+             Registry.entries) );
+    ]
+
 let json_of_classified (c : Driver.classified) =
   let f = c.finding in
   Json.Obj
@@ -68,31 +100,62 @@ let json_of_classified (c : Driver.classified) =
     | `Baselined reason | `Suppressed reason -> [ ("reason", Json.Str reason) ]
     | `New -> [])
 
+let ms dt = Json.Num (Printf.sprintf "%.3f" dt)
+
+let phases_json (o : Driver.outcome) =
+  Json.Obj (List.map (fun (name, dt) -> (name, ms dt)) o.Driver.phases)
+
+let rules_json (o : Driver.outcome) =
+  Json.Obj
+    (List.map
+       (fun (id, n, b, s) ->
+         let ms_field =
+           match List.assoc_opt id o.Driver.rule_ms with
+           | Some dt -> [ ("ms", ms dt) ]
+           | None -> []
+         in
+         ( id,
+           Json.Obj
+             ([
+                ("new", Json.of_int n);
+                ("baselined", Json.of_int b);
+                ("suppressed", Json.of_int s);
+              ]
+             @ ms_field) ))
+       (tally o))
+
 let summary_json (o : Driver.outcome) =
   Json.Obj
     [
       ("type", Json.Str "summary");
+      ("version", Json.of_int json_version);
       ("tool", Json.Str "psi_lint");
       ("files_scanned", Json.of_int o.files_scanned);
-      ( "rules",
-        Json.Obj
-          (List.map
-             (fun (id, n, b, s) ->
-               ( id,
-                 Json.Obj
-                   [
-                     ("new", Json.of_int n);
-                     ("baselined", Json.of_int b);
-                     ("suppressed", Json.of_int s);
-                   ] ))
-             (tally o)) );
+      ("rules", rules_json o);
+      ("phases", phases_json o);
       ("errors", Json.of_int (List.length o.errors));
       ("clean", Json.Bool (Driver.clean o));
     ]
 
-(* JSONL: one finding object per line, summary object last. *)
+(* JSONL: header first, one finding object per line, summary last. *)
 let jsonl (o : Driver.outcome) =
-  String.concat ""
-    (List.map (fun c -> Json.to_string (json_of_classified c) ^ "\n") o.results)
+  Json.to_string (header_json ()) ^ "\n"
+  ^ String.concat ""
+      (List.map (fun c -> Json.to_string (json_of_classified c) ^ "\n") o.results)
   ^ Json.to_string (summary_json o)
   ^ "\n"
+
+(* BENCH_lint.json: the box profile (cores/git-rev/...) plus the
+   summary counts and per-phase/per-rule wall times; the @bench-gate
+   lint check compares a fresh run against this. *)
+let bench_json (o : Driver.outcome) =
+  Json.Obj
+    ([ ("type", Json.Str "lint_bench"); ("version", Json.of_int json_version) ]
+    @ Obs.Export.box_profile ()
+    @ [
+        ("files_scanned", Json.of_int o.files_scanned);
+        ("phases", phases_json o);
+        ("rules", rules_json o);
+        ("errors", Json.of_int (List.length o.errors));
+        ("clean", Json.Bool (Driver.clean o));
+      ])

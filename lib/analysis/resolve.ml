@@ -1,0 +1,298 @@
+(* Module-aware def/use resolution and call graph over the parsed tree.
+
+   Canonical names are file-anchored: the definition [let generate ...]
+   in lib/crypto/drbg.ml is "Drbg.generate" no matter how a use site
+   spells it — [Drbg.generate] from a sibling, [Crypto.Drbg.generate]
+   through the library wrapper, [D.generate] through a local
+   [module D = Crypto.Drbg] alias, or [generate] under [open Drbg].
+   External paths (stdlib, opam libs) keep their source spelling:
+   "List.map", "Printf.sprintf".
+
+   Wrapper prefixes (library names like [Crypto], [Psi]) are stripped
+   structurally: if the leading component of a path is not a known file
+   module or alias but the next one is, the head is dropped. Re-export
+   shims that consist solely of [include]/[module =] items (e.g.
+   lib/core/pool.ml = [include Parallel.Pool]) never shadow the unit
+   that carries real definitions. *)
+
+type unit_ = {
+  path : string; (* repo-relative source path *)
+  modname : string; (* capitalized basename: "Drbg" *)
+  structure : Ast.structure;
+}
+
+type def = {
+  name : string; (* canonical: "Drbg.generate", "Obs.Span.with_" *)
+  unit_path : string;
+  binding : Ast.binding;
+  params : Ast.param list;
+  pos : Ast.pos;
+}
+
+type t = {
+  units : unit_ list;
+  by_modname : (string, unit_) Hashtbl.t;
+  defs : (string, def) Hashtbl.t; (* canonical name -> def *)
+  def_order : string list; (* insertion order, deterministic *)
+  calls : (string, string list) Hashtbl.t; (* canonical def -> resolved refs *)
+}
+
+let modname_of_path path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  String.capitalize_ascii base
+
+(* A unit that only re-exports (includes and module aliases, no value
+   definitions) must not claim its module name from a real unit. *)
+let is_shim (s : Ast.structure) =
+  s <> []
+  && List.for_all
+       (function
+         | Ast.Iinclude _ | Ast.Imodule_alias _ | Ast.Iopen _ | Ast.Iskipped _ -> true
+         | Ast.Ilet _ | Ast.Imodule _ -> false)
+       s
+
+(* ------------------------------------------------------------------ *)
+(* Collecting definitions                                              *)
+(* ------------------------------------------------------------------ *)
+
+let binding_names (b : Ast.binding) = List.map fst (Ast.bound_vars b.b_pat)
+
+let collect_defs (u : unit_) (defs : (string, def) Hashtbl.t) order =
+  let add prefix (b : Ast.binding) =
+    List.iter
+      (fun (v, pos) ->
+        let name = String.concat "." (prefix @ [ v ]) in
+        if not (Hashtbl.mem defs name) then begin
+          Hashtbl.replace defs name
+            { name; unit_path = u.path; binding = b; params = b.Ast.b_params; pos };
+          order := name :: !order
+        end)
+      (Ast.bound_vars b.Ast.b_pat)
+  in
+  let rec items prefix (s : Ast.structure) =
+    List.iter
+      (function
+        | Ast.Ilet { bindings; _ } -> List.iter (add prefix) bindings
+        | Ast.Imodule (m, body, _) -> items (prefix @ [ m ]) body
+        | _ -> ())
+      s
+  in
+  items [ u.modname ] u.structure
+
+(* ------------------------------------------------------------------ *)
+(* Path resolution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Aliases and opens visible at the top level of a structure. *)
+let local_aliases (s : Ast.structure) =
+  List.filter_map
+    (function Ast.Imodule_alias (name, target, _) -> Some (name, target) | _ -> None)
+    s
+
+let local_opens (s : Ast.structure) =
+  List.filter_map (function Ast.Iopen (p, _) -> Some p | _ -> None) s
+
+let local_submodules (s : Ast.structure) =
+  List.filter_map (function Ast.Imodule (m, body, _) -> Some (m, body) | _ -> None) s
+
+let includes (s : Ast.structure) =
+  List.filter_map (function Ast.Iinclude (p, _) -> Some p | _ -> None) s
+
+(* Resolve [path] as seen from [u] with [opens] (innermost first; each
+   open is itself a syntactic path). Returns the canonical name. *)
+let resolve_path (r : t) (u : unit_) ~(opens : Ast.path list) (path : Ast.path) : string =
+  let fuel = ref 32 in
+  (* Descend inside a unit's structure, expanding aliases. [prefix] is
+     the canonical path accumulated so far. *)
+  let rec in_structure (owner : unit_) prefix (s : Ast.structure) = function
+    | [] -> String.concat "." prefix
+    | [ last ] -> (
+        match List.assoc_opt last (local_aliases s) with
+        | Some target when !fuel > 0 ->
+            decr fuel;
+            global owner target
+        | _ -> String.concat "." (prefix @ [ last ]))
+    | comp :: rest -> (
+        match List.assoc_opt comp (local_submodules s) with
+        | Some body -> in_structure owner (prefix @ [ comp ]) body rest
+        | None -> (
+            match List.assoc_opt comp (local_aliases s) with
+            | Some target when !fuel > 0 ->
+                decr fuel;
+                global owner (target @ rest)
+            | _ -> (
+                (* follow a re-export [include M] *)
+                match includes s with
+                | inc :: _ when !fuel > 0 ->
+                    decr fuel;
+                    global owner (inc @ (comp :: rest))
+                | _ -> String.concat "." (prefix @ (comp :: rest)))))
+  (* Resolve a path with no local context: first component must be a
+     file module, an alias in [from], or a strippable wrapper prefix. *)
+  and global (from : unit_) (path : Ast.path) : string =
+    match path with
+    | [] -> ""
+    | comp :: rest -> (
+        match Hashtbl.find_opt r.by_modname comp with
+        | Some target_unit ->
+            in_structure target_unit [ target_unit.modname ] target_unit.structure rest
+        | None -> (
+            match List.assoc_opt comp (local_submodules from.structure) with
+            | Some body -> in_structure from [ from.modname; comp ] body rest
+            | None -> (
+                match List.assoc_opt comp (local_aliases from.structure) with
+                | Some target when !fuel > 0 ->
+                    decr fuel;
+                    global from (target @ rest)
+                | _ -> (
+                    (* strip an unknown wrapper prefix: Crypto.Drbg.f *)
+                    match rest with
+                    | next :: _ when Hashtbl.mem r.by_modname next -> global from rest
+                    | _ -> String.concat "." path))))
+  in
+  match path with
+  | [] -> ""
+  | [ v ] -> (
+      (* unqualified: same unit first, then opens (innermost wins) *)
+      let here = u.modname ^ "." ^ v in
+      if Hashtbl.mem r.defs here then here
+      else
+        let rec try_opens = function
+          | [] -> v
+          | o :: tl -> (
+              let base = global u o in
+              let cand = base ^ "." ^ v in
+              if Hashtbl.mem r.defs cand then cand else try_opens tl)
+        in
+        try_opens (opens @ local_opens u.structure))
+  | _ -> global u path
+
+(* ------------------------------------------------------------------ *)
+(* Call graph                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Syntactic references (heads of applications and bare variable uses
+   of qualified paths) inside an expression, with the open scopes that
+   surround them. *)
+let references (r : t) (u : unit_) (e : Ast.expr) : string list =
+  let acc = ref [] in
+  let rec go opens (e : Ast.expr) =
+    (match e.Ast.desc with
+    | Ast.Var (_ :: _ :: _ as p) -> acc := resolve_path r u ~opens p :: !acc
+    | Ast.Var [ v ] ->
+        let c = resolve_path r u ~opens [ v ] in
+        if Hashtbl.mem r.defs c then acc := c :: !acc
+    | Ast.Letopen (p, _) ->
+        ();
+        (* handled below so the body sees the open *)
+        ignore p
+    | _ -> ());
+    match e.Ast.desc with
+    | Ast.Letopen (p, body) -> go (p :: opens) body
+    | _ -> Ast.iter_children (go opens) e
+  in
+  go [] e;
+  List.rev !acc
+
+let build (inputs : (string * Ast.structure) list) : t =
+  let units =
+    List.map
+      (fun (path, structure) -> { path; modname = modname_of_path path; structure })
+      inputs
+  in
+  let by_modname = Hashtbl.create 64 in
+  List.iter
+    (fun u ->
+      match Hashtbl.find_opt by_modname u.modname with
+      | None -> Hashtbl.replace by_modname u.modname u
+      | Some existing ->
+          (* a pure re-export shim never shadows a real unit *)
+          if is_shim existing.structure && not (is_shim u.structure) then
+            Hashtbl.replace by_modname u.modname u)
+    units;
+  let defs = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iter (fun u -> collect_defs u defs order) units;
+  let r = { units; by_modname; defs; def_order = List.rev !order; calls = Hashtbl.create 256 } in
+  (* second pass: call graph *)
+  List.iter
+    (fun u ->
+      let rec items prefix (s : Ast.structure) =
+        List.iter
+          (function
+            | Ast.Ilet { bindings; _ } ->
+                List.iter
+                  (fun (b : Ast.binding) ->
+                    let refs = references r u b.Ast.b_body in
+                    List.iter
+                      (fun (v, _) ->
+                        let name = String.concat "." (prefix @ [ v ]) in
+                        if Hashtbl.mem defs name then Hashtbl.replace r.calls name refs)
+                      (Ast.bound_vars b.Ast.b_pat))
+                  bindings
+            | Ast.Imodule (m, body, _) -> items (prefix @ [ m ]) body
+            | _ -> ())
+          s
+      in
+      items [ u.modname ] u.structure)
+    units;
+  r
+
+let find_def r name = Hashtbl.find_opt r.defs name
+let unit_of_def r (d : def) = List.find (fun u -> String.equal u.path d.unit_path) r.units
+
+let calls_of r name = match Hashtbl.find_opt r.calls name with Some l -> l | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* Free variables (used by closure-capture analysis)                   *)
+(* ------------------------------------------------------------------ *)
+
+module SS = Set.Make (String)
+
+(* Variables that occur free in [e]: unqualified uses not bound by an
+   enclosing pattern/parameter within [e] itself. *)
+let free_vars (e : Ast.expr) : SS.t =
+  let free = ref SS.empty in
+  let add bound v = if not (SS.mem v bound) then free := SS.add v !free in
+  let bind_pat bound p =
+    List.fold_left (fun b (v, _) -> SS.add v b) bound (Ast.bound_vars p)
+  in
+  let bind_params bound ps =
+    List.fold_left (fun b (p : Ast.param) -> bind_pat b p.Ast.pat) bound ps
+  in
+  let rec go bound (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Var [ v ] -> add bound v
+    | Ast.Var _ -> ()
+    | Ast.Let { bindings; body; recursive } ->
+        let bound' =
+          List.fold_left (fun b (bd : Ast.binding) -> bind_pat b bd.Ast.b_pat) bound bindings
+        in
+        List.iter
+          (fun (bd : Ast.binding) ->
+            let inner = bind_params (if recursive then bound' else bound) bd.Ast.b_params in
+            List.iter (fun (p : Ast.param) -> Option.iter (go bound) p.Ast.default) bd.Ast.b_params;
+            go inner bd.Ast.b_body)
+          bindings;
+        go bound' body
+    | Ast.Fun (params, body) ->
+        List.iter (fun (p : Ast.param) -> Option.iter (go bound) p.Ast.default) params;
+        go (bind_params bound params) body
+    | Ast.Function cases | Ast.Match (_, cases) | Ast.Try (_, cases) ->
+        (match e.Ast.desc with
+        | Ast.Match (s, _) | Ast.Try (s, _) -> go bound s
+        | _ -> ());
+        List.iter
+          (fun (c : Ast.case) ->
+            let b = bind_pat bound c.Ast.lhs in
+            Option.iter (go b) c.Ast.guard;
+            go b c.Ast.rhs)
+          cases
+    | Ast.For { var; from_; to_; body; _ } ->
+        go bound from_;
+        go bound to_;
+        go (SS.add var bound) body
+    | _ -> Ast.iter_children (go bound) e
+  in
+  go SS.empty e;
+  !free

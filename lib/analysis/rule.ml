@@ -14,8 +14,27 @@ type finding = {
 type t = {
   id : string;
   summary : string; (* one line for --list-rules and the docs *)
+  description : string; (* what the rule enforces and why, for the registry *)
+  scope : string; (* human-readable path scope, e.g. "lib/bignum, lib/crypto" *)
   applies : string -> bool; (* relative path filter *)
   check : file:string -> Lexer.token array -> finding list;
+}
+
+(* Semantic rules run after the parse/resolve/taint phases and see the
+   whole program at once, not one token stream. Their findings feed the
+   same suppression/baseline pipeline as token rules. *)
+type sem_ctx = {
+  structures : (string * Ast.structure) list; (* path -> parsed unit *)
+  resolver : Resolve.t;
+  taint : Taint.result;
+}
+
+type sem = {
+  s_id : string;
+  s_summary : string;
+  s_description : string;
+  s_scope : string;
+  s_check : sem_ctx -> finding list;
 }
 
 let finding ~rule ~file (tok : Lexer.token) message =

@@ -109,6 +109,11 @@ let rule : Rule.t =
     summary =
       "no polymorphic compare/hash (Stdlib.compare, Hashtbl.hash, (=), min/max, \
        List.mem/assoc) in lib/bignum, lib/crypto, lib/minidb or lib/cache";
+    description =
+      "Polymorphic comparison walks structure in data-dependent time and order, \
+       so comparing secret-bearing values with it leaks through timing. \
+       Secret-bearing modules must use explicit monomorphic comparators.";
+    scope = "lib/bignum, lib/crypto, lib/minidb, lib/cache";
     applies = Rule.any_dir secret_dirs;
     check;
   }

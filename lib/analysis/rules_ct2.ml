@@ -1,0 +1,66 @@
+(* CT02 — taint-aware upgrade of CT01: secret-tainted values must not
+   control branches, loop bounds, or length-dependent calls inside the
+   arithmetic kernels (lib/bignum, lib/crypto).
+
+   CT01 bans polymorphic comparison *syntactically*; CT02 follows the
+   data: an [if]/[match] scrutinee, a [while]/[for] bound, a match
+   guard, or a [String.length]-style call whose value is tainted by a
+   SEC01 source is a timing channel regardless of which comparison
+   operator it uses. Branch events that a parameter controls propagate
+   into the function's summary, so passing a secret into a helper that
+   branches on it is flagged at the call site. *)
+
+let id = "CT02"
+
+let scope_dirs = [ "lib/bignum/"; "lib/crypto/" ]
+
+(* Length-dependent external calls: the cost of these reveals the
+   magnitude of the argument. *)
+let length_calls =
+  [ "String.length"; "Bytes.length"; "Array.length"; "List.length"; "Nat.num_bits" ]
+
+let check (ctx : Rule.sem_ctx) : Rule.finding list =
+  let findings =
+    List.filter_map
+      (fun (ev : Taint.event) ->
+        match ev.Taint.ev_kind with
+        | `Branch kind
+          when Taint.concrete ev.Taint.ev_taint <> []
+               && Rule.any_dir scope_dirs ev.Taint.ev_file ->
+            let via =
+              match ev.Taint.ev_via with
+              | Some f -> Printf.sprintf " (inside %s)" f
+              | None -> ""
+            in
+            Some
+              {
+                Rule.rule = id;
+                file = ev.Taint.ev_file;
+                line = ev.Taint.ev_pos.Ast.line;
+                col = ev.Taint.ev_pos.Ast.col;
+                token = "";
+                message =
+                  Printf.sprintf "%s controls %s%s — data-dependent timing"
+                    (Rules_sec.describe_taint ev.Taint.ev_taint)
+                    kind via;
+              }
+        | _ -> None)
+      ctx.Rule.taint.Taint.events
+  in
+  List.sort_uniq compare findings
+
+let rule : Rule.sem =
+  {
+    s_id = id;
+    s_summary =
+      "no secret-tainted value may control an if/match scrutinee, loop bound or \
+       length-dependent call in lib/bignum or lib/crypto";
+    s_description =
+      "Taint-aware constant-time check: wherever a value derived from a SEC01 \
+       source reaches an if condition, match scrutinee or guard, while/for \
+       bound, or a String/Bytes/Array.length-style call inside the arithmetic \
+       kernels, execution time depends on the secret. Interprocedural: a \
+       helper that branches on its parameter flags tainted call sites.";
+    s_scope = "lib/bignum, lib/crypto";
+    s_check = check;
+  }

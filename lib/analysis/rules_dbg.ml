@@ -71,6 +71,11 @@ let rule : Rule.t =
     summary =
       "no Printf.printf/print_endline/assert false in lib/ — telemetry goes \
        through lib/obs";
+    description =
+      "Console output from library code bypasses the Obs exporters (and can leak \
+       values the protocol promised to keep private); `assert false` aborts with \
+       no context. Route telemetry through lib/obs and raise named exceptions.";
+    scope = "lib/";
     applies = Rule.in_dir "lib/";
     check;
   }

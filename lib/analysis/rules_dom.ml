@@ -39,6 +39,11 @@ let rule : Rule.t =
   {
     id;
     summary = "no Domain.spawn/Domain.join outside lib/parallel/ — use Psi.Pool";
+    description =
+      "Raw domains outside the pool break the bounded-domain-count invariant, \
+       make chunking nondeterministic, and hide work from pool.* telemetry. \
+       All parallelism flows through Psi.Pool.";
+    scope = "everywhere except lib/parallel/";
     applies = (fun path -> not (Rule.in_dir "lib/parallel/" path));
     check;
   }

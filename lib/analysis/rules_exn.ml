@@ -64,4 +64,14 @@ let check ~file (toks : Lexer.token array) =
   List.rev !findings
 
 let rule : Rule.t =
-  { id; summary = "no exception-swallowing `try ... with _ ->`"; applies = (fun _ -> true); check }
+  {
+    id;
+    summary = "no exception-swallowing `try ... with _ ->`";
+    description =
+      "A wildcard try-handler swallows protocol aborts, turning \
+       malformed-input failures (which the security argument requires to be \
+       fatal) into silent wrong answers. Match the exceptions you mean.";
+    scope = "lib/, bin/";
+    applies = (fun _ -> true);
+    check;
+  }

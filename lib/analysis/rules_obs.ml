@@ -75,6 +75,11 @@ let rule : Rule.t =
   {
     id;
     summary = "no Span.enter without a structurally matching Span.exit in lib/";
+    description =
+      "A leaked span handle perturbs the ambient span stack: every later span \
+       on the thread attaches under the wrong parent. Use Obs.Span.with_, \
+       which is exception-safe.";
+    scope = "lib/";
     applies = Rule.in_dir "lib/";
     check;
   }

@@ -1,0 +1,209 @@
+(* RACE01 — mutable state captured by closures handed to the domain
+   pool must be mediated by Atomic or Mutex.
+
+   [Pool.map]/[Pool.map_seeded]/[Pool.map_reduce] and [Domain.spawn]
+   run their closures on other domains. A captured [ref], [Hashtbl],
+   [Buffer], [Queue] or [Stack] — or any in-place mutation of a
+   captured variable ([:=], [<-], [Hashtbl.replace], [Buffer.add_*],
+   [a.(i) <- v]) — is a data race unless every access goes through
+   [Atomic] or a [Mutex]. The check is structural, not a dynamic race
+   detector: a closure that mentions [Atomic.*] or [Mutex.*] anywhere
+   is assumed mediated (the fixture corpus pins the judgment; genuine
+   handoffs that mediate elsewhere are suppressed inline with a
+   reason). Reads of shared immutable structures (lookup tables,
+   read-only contexts) are not flagged: only capture of the known
+   mutable constructors above, or a mutating operation on any captured
+   variable. *)
+
+let id = "RACE01"
+
+let spawners = [ "Pool.map"; "Pool.map_seeded"; "Pool.map_reduce"; "Domain.spawn" ]
+
+(* Constructors whose result is mutable by design: capturing one of
+   these in a pool closure is flagged even without a visible write. *)
+let mutable_ctors =
+  [ "ref"; "Hashtbl.create"; "Buffer.create"; "Queue.create"; "Stack.create" ]
+
+(* Calls that mutate their (first) argument in place. *)
+let mutating_calls =
+  [
+    "Hashtbl.add"; "Hashtbl.replace"; "Hashtbl.remove"; "Hashtbl.reset"; "Hashtbl.clear";
+    "Buffer.add_string"; "Buffer.add_char"; "Buffer.add_bytes"; "Buffer.add_subbytes";
+    "Buffer.clear"; "Buffer.reset"; "Queue.push"; "Queue.add"; "Queue.pop"; "Queue.take";
+    "Stack.push"; "Stack.pop"; "Bytes.set"; "Bytes.blit"; "Bytes.fill"; "Array.fill";
+    "Array.blit";
+  ]
+
+module SS = Resolve.SS
+
+(* Does the closure body mention Atomic.* or Mutex.* anywhere? *)
+let mentions_mediation (e : Ast.expr) =
+  let found = ref false in
+  let rec go (e : Ast.expr) =
+    (match e.Ast.desc with
+    | Ast.Var (("Atomic" | "Mutex") :: _) -> found := true
+    | Ast.Letopen (("Atomic" | "Mutex") :: _, _) -> found := true
+    | _ -> ());
+    if not !found then Ast.iter_children go e
+  in
+  go e;
+  !found
+
+(* Root variable of a mutation target: [x.field], [x.(i)], [!x]. *)
+let rec root_var (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Var [ v ] -> Some v
+  | Ast.Field (b, _) | Ast.Index_get (b, _) -> root_var b
+  | _ -> None
+
+(* Mutations inside a closure body whose target is one of [captured]:
+   returns (var, pos, what) triples. *)
+let mutations_of ~captured (body : Ast.expr) =
+  let acc = ref [] in
+  let note v pos what = if SS.mem v captured then acc := (v, pos, what) :: !acc in
+  let rec go (e : Ast.expr) =
+    (match e.Ast.desc with
+    | Ast.Setfield (tgt, _, _) -> (
+        match root_var tgt with
+        | Some v -> note v e.Ast.pos "mutable-field write"
+        | None -> ())
+    | Ast.Index_set (tgt, _, _) -> (
+        match root_var tgt with
+        | Some v -> note v e.Ast.pos "in-place array/string write"
+        | None -> ())
+    | Ast.Apply ({ Ast.desc = Ast.Var [ ":=" ]; _ }, (_, tgt) :: _) -> (
+        match root_var tgt with
+        | Some v -> note v e.Ast.pos "ref assignment"
+        | None -> ())
+    | Ast.Apply ({ Ast.desc = Ast.Var path; _ }, (_, first) :: _)
+      when List.mem (String.concat "." path) mutating_calls -> (
+        match root_var first with
+        | Some v -> note v e.Ast.pos (String.concat "." path)
+        | None -> ())
+    | _ -> ());
+    Ast.iter_children go e
+  in
+  go body;
+  List.rev !acc
+
+let check (ctx : Rule.sem_ctx) : Rule.finding list =
+  let r = ctx.Rule.resolver in
+  let findings = ref [] in
+  List.iter
+    (fun (path, structure) ->
+      match List.find_opt (fun (u : Resolve.unit_) -> String.equal u.Resolve.path path) r.Resolve.units with
+      | None -> ()
+      | Some u ->
+          (* [mut] maps in-scope variables to the mutable constructor
+             that produced them; threaded through lets lexically. *)
+          let rec go_expr mut (e : Ast.expr) =
+            (match e.Ast.desc with
+            | Ast.Apply ({ Ast.desc = Ast.Var head; _ }, args) ->
+                let canon = Resolve.resolve_path r u ~opens:[] head in
+                if List.mem canon spawners then
+                  List.iter
+                    (fun ((_ : Ast.arg_label), (a : Ast.expr)) ->
+                      match a.Ast.desc with
+                      | Ast.Fun _ | Ast.Function _ ->
+                          let body =
+                            match a.Ast.desc with
+                            | Ast.Fun (_, b) -> b
+                            | _ -> a
+                          in
+                          if not (mentions_mediation body) then begin
+                            let captured = Resolve.free_vars a in
+                            (* capture of a known-mutable binding *)
+                            SS.iter
+                              (fun v ->
+                                match List.assoc_opt v mut with
+                                | Some ctor ->
+                                    findings :=
+                                      {
+                                        Rule.rule = id;
+                                        file = path;
+                                        line = a.Ast.pos.Ast.line;
+                                        col = a.Ast.pos.Ast.col;
+                                        token = "";
+                                        message =
+                                          Printf.sprintf
+                                            "closure passed to %s captures mutable \
+                                             %s `%s` without Atomic/Mutex mediation"
+                                            canon ctor v;
+                                      }
+                                      :: !findings
+                                | None -> ())
+                              captured;
+                            (* in-place mutation of anything captured *)
+                            List.iter
+                              (fun (v, pos, what) ->
+                                findings :=
+                                  {
+                                    Rule.rule = id;
+                                    file = path;
+                                    line = pos.Ast.line;
+                                    col = pos.Ast.col;
+                                    token = "";
+                                    message =
+                                      Printf.sprintf
+                                        "closure passed to %s mutates captured `%s` \
+                                         (%s) without Atomic/Mutex mediation"
+                                        canon v what;
+                                  }
+                                  :: !findings)
+                              (mutations_of ~captured body)
+                          end
+                      | _ -> ())
+                    args
+            | _ -> ());
+            let mut' =
+              match e.Ast.desc with
+              | Ast.Let { bindings; _ } -> List.fold_left add_binding mut bindings
+              | _ -> mut
+            in
+            Ast.iter_children (go_expr mut') e
+          and add_binding mut (b : Ast.binding) =
+            match (b.Ast.b_params, b.Ast.b_body.Ast.desc, b.Ast.b_pat) with
+            | [], Ast.Apply ({ Ast.desc = Ast.Var head; _ }, _), Ast.Pvar (v, _) ->
+                let canon = Resolve.resolve_path r u ~opens:[] head in
+                let name = String.concat "." head in
+                if List.mem canon mutable_ctors || List.mem name mutable_ctors then
+                  (v, name) :: mut
+                else mut
+            | _ -> mut
+          in
+          let rec go_items mut (s : Ast.structure) =
+            ignore
+              (List.fold_left
+                 (fun mut item ->
+                   match item with
+                   | Ast.Ilet { bindings; _ } ->
+                       let mut' = List.fold_left add_binding mut bindings in
+                       List.iter
+                         (fun (b : Ast.binding) -> go_expr mut' b.Ast.b_body)
+                         bindings;
+                       mut'
+                   | Ast.Imodule (_, body, _) ->
+                       go_items mut body;
+                       mut
+                   | _ -> mut)
+                 mut s)
+          in
+          go_items [] structure)
+    ctx.Rule.structures;
+  List.sort_uniq compare (List.rev !findings)
+
+let rule : Rule.sem =
+  {
+    s_id = id;
+    s_summary =
+      "no mutable state (ref/Hashtbl/Buffer, in-place writes) captured by \
+       closures passed to Pool.map*/Domain.spawn without Atomic/Mutex mediation";
+    s_description =
+      "Closures handed to the domain pool run concurrently: capturing a ref, \
+       Hashtbl, Buffer, Queue or Stack — or mutating any captured variable \
+       in place — is a data race unless every access is mediated by Atomic \
+       or a Mutex. Structural check: a closure mentioning Atomic/Mutex is \
+       assumed mediated.";
+    s_scope = "lib/, bin/";
+    s_check = check;
+  }

@@ -37,6 +37,11 @@ let rule : Rule.t =
   {
     id;
     summary = "no Stdlib.Random outside test/ — randomness flows through Crypto.Drbg";
+    description =
+      "Stdlib.Random is neither cryptographically secure nor reproducible \
+       across runs; the paper's uniform-randomness assumption (Lemma 1) \
+       requires all protocol randomness to come from the seeded DRBG.";
+    scope = "lib/, bin/ (tests exempt: not scanned)";
     applies = (fun _ -> true);
     check;
   }

@@ -95,6 +95,11 @@ let rule : Rule.t =
     summary =
       "lib/wire: length-prefixed reads must bound the length against a declared max \
        before allocating";
+    description =
+      "Allocating from a length read straight off the wire lets a malicious \
+       peer demand arbitrary memory. Bind the length, compare it against a \
+       declared maximum, then allocate.";
+    scope = "lib/wire/";
     applies = Rule.in_dir "lib/wire/";
     check;
   }

@@ -87,7 +87,7 @@ let equal ~w =
     let eqs = List.init w (fun i -> Builder.bxnor b (Builder.input_a b i) (Builder.input_b b i)) in
     let folded =
       match eqs with
-      | [] -> assert false
+      | [] -> invalid_arg "Circuit.equal: w >= 1"
       | hd :: tl -> List.fold_left (fun acc e -> Builder.band b acc e) hd tl
     in
     Builder.finish b ~outputs:[ folded ]
@@ -134,14 +134,14 @@ let brute_force_intersection ~w ~n_a ~n_b =
     let equal_pair va vb =
       let eqs = List.init w (fun i -> Builder.bxnor b (a_bit va i) (b_bit vb i)) in
       match eqs with
-      | [] -> assert false
+      | [] -> invalid_arg "Circuit.brute_force_intersection: w >= 1"
       | hd :: tl -> List.fold_left (fun acc e -> Builder.band b acc e) hd tl
     in
     let outputs =
       List.init n_b (fun vb ->
           let hits = List.init n_a (fun va -> equal_pair va vb) in
           match hits with
-          | [] -> assert false
+          | [] -> invalid_arg "Circuit.brute_force_intersection: n_a >= 1"
           | hd :: tl -> List.fold_left (fun acc h -> Builder.bor b acc h) hd tl)
     in
     Builder.finish b ~outputs

@@ -29,6 +29,7 @@ let sender ~group ~w ~label_bytes ~seed ~rng ~values ep =
     (Message.make ~tag:tag_view (Message.Elements [ Garble.encode_view (Garble.view garbled) ]));
   (* The garbler's own input labels, selected by its private bits. *)
   let a_labels = Garble.input_labels_a garbled (bits_of_values ~w values) in
+  (* psi-lint: allow SEC01 — one label per wire is publishable: labels are uniform DRBG strings and the bit-to-label mapping stays local (garbling security) *)
   Channel.send ep (Message.make ~tag:tag_a_labels (Message.Elements (Array.to_list a_labels)));
   (* Oblivious transfer of the evaluator's input labels. *)
   Ot.sender group ~rng ~pairs:(Garble.label_pairs_b garbled) ep;
@@ -70,6 +71,7 @@ let run ~group ?(w = 16) ?(label_bytes = 8) ?(seed = "yao-psi") ~sender_values
     let r_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"receiver") in
     let garble_seed = Crypto.Drbg.generate (Crypto.Drbg.split drbg ~label:"garble") 32 in
     let outcome =
+      (* psi-lint: allow SEC01 — the party closures receive the protocol DRBG by design; every send inside is individually justified (OT pads, garbled view) *)
       Wire.Runner.run
         ~sender:(fun ep ->
           sender ~group ~w ~label_bytes ~seed:garble_seed ~rng:s_rng ~values:sender_values ep)

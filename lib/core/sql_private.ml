@@ -53,7 +53,7 @@ let pred_side a ~r_schema ~s_schema = function
       | None, None -> None
       | Some R_side, Some S_side | Some S_side, Some R_side ->
           unsupported "cross-table predicate other than the join condition")
-  | Sql.And _ -> assert false (* atoms only *)
+  | Sql.And _ -> unsupported "internal: nested And after conjunct flattening"
 
 let rec conjuncts = function
   | Sql.Cmp _ as c -> [ c ]
@@ -104,7 +104,7 @@ let analyze query ~s_name ~t_s ~r_name ~t_r =
                   | R_side, S_side | S_side, R_side -> true
                   | R_side, R_side | S_side, S_side -> false)
               | Sql.Cmp _ -> false
-              | Sql.And _ -> assert false)
+              | Sql.And _ -> unsupported "internal: nested And after conjunct flattening")
             atoms
         in
         let pairs =
@@ -114,7 +114,7 @@ let analyze query ~s_name ~t_s ~r_name ~t_r =
                   match side_of a0 ~r_schema ~s_schema (qa, ca) with
                   | R_side -> (ca, cb)
                   | S_side -> (cb, ca))
-              | Sql.Cmp _ | Sql.And _ -> assert false)
+              | Sql.Cmp _ | Sql.And _ -> unsupported "internal: join atom is not a cross-side column equality")
             joins
         in
         if pairs = [] then unsupported "no join condition between %s and %s" r_name s_name
@@ -273,7 +273,7 @@ let recognize a ~r_schema ~s_schema =
         (* Pure intersection: the select must cover the whole join tuple
            (else values would be revealed at finer granularity than the
            protocol computes). *)
-        let idxs = List.map (function Key i -> i | Pay _ -> assert false) fields in
+        let idxs = List.map (function Key i -> i | Pay _ -> unsupported "internal: payload field in an all-key select") fields in
         if List.equal Int.equal (List.sort_uniq Int.compare idxs) (List.init n_join (fun i -> i))
         then
           Sh_intersect { out_names; idxs }

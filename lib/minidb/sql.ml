@@ -471,7 +471,7 @@ let execute resolve q =
                 match owner_of aliases schemas qual c with
                 | Some 0 -> "l." ^ c
                 | Some 1 -> "r." ^ c
-                | Some _ | None -> assert false);
+                | Some _ | None -> invalid_arg "Sql: internal: column owner outside the two joined tables");
           }
         end
     | [] -> invalid_arg "Sql: empty FROM"
@@ -523,7 +523,7 @@ let execute resolve q =
           (List.mapi
              (fun i itm ->
                match itm with
-               | Star -> assert false
+               | Star -> invalid_arg "Sql: internal: Star survived select-item expansion"
                | Column (e, _) ->
                    let ty, _ = expr_type env e in
                    Schema.col ~nullable:true (item_name itm i) ty
@@ -547,12 +547,12 @@ let execute resolve q =
               (List.map
                  (fun itm ->
                    match itm with
-                   | Star -> assert false
+                   | Star -> invalid_arg "Sql: internal: Star survived select-item expansion"
                    | Column (e, _) ->
                        let idx =
                          match List.find_index (fun g -> g = e) q.group_by with
                          | Some i -> i
-                         | None -> assert false
+                         | None -> invalid_arg "Sql: internal: group-by key missing for selected column"
                        in
                        List.nth key idx
                    | Count_star _ -> Value.Int (List.length rows)
@@ -606,7 +606,7 @@ let execute resolve q =
                  | Column (e, _) ->
                      let ty, _ = expr_type env e in
                      Schema.col ~nullable:true (item_name itm i) ty
-                 | Star | Count_star _ | Sum _ -> assert false)
+                 | Star | Count_star _ | Sum _ -> invalid_arg "Sql: internal: non-column item in a plain projection")
                items)
         in
         Table.create out_schema
@@ -617,7 +617,7 @@ let execute resolve q =
                     (fun itm ->
                       match itm with
                       | Column (e, _) -> eval_expr env row e
-                      | Star | Count_star _ | Sum _ -> assert false)
+                      | Star | Count_star _ | Sum _ -> invalid_arg "Sql: internal: non-column item in a plain projection")
                     items))
              (Table.rows env.relation))
   end

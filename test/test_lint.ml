@@ -366,31 +366,65 @@ let fixture_src = "let g () = assert false"
 let entry ?(reason = "fixture: frozen pre-existing finding") fingerprint =
   { Suppress.Baseline.rule = "DBG01"; file = fixture_path; fingerprint; reason }
 
+(* Fingerprints are context hashes, not line numbers — compute them the
+   way --update-baseline does rather than hardcoding the hash. *)
+let fingerprints_of ~path src =
+  List.map
+    (fun (e : Suppress.Baseline.entry) -> e.fingerprint)
+    (Driver.updated_baseline (analyze ~path src))
+
+let fingerprint_of ~path src =
+  match fingerprints_of ~path src with
+  | [ fp ] -> fp
+  | fps -> Alcotest.failf "expected one finding, got %d" (List.length fps)
+
 let test_baseline_freezes () =
-  let baseline = [ entry "assert false#1" ] in
+  let baseline = [ entry (fingerprint_of ~path:fixture_path fixture_src) ] in
   let o = analyze ~baseline ~path:fixture_path fixture_src in
   check_rules "no new findings" [] (new_rules o);
   check_rules "baselined instead" [ "DBG01" ] (baselined_rules o);
   Alcotest.(check bool) "clean" true (Driver.clean o)
 
+let stem fp =
+  match String.rindex_opt fp '#' with
+  | Some i -> String.sub fp 0 i
+  | None -> fp
+
 let test_baseline_does_not_cover_new () =
-  (* A second finding of the same shape gets occurrence #2 — not frozen. *)
-  let baseline = [ entry "assert false#1" ] in
-  let src = fixture_src ^ "\nlet h () = assert false" in
-  let o = analyze ~baseline ~path:fixture_path src in
-  check_rules "second occurrence is new" [ "DBG01" ] (new_rules o);
+  (* Three identical lines: the first two asserts see identical ±3 token
+     windows, so they share a context hash and disambiguate by
+     occurrence index; freezing occurrence #1 must not cover the rest. *)
+  let src = String.concat "\n" [ fixture_src; fixture_src; fixture_src ] in
+  let fps = fingerprints_of ~path:fixture_path src in
+  Alcotest.(check int) "three findings" 3 (List.length fps);
+  let fp1 = List.nth fps 0 and fp2 = List.nth fps 1 in
+  Alcotest.(check string) "same context hash" (stem fp1) (stem fp2);
+  Alcotest.(check bool) "distinct occurrence index" true (not (String.equal fp1 fp2));
+  let o = analyze ~baseline:[ entry fp1 ] ~path:fixture_path src in
+  check_rules "later occurrences are new" [ "DBG01"; "DBG01" ] (new_rules o);
   check_rules "first stays frozen" [ "DBG01" ] (baselined_rules o);
   Alcotest.(check bool) "not clean" false (Driver.clean o)
 
+let test_baseline_line_move_tolerant () =
+  (* The whole point of context fingerprints: prepending unrelated code
+     and comments moves the finding's line but not its identity. *)
+  let fp = fingerprint_of ~path:fixture_path fixture_src in
+  let moved = "(* a new leading comment *)\n\nlet added = 1\n\n" ^ fixture_src in
+  let o = analyze ~baseline:[ entry fp ] ~path:fixture_path moved in
+  check_rules "no new findings after the move" [] (new_rules o);
+  check_rules "moved finding still frozen" [ "DBG01" ] (baselined_rules o);
+  Alcotest.(check bool) "clean" true (Driver.clean o)
+
 let test_baseline_stale_entry () =
   (* Finding fixed but entry left behind: the baseline can only shrink. *)
-  let baseline = [ entry "assert false#1" ] in
+  let baseline = [ entry (fingerprint_of ~path:fixture_path fixture_src) ] in
   let o = analyze ~baseline ~path:fixture_path "let g () = 0" in
   Alcotest.(check bool) "stale entry fails the run" false (Driver.clean o);
   Alcotest.(check int) "one error" 1 (List.length o.errors)
 
 let test_baseline_todo_rejected () =
-  let baseline = [ entry ~reason:"TODO — justify or fix" "assert false#1" ] in
+  let fp = fingerprint_of ~path:fixture_path fixture_src in
+  let baseline = [ entry ~reason:"TODO — justify or fix" fp ] in
   let o = analyze ~baseline ~path:fixture_path fixture_src in
   Alcotest.(check bool) "TODO reason is an error" false (Driver.clean o)
 
@@ -401,7 +435,12 @@ let test_baseline_update_roundtrip () =
   let entries = Driver.updated_baseline o in
   Alcotest.(check int) "one entry" 1 (List.length entries);
   let e = List.hd entries in
-  Alcotest.(check string) "fingerprint" "assert false#1" e.Suppress.Baseline.fingerprint;
+  let fp = e.Suppress.Baseline.fingerprint in
+  let prefix = "assert false@" in
+  Alcotest.(check string) "fingerprint token prefix" prefix
+    (String.sub fp 0 (min (String.length fp) (String.length prefix)));
+  Alcotest.(check bool) "fingerprint has an occurrence index" true
+    (String.length fp > 2 && String.equal (String.sub fp (String.length fp - 2) 2) "#1");
   Alcotest.(check bool) "TODO entry is unexplained" false
     (Suppress.Baseline.is_explained e);
   (match Suppress.Baseline.parse (Suppress.Baseline.render entries) with
@@ -412,6 +451,92 @@ let test_baseline_update_roundtrip () =
   let justified = [ { e with Suppress.Baseline.reason = "fixture: justified" } ] in
   let o = analyze ~baseline:justified ~path:fixture_path fixture_src in
   Alcotest.(check bool) "clean once justified" true (Driver.clean o)
+
+(* ------------------------------------------------------------------ *)
+(* Semantic rules (parser + resolver + taint engine)                   *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_sem ?(baseline = no_baseline) ~path src =
+  Driver.analyze ~sem_rules:Analysis.Registry.sem_rules ~baseline
+    [ { Driver.path; content = src } ]
+
+let uniq_rules o = List.sort_uniq compare (new_rules o)
+
+let test_sec01_fires () =
+  let src = "let leak st ep = Channel.send ep (Drbg.generate st 32)" in
+  let o = analyze_sem ~path:"lib/core/fixture.ml" src in
+  check_rules "raw secret to the channel" [ "SEC01" ] (uniq_rules o)
+
+let test_sec01_interprocedural () =
+  (* The sink is one call deep: taint must flow through [forward]'s
+     parameter summary and the finding lands at the tainted call site. *)
+  let src =
+    "let forward ep x = Channel.send ep x\n\
+     let leak st ep = forward ep (Drbg.generate st 32)"
+  in
+  let o = analyze_sem ~path:"lib/core/fixture.ml" src in
+  check_rules "leak through helper" [ "SEC01" ] (uniq_rules o);
+  match Driver.new_findings o with
+  | [ f ] -> Alcotest.(check int) "reported at the call site" 2 f.Rule.line
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_sec01_sanitized () =
+  let src =
+    "let ok g key ep x = Channel.send ep (Commutative.encrypt g key x)\n\
+     let ok2 st ep = Channel.send ep (Sha256.hex_digest (Drbg.generate st 32))"
+  in
+  let o = analyze_sem ~path:"lib/core/fixture.ml" src in
+  check_rules "sanitizers clear the taint" [] (uniq_rules o)
+
+let test_sec01_suppressed () =
+  let src =
+    "(* psi-lint: allow SEC01 — fixture: deliberate leak *)\n\
+     let leak st ep = Channel.send ep (Drbg.generate st 32)"
+  in
+  let o = analyze_sem ~path:"lib/core/fixture.ml" src in
+  check_rules "no new findings" [] (uniq_rules o);
+  check_rules "suppressed instead" [ "SEC01" ] (suppressed_rules o)
+
+let test_ct02_fires () =
+  let src = "let f st = if Drbg.generate st 32 = \"\" then 0 else 1" in
+  let o = analyze_sem ~path:"lib/bignum/fixture.ml" src in
+  check_rules "secret-dependent branch" [ "CT02" ] (uniq_rules o)
+
+let test_ct02_scope () =
+  (* Same branch outside the constant-time kernels: out of scope. *)
+  let src = "let f st = if Drbg.generate st 32 = \"\" then 0 else 1" in
+  let o = analyze_sem ~path:"lib/core/fixture.ml" src in
+  check_rules "no finding outside lib/bignum and lib/crypto" [] (uniq_rules o)
+
+let test_ct02_sanitized () =
+  let src = "let f st = if Sha256.hex_digest (Drbg.generate st 32) = \"\" then 0 else 1" in
+  let o = analyze_sem ~path:"lib/bignum/fixture.ml" src in
+  check_rules "digest is public" [] (uniq_rules o)
+
+let test_race01_fires () =
+  let src =
+    "let tally pool xs =\n\
+    \  let hits = ref 0 in\n\
+    \  Pool.map pool (fun x -> hits := !hits + x) xs"
+  in
+  let o = analyze_sem ~path:"lib/core/fixture.ml" src in
+  check_rules "unmediated shared ref" [ "RACE01" ] (uniq_rules o)
+
+let test_race01_mediated () =
+  let src =
+    "let tally pool xs =\n\
+    \  let hits = Atomic.make 0 in\n\
+    \  Pool.map pool (fun x -> Atomic.fetch_and_add hits x) xs"
+  in
+  let o = analyze_sem ~path:"lib/core/fixture.ml" src in
+  check_rules "Atomic mediation accepted" [] (uniq_rules o)
+
+let test_sem_parse_error_reported () =
+  (* A file the parser cannot handle must surface as an error, never be
+     silently skipped by the semantic analyses. *)
+  let o = analyze_sem ~path:"lib/core/fixture.ml" "let f x = (x" in
+  Alcotest.(check bool) "parse error recorded" true (List.length o.Driver.errors > 0);
+  Alcotest.(check bool) "not clean" false (Driver.clean o)
 
 let test_baseline_parse_rejects_malformed () =
   match Suppress.Baseline.parse "DBG01 lib/x.ml assert_false#1 spaces not tabs" with
@@ -477,10 +602,31 @@ let () =
           tc "wrong rule" `Quick test_annotation_wrong_rule;
           tc "multi-rule" `Quick test_annotation_multi_rule;
         ] );
+      ( "sec01",
+        [
+          tc "fires" `Quick test_sec01_fires;
+          tc "interprocedural" `Quick test_sec01_interprocedural;
+          tc "sanitized" `Quick test_sec01_sanitized;
+          tc "suppressed" `Quick test_sec01_suppressed;
+        ] );
+      ( "ct02",
+        [
+          tc "fires" `Quick test_ct02_fires;
+          tc "scope" `Quick test_ct02_scope;
+          tc "sanitized" `Quick test_ct02_sanitized;
+        ] );
+      ( "race01",
+        [
+          tc "fires" `Quick test_race01_fires;
+          tc "mediated" `Quick test_race01_mediated;
+        ] );
+      ( "semantic",
+        [ tc "parse error reported" `Quick test_sem_parse_error_reported ] );
       ( "baseline",
         [
           tc "freezes" `Quick test_baseline_freezes;
           tc "new finding not covered" `Quick test_baseline_does_not_cover_new;
+          tc "line-move tolerant" `Quick test_baseline_line_move_tolerant;
           tc "stale entry" `Quick test_baseline_stale_entry;
           tc "TODO rejected" `Quick test_baseline_todo_rejected;
           tc "update round-trip" `Quick test_baseline_update_roundtrip;

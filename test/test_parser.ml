@@ -1,0 +1,283 @@
+(* Parser tests: one fixture per supported construct, checked by the
+   strongest cheap invariant we have — pretty-print the parsed AST with
+   [Ast.to_source] and reparse; the two trees must be structurally equal
+   (positions ignored). A QCheck property then drives the same invariant
+   over randomly generated ASTs, which exercises the pretty-printer's
+   parenthesization against the parser's precedence table. *)
+
+module Ast = Analysis.Ast
+module Parser = Analysis.Parser
+
+let parse src =
+  try Parser.structure_of_string src
+  with Parser.Error { line; col; message } ->
+    Alcotest.failf "parse error at %d:%d: %s\nin:\n%s" line col message src
+
+let reparses src =
+  let s1 = parse src in
+  let printed = Ast.to_source s1 in
+  let s2 = parse printed in
+  if not (Ast.equal_structure s1 s2) then
+    Alcotest.failf "print/reparse mismatch\nsource:\n%s\nprinted:\n%s" src printed
+
+(* ------------------------------------------------------------------ *)
+(* Construct fixtures                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_let_bindings () =
+  reparses "let x = 1";
+  reparses "let x = 1\nlet y = x";
+  reparses "let rec f n = if n = 0 then 1 else n * f (n - 1)";
+  reparses "let rec even n = n = 0 || odd (n - 1)\nand odd n = n > 0 && even (n - 1)";
+  reparses "let f x =\n  let y = x + 1 in\n  let z = y * 2 in\n  z";
+  reparses "let (a, b) = (1, 2)";
+  reparses "let { x; y = z } = p";
+  reparses "let _ = ignore 3"
+
+let test_functions () =
+  reparses "let f = fun x -> x";
+  reparses "let f = fun x y -> x + y";
+  reparses "let f ~label x = label + x";
+  reparses "let f ?(opt = 3) x = opt + x";
+  reparses "let f ?opt x = (opt, x)";
+  reparses "let g = function 0 -> true | _ -> false";
+  reparses "let apply f ~x = f ~x";
+  reparses "let h = f ~x:1 ?y:None 2"
+
+let test_match_and_try () =
+  reparses "let f x = match x with 0 -> a | 1 -> b | _ -> c";
+  reparses "let f x = match x with n when n > 0 -> n | n -> -n";
+  reparses "let f x = match x with Some y -> y | None -> 0";
+  reparses "let f x = match x with A | B -> 1 | C as c -> g c";
+  reparses "let f x = match x with [] -> 0 | h :: t -> h + len t";
+  reparses "let f x = match x with (a, b) -> a + b";
+  reparses "let f x = match x with { a; b = c; _ } -> a + c";
+  reparses "let f x = match x with exception Not_found -> 0 | v -> v";
+  reparses "let f x = match x with lazy v -> v";
+  reparses "let f x = try g x with Failure m -> h m | Not_found -> 0";
+  reparses "let f x = match x with 'a' .. 'z' -> true | _ -> false"
+
+let test_data_constructs () =
+  reparses "let t = (1, 2, 3)";
+  reparses "let v = Some (x + 1)";
+  reparses "let v = Pair (a, b)";
+  reparses "let r = { a = 1; b = 2 }";
+  reparses "let r2 = { r with b = 3 }";
+  reparses "let x = r.a + p.M.f";
+  reparses "let () = r.a <- 4";
+  reparses "let xs = [ 1; 2; 3 ]";
+  reparses "let ys = [| 1; 2 |]";
+  reparses "let h = a.(i)";
+  reparses "let c = s.[i]";
+  reparses "let () = a.(i) <- 3";
+  reparses "let z = lazy (f x)";
+  reparses "let () = assert (x > 0)"
+
+let test_control_flow () =
+  reparses "let f x = if x then 1 else 2";
+  reparses "let f x = if x then g ()";
+  reparses "let f () = a (); b (); c ()";
+  reparses "let f n =\n  for i = 0 to n do\n    g i\n  done";
+  reparses "let f n =\n  for i = n downto 0 do\n    g i\n  done";
+  reparses "let f () =\n  while running () do\n    step ()\n  done"
+
+let test_modules () =
+  reparses "let f x = let open List in map g x";
+  reparses "let f x = List.(map g x)";
+  reparses "let f () = let module M = Make (X) in 0";
+  reparses "let m = (module M)";
+  reparses "module A = struct\n  let x = 1\nend";
+  reparses "module B = A";
+  reparses "module C = Make (A)";
+  reparses "open A\nlet y = x";
+  reparses "include A";
+  reparses "type t = int\nlet x = 3";
+  reparses "exception E of string\nlet f () = raise (E \"boom\")"
+
+(* Shape checks: the AST really is what the analyses walk, not just a
+   reprintable blob. *)
+let test_shapes () =
+  (match parse "let f ~a ?(b = 1) c = a + b + c" with
+  | [ Ast.Ilet { bindings = [ { b_params; _ } ]; _ } ] ->
+      let labels =
+        List.map
+          (fun (p : Ast.param) ->
+            match p.label with
+            | Ast.Nolabel -> "_"
+            | Ast.Labelled l -> "~" ^ l
+            | Ast.Optional l -> "?" ^ l)
+          b_params
+      in
+      Alcotest.(check (list string)) "param labels" [ "~a"; "?b"; "_" ] labels
+  | _ -> Alcotest.fail "unexpected structure for labeled params");
+  (match parse "let f x = match x with 0 -> a | _ when g x -> b | _ -> c" with
+  | [ Ast.Ilet { bindings = [ { b_params = [ _ ]; b_body; _ } ]; _ } ] -> (
+      match b_body.Ast.desc with
+      | Ast.Match (_, cases) ->
+          Alcotest.(check int) "three cases" 3 (List.length cases);
+          Alcotest.(check bool) "second case guarded" true
+            (Option.is_some (List.nth cases 1).Ast.guard)
+      | _ -> Alcotest.fail "body is not a match")
+  | _ -> Alcotest.fail "unexpected structure for match");
+  match parse "module M = struct\n  let inner = 1\nend" with
+  | [ Ast.Imodule ("M", [ Ast.Ilet _ ], _) ] -> ()
+  | _ -> Alcotest.fail "unexpected structure for module"
+
+let test_positions () =
+  match parse "let a = 1\nlet b =\n  f (x + 1)" with
+  | [ Ast.Ilet { i_pos = p1; _ }; Ast.Ilet { bindings = [ { b_body; _ } ]; i_pos = p2; _ } ]
+    ->
+      Alcotest.(check int) "first item line" 1 p1.Ast.line;
+      Alcotest.(check int) "second item line" 2 p2.Ast.line;
+      Alcotest.(check int) "body expr line" 3 b_body.Ast.pos.Ast.line
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_errors () =
+  let fails src =
+    match Parser.structure_of_string src with
+    | _ -> Alcotest.failf "expected a parse error for: %s" src
+    | exception Parser.Error _ -> ()
+  in
+  fails "let = 3";
+  fails "let f x = match x with";
+  fails "let f x = (x";
+  fails "let r = { a = 1;"
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: generated AST -> to_source -> parse = same AST              *)
+(* ------------------------------------------------------------------ *)
+
+let gen_ast =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "acc"; "f" ] in
+  (* [true]/[false] parse as [Var], not [Const] — keep them out. *)
+  let const = oneofl [ "0"; "1"; "42"; "\"s\""; "'c'"; "()" ] in
+  let label = oneofl [ "key"; "len" ] in
+  let e d = Ast.{ desc = d; pos = Ast.no_pos } in
+  let rec expr depth =
+    if depth = 0 then
+      oneof [ map (fun v -> e (Ast.Var [ v ])) var; map (fun c -> e (Ast.Const c)) const ]
+    else
+      let sub = expr (depth - 1) in
+      let arg =
+        oneof
+          [
+            map (fun a -> (Ast.Nolabel, a)) sub;
+            map2 (fun l a -> (Ast.Labelled l, a)) label sub;
+          ]
+      in
+      frequency
+        [
+          (2, map (fun v -> e (Ast.Var [ v ])) var);
+          (2, map (fun c -> e (Ast.Const c)) const);
+          ( 3,
+            map2
+              (fun f args -> e (Ast.Apply (e (Ast.Var [ f ]), args)))
+              var
+              (list_size (int_range 1 3) arg) );
+          (2, map3 (fun c t f -> e (Ast.If (c, t, Some f))) sub sub sub);
+          (1, map2 (fun c t -> e (Ast.If (c, t, None))) sub sub);
+          (2, map2 (fun a b -> e (Ast.Tuple [ a; b ])) sub sub);
+          ( 2,
+            map3
+              (fun v b body ->
+                e
+                  (Ast.Let
+                     {
+                       recursive = false;
+                       bindings =
+                         [
+                           {
+                             Ast.b_pat = Ast.Pvar (v, Ast.no_pos);
+                             b_params = [];
+                             b_body = b;
+                             b_pos = Ast.no_pos;
+                           };
+                         ];
+                       body;
+                     }))
+              var sub sub );
+          ( 2,
+            map2
+              (fun v body ->
+                e
+                  (Ast.Fun
+                     ( [ { Ast.label = Ast.Nolabel; pat = Ast.Pvar (v, Ast.no_pos); default = None } ],
+                       body )))
+              var sub );
+          ( 2,
+            map3
+              (fun scrut a b ->
+                e
+                  (Ast.Match
+                     ( scrut,
+                       [
+                         { Ast.lhs = Ast.Pconst "0"; guard = None; rhs = a };
+                         { Ast.lhs = Ast.Pany; guard = None; rhs = b };
+                       ] )))
+              sub sub sub );
+          (1, map2 (fun a b -> e (Ast.Sequence (a, b))) sub sub);
+          (1, map (fun xs -> e (Ast.List_lit xs)) (list_size (int_range 0 3) sub));
+          (1, map (fun a -> e (Ast.Construct ([ "Some" ], Some a))) sub);
+          (1, return (e (Ast.Construct ([ "None" ], None))));
+          (1, map (fun a -> e (Ast.Assert a)) sub);
+          (1, map (fun a -> e (Ast.Lazy_ a)) sub);
+          (1, map (fun a -> e (Ast.Field (a, [ "contents" ]))) sub);
+          (1, map2 (fun a i -> e (Ast.Index_get (a, i))) sub sub);
+        ]
+  in
+  let item =
+    let* depth = int_range 1 4 in
+    let* name = var in
+    let* body = expr depth in
+    return
+      (Ast.Ilet
+         {
+           recursive = false;
+           bindings =
+             [
+               {
+                 Ast.b_pat = Ast.Pvar (name, Ast.no_pos);
+                 b_params = [];
+                 b_body = body;
+                 b_pos = Ast.no_pos;
+               };
+             ];
+           i_pos = Ast.no_pos;
+         })
+  in
+  QCheck.Gen.list_size (QCheck.Gen.int_range 1 3) item
+
+let arb_ast = QCheck.make ~print:Ast.to_source gen_ast
+
+let prop_print_reparse =
+  QCheck.Test.make ~name:"to_source output reparses to an equal AST" ~count:500 arb_ast
+    (fun s ->
+      let printed = Ast.to_source s in
+      match Parser.structure_of_string printed with
+      | reparsed -> Ast.equal_structure s reparsed
+      | exception Parser.Error { line; col; message } ->
+          QCheck.Test.fail_reportf "parse error at %d:%d: %s\nprinted:\n%s" line col
+            message printed)
+
+(* ------------------------------------------------------------------ *)
+
+let tc = Alcotest.test_case
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "constructs",
+        [
+          tc "let bindings" `Quick test_let_bindings;
+          tc "functions" `Quick test_functions;
+          tc "match & try" `Quick test_match_and_try;
+          tc "data" `Quick test_data_constructs;
+          tc "control flow" `Quick test_control_flow;
+          tc "modules" `Quick test_modules;
+          tc "shapes" `Quick test_shapes;
+          tc "positions" `Quick test_positions;
+          tc "errors" `Quick test_errors;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_print_reparse ]);
+    ]

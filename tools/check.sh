@@ -22,6 +22,7 @@ dune build @par-smoke
 dune build @cache-smoke
 dune build @trace-smoke
 dune build @lint
+dune build @lint-selfcheck
 dune build @bench-gate
 
 # API docs must stay warning-free; odoc is optional in minimal images.

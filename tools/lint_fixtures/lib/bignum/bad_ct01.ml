@@ -1,0 +1,8 @@
+(* Seeded-bad fixture for CT01: polymorphic structural comparison in a
+   secret-bearing directory. *)
+
+let cmp a b = Stdlib.compare a b (* lint-expect: CT01 *)
+
+let contains x xs = List.mem x xs (* lint-expect: CT01 *)
+
+let same a b = a == b (* lint-expect: CT01 *)

@@ -1,0 +1,31 @@
+(* Seeded-bad fixture for CT02: secret-tainted values controlling
+   branches, loop bounds, and length-dependent calls inside the
+   arithmetic kernels. *)
+
+let branch_on_secret st =
+  let secret = Drbg.generate st 32 in
+  if secret = "" then 0 else 1 (* lint-expect: CT02 *)
+
+let match_on_secret g rng =
+  let r = Group.random_exponent g ~rng in
+  match r with (* lint-expect: CT02 *)
+  | 0 -> "zero"
+  | _ -> "other"
+
+let loop_on_secret st =
+  let n = byte_of (Drbg.generate st 1) in
+  for _i = 0 to n do (* lint-expect: CT02 *)
+    step ()
+  done
+
+let length_of_secret st =
+  let secret = Drbg.generate st 32 in
+  String.length secret (* lint-expect: CT02 *)
+
+(* Helper that branches on its parameter: the branch event lands in the
+   summary and must replay at the tainted call site below. *)
+let is_empty s = if s = "" then true else false
+
+let branch_via_helper st =
+  let secret = Drbg.generate st 16 in
+  is_empty secret (* lint-expect: CT02 *)

@@ -1,0 +1,14 @@
+(* Clean counterpart to bad_ct02.ml: branches on public values and on
+   sanitized secrets are fine. *)
+
+let branch_on_public n = if n = 0 then 0 else 1
+
+let loop_on_public n =
+  for i = 0 to n do
+    step i
+  done
+
+(* A hashed secret is public by the random-oracle argument. *)
+let branch_on_digest st =
+  let fp = Sha256.hex_digest (Drbg.generate st 32) in
+  if fp = "" then 0 else 1

@@ -1,0 +1,8 @@
+(* Seeded-bad fixture for DBG01: leftover debug output and assert false
+   in library code. *)
+
+let shout x = print_endline x (* lint-expect: DBG01 *)
+
+let trace fmt = Printf.printf fmt (* lint-expect: DBG01 *)
+
+let unreachable () = assert false (* lint-expect: DBG01 *)

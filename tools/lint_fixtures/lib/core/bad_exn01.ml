@@ -1,0 +1,4 @@
+(* Seeded-bad fixture for EXN01: a catch-all handler swallowing every
+   exception, including typed protocol errors. *)
+
+let swallow f x = try f x with _ -> None (* lint-expect: EXN01 *)

@@ -1,0 +1,6 @@
+(* Seeded-bad fixture for OBS01: a span entered but never exited within
+   the same top-level item. *)
+
+let leaky_span work =
+  let _h = Span.enter "leaky" in (* lint-expect: OBS01 *)
+  work ()

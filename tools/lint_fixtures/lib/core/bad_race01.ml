@@ -1,0 +1,25 @@
+(* Seeded-bad fixture for RACE01: mutable state captured by closures
+   handed to the domain pool without Atomic/Mutex mediation. *)
+
+let tally pool xs =
+  let hits = ref 0 in
+  let _ = Pool.map pool (fun x -> hits := !hits + x) xs (* lint-expect: RACE01 *) in
+  !hits
+
+let index pool xs =
+  let tbl = Hashtbl.create 16 in
+  let _ = Pool.map pool (fun x -> Hashtbl.replace tbl x true) xs (* lint-expect: RACE01 *) in
+  tbl
+
+(* In-place mutation of a captured parameter (no mutable constructor in
+   sight) must be caught too. *)
+let log_async buf =
+  Domain.spawn (fun () -> Buffer.add_string buf "x") (* lint-expect: RACE01, DOM01 *)
+
+type counter = { mutable n : int }
+
+let bump pool c xs =
+  Pool.map pool (fun x -> c.n <- c.n + x) xs (* lint-expect: RACE01 *)
+
+let fill pool (arr : int array) xs =
+  Pool.map_seeded pool ~seed:"s" (fun x -> arr.(x) <- x) xs (* lint-expect: RACE01 *)

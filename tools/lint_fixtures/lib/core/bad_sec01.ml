@@ -1,0 +1,44 @@
+(* Seeded-bad fixture for SEC01: secrets reaching sinks without a
+   sanitizer. Each violating line carries a lint-expect annotation; the
+   selfcheck fails unless psi_lint reports exactly these. *)
+
+let leak_raw_key g rng ep =
+  let key = Commutative.gen_key g ~rng in
+  Channel.send ep key (* lint-expect: SEC01 *)
+
+let leak_drbg_direct st ep =
+  let pad = Drbg.generate st 32 in
+  Channel.send ep pad (* lint-expect: SEC01 *)
+
+(* The secret travels through a helper before reaching the sink: the
+   interprocedural summary must carry the taint. *)
+let forward ep x = Channel.send ep x
+
+let leak_through_helper g rng ep =
+  let e = Group.random_exponent g ~rng in
+  forward ep e (* lint-expect: SEC01 *)
+
+(* Tuples and lets do not launder taint. *)
+let leak_via_tuple st ep =
+  let secret = Drbg.generate st 16 in
+  let pair = (secret, "label") in
+  let v, _tag = pair in
+  Channel.send ep v (* lint-expect: SEC01 *)
+
+(* Secrets must not reach error formatting either. *)
+let leak_in_error g rng =
+  let key = Commutative.gen_key g ~rng in
+  failwith key (* lint-expect: SEC01 *)
+
+(* Telemetry attributes are sinks too (the span is exited so OBS01
+   stays quiet; the leak is the tainted name). *)
+let leak_in_span st =
+  let secret = Drbg.generate st 8 in
+  let h = Span.enter secret (* lint-expect: SEC01 *) in
+  Span.exit h
+
+(* Mapping a raw secret collection onto the wire: the HOF model must
+   propagate element taint through List.map. *)
+let leak_via_map st ep xs =
+  let pads = List.map (fun x -> Drbg.generate st x) xs in
+  Channel.send_elements_stream ep pads (* lint-expect: SEC01 *)

@@ -1,0 +1,20 @@
+(* Clean counterpart to bad_race01.ml: pure per-element closures, and
+   shared state mediated by Atomic or a Mutex, are fine. *)
+
+let double pool xs = Pool.map pool (fun x -> x * 2) xs
+
+let tally pool xs =
+  let hits = Atomic.make 0 in
+  let _ = Pool.map pool (fun x -> Atomic.fetch_and_add hits x) xs in
+  Atomic.get hits
+
+let guarded pool lock tbl xs =
+  Pool.map pool
+    (fun x ->
+      Mutex.lock lock;
+      Hashtbl.replace tbl x true;
+      Mutex.unlock lock)
+    xs
+
+(* Reading captured immutable state is not a race. *)
+let lookup pool table xs = Pool.map pool (fun x -> List.assoc x table) xs

@@ -1,0 +1,24 @@
+(* Clean counterpart to bad_sec01.ml: every send passes a sanitizer, so
+   SEC01 must stay silent here (any finding fails the selfcheck as
+   EXTRA). *)
+
+let send_encrypted g key ep xs =
+  let cts = List.map (fun x -> Commutative.encrypt g key x) xs in
+  Channel.send_elements_stream ep cts
+
+let send_hashed g ep v =
+  let h = Hash_to_group.map g v in
+  Channel.send ep h
+
+let send_fingerprint g key ep =
+  Channel.send ep (Commutative.fingerprint g key)
+
+let log_digest st =
+  let secret = Drbg.generate st 32 in
+  let h = Span.enter (Sha256.hex_digest secret) in
+  Span.exit h
+
+(* Blinding: g^r is publishable even though r is secret. *)
+let send_blinded g rng ep =
+  let r = Group.random_exponent g ~rng in
+  Channel.send ep (Group.pow g (Group.generator g) r)

@@ -1,0 +1,5 @@
+(* Seeded-bad fixture for RNG01: Stdlib.Random in protocol code. *)
+
+let weak_nonce () = Random.int 256 (* lint-expect: RNG01 *)
+
+let weak_seed st = Random.State.bits st (* lint-expect: RNG01 *)

@@ -1,0 +1,6 @@
+(* Seeded-bad fixture for WIRE01: an attacker-controlled length fed
+   straight into an allocator with no bound check. *)
+
+let read_blob buf = read_raw buf (read_varint buf) (* lint-expect: WIRE01 *)
+
+let read_frame buf = Bytes.create (read_u32 buf) (* lint-expect: WIRE01 *)

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Lint self-check, run by `dune build @lint-selfcheck`.
+#
+# Two halves:
+#   1. psi_lint --selfcheck over tools/lint_fixtures — a corpus of
+#      seeded-bad snippets where every violating line carries a
+#      `(* lint-expect: RULE *)` annotation. The run fails unless every
+#      expected (file, line, rule) is reported (MISS) and nothing
+#      unexpected is (EXTRA), so both false negatives and false
+#      positives in the analyses break the build.
+#   2. Schema validation of the machine output: `--json` must emit a
+#      versioned lint_header as its first line and a versioned summary
+#      with per-phase timings as its last, matching the trace_header
+#      convention used by the Obs JSONL exports.
+#
+# Usage: lint_selfcheck.sh path/to/psi_lint.exe workspace_root
+set -eu
+
+LINT=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+ROOT=$2
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+echo "== lint selfcheck: seeded fixtures =="
+"$LINT" --root "$ROOT" --selfcheck "$ROOT/tools/lint_fixtures"
+
+echo
+echo "== lint selfcheck: JSON schema =="
+"$LINT" --root "$ROOT" --baseline "$ROOT/tools/lint_baseline.txt" \
+  --json "$dir/lint.jsonl" lib bin
+
+fail() {
+  echo "lint_selfcheck: $1" >&2
+  exit 1
+}
+
+head -n 1 "$dir/lint.jsonl" | grep -q '"type":"lint_header"' \
+  || fail "first JSON line is not a lint_header"
+head -n 1 "$dir/lint.jsonl" | grep -q '"version":1' \
+  || fail "lint_header carries no schema version"
+head -n 1 "$dir/lint.jsonl" | grep -q '"rules":\[' \
+  || fail "lint_header carries no rule catalog"
+tail -n 1 "$dir/lint.jsonl" | grep -q '"type":"summary"' \
+  || fail "last JSON line is not a summary"
+tail -n 1 "$dir/lint.jsonl" | grep -q '"version":1' \
+  || fail "summary carries no schema version"
+tail -n 1 "$dir/lint.jsonl" | grep -q '"phases":{' \
+  || fail "summary carries no per-phase timings"
+for phase in lex parse resolve taint classify; do
+  tail -n 1 "$dir/lint.jsonl" | grep -q "\"$phase\":" \
+    || fail "summary phases missing \"$phase\""
+done
+
+echo "lint_selfcheck: ok"
