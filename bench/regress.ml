@@ -19,7 +19,11 @@
      zero-churn point, each within a slack factor (default 1.6,
      override with PSI_BENCH_SLACK). Skipped with a warning when the
      committed header's core count differs from this machine's — the
-     committed numbers then describe a different box.
+     committed numbers then describe a different box. Each throughput
+     is the best of a few trials, and the wall-clock checks run before
+     the count checks: a floor compares what the box *can* do, and on
+     a shared single-core host the obs rerun saturates the CPU long
+     enough to throttle any timing taken after it.
 
    --inject-slowdown F divides every fresh throughput by F; the gate
    script uses it to prove the gate actually fails on a 2x regression. *)
@@ -105,6 +109,18 @@ let get_arr path j field =
 
 let failures = ref 0
 let wall_clock_ran = ref false
+
+(* Best-of-N for wall-clock measurements. One draw on a shared box
+   confounds the code's speed with scheduler noise and frequency
+   throttling; the maximum over a few trials is the stable estimate of
+   what the box can sustain, which is what a regression floor means. *)
+let wall_trials = 3
+
+let best_throughput measure =
+  let rec go best i =
+    if i = 0 then best else go (Float.max best (measure ())) (i - 1)
+  in
+  go (measure ()) (wall_trials - 1)
 
 let check ~label ok detail =
   Printf.printf "%s %-42s %s\n%!" (if ok then "ok  " else "FAIL") label detail;
@@ -219,10 +235,13 @@ let check_modexp path =
     let rng = Crypto.Drbg.to_rng (Crypto.Drbg.create ~seed:"regress") in
     let key = Crypto.Commutative.gen_key group ~rng in
     let xs = List.init n (fun _ -> Crypto.Group.random_element group ~rng) in
-    let t0 = now_s () in
-    ignore (Crypto.Commutative.encrypt_batch group key xs);
-    let dt = now_s () -. t0 in
-    let fresh = float_of_int n /. dt /. inject in
+    let fresh =
+      best_throughput (fun () ->
+          let t0 = now_s () in
+          ignore (Crypto.Commutative.encrypt_batch group key xs);
+          float_of_int n /. (now_s () -. t0))
+      /. inject
+    in
     let floor = committed /. slack in
     wall_clock_ran := true;
     check ~label:"modexp throughput (jobs=1)" (fresh >= floor)
@@ -266,22 +285,24 @@ let check_incremental path =
           Printf.eprintf "regress: %s: no zero-churn point\n" path;
           exit 2
     in
-    let dir = temp_dir () in
-    let dt =
-      Fun.protect
-        ~finally:(fun () -> remove_dir dir)
-        (fun () ->
-          let cfg = Psi.Protocol.config ~domain:"incremental-bench" group in
-          let vs, vr =
-            Psi.Workload.value_sets ~seed:"incremental-bench" ~n_s:n ~n_r:n
-              ~overlap:(n / 2)
-          in
-          let ops = [ Psi.Session.Intersect { s_values = vs; r_values = vr } ] in
-          let t0 = now_s () in
-          ignore (Psi.Session.run_incremental cfg ~cache_dir:dir ops ());
-          now_s () -. t0)
+    let cfg = Psi.Protocol.config ~domain:"incremental-bench" group in
+    let vs, vr =
+      Psi.Workload.value_sets ~seed:"incremental-bench" ~n_s:n ~n_r:n
+        ~overlap:(n / 2)
     in
-    let fresh = float_of_int (2 * n) /. dt /. inject in
+    let ops = [ Psi.Session.Intersect { s_values = vs; r_values = vr } ] in
+    let fresh =
+      best_throughput (fun () ->
+          (* A fresh cache directory per trial keeps every run cold. *)
+          let dir = temp_dir () in
+          Fun.protect
+            ~finally:(fun () -> remove_dir dir)
+            (fun () ->
+              let t0 = now_s () in
+              ignore (Psi.Session.run_incremental cfg ~cache_dir:dir ops ());
+              float_of_int (2 * n) /. (now_s () -. t0)))
+      /. inject
+    in
     let floor = committed /. slack in
     wall_clock_ran := true;
     check ~label:"cold incremental session (el/s)" (fresh >= floor)
@@ -296,9 +317,11 @@ let () =
   if inject <> 1.0 then
     Printf.printf "injecting a synthetic %.2fx slowdown into fresh measurements\n%!"
       inject;
-  check_obs obs;
+  (* Wall-clock first: the obs count rerun pegs the CPU for long
+     enough that a shared host throttles whatever is timed after it. *)
   check_modexp par;
   check_incremental incr;
+  check_obs obs;
   if !failures > 0 then begin
     Printf.printf "\nbench gate: %d check(s) FAILED\n%!" !failures;
     exit 1

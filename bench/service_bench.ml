@@ -1,0 +1,166 @@
+(* Service benchmark: sustained sessions/sec and session latency with
+   100+ concurrent clients against an in-process psid daemon, plus the
+   cost of a typed busy rejection when the admission bound is hit.
+   Writes BENCH_service.json.
+
+   Run: dune exec bench/service_bench.exe -- [--quick] *)
+
+module Json = Obs.Export.Json
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
+let clients = if quick then 12 else 100
+let rounds = if quick then 2 else 3
+let now_s () = Int64.to_float (Obs.Clock.now_ns ()) *. 1e-9
+
+let group = Crypto.Group.named Crypto.Group.Test64
+let s_values = List.init 10 (Printf.sprintf "s-%02d")
+let r_values = List.init 6 (Printf.sprintf "s-%02d")
+
+let source =
+  {
+    Service.Tenant.values_for = (fun _ -> s_values);
+    records_for = (fun _ -> List.map (fun v -> (v, v)) s_values);
+  }
+
+let tenant = { Service.Tenant.id = "bench"; secret = "bench-secret"; source }
+
+let daemon ~max_sessions =
+  let cfg = Service.Daemon.config group ~tenants:[ tenant ] in
+  Service.Daemon.start { cfg with max_sessions; seed = "bench" }
+
+let connect ?seed d =
+  Service.Client.connect ?seed ~timeout_s:30.0 ~host:"127.0.0.1"
+    ~port:(Service.Daemon.port d) ~tenant:"bench" ~secret:"bench-secret"
+    ~attr:"v" group
+
+(* One full session: connect (hello/auth/handshake), one
+   intersect-size op, goodbye. Returns wall seconds. *)
+let one_session d ~seed =
+  let t0 = now_s () in
+  let c = connect ~seed d in
+  (match Service.Client.run c (Psi.Session.Intersect_size { s_values = []; r_values }) with
+  | Psi.Session.Size n, _ -> assert (n = List.length r_values)
+  | _ -> failwith "unexpected result");
+  Service.Client.close c;
+  now_s () -. t0
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let summarize label latencies =
+  let a = Array.of_list latencies in
+  Array.sort compare a;
+  let n = Array.length a in
+  let mean = Array.fold_left ( +. ) 0. a /. float_of_int n in
+  let p50 = percentile a 0.50 and p99 = percentile a 0.99 in
+  Printf.printf "%-10s n=%4d  mean %6.1f ms  p50 %6.1f ms  p99 %6.1f ms\n%!"
+    label n (mean *. 1000.) (p50 *. 1000.) (p99 *. 1000.);
+  ( Json.Obj
+      [
+        ("count", Json.of_int n);
+        ("mean_ms", Json.of_float (mean *. 1000.));
+        ("p50_ms", Json.of_float (p50 *. 1000.));
+        ("p99_ms", Json.of_float (p99 *. 1000.));
+      ],
+    n )
+
+(* Phase 1: [clients] threads each run [rounds] back-to-back sessions
+   against one daemon sized to admit them all. *)
+let throughput () =
+  Printf.printf "== sustained sessions, %d concurrent clients x %d rounds ==\n%!"
+    clients rounds;
+  let d = daemon ~max_sessions:(clients + 8) in
+  let lock = Mutex.create () in
+  let latencies = ref [] and errors = ref [] in
+  let t0 = now_s () in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () ->
+            for r = 1 to rounds do
+              match one_session d ~seed:(Printf.sprintf "bench-%d-%d" i r) with
+              | dt -> Mutex.protect lock (fun () -> latencies := dt :: !latencies)
+              | exception e ->
+                  Mutex.protect lock (fun () ->
+                      errors := Printexc.to_string e :: !errors)
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall = now_s () -. t0 in
+  if not (Service.Daemon.wait ~timeout_s:30.0 d) then failwith "drain timed out";
+  (match !errors with
+  | [] -> ()
+  | e :: _ -> failwith (Printf.sprintf "%d client error(s): %s" (List.length !errors) e));
+  let summary, n = summarize "session" !latencies in
+  let rate = float_of_int n /. wall in
+  Printf.printf "%d sessions in %.2f s: %.1f sessions/s\n%!" n wall rate;
+  Json.Obj
+    [
+      ("clients", Json.of_int clients);
+      ("rounds", Json.of_int rounds);
+      ("sessions", Json.of_int n);
+      ("seconds", Json.of_float wall);
+      ("sessions_per_s", Json.of_float rate);
+      ("latency", summary);
+    ]
+
+(* Phase 2: fill a small daemon's admission window with held-open
+   sessions, then measure what a typed busy rejection costs the
+   rejected client. *)
+let busy_cost () =
+  let holders_n = 2 and offered = if quick then 8 else 32 in
+  Printf.printf "\n== busy rejection cost (%d slots held, %d offered) ==\n%!"
+    holders_n offered;
+  let d = daemon ~max_sessions:holders_n in
+  let holders =
+    List.init holders_n (fun i -> connect ~seed:(Printf.sprintf "holder-%d" i) d)
+  in
+  let lock = Mutex.create () in
+  let rejected = ref [] and served = ref 0 in
+  let threads =
+    List.init offered (fun i ->
+        Thread.create
+          (fun () ->
+            let t0 = now_s () in
+            match connect ~seed:(Printf.sprintf "reject-%d" i) d with
+            | c ->
+                Service.Client.close c;
+                Mutex.protect lock (fun () -> incr served)
+            | exception Service.Busy _ ->
+                let dt = now_s () -. t0 in
+                Mutex.protect lock (fun () -> rejected := dt :: !rejected))
+          ())
+  in
+  List.iter Thread.join threads;
+  List.iter Service.Client.close holders;
+  if not (Service.Daemon.wait ~timeout_s:30.0 d) then failwith "drain timed out";
+  if !rejected = [] then failwith "expected busy rejections, saw none";
+  let summary, n = summarize "busy" !rejected in
+  Json.Obj
+    [
+      ("offered", Json.of_int offered);
+      ("served", Json.of_int !served);
+      ("rejected", Json.of_int n);
+      ("latency", summary);
+    ]
+
+let () =
+  let tput = throughput () in
+  let busy = busy_cost () in
+  let json =
+    Json.Obj
+      (Obs.Export.box_profile ()
+      @ [
+          ("group", Json.Str "test64");
+          ("quick", Json.Bool quick);
+          ("throughput", tput);
+          ("busy_rejection", busy);
+        ])
+  in
+  let oc = open_out "BENCH_service.json" in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_service.json\n"

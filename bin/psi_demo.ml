@@ -428,21 +428,39 @@ let parse_hostport s =
       | Some p -> ("127.0.0.1", p)
       | None -> invalid_arg (Printf.sprintf "net: expected HOST:PORT, got %S" s))
 
-let run_net group seed jobs listen connect csv attr op timeout trace trace_out =
+let run_net group seed jobs listen connect csv attr op max_conns timeout trace
+    trace_out =
   let cfg = Psi.Protocol.config ~workers:jobs ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
   report_workers ~trace jobs;
   with_trace ?out:trace_out trace @@ fun () ->
   match (listen, connect) with
   | Some port, None ->
-      let lfd, bound = Wire.Transport.Socket.listen ~port () in
-      Printf.printf "listening on port %d\n%!" bound;
-      let tr = Wire.Transport.Socket.accept lfd in
-      let ep = Wire.Channel.of_transport tr in
-      Wire.Channel.set_timeout ep (Some timeout);
-      net_sender cfg ~seed ~csv ~attr ~op ep;
-      Wire.Channel.close ep;
-      Unix.close lfd;
-      report_net_stats ep
+      (* The psid listener, serving connections sequentially: repeated
+         --connect runs work against one listener until --max-conns is
+         reached or SIGTERM/SIGINT stops the loop. (Before psid this
+         branch exited after a single connection.) *)
+      let listener = Service.Listener.create ~port () in
+      Printf.printf "listening on port %d\n%!" (Service.Listener.port listener);
+      let stop _ = Service.Listener.stop listener in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      let max_conns = if max_conns = 0 then None else Some max_conns in
+      Service.Listener.run ?max_conns listener (fun conn ->
+          let ep = Wire.Channel.of_transport (Service.Listener.transport conn) in
+          Wire.Channel.set_timeout ep (Some timeout);
+          Fun.protect
+            ~finally:(fun () -> Service.Listener.close_conn conn)
+            (fun () ->
+              match
+                net_sender cfg ~seed ~csv ~attr ~op ep;
+                Wire.Channel.close ep
+              with
+              | () -> report_net_stats ep
+              | exception (Wire.Protocol_error msg | Failure msg) ->
+                  Printf.eprintf "net: session failed: %s\n%!" msg
+              | exception Wire.Timeout { what; waited_s } ->
+                  Printf.eprintf "net: session timed out (%s after %.1fs)\n%!"
+                    what waited_s))
   | None, Some hostport ->
       let host, port = parse_hostport hostport in
       let ep = Wire.Channel.of_transport (connect_with_retry ~host ~port) in
@@ -471,6 +489,14 @@ let net_cmd =
     Arg.(required & opt (some file) None
          & info [ "csv" ] ~doc:"This side's CSV table.")
   in
+  let max_conns =
+    Arg.(value & opt int 0
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"With --listen: exit after serving $(docv) connections \
+                   (0, the default, serves until SIGTERM/SIGINT). Earlier \
+                   releases always exited after one connection; pass \
+                   --max-conns 1 for that behavior.")
+  in
   let timeout =
     Arg.(value & opt float 30.
          & info [ "timeout" ] ~docv:"SECS"
@@ -487,7 +513,113 @@ let net_cmd =
            `P "Terminal 2: psi_demo net --connect 127.0.0.1:7001 --csv r.csv --attr email";
          ])
     Term.(const run_net $ group_arg $ seed_arg $ jobs_arg $ listen $ connect $ csv
-          $ attr_arg $ op_arg $ timeout $ trace_arg $ trace_out_arg)
+          $ attr_arg $ op_arg $ max_conns $ timeout $ trace_arg $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* service: client session against a running psid                      *)
+(* ------------------------------------------------------------------ *)
+
+(* This process plays the receiver R; the daemon's tenant table plays
+   S. Unlike `net`, one connection can carry several operations and is
+   admission-controlled and authenticated — exit code 3 means the
+   daemon was at capacity (busy), 4 means credentials were refused. *)
+
+(* The whole post-connect exchange, with the client record as a
+   parameter: one call site below supplies the DRBG-bearing client, so
+   the taint analysis anchors every flow there. *)
+let service_session c ~csv ~attr ~op =
+  let session_op =
+    match op with
+    | Op_intersection ->
+        Psi.Session.Intersect { s_values = []; r_values = values_of_csv csv attr }
+    | Op_size ->
+        Psi.Session.Intersect_size
+          { s_values = []; r_values = values_of_csv csv attr }
+    | Op_join ->
+        Psi.Session.Equijoin { s_records = []; r_values = values_of_csv csv attr }
+    | Op_join_size ->
+        Psi.Session.Equijoin_size
+          { s_values = []; r_values = multiset_of_csv csv attr }
+  in
+  let result, _sender_encryptions = Service.Client.run c session_op in
+  (match result with
+  | Psi.Session.Values inter ->
+      Printf.printf "|V_R| = %d, |V_S ∩ V_R| = %d\n"
+        (List.length (values_of_csv csv attr))
+        (List.length inter);
+      List.iter (Printf.printf "%s\n") inter
+  | Psi.Session.Size sz -> Printf.printf "size = %d\n" sz
+  | Psi.Session.Matches matches ->
+      List.iter
+        (fun (v, recs) ->
+          Printf.printf "%s:\n" v;
+          List.iter (Printf.printf "  %s\n") recs)
+        matches;
+      Printf.printf "%d joining value(s)\n" (List.length matches));
+  Printf.printf "session %s\n" (Service.Client.session_id c);
+  let s = Service.Client.stats c in
+  Printf.printf "wire traffic: %d bytes sent, %d bytes received (total %d)\n"
+    s.Wire.Channel.bytes_sent s.Wire.Channel.bytes_received
+    (s.Wire.Channel.bytes_sent + s.Wire.Channel.bytes_received);
+  Service.Client.close c
+
+let run_service group seed connect tenant secret csv attr op timeout trace
+    trace_out =
+  with_trace ?out:trace_out trace @@ fun () ->
+  let host, port = parse_hostport connect in
+  match
+    Service.Client.connect ~timeout_s:timeout ~seed ~host ~port ~tenant ~secret
+      ~attr (Crypto.Group.named group)
+  with
+  | exception Service.Busy reason ->
+      (* psi-lint: allow SEC01 — the busy reason is a server-sent policy string (capacity/draining), not key material *)
+      Printf.eprintf "service: busy: %s\n" reason;
+      exit 3
+  | exception Service.Denied reason ->
+      (* psi-lint: allow SEC01 — the denial reason is the server's fixed refusal string, not key material *)
+      Printf.eprintf "service: denied: %s\n" reason;
+      exit 4
+  | c ->
+      (* psi-lint: allow SEC01 — the client record carries the session DRBG by design; everything printed is the protocol result, which R is entitled to by the paper's Statements 2/4/6 *)
+      service_session c ~csv ~attr ~op
+
+let service_cmd =
+  let connect =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"HOST:PORT"
+             ~doc:"The psid daemon's protocol endpoint.")
+  in
+  let tenant =
+    Arg.(required & opt (some string) None
+         & info [ "tenant" ] ~docv:"ID" ~doc:"Tenant id to authenticate as.")
+  in
+  let secret =
+    Arg.(required & opt (some string) None
+         & info [ "secret" ] ~docv:"SECRET"
+             ~doc:"The tenant's shared secret (proven via challenge-response; \
+                   never sent on the wire).")
+  in
+  let csv =
+    Arg.(required & opt (some file) None
+         & info [ "csv" ] ~doc:"This side's CSV table (party R's values).")
+  in
+  let timeout =
+    Arg.(value & opt float 30.
+         & info [ "timeout" ] ~docv:"SECS"
+             ~doc:"Receive deadline per message.")
+  in
+  Cmd.v
+    (Cmd.info "service"
+       ~doc:"Run one operation as a client session against a psid daemon."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "psid serve --port 7100 --tenant hospital:s3cret:ts.csv &";
+           `P "psi_demo service --connect 127.0.0.1:7100 --tenant hospital \\";
+           `P "  --secret s3cret --csv tr.csv --attr person_id --op size";
+         ])
+    Term.(const run_service $ group_arg $ seed_arg $ connect $ tenant $ secret
+          $ csv $ attr_arg $ op_arg $ timeout $ trace_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen-medical / medical                                               *)
@@ -683,8 +815,8 @@ let main_cmd =
     (Cmd.info "psi_demo" ~version:"1.0.0"
        ~doc:"Information sharing across private databases (SIGMOD 2003 protocols)")
     [
-      intersect_cmd; net_cmd; gen_medical_cmd; medical_cmd; estimate_cmd; group_by_cmd;
-      aggregate_cmd; sql_cmd;
+      intersect_cmd; net_cmd; service_cmd; gen_medical_cmd; medical_cmd; estimate_cmd;
+      group_by_cmd; aggregate_cmd; sql_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

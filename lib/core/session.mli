@@ -40,6 +40,39 @@ type report = {
     @raise Failure on handshake or protocol errors. *)
 val run : Protocol.config -> ?seed:string -> op list -> unit -> report
 
+(** {1 One-sided building blocks}
+
+    The pieces {!run} is made of, for callers that drive only one side
+    of a session over a live connection — the service layer
+    ([lib/service]) runs {!sender_op} per client request on the daemon
+    side and {!receiver_op} on the client side. Each executes exactly
+    one operation (wrapped in a [session/<op>] span) and leaves channel
+    lifecycle, handshake and sequencing to the caller. *)
+
+(** Wire name of an operation: ["intersect"], ["intersect_size"],
+    ["equijoin"] or ["equijoin_size"]. *)
+val op_name : op -> string
+
+(** [sender_op cfg ~rng ep op] runs S's side of [op] over [ep] (the
+    [s_values]/[s_records] field is used, the [r_]* field ignored) and
+    returns S's tallies. *)
+val sender_op :
+  Protocol.config ->
+  rng:Bignum.Nat_rand.rng ->
+  Wire.Channel.endpoint ->
+  op ->
+  Protocol.ops
+
+(** [receiver_op cfg ~rng ep op] runs R's side of [op] over [ep] and
+    returns R's tallies plus the protocol output. Also publishes the
+    per-op session counters ({!run} counts each op once, on R). *)
+val receiver_op :
+  Protocol.config ->
+  rng:Bignum.Nat_rand.rng ->
+  Wire.Channel.endpoint ->
+  op ->
+  Protocol.ops * result
+
 (** {1 Incremental sessions}
 
     Both §6.2 applications re-run the same protocols periodically

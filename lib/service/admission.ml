@@ -1,0 +1,59 @@
+type t = {
+  max_inflight : int;
+  slots : int Atomic.t;  (* slots currently held *)
+  admitted : Obs.Metrics.counter;
+  rejects : Obs.Metrics.counter;
+}
+
+let g_inflight = lazy (Obs.Metrics.gauge "service.inflight")
+
+let create ~max_inflight =
+  if max_inflight < 1 then invalid_arg "Admission.create: max_inflight < 1";
+  {
+    max_inflight;
+    slots = Atomic.make 0;
+    admitted = Obs.Metrics.counter "service.admitted";
+    rejects = Obs.Metrics.counter "service.busy_rejects";
+  }
+
+let max_inflight t = t.max_inflight
+let inflight t = Atomic.get t.slots
+
+(* Optimistic fetch-and-add with rollback: overshoot is corrected
+   before returning, so [slots] only transiently exceeds the bound and
+   no admitted session ever observes more than [max_inflight] peers. *)
+let try_admit t =
+  let now = Atomic.fetch_and_add t.slots 1 in
+  if now >= t.max_inflight then begin
+    ignore (Atomic.fetch_and_add t.slots (-1));
+    Obs.Metrics.incr t.rejects;
+    false
+  end
+  else begin
+    Obs.Metrics.incr t.admitted;
+    Obs.Metrics.set (Lazy.force g_inflight) (float_of_int (now + 1));
+    true
+  end
+
+let release t =
+  let before = Atomic.fetch_and_add t.slots (-1) in
+  if before <= 0 then begin
+    ignore (Atomic.fetch_and_add t.slots 1);
+    invalid_arg "Admission.release: no slot held"
+  end;
+  Obs.Metrics.set (Lazy.force g_inflight) (float_of_int (before - 1))
+
+let await_idle ?timeout_s t =
+  let deadline =
+    Option.map (fun s -> Wire.Transport.now_s () +. s) timeout_s
+  in
+  let rec wait () =
+    if Atomic.get t.slots = 0 then true
+    else
+      match deadline with
+      | Some d when Wire.Transport.now_s () >= d -> false
+      | _ ->
+          Thread.delay 0.01;
+          wait ()
+  in
+  wait ()

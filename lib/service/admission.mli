@@ -1,0 +1,36 @@
+(** Bounded in-flight-crypto admission control.
+
+    The daemon's defence against queue collapse: at most [max_inflight]
+    sessions may hold a slot at once, and a client that cannot get one
+    is told [psid/busy] {e immediately} instead of waiting. Modexp work
+    is the resource being protected — on an [N]-core box, admitting more
+    than a few concurrent sessions only grows latency, never
+    throughput — so the slot is acquired before any crypto and released
+    when the session ends, however it ends.
+
+    Publishes [service.admitted] / [service.busy_rejects] counters and a
+    [service.inflight] gauge; [docs/SERVICE.md] covers tuning. *)
+
+type t
+
+(** [create ~max_inflight] — [max_inflight >= 1].
+    @raise Invalid_argument otherwise. *)
+val create : max_inflight:int -> t
+
+val max_inflight : t -> int
+
+(** [try_admit t] takes a slot if one is free ([true]) or returns
+    [false] without blocking — never queues. *)
+val try_admit : t -> bool
+
+(** [release t] returns a slot taken by a successful {!try_admit}.
+    Calling it without a matching admit is a programming error.
+    @raise Invalid_argument on underflow. *)
+val release : t -> unit
+
+(** Slots currently held. *)
+val inflight : t -> int
+
+(** [await_idle ?timeout_s t] blocks (polling) until no slots are held;
+    returns [false] if [timeout_s] elapsed first. Used by drain. *)
+val await_idle : ?timeout_s:float -> t -> bool

@@ -1,0 +1,62 @@
+(** The client side of a psid session: party R against a daemon's S.
+
+    Mirrors {!Session} from the other end of the wire: hello,
+    challenge-response, config handshake, then any number of {!run}
+    calls, each one full protocol execution in which this side supplies
+    [r_values] and receives the result (the daemon's tenant data plays
+    the [s_values]/[s_records] role — leave those fields empty).
+
+    The protocol configuration is rebuilt here from the same
+    ingredients the server uses (group, [csv:<attr>] domain, cipher),
+    so the {!Psi.Handshake} fingerprints match by construction when the
+    caller passes the right group. *)
+
+type t
+
+(** [connect ~host ~port ~tenant ~secret ~attr group] opens and
+    authenticates a session.
+
+    [seed] drives this side's key material ({!Psi.Session} receiver
+    labels) — the default is fixed, so distinct runs are reproducible;
+    pass per-run seeds when linkability across sessions matters (see
+    docs/SERVICE.md). [nonce] defaults to a derivation from
+    [seed]/[tenant]/[attr]; two connects with identical parameters are
+    byte-identical sessions.
+
+    @raise Proto.Busy when the daemon refuses admission;
+    @raise Proto.Denied on bad credentials;
+    @raise Wire.Errors.Protocol_error on transport/shape faults.
+    The socket is released before any exception escapes. *)
+val connect :
+  ?cipher:Crypto.Perfect_cipher.scheme ->
+  ?workers:int ->
+  ?timeout_s:float ->
+  ?seed:string ->
+  ?nonce:string ->
+  host:string ->
+  port:int ->
+  tenant:string ->
+  secret:string ->
+  attr:string ->
+  Psi.Protocol.Group.t ->
+  t
+
+(** The server-assigned session id (hex, from [psid/ok]). *)
+val session_id : t -> string
+
+(** [run t op] executes one operation and returns R's output plus the
+    sender-side encryption count reported in [psid/done].
+    @raise Proto.Busy when the session's op budget is exhausted. *)
+val run : t -> Psi.Session.op -> Psi.Session.result * int
+
+(** Cumulative channel accounting for this session. *)
+val stats : t -> Wire.Channel.stats
+
+(** This endpoint's view — every message received, in order; what the
+    transcript tests compare. *)
+val view : t -> Wire.Message.t list
+
+(** [close t] says [psid/bye], waits for the ack, and releases the
+    socket. Idempotent; transport errors during goodbye are ignored
+    (the session's work is already done). *)
+val close : t -> unit

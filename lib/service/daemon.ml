@@ -1,0 +1,147 @@
+type config = {
+  port : int;
+  metrics_port : int option;
+  backlog : int;
+  group : Psi.Protocol.Group.t;
+  cipher : Crypto.Perfect_cipher.scheme;
+  workers : int;
+  max_sessions : int;
+  max_ops_per_session : int;
+  recv_timeout_s : float option;
+  seed : string;
+  tenants : Tenant.t list;
+  cache_root : string option;
+  cache_entries : int;
+}
+
+let config group ~tenants =
+  {
+    port = 0;
+    metrics_port = None;
+    backlog = 64;
+    group;
+    cipher = Crypto.Perfect_cipher.Stream_cipher;
+    workers = 1;
+    max_sessions = 8;
+    max_ops_per_session = 64;
+    recv_timeout_s = Some 30.0;
+    seed = "psid";
+    tenants;
+    cache_root = None;
+    cache_entries = 65536;
+  }
+
+type t = {
+  cfg : config;
+  listener : Listener.t;
+  http : Http.server option;
+  admission : Admission.t;
+  tenants : Tenant.registry;
+  drain_flag : bool Atomic.t;
+  accepted : int Atomic.t;
+  accept_thread : Thread.t;
+  session_threads : Thread.t list ref;
+  threads_lock : Mutex.t;
+  drained : bool Atomic.t;  (* [wait] already completed *)
+}
+
+let session_config (cfg : config) : Session.config =
+  {
+    Session.group = cfg.group;
+    cipher = cfg.cipher;
+    workers = cfg.workers;
+    seed = cfg.seed;
+    max_ops = cfg.max_ops_per_session;
+    recv_timeout_s = cfg.recv_timeout_s;
+  }
+
+let start cfg =
+  Obs.enable ();
+  let listener = Listener.create ~backlog:cfg.backlog ~port:cfg.port () in
+  let admission = Admission.create ~max_inflight:cfg.max_sessions in
+  let tenants =
+    Tenant.create ?cache_root:cfg.cache_root ~cache_entries:cfg.cache_entries
+      cfg.tenants
+  in
+  let drain_flag = Atomic.make false in
+  let session_threads = ref [] in
+  let threads_lock = Mutex.create () in
+  let scfg = session_config cfg in
+  let handler conn =
+    let thread =
+      Thread.create
+        (fun () ->
+          ignore
+            (Session.serve scfg tenants admission
+               ~draining:(fun () -> Atomic.get drain_flag)
+               conn))
+        ()
+    in
+    Mutex.protect threads_lock (fun () ->
+        session_threads := thread :: !session_threads)
+  in
+  let accepted = Atomic.make 0 in
+  let accept_thread =
+    Thread.create
+      (fun () ->
+        Listener.run listener (fun conn ->
+            ignore (Atomic.fetch_and_add accepted 1);
+            handler conn))
+      ()
+  in
+  let http =
+    Option.map
+      (fun port ->
+        Http.start ~port
+          ~healthz:(fun () -> if Atomic.get drain_flag then "draining" else "ok")
+          ())
+      cfg.metrics_port
+  in
+  Log.logf "daemon: listening on port %d (max %d in-flight, %d tenants)"
+    (Listener.port listener) cfg.max_sessions (List.length cfg.tenants);
+  Option.iter (fun h -> Log.logf "daemon: metrics on port %d" (Http.port h)) http;
+  {
+    cfg;
+    listener;
+    http;
+    admission;
+    tenants;
+    drain_flag;
+    accepted;
+    accept_thread;
+    session_threads;
+    threads_lock;
+    drained = Atomic.make false;
+  }
+
+let port t = Listener.port t.listener
+let metrics_port t = Option.map Http.port t.http
+let draining t = Atomic.get t.drain_flag
+let inflight t = Admission.inflight t.admission
+let accepted t = Atomic.get t.accepted
+
+let drain t =
+  (* Two atomic stores and nothing else: this is what the SIGTERM
+     handler calls. *)
+  Atomic.set t.drain_flag true;
+  Listener.stop t.listener
+
+let wait ?timeout_s t =
+  drain t;
+  if Atomic.exchange t.drained true then true
+  else begin
+    Thread.join t.accept_thread;
+    let idle = Admission.await_idle ?timeout_s t.admission in
+    if idle then
+      List.iter Thread.join
+        (Mutex.protect t.threads_lock (fun () -> !(t.session_threads)));
+    (* Durability before process exit even on a timed-out drain — the
+       in-flight sessions we abandoned can at worst re-put entries. *)
+    Tenant.close_all t.tenants;
+    Log.logf "daemon: drained (%d connections accepted, %d still in flight)"
+      (Atomic.get t.accepted)
+      (Admission.inflight t.admission);
+    Obs.Ring.trip "psid: drained";
+    Option.iter Http.stop t.http;
+    idle
+  end

@@ -1,0 +1,136 @@
+type server = {
+  listener : Listener.t;
+  thread : Thread.t;
+  stopped : bool Atomic.t;
+}
+
+let max_head_bytes = 8192
+
+let write_all fd s =
+  let len = String.length s in
+  let bytes = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd bytes !off (len - !off) with
+    | 0 -> Wire.Errors.protocol_errorf "Http: short write"
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* Position just past the first CRLFCRLF, if any. *)
+let end_of_head s =
+  let n = String.length s in
+  let rec scan i =
+    if i + 4 > n then None
+    else if
+      s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some (i + 4)
+    else scan (i + 1)
+  in
+  scan 0
+
+(* Read until CRLFCRLF, EOF, [max_head_bytes] or the deadline. *)
+let read_head ?(timeout_s = 5.0) fd =
+  let deadline = Wire.Transport.now_s () +. timeout_s in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    let head = Buffer.contents buf in
+    if Buffer.length buf >= max_head_bytes || Option.is_some (end_of_head head) then
+      head
+    else
+      let remaining = deadline -. Wire.Transport.now_s () in
+      if remaining <= 0. then head
+      else
+        match Unix.select [ fd ] [] [] remaining with
+        | [], _, _ -> head
+        | _, _, _ -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> head
+            | k ->
+                Buffer.add_subbytes buf chunk 0 k;
+                go ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let response ~status ~reason body =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: text/plain; version=0.0.4\r\n\
+     Content-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status reason (String.length body) body
+
+let route healthz path =
+  match path with
+  | "/metrics" ->
+      response ~status:200 ~reason:"OK"
+        (Obs.Export.prometheus (Obs.Metrics.snapshot ()))
+  | "/healthz" -> response ~status:200 ~reason:"OK" (healthz () ^ "\n")
+  | _ -> response ~status:404 ~reason:"Not Found" "not found\n"
+
+let handle healthz conn =
+  Fun.protect
+    ~finally:(fun () -> Listener.close_conn conn)
+    (fun () ->
+      let fd = Listener.fd conn in
+      let head = read_head fd in
+      let reply =
+        match String.split_on_char ' ' (List.hd (String.split_on_char '\r' head)) with
+        | "GET" :: path :: _ -> route healthz path
+        | _ -> response ~status:400 ~reason:"Bad Request" "bad request\n"
+      in
+      try write_all fd reply with Wire.Errors.Protocol_error _ -> ())
+
+let start ?(port = 0) ~healthz () =
+  let listener = Listener.create ~port () in
+  let thread = Thread.create (fun () -> Listener.run listener (handle healthz)) () in
+  { listener; thread; stopped = Atomic.make false }
+
+let port s = Listener.port s.listener
+
+let stop s =
+  if not (Atomic.exchange s.stopped true) then begin
+    Listener.stop s.listener;
+    Thread.join s.thread
+  end
+
+let get ?(timeout_s = 5.0) ~host ~port ~path () =
+  let fd = Listener.connect ~host ~port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all fd (Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n" path host);
+      let deadline = Wire.Transport.now_s () +. timeout_s in
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let remaining = deadline -. Wire.Transport.now_s () in
+        if remaining > 0. then
+          match Unix.select [ fd ] [] [] remaining with
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> ()
+              | k ->
+                  Buffer.add_subbytes buf chunk 0 k;
+                  drain ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _http :: code :: _ -> (
+            match int_of_string_opt code with
+            | Some c -> c
+            | None -> Wire.Errors.protocol_errorf "Http.get: bad status in %S" code)
+        | _ -> Wire.Errors.protocol_errorf "Http.get: malformed response"
+      in
+      let body =
+        match end_of_head raw with
+        | Some i -> String.sub raw i (String.length raw - i)
+        | None -> Wire.Errors.protocol_errorf "Http.get: no header/body separator"
+      in
+      (status, body))

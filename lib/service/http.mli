@@ -1,0 +1,29 @@
+(** A deliberately tiny HTTP/1.0 server for the daemon's observability
+    surface, plus the matching one-call client.
+
+    Serves exactly three routes — [GET /metrics] (the {!Obs.Export}
+    Prometheus text exposition of the default registry), [GET /healthz]
+    (a caller-supplied status line, e.g. ["ok"] vs ["draining"]), and
+    404 for the rest. One request per connection, [Connection: close],
+    request head capped at 8 KiB: enough for [curl], a Prometheus
+    scraper, and {!get}; anything fancier belongs behind a real proxy.
+
+    Runs on its own {!Listener} + thread so a wedged protocol session
+    can never block a health check. *)
+
+type server
+
+(** [start ?port ~healthz ()] binds loopback ([port = 0] ephemeral) and
+    serves until {!stop}. [healthz] is sampled per request. *)
+val start : ?port:int -> healthz:(unit -> string) -> unit -> server
+
+val port : server -> int
+
+(** [stop s] stops accepting, joins the server thread (current request
+    finishes first), closes the listening socket. Idempotent. *)
+val stop : server -> unit
+
+(** [get ~host ~port ~path] fetches [(status_code, body)] — the smoke
+    tooling's scraper, so tests need no external HTTP client.
+    @raise Wire.Errors.Protocol_error on a malformed response. *)
+val get : ?timeout_s:float -> host:string -> port:int -> path:string -> unit -> int * string

@@ -1,0 +1,94 @@
+type conn = {
+  transport : Wire.Transport.t;
+  fd : Unix.file_descr;
+  peer : string;
+  released : bool Atomic.t;
+}
+
+type t = {
+  lfd : Unix.file_descr;
+  port : int;
+  stop_flag : bool Atomic.t;
+}
+
+let poll_interval_s = 0.2
+
+let transport c = c.transport
+let fd c = c.fd
+let peer c = c.peer
+
+let close_conn c =
+  if not (Atomic.exchange c.released true) then begin
+    Wire.Transport.close c.transport;
+    (* The transport only shuts down the send side; the fd itself is
+       ours to release. *)
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let create ?backlog ~port () =
+  let lfd, port = Wire.Transport.Socket.listen ?backlog ~port () in
+  { lfd; port; stop_flag = Atomic.make false }
+
+let port t = t.port
+let stop t = Atomic.set t.stop_flag true
+let stopped t = Atomic.get t.stop_flag
+
+let string_of_sockaddr = function
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | Unix.ADDR_UNIX p -> p
+
+(* Wait for the listening socket to become readable, rechecking the
+   stop flag every [poll_interval_s]. Returns [false] on stop. *)
+let rec await_readable t =
+  if Atomic.get t.stop_flag then false
+  else
+    match Unix.select [ t.lfd ] [] [] poll_interval_s with
+    | [], _, _ -> await_readable t
+    | _ :: _, _, _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> await_readable t
+
+let accept_one t =
+  match Unix.accept t.lfd with
+  | fd, addr ->
+      Some
+        {
+          transport = Wire.Transport.Socket.of_fd fd;
+          fd;
+          peer = string_of_sockaddr addr;
+          released = Atomic.make false;
+        }
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> None
+
+let connect ~host ~port =
+  let addrs =
+    Unix.getaddrinfo host (string_of_int port)
+      [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+  in
+  let rec try_addrs last = function
+    | [] -> Wire.Errors.protocol_errorf "Listener.connect %s:%d: %s" host port last
+    | ai :: rest -> (
+        let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype 0 in
+        match Unix.connect fd ai.Unix.ai_addr with
+        | () -> fd
+        | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            try_addrs (Unix.error_message e) rest)
+  in
+  try_addrs "no address resolved" addrs
+
+let run ?max_conns t handler =
+  let count = ref 0 in
+  let remaining () = match max_conns with None -> true | Some n -> !count < n in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close t.lfd with Unix.Unix_error _ -> ())
+    (fun () ->
+      while remaining () && await_readable t do
+        match accept_one t with
+        | None -> ()
+        | Some conn -> (
+            incr count;
+            try handler conn
+            with e ->
+              close_conn conn;
+              Log.logf "listener: handler raised %s" (Printexc.to_string e))
+      done)

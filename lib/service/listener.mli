@@ -1,0 +1,70 @@
+(** A stoppable accept loop over {!Wire.Transport.Socket}.
+
+    [Wire.Transport.Socket.listen]/[accept] move single connections;
+    this module adds the lifecycle a server needs: accept {e many}
+    connections, hand each to a handler, and stop cleanly when asked
+    from another thread (a signal handler, a drain call) — the loop
+    polls a stop flag between short accept deadlines, so [stop] takes
+    effect within {!poll_interval_s} without interrupting an accepted
+    connection.
+
+    Unlike [Socket.accept], an accepted {!conn} here retains its file
+    descriptor, and {!close_conn} actually releases it — a daemon
+    serving thousands of sessions must not leak one fd per client
+    (transport close alone only half-closes). Used by both the psid
+    daemon and [psi_demo net --listen]. *)
+
+type t
+
+(** One accepted connection. [transport] speaks frames over it; close
+    with {!close_conn}, not [Wire.Transport.close] alone. *)
+type conn
+
+val transport : conn -> Wire.Transport.t
+
+(** The raw descriptor, for handlers that do not speak frames (the
+    {!Http} metrics endpoint reads bytes directly). Still released by
+    {!close_conn} — never [Unix.close] it yourself. *)
+val fd : conn -> Unix.file_descr
+
+(** Peer address, for logs (e.g. ["127.0.0.1:49152"]). *)
+val peer : conn -> string
+
+(** [close_conn c] half-closes the transport (flushes the FIN) and
+    releases the file descriptor. Idempotent; safe concurrently with a
+    peer that already vanished. *)
+val close_conn : conn -> unit
+
+(** How often the loop rechecks the stop flag while idle (0.2 s). *)
+val poll_interval_s : float
+
+(** [create ?backlog ~port ()] binds loopback [127.0.0.1:port]
+    ([port = 0] picks an ephemeral port — read it back with {!port}). *)
+val create : ?backlog:int -> port:int -> unit -> t
+
+val port : t -> int
+
+(** [stop t] makes {!run} return after at most {!poll_interval_s}
+    (sessions already handed to the handler are unaffected).
+    Thread-safe, async-signal-safe (one atomic store), idempotent. *)
+val stop : t -> unit
+
+val stopped : t -> bool
+
+(** [connect ~host ~port] resolves [host] and connects a stream
+    socket, returning the raw descriptor. The outbound mirror of the
+    fd-ownership point above: [Wire.Transport.Socket.connect] hides the
+    fd inside the transport, so a process opening many client
+    connections (benches, the smoke tool) could never release them —
+    wrap the result with [Socket.of_fd] and [Unix.close] it when done.
+    @raise Wire.Errors.Protocol_error when no address accepts. *)
+val connect : host:string -> port:int -> Unix.file_descr
+
+(** [run ?max_conns t handler] accepts until {!stop} (or until
+    [max_conns] connections have been accepted, when given) and calls
+    [handler] on each. The handler owns the connection — it (or a
+    thread it spawns) must eventually {!close_conn}; a handler
+    exception closes the connection and continues the loop. The
+    listening socket is closed when [run] returns. Call [run] once per
+    listener. *)
+val run : ?max_conns:int -> t -> (conn -> unit) -> unit

@@ -1,0 +1,13 @@
+let sink : (string -> unit) option Atomic.t = Atomic.make None
+
+let set_sink f = Atomic.set sink f
+
+let line s =
+  (match Atomic.get sink with None -> () | Some f -> f s);
+  if Obs.Ring.active () then Obs.Ring.note s
+
+let logf fmt =
+  Printf.ksprintf
+    (fun s ->
+      if Atomic.get sink <> None || Obs.Ring.active () then line s)
+    fmt

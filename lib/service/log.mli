@@ -1,0 +1,28 @@
+(** Pluggable daemon logging.
+
+    Library code must not write to the process's std channels (lint rule
+    DBG01), and a long-running daemon needs its operational narrative
+    somewhere an operator can follow. This module routes both needs
+    through one sink: the binary ([bin/psid.ml]) installs a stderr sink,
+    tests install a capturing one, and with no sink installed a log call
+    costs one atomic load.
+
+    Every line is also mirrored into the {!Obs.Ring} flight recorder
+    (when one is installed), so the ring dump produced on drain or on a
+    fatal signal interleaves daemon lifecycle lines with telemetry
+    events — the correlation the runbook in [docs/SERVICE.md] relies
+    on. *)
+
+(** [set_sink (Some f)] routes subsequent log lines to [f]; [None]
+    (the initial state) drops them. The sink receives one complete line
+    at a time, without a trailing newline, and may be called from any
+    thread — it must be thread-safe. *)
+val set_sink : (string -> unit) option -> unit
+
+(** [line s] emits [s] to the sink and mirrors it into the flight
+    recorder. *)
+val line : string -> unit
+
+(** [logf fmt ...] is [line] with formatting — the format is rendered
+    only when a sink or a ring is installed. *)
+val logf : ('a, unit, string, unit) format4 -> 'a

@@ -1,0 +1,103 @@
+let version = 1
+let tag_hello = "psid/hello"
+let tag_busy = "psid/busy"
+let tag_challenge = "psid/challenge"
+let tag_auth = "psid/auth"
+let tag_denied = "psid/denied"
+let tag_ok = "psid/ok"
+let tag_op = "psid/op"
+let tag_go = "psid/go"
+let tag_done = "psid/done"
+let tag_bye = "psid/bye"
+
+exception Busy of string
+exception Denied of string
+
+let make tag items = Wire.Message.make ~tag (Elements items)
+
+(* Parse a control message: check the tag, return the element list. *)
+let elements ~tag (m : Wire.Message.t) =
+  if not (String.equal m.tag tag) then
+    Wire.Errors.protocol_errorf "psid: expected %s, got %s" tag m.tag;
+  match m.payload with
+  | Elements items -> items
+  | _ -> Wire.Errors.protocol_errorf "psid: %s carries a non-element payload" tag
+
+let arity ~tag n items =
+  if List.length items <> n then
+    Wire.Errors.protocol_errorf "psid: %s expects %d fields, got %d" tag n
+      (List.length items);
+  items
+
+let one ~tag m =
+  match arity ~tag 1 (elements ~tag m) with
+  | [ x ] -> x
+  | _ -> Wire.Errors.protocol_errorf "psid: %s shape" tag
+
+let hello ~tenant ~attr ~client_nonce =
+  make tag_hello [ string_of_int version; tenant; attr; client_nonce ]
+
+let parse_hello m =
+  match arity ~tag:tag_hello 4 (elements ~tag:tag_hello m) with
+  | [ v; tenant; attr; nonce ] ->
+      let v =
+        match int_of_string_opt v with
+        | Some v -> v
+        | None -> Wire.Errors.protocol_errorf "psid: hello version %S is not a number" v
+      in
+      (v, tenant, attr, nonce)
+  | _ -> Wire.Errors.protocol_errorf "psid: %s shape" tag_hello
+
+let busy ~reason = make tag_busy [ reason ]
+let challenge ~server_nonce = make tag_challenge [ server_nonce ]
+let parse_challenge m = one ~tag:tag_challenge m
+let auth ~mac = make tag_auth [ mac ]
+let parse_auth m = one ~tag:tag_auth m
+let denied ~reason = make tag_denied [ reason ]
+let ok ~session_id = make tag_ok [ session_id ]
+
+let parse_admitted (m : Wire.Message.t) =
+  if String.equal m.tag tag_busy then raise (Busy (one ~tag:tag_busy m))
+  else if String.equal m.tag tag_denied then raise (Denied (one ~tag:tag_denied m))
+  else one ~tag:tag_ok m
+
+let op ~name = make tag_op [ name ]
+let parse_op m = one ~tag:tag_op m
+let go () = make tag_go []
+
+let parse_go (m : Wire.Message.t) =
+  if String.equal m.tag tag_busy then raise (Busy (one ~tag:tag_busy m))
+  else ignore (arity ~tag:tag_go 0 (elements ~tag:tag_go m))
+let done_ ~encryptions = make tag_done [ string_of_int encryptions ]
+
+let parse_done m =
+  let s = one ~tag:tag_done m in
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> Wire.Errors.protocol_errorf "psid: done count %S is not a number" s
+
+let bye () = make tag_bye []
+let parse_bye m = ignore (arity ~tag:tag_bye 0 (elements ~tag:tag_bye m))
+
+(* Length-framed field encoding under the MAC: "<len>:<bytes>" per
+   field, so no two distinct field vectors concatenate identically. *)
+let frame s = Printf.sprintf "%d:%s" (String.length s) s
+
+let auth_mac ~secret ~tenant ~attr ~client_nonce ~server_nonce =
+  Crypto.Hmac.mac_concat ~key:secret
+    (List.map frame [ "psid:auth:v1"; tenant; attr; client_nonce; server_nonce ])
+
+let derive ~seed ~label parts =
+  Crypto.Hmac.mac_concat ~key:seed (List.map frame (label :: parts))
+
+let hex s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let ct_equal a b =
+  String.length a = String.length b
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+  !acc = 0

@@ -1,0 +1,136 @@
+(** The psid control protocol: framing, tags and authentication.
+
+    A psid session wraps the paper's protocols in a small control
+    conversation carried over the same {!Wire.Channel} (so it shows up
+    in transcripts and byte accounting like everything else). The
+    shape, with the client speaking first:
+
+    {v
+    C -> S   psid/hello      [version; tenant; attr; client_nonce]
+    S -> C   psid/busy       [reason]            (at capacity / draining; connection ends)
+          |  psid/challenge  [server_nonce]
+    C -> S   psid/auth       [HMAC(secret, transcript)]
+    S -> C   psid/denied     [reason]            (bad tenant or MAC; connection ends)
+          |  psid/ok         [session_id]
+    ...      handshake/config                    (the usual {!Psi.Handshake})
+    repeat:
+    C -> S   psid/op         [op_name]
+    S -> C   psid/busy       [reason]            (op budget exhausted; session continues to bye)
+          |  psid/go         []
+    ...      one protocol run (server = S, client = R)
+    S -> C   psid/done       [encryptions]
+    C -> S   psid/bye        []
+    S -> C   psid/bye        []
+    v}
+
+    A server at capacity answers [psid/busy] {e before reading} the
+    hello and performs no crypto for the rejected client — backpressure
+    must stay cheap or it is not backpressure. Authentication is a
+    shared-secret challenge-response: the MAC binds tenant id, attribute
+    and both nonces, so a transcript replayed against a fresh
+    [server_nonce] fails. Unknown tenants receive a challenge and then
+    the same [psid/denied] as a wrong MAC — probing for tenant ids
+    learns nothing. *)
+
+(** Control-protocol version carried in [psid/hello]; the server rejects
+    other versions with [psid/denied]. *)
+val version : int
+
+(** {1 Tags} *)
+
+val tag_hello : string
+val tag_busy : string
+val tag_challenge : string
+val tag_auth : string
+val tag_denied : string
+val tag_ok : string
+val tag_op : string
+val tag_go : string
+val tag_done : string
+val tag_bye : string
+
+(** {1 Client-visible rejections}
+
+    Raised by {!Client.connect} (and re-raisable by anything that parses
+    server responses); both are clean protocol outcomes, not transport
+    faults, hence distinct from {!Wire.Errors.Protocol_error}. *)
+
+(** The server refused admission before any crypto ([psid/busy]); the
+    payload is the server's reason, e.g. ["at capacity (8 in flight)"]
+    or ["draining"]. Retrying later is reasonable. *)
+exception Busy of string
+
+(** Authentication failed ([psid/denied]). Retrying with the same
+    credentials is not reasonable. *)
+exception Denied of string
+
+(** {1 Message builders / parsers}
+
+    Parsers check the tag and payload shape and raise
+    {!Wire.Errors.Protocol_error} on any mismatch. *)
+
+val hello : tenant:string -> attr:string -> client_nonce:string -> Wire.Message.t
+
+(** [(version, tenant, attr, client_nonce)] *)
+val parse_hello : Wire.Message.t -> int * string * string * string
+
+val busy : reason:string -> Wire.Message.t
+val challenge : server_nonce:string -> Wire.Message.t
+val parse_challenge : Wire.Message.t -> string
+val auth : mac:string -> Wire.Message.t
+val parse_auth : Wire.Message.t -> string
+val denied : reason:string -> Wire.Message.t
+val ok : session_id:string -> Wire.Message.t
+
+(** [parse_admitted m] interprets the server's verdict on a hello or an
+    auth: returns the session id for [psid/ok], raises {!Busy} for
+    [psid/busy], {!Denied} for [psid/denied], and
+    {!Wire.Errors.Protocol_error} for anything else. Accepts
+    [psid/challenge] only via {!parse_challenge}. *)
+val parse_admitted : Wire.Message.t -> string
+
+val op : name:string -> Wire.Message.t
+val parse_op : Wire.Message.t -> string
+val go : unit -> Wire.Message.t
+
+(** [parse_go m] accepts [psid/go]; raises {!Busy} on [psid/busy] (the
+    server declined this operation — budget exhausted — but the session
+    is still alive for [psid/bye]). *)
+val parse_go : Wire.Message.t -> unit
+
+val done_ : encryptions:int -> Wire.Message.t
+val parse_done : Wire.Message.t -> int
+val bye : unit -> Wire.Message.t
+val parse_bye : Wire.Message.t -> unit
+
+(** {1 Authentication} *)
+
+(** [auth_mac ~secret ~tenant ~attr ~client_nonce ~server_nonce] is the
+    32-byte tag the client must present: HMAC-SHA256 over a
+    length-framed encoding of all four fields under the tenant secret
+    (framing prevents cross-field ambiguity, e.g. tenant ["ab"] + attr
+    ["c"] colliding with ["a"] + ["bc"]). *)
+val auth_mac :
+  secret:string ->
+  tenant:string ->
+  attr:string ->
+  client_nonce:string ->
+  server_nonce:string ->
+  string
+
+(** [ct_equal a b] compares without an early exit on the first
+    differing byte (timing side channels on MAC verification). Length
+    inequality returns [false] immediately — lengths are public here. *)
+val ct_equal : string -> string -> bool
+
+(** [derive ~seed ~label parts] is HMAC-SHA256 over the length-framed
+    [label :: parts] under [seed] — the daemon's only source of
+    per-session material (server nonce, session id, session key seed).
+    Determinism is deliberate: a session's server-side transcript is a
+    pure function of the daemon seed and the client's hello, so
+    concurrency cannot perturb protocol bytes (and tests can assert
+    byte-identical replays). *)
+val derive : seed:string -> label:string -> string list -> string
+
+(** [hex s] is lowercase hex of [s] (session ids in logs and replies). *)
+val hex : string -> string

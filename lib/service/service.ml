@@ -1,0 +1,15 @@
+(* Library root: re-export the service modules and give the typed
+   admission/auth rejections their short, stable names. *)
+
+exception Busy = Proto.Busy
+exception Denied = Proto.Denied
+
+module Log = Log
+module Proto = Proto
+module Admission = Admission
+module Tenant = Tenant
+module Listener = Listener
+module Session = Session
+module Http = Http
+module Daemon = Daemon
+module Client = Client

@@ -18,6 +18,7 @@ dune build
 dune runtest
 dune build @obs-smoke
 dune build @net-smoke
+dune build @service-smoke
 dune build @par-smoke
 dune build @cache-smoke
 dune build @trace-smoke

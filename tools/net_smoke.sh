@@ -33,8 +33,10 @@ EOF
   --attr email > "$dir/ref.out"
 
 # Listener (sender role) on an ephemeral port; it prints the bound port.
-"$BIN" net --group test64 --listen 0 --csv "$dir/s.csv" --attr email \
-  > "$dir/s.out" 2>&1 &
+# The listener now loops until signalled; --max-conns 1 restores the
+# serve-one-then-exit behaviour this script relies on.
+"$BIN" net --group test64 --listen 0 --max-conns 1 --csv "$dir/s.csv" \
+  --attr email > "$dir/s.out" 2>&1 &
 spid=$!
 
 port=

@@ -32,8 +32,10 @@ id:int,email:text
 EOF
 
 # Listener (sender role) on an ephemeral port; it prints the bound port.
-"$DEMO" net --group test64 --listen 0 --csv "$dir/s.csv" --attr email \
-  --trace-out "$dir/s.jsonl" > "$dir/s.out" 2>&1 &
+# --max-conns 1: serve the one connection below, then exit (the wait
+# relies on it).
+"$DEMO" net --group test64 --listen 0 --max-conns 1 --csv "$dir/s.csv" \
+  --attr email --trace-out "$dir/s.jsonl" > "$dir/s.out" 2>&1 &
 spid=$!
 
 port=
