@@ -2,7 +2,7 @@
    committed BENCH_*.json files and fail on regression.
 
    Run: dune exec bench/regress.exe -- BENCH_obs.json BENCH_parallel.json \
-          BENCH_incremental.json [--inject-slowdown F]
+          BENCH_incremental.json [BENCH_sharded.json] [--inject-slowdown F]
 
    Two kinds of checks:
 
@@ -14,9 +14,11 @@
      observed wire bits within a small tolerance.
 
    - Wall-clock checks (box-dependent): fresh single-job modexp
-     throughput vs BENCH_parallel.json's jobs=1 row, and fresh cold
+     throughput vs BENCH_parallel.json's jobs=1 row, fresh cold
      incremental-session throughput vs BENCH_incremental.json's
-     zero-churn point, each within a slack factor (default 1.6,
+     zero-churn point, and (when BENCH_sharded.json is given) fresh
+     sharded streaming throughput vs its smallest committed point,
+     each within a slack factor (default 1.6,
      override with PSI_BENCH_SLACK). Skipped with a warning when the
      committed header's core count differs from this machine's — the
      committed numbers then describe a different box. Each throughput
@@ -54,11 +56,12 @@ let files, inject =
   in
   parse (List.tl (Array.to_list Sys.argv));
   match List.rev !files with
-  | [ obs; par; incr ] -> ((obs, par, incr), !inject)
+  | [ obs; par; incr ] -> ((obs, par, incr, None), !inject)
+  | [ obs; par; incr; sharded ] -> ((obs, par, incr, Some sharded), !inject)
   | _ ->
       Printf.eprintf
         "usage: regress BENCH_obs.json BENCH_parallel.json \
-         BENCH_incremental.json [--inject-slowdown F]\n";
+         BENCH_incremental.json [BENCH_sharded.json] [--inject-slowdown F]\n";
       exit 2
 
 let slack =
@@ -127,6 +130,37 @@ let check ~label ok detail =
   if not ok then incr failures
 
 let skip ~label why = Printf.printf "skip %-42s %s\n%!" label why
+
+(* A committed BENCH file whose git_rev is not an ancestor of HEAD was
+   measured on a line of history this tree never saw — stale after a
+   rebase, or imported from a fork. The numbers may still be honest, so
+   this only warns; the tolerance checks below still gate. *)
+let warn_foreign_rev path =
+  let j = load path in
+  match Option.bind (Json.member "git_rev" j) Json.to_str with
+  | None | Some "unknown" ->
+      Printf.printf "warn %-42s committed file has no usable git_rev\n%!"
+        (Filename.basename path)
+  | Some rev ->
+      let hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') in
+      if not (String.length rev > 0 && String.for_all hex rev) then
+        Printf.printf "warn %-42s malformed git_rev %S\n%!"
+          (Filename.basename path) rev
+      else begin
+        let cmd =
+          Printf.sprintf "git merge-base --is-ancestor %s HEAD 2>/dev/null" rev
+        in
+        match Sys.command cmd with
+        | 0 -> ()
+        | 1 ->
+            Printf.printf
+              "warn %-42s git_rev %s is not an ancestor of HEAD (stale or \
+               foreign measurements)\n%!"
+              (Filename.basename path) rev
+        | _ ->
+            (* No git / not a repo / unreachable object: nothing to say. *)
+            ()
+      end
 
 (* Wall-clock checks only mean something when the committed numbers come
    from a box with the same parallelism. *)
@@ -310,17 +344,81 @@ let check_incremental path =
          floor committed slack)
   end
 
+(* ---------------- 4. sharded streaming throughput ---------------- *)
+
+(* Re-measure the committed file's smallest point (spill + streamed
+   sharded run at Test64) — the 1M headline stays a bench-only artifact,
+   but the per-element cost it extrapolates from is gated here. *)
+let check_sharded path =
+  let j = load path in
+  if cores_match path j then begin
+    let points = get_arr path j "points" in
+    let points =
+      List.filter
+        (fun p ->
+          match Option.bind (Json.member "op" p) Json.to_str with
+          | Some op -> String.equal op "intersect"
+          | None -> true)
+        points
+    in
+    let smallest =
+      match
+        List.sort
+          (fun a b -> compare (get_i path a "n_per_side") (get_i path b "n_per_side"))
+          points
+      with
+      | p :: _ -> p
+      | [] ->
+          Printf.eprintf "regress: %s: no points\n" path;
+          exit 2
+    in
+    let n = get_i path smallest "n_per_side" in
+    let buckets = get_i path smallest "buckets" in
+    let committed = get_f path smallest "elements_per_s" in
+    let sgroup = Crypto.Group.named Crypto.Group.Test64 in
+    let cfg = Psi.Protocol.config ~domain:"shard-bench" sgroup in
+    let fresh =
+      best_throughput (fun () ->
+          let dir = temp_dir () in
+          Fun.protect
+            ~finally:(fun () -> remove_dir dir)
+            (fun () ->
+              let plan = Psi.Shard.plan ~state_dir:dir ~buckets () in
+              ignore
+                (Psi.Shard.spill_values cfg plan `Sender
+                   (Seq.init n (Printf.sprintf "v-%08d")));
+              ignore
+                (Psi.Shard.spill_values cfg plan `Receiver
+                   (Seq.init n (fun i -> Printf.sprintf "v-%08d" (i + (n / 2)))));
+              let op = Psi.Shard.Intersect { s_values = []; r_values = [] } in
+              let t0 = now_s () in
+              ignore (Psi.Shard.run cfg ~seed:"shard-bench" plan op);
+              float_of_int (2 * n) /. (now_s () -. t0)))
+      /. inject
+    in
+    let floor = committed /. slack in
+    wall_clock_ran := true;
+    check
+      ~label:(Printf.sprintf "sharded streaming (el/s, n=%d k=%d)" n buckets)
+      (fresh >= floor)
+      (Printf.sprintf "%.0f/s >= %.0f/s (committed %.0f / slack %.2f)" fresh
+         floor committed slack)
+  end
+
 (* ---------------- main ---------------- *)
 
 let () =
-  let obs, par, incr = files in
+  let obs, par, incr, sharded = files in
   if inject <> 1.0 then
     Printf.printf "injecting a synthetic %.2fx slowdown into fresh measurements\n%!"
       inject;
+  List.iter warn_foreign_rev
+    (obs :: par :: incr :: Option.to_list sharded);
   (* Wall-clock first: the obs count rerun pegs the CPU for long
      enough that a shared host throttles whatever is timed after it. *)
   check_modexp par;
   check_incremental incr;
+  Option.iter check_sharded sharded;
   check_obs obs;
   if !failures > 0 then begin
     Printf.printf "\nbench gate: %d check(s) FAILED\n%!" !failures;

@@ -1,0 +1,217 @@
+(* Sharded streaming benchmark: end-to-end intersection throughput and
+   peak resident memory as a function of set size, up to one million
+   elements per side. Writes BENCH_sharded.json.
+
+   Run: dune exec bench/shard_bench.exe [--quick]
+
+   Each point generates both parties' sets as streams, spills them into
+   the plan's on-disk bucket files (never materializing a whole set),
+   then drives Shard.run against the spilled state — the bucket-at-a-
+   time pipeline whose peak residency is O(n/k), not O(n). Peak RSS is
+   VmHWM from /proc/self/status, reset per point via /proc/self/clear_refs
+   where the kernel allows it (reported in "peak_reset" either way).
+
+   Test64 keeps the modexp cheap enough that a single core finishes the
+   1M point in minutes; the paper's cost model is linear in Ce, so the
+   shape of the curve — flat memory, linear time — is what this file
+   certifies, not the absolute modexp rate (BENCH_parallel.json owns
+   that). *)
+
+module Json = Obs.Export.Json
+module Shard = Psi.Shard
+module Session = Psi.Session
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
+let now_s () = Int64.to_float (Obs.Clock.now_ns ()) *. 1e-9
+
+(* (n per side, buckets): bucket size stays ~16k elements as n grows. *)
+let sizes = if quick then [ (2_000, 4) ] else [ (10_000, 8); (100_000, 16); (1_000_000, 64) ]
+
+let group = Crypto.Group.named Crypto.Group.Test64
+
+(* ------------------------------------------------------------------ *)
+(* Peak-RSS accounting (Linux; degrades to monotone high-water marks). *)
+(* ------------------------------------------------------------------ *)
+
+let peak_rss_kb () =
+  match In_channel.with_open_bin "/proc/self/status" In_channel.input_all with
+  | exception Sys_error _ -> 0
+  | status ->
+      let kb = ref 0 in
+      String.split_on_char '\n' status
+      |> List.iter (fun line ->
+             match String.index_opt line ':' with
+             | Some i when String.equal (String.sub line 0 i) "VmHWM" ->
+                 let rest = String.sub line (i + 1) (String.length line - i - 1) in
+                 Scanf.sscanf_opt rest " %d kB" Fun.id
+                 |> Option.iter (fun v -> kb := v)
+             | _ -> ());
+      !kb
+
+(* Writing "5" to clear_refs resets the peak-RSS counter, so each point
+   reports its own high-water mark instead of the largest so far. *)
+let reset_peak_rss () =
+  match
+    Out_channel.with_open_gen
+      [ Open_wronly ] 0o200 "/proc/self/clear_refs"
+      (fun oc -> Out_channel.output_string oc "5")
+  with
+  | () -> true
+  | exception Sys_error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Scratch state directories, one per point.                           *)
+(* ------------------------------------------------------------------ *)
+
+let temp_dir tag =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psi-shard-bench-%d-%s" (Unix.getpid ()) tag)
+  in
+  (try Sys.mkdir dir 0o700 with Sys_error _ -> ());
+  dir
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+    try Sys.rmdir path with Sys_error _ -> ()
+  end
+  else try Sys.remove path with Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Workload: streamed half-overlapping sets.                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Sender holds 0..n-1, receiver n/2..n+n/2-1: the intersection is
+   exactly the n/2 values they share, a closed-form check at any n. *)
+let sender_seq n = Seq.init n (fun i -> Printf.sprintf "v-%08d" i)
+let receiver_seq n = Seq.init n (fun i -> Printf.sprintf "v-%08d" (i + (n / 2)))
+
+type point = {
+  op : string;
+  n : int;
+  buckets : int;
+  spill_seconds : float;
+  run_seconds : float;
+  elements_per_s : float;
+  peak_rss_kb : int;
+  intersection : int;
+  payload_bytes : int;
+}
+
+(* Two ops per size over the same spilled buckets: [intersect] is the
+   headline (its O(|∩|) result is an inherent memory floor — here the
+   output IS half the input), [intersect-size] has an O(1) result and
+   so isolates the streaming working set the sharding bounds. *)
+let run_ops ~peak_resets (n, buckets) =
+  let dir = temp_dir (Printf.sprintf "n%d" n) in
+  Fun.protect
+    ~finally:(fun () -> remove_tree dir)
+    (fun () ->
+      let cfg = Psi.Protocol.config ~domain:"shard-bench" group in
+      let plan = Shard.plan ~state_dir:dir ~buckets () in
+      let t0 = now_s () in
+      let spilled_s = Shard.spill_values cfg plan `Sender (sender_seq n) in
+      let spilled_r = Shard.spill_values cfg plan `Receiver (receiver_seq n) in
+      let spill_seconds = now_s () -. t0 in
+      assert (spilled_s = n && spilled_r = n);
+      (* Empty own-side lists: both parties stream from the spill. *)
+      let one (op_name, op, size_of) =
+        Gc.compact ();
+        ignore (reset_peak_rss () : bool);
+        let t0 = now_s () in
+        (* Transcript views off: the channel's security log would
+           re-materialize every exchanged element — the exact O(n) the
+           sharding removes. *)
+        let report = Shard.run cfg ~seed:"shard-bench" ~record_views:false plan op in
+        let run_seconds = now_s () -. t0 in
+        let intersection = size_of report.Shard.result in
+        assert (intersection = n / 2);
+        assert (report.Shard.receiver_stats.Shard.buckets = buckets);
+        let elements_per_s = float_of_int (2 * n) /. run_seconds in
+        let peak = peak_rss_kb () in
+        Printf.printf
+          "n=%9d k=%3d %-14s: run %7.1f s = %8.0f el/s, peak RSS %7.1f MiB, |∩|=%d\n%!"
+          n buckets op_name run_seconds elements_per_s
+          (float_of_int peak /. 1024.)
+          intersection;
+        if not peak_resets then
+          Printf.printf
+            "          (clear_refs unavailable: peak RSS is the process \
+             high-water mark)\n%!";
+        {
+          op = op_name;
+          n;
+          buckets;
+          spill_seconds;
+          run_seconds;
+          elements_per_s;
+          peak_rss_kb = peak;
+          intersection;
+          payload_bytes = report.Shard.total_bytes;
+        }
+      in
+      List.map one
+        [
+          ( "intersect",
+            Shard.Intersect { s_values = []; r_values = [] },
+            function Shard.Values vs -> List.length vs | _ -> assert false );
+          ( "intersect-size",
+            Shard.Intersect_size { s_values = []; r_values = [] },
+            function Shard.Size s -> s | _ -> assert false );
+        ])
+
+let point_json p =
+  Json.Obj
+    [
+      ("op", Json.Str p.op);
+      ("n_per_side", Json.of_int p.n);
+      ("buckets", Json.of_int p.buckets);
+      ("spill_seconds", Json.of_float p.spill_seconds);
+      ("run_seconds", Json.of_float p.run_seconds);
+      ("elements_per_s", Json.of_float p.elements_per_s);
+      ("peak_rss_kb", Json.of_int p.peak_rss_kb);
+      ("intersection", Json.of_int p.intersection);
+      ("payload_bytes", Json.of_int p.payload_bytes);
+    ]
+
+(* Parity spot-check at the smallest size: the sharded streaming result
+   must equal the monolithic Session result element for element. *)
+let parity_check () =
+  let n = 1_000 in
+  let s_values = List.of_seq (sender_seq n) and r_values = List.of_seq (receiver_seq n) in
+  let op = Session.Intersect { s_values; r_values } in
+  let mono = Session.run (Psi.Protocol.config ~domain:"shard-bench" group) [ op ] () in
+  let shard =
+    Session.run
+      (Psi.Protocol.config ~domain:"shard-bench" group)
+      ~shard:(Shard.plan ~buckets:7 ()) [ op ] ()
+  in
+  match (mono.Session.results, shard.Session.results) with
+  | [ Session.Values a ], [ Session.Values b ] -> List.equal String.equal a b
+  | _ -> false
+
+let () =
+  Printf.printf "sharded streaming intersection bench (Test64)\n%!";
+  let peak_resets = reset_peak_rss () in
+  let parity = parity_check () in
+  Printf.printf "parity (sharded = monolithic, n=1000, k=7): %s\n%!"
+    (if parity then "ok" else "FAIL");
+  let points = List.concat_map (run_ops ~peak_resets) sizes in
+  let json =
+    Json.Obj
+      (Obs.Export.box_profile ()
+      @ [
+        ("group", Json.Str "test64");
+        ("peak_reset", Json.Bool peak_resets);
+        ("parity", Json.Bool parity);
+        ("points", Json.Arr (List.map point_json points));
+      ])
+  in
+  let oc = open_out "BENCH_sharded.json" in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_sharded.json\n";
+  if not parity then exit 1

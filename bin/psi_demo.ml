@@ -41,6 +41,69 @@ let jobs_arg =
                  the machine's available cores; minimum 1). Results are identical \
                  at every setting; only wall-clock changes.")
 
+(* Validated at parse time like --jobs: a bucket count outside the
+   planner's accepted range is a usage error with a typed message, not a
+   runtime Invalid_argument out of Shard.plan. *)
+let buckets_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 && n <= Psi.Shard.max_buckets -> Ok n
+    | Some n ->
+        Error
+          (`Msg
+             (Printf.sprintf "--buckets must be in 1..%d, got %d" Psi.Shard.max_buckets n))
+    | None -> Error (`Msg (Printf.sprintf "--buckets expects an integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let buckets_arg =
+  Arg.(value
+       & opt buckets_conv 1
+       & info [ "buckets" ] ~docv:"K"
+           ~doc:"Shard each set into $(docv) hash-prefix buckets and run the \
+                 protocol as $(docv) pipelined sub-protocols with bounded peak \
+                 memory (1 = the classic monolithic path). Results are identical \
+                 at every setting; the transcript additionally reveals the \
+                 per-bucket set sizes (see docs/PROTOCOLS.md, \"Sharding and \
+                 leakage\").")
+
+let spill_dir_conv =
+  let parse s =
+    if s = "" then Error (`Msg "--spill-dir expects a directory path, got \"\"")
+    else if Sys.file_exists s && not (Sys.is_directory s) then
+      Error (`Msg (Printf.sprintf "--spill-dir %S exists and is not a directory" s))
+    else Ok s
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let spill_dir_arg =
+  Arg.(value
+       & opt (some spill_dir_conv) None
+       & info [ "spill-dir" ] ~docv:"DIR"
+           ~doc:"Root the sharded run's on-disk state (bucket spill files and \
+                 per-bucket checkpoints) under $(docv), created on demand. \
+                 Buckets then stream from disk one at a time — peak memory \
+                 O(n/K) — and a killed run resumes at its first unfinished \
+                 bucket. Implies the sharded path even with --buckets 1.")
+
+(* The effective bucket count, printed under --trace next to the worker
+   report: --spill-dir engages the sharded driver even at K=1, and
+   K buckets over an empty spill still run K (empty) sub-protocols. *)
+let shard_plan_of ~buckets ~spill_dir =
+  if buckets = 1 && spill_dir = None then None
+  else Some (Psi.Shard.plan ?state_dir:spill_dir ~buckets ())
+
+let report_buckets ~trace buckets spill_dir =
+  if trace then
+    match shard_plan_of ~buckets ~spill_dir with
+    | None -> Printf.eprintf "buckets: requested 1, effective 1 — monolithic path\n%!"
+    | Some plan ->
+        Printf.eprintf "buckets: requested %d, effective %d — sharded path%s\n%!" buckets
+          (Psi.Shard.buckets plan)
+          (match Psi.Shard.state_dir plan with
+          | None -> " (in-memory partitions)"
+          | Some d -> Printf.sprintf " (spill: %s)" d)
+
 let trace_arg =
   Arg.(value & flag
        & info [ "trace" ]
@@ -172,9 +235,13 @@ let report_traffic (o_total : int) = Printf.printf "wire traffic: %d bytes\n" o_
    delta. stdout is byte-identical to what the cold path would print
    for the same session (asserted by tools/cache_smoke.sh); the cache
    diagnostics go to stderr behind --delta. *)
-let run_cached cfg ~seed ~keys ~dir ~delta op csv_s csv_r attr =
-  let session_op, print_result =
-    match op with
+(* The session-shaped form of a CSV operation plus its stdout printer —
+   shared by the cached path, the sharded path, and their combination.
+   The printed formats match the direct (uncached) branches exactly, so
+   every execution engine is byte-identical on stdout (asserted by
+   tools/cache_smoke.sh and tools/shard_smoke.sh). *)
+let session_op_and_printer op csv_s csv_r attr =
+  match op with
     | Op_intersection ->
         let vs = values_of_csv csv_s attr and vr = values_of_csv csv_r attr in
         ( Psi.Session.Intersect { s_values = vs; r_values = vr },
@@ -215,8 +282,12 @@ let run_cached cfg ~seed ~keys ~dir ~delta op csv_s csv_r attr =
           function
           | Psi.Session.Size sz -> Printf.printf "|T_S >< T_R| = %d\n" sz
           | _ -> failwith "psi_demo: unexpected session result shape" )
+
+let run_cached cfg ~seed ~keys ~dir ~delta ?shard op csv_s csv_r attr =
+  let session_op, print_result = session_op_and_printer op csv_s csv_r attr in
+  let r =
+    Psi.Session.run_incremental cfg ~seed ~keys ?shard ~cache_dir:dir [ session_op ] ()
   in
-  let r = Psi.Session.run_incremental cfg ~seed ~keys ~cache_dir:dir [ session_op ] () in
   (match r.Psi.Session.report.Psi.Session.results with
   | [ res ] -> print_result res
   | _ -> failwith "psi_demo: unexpected session result count");
@@ -228,17 +299,31 @@ let run_cached cfg ~seed ~keys ~dir ~delta op csv_s csv_r attr =
       i.Psi.Session.added i.Psi.Session.removed i.Psi.Session.unchanged
   end
 
-let run_intersect group seed jobs op csv_s csv_r attr cache delta fresh_keys trace
-    trace_out =
+(* --buckets K / --spill-dir: the sharded engine without a cache —
+   Session.run with a shard plan, printing through the same formats as
+   every other path. *)
+let run_sharded cfg ~seed ~shard op csv_s csv_r attr =
+  let session_op, print_result = session_op_and_printer op csv_s csv_r attr in
+  let r = Psi.Session.run cfg ~seed ~shard [ session_op ] () in
+  (match r.Psi.Session.results with
+  | [ res ] -> print_result res
+  | _ -> failwith "psi_demo: unexpected session result count");
+  report_traffic r.Psi.Session.total_bytes
+
+let run_intersect group seed jobs buckets spill_dir op csv_s csv_r attr cache delta
+    fresh_keys trace trace_out =
   let cfg = Psi.Protocol.config ~workers:jobs ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
   report_workers ~trace jobs;
+  report_buckets ~trace buckets spill_dir;
   with_trace ?out:trace_out trace @@ fun () ->
-  match cache with
-  | Some dir ->
+  let shard = shard_plan_of ~buckets ~spill_dir in
+  match (cache, shard) with
+  | Some dir, _ ->
       run_cached cfg ~seed
         ~keys:(if fresh_keys then `Fresh else `Cached)
-        ~dir ~delta op csv_s csv_r attr
-  | None -> (
+        ~dir ~delta ?shard op csv_s csv_r attr
+  | None, Some shard -> run_sharded cfg ~seed ~shard op csv_s csv_r attr
+  | None, None -> (
       match op with
   | Op_intersection ->
       let vs = values_of_csv csv_s attr and vr = values_of_csv csv_r attr in
@@ -319,9 +404,9 @@ let intersect_cmd =
   let doc = "Run a private set operation between two CSV tables." in
   Cmd.v
     (Cmd.info "intersect" ~doc)
-    Term.(const run_intersect $ group_arg $ seed_arg $ jobs_arg $ op_arg $ csv_s_arg
-          $ csv_r_arg $ attr_arg $ cache_arg $ delta_arg $ fresh_keys_arg $ trace_arg
-          $ trace_out_arg)
+    Term.(const run_intersect $ group_arg $ seed_arg $ jobs_arg $ buckets_arg
+          $ spill_dir_arg $ op_arg $ csv_s_arg $ csv_r_arg $ attr_arg $ cache_arg
+          $ delta_arg $ fresh_keys_arg $ trace_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* net: two-process mode over a real socket                            *)
@@ -340,6 +425,66 @@ let report_net_stats ep =
   Printf.printf "messages: %d sent, %d received; largest frame %d bytes\n"
     s.Wire.Channel.messages_sent s.Wire.Channel.messages_received
     s.Wire.Channel.max_message_bytes
+
+(* Sharded two-process mode: after the same handshake, drive this
+   party's side of the op through the shard engine. Each process roots
+   its own spill/checkpoint state (the peers never share a disk). *)
+let net_shard_op ~party ~csv ~attr ~op =
+  match (party, op) with
+  | `Sender, Op_intersection ->
+      Psi.Shard.Intersect { s_values = values_of_csv csv attr; r_values = [] }
+  | `Sender, Op_size ->
+      Psi.Shard.Intersect_size { s_values = values_of_csv csv attr; r_values = [] }
+  | `Sender, Op_join ->
+      Psi.Shard.Equijoin { s_records = records_of_csv csv attr; r_values = [] }
+  | `Sender, Op_join_size ->
+      Psi.Shard.Equijoin_size { s_values = multiset_of_csv csv attr; r_values = [] }
+  | `Receiver, Op_intersection ->
+      Psi.Shard.Intersect { s_values = []; r_values = values_of_csv csv attr }
+  | `Receiver, Op_size ->
+      Psi.Shard.Intersect_size { s_values = []; r_values = values_of_csv csv attr }
+  | `Receiver, Op_join ->
+      Psi.Shard.Equijoin { s_records = []; r_values = values_of_csv csv attr }
+  | `Receiver, Op_join_size ->
+      Psi.Shard.Equijoin_size { s_values = []; r_values = multiset_of_csv csv attr }
+
+let net_sender_sharded cfg shard ~seed ~csv ~attr ~op ep =
+  Obs.Span.with_ "party:sender" @@ fun () ->
+  let drbg = Crypto.Drbg.split (Crypto.Drbg.create ~seed) ~label:"sender" in
+  Psi.Handshake.respond cfg ep;
+  let _ops, st =
+    Psi.Shard.sender_op cfg shard ~drbg ep (net_shard_op ~party:`Sender ~csv ~attr ~op)
+  in
+  Printf.printf "sender: sharded run done — %d element(s) over %d bucket(s)%s\n"
+    (List.fold_left ( + ) 0 st.Psi.Shard.sizes)
+    st.Psi.Shard.buckets
+    (if st.Psi.Shard.start > 0 then
+       Printf.sprintf ", resumed at bucket %d" st.Psi.Shard.start
+     else "")
+
+let net_receiver_sharded cfg shard ~seed ~csv ~attr ~op ep =
+  Obs.Span.with_ "party:receiver" @@ fun () ->
+  let drbg = Crypto.Drbg.split (Crypto.Drbg.create ~seed) ~label:"receiver" in
+  Psi.Handshake.initiate cfg ep;
+  let _ops, result, st =
+    Psi.Shard.receiver_op cfg shard ~drbg ep (net_shard_op ~party:`Receiver ~csv ~attr ~op)
+  in
+  let n_r = List.fold_left ( + ) 0 st.Psi.Shard.sizes in
+  (match result with
+  | Psi.Shard.Values inter ->
+      Printf.printf "|V_R| = %d, |V_S ∩ V_R| = %d\n" n_r (List.length inter);
+      List.iter (Printf.printf "%s\n") inter
+  | Psi.Shard.Size sz -> (
+      match op with
+      | Op_size -> Printf.printf "|V_S ∩ V_R| = %d (|V_R| = %d)\n" sz n_r
+      | _ -> Printf.printf "|T_S >< T_R| = %d\n" sz)
+  | Psi.Shard.Matches matches ->
+      List.iter
+        (fun (v, recs) ->
+          Printf.printf "%s:\n" v;
+          List.iter (Printf.printf "  %s\n") recs)
+        matches;
+      Printf.printf "%d joining value(s)\n" (List.length matches))
 
 let net_sender cfg ~seed ~csv ~attr ~op ep =
   (* Same root-span name as the in-process Runner gives this party, so
@@ -428,11 +573,23 @@ let parse_hostport s =
       | Some p -> ("127.0.0.1", p)
       | None -> invalid_arg (Printf.sprintf "net: expected HOST:PORT, got %S" s))
 
-let run_net group seed jobs listen connect csv attr op max_conns timeout trace
-    trace_out =
+let run_net group seed jobs buckets spill_dir listen connect csv attr op max_conns
+    timeout trace trace_out =
   let cfg = Psi.Protocol.config ~workers:jobs ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
   report_workers ~trace jobs;
+  report_buckets ~trace buckets spill_dir;
   with_trace ?out:trace_out trace @@ fun () ->
+  let shard = shard_plan_of ~buckets ~spill_dir in
+  let play_sender ep =
+    match shard with
+    | Some plan -> net_sender_sharded cfg plan ~seed ~csv ~attr ~op ep
+    | None -> net_sender cfg ~seed ~csv ~attr ~op ep
+  in
+  let play_receiver ep =
+    match shard with
+    | Some plan -> net_receiver_sharded cfg plan ~seed ~csv ~attr ~op ep
+    | None -> net_receiver cfg ~seed ~csv ~attr ~op ep
+  in
   match (listen, connect) with
   | Some port, None ->
       (* The psid listener, serving connections sequentially: repeated
@@ -447,12 +604,15 @@ let run_net group seed jobs listen connect csv attr op max_conns timeout trace
       let max_conns = if max_conns = 0 then None else Some max_conns in
       Service.Listener.run ?max_conns listener (fun conn ->
           let ep = Wire.Channel.of_transport (Service.Listener.transport conn) in
+          (* Net mode never inspects transcript views; at --buckets 64
+             over large sets the logs would re-materialize every set. *)
+          Wire.Channel.set_record_views ep false;
           Wire.Channel.set_timeout ep (Some timeout);
           Fun.protect
             ~finally:(fun () -> Service.Listener.close_conn conn)
             (fun () ->
               match
-                net_sender cfg ~seed ~csv ~attr ~op ep;
+                play_sender ep;
                 Wire.Channel.close ep
               with
               | () -> report_net_stats ep
@@ -464,8 +624,9 @@ let run_net group seed jobs listen connect csv attr op max_conns timeout trace
   | None, Some hostport ->
       let host, port = parse_hostport hostport in
       let ep = Wire.Channel.of_transport (connect_with_retry ~host ~port) in
+      Wire.Channel.set_record_views ep false;
       Wire.Channel.set_timeout ep (Some timeout);
-      net_receiver cfg ~seed ~csv ~attr ~op ep;
+      play_receiver ep;
       Wire.Channel.close ep;
       report_net_stats ep
   | Some _, Some _ | None, None ->
@@ -512,8 +673,9 @@ let net_cmd =
            `P "Terminal 1: psi_demo net --listen 7001 --csv s.csv --attr email";
            `P "Terminal 2: psi_demo net --connect 127.0.0.1:7001 --csv r.csv --attr email";
          ])
-    Term.(const run_net $ group_arg $ seed_arg $ jobs_arg $ listen $ connect $ csv
-          $ attr_arg $ op_arg $ max_conns $ timeout $ trace_arg $ trace_out_arg)
+    Term.(const run_net $ group_arg $ seed_arg $ jobs_arg $ buckets_arg $ spill_dir_arg
+          $ listen $ connect $ csv $ attr_arg $ op_arg $ max_conns $ timeout $ trace_arg
+          $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* service: client session against a running psid                      *)

@@ -274,32 +274,52 @@ let put t ~ns ~key_fp input output =
       check_open t;
       insert t (composite ~ns ~key_fp input) output)
 
+(* Warm-up batch size: bounds how many computed-but-not-yet-stored
+   outputs exist at once, so warming a million-element set holds one
+   chunk of results, not all of them — and still feeds the pool batches
+   large enough to amortize fan-out. *)
+let warm_chunk = 4096
+
 let warm t ?pool ~ns ~key_fp ~f inputs =
   (* Peek without touching hit/miss stats: warm-up is provisioning.
      Deduplicate (first occurrence wins) so [f] runs once per element,
      and compute outside the lock so pool workers never contend on it.
      Two racing warm-ups may both compute an element; [put] makes that
-     an idempotent overwrite with the identical value. *)
-  let seen = Hashtbl.create (Int.max 16 (List.length inputs)) in
-  let missing =
-    with_lock t (fun () ->
-        check_open t;
-        List.filter
-          (fun input ->
-            let k = composite ~ns ~key_fp input in
-            if Hashtbl.mem t.tbl k || Hashtbl.mem seen k then false
-            else begin
-              Hashtbl.replace seen k ();
-              true
-            end)
-          inputs)
+     an idempotent overwrite with the identical value. Chunked: each
+     [warm_chunk]-sized slice is filtered, computed and stored before
+     the next is touched, keeping peak memory O(chunk). *)
+  let seen = Hashtbl.create 1024 in
+  let rec take n acc l =
+    if n = 0 then (List.rev acc, l)
+    else match l with [] -> (List.rev acc, []) | x :: tl -> take (n - 1) (x :: acc) tl
   in
-  let outputs =
-    match pool with
-    | None -> List.map f missing
-    | Some pool -> Parallel.Pool.map pool f missing
+  let rec go inputs =
+    match inputs with
+    | [] -> ()
+    | _ ->
+        let chunk, rest = take warm_chunk [] inputs in
+        let missing =
+          with_lock t (fun () ->
+              check_open t;
+              List.filter
+                (fun input ->
+                  let k = composite ~ns ~key_fp input in
+                  if Hashtbl.mem t.tbl k || Hashtbl.mem seen k then false
+                  else begin
+                    Hashtbl.replace seen k ();
+                    true
+                  end)
+                chunk)
+        in
+        let outputs =
+          match pool with
+          | None -> List.map f missing
+          | Some pool -> Parallel.Pool.map pool f missing
+        in
+        List.iter2 (fun input output -> put t ~ns ~key_fp input output) missing outputs;
+        go rest
   in
-  List.iter2 (fun input output -> put t ~ns ~key_fp input output) missing outputs
+  go inputs
 
 let close t =
   flush t;

@@ -80,7 +80,10 @@ val put : t -> ns:string -> key_fp:string -> string -> string -> unit
 (** [warm t ?pool ~ns ~key_fp ~f inputs] computes [f] for every input
     not already present (deduplicated, in parallel across [pool] when
     given) and stores the results. Peeking does not count hits or
-    misses — warm-up is provisioning, not protocol work. *)
+    misses — warm-up is provisioning, not protocol work. Inputs are
+    processed in bounded chunks (filter → compute → store per chunk), so
+    warming arbitrarily large sets keeps peak memory at one chunk of
+    outputs plus the cache itself. *)
 val warm :
   t ->
   ?pool:Parallel.Pool.t ->

@@ -77,7 +77,7 @@ let sender cfg ~rng ~records ep =
   let e_s = Commutative.gen_key cfg.Protocol.group ~rng in
   let e_s' = Commutative.gen_key cfg.Protocol.group ~rng in
   (* Step 3: receive Y_R. *)
-  let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
+  let y_r = Protocol.elements_of (Protocol.recv_tagged ep (Protocol.scoped cfg tag_y_r)) in
   (* Step 4: double-encrypt each y under e_S and e'_S, Y_R order.
      Streamed: each chunk is encrypted across the pool while the
      previous chunk is on the wire. The counting batch helpers also
@@ -86,7 +86,7 @@ let sender cfg ~rng ~records ep =
   Obs.Span.with_ "encrypt-peer"
     ~attrs:[ ("n", string_of_int (List.length y_r)) ]
     (fun () ->
-      Protocol.send_pairs_stream cfg ep ~tag:tag_pairs
+      Protocol.send_pairs_stream cfg ep ~tag:(Protocol.scoped cfg tag_pairs)
         ~of_chunk:(fun ys ->
           List.combine
             (Protocol.encrypt_encoded_batch cfg ops e_s ys)
@@ -126,7 +126,7 @@ let sender cfg ~rng ~records ep =
       Obs.Metrics.observe h_ext_bytes (float_of_int (String.length ciphertext)))
     ext_pairs;
   ops.Protocol.cipher_ops <- ops.Protocol.cipher_ops + List.length grouped;
-  Channel.send ep (Message.make ~tag:tag_ext (Message.Ciphertext_pairs ext_pairs));
+  Channel.send ep (Message.make ~tag:(Protocol.scoped cfg tag_ext) (Message.Ciphertext_pairs ext_pairs));
   { v_r_count = List.length y_r; ops }
 
 let receiver cfg ~rng ~values ep =
@@ -144,10 +144,10 @@ let receiver cfg ~rng ~values ep =
     Obs.Span.with_ "reorder" (fun () ->
         List.sort (fun (a, _) (b, _) -> String.compare a b) ps)
   in
-  Protocol.send_elements_stream cfg ep ~tag:tag_y_r (List.map fst encoded);
+  Protocol.send_elements_stream cfg ep ~tag:(Protocol.scoped cfg tag_y_r) (List.map fst encoded);
   (* Step 6: peel our own layer off both components; position i of the
      pair list corresponds to our i-th sorted Y_R entry. *)
-  let pairs = Protocol.pairs_of (Protocol.recv_tagged ep tag_pairs) in
+  let pairs = Protocol.pairs_of (Protocol.recv_tagged ep (Protocol.scoped cfg tag_pairs)) in
   if List.length pairs <> List.length encoded then
     failwith "protocol error: pairs count mismatch"
   else begin
@@ -165,7 +165,7 @@ let receiver cfg ~rng ~values ep =
     let index = Hashtbl.create (List.length keyed) in
     List.iter (fun (k, vk) -> Hashtbl.replace index k vk) keyed;
     (* Step 7: match S's ext pairs against our keys and decrypt. *)
-    let ext_pairs = Protocol.pairs_of (Protocol.recv_tagged ep tag_ext) in
+    let ext_pairs = Protocol.pairs_of (Protocol.recv_tagged ep (Protocol.scoped cfg tag_ext)) in
     Obs.Span.with_ "match"
       ~attrs:[ ("n", string_of_int (List.length ext_pairs)) ]
     @@ fun () ->

@@ -64,15 +64,15 @@ let sender cfg ~rng ~values ep =
   let ops = Protocol.new_ops () in
   let e_s = Commutative.gen_key cfg.Protocol.group ~rng in
   let y_s = hash_and_encrypt_multiset cfg ops e_s values in
-  let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
-  Protocol.send_elements_stream cfg ep ~tag:tag_y_s y_s;
+  let y_r = Protocol.elements_of (Protocol.recv_tagged ep (Protocol.scoped cfg tag_y_r)) in
+  Protocol.send_elements_stream cfg ep ~tag:(Protocol.scoped cfg tag_y_s) y_s;
   let z_r =
     Obs.Span.with_ "encrypt-peer"
       ~attrs:[ ("n", string_of_int (List.length y_r)) ]
       (fun () -> encrypt_multiset cfg ops e_s y_r)
     |> fun es -> Obs.Span.with_ "reorder" (fun () -> Protocol.sort_encoded es)
   in
-  Protocol.send_elements_stream cfg ep ~tag:tag_z_r z_r;
+  Protocol.send_elements_stream cfg ep ~tag:(Protocol.scoped cfg tag_z_r) z_r;
   {
     v_r_multiset_size = List.length y_r;
     r_duplicate_distribution = duplicate_distribution y_r;
@@ -84,14 +84,14 @@ let receiver cfg ~rng ~values ep =
   let ops = Protocol.new_ops () in
   let e_r = Commutative.gen_key cfg.Protocol.group ~rng in
   let y_r = hash_and_encrypt_multiset cfg ops e_r values in
-  Protocol.send_elements_stream cfg ep ~tag:tag_y_r y_r;
-  let y_s = Protocol.elements_of (Protocol.recv_tagged ep tag_y_s) in
+  Protocol.send_elements_stream cfg ep ~tag:(Protocol.scoped cfg tag_y_r) y_r;
+  let y_s = Protocol.elements_of (Protocol.recv_tagged ep (Protocol.scoped cfg tag_y_s)) in
   let z_s =
     Obs.Span.with_ "encrypt-peer"
       ~attrs:[ ("n", string_of_int (List.length y_s)) ]
       (fun () -> Sset.Multi.of_list (encrypt_multiset cfg ops e_r y_s))
   in
-  let z_r = Sset.Multi.of_list (Protocol.elements_of (Protocol.recv_tagged ep tag_z_r)) in
+  let z_r = Sset.Multi.of_list (Protocol.elements_of (Protocol.recv_tagged ep (Protocol.scoped cfg tag_z_r))) in
   let join_size = Obs.Span.with_ "match" (fun () -> Sset.Multi.join_size z_s z_r) in
   (* §5.2 leakage, reconstructed from R's own view: bucket the distinct
      double encryptions by (d = multiplicity in Z_R, d' = in Z_S). *)

@@ -31,16 +31,16 @@ let sender cfg ~rng ~values ep =
     |> fun encoded -> Obs.Span.with_ "reorder" (fun () -> Protocol.sort_encoded encoded)
   in
   (* Step 3: receive Y_R. *)
-  let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
+  let y_r = Protocol.elements_of (Protocol.recv_tagged ep (Protocol.scoped cfg tag_y_r)) in
   (* Step 4(a): ship Y_S (fully computed — the sort is a shuffle point —
      so this streams for I/O chunking only). *)
-  Protocol.send_elements_stream cfg ep ~tag:tag_y_s y_s;
+  Protocol.send_elements_stream cfg ep ~tag:(Protocol.scoped cfg tag_y_s) y_s;
   (* Step 4(b): encrypt each y in Y_R, preserving R's order (the §6.1
      optimization: no need to echo y itself). Streamed: chunk k+1 is
      encrypted while chunk k is on the wire. *)
   Obs.Span.with_ "encrypt-peer"
     ~attrs:[ ("n", string_of_int (List.length y_r)) ]
-    (fun () -> Protocol.send_encrypted_stream cfg ops e_s ep ~tag:tag_y_r_enc y_r);
+    (fun () -> Protocol.send_encrypted_stream cfg ops e_s ep ~tag:(Protocol.scoped cfg tag_y_r_enc) y_r);
   { v_r_count = List.length y_r; ops }
 
 let receiver cfg ~rng ~values ep =
@@ -61,9 +61,9 @@ let receiver cfg ~rng ~values ep =
         List.sort (fun (a, _) (b, _) -> String.compare a b) pairs)
   in
   (* Step 3: send Y_R reordered lexicographically. *)
-  Protocol.send_elements_stream cfg ep ~tag:tag_y_r (List.map fst encoded);
+  Protocol.send_elements_stream cfg ep ~tag:(Protocol.scoped cfg tag_y_r) (List.map fst encoded);
   (* Step 4(a): receive Y_S. *)
-  let y_s = Protocol.elements_of (Protocol.recv_tagged ep tag_y_s) in
+  let y_s = Protocol.elements_of (Protocol.recv_tagged ep (Protocol.scoped cfg tag_y_s)) in
   (* Step 5: Z_S = f_eR(Y_S). *)
   let z_s =
     Obs.Span.with_ "encrypt-peer"
@@ -76,7 +76,7 @@ let receiver cfg ~rng ~values ep =
   in
   (* Step 4(b) arrival: f_eS(f_eR(h(v))) in the order of our sorted Y_R,
      so position i corresponds to the i-th entry of [encoded]. *)
-  let y_r_enc = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r_enc) in
+  let y_r_enc = Protocol.elements_of (Protocol.recv_tagged ep (Protocol.scoped cfg tag_y_r_enc)) in
   if List.length y_r_enc <> List.length encoded then
     failwith "protocol error: Y_R_enc count mismatch"
   else begin

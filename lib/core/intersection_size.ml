@@ -25,8 +25,8 @@ let sender cfg ~rng ~values ep =
   let v_s = Protocol.dedup values in
   let e_s = Commutative.gen_key cfg.Protocol.group ~rng in
   let y_s = hash_encrypt_sort "own-set" cfg ops e_s v_s in
-  let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
-  Protocol.send_elements_stream cfg ep ~tag:tag_y_s y_s;
+  let y_r = Protocol.elements_of (Protocol.recv_tagged ep (Protocol.scoped cfg tag_y_r)) in
+  Protocol.send_elements_stream cfg ep ~tag:(Protocol.scoped cfg tag_y_s) y_s;
   (* Step 4(b): crucially re-sorted, destroying the pairing with Y_R. *)
   let z_r =
     Obs.Span.with_ "encrypt-peer"
@@ -34,7 +34,7 @@ let sender cfg ~rng ~values ep =
       (fun () -> Protocol.encrypt_encoded_batch cfg ops e_s y_r)
     |> fun es -> Obs.Span.with_ "reorder" (fun () -> Protocol.sort_encoded es)
   in
-  Protocol.send_elements_stream cfg ep ~tag:tag_z_r z_r;
+  Protocol.send_elements_stream cfg ep ~tag:(Protocol.scoped cfg tag_z_r) z_r;
   { v_r_count = List.length y_r; ops }
 
 let receiver cfg ~rng ~values ep =
@@ -43,8 +43,8 @@ let receiver cfg ~rng ~values ep =
   let v_r = Protocol.dedup values in
   let e_r = Commutative.gen_key cfg.Protocol.group ~rng in
   let y_r = hash_encrypt_sort "own-set" cfg ops e_r v_r in
-  Protocol.send_elements_stream cfg ep ~tag:tag_y_r y_r;
-  let y_s = Protocol.elements_of (Protocol.recv_tagged ep tag_y_s) in
+  Protocol.send_elements_stream cfg ep ~tag:(Protocol.scoped cfg tag_y_r) y_r;
+  let y_s = Protocol.elements_of (Protocol.recv_tagged ep (Protocol.scoped cfg tag_y_s)) in
   let z_s =
     Obs.Span.with_ "encrypt-peer"
       ~attrs:[ ("n", string_of_int (List.length y_s)) ]
@@ -54,7 +54,7 @@ let receiver cfg ~rng ~values ep =
           Sset.empty
           (Protocol.encrypt_encoded_batch cfg ops e_r y_s))
   in
-  let z_r = Protocol.elements_of (Protocol.recv_tagged ep tag_z_r) in
+  let z_r = Protocol.elements_of (Protocol.recv_tagged ep (Protocol.scoped cfg tag_z_r)) in
   let size =
     Obs.Span.with_ "match" (fun () ->
         List.length (List.filter (fun z -> Sset.mem z z_s) z_r))
@@ -99,8 +99,8 @@ let run_to_third_party cfg ?(seed = "intersection-size-3p") ~sender_values ~rece
         let ops = Protocol.new_ops () in
         let e_s = Commutative.gen_key cfg.Protocol.group ~rng:s_rng in
         let y_s = hash_encrypt_sort "own-set" cfg ops e_s (Protocol.dedup sender_values) in
-        let y_r = Protocol.elements_of (Protocol.recv_tagged ep tag_y_r) in
-        Protocol.send_elements_stream cfg ep ~tag:tag_y_s y_s;
+        let y_r = Protocol.elements_of (Protocol.recv_tagged ep (Protocol.scoped cfg tag_y_r)) in
+        Protocol.send_elements_stream cfg ep ~tag:(Protocol.scoped cfg tag_y_s) y_s;
         let z_r =
           Obs.Span.with_ "encrypt-peer"
             ~attrs:[ ("n", string_of_int (List.length y_r)) ]
@@ -113,8 +113,8 @@ let run_to_third_party cfg ?(seed = "intersection-size-3p") ~sender_values ~rece
         let ops = Protocol.new_ops () in
         let e_r = Commutative.gen_key cfg.Protocol.group ~rng:r_rng in
         let y_r = hash_encrypt_sort "own-set" cfg ops e_r (Protocol.dedup receiver_values) in
-        Protocol.send_elements_stream cfg ep ~tag:tag_y_r y_r;
-        let y_s = Protocol.elements_of (Protocol.recv_tagged ep tag_y_s) in
+        Protocol.send_elements_stream cfg ep ~tag:(Protocol.scoped cfg tag_y_r) y_r;
+        let y_s = Protocol.elements_of (Protocol.recv_tagged ep (Protocol.scoped cfg tag_y_s)) in
         let z_s =
           Obs.Span.with_ "encrypt-peer"
             ~attrs:[ ("n", string_of_int (List.length y_s)) ]
@@ -126,8 +126,8 @@ let run_to_third_party cfg ?(seed = "intersection-size-3p") ~sender_values ~rece
   let z_r, s_ops = outcome.Wire.Runner.sender_result in
   let z_s, r_ops = outcome.Wire.Runner.receiver_result in
   (* Ship both Z sets to T and account the bytes those messages occupy. *)
-  let to_t_r = Message.make ~tag:tag_z_r_to_t (Message.Elements z_r) in
-  let to_t_s = Message.make ~tag:tag_z_s_to_t (Message.Elements z_s) in
+  let to_t_r = Message.make ~tag:(Protocol.scoped cfg tag_z_r_to_t) (Message.Elements z_r) in
+  let to_t_s = Message.make ~tag:(Protocol.scoped cfg tag_z_s_to_t) (Message.Elements z_s) in
   let z_s_set = List.fold_left (fun acc z -> Sset.add z acc) Sset.empty z_s in
   let total_bytes =
     outcome.Wire.Runner.total_bytes + Message.size to_t_r + Message.size to_t_s

@@ -8,12 +8,19 @@ type config = {
   cipher : Crypto.Perfect_cipher.scheme;
   workers : int;
   ecache : Ecache.t option;
+  scope : string;
 }
 
 let config ?(domain = "default") ?(cipher = Crypto.Perfect_cipher.Stream_cipher)
-    ?(workers = 1) ?ecache group =
+    ?(workers = 1) ?ecache ?(scope = "") group =
   if workers < 1 then invalid_arg "Protocol.config: workers >= 1"
-  else { group; domain; cipher; workers; ecache }
+  else { group; domain; cipher; workers; ecache; scope }
+
+let with_scope cfg scope = { cfg with scope }
+
+(* The empty scope concatenates to the bare tag, so every pre-sharding
+   transcript stays byte-identical. *)
+let scoped cfg tag = if cfg.scope = "" then tag else cfg.scope ^ "/" ^ tag
 
 (* [pool cfg] is the shared domain pool for [cfg.workers] — [None] for
    the sequential default, which keeps single-worker runs on the exact

@@ -29,17 +29,33 @@ type config = {
           modexp (and tick an ops counter) for misses, making a repeat
           run cost [Ce·|Δ|]; results are byte-identical to a cold run.
           [None] (the default) is the exact pre-cache code path. *)
+  scope : string;
+      (** message-tag namespace prefix. [""] (the default) leaves every
+          wire tag exactly as before; a sharded sub-protocol sets e.g.
+          ["b3"] so its frames read ["b3/intersection/Y_R"] — the bucket
+          id the tentpole's frame tagging rides on. Not part of the
+          handshake fingerprint: both sides derive the same scopes from
+          the shard plan. *)
 }
 
-(** [config ?domain ?cipher ?workers ?ecache group] with domain
-    ["default"], the stream cipher, [workers = 1], and no cache. *)
+(** [config ?domain ?cipher ?workers ?ecache ?scope group] with domain
+    ["default"], the stream cipher, [workers = 1], no cache, and the
+    empty scope. *)
 val config :
   ?domain:string ->
   ?cipher:Crypto.Perfect_cipher.scheme ->
   ?workers:int ->
   ?ecache:Ecache.t ->
+  ?scope:string ->
   Group.t ->
   config
+
+(** [with_scope cfg scope] is [cfg] with its tag namespace replaced. *)
+val with_scope : config -> string -> config
+
+(** [scoped cfg tag] prefixes [tag] with [cfg.scope ^ "/"]; the empty
+    scope returns [tag] unchanged (byte-identical transcripts). *)
+val scoped : config -> string -> string
 
 (** [parallel_map ~workers f xs] maps [f] over [xs] on up to [workers]
     domains, preserving order. Falls back to [List.map] for one worker

@@ -1,21 +1,19 @@
-type op =
+(* The operation vocabulary is shared with the sharded driver — one
+   [op]/[result] type, two execution engines. *)
+type op = Shard.op =
   | Intersect of { s_values : string list; r_values : string list }
   | Intersect_size of { s_values : string list; r_values : string list }
   | Equijoin of { s_records : (string * string) list; r_values : string list }
   | Equijoin_size of { s_values : string list; r_values : string list }
 
-type result =
+type result = Shard.result =
   | Values of string list
   | Size of int
   | Matches of (string * string list) list
 
 type report = { results : result list; total_bytes : int; ops : Protocol.ops }
 
-let op_name = function
-  | Intersect _ -> "intersect"
-  | Intersect_size _ -> "intersect_size"
-  | Equijoin _ -> "equijoin"
-  | Equijoin_size _ -> "equijoin_size"
+let op_name = Shard.op_name
 
 (* Per-operation rollups under the session namespace, plus a span per
    operation on each party's thread. *)
@@ -58,24 +56,64 @@ let receiver_op cfg ~rng ep op =
       let r = Equijoin_size.receiver cfg ~rng ~values:r_values ep in
       (r.Equijoin_size.ops, Size r.Equijoin_size.join_size)
 
-let run cfg ?(seed = "session") operations () =
+(* Sharded counterparts: same span/counter behavior, but each op runs
+   through the sharded driver with per-bucket keys forked from the
+   party's [drbg] and per-op state under the plan's [state_dir]. *)
+let sender_op_sharded cfg shard ~drbg ~op_index ep op =
+  Obs.Span.with_ ("session/" ^ op_name op) @@ fun () ->
+  fst (Shard.sender_op cfg shard ~drbg ~op_index ep op)
+
+let receiver_op_sharded cfg shard ~drbg ~op_index ep op =
+  record_op op;
+  Obs.Span.with_ ("session/" ^ op_name op) @@ fun () ->
+  let ops, result, _stats = Shard.receiver_op cfg shard ~drbg ~op_index ep op in
+  (ops, result)
+
+let run cfg ?(seed = "session") ?shard operations () =
   let drbg = Crypto.Drbg.create ~seed in
-  let s_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"sender") in
-  let r_rng = Crypto.Drbg.to_rng (Crypto.Drbg.split drbg ~label:"receiver") in
+  let s_drbg = Crypto.Drbg.split drbg ~label:"sender" in
+  let r_drbg = Crypto.Drbg.split drbg ~label:"receiver" in
   let outcome =
-    Wire.Runner.run
-      ~sender:(fun ep ->
-        Handshake.respond cfg ep;
-        List.fold_left
-          (fun acc op -> Protocol.total acc (sender_op cfg ~rng:s_rng ep op))
-          (Protocol.new_ops ()) operations)
-      ~receiver:(fun ep ->
-        Handshake.initiate cfg ep;
-        List.fold_left_map
-          (fun acc op ->
-            let o, res = receiver_op cfg ~rng:r_rng ep op in
-            (Protocol.total acc o, res))
-          (Protocol.new_ops ()) operations)
+    match shard with
+    | None ->
+        let s_rng = Crypto.Drbg.to_rng s_drbg in
+        let r_rng = Crypto.Drbg.to_rng r_drbg in
+        Wire.Runner.run
+          ~sender:(fun ep ->
+            Handshake.respond cfg ep;
+            List.fold_left
+              (fun acc op -> Protocol.total acc (sender_op cfg ~rng:s_rng ep op))
+              (Protocol.new_ops ()) operations)
+          ~receiver:(fun ep ->
+            Handshake.initiate cfg ep;
+            List.fold_left_map
+              (fun acc op ->
+                let o, res = receiver_op cfg ~rng:r_rng ep op in
+                (Protocol.total acc o, res))
+              (Protocol.new_ops ()) operations)
+    | Some plan ->
+        Wire.Runner.run
+          ~sender:(fun ep ->
+            Handshake.respond cfg ep;
+            List.fold_left
+              (fun (acc, i) op ->
+                ( Protocol.total acc
+                    (sender_op_sharded cfg plan ~drbg:s_drbg ~op_index:i ep op),
+                  i + 1 ))
+              (Protocol.new_ops (), 0) operations
+            |> fst)
+          ~receiver:(fun ep ->
+            Handshake.initiate cfg ep;
+            let (acc, _), results =
+              List.fold_left_map
+                (fun (acc, i) op ->
+                  let o, res =
+                    receiver_op_sharded cfg plan ~drbg:r_drbg ~op_index:i ep op
+                  in
+                  ((Protocol.total acc o, i + 1), res))
+                (Protocol.new_ops (), 0) operations
+            in
+            (acc, results))
   in
   let s_ops = outcome.Wire.Runner.sender_result in
   let r_ops, results = outcome.Wire.Runner.receiver_result in
@@ -141,8 +179,16 @@ let snapshot_compatible ~key_fp prev cur_ops =
          && String.equal e.Wire.Snapshot.key_fp key_fp)
        prev.Wire.Snapshot.entries cur_ops
 
-let run_incremental cfg ?(seed = "session") ?(keys = `Cached) ?max_entries ~cache_dir
-    operations () =
+let run_incremental cfg ?(seed = "session") ?(keys = `Cached) ?max_entries ?shard
+    ~cache_dir operations () =
+  (* A sharded incremental session roots its per-bucket state (spills,
+     checkpoints, per-bucket caches) next to the session cache unless
+     the plan already chose a home. *)
+  let shard =
+    Option.map
+      (fun p -> Shard.with_default_state_dir p (Filename.concat cache_dir "shard"))
+      shard
+  in
   let cache = Ecache.open_ ?max_entries ~dir:cache_dir () in
   Fun.protect ~finally:(fun () -> Ecache.close cache) @@ fun () ->
   let path = snapshot_file cache_dir in
@@ -184,7 +230,9 @@ let run_incremental cfg ?(seed = "session") ?(keys = `Cached) ?max_entries ~cach
         (0, 0, 0) p.Wire.Snapshot.entries elements
   in
   let before = Ecache.stats cache in
-  let report = run { cfg with Protocol.ecache = Some cache } ~seed:effective_seed operations () in
+  let report =
+    run { cfg with Protocol.ecache = Some cache } ~seed:effective_seed ?shard operations ()
+  in
   let after = Ecache.stats cache in
   (* Leakage ledger: cumulative exposure per key fingerprint. Each run
      reveals its newly-processed elements ([added] — everything on a
@@ -277,7 +325,7 @@ let transient = function
       true
   | _ -> false
 
-let run_resilient ?(resilience = default_resilience) cfg ?(seed = "session")
+let run_resilient ?(resilience = default_resilience) cfg ?(seed = "session") ?shard
     ~connect operations =
   let ops_arr = Array.of_list operations in
   let n_ops = Array.length ops_arr in
@@ -308,11 +356,23 @@ let run_resilient ?(resilience = default_resilience) cfg ?(seed = "session")
     Wire.Channel.set_timeout r_ep resilience.recv_timeout_s;
     (* Fresh per-attempt streams: a replayed operation must not reuse
        the encryption keys the interrupted attempt already derived. *)
-    let party_rng label =
-      Crypto.Drbg.to_rng
-        (Crypto.Drbg.split drbg ~label:(Printf.sprintf "%s#%d" label a))
+    let party_drbg label = Crypto.Drbg.split drbg ~label:(Printf.sprintf "%s#%d" label a) in
+    let s_drbg = party_drbg "sender" and r_drbg = party_drbg "receiver" in
+    let s_rng = Crypto.Drbg.to_rng s_drbg and r_rng = Crypto.Drbg.to_rng r_drbg in
+    (* With a shard plan, each operation runs through the sharded driver:
+       an interrupted op resumes at its first unfinished bucket (the
+       plan's state_dir holds the per-bucket checkpoints), and replayed
+       buckets draw fresh per-attempt keys from the forked drbg. *)
+    let run_sender_op ep i op =
+      match shard with
+      | None -> sender_op cfg ~rng:s_rng ep op
+      | Some plan -> sender_op_sharded cfg plan ~drbg:s_drbg ~op_index:i ep op
     in
-    let s_rng = party_rng "sender" and r_rng = party_rng "receiver" in
+    let run_receiver_op ep i op =
+      match shard with
+      | None -> receiver_op cfg ~rng:r_rng ep op
+      | Some plan -> receiver_op_sharded cfg plan ~drbg:r_drbg ~op_index:i ep op
+    in
     let finish () =
       total_bytes :=
         !total_bytes
@@ -330,7 +390,7 @@ let run_resilient ?(resilience = default_resilience) cfg ?(seed = "session")
           send_resume ep !s_done;
           for i = min !s_done theirs to n_ops - 1 do
             replay i !s_done;
-            add_ops acc_ops (sender_op cfg ~rng:s_rng ep ops_arr.(i));
+            add_ops acc_ops (run_sender_op ep i ops_arr.(i));
             s_done := max !s_done (i + 1)
           done)
         ~receiver:(fun ep ->
@@ -340,7 +400,7 @@ let run_resilient ?(resilience = default_resilience) cfg ?(seed = "session")
           for i = min !r_done theirs to n_ops - 1 do
             let is_replay = i < !r_done in
             replay i !r_done;
-            let o, res = receiver_op cfg ~rng:r_rng ep ops_arr.(i) in
+            let o, res = run_receiver_op ep i ops_arr.(i) in
             add_ops acc_ops o;
             (* Idempotent replay: the first completed result wins; a
                replayed operation only re-derives it for the peer. *)

@@ -18,13 +18,15 @@
     failure reconnects with exponential backoff and resumes from the
     last common checkpoint. *)
 
-type op =
+(** Re-exported from {!Shard}: the session and the sharded driver speak
+    the same operation vocabulary. *)
+type op = Shard.op =
   | Intersect of { s_values : string list; r_values : string list }
   | Intersect_size of { s_values : string list; r_values : string list }
   | Equijoin of { s_records : (string * string) list; r_values : string list }
   | Equijoin_size of { s_values : string list; r_values : string list }
 
-type result =
+type result = Shard.result =
   | Values of string list
   | Size of int
   | Matches of (string * string list) list
@@ -36,9 +38,12 @@ type report = {
 }
 
 (** [run cfg ~seed ops ()] handshakes and executes [ops] sequentially
-    over one channel.
+    over one channel. With [?shard], every operation runs through the
+    sharded driver ({!Shard.sender_op}/{!Shard.receiver_op}, op index =
+    list position): [k] pipelined sub-protocols per op, per-bucket keys,
+    bounded peak memory — results identical to the monolithic path.
     @raise Failure on handshake or protocol errors. *)
-val run : Protocol.config -> ?seed:string -> op list -> unit -> report
+val run : Protocol.config -> ?seed:string -> ?shard:Shard.plan -> op list -> unit -> report
 
 (** {1 One-sided building blocks}
 
@@ -113,12 +118,18 @@ type incremental_report = { report : report; incremental : incremental_stats }
        docs/PROTOCOLS.md);}
     {- [`Fresh] folds the run counter into the seed: new keys whose
        fingerprints miss every cached ciphertext by construction —
-       only the key-independent hash-to-group work amortizes.}} *)
+       only the key-independent hash-to-group work amortizes.}}
+
+    With [?shard], the run additionally executes each op through the
+    sharded driver, rooting the plan's state (bucket spills, per-bucket
+    checkpoints and caches) under [cache_dir]/shard when the plan has no
+    [state_dir] of its own — per-bucket delta reruns at 1M scale. *)
 val run_incremental :
   Protocol.config ->
   ?seed:string ->
   ?keys:[ `Cached | `Fresh ] ->
   ?max_entries:int ->
+  ?shard:Shard.plan ->
   cache_dir:string ->
   op list ->
   unit ->
@@ -176,12 +187,18 @@ type resilient_report = {
     Retries, reconnects and replays are published to {!Obs.Metrics} as
     [session.retries] / [session.reconnects] / [session.replays].
 
+    With [?shard] (a plan with a [state_dir]), checkpointing gains
+    per-bucket granularity: an operation interrupted mid-run resumes at
+    its first unfinished bucket instead of replaying from its first
+    message, via the shard driver's own resume exchange.
+
     @raise Failure (or the last transient error) after [max_attempts]
     failed attempts. *)
 val run_resilient :
   ?resilience:resilience ->
   Protocol.config ->
   ?seed:string ->
+  ?shard:Shard.plan ->
   connect:(attempt:int -> Wire.Channel.endpoint * Wire.Channel.endpoint) ->
   op list ->
   resilient_report

@@ -1,0 +1,885 @@
+module Message = Wire.Message
+module Channel = Wire.Channel
+module Buf = Wire.Buf
+module Snapshot = Wire.Snapshot
+module Drbg = Crypto.Drbg
+
+type op =
+  | Intersect of { s_values : string list; r_values : string list }
+  | Intersect_size of { s_values : string list; r_values : string list }
+  | Equijoin of { s_records : (string * string) list; r_values : string list }
+  | Equijoin_size of { s_values : string list; r_values : string list }
+
+type result =
+  | Values of string list
+  | Size of int
+  | Matches of (string * string list) list
+
+let op_name = function
+  | Intersect _ -> "intersect"
+  | Intersect_size _ -> "intersect_size"
+  | Equijoin _ -> "equijoin"
+  | Equijoin_size _ -> "equijoin_size"
+
+type plan = {
+  buckets : int;
+  state_dir : string option;
+  cache : bool;
+  cache_max_entries : int;
+  prefetch : bool;
+}
+
+let max_buckets = 4096
+
+let plan ?state_dir ?(cache = false) ?(cache_max_entries = 65536) ?(prefetch = true)
+    ~buckets () =
+  if buckets < 1 || buckets > max_buckets then
+    invalid_arg (Printf.sprintf "Shard.plan: buckets must be in 1..%d" max_buckets);
+  if cache && state_dir = None then invalid_arg "Shard.plan: ~cache requires ~state_dir";
+  if cache_max_entries < 1 then invalid_arg "Shard.plan: cache_max_entries >= 1";
+  { buckets; state_dir; cache; cache_max_entries; prefetch }
+
+let buckets p = p.buckets
+let state_dir p = p.state_dir
+
+let with_default_state_dir p dir =
+  match p.state_dir with Some _ -> p | None -> { p with state_dir = Some dir }
+
+(* Telemetry: one namespace for the sharded driver. *)
+let m_buckets_run = Obs.Metrics.counter "shard.buckets_run"
+let m_replays = Obs.Metrics.counter "shard.replays"
+let m_resumes = Obs.Metrics.counter "shard.resumes"
+let m_restored = Obs.Metrics.counter "shard.results_restored"
+let m_spilled_bytes = Obs.Metrics.counter "shard.spilled_bytes"
+
+(* ------------------------------------------------------------------ *)
+(* Bucket assignment                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* First 64 bits of the fixed-width big-endian encoding of h(v),
+   reduced mod the bucket count. h is uniform over the group (§3.1
+   random-oracle style), so bucket sizes concentrate around n/k; and
+   because the assignment depends on h(v) alone, two values with
+   colliding hashes share a bucket, keeping the per-bucket §3.2.2
+   collision check equivalent to the global one. *)
+let bucket_of cfg ~buckets v =
+  if buckets = 1 then 0
+  else begin
+    let h =
+      Crypto.Hash_to_group.hash_value cfg.Protocol.group ~domain:cfg.Protocol.domain v
+    in
+    let s = Crypto.Group.encode_elt cfg.Protocol.group h in
+    let n = min 8 (String.length s) in
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := ((!acc lsl 8) lor Char.code s.[i]) land max_int
+    done;
+    !acc mod buckets
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let hex s =
+  String.concat ""
+    (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let write_file path data =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+let append_file path data =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
+
+(* Stateful-reader-safe List.init: elements read in index order. *)
+let read_list n f =
+  let rec go i acc = if i = n then List.rev acc else go (i + 1) (f i :: acc) in
+  go 0 []
+
+(* Equijoin sender entries carry the record payload alongside the
+   bucketing key. *)
+let encode_record (v, r) =
+  let w = Buf.writer () in
+  Buf.write_bytes w v;
+  Buf.write_bytes w r;
+  Buf.contents w
+
+let decode_record s =
+  let r = Buf.reader s in
+  let v = Buf.read_bytes r in
+  let payload = Buf.read_bytes r in
+  Buf.expect_end r;
+  (v, payload)
+
+(* Merge-walk diff of two sorted unique lists (same walk as the session
+   layer's), tallying (added, removed, unchanged) vs [prev]. *)
+let diff_counts prev cur =
+  let rec go added removed unchanged prev cur =
+    match (prev, cur) with
+    | [], [] -> (added, removed, unchanged)
+    | [], _ :: cs -> go (added + 1) removed unchanged [] cs
+    | _ :: ps, [] -> go added (removed + 1) unchanged ps []
+    | p :: ps, c :: cs ->
+        let cmp = String.compare p c in
+        if cmp = 0 then go added removed (unchanged + 1) ps cs
+        else if cmp < 0 then go added (removed + 1) unchanged ps cur
+        else go (added + 1) removed unchanged prev cs
+  in
+  go 0 0 0 prev cur
+
+(* ------------------------------------------------------------------ *)
+(* Spill: per-bucket on-disk partitions                                *)
+(* ------------------------------------------------------------------ *)
+
+module Spill = struct
+  let magic = "PSISPIL1"
+  let meta_magic = "PSISPILM"
+
+  let bucket_file dir ~label b =
+    Filename.concat dir (Printf.sprintf "%s.b%d.spill" label b)
+
+  let meta_file dir ~label = Filename.concat dir (label ^ ".spillmeta")
+
+  (* Per-bucket in-memory buffers flushed by append once they pass this
+     bound: spilling n elements into k buckets holds at most k buffers
+     of ~1 MiB and exactly one open file descriptor at a time. *)
+  let flush_threshold = 1 lsl 20
+
+  let add_varint buf n =
+    let rec go n =
+      if n < 0x80 then Buffer.add_char buf (Char.chr n)
+      else begin
+        Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+        go (n lsr 7)
+      end
+    in
+    if n < 0 then invalid_arg "Spill.add_varint: negative" else go n
+
+  (* [write cfg ~dir ~label ~buckets ~kind entries] partitions a
+     [(bucket_key, encoded_entry)] stream into bucket files, computing
+     bucket sizes and the rolling input fingerprint as it goes, then
+     commits them in a meta file (temp + rename, written last, so a
+     torn spill is simply not visible). Returns (sizes, fingerprint). *)
+  let write cfg ~dir ~label ~buckets ~kind entries =
+    mkdirs dir;
+    let bufs = Array.init buckets (fun _ -> Buffer.create 64) in
+    let started = Array.make buckets false in
+    let sizes = Array.make buckets 0 in
+    let ctx = Crypto.Sha256.init () in
+    let spilled = ref 0 in
+    let flush b =
+      if Buffer.length bufs.(b) > 0 then begin
+        let data = Buffer.contents bufs.(b) in
+        let payload = if started.(b) then data else magic ^ data in
+        (if started.(b) then append_file else write_file)
+          (bucket_file dir ~label b) payload;
+        started.(b) <- true;
+        spilled := !spilled + String.length payload;
+        Buffer.clear bufs.(b)
+      end
+    in
+    Seq.iter
+      (fun (key, entry) ->
+        let b = bucket_of cfg ~buckets key in
+        let buf = bufs.(b) in
+        add_varint buf (String.length entry);
+        Buffer.add_string buf entry;
+        sizes.(b) <- sizes.(b) + 1;
+        Crypto.Sha256.update ctx (string_of_int (String.length entry));
+        Crypto.Sha256.update ctx entry;
+        if Buffer.length buf >= flush_threshold then flush b)
+      entries;
+    for b = 0 to buckets - 1 do
+      flush b;
+      (* Drop a stale bucket file left by a previous spill under the
+         same label whose bucket happens to be empty this time. *)
+      if (not started.(b)) && Sys.file_exists (bucket_file dir ~label b) then
+        Sys.remove (bucket_file dir ~label b)
+    done;
+    Obs.Metrics.incr ~by:!spilled m_spilled_bytes;
+    let fp = hex (Crypto.Sha256.finalize ctx) in
+    let w = Buf.writer () in
+    Buf.write_raw w meta_magic;
+    Buf.write_u8 w (match kind with `Plain -> 0 | `Records -> 1);
+    Buf.write_varint w buckets;
+    Array.iter (Buf.write_varint w) sizes;
+    Buf.write_bytes w fp;
+    let tmp = meta_file dir ~label ^ ".tmp" in
+    write_file tmp (Buf.contents w);
+    Sys.rename tmp (meta_file dir ~label);
+    (sizes, fp)
+
+  let load_meta dir ~label =
+    let path = meta_file dir ~label in
+    if not (Sys.file_exists path) then None
+    else
+      match
+        let r = Buf.reader (read_file path) in
+        if not (String.equal (Buf.read_raw r (String.length meta_magic)) meta_magic)
+        then None
+        else begin
+          let kind =
+            match Buf.read_u8 r with
+            | 0 -> `Plain
+            | 1 -> `Records
+            | _ -> raise (Buf.Parse_error "spill meta kind")
+          in
+          let buckets = Buf.read_varint r in
+          if buckets < 1 || buckets > max_buckets then None
+          else begin
+            let sizes = Array.of_list (read_list buckets (fun _ -> Buf.read_varint r)) in
+            let fp = Buf.read_bytes r in
+            Buf.expect_end r;
+            Some (kind, sizes, fp)
+          end
+        end
+      with
+      | m -> m
+      | exception (Buf.Parse_error _ | Sys_error _) -> None
+
+  (* Load one bucket back. A missing file is an empty bucket (only
+     non-empty buckets are materialized). *)
+  let read_bucket dir ~label b =
+    let path = bucket_file dir ~label b in
+    if not (Sys.file_exists path) then []
+    else begin
+      let data = read_file path in
+      let r = Buf.reader data in
+      if not (String.equal (Buf.read_raw r (String.length magic)) magic) then
+        raise (Buf.Parse_error "spill magic mismatch");
+      let acc = ref [] in
+      while not (Buf.at_end r) do
+        acc := Buf.read_bytes r ~max:(String.length data) :: !acc
+      done;
+      List.rev !acc
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Own-side partition source                                           *)
+(* ------------------------------------------------------------------ *)
+
+let party_name = function `Sender -> "sender" | `Receiver -> "receiver"
+let spill_label ~op_index party = Printf.sprintf "op%d-%s" op_index (party_name party)
+
+type source = {
+  fetch : int -> string list;  (* encoded entries of bucket b *)
+  sizes : int array;
+  input_fp : string;  (* rolling fingerprint of the full input stream *)
+}
+
+let spill_entries cfg p party ~op_index ~kind entries =
+  match p.state_dir with
+  | None -> invalid_arg "Shard.spill: the plan has no state_dir"
+  | Some dir ->
+      let n = ref 0 in
+      let counted =
+        Seq.map
+          (fun e ->
+            incr n;
+            e)
+          entries
+      in
+      let _ =
+        Spill.write cfg ~dir ~label:(spill_label ~op_index party) ~buckets:p.buckets
+          ~kind counted
+      in
+      !n
+
+let spill_values cfg p party ?(op_index = 0) vs =
+  spill_entries cfg p party ~op_index ~kind:`Plain (Seq.map (fun v -> (v, v)) vs)
+
+let spill_records cfg p party ?(op_index = 0) rs =
+  spill_entries cfg p party ~op_index ~kind:`Records
+    (Seq.map (fun (v, r) -> (v, encode_record (v, r))) rs)
+
+(* In-memory partition for planless runs: same sizes and fingerprint as
+   the spilled path would produce. *)
+let partition_in_memory cfg ~buckets entries =
+  let parts = Array.make buckets [] in
+  let sizes = Array.make buckets 0 in
+  let ctx = Crypto.Sha256.init () in
+  Seq.iter
+    (fun (key, entry) ->
+      let b = bucket_of cfg ~buckets key in
+      parts.(b) <- entry :: parts.(b);
+      sizes.(b) <- sizes.(b) + 1;
+      Crypto.Sha256.update ctx (string_of_int (String.length entry));
+      Crypto.Sha256.update ctx entry)
+    entries;
+  (Array.map List.rev parts, sizes, hex (Crypto.Sha256.finalize ctx))
+
+(* Build the per-bucket entry source for one party's side of an op. A
+   non-empty input list wins (re-spilled when the plan has a state_dir,
+   so a resumed run streams identical partitions back); an empty list
+   falls back to previously spilled buckets — how the bench pushes a
+   million elements through without materializing them. *)
+let make_source cfg p party ~op_index ~kind ~entries ~have_input =
+  match p.state_dir with
+  | None ->
+      let parts, sizes, input_fp = partition_in_memory cfg ~buckets:p.buckets entries in
+      { fetch = (fun b -> parts.(b)); sizes; input_fp }
+  | Some dir ->
+      let label = spill_label ~op_index party in
+      if have_input || Spill.load_meta dir ~label = None then
+        ignore (Spill.write cfg ~dir ~label ~buckets:p.buckets ~kind entries);
+      let meta_kind, sizes, input_fp =
+        match Spill.load_meta dir ~label with
+        | Some m -> m
+        | None -> failwith "shard: spill meta unreadable"
+      in
+      if meta_kind <> kind || Array.length sizes <> p.buckets then
+        failwith "shard: spilled buckets do not match the plan (bucket count or kind)";
+      let read b = Spill.read_bucket dir ~label b in
+      let fetch =
+        if p.prefetch && p.buckets > 1 then begin
+          let pl = Parallel.Pipeline.create ~fetch:read ~limit:p.buckets ~start:0 in
+          fun b -> Parallel.Pipeline.next pl b
+        end
+        else read
+      in
+      { fetch; sizes; input_fp }
+
+(* ------------------------------------------------------------------ *)
+(* Per-bucket state files (Wire.Snapshot containers)                   *)
+(* ------------------------------------------------------------------ *)
+
+let prog_file dir ~op_index party =
+  Filename.concat dir (Printf.sprintf "op%d-%s.prog" op_index (party_name party))
+
+let epoch_file dir ~op_index party =
+  Filename.concat dir (Printf.sprintf "op%d-%s.epoch" op_index (party_name party))
+
+let result_file dir ~op_index b =
+  Filename.concat dir (Printf.sprintf "op%d-b%d.result" op_index b)
+
+let inputs_file dir ~op_index party b =
+  Filename.concat dir (Printf.sprintf "op%d-%s-b%d.inputs" op_index (party_name party) b)
+
+(* Context fingerprint: which (operation, bucket count, party, input
+   stream) a checkpoint belongs to. Purely local — it validates this
+   party's own state files and never crosses the wire (a deterministic
+   commitment to the input set would be leakage the monolithic
+   protocol does not have). *)
+let ctx_fp ~op ~op_index ~buckets ~party ~input_fp =
+  hex
+    (Crypto.Sha256.digest_concat
+       [
+         "psi:shard-ck:v1";
+         op;
+         string_of_int op_index;
+         string_of_int buckets;
+         party_name party;
+         input_fp;
+       ])
+
+(* Progress: run_id = completed bucket count; the single entry pins the
+   op, the context fingerprint, and the run tokens (own, peer's). *)
+let load_progress ~path ~op ~buckets ~fp =
+  match Snapshot.load ~path with
+  | Some { Snapshot.run_id; entries = [ e ] }
+    when run_id >= 0 && run_id <= buckets
+         && String.equal e.Snapshot.op op
+         && String.equal e.Snapshot.key_fp fp -> (
+      match e.Snapshot.s_elements with
+      | [ token; peer_token ] -> Some (run_id, token, peer_token)
+      | _ -> None)
+  | _ -> None
+
+let save_progress ~path ~op ~fp ~done_ ~token ~peer_token =
+  Snapshot.save ~path
+    {
+      Snapshot.run_id = done_;
+      entries =
+        [ { Snapshot.op; key_fp = fp; s_elements = [ token; peer_token ]; r_elements = [] } ];
+    }
+
+let encode_result res =
+  let w = Buf.writer () in
+  (match res with
+  | Values vs ->
+      Buf.write_u8 w 0;
+      Buf.write_varint w (List.length vs);
+      List.iter (Buf.write_bytes w) vs
+  | Size n ->
+      Buf.write_u8 w 1;
+      Buf.write_varint w n
+  | Matches ms ->
+      Buf.write_u8 w 2;
+      Buf.write_varint w (List.length ms);
+      List.iter
+        (fun (v, rs) ->
+          Buf.write_bytes w v;
+          Buf.write_varint w (List.length rs);
+          List.iter (Buf.write_bytes w) rs)
+        ms);
+  Buf.contents w
+
+let decode_result s =
+  let max = String.length s in
+  match
+    let r = Buf.reader s in
+    let bounded n = if n > max then raise (Buf.Parse_error "shard result count") else n in
+    let res =
+      match Buf.read_u8 r with
+      | 0 ->
+          let n = bounded (Buf.read_varint r) in
+          Values (read_list n (fun _ -> Buf.read_bytes ~max r))
+      | 1 -> Size (Buf.read_varint r)
+      | 2 ->
+          let n = bounded (Buf.read_varint r) in
+          Matches
+            (read_list n (fun _ ->
+                 let v = Buf.read_bytes ~max r in
+                 let k = bounded (Buf.read_varint r) in
+                 (v, read_list k (fun _ -> Buf.read_bytes ~max r))))
+      | _ -> raise (Buf.Parse_error "shard result kind")
+    in
+    Buf.expect_end r;
+    res
+  with
+  | res -> Some res
+  | exception Buf.Parse_error _ -> None
+
+let save_result ~path ~op ~fp b res =
+  Snapshot.save ~path
+    {
+      Snapshot.run_id = b;
+      entries =
+        [ { Snapshot.op; key_fp = fp; s_elements = [ encode_result res ]; r_elements = [] } ];
+    }
+
+let load_result ~path ~op ~fp b =
+  match Snapshot.load ~path with
+  | Some { Snapshot.run_id; entries = [ e ] }
+    when run_id = b && String.equal e.Snapshot.op op && String.equal e.Snapshot.key_fp fp
+    -> (
+      match e.Snapshot.s_elements with [ s ] -> decode_result s | _ -> None)
+  | _ -> None
+
+(* Committed per-bucket inputs, diffed on the next run for per-bucket
+   delta accounting (key_fp is empty: inputs are key-independent). *)
+let save_inputs ~path ~op b elems =
+  Snapshot.save ~path
+    {
+      Snapshot.run_id = b;
+      entries = [ { Snapshot.op; key_fp = ""; s_elements = elems; r_elements = [] } ];
+    }
+
+let load_inputs ~path ~op b =
+  match Snapshot.load ~path with
+  | Some { Snapshot.run_id; entries = [ e ] }
+    when run_id = b && String.equal e.Snapshot.op op ->
+      Some e.Snapshot.s_elements
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Resume exchange                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Run tokens make cross-party staleness detectable without leaking a
+   commitment to anyone's data: a token is minted fresh every time a
+   party starts an op from scratch (epoch counter + DRBG fork + local
+   fingerprint, hashed), and only reused while resuming that same
+   attempt. If my stored peer token no longer matches what the peer
+   announces, the peer restarted (possibly with different inputs), so
+   my per-bucket results are stale and I start from bucket 0. *)
+let mint_token drbg ~op_index ~fp ~epoch =
+  let bytes =
+    Drbg.generate (Drbg.fork drbg ~label:(Printf.sprintf "shard/op%d/token" op_index)) 16
+  in
+  hex
+    (String.sub
+       (Crypto.Sha256.digest_concat
+          [ "psi:shard-token:v1"; bytes; fp; string_of_int epoch ])
+       0 16)
+
+let next_epoch path =
+  let prev =
+    if Sys.file_exists path then
+      match int_of_string_opt (String.trim (read_file path)) with
+      | Some n when n >= 0 -> n
+      | _ -> 0
+    else 0
+  in
+  let e = prev + 1 in
+  write_file path (string_of_int e);
+  e
+
+type hello = { done_ : int; token : string; peer_token : string }
+
+let resume_tag = "shard/resume"
+
+let send_hello cfg ep h =
+  Channel.send ep
+    (Message.make ~tag:(Protocol.scoped cfg resume_tag)
+       (Message.Elements [ string_of_int h.done_; h.token; h.peer_token ]))
+
+let recv_hello cfg ep =
+  match Protocol.recv_tagged ep (Protocol.scoped cfg resume_tag) with
+  | Message.Elements [ d; token; peer_token ] -> (
+      match int_of_string_opt d with
+      | Some n when n >= 0 && n <= max_buckets -> { done_ = n; token; peer_token }
+      | _ -> failwith "shard resume failed: malformed bucket count")
+  | _ -> failwith "shard resume failed: unexpected message"
+
+(* ------------------------------------------------------------------ *)
+(* Per-bucket sub-protocol plumbing                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* (own entry encoding, protocol kind) of one party's side of an op. *)
+let side_of party op =
+  match (party, op) with
+  | `Sender, Intersect { s_values; _ } -> (`Plain, `K_intersect, s_values)
+  | `Sender, Intersect_size { s_values; _ } -> (`Plain, `K_size, s_values)
+  | `Sender, Equijoin_size { s_values; _ } -> (`Plain, `K_join_size, s_values)
+  | `Receiver, Intersect { r_values; _ } -> (`Plain, `K_intersect, r_values)
+  | `Receiver, Intersect_size { r_values; _ } -> (`Plain, `K_size, r_values)
+  | `Receiver, Equijoin { r_values; _ } -> (`Plain, `K_join, r_values)
+  | `Receiver, Equijoin_size { r_values; _ } -> (`Plain, `K_join_size, r_values)
+  (* Unreachable: entry_seq_of intercepts the equijoin sender before
+     dispatching here. *)
+  | `Sender, Equijoin _ -> invalid_arg "Shard.side_of: equijoin sender"
+
+let entry_seq_of party op =
+  match (party, op) with
+  | `Sender, Equijoin { s_records; _ } ->
+      (`Records, `K_join,
+       List.to_seq s_records |> Seq.map (fun (v, r) -> (v, encode_record (v, r))),
+       s_records <> [])
+  | _ ->
+      let kind, pkind, values = side_of party op in
+      (kind, pkind, List.to_seq values |> Seq.map (fun v -> (v, v)), values <> [])
+
+(* The deduplicated join-attribute values of one bucket — what the
+   incremental layer snapshots and diffs (mirrors Session.op_elements). *)
+let bucket_elements ~kind entries =
+  match kind with
+  | `Plain -> Protocol.dedup entries
+  | `Records -> Protocol.dedup (List.map (fun e -> fst (decode_record e)) entries)
+
+(* Bucket config: tags move into the bucket's namespace ("b<i>", frames
+   are bucket-tagged on the wire); with plan cache, the element cache is
+   a dedicated per-bucket store opened for just this bucket's lifetime. *)
+let bucket_cache_dir dir ~op_index party b =
+  List.fold_left Filename.concat dir
+    [ "cache"; Printf.sprintf "op%d-%s" op_index (party_name party); Printf.sprintf "b%d" b ]
+
+let with_bucket_cfg cfg p ~party ~op_index b f =
+  let cfg = Protocol.with_scope cfg (Protocol.scoped cfg (Printf.sprintf "b%d" b)) in
+  match (p.cache, p.state_dir) with
+  | true, Some dir ->
+      let cdir = bucket_cache_dir dir ~op_index party b in
+      mkdirs cdir;
+      let c = Ecache.open_ ~max_entries:p.cache_max_entries ~dir:cdir () in
+      Fun.protect
+        ~finally:(fun () -> Ecache.close c)
+        (fun () ->
+          let r = f { cfg with Protocol.ecache = Some c } in
+          let st = Ecache.stats c in
+          (r, st.Ecache.hits, st.Ecache.misses))
+  | _ ->
+      let r = f cfg in
+      (r, 0, 0)
+
+let run_sender_bucket cfg ~rng ep ~pkind entries =
+  match pkind with
+  | `K_intersect -> (Intersection.sender cfg ~rng ~values:entries ep).Intersection.ops
+  | `K_size -> (Intersection_size.sender cfg ~rng ~values:entries ep).Intersection_size.ops
+  | `K_join ->
+      (Equijoin.sender cfg ~rng ~records:(List.map decode_record entries) ep).Equijoin.ops
+  | `K_join_size ->
+      (Equijoin_size.sender cfg ~rng ~values:entries ep).Equijoin_size.ops
+
+let run_receiver_bucket cfg ~rng ep ~pkind entries =
+  match pkind with
+  | `K_intersect ->
+      let r = Intersection.receiver cfg ~rng ~values:entries ep in
+      (r.Intersection.ops, Values r.Intersection.intersection)
+  | `K_size ->
+      let r = Intersection_size.receiver cfg ~rng ~values:entries ep in
+      (r.Intersection_size.ops, Size r.Intersection_size.size)
+  | `K_join ->
+      let r = Equijoin.receiver cfg ~rng ~values:entries ep in
+      (r.Equijoin.ops, Matches r.Equijoin.matches)
+  | `K_join_size ->
+      let r = Equijoin_size.receiver cfg ~rng ~values:entries ep in
+      (r.Equijoin_size.ops, Size r.Equijoin_size.join_size)
+
+let add_ops dst (src : Protocol.ops) =
+  dst.Protocol.hashes <- dst.Protocol.hashes + src.Protocol.hashes;
+  dst.Protocol.encryptions <- dst.Protocol.encryptions + src.Protocol.encryptions;
+  dst.Protocol.cipher_ops <- dst.Protocol.cipher_ops + src.Protocol.cipher_ops
+
+(* ------------------------------------------------------------------ *)
+(* The driver                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  buckets : int;
+  sizes : int list;
+  start : int;
+  replayed : int;
+  restored : int;
+  cache_hits : int;
+  cache_misses : int;
+  cold_buckets : int;
+  added : int;
+  removed : int;
+  unchanged : int;
+}
+
+let drive cfg (p : plan) ~drbg ~op_index ~party ep op =
+  let name = op_name op in
+  Obs.Span.with_ ("shard/" ^ name)
+    ~attrs:[ ("buckets", string_of_int p.buckets) ]
+  @@ fun () ->
+  Obs.Metrics.set (Obs.Metrics.gauge "shard.buckets") (float_of_int p.buckets);
+  let dir = p.state_dir in
+  Option.iter mkdirs dir;
+  let kind, pkind, entries, have_input = entry_seq_of party op in
+  let src = make_source cfg p party ~op_index ~kind ~entries ~have_input in
+  let fp = ctx_fp ~op:name ~op_index ~buckets:p.buckets ~party ~input_fp:src.input_fp in
+  (* Own checkpointed progress, valid only for this exact context. *)
+  let raw_done, own_token, stored_peer =
+    match
+      Option.bind dir (fun d ->
+          load_progress ~path:(prog_file d ~op_index party) ~op:name ~buckets:p.buckets
+            ~fp)
+    with
+    | Some (d, tok, ptok) -> (d, Some tok, ptok)
+    | None -> (0, None, "")
+  in
+  (* The receiver only trusts progress it can back with decodable
+     result checkpoints: announce the longest valid prefix. *)
+  let restored_results = Hashtbl.create 8 in
+  let raw_done =
+    match (party, dir) with
+    | `Receiver, Some d when raw_done > 0 ->
+        let rec go b =
+          if b >= raw_done then b
+          else
+            match load_result ~path:(result_file d ~op_index b) ~op:name ~fp b with
+            | Some res ->
+                Hashtbl.add restored_results b res;
+                go (b + 1)
+            | None -> b
+        in
+        go 0
+    | `Receiver, None -> 0
+    | _ -> raw_done
+  in
+  let token =
+    match own_token with
+    | Some t when raw_done > 0 -> t
+    | _ ->
+        let epoch =
+          match dir with
+          | Some d -> next_epoch (epoch_file d ~op_index party)
+          | None -> 0
+        in
+        mint_token drbg ~op_index ~fp ~epoch
+  in
+  (* Resume exchange (receiver sends first, mirroring the session
+     handshake direction). Reveals only bucket-completion counts and
+     opaque run tokens. *)
+  let mine = { done_ = raw_done; token; peer_token = stored_peer } in
+  let theirs =
+    match party with
+    | `Receiver ->
+        send_hello cfg ep mine;
+        recv_hello cfg ep
+    | `Sender ->
+        let t = recv_hello cfg ep in
+        send_hello cfg ep mine;
+        t
+  in
+  (* My checkpoints are valid only if the peer is still the run I made
+     them against; the peer's count only counts if it was made against
+     my current run. Both sides compute both, symmetrically. *)
+  let mine_eff = if String.equal theirs.token stored_peer then raw_done else 0 in
+  let theirs_eff = if String.equal theirs.peer_token token then theirs.done_ else 0 in
+  let start = min mine_eff theirs_eff in
+  if start > 0 then Obs.Metrics.incr m_resumes;
+  let acc = Protocol.new_ops () in
+  let results = Array.make (max p.buckets 1) None in
+  for b = 0 to mine_eff - 1 do
+    results.(b) <- Hashtbl.find_opt restored_results b
+  done;
+  if party = `Receiver && mine_eff > 0 then Obs.Metrics.incr ~by:mine_eff m_restored;
+  let replayed = ref 0 in
+  let cache_hits = ref 0 and cache_misses = ref 0 in
+  let cold_buckets = ref 0 in
+  let added = ref 0 and removed = ref 0 and unchanged = ref 0 in
+  for b = 0 to p.buckets - 1 do
+    let entries = src.fetch b in
+    let elems = bucket_elements ~kind entries in
+    (* Per-bucket delta vs the last committed inputs. *)
+    (match dir with
+    | Some d -> (
+        match load_inputs ~path:(inputs_file d ~op_index party b) ~op:name b with
+        | Some prev ->
+            let a, r, u = diff_counts prev elems in
+            added := !added + a;
+            removed := !removed + r;
+            unchanged := !unchanged + u
+        | None ->
+            incr cold_buckets;
+            added := !added + List.length elems)
+    | None ->
+        incr cold_buckets;
+        added := !added + List.length elems);
+    if b >= start then begin
+      let is_replay = b < mine_eff in
+      if is_replay then begin
+        incr replayed;
+        Obs.Metrics.incr m_replays
+      end;
+      let (res : result option), h, m =
+        with_bucket_cfg cfg p ~party ~op_index b @@ fun bcfg ->
+        Obs.Span.with_
+          (Printf.sprintf "shard/b%d" b)
+          ~attrs:[ ("n", string_of_int (List.length entries)) ]
+        @@ fun () ->
+        let rng =
+          Drbg.to_rng (Drbg.fork drbg ~label:(Printf.sprintf "shard/op%d/b%d" op_index b))
+        in
+        match party with
+        | `Sender ->
+            add_ops acc (run_sender_bucket bcfg ~rng ep ~pkind entries);
+            None
+        | `Receiver ->
+            let o, res = run_receiver_bucket bcfg ~rng ep ~pkind entries in
+            add_ops acc o;
+            Some res
+      in
+      cache_hits := !cache_hits + h;
+      cache_misses := !cache_misses + m;
+      Obs.Metrics.incr m_buckets_run;
+      (match res with
+      | Some r when not is_replay ->
+          (* Idempotent replay: the first completed result wins. *)
+          results.(b) <- Some r;
+          Option.iter
+            (fun d -> save_result ~path:(result_file d ~op_index b) ~op:name ~fp b r)
+            dir
+      | _ -> ());
+      Option.iter
+        (fun d ->
+          save_progress
+            ~path:(prog_file d ~op_index party)
+            ~op:name ~fp
+            ~done_:(max mine_eff (b + 1))
+            ~token ~peer_token:theirs.token)
+        dir
+    end;
+    Option.iter
+      (fun d -> save_inputs ~path:(inputs_file d ~op_index party b) ~op:name b elems)
+      dir
+  done;
+  (* The op completed: crash-recovery state is consumed, never reused
+     as a cross-run memo (a later identical run re-executes the
+     protocol; the element cache is what makes it cheap). *)
+  Option.iter
+    (fun d ->
+      remove_if_exists (prog_file d ~op_index party);
+      if party = `Receiver then
+        for b = 0 to p.buckets - 1 do
+          remove_if_exists (result_file d ~op_index b)
+        done)
+    dir;
+  let stats =
+    {
+      buckets = p.buckets;
+      sizes = Array.to_list src.sizes;
+      start;
+      replayed = !replayed;
+      restored = (if party = `Receiver then mine_eff else 0);
+      cache_hits = !cache_hits;
+      cache_misses = !cache_misses;
+      cold_buckets = !cold_buckets;
+      added = !added;
+      removed = !removed;
+      unchanged = !unchanged;
+    }
+  in
+  (acc, results, stats)
+
+let merge op results =
+  let shape_error () = failwith "shard: per-bucket result shape mismatch" in
+  let all =
+    List.map (function Some r -> r | None -> failwith "shard: missing bucket result")
+      (Array.to_list results)
+  in
+  match op with
+  | Intersect _ ->
+      Values
+        (List.concat_map (function Values vs -> vs | _ -> shape_error ()) all
+        |> List.sort String.compare)
+  | Intersect_size _ | Equijoin_size _ ->
+      Size (List.fold_left (fun n -> function Size s -> n + s | _ -> shape_error ()) 0 all)
+  | Equijoin _ ->
+      Matches
+        (List.concat_map (function Matches ms -> ms | _ -> shape_error ()) all
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let sender_op cfg p ~drbg ?(op_index = 0) ep op =
+  let ops, _, stats = drive cfg p ~drbg ~op_index ~party:`Sender ep op in
+  (ops, stats)
+
+let receiver_op cfg (p : plan) ~drbg ?(op_index = 0) ep op =
+  let ops, results, stats = drive cfg p ~drbg ~op_index ~party:`Receiver ep op in
+  let results = Array.sub results 0 p.buckets in
+  (ops, merge op results, stats)
+
+type report = {
+  result : result;
+  total_bytes : int;
+  ops : Protocol.ops;
+  sender_stats : stats;
+  receiver_stats : stats;
+}
+
+let run cfg ?(seed = "shard") ?(record_views = true) p op =
+  let drbg = Drbg.create ~seed in
+  let s_drbg = Drbg.split drbg ~label:"sender" in
+  let r_drbg = Drbg.split drbg ~label:"receiver" in
+  let s_ep, r_ep = Channel.create () in
+  if not record_views then begin
+    Channel.set_record_views s_ep false;
+    Channel.set_record_views r_ep false
+  end;
+  let o =
+    Wire.Runner.run_on (s_ep, r_ep)
+      ~sender:(fun ep ->
+        Handshake.respond cfg ep;
+        sender_op cfg p ~drbg:s_drbg ep op)
+      ~receiver:(fun ep ->
+        Handshake.initiate cfg ep;
+        receiver_op cfg p ~drbg:r_drbg ep op)
+  in
+  let s_ops, s_stats = o.Wire.Runner.sender_result in
+  let r_ops, result, r_stats = o.Wire.Runner.receiver_result in
+  {
+    result;
+    total_bytes = o.Wire.Runner.total_bytes;
+    ops = Protocol.total s_ops r_ops;
+    sender_stats = s_stats;
+    receiver_stats = r_stats;
+  }

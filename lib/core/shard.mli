@@ -1,0 +1,186 @@
+(** Sharded, streaming execution of the four protocols.
+
+    [Hash_to_group] output is uniform over the group (§3.1 random-oracle
+    assumption), so splitting each party's set into [k] buckets by a
+    prefix of [h(v)] partitions the protocol itself: element [v] lands
+    in the same bucket on both sides (the assignment is a function of
+    the element alone — stable under set order, pool size, and party),
+    hence every intersection/join pair meets inside exactly one bucket
+    and the union of the [k] sub-results equals the monolithic result.
+    Hash collisions land in the same bucket by construction, so the
+    per-bucket §3.2.2 collision check is exactly as strong as the
+    global one.
+
+    What sharding buys, at a precisely characterizable price:
+    {ul
+    {- {b Bounded peak memory.} Buckets stream from an on-disk spill
+       format ({!spill_values}) through encrypt → exchange → match while
+       the next bucket is read ahead ([Parallel.Pipeline]); peak
+       residency is O(n/k), not O(n).}
+    {- {b Per-bucket checkpoints.} With a [state_dir], each completed
+       bucket commits a {!Wire.Snapshot}; a killed run resumes at the
+       first unfinished bucket instead of restarting, and committed
+       per-bucket input snapshots give per-bucket delta accounting for
+       incremental reruns.}
+    {- {b Leakage delta.} The receiver's transcript additionally reveals
+       the [k] bucket sizes of the peer's set (≈ n/k each by hash
+       uniformity) and one constant-shape resume frame per party — and
+       nothing else beyond the monolithic §5 leakage shape. See
+       docs/PROTOCOLS.md, "Sharding and leakage".}} *)
+
+(** One private-database operation — the same shape [Session] exposes
+    (and re-exports from here). *)
+type op =
+  | Intersect of { s_values : string list; r_values : string list }
+  | Intersect_size of { s_values : string list; r_values : string list }
+  | Equijoin of { s_records : (string * string) list; r_values : string list }
+  | Equijoin_size of { s_values : string list; r_values : string list }
+
+type result =
+  | Values of string list
+  | Size of int
+  | Matches of (string * string list) list
+
+(** Stable operation tag, e.g. ["intersect"]. *)
+val op_name : op -> string
+
+(** {1 Plans} *)
+
+type plan
+
+(** Upper bound on [buckets] (4096). *)
+val max_buckets : int
+
+(** [plan ~buckets ()] describes how to shard a run.
+
+    [state_dir] roots the on-disk state: bucket spill files, per-bucket
+    checkpoints ([op<i>-*.prog] / [.result]), committed per-bucket input
+    snapshots ([.inputs]), and per-bucket element caches. Without it the
+    run is sharded purely in memory and cannot resume.
+
+    [cache] (default [false], requires [state_dir]) opens a dedicated
+    {!Ecache} per bucket under [state_dir]/cache, bounded to
+    [cache_max_entries] (default 65536) entries each and closed as soon
+    as its bucket finishes — the memory-bounded warm path at 1M scale.
+    When [false], buckets share whatever [config.ecache] the caller
+    configured.
+
+    [prefetch] (default [true]) reads bucket [b+1] from the spill on a
+    background thread while bucket [b] runs.
+
+    @raise Invalid_argument on [buckets] outside [1 .. max_buckets],
+    [cache] without [state_dir], or [cache_max_entries < 1]. *)
+val plan :
+  ?state_dir:string ->
+  ?cache:bool ->
+  ?cache_max_entries:int ->
+  ?prefetch:bool ->
+  buckets:int ->
+  unit ->
+  plan
+
+val buckets : plan -> int
+val state_dir : plan -> string option
+
+(** [with_default_state_dir plan dir] is [plan] with [state_dir = dir]
+    when the plan has none (how [Session.run_incremental] roots shard
+    state in its cache directory). *)
+val with_default_state_dir : plan -> string -> plan
+
+(** [bucket_of cfg ~buckets v] is [v]'s bucket: the first 64 bits of
+    [h(v)]'s wire encoding, reduced mod [buckets]. A pure function of
+    the element and the config — identical on both parties. *)
+val bucket_of : Protocol.config -> buckets:int -> string -> int
+
+(** {1 Spilling}
+
+    Pre-partition a party's input stream into the plan's on-disk bucket
+    files without ever materializing the whole set. A later
+    {!sender_op}/{!receiver_op} whose own-side list is [[]] runs against
+    the spilled buckets (streaming them back one at a time); a non-empty
+    list always re-spills. Requires a plan with [state_dir]. *)
+
+(** [spill_values cfg plan party ?op_index vs] partitions a value
+    stream; returns the number of elements spilled. *)
+val spill_values :
+  Protocol.config ->
+  plan ->
+  [ `Sender | `Receiver ] ->
+  ?op_index:int ->
+  string Seq.t ->
+  int
+
+(** [spill_records cfg plan party ?op_index rs] partitions an equijoin
+    sender's [(value, record)] stream by value. *)
+val spill_records :
+  Protocol.config ->
+  plan ->
+  [ `Sender | `Receiver ] ->
+  ?op_index:int ->
+  (string * string) Seq.t ->
+  int
+
+(** {1 Driving a sharded operation} *)
+
+(** What one party's sharded run did — resumes, replays, per-bucket
+    cache traffic, and the committed-input delta. *)
+type stats = {
+  buckets : int;
+  sizes : int list;  (** own-partition bucket sizes, in bucket order *)
+  start : int;
+      (** first bucket executed on the wire this call; [> 0] means the
+          run resumed from per-bucket checkpoints *)
+  replayed : int;  (** buckets re-run only to bring the peer forward *)
+  restored : int;  (** receiver: results restored from checkpoint files *)
+  cache_hits : int;  (** per-bucket cache hits (plan [cache] only) *)
+  cache_misses : int;
+  cold_buckets : int;  (** buckets with no usable committed inputs *)
+  added : int;  (** elements new since the committed bucket inputs *)
+  removed : int;
+  unchanged : int;
+}
+
+(** [sender_op cfg plan ~drbg ?op_index ep op] plays S for all [k]
+    buckets of [op] (resume exchange, then bucket [start .. k-1] in
+    order, each under tag scope ["b<i>"] with keys forked from [drbg]
+    per bucket). [op_index] (default 0) separates the state and key
+    derivations of multiple operations in one session. *)
+val sender_op :
+  Protocol.config ->
+  plan ->
+  drbg:Crypto.Drbg.t ->
+  ?op_index:int ->
+  Wire.Channel.endpoint ->
+  op ->
+  Protocol.ops * stats
+
+(** [receiver_op cfg plan ~drbg ?op_index ep op] plays R and merges the
+    per-bucket results (concatenated values re-sorted, sizes summed) —
+    equal to the monolithic result by the bucket-partition argument
+    above. *)
+val receiver_op :
+  Protocol.config ->
+  plan ->
+  drbg:Crypto.Drbg.t ->
+  ?op_index:int ->
+  Wire.Channel.endpoint ->
+  op ->
+  Protocol.ops * result * stats
+
+type report = {
+  result : result;
+  total_bytes : int;
+  ops : Protocol.ops;
+  sender_stats : stats;
+  receiver_stats : stats;
+}
+
+(** [run cfg ?seed plan op] executes one sharded operation in-process
+    (config handshake, then both parties threaded over a memory
+    channel), like [Session.run] but returning shard statistics.
+    [record_views] (default [true]) is passed to
+    {!Wire.Channel.set_record_views}: [false] drops the transcript logs
+    so a million-element run is not re-materialized in memory by its
+    own channel. *)
+val run :
+  Protocol.config -> ?seed:string -> ?record_views:bool -> plan -> op -> report

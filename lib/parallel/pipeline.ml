@@ -1,0 +1,81 @@
+(* Single-slot read-ahead: one background systhread, one mailbox.
+   Systhreads (not pool domains) on purpose — the fetch is I/O-bound
+   (spill reads), and the domain pool must stay free for the crypto
+   chunks the fetched item feeds. *)
+
+type 'a slot = Empty | Full of int * ('a, exn) result
+
+type 'a t = {
+  fetch : int -> 'a;
+  limit : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable slot : 'a slot;
+  mutable fetching : bool;
+}
+
+let protect t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Fetch item [i] on a fresh thread and park it in the slot. One item
+   is in flight at a time ([fetching]), so a crashed fetch can never
+   wedge more than the slot it owns. *)
+let spawn t i =
+  if i < t.limit && not t.fetching then begin
+    t.fetching <- true;
+    ignore
+      (Thread.create
+         (fun () ->
+           let r = try Ok (t.fetch i) with e -> Error e in
+           protect t (fun () ->
+               t.slot <- Full (i, r);
+               t.fetching <- false;
+               Condition.broadcast t.cond))
+         ())
+  end
+
+let create ~fetch ~limit ~start =
+  let t =
+    {
+      fetch;
+      limit;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      slot = Empty;
+      fetching = false;
+    }
+  in
+  protect t (fun () -> spawn t start);
+  t
+
+let next t i =
+  if i < 0 || i >= t.limit then
+    invalid_arg (Printf.sprintf "Pipeline.next: index %d out of bounds" i);
+  let res =
+    protect t (fun () ->
+        let rec wait () =
+          match t.slot with
+          | Full (j, r) when j = i ->
+              t.slot <- Empty;
+              Some r
+          | Full _ ->
+              (* Out-of-order consumer: drop the stale prefetch and read
+                 directly (correct, just not overlapped). *)
+              t.slot <- Empty;
+              None
+          | Empty ->
+              if t.fetching then begin
+                Condition.wait t.cond t.mutex;
+                wait ()
+              end
+              else None
+        in
+        let r = wait () in
+        spawn t (i + 1);
+        r)
+  in
+  match res with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None -> t.fetch i

@@ -1,0 +1,30 @@
+(** Single-slot read-ahead for sequential staged consumption.
+
+    A pipeline wraps a [fetch : int -> 'a] function (typically "read
+    bucket [i] from disk") and keeps exactly one item of lookahead warm
+    on a background thread: while the caller processes item [i], the
+    thread is already fetching item [i+1]. Peak memory is therefore two
+    items — the one in hand and the one in flight — independent of how
+    many items the sequence has, which is what lets the sharded driver
+    stream a million-element spill through encrypt → exchange → match
+    without ever materializing the whole set.
+
+    Items are expected to be consumed in ascending order starting from
+    the index given to {!create}; a {!next} for any other index falls
+    back to a direct (synchronous) fetch, so out-of-order access is
+    correct, just not overlapped. Exceptions raised by [fetch] on the
+    read-ahead thread are re-raised in the caller at the matching
+    {!next}. *)
+
+type 'a t
+
+(** [create ~fetch ~limit ~start] begins fetching item [start] in the
+    background. No thread is spawned when [start >= limit] or lookahead
+    is impossible. [limit] is exclusive: indices [start .. limit-1] are
+    valid. *)
+val create : fetch:(int -> 'a) -> limit:int -> start:int -> 'a t
+
+(** [next t i] returns item [i], waiting for (or directly performing)
+    its fetch, and starts fetching item [i+1] in the background.
+    @raise Invalid_argument if [i] is outside [start .. limit-1]. *)
+val next : 'a t -> int -> 'a

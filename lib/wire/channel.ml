@@ -14,6 +14,7 @@ type endpoint = {
   tr : Transport.t;
   c : counters;
   mutable recv_timeout_s : float option;
+  mutable record_views : bool;
 }
 
 (* Process-wide telemetry (no-ops unless Obs is enabled). *)
@@ -38,7 +39,8 @@ let fresh_counters () =
     received_log = [];
   }
 
-let of_transport tr = { tr; c = fresh_counters (); recv_timeout_s = None }
+let of_transport tr =
+  { tr; c = fresh_counters (); recv_timeout_s = None; record_views = true }
 
 let create () =
   let a, b = Transport.Memory.pair () in
@@ -47,16 +49,28 @@ let create () =
 let transport_name ep = Transport.name ep.tr
 let set_timeout ep t = ep.recv_timeout_s <- t
 
-let record_sent ep m len =
+let set_record_views ep b =
+  ep.record_views <- b;
+  if not b then begin
+    (* Release what was already retained: turning recording off is a
+       memory decision, and a half-kept transcript is useless anyway. *)
+    ep.c.sent_log <- [];
+    ep.c.received_log <- []
+  end
+
+let record_sent_counts ep ~elements len =
   ep.c.messages_sent <- ep.c.messages_sent + 1;
   ep.c.bytes_sent <- ep.c.bytes_sent + len;
-  ep.c.elements_sent <- ep.c.elements_sent + Message.element_count m;
+  ep.c.elements_sent <- ep.c.elements_sent + elements;
   if len > ep.c.max_message_bytes then ep.c.max_message_bytes <- len;
-  ep.c.sent_log <- m :: ep.c.sent_log;
   Obs.Metrics.incr m_messages_sent;
   Obs.Metrics.incr ~by:len m_bytes_sent;
-  Obs.Metrics.incr ~by:(Message.element_count m) m_elements_sent;
+  Obs.Metrics.incr ~by:elements m_elements_sent;
   Obs.Metrics.observe h_message_bytes (float_of_int len)
+
+let record_sent ep m len =
+  record_sent_counts ep ~elements:(Message.element_count m) len;
+  if ep.record_views then ep.c.sent_log <- m :: ep.c.sent_log
 
 let send ep m =
   let bytes = Message.encode m in
@@ -69,10 +83,14 @@ let send ep m =
    length computable upfront. The assembled message still lands in the
    sent log (transcript/leakage tests see the same view either way);
    accounting happens once the frame is fully on the wire. *)
-let send_stream_generic ep ~tag ~kind ~count ~item_len ~encode_item ~to_payload
-    next =
+let send_stream_generic ep ~tag ~kind ~count ~elements_per_item ~item_len
+    ~encode_item ~to_payload next =
   let header = Message.encode_header ~tag ~kind ~count in
   let total = String.length header + (count * item_len) in
+  (* With recording off the items are never retained: each chunk is
+     encoded, handed to the transport, and dropped — the O(count) log
+     copy is exactly what a memory-bounded streaming run can't pay. *)
+  let collect = ep.record_views in
   let collected = ref [] in
   let header_sent = ref false in
   let produce () =
@@ -84,21 +102,24 @@ let send_stream_generic ep ~tag ~kind ~count ~item_len ~encode_item ~to_payload
       match next () with
       | None -> None
       | Some items ->
-          collected := List.rev_append items !collected;
+          if collect then collected := List.rev_append items !collected;
           let w = Buf.writer () in
           List.iter (encode_item w) items;
           Some (Buf.contents w)
   in
   Obs.Span.with_ "wire/send" (fun () -> Transport.send_stream ep.tr ~total produce);
-  let m = Message.make ~tag (to_payload (List.rev !collected)) in
-  record_sent ep m total
+  if collect then
+    let m = Message.make ~tag (to_payload (List.rev !collected)) in
+    record_sent ep m total
+  else record_sent_counts ep ~elements:(count * elements_per_item) total
 
 let check_width ~what ~width s =
   if String.length s <> width then
     invalid_arg (Printf.sprintf "%s: element is not %d bytes" what width)
 
 let send_elements_stream ep ~tag ~width ~count next =
-  send_stream_generic ep ~tag ~kind:0 ~count ~item_len:(Message.field_len width)
+  send_stream_generic ep ~tag ~kind:0 ~count ~elements_per_item:1
+    ~item_len:(Message.field_len width)
     ~encode_item:(fun w s ->
       check_width ~what:"Channel.send_elements_stream" ~width s;
       Buf.write_bytes w s)
@@ -106,7 +127,7 @@ let send_elements_stream ep ~tag ~width ~count next =
     next
 
 let send_pairs_stream ep ~tag ~width ~count next =
-  send_stream_generic ep ~tag ~kind:1 ~count
+  send_stream_generic ep ~tag ~kind:1 ~count ~elements_per_item:2
     ~item_len:(2 * Message.field_len width)
     ~encode_item:(fun w (a, b) ->
       check_width ~what:"Channel.send_pairs_stream" ~width a;
@@ -148,7 +169,7 @@ let recv ?timeout_s ?(max_bytes = max_frame_bytes) ep =
   let m = Message.decode bytes in
   ep.c.messages_received <- ep.c.messages_received + 1;
   ep.c.bytes_received <- ep.c.bytes_received + String.length bytes;
-  ep.c.received_log <- m :: ep.c.received_log;
+  if ep.record_views then ep.c.received_log <- m :: ep.c.received_log;
   m
 
 let close ep =

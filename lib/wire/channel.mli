@@ -24,6 +24,15 @@ val of_transport : Transport.t -> endpoint
     ["socket"], ["fault"]). *)
 val transport_name : endpoint -> string
 
+(** [set_record_views ep false] stops this endpoint from retaining its
+    transcript: {!sent} and {!received} return [[]] (any messages
+    already logged are released), and streamed sends stop keeping the
+    assembled message. Counters in {!stats} are unaffected. The logs are
+    what the security tests inspect, but they hold every element ever
+    exchanged — a memory-bounded run over million-element sets turns
+    them off. Default: [true]. *)
+val set_record_views : endpoint -> bool -> unit
+
 (** [set_timeout ep (Some s)] makes every subsequent {!recv} on [ep]
     fail with {!Errors.Timeout} after [s] seconds without a complete
     message — including when a frame stalls {e mid-transfer}. [None]

@@ -1,0 +1,474 @@
+(* Sharded driver suite: the bucket partition is stable and uniform
+   enough, the sharded result is identical to the monolithic one for
+   all four protocols across bucket counts (deterministic and
+   property-based), spilled inputs stream back to the same answer, a
+   killed run resumes at per-bucket granularity, and the sharded
+   transcript leaks only bucket sizes and a constant-shape resume frame
+   beyond the monolithic shape. *)
+
+module Session = Psi.Session
+module Shard = Psi.Shard
+module P = Psi.Protocol
+module Runner = Wire.Runner
+module Message = Wire.Message
+module Channel = Wire.Channel
+module Fault = Wire.Fault
+module Transport = Wire.Transport
+
+let cfg = P.config ~domain:"shard-test" (Crypto.Group.named Crypto.Group.Test64)
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psi-shard-test-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  let rec rm p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+        Unix.rmdir p
+      end
+      else Sys.remove p
+  in
+  rm d;
+  d
+
+let s_values = [ "apple"; "banana"; "cherry"; "damson"; "elder"; "fig" ]
+let r_values = [ "banana"; "cherry"; "grape"; "fig"; "quince" ]
+let s_records = List.map (fun v -> (v, "row:" ^ v)) s_values
+let s_multiset = "banana" :: "fig" :: "fig" :: s_values
+let r_multiset = "fig" :: r_values
+
+let all_ops =
+  [
+    Session.Intersect { s_values; r_values };
+    Session.Intersect_size { s_values; r_values };
+    Session.Equijoin { s_records; r_values };
+    Session.Equijoin_size { s_values = s_multiset; r_values = r_multiset };
+  ]
+
+let result_equal a b =
+  match (a, b) with
+  | Session.Values x, Session.Values y -> List.equal String.equal x y
+  | Session.Size x, Session.Size y -> Int.equal x y
+  | Session.Matches x, Session.Matches y ->
+      List.equal
+        (fun (v1, r1) (v2, r2) -> String.equal v1 v2 && List.equal String.equal r1 r2)
+        x y
+  | (Session.Values _ | Session.Size _ | Session.Matches _), _ -> false
+
+let result_pp fmt = function
+  | Session.Values vs -> Format.fprintf fmt "Values [%s]" (String.concat "; " vs)
+  | Session.Size n -> Format.fprintf fmt "Size %d" n
+  | Session.Matches ms -> Format.fprintf fmt "Matches (%d values)" (List.length ms)
+
+let result_t = Alcotest.testable result_pp result_equal
+
+(* ------------------------------------------------------------------ *)
+(* Bucket assignment                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_bucket_of_stable () =
+  let vs = List.init 200 (fun i -> Printf.sprintf "elem-%d" i) in
+  List.iter
+    (fun k ->
+      let assign = List.map (Shard.bucket_of cfg ~buckets:k) vs in
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "bucket in range (k=%d)" k)
+            true
+            (b >= 0 && b < k))
+        assign;
+      (* A pure function of the element: recomputing (in any order)
+         gives the same assignment. *)
+      let again = List.rev_map (Shard.bucket_of cfg ~buckets:k) (List.rev vs) in
+      Alcotest.(check (list int)) (Printf.sprintf "stable (k=%d)" k) assign again)
+    [ 1; 2; 4; 16; 64 ]
+
+let test_bucket_of_covers () =
+  (* Hash uniformity: 200 elements over 4 buckets leave none empty. *)
+  let vs = List.init 200 (fun i -> Printf.sprintf "elem-%d" i) in
+  let seen = Array.make 4 0 in
+  List.iter (fun v -> seen.(Shard.bucket_of cfg ~buckets:4 v) <- 1) vs;
+  Alcotest.(check int) "all buckets hit" 4 (Array.fold_left ( + ) 0 seen)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded = monolithic, all four protocols                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_parity_all_protocols () =
+  let plain = Session.run cfg ~seed:"shard-parity" all_ops () in
+  List.iter
+    (fun k ->
+      let sharded =
+        Session.run cfg ~seed:"shard-parity"
+          ~shard:(Shard.plan ~buckets:k ())
+          all_ops ()
+      in
+      Alcotest.(check (list result_t))
+        (Printf.sprintf "results (k=%d)" k)
+        plain.Session.results sharded.Session.results;
+      (* Total crypto work is identical: the partition reshuffles the
+         elements but every element is hashed and encrypted exactly as
+         often as in the monolithic run. *)
+      Alcotest.(check int)
+        (Printf.sprintf "encryptions (k=%d)" k)
+        plain.Session.ops.P.encryptions sharded.Session.ops.P.encryptions)
+    [ 1; 4; 16 ]
+
+let test_parity_with_state_dir () =
+  let plain = Session.run cfg ~seed:"shard-spill-parity" all_ops () in
+  let dir = fresh_dir () in
+  let sharded =
+    Session.run cfg ~seed:"shard-spill-parity"
+      ~shard:(Shard.plan ~state_dir:dir ~buckets:5 ())
+      all_ops ()
+  in
+  Alcotest.(check (list result_t)) "results" plain.Session.results sharded.Session.results
+
+let test_shard_run_report () =
+  let r =
+    Shard.run cfg ~seed:"shard-report"
+      (Shard.plan ~buckets:4 ())
+      (Shard.Intersect { s_values; r_values })
+  in
+  (match r.Shard.result with
+  | Shard.Values vs ->
+      Alcotest.(check (list string)) "intersection" [ "banana"; "cherry"; "fig" ] vs
+  | _ -> Alcotest.fail "expected Values");
+  let st = r.Shard.receiver_stats in
+  Alcotest.(check int) "buckets" 4 st.Shard.buckets;
+  Alcotest.(check int)
+    "sizes sum to |V_R|"
+    (List.length (P.dedup r_values))
+    (List.fold_left ( + ) 0 st.Shard.sizes);
+  Alcotest.(check int) "cold run starts at 0" 0 st.Shard.start
+
+(* Property: for random sets and bucket counts, the sharded
+   intersection equals the plaintext oracle (hence also the monolithic
+   protocol, which the psi suite pins to the oracle). *)
+let value_gen =
+  QCheck.Gen.(map (Printf.sprintf "v%d") (int_bound 60))
+
+let sets_gen =
+  QCheck.Gen.(
+    triple (list_size (int_bound 25) value_gen) (list_size (int_bound 25) value_gen)
+      (oneofl [ 1; 3; 4; 7; 16 ]))
+
+let prop_sharded_intersection =
+  QCheck.Test.make ~count:30 ~name:"sharded intersection = oracle"
+    (QCheck.make ~print:(fun (s, r, k) ->
+         Printf.sprintf "s=[%s] r=[%s] k=%d" (String.concat ";" s) (String.concat ";" r) k)
+       sets_gen)
+    (fun (s, r, k) ->
+      let oracle =
+        let sr = List.sort_uniq String.compare r in
+        List.filter (fun x -> List.mem x sr) (List.sort_uniq String.compare s)
+      in
+      let rep =
+        Shard.run cfg ~seed:"qc" (Shard.plan ~buckets:k ())
+          (Shard.Intersect { s_values = s; r_values = r })
+      in
+      rep.Shard.result = Shard.Values oracle)
+
+let prop_sharded_join_size =
+  QCheck.Test.make ~count:15 ~name:"sharded equijoin size = oracle"
+    (QCheck.make ~print:(fun (s, r, k) ->
+         Printf.sprintf "s=[%s] r=[%s] k=%d" (String.concat ";" s) (String.concat ";" r) k)
+       sets_gen)
+    (fun (s, r, k) ->
+      let oracle =
+        List.fold_left
+          (fun n v -> n + List.length (List.filter (String.equal v) s))
+          0 r
+      in
+      let rep =
+        Shard.run cfg ~seed:"qc-js" (Shard.plan ~buckets:k ())
+          (Shard.Equijoin_size { s_values = s; r_values = r })
+      in
+      rep.Shard.result = Shard.Size oracle)
+
+(* ------------------------------------------------------------------ *)
+(* Spilled inputs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_spill_then_stream () =
+  let dir = fresh_dir () in
+  let plan = Shard.plan ~state_dir:dir ~buckets:6 () in
+  let ns = Shard.spill_values cfg plan `Sender (List.to_seq s_values) in
+  let nr = Shard.spill_values cfg plan `Receiver (List.to_seq r_values) in
+  Alcotest.(check int) "sender spill count" (List.length s_values) ns;
+  Alcotest.(check int) "receiver spill count" (List.length r_values) nr;
+  (* Empty op-side lists: the driver streams the spilled buckets. *)
+  let rep =
+    Shard.run cfg ~seed:"spill" plan (Shard.Intersect { s_values = []; r_values = [] })
+  in
+  Alcotest.(check result_t) "result from spill"
+    (Shard.Values [ "banana"; "cherry"; "fig" ])
+    rep.Shard.result;
+  (* And a run with explicit lists over the same plan re-spills. *)
+  let rep2 = Shard.run cfg ~seed:"spill" plan (Shard.Intersect { s_values; r_values }) in
+  Alcotest.(check result_t) "result re-spilled" rep.Shard.result rep2.Shard.result
+
+let test_spill_records () =
+  let dir = fresh_dir () in
+  let plan = Shard.plan ~state_dir:dir ~buckets:3 () in
+  let n = Shard.spill_records cfg plan `Sender (List.to_seq s_records) in
+  Alcotest.(check int) "records spilled" (List.length s_records) n;
+  let rep =
+    Shard.run cfg ~seed:"spill-rec" plan (Shard.Equijoin { s_records = []; r_values }) in
+  match rep.Shard.result with
+  | Shard.Matches ms ->
+      Alcotest.(check (list string)) "matched values" [ "banana"; "cherry"; "fig" ]
+        (List.map fst ms);
+      List.iter
+        (fun (v, rows) ->
+          Alcotest.(check (list string)) ("rows of " ^ v) [ "row:" ^ v ] rows)
+        ms
+  | _ -> Alcotest.fail "expected Matches"
+
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions over shards                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_incremental_sharded_warm () =
+  let dir = fresh_dir () in
+  let shard = Shard.plan ~buckets:4 () in
+  let run () =
+    Session.run_incremental cfg ~seed:"inc-shard" ~cache_dir:dir ~shard all_ops ()
+  in
+  let cold = run () in
+  let warm = run () in
+  Alcotest.(check (list result_t)) "warm = cold" cold.Session.report.Session.results
+    warm.Session.report.Session.results;
+  Alcotest.(check bool) "first run cold" true cold.Session.incremental.Session.cold;
+  Alcotest.(check bool) "second run warm" false warm.Session.incremental.Session.cold;
+  Alcotest.(check int) "no new elements" 0 warm.Session.incremental.Session.added;
+  (* O(|Δ|): the warm run answers its encryptions from the cache. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "warm hits (%d) cover most crypto" warm.Session.incremental.Session.hits)
+    true
+    (warm.Session.incremental.Session.hits > 0
+    && warm.Session.incremental.Session.misses = 0)
+
+let test_incremental_per_bucket_cache () =
+  let dir = fresh_dir () in
+  let shard = Shard.plan ~buckets:4 ~state_dir:(Filename.concat dir "st") ~cache:true () in
+  let run () =
+    Session.run_incremental cfg ~seed:"inc-shard-pb" ~cache_dir:dir ~shard
+      [ Session.Intersect { s_values; r_values } ]
+      ()
+  in
+  let cold = run () in
+  let warm = run () in
+  Alcotest.(check (list result_t)) "warm = cold" cold.Session.report.Session.results
+    warm.Session.report.Session.results
+
+(* ------------------------------------------------------------------ *)
+(* Kill mid-bucket, resume from per-bucket checkpoints                 *)
+(* ------------------------------------------------------------------ *)
+
+let resilience =
+  { Session.max_attempts = 60; backoff_s = 0.; max_backoff_s = 0.; recv_timeout_s = Some 5. }
+
+let faulty_connect plan_of ~attempt =
+  let a, b = Transport.Memory.pair () in
+  let (fa, fb), _stats = Fault.wrap_pair (plan_of attempt) (a, b) in
+  (Channel.of_transport fa, Channel.of_transport fb)
+
+let test_killed_mid_bucket_resumes () =
+  let dir = fresh_dir () in
+  let shard = Shard.plan ~state_dir:dir ~buckets:8 () in
+  let plain = Session.run cfg ~seed:"shard-kill" [ List.hd all_ops ] () in
+  let resumes = Obs.Metrics.counter "shard.resumes" in
+  let buckets_run = Obs.Metrics.counter "shard.buckets_run" in
+  let before_resumes = Obs.Metrics.counter_value resumes in
+  let before_buckets = Obs.Metrics.counter_value buckets_run in
+  (* Cut the connection a few frames further along on each attempt, so
+     the run dies mid-op several times before completing. (Telemetry on:
+     the per-bucket skip assertions read the shard counters.) *)
+  let r =
+    Obs.Runtime.with_enabled @@ fun () ->
+    Session.run_resilient ~resilience cfg ~seed:"shard-kill" ~shard
+      ~connect:
+        (faulty_connect (fun attempt ->
+             Fault.plan ~cut_after:(4 + (3 * attempt)) ~seed:"kill-mid-bucket" ()))
+      [ List.hd all_ops ]
+  in
+  Alcotest.(check (list result_t)) "results" plain.Session.results
+    r.Session.report.Session.results;
+  Alcotest.(check bool) "reconnected at least once" true (r.Session.attempts >= 2);
+  Alcotest.(check bool) "resumed from per-bucket checkpoints" true
+    (Obs.Metrics.counter_value resumes > before_resumes);
+  (* Per-bucket granularity: resuming attempts skip completed buckets,
+     so strictly fewer buckets execute than attempts * k. *)
+  let ran = Obs.Metrics.counter_value buckets_run - before_buckets in
+  Alcotest.(check bool)
+    (Printf.sprintf "skipped completed buckets (%d ran over %d attempts)" ran
+       r.Session.attempts)
+    true
+    (ran < 8 * r.Session.attempts)
+
+let test_killed_state_is_consumed () =
+  (* After a completed run, no progress or result checkpoints remain:
+     crash-recovery state must never act as a cross-run memo. *)
+  let dir = fresh_dir () in
+  let shard = Shard.plan ~state_dir:dir ~buckets:4 () in
+  let _ = Session.run cfg ~seed:"consumed" ~shard [ List.hd all_ops ] () in
+  let leftovers =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".prog" || Filename.check_suffix f ".result")
+  in
+  Alcotest.(check (list string)) "no checkpoint leftovers" [] leftovers;
+  (* Changing the peer's set between runs must change the result — the
+     receiver may not replay a checkpointed bucket result. *)
+  let r2 =
+    Session.run cfg ~seed:"consumed" ~shard
+      [ Session.Intersect { s_values = [ "banana" ]; r_values } ]
+      ()
+  in
+  Alcotest.(check (list result_t)) "fresh result, not memo"
+    [ Session.Values [ "banana" ] ]
+    r2.Session.results
+
+(* ------------------------------------------------------------------ *)
+(* Leakage shape                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* What §5 + sharding permits the transcript to reveal: every message is
+   either the handshake, one constant-shape resume frame per party, or
+   a monolithic protocol message re-tagged into a bucket namespace
+   [b<i>/...]. Beyond the monolithic shape, the only new information is
+   the per-bucket element counts (bucket sizes) and the bucket count
+   itself. *)
+let test_leakage_shape () =
+  let k = 4 in
+  let op = Session.Intersect { s_values; r_values } in
+  let mono = Session.run cfg ~seed:"leak" [ op ] () in
+  ignore mono;
+  let mono_view =
+    Runner.run
+      ~sender:(fun ep ->
+        Psi.Handshake.respond cfg ep;
+        Session.sender_op cfg
+          ~rng:(Crypto.Drbg.to_rng (Crypto.Drbg.create ~seed:"leak-mono-s"))
+          ep op)
+      ~receiver:(fun ep ->
+        Psi.Handshake.initiate cfg ep;
+        Session.receiver_op cfg
+          ~rng:(Crypto.Drbg.to_rng (Crypto.Drbg.create ~seed:"leak-mono-r"))
+          ep op)
+  in
+  let mono_tags =
+    List.map (fun m -> m.Message.tag) (mono_view.Runner.sender_view @ mono_view.Runner.receiver_view)
+    |> List.filter (fun t -> t <> "handshake/config")
+    |> List.sort_uniq String.compare
+  in
+  let plan = Shard.plan ~buckets:k () in
+  let o =
+    Runner.run
+      ~sender:(fun ep ->
+        Psi.Handshake.respond cfg ep;
+        Shard.sender_op cfg plan ~drbg:(Crypto.Drbg.create ~seed:"leak-s") ep
+          (Shard.Intersect { s_values; r_values }))
+      ~receiver:(fun ep ->
+        Psi.Handshake.initiate cfg ep;
+        Shard.receiver_op cfg plan ~drbg:(Crypto.Drbg.create ~seed:"leak-r") ep
+          (Shard.Intersect { s_values; r_values }))
+  in
+  let check_view who view =
+    let resume = List.filter (fun m -> m.Message.tag = "shard/resume") view in
+    (* Exactly one resume frame per party, of constant shape: three
+       fields regardless of inputs or progress. *)
+    Alcotest.(check int) (who ^ ": one resume frame") 1 (List.length resume);
+    List.iter
+      (fun m ->
+        Alcotest.(check int) (who ^ ": resume frame shape") 3 (Message.element_count m))
+      resume;
+    List.iter
+      (fun m ->
+        let tag = m.Message.tag in
+        if tag <> "handshake/config" && tag <> "shard/resume" then begin
+          (* Every other message lives in a bucket namespace and, with
+             the prefix stripped, is a monolithic protocol tag. *)
+          match String.index_opt tag '/' with
+          | None -> Alcotest.failf "%s: unscoped tag %s" who tag
+          | Some i ->
+              let prefix = String.sub tag 0 i in
+              let rest = String.sub tag (i + 1) (String.length tag - i - 1) in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %s is a bucket namespace" who prefix)
+                true
+                (String.length prefix >= 2
+                && prefix.[0] = 'b'
+                &&
+                match int_of_string_opt (String.sub prefix 1 (String.length prefix - 1)) with
+                | Some b -> b >= 0 && b < k
+                | None -> false);
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %s beyond monolithic shape" who rest)
+                true
+                (List.mem rest mono_tags)
+        end)
+      view
+  in
+  check_view "sender" o.Runner.sender_view;
+  check_view "receiver" o.Runner.receiver_view;
+  (* The per-bucket counts the receiver sees sum to what the monolithic
+     transcript already revealed: |V_S|. The split itself (bucket
+     sizes) is the documented §5 delta. *)
+  let y_s_counts =
+    List.filter_map
+      (fun m ->
+        if Filename.check_suffix m.Message.tag "intersection/Y_S" then
+          Some (Message.element_count m)
+        else None)
+      o.Runner.receiver_view
+  in
+  Alcotest.(check int) "bucket sizes sum to |V_S|"
+    (List.length (P.dedup s_values))
+    (List.fold_left ( + ) 0 y_s_counts)
+
+let () =
+  QCheck_base_runner.set_seed 20260809;
+  Alcotest.run "shard"
+    [
+      ( "bucket",
+        [
+          Alcotest.test_case "assignment stable and in range" `Quick test_bucket_of_stable;
+          Alcotest.test_case "assignment covers buckets" `Quick test_bucket_of_covers;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "all four protocols, k in {1,4,16}" `Quick
+            test_parity_all_protocols;
+          Alcotest.test_case "with spill state_dir" `Quick test_parity_with_state_dir;
+          Alcotest.test_case "shard report" `Quick test_shard_run_report;
+          QCheck_alcotest.to_alcotest prop_sharded_intersection;
+          QCheck_alcotest.to_alcotest prop_sharded_join_size;
+        ] );
+      ( "spill",
+        [
+          Alcotest.test_case "spill then stream" `Quick test_spill_then_stream;
+          Alcotest.test_case "spill records" `Quick test_spill_records;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "sharded warm run" `Quick test_incremental_sharded_warm;
+          Alcotest.test_case "per-bucket caches" `Quick test_incremental_per_bucket_cache;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "killed mid-bucket resumes" `Quick
+            test_killed_mid_bucket_resumes;
+          Alcotest.test_case "checkpoints are consumed" `Quick test_killed_state_is_consumed;
+        ] );
+      ( "leakage",
+        [ Alcotest.test_case "shape delta is bucket sizes only" `Quick test_leakage_shape ] );
+    ]

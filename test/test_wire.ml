@@ -542,6 +542,36 @@ let test_stream_over_socket () =
     (Message.size plain)
     (Channel.stats a).Channel.bytes_sent
 
+let test_record_views_off () =
+  let a, b = Channel.create () in
+  Channel.send a m1;
+  ignore (Channel.recv b);
+  Channel.set_record_views a false;
+  Channel.set_record_views b false;
+  (* Turning recording off also releases what was already logged. *)
+  Alcotest.(check (list msg)) "sent log released" [] (Channel.sent a);
+  Alcotest.(check (list msg)) "received log released" [] (Channel.received b);
+  let width = 5 in
+  let els = List.init 8 (fun i -> Printf.sprintf "%05d" i) in
+  let plain = Message.make ~tag:"ys" (Message.Elements els) in
+  Channel.send a m2;
+  Channel.send_elements_stream a ~tag:"ys" ~width ~count:(List.length els)
+    (chunked 3 els);
+  Alcotest.check msg "plain frame unaffected" m2 (Channel.recv b);
+  Alcotest.check msg "streamed frame byte-identical with logs off" plain
+    (Channel.recv b);
+  Alcotest.(check (list msg)) "nothing new logged on a" [] (Channel.sent a);
+  Alcotest.(check (list msg)) "nothing new logged on b" [] (Channel.received b);
+  (* Counters keep full fidelity either way. *)
+  let st = Channel.stats a in
+  Alcotest.(check int) "messages counted" 3 st.Channel.messages_sent;
+  Alcotest.(check int) "elements counted"
+    (Message.element_count m1 + Message.element_count m2 + List.length els)
+    st.Channel.elements_sent;
+  Alcotest.(check int) "bytes counted"
+    (Message.size m1 + Message.size m2 + Message.size plain)
+    st.Channel.bytes_sent
+
 let fault_pair plan =
   let a, b = Transport.Memory.pair () in
   let (fa, fb), stats = Fault.wrap_pair plan (a, b) in
@@ -698,6 +728,7 @@ let () =
           Alcotest.test_case "FIFO order" `Quick test_channel_order;
           Alcotest.test_case "stats" `Quick test_channel_stats;
           Alcotest.test_case "transcripts" `Quick test_channel_transcripts;
+          Alcotest.test_case "record views off" `Quick test_record_views_off;
           Alcotest.test_case "close unblocks" `Quick test_channel_close_unblocks;
           Alcotest.test_case "oversized frame" `Quick test_channel_oversized_frame;
           Alcotest.test_case "cross-thread" `Quick test_channel_threads;

@@ -10,17 +10,16 @@
 set -eu
 
 regress=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
-obs=$2
-par=$3
-incr=$4
+shift
+# Remaining args: BENCH_obs BENCH_parallel BENCH_incremental [BENCH_sharded]
 
 echo "== bench gate: committed BENCH files =="
-"$regress" "$obs" "$par" "$incr"
+"$regress" "$@"
 
 echo
 echo "== bench gate: injected 2x slowdown (must fail) =="
 status=0
-"$regress" "$obs" "$par" "$incr" --inject-slowdown 2 || status=$?
+"$regress" "$@" --inject-slowdown 2 || status=$?
 case $status in
   0)
     echo "bench gate: regress did NOT fail under an injected 2x slowdown" >&2

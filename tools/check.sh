@@ -21,6 +21,7 @@ dune build @net-smoke
 dune build @service-smoke
 dune build @par-smoke
 dune build @cache-smoke
+dune build @shard-smoke
 dune build @trace-smoke
 dune build @lint
 dune build @lint-selfcheck
