@@ -45,16 +45,78 @@ let throughput () =
       (* Parity is the whole point: same elements in the same order. *)
       assert (List.for_all2 Crypto.Group.equal_elt expected got);
       let eps = float_of_int n /. dt in
-      Printf.printf "jobs=%d: %6d modexps in %6.1f ms = %8.0f/s\n%!" jobs n
-        (1000. *. dt) eps;
+      Printf.printf "jobs=%d: %6d modexps in %6.1f ms = %8.0f/s [%s]\n%!" jobs n
+        (1000. *. dt) eps
+        (Crypto.Group.kernel_name group);
       Json.Obj
         [
           ("jobs", Json.of_int jobs);
+          ("kernel", Json.Str (Crypto.Group.kernel_name group));
           ("modexps", Json.of_int n);
           ("seconds", Json.of_float dt);
           ("modexps_per_s", Json.of_float eps);
         ])
     jobs_list
+
+(* ------------------------------------------------------------------ *)
+(* Kernel ablation: the same 256-bit modexp workload through each      *)
+(* Montgomery kernel — generic 26-bit, fixed-width single-call, and    *)
+(* the batched multi-exponentiation path. Single-threaded, best of 3,  *)
+(* so the rows isolate kernel cost from pool scheduling and box noise. *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  hr "montgomery kernel ablation (Test256, single core, best of 3)";
+  let n = if quick then 500 else 2_000 in
+  let reps = 3 in
+  let p256 = Crypto.Group.p group in
+  (* Fresh contexts: Group.named memoizes, and the generic row needs a
+     context built under force_generic. *)
+  let g_fixed = Crypto.Group.of_prime p256 in
+  let g_generic =
+    Bignum.Modular.Mont.set_force_generic true;
+    Fun.protect
+      ~finally:(fun () -> Bignum.Modular.Mont.set_force_generic false)
+      (fun () -> Crypto.Group.of_prime p256)
+  in
+  let key = Crypto.Commutative.gen_key g_fixed ~rng in
+  let w = Crypto.Group.precompute_exp (Crypto.Commutative.exponent key) in
+  let xs = List.init n (fun _ -> Crypto.Group.random_element g_fixed ~rng) in
+  let expected = List.map (fun x -> Crypto.Group.pow_pre g_fixed x w) xs in
+  let row name g f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = now_s () in
+      let got = f g in
+      let dt = now_s () -. t0 in
+      assert (List.for_all2 Crypto.Group.equal_elt expected got);
+      if dt < !best then best := dt
+    done;
+    let eps = float_of_int n /. !best in
+    Printf.printf "%-22s %6d modexps in %6.1f ms = %8.0f/s [%s]\n%!" name n
+      (1000. *. !best) eps
+      (Crypto.Group.kernel_name g);
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("kernel", Json.Str (Crypto.Group.kernel_name g));
+        ("modexps", Json.of_int n);
+        ("seconds", Json.of_float !best);
+        ("modexps_per_s", Json.of_float eps);
+      ]
+  in
+  let generic =
+    row "abl/mont-generic-256" g_generic (fun g ->
+        List.map (fun x -> Crypto.Group.pow_pre g x w) xs)
+  in
+  let fixed =
+    row "abl/mont-fixed-256" g_fixed (fun g ->
+        List.map (fun x -> Crypto.Group.pow_pre g x w) xs)
+  in
+  let batch =
+    row "abl/mont-batch-256" g_fixed (fun g -> Crypto.Group.pow_batch g xs w)
+  in
+  [ generic; fixed; batch ]
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end: intersection session over memory and socket transports. *)
@@ -143,6 +205,7 @@ let () =
        sequential path, so the ~1.0x speedups below measure the host, not \
        a regression (BENCH_parallel.json records \"degraded\": true)\n%!";
   let raw = throughput () in
+  let abl = ablation () in
   let e2e = end_to_end () in
   let mem_measured =
     List.filter_map
@@ -159,6 +222,7 @@ let () =
         ("group", Json.Str "test256");
         ("jobs", Json.Arr (List.map Json.of_int jobs_list));
         ("throughput", Json.Arr raw);
+        ("ablation", Json.Arr abl);
         ("end_to_end", Json.Arr (List.map snd e2e));
         ("speedup_table", Psi.Obs_report.speedup_to_json rows);
       ])

@@ -36,8 +36,8 @@ let now_s () = Int64.to_float (Obs.Clock.now_ns ()) *. 1e-9
 
 (* ---------------- argv ---------------- *)
 
-let files, inject =
-  let files = ref [] and inject = ref 1.0 in
+let files, inject, check_bench =
+  let files = ref [] and inject = ref 1.0 and check_bench = ref false in
   let rec parse = function
     | [] -> ()
     | "--inject-slowdown" :: f :: rest ->
@@ -50,18 +50,23 @@ let files, inject =
     | "--inject-slowdown" :: [] ->
         Printf.eprintf "regress: --inject-slowdown needs a factor\n";
         exit 2
+    | "--check-bench" :: rest ->
+        check_bench := true;
+        parse rest
     | arg :: rest ->
         files := arg :: !files;
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
   match List.rev !files with
-  | [ obs; par; incr ] -> ((obs, par, incr, None), !inject)
-  | [ obs; par; incr; sharded ] -> ((obs, par, incr, Some sharded), !inject)
+  | [ obs; par; incr ] -> ((obs, par, incr, None), !inject, !check_bench)
+  | [ obs; par; incr; sharded ] ->
+      ((obs, par, incr, Some sharded), !inject, !check_bench)
   | _ ->
       Printf.eprintf
         "usage: regress BENCH_obs.json BENCH_parallel.json \
-         BENCH_incremental.json [BENCH_sharded.json] [--inject-slowdown F]\n";
+         BENCH_incremental.json [BENCH_sharded.json] [--inject-slowdown F] \
+         [--check-bench]\n";
       exit 2
 
 let slack =
@@ -133,34 +138,67 @@ let skip ~label why = Printf.printf "skip %-42s %s\n%!" label why
 
 (* A committed BENCH file whose git_rev is not an ancestor of HEAD was
    measured on a line of history this tree never saw — stale after a
-   rebase, or imported from a fork. The numbers may still be honest, so
-   this only warns; the tolerance checks below still gate. *)
+   rebase, or imported from a fork. By default this only warns (the
+   numbers may still be honest, and the tolerance checks below still
+   gate); under --check-bench it is a failure, because a file that
+   predates the code it claims to measure — e.g. a pre-kernel
+   BENCH_parallel.json left behind after the Montgomery-kernel work —
+   makes every floor derived from it meaningless. *)
 let warn_foreign_rev path =
+  let lodge ~label detail =
+    if check_bench then check ~label false detail
+    else Printf.printf "warn %-42s %s\n%!" label detail
+  in
   let j = load path in
+  let label = Filename.basename path in
   match Option.bind (Json.member "git_rev" j) Json.to_str with
-  | None | Some "unknown" ->
-      Printf.printf "warn %-42s committed file has no usable git_rev\n%!"
-        (Filename.basename path)
+  | None | Some "unknown" -> lodge ~label "committed file has no usable git_rev"
   | Some rev ->
       let hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') in
       if not (String.length rev > 0 && String.for_all hex rev) then
-        Printf.printf "warn %-42s malformed git_rev %S\n%!"
-          (Filename.basename path) rev
+        lodge ~label (Printf.sprintf "malformed git_rev %S" rev)
       else begin
         let cmd =
           Printf.sprintf "git merge-base --is-ancestor %s HEAD 2>/dev/null" rev
         in
         match Sys.command cmd with
-        | 0 -> ()
+        | 0 ->
+            if check_bench then
+              check ~label:(label ^ " git_rev") true ("ancestor " ^ rev)
         | 1 ->
-            Printf.printf
-              "warn %-42s git_rev %s is not an ancestor of HEAD (stale or \
-               foreign measurements)\n%!"
-              (Filename.basename path) rev
+            lodge ~label
+              (Printf.sprintf
+                 "git_rev %s is not an ancestor of HEAD (stale or foreign \
+                  measurements)"
+                 rev)
         | _ ->
             (* No git / not a repo / unreachable object: nothing to say. *)
             ()
       end
+
+(* --check-bench also pins the regenerated files' schema to the current
+   bench code: every BENCH_parallel throughput row must say which
+   Montgomery kernel produced it, otherwise the file predates the
+   kernel split and its numbers are not comparable. *)
+let check_bench_schema path =
+  if check_bench then begin
+    let j = load path in
+    let rows = get_arr path j "throughput" in
+    let missing =
+      List.filter
+        (fun r ->
+          match Option.bind (Json.member "kernel" r) Json.to_str with
+          | Some _ -> false
+          | None -> true)
+        rows
+    in
+    check
+      ~label:(Filename.basename path ^ " kernel fields")
+      (missing = [])
+      (Printf.sprintf "%d/%d throughput rows carry a kernel field"
+         (List.length rows - List.length missing)
+         (List.length rows))
+  end
 
 (* Wall-clock checks only mean something when the committed numbers come
    from a box with the same parallelism. *)
@@ -414,6 +452,7 @@ let () =
       inject;
   List.iter warn_foreign_rev
     (obs :: par :: incr :: Option.to_list sharded);
+  check_bench_schema par;
   (* Wall-clock first: the obs count rerun pegs the CPU for long
      enough that a shared host throttles whatever is timed after it. *)
   check_modexp par;

@@ -135,6 +135,15 @@ let report_workers ~trace jobs =
       (if effective = 1 then " — sequential path" else "")
   end
 
+(* Which Montgomery kernel the group's context selected: the fixed-width
+   kernels (fixed-256/1536/2048) only change wall-clock, never the wire,
+   so the choice is invisible everywhere except here and the bench
+   ablation rows. Printed under --trace next to the workers line. *)
+let report_kernel ~trace g =
+  if trace then
+    Printf.eprintf "kernel: %s (modulus %d bits)\n%!" (Crypto.Group.kernel_name g)
+      (Crypto.Group.modulus_bits g)
+
 (* Wrap a command body in span collection; the report goes to stderr so
    stdout stays pipeable. With [out] set, the run's telemetry (header +
    spans + counters) is also written as JSONL for psi_trace. While
@@ -314,6 +323,7 @@ let run_intersect group seed jobs buckets spill_dir op csv_s csv_r attr cache de
     fresh_keys trace trace_out =
   let cfg = Psi.Protocol.config ~workers:jobs ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
   report_workers ~trace jobs;
+  report_kernel ~trace (Crypto.Group.named group);
   report_buckets ~trace buckets spill_dir;
   with_trace ?out:trace_out trace @@ fun () ->
   let shard = shard_plan_of ~buckets ~spill_dir in
@@ -577,6 +587,7 @@ let run_net group seed jobs buckets spill_dir listen connect csv attr op max_con
     timeout trace trace_out =
   let cfg = Psi.Protocol.config ~workers:jobs ~domain:("csv:" ^ attr) (Crypto.Group.named group) in
   report_workers ~trace jobs;
+  report_kernel ~trace (Crypto.Group.named group);
   report_buckets ~trace buckets spill_dir;
   with_trace ?out:trace_out trace @@ fun () ->
   let shard = shard_plan_of ~buckets ~spill_dir in
@@ -809,6 +820,7 @@ let run_medical group seed jobs table_r table_s trace =
   let cfg = Psi.Protocol.config ~workers:jobs ~domain:"medical:person_id" (Crypto.Group.named group) in
   let t_r = Minidb.Csv.load table_r and t_s = Minidb.Csv.load table_s in
   report_workers ~trace jobs;
+  report_kernel ~trace (Crypto.Group.named group);
   with_trace trace @@ fun () ->
   let report = Psi.Medical.run cfg ~seed ~t_r ~t_s () in
   let c = report.Psi.Medical.counts in

@@ -35,7 +35,11 @@ let inv_exn a m =
   | None -> invalid_arg "Modular.inv_exn: not invertible"
 
 module Mont = struct
-  type ctx = {
+  (* ================================================================== *)
+  (* Generic kernel: 26-bit limbs (Nat's native base), any odd modulus.  *)
+  (* ================================================================== *)
+
+  type gctx = {
     m : Nat.t;
     ml : int array; (* modulus limbs, length n *)
     n : int;
@@ -44,14 +48,12 @@ module Mont = struct
     one_m : int array; (* 1 in Montgomery form (= base^n mod m), n limbs *)
   }
 
-  let modulus ctx = ctx.m
-
   (* Montgomery product into [dst] (CIOS): dst <- a*b*base^(-n) mod m.
      [t] is caller-provided scratch of length >= n+2 (zeroed here);
      [dst] must not alias [a] or [b]. *)
-  let mont_mul_into ctx (t : int array) (a : int array) (b : int array)
+  let mont_mul_into gctx (t : int array) (a : int array) (b : int array)
       (dst : int array) =
-    let n = ctx.n and ml = ctx.ml and m' = ctx.m' in
+    let n = gctx.n and ml = gctx.ml and m' = gctx.m' in
     Array.fill t 0 (n + 2) 0;
     for i = 0 to n - 1 do
       let ai = a.(i) in
@@ -106,10 +108,10 @@ module Mont = struct
     else Array.blit t 0 dst 0 n
 
   (* Montgomery product of two n-limb arrays; fresh result array. *)
-  let mont_mul ctx (a : int array) (b : int array) : int array =
-    let t = Array.make (ctx.n + 2) 0 in
-    let dst = Array.make ctx.n 0 in
-    mont_mul_into ctx t a b dst;
+  let mont_mul gctx (a : int array) (b : int array) : int array =
+    let t = Array.make (gctx.n + 2) 0 in
+    let dst = Array.make gctx.n 0 in
+    mont_mul_into gctx t a b dst;
     dst
 
   (* Full 2n-limb square of an n-limb array into [t] (length 2n+1),
@@ -148,8 +150,8 @@ module Mont = struct
 
   (* Montgomery reduction of the 2n+1-limb product in [t] into the
      n-limb [dst]: dst <- t * base^(-n) mod m. Destroys [t]. *)
-  let mont_reduce_into ctx (t : int array) (dst : int array) =
-    let n = ctx.n and ml = ctx.ml and m' = ctx.m' in
+  let mont_reduce_into gctx (t : int array) (dst : int array) =
+    let n = gctx.n and ml = gctx.ml and m' = gctx.m' in
     for i = 0 to n - 1 do
       let mi = (t.(i) * m') land base_mask in
       let c = ref 0 in
@@ -198,111 +200,809 @@ module Mont = struct
 
   (* Montgomery square into [dst]: dst <- a*a*base^(-n) mod m. [t] is
      scratch of length >= 2n+1; [dst] must not alias [a]. *)
-  let mont_sqr_into ctx (t : int array) (a : int array) (dst : int array) =
-    sqr_full a ctx.n t;
-    mont_reduce_into ctx t dst
+  let mont_sqr_into gctx (t : int array) (a : int array) (dst : int array) =
+    sqr_full a gctx.n t;
+    mont_reduce_into gctx t dst
+
+  let create_generic m =
+    let n = Nat.Internal.num_limbs m in
+    let ml = Nat.Internal.limbs_padded m n in
+    (* Hensel lifting: invert m mod 2^base_bits. *)
+    let invm = ref 1 in
+    for _ = 1 to 6 do
+      invm := !invm * (2 - (ml.(0) * !invm)) land base_mask
+    done;
+    assert (ml.(0) * !invm land base_mask = 1);
+    let m' = (base - !invm) land base_mask in
+    let r2_nat = Nat.rem (Nat.shift_left Nat.one (2 * n * base_bits)) m in
+    let r2 = Nat.Internal.limbs_padded r2_nat n in
+    let one_arr = Array.make n 0 in
+    one_arr.(0) <- 1;
+    let ctx0 = { m; ml; n; m'; r2; one_m = [||] } in
+    let one_m = mont_mul ctx0 one_arr r2 in
+    { ctx0 with one_m }
+
+  let to_mont gctx a = mont_mul gctx (Nat.Internal.limbs_padded a gctx.n) gctx.r2
+  let of_nat_arr gctx a = Nat.Internal.limbs_padded a gctx.n
+
+  (* ================================================================== *)
+  (* Fixed-width kernels: 30-bit limbs, lazy reduction.                  *)
+  (*                                                                     *)
+  (* Selected by [create] for the hard-coded group widths (256, 1536     *)
+  (* and 2048-bit moduli). Two departures from the generic kernel buy    *)
+  (* the throughput:                                                     *)
+  (*                                                                     *)
+  (* - Limbs are repacked to 30 bits (9 / 52 / 69 limbs instead of       *)
+  (*   10 / 60 / 79), and multiply-and-reduce runs as one fused CIOS     *)
+  (*   pass: v = t[j] + a_i*b[j] + m_i*ml[j] + c stays under 2^62, so    *)
+  (*   the whole inner step is native-int arithmetic.                    *)
+  (* - Reduction is lazy: every Montgomery product keeps its result in   *)
+  (*   [0, 2m) instead of [0, m). Feeding such values back in is sound   *)
+  (*   whenever 4m < 2^(30*fn) — checked at context build — and drops    *)
+  (*   the compare-and-subtract pass from every multiply. One final      *)
+  (*   subtract at the end of an exponentiation restores [0, m).         *)
+  (*                                                                     *)
+  (* The conversions to and from Nat's 26-bit limbs happen once per      *)
+  (* exponentiation, into preallocated arena buffers.                    *)
+  (* ================================================================== *)
+
+  let b30 = 30
+  let mask30 = (1 lsl b30) - 1
+
+  (* Repack a staged 26-bit limb array (fixed length) into [dst]'s
+     30-bit limbs. Both lengths are fixed by the context, never by the
+     value: the scan shape is data-independent. *)
+  let repack_into (src26 : int array) (dst : int array) =
+    let nd = Array.length dst in
+    Array.fill dst 0 nd 0;
+    let acc = ref 0 and bits = ref 0 and k = ref 0 in
+    for i = 0 to Array.length src26 - 1 do
+      acc := !acc lor (Array.unsafe_get src26 i lsl !bits);
+      bits := !bits + base_bits;
+      if !bits >= b30 then begin
+        if !k < nd then Array.unsafe_set dst !k (!acc land mask30);
+        incr k;
+        acc := !acc lsr b30;
+        bits := !bits - b30
+      end
+    done;
+    if !bits > 0 && !k < nd then Array.unsafe_set dst !k (!acc land mask30)
+
+  (* Inverse repack: 30-bit limbs back into a fresh 26-bit limb array of
+     length [n26], then into a Nat. Only runs once per exponentiation,
+     on a public result. *)
+  let unpack_nat (src30 : int array) n26 =
+    let out = Array.make n26 0 in
+    let acc = ref 0 and bits = ref 0 and k = ref 0 in
+    for i = 0 to Array.length src30 - 1 do
+      acc := !acc lor (Array.unsafe_get src30 i lsl !bits);
+      bits := !bits + b30;
+      while !bits >= base_bits do
+        if !k < n26 then Array.unsafe_set out !k (!acc land base_mask);
+        incr k;
+        acc := !acc lsr base_bits;
+        bits := !bits - base_bits
+      done
+    done;
+    if !bits > 0 && !k < n26 then Array.unsafe_set out !k (!acc land base_mask);
+    Nat.Internal.of_limbs out
+
+  (* Fused CIOS at any 30-bit width: dst <- a*b*2^(-30n) mod m, lazily
+     reduced (see the block comment above). [t] is scratch of length
+     n+1. [dst] may alias [a] or [b]: the result is staged in [t]. *)
+  let mont_mul30_loop ~n ~(ml : int array) ~m' (t : int array)
+      (a : int array) (b : int array) (dst : int array) =
+    Array.fill t 0 (n + 1) 0;
+    for i = 0 to n - 1 do
+      let ai = Array.unsafe_get a i in
+      let u = Array.unsafe_get t 0 + (ai * Array.unsafe_get b 0) in
+      let mi = u * m' land mask30 in
+      let c = ref ((u + (mi * Array.unsafe_get ml 0)) lsr b30) in
+      for j = 1 to n - 1 do
+        let v =
+          Array.unsafe_get t j + (ai * Array.unsafe_get b j)
+          + (mi * Array.unsafe_get ml j) + !c
+        in
+        Array.unsafe_set t (j - 1) (v land mask30);
+        c := v lsr b30
+      done;
+      let v = Array.unsafe_get t n + !c in
+      Array.unsafe_set t (n - 1) (v land mask30);
+      Array.unsafe_set t n (v lsr b30)
+    done;
+    Array.blit t 0 dst 0 n
+
+  (* Mechanically unrolled from [mont_mul30_loop] at [fn = 9] (256-bit
+     moduli): straight-line CIOS with the running value in 9 let-bound
+     locals, so the whole reduction lives in registers and the only
+     memory traffic is the operand loads and the final 9 stores. The
+     carry-bound argument is the same as the loop form's: every
+     intermediate fits 62 bits. [dst] may alias [a] or [b] — both
+     operands are fully read before the first store. *)
+  let mont_mul_w9 ~(ml : int array) ~m' (a : int array) (b : int array)
+      (dst : int array) =
+    let b0 = Array.unsafe_get b 0 in
+    let b1 = Array.unsafe_get b 1 in
+    let b2 = Array.unsafe_get b 2 in
+    let b3 = Array.unsafe_get b 3 in
+    let b4 = Array.unsafe_get b 4 in
+    let b5 = Array.unsafe_get b 5 in
+    let b6 = Array.unsafe_get b 6 in
+    let b7 = Array.unsafe_get b 7 in
+    let b8 = Array.unsafe_get b 8 in
+    let q0 = Array.unsafe_get ml 0 in
+    let q1 = Array.unsafe_get ml 1 in
+    let q2 = Array.unsafe_get ml 2 in
+    let q3 = Array.unsafe_get ml 3 in
+    let q4 = Array.unsafe_get ml 4 in
+    let q5 = Array.unsafe_get ml 5 in
+    let q6 = Array.unsafe_get ml 6 in
+    let q7 = Array.unsafe_get ml 7 in
+    let q8 = Array.unsafe_get ml 8 in
+    let t0 = 0 in
+    let t1 = 0 in
+    let t2 = 0 in
+    let t3 = 0 in
+    let t4 = 0 in
+    let t5 = 0 in
+    let t6 = 0 in
+    let t7 = 0 in
+    let t8 = 0 in
+    let ai = Array.unsafe_get a 0 in
+    let u = t0 + (ai * b0) in
+    let mi = u * m' land mask30 in
+    let c = (u + (mi * q0)) lsr b30 in
+    let v = t1 + (ai * b1) + (mi * q1) + c in
+    let t0 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t2 + (ai * b2) + (mi * q2) + c in
+    let t1 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t3 + (ai * b3) + (mi * q3) + c in
+    let t2 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t4 + (ai * b4) + (mi * q4) + c in
+    let t3 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t5 + (ai * b5) + (mi * q5) + c in
+    let t4 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t6 + (ai * b6) + (mi * q6) + c in
+    let t5 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t7 + (ai * b7) + (mi * q7) + c in
+    let t6 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t8 + (ai * b8) + (mi * q8) + c in
+    let t7 = v land mask30 in
+    let c = v lsr b30 in
+    let t8 = c in
+    let ai = Array.unsafe_get a 1 in
+    let u = t0 + (ai * b0) in
+    let mi = u * m' land mask30 in
+    let c = (u + (mi * q0)) lsr b30 in
+    let v = t1 + (ai * b1) + (mi * q1) + c in
+    let t0 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t2 + (ai * b2) + (mi * q2) + c in
+    let t1 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t3 + (ai * b3) + (mi * q3) + c in
+    let t2 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t4 + (ai * b4) + (mi * q4) + c in
+    let t3 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t5 + (ai * b5) + (mi * q5) + c in
+    let t4 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t6 + (ai * b6) + (mi * q6) + c in
+    let t5 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t7 + (ai * b7) + (mi * q7) + c in
+    let t6 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t8 + (ai * b8) + (mi * q8) + c in
+    let t7 = v land mask30 in
+    let c = v lsr b30 in
+    let t8 = c in
+    let ai = Array.unsafe_get a 2 in
+    let u = t0 + (ai * b0) in
+    let mi = u * m' land mask30 in
+    let c = (u + (mi * q0)) lsr b30 in
+    let v = t1 + (ai * b1) + (mi * q1) + c in
+    let t0 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t2 + (ai * b2) + (mi * q2) + c in
+    let t1 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t3 + (ai * b3) + (mi * q3) + c in
+    let t2 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t4 + (ai * b4) + (mi * q4) + c in
+    let t3 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t5 + (ai * b5) + (mi * q5) + c in
+    let t4 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t6 + (ai * b6) + (mi * q6) + c in
+    let t5 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t7 + (ai * b7) + (mi * q7) + c in
+    let t6 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t8 + (ai * b8) + (mi * q8) + c in
+    let t7 = v land mask30 in
+    let c = v lsr b30 in
+    let t8 = c in
+    let ai = Array.unsafe_get a 3 in
+    let u = t0 + (ai * b0) in
+    let mi = u * m' land mask30 in
+    let c = (u + (mi * q0)) lsr b30 in
+    let v = t1 + (ai * b1) + (mi * q1) + c in
+    let t0 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t2 + (ai * b2) + (mi * q2) + c in
+    let t1 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t3 + (ai * b3) + (mi * q3) + c in
+    let t2 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t4 + (ai * b4) + (mi * q4) + c in
+    let t3 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t5 + (ai * b5) + (mi * q5) + c in
+    let t4 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t6 + (ai * b6) + (mi * q6) + c in
+    let t5 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t7 + (ai * b7) + (mi * q7) + c in
+    let t6 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t8 + (ai * b8) + (mi * q8) + c in
+    let t7 = v land mask30 in
+    let c = v lsr b30 in
+    let t8 = c in
+    let ai = Array.unsafe_get a 4 in
+    let u = t0 + (ai * b0) in
+    let mi = u * m' land mask30 in
+    let c = (u + (mi * q0)) lsr b30 in
+    let v = t1 + (ai * b1) + (mi * q1) + c in
+    let t0 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t2 + (ai * b2) + (mi * q2) + c in
+    let t1 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t3 + (ai * b3) + (mi * q3) + c in
+    let t2 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t4 + (ai * b4) + (mi * q4) + c in
+    let t3 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t5 + (ai * b5) + (mi * q5) + c in
+    let t4 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t6 + (ai * b6) + (mi * q6) + c in
+    let t5 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t7 + (ai * b7) + (mi * q7) + c in
+    let t6 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t8 + (ai * b8) + (mi * q8) + c in
+    let t7 = v land mask30 in
+    let c = v lsr b30 in
+    let t8 = c in
+    let ai = Array.unsafe_get a 5 in
+    let u = t0 + (ai * b0) in
+    let mi = u * m' land mask30 in
+    let c = (u + (mi * q0)) lsr b30 in
+    let v = t1 + (ai * b1) + (mi * q1) + c in
+    let t0 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t2 + (ai * b2) + (mi * q2) + c in
+    let t1 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t3 + (ai * b3) + (mi * q3) + c in
+    let t2 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t4 + (ai * b4) + (mi * q4) + c in
+    let t3 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t5 + (ai * b5) + (mi * q5) + c in
+    let t4 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t6 + (ai * b6) + (mi * q6) + c in
+    let t5 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t7 + (ai * b7) + (mi * q7) + c in
+    let t6 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t8 + (ai * b8) + (mi * q8) + c in
+    let t7 = v land mask30 in
+    let c = v lsr b30 in
+    let t8 = c in
+    let ai = Array.unsafe_get a 6 in
+    let u = t0 + (ai * b0) in
+    let mi = u * m' land mask30 in
+    let c = (u + (mi * q0)) lsr b30 in
+    let v = t1 + (ai * b1) + (mi * q1) + c in
+    let t0 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t2 + (ai * b2) + (mi * q2) + c in
+    let t1 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t3 + (ai * b3) + (mi * q3) + c in
+    let t2 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t4 + (ai * b4) + (mi * q4) + c in
+    let t3 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t5 + (ai * b5) + (mi * q5) + c in
+    let t4 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t6 + (ai * b6) + (mi * q6) + c in
+    let t5 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t7 + (ai * b7) + (mi * q7) + c in
+    let t6 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t8 + (ai * b8) + (mi * q8) + c in
+    let t7 = v land mask30 in
+    let c = v lsr b30 in
+    let t8 = c in
+    let ai = Array.unsafe_get a 7 in
+    let u = t0 + (ai * b0) in
+    let mi = u * m' land mask30 in
+    let c = (u + (mi * q0)) lsr b30 in
+    let v = t1 + (ai * b1) + (mi * q1) + c in
+    let t0 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t2 + (ai * b2) + (mi * q2) + c in
+    let t1 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t3 + (ai * b3) + (mi * q3) + c in
+    let t2 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t4 + (ai * b4) + (mi * q4) + c in
+    let t3 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t5 + (ai * b5) + (mi * q5) + c in
+    let t4 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t6 + (ai * b6) + (mi * q6) + c in
+    let t5 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t7 + (ai * b7) + (mi * q7) + c in
+    let t6 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t8 + (ai * b8) + (mi * q8) + c in
+    let t7 = v land mask30 in
+    let c = v lsr b30 in
+    let t8 = c in
+    let ai = Array.unsafe_get a 8 in
+    let u = t0 + (ai * b0) in
+    let mi = u * m' land mask30 in
+    let c = (u + (mi * q0)) lsr b30 in
+    let v = t1 + (ai * b1) + (mi * q1) + c in
+    let t0 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t2 + (ai * b2) + (mi * q2) + c in
+    let t1 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t3 + (ai * b3) + (mi * q3) + c in
+    let t2 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t4 + (ai * b4) + (mi * q4) + c in
+    let t3 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t5 + (ai * b5) + (mi * q5) + c in
+    let t4 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t6 + (ai * b6) + (mi * q6) + c in
+    let t5 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t7 + (ai * b7) + (mi * q7) + c in
+    let t6 = v land mask30 in
+    let c = v lsr b30 in
+    let v = t8 + (ai * b8) + (mi * q8) + c in
+    let t7 = v land mask30 in
+    let c = v lsr b30 in
+    let t8 = c in
+    Array.unsafe_set dst 0 t0;
+    Array.unsafe_set dst 1 t1;
+    Array.unsafe_set dst 2 t2;
+    Array.unsafe_set dst 3 t3;
+    Array.unsafe_set dst 4 t4;
+    Array.unsafe_set dst 5 t5;
+    Array.unsafe_set dst 6 t6;
+    Array.unsafe_set dst 7 t7;
+    Array.unsafe_set dst 8 t8
+
+  (* Which code path a fixed-width context multiplies through. *)
+  type fkind = W9 | Loop30
+
+  type fctx = {
+    fname : string; (* "fixed-256" … reported by [kernel_name] *)
+    fkind : fkind;
+    fn : int; (* 30-bit limb count *)
+    fml : int array; (* modulus, 30-bit limbs *)
+    fm' : int; (* -m^{-1} mod 2^30 *)
+    fr2 : int array; (* 2^(60*fn) mod m *)
+    fone : int array; (* 2^(30*fn) mod m *)
+    fwin : int; (* window width used by this kernel's pow paths *)
+    flanes : int; (* pow_batch interleave width *)
+  }
+
+  let fmul f (t : int array) a b dst =
+    match f.fkind with
+    | W9 -> mont_mul_w9 ~ml:f.fml ~m':f.fm' a b dst
+    | Loop30 -> mont_mul30_loop ~n:f.fn ~ml:f.fml ~m':f.fm' t a b dst
+
+  (* Final correction out of the lazy domain: after multiplying by plain
+     1 the value is <= m, so subtract m at most once (in place). *)
+  let fcorrect f (r : int array) =
+    let n = f.fn and ml = f.fml in
+    let ge =
+      let rec cmp i =
+        if i < 0 then true
+        else begin
+          let ri = Array.unsafe_get r i and mi = Array.unsafe_get ml i in
+          if ri <> mi then ri > mi else cmp (i - 1)
+        end
+      in
+      cmp (n - 1)
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to n - 1 do
+        let v = Array.unsafe_get r i - Array.unsafe_get ml i - !borrow in
+        if v < 0 then begin
+          Array.unsafe_set r i (v + (1 lsl b30));
+          borrow := 1
+        end
+        else begin
+          Array.unsafe_set r i v;
+          borrow := 0
+        end
+      done
+    end
+
+  (* Per-call scratch for the fixed kernels. Montgomery contexts are
+     shared read-only across pool workers, so arenas deliberately do
+     NOT live in the context: each exponentiation call site builds one
+     ([pow_batch] amortizes it over the whole batch) and owns it for
+     the call's duration. No buffer aliases another; the window loop
+     writes only into arena storage, so steady-state runs allocate
+     nothing. *)
+  type arena = {
+    af : fctx;
+    an26 : int;
+    at : int array; (* fn+1 kernel scratch (Loop30 only) *)
+    ax26 : int array; (* 26-bit staging for repack *)
+    abase : int array array; (* per-lane base in Montgomery form *)
+    aacc : int array array; (* per-lane accumulator *)
+    atab : int array array array; (* per-lane window table, 2^fwin rows *)
+    aone : int array; (* plain 1, for leaving Montgomery form *)
+  }
+
+  let new_arena f ~n26 =
+    let mk () = Array.make f.fn 0 in
+    let one = mk () in
+    one.(0) <- 1;
+    {
+      af = f;
+      an26 = n26;
+      at = Array.make (f.fn + 1) 0;
+      ax26 = Array.make n26 0;
+      abase = Array.init f.flanes (fun _ -> mk ());
+      aacc = Array.init f.flanes (fun _ -> mk ());
+      atab = Array.init f.flanes (fun _ -> Array.init (1 lsl f.fwin) (fun _ -> mk ()));
+      aone = one;
+    }
+
+  (* Stage [x] (< m) into lane [l]: repack to 30-bit limbs, enter
+     Montgomery form, and fill the lane's window table with
+     x^0 .. x^(2^w - 1). Allocation-free. *)
+  let load_base ar ~lane x =
+    let f = ar.af in
+    Array.fill ar.ax26 0 ar.an26 0;
+    let xl = Nat.Internal.raw_limbs x in
+    Array.blit xl 0 ar.ax26 0 (Array.length xl);
+    let b = ar.abase.(lane) in
+    repack_into ar.ax26 b;
+    fmul f ar.at b f.fr2 b;
+    let tab = ar.atab.(lane) in
+    Array.blit f.fone 0 tab.(0) 0 f.fn;
+    Array.blit b 0 tab.(1) 0 f.fn;
+    for i = 2 to (1 lsl f.fwin) - 1 do
+      fmul f ar.at tab.(i - 1) b tab.(i)
+    done
+
+  (* The shared window scan: one pass over the exponent's digits drives
+     all [lanes] accumulators — per digit, every lane squares [fwin]
+     times, then every lane multiplies by its own table entry. This is
+     the zero-allocation steady state the Gc test pins down. *)
+  let run_windows ar ~lanes (digits : int array) =
+    let f = ar.af in
+    for l = 0 to lanes - 1 do
+      Array.blit f.fone 0 ar.aacc.(l) 0 f.fn
+    done;
+    for k = Array.length digits - 1 downto 0 do
+      for _s = 1 to f.fwin do
+        for l = 0 to lanes - 1 do
+          let acc = Array.unsafe_get ar.aacc l in
+          fmul f ar.at acc acc acc
+        done
+      done;
+      let d = Array.unsafe_get digits k in
+      if d <> 0 then
+        for l = 0 to lanes - 1 do
+          let acc = Array.unsafe_get ar.aacc l in
+          fmul f ar.at acc (Array.unsafe_get ar.atab l).(d) acc
+        done
+    done
+
+  (* Leave Montgomery form and the lazy domain; fresh Nat result. *)
+  let lane_result ar ~lane =
+    let f = ar.af in
+    let acc = ar.aacc.(lane) in
+    fmul f ar.at acc ar.aone acc;
+    fcorrect f acc;
+    unpack_nat acc ar.an26
+
+  (* ================================================================== *)
+  (* Public contexts: kernel selection at build time.                    *)
+  (* ================================================================== *)
+
+  type kernel = Generic | Fixed of fctx
+
+  type ctx = { g : gctx; kernel : kernel }
+
+  let modulus ctx = ctx.g.m
+
+  (* Escape hatch for tests and ablation benches: force newly built
+     contexts onto the generic kernel. Read once at [create]; existing
+     contexts (including memoized named groups) are unaffected. *)
+  let force_generic_flag = ref false
+  let set_force_generic b = force_generic_flag := b
+  let force_generic () = !force_generic_flag
+
+  (* The three hard-coded group widths get a fixed kernel; anything
+     else falls back to the generic path. Window and lane choices per
+     width are documented in docs/PERFORMANCE.md: 4-bit windows suit
+     256-bit exponents (wider windows cost more table setup than they
+     save), 5-bit windows win from ~1536 bits up; lanes trade the
+     shared-scan amortization against table footprint in cache. *)
+  let fixed_plan bits =
+    match bits with
+    | 256 -> Some ("fixed-256", W9, 4, 4)
+    | 1536 -> Some ("fixed-1536", Loop30, 5, 2)
+    | 2048 -> Some ("fixed-2048", Loop30, 5, 2)
+    | _ -> None
+
+  let create_fixed g =
+    let bits = Nat.num_bits g.m in
+    match fixed_plan bits with
+    | None -> Generic
+    | Some (fname, fkind, fwin, flanes) ->
+        let fn = (bits + 2 + (b30 - 1)) / b30 in
+        (* Lazy reduction is sound only with two headroom bits. *)
+        assert (bits + 2 <= b30 * fn);
+        let repack_nat x =
+          let dst = Array.make fn 0 in
+          repack_into (Nat.Internal.limbs_padded x g.n) dst;
+          dst
+        in
+        let fml = repack_nat g.m in
+        let invm = ref 1 in
+        for _ = 1 to 6 do
+          invm := !invm * (2 - (fml.(0) * !invm)) land mask30
+        done;
+        assert (fml.(0) * !invm land mask30 = 1);
+        let fm' = ((1 lsl b30) - !invm) land mask30 in
+        let pow2 k = Nat.rem (Nat.shift_left Nat.one k) g.m in
+        Fixed
+          {
+            fname;
+            fkind;
+            fn;
+            fml;
+            fm';
+            fr2 = repack_nat (pow2 (2 * b30 * fn));
+            fone = repack_nat (pow2 (b30 * fn));
+            fwin;
+            flanes;
+          }
 
   let create m =
     if Nat.is_even m || Nat.compare m (Nat.of_int 3) < 0 then
       invalid_arg "Modular.Mont.create: modulus must be odd and >= 3"
     else begin
-      let n = Nat.Internal.num_limbs m in
-      let ml = Nat.Internal.limbs_padded m n in
-      (* Hensel lifting: invert m mod 2^base_bits. *)
-      let invm = ref 1 in
-      for _ = 1 to 6 do
-        invm := !invm * (2 - (ml.(0) * !invm)) land base_mask
-      done;
-      assert (ml.(0) * !invm land base_mask = 1);
-      let m' = (base - !invm) land base_mask in
-      let r2_nat = Nat.rem (Nat.shift_left Nat.one (2 * n * base_bits)) m in
-      let r2 = Nat.Internal.limbs_padded r2_nat n in
-      let one_arr = Array.make n 0 in
-      one_arr.(0) <- 1;
-      let ctx0 = { m; ml; n; m'; r2; one_m = [||] } in
-      let one_m = mont_mul ctx0 one_arr r2 in
-      { ctx0 with one_m }
+      let g = create_generic m in
+      let kernel = if !force_generic_flag then Generic else create_fixed g in
+      { g; kernel }
     end
 
-  let to_mont ctx a = mont_mul ctx (Nat.Internal.limbs_padded a ctx.n) ctx.r2
-  let of_nat_arr ctx a = Nat.Internal.limbs_padded a ctx.n
+  let kernel_name ctx =
+    match ctx.kernel with Generic -> "generic" | Fixed f -> f.fname
 
   let mul ctx a b =
-    if Nat.compare a ctx.m >= 0 || Nat.compare b ctx.m >= 0 then
+    let g = ctx.g in
+    if Nat.compare a g.m >= 0 || Nat.compare b g.m >= 0 then
       invalid_arg "Modular.Mont.mul: operand out of range"
     else begin
-      let ab = mont_mul ctx (of_nat_arr ctx a) (of_nat_arr ctx b) in
-      Nat.Internal.of_limbs (mont_mul ctx ab ctx.r2)
+      let ab = mont_mul g (of_nat_arr g a) (of_nat_arr g b) in
+      Nat.Internal.of_limbs (mont_mul g ab g.r2)
     end
 
   let sqr ctx a =
-    if Nat.compare a ctx.m >= 0 then
+    let g = ctx.g in
+    if Nat.compare a g.m >= 0 then
       invalid_arg "Modular.Mont.sqr: operand out of range"
     else begin
-      let n = ctx.n in
+      let n = g.n in
       let t = Array.make ((2 * n) + 1) 0 in
       let aa = Array.make n 0 in
-      mont_sqr_into ctx t (of_nat_arr ctx a) aa;
+      mont_sqr_into g t (of_nat_arr g a) aa;
       let r = Array.make n 0 in
-      mont_mul_into ctx t aa ctx.r2 r;
+      mont_mul_into g t aa g.r2 r;
       Nat.Internal.of_limbs r
     end
 
-  (* The 4-bit window decomposition of an exponent, nibble [w] covering
-     bits [4w .. 4w+3]. Precomputed once per key so a batch of
-     exponentiations under the same exponent skips the bit scan. *)
-  type exponent = { nibbles : int array }
+  (* The window decompositions of an exponent, precomputed once per key
+     so a batch of exponentiations under the same exponent skips the
+     bit scan. Both widths the kernels use are carried: 4-bit digits
+     (generic path, fixed-256) and 5-bit digits (fixed-1536/2048). *)
+  type exponent = { nib4 : int array; win5 : int array }
 
-  let precompute_exp e =
-    let nw = (Nat.num_bits e + 3) / 4 in
-    {
-      nibbles =
-        Array.init nw (fun w ->
-            (if Nat.test_bit e ((4 * w) + 3) then 8 else 0)
-            lor (if Nat.test_bit e ((4 * w) + 2) then 4 else 0)
-            lor (if Nat.test_bit e ((4 * w) + 1) then 2 else 0)
-            lor if Nat.test_bit e (4 * w) then 1 else 0);
-    }
-
-  let pow_exp ctx b { nibbles } =
-    if Nat.compare b ctx.m >= 0 then invalid_arg "Modular.Mont.pow: base out of range"
-    else begin
-      let n = ctx.n in
-      (* One scratch buffer serves both kernels (2n+1 >= n+2), and the
-         accumulator ping-pongs between two n-limb buffers, so the
-         window loop allocates nothing. *)
-      let scratch = Array.make ((2 * n) + 1) 0 in
-      let bm = to_mont ctx b in
-      let table = Array.make 16 ctx.one_m in
-      for i = 1 to 15 do
-        table.(i) <- mont_mul ctx table.(i - 1) bm
-      done;
-      let acc = ref (Array.copy ctx.one_m) in
-      let tmp = ref (Array.make n 0) in
-      let swap () =
-        let x = !acc in
-        acc := !tmp;
-        tmp := x
-      in
-      for w = Array.length nibbles - 1 downto 0 do
-        for _ = 1 to 4 do
-          mont_sqr_into ctx scratch !acc !tmp;
-          swap ()
+  let digits_of ~w e =
+    let count = (Nat.num_bits e + w - 1) / w in
+    Array.init count (fun k ->
+        let d = ref 0 in
+        for j = 0 to w - 1 do
+          if Nat.test_bit e ((w * k) + j) then d := !d lor (1 lsl j)
         done;
-        let nib = nibbles.(w) in
-        if nib <> 0 then begin
-          mont_mul_into ctx scratch !acc table.(nib) !tmp;
-          swap ()
-        end
+        !d)
+
+  let precompute_exp e = { nib4 = digits_of ~w:4 e; win5 = digits_of ~w:5 e }
+  let exp_digits f (w : exponent) = if f.fwin = 5 then w.win5 else w.nib4
+
+  let pow_exp_generic g { nib4 = nibbles; _ } b =
+    let n = g.n in
+    (* One scratch buffer serves both kernels (2n+1 >= n+2), and the
+       accumulator ping-pongs between two n-limb buffers, so the
+       window loop allocates nothing. *)
+    let scratch = Array.make ((2 * n) + 1) 0 in
+    let bm = to_mont g b in
+    let table = Array.make 16 g.one_m in
+    for i = 1 to 15 do
+      table.(i) <- mont_mul g table.(i - 1) bm
+    done;
+    let acc = ref (Array.copy g.one_m) in
+    let tmp = ref (Array.make n 0) in
+    let swap () =
+      let x = !acc in
+      acc := !tmp;
+      tmp := x
+    in
+    for w = Array.length nibbles - 1 downto 0 do
+      for _ = 1 to 4 do
+        mont_sqr_into g scratch !acc !tmp;
+        swap ()
       done;
-      (* Leave Montgomery form: multiply by 1. *)
-      let one_arr = Array.make n 0 in
-      one_arr.(0) <- 1;
-      mont_mul_into ctx scratch !acc one_arr !tmp;
-      Nat.Internal.of_limbs !tmp
+      let nib = nibbles.(w) in
+      if nib <> 0 then begin
+        mont_mul_into g scratch !acc table.(nib) !tmp;
+        swap ()
+      end
+    done;
+    (* Leave Montgomery form: multiply by 1. *)
+    let one_arr = Array.make n 0 in
+    one_arr.(0) <- 1;
+    mont_mul_into g scratch !acc one_arr !tmp;
+    Nat.Internal.of_limbs !tmp
+
+  let pow_exp ctx b w =
+    if Nat.compare b ctx.g.m >= 0 then
+      invalid_arg "Modular.Mont.pow: base out of range"
+    else begin
+      match ctx.kernel with
+      | Generic -> pow_exp_generic ctx.g w b
+      | Fixed f ->
+          let ar = new_arena f ~n26:ctx.g.n in
+          load_base ar ~lane:0 b;
+          run_windows ar ~lanes:1 (exp_digits f w);
+          lane_result ar ~lane:0
     end
 
   let pow ctx b e = pow_exp ctx b (precompute_exp e)
+
+  (* Simultaneous multi-exponentiation: all of [bs] raised to the one
+     exponent, interleaving [flanes] bases through a single scan of the
+     digit array. One arena serves the whole batch, so per-element cost
+     is pure kernel work. Results are in input order and bit-for-bit
+     equal to mapping [pow_exp]. *)
+  let pow_batch ctx bs w =
+    match ctx.kernel with
+    | Generic -> List.map (fun b -> pow_exp ctx b w) bs
+    | Fixed f ->
+        let digits = exp_digits f w in
+        let ar = new_arena f ~n26:ctx.g.n in
+        let m = ctx.g.m in
+        let rec go bs acc =
+          match bs with
+          | [] -> List.rev acc
+          | _ ->
+              let rec take k xs =
+                match (k, xs) with
+                | 0, _ | _, [] -> ([], xs)
+                | k, x :: tl ->
+                    if Nat.compare x m >= 0 then
+                      invalid_arg "Modular.Mont.pow_batch: base out of range"
+                    else begin
+                      let block, rest = take (k - 1) tl in
+                      (x :: block, rest)
+                    end
+              in
+              let block, rest = take f.flanes bs in
+              List.iteri (fun l x -> load_base ar ~lane:l x) block;
+              run_windows ar ~lanes:(List.length block) digits;
+              let out =
+                List.mapi (fun l _ -> lane_result ar ~lane:l) block
+              in
+              go rest (List.rev_append out acc)
+        in
+        go bs []
+
+  (* Batched modular squaring (the hash-to-group hot step). Same arena
+     discipline as [pow_batch]: three kernel multiplies per element,
+     no allocation beyond the results. *)
+  let sqr_batch ctx xs =
+    match ctx.kernel with
+    | Generic -> List.map (fun x -> sqr ctx x) xs
+    | Fixed f ->
+        let ar = new_arena f ~n26:ctx.g.n in
+        let m = ctx.g.m in
+        List.map
+          (fun x ->
+            if Nat.compare x m >= 0 then
+              invalid_arg "Modular.Mont.sqr_batch: operand out of range"
+            else begin
+              Array.fill ar.ax26 0 ar.an26 0;
+              let xl = Nat.Internal.raw_limbs x in
+              Array.blit xl 0 ar.ax26 0 (Array.length xl);
+              let b = ar.abase.(0) in
+              repack_into ar.ax26 b;
+              fmul f ar.at b f.fr2 b;
+              fmul f ar.at b b b;
+              fmul f ar.at b ar.aone b;
+              fcorrect f b;
+              unpack_nat b ar.an26
+            end)
+          xs
+
+  (* Test hooks: the parity suite drives the kernels directly and the
+     zero-allocation property pins [run_windows] down with a
+     Gc.minor_words delta. Not for production use. *)
+  module Internal = struct
+    type nonrec arena = arena
+
+    let arena ctx =
+      match ctx.kernel with
+      | Generic -> None
+      | Fixed f -> Some (new_arena f ~n26:ctx.g.n)
+
+    let lanes ctx =
+      match ctx.kernel with Generic -> 1 | Fixed f -> f.flanes
+
+    let load_base = load_base
+
+    let run_windows ar ~lanes (w : exponent) =
+      run_windows ar ~lanes (exp_digits ar.af w)
+
+    let lane_result = lane_result
+  end
 end
 
 let pow b e m =

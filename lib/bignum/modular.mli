@@ -40,10 +40,31 @@ module Mont : sig
   type ctx
 
   (** [create m] precomputes a context for odd modulus [m] >= 3.
+
+      Kernel selection happens here: the hard-coded group widths (256,
+      1536 and 2048-bit moduli) get a fixed-width kernel — 30-bit
+      limbs, fused multiply-and-reduce, lazy reduction, preallocated
+      arenas — and every other width falls back to the generic 26-bit
+      path. The choice is invisible everywhere but wall-clock:
+      {!kernel_name} reports it, and results are bit-identical across
+      kernels (the qcheck parity suite in test/test_bignum.ml pins
+      every kernel to the {!pow_binary} oracle).
       @raise Invalid_argument if [m] is even or < 3. *)
   val create : Nat.t -> ctx
 
   val modulus : ctx -> Nat.t
+
+  (** The kernel [create] chose: ["generic"], ["fixed-256"],
+      ["fixed-1536"] or ["fixed-2048"]. *)
+  val kernel_name : ctx -> string
+
+  (** [set_force_generic true] makes subsequent {!create} calls select
+      the generic kernel regardless of width. Existing contexts
+      (including memoized named groups) are unaffected. For tests and
+      the kernel-ablation bench. *)
+  val set_force_generic : bool -> unit
+
+  val force_generic : unit -> bool
 
   (** [pow ctx b e] is [b^e mod m] for [b] in [[0, m)]. *)
   val pow : ctx -> Nat.t -> Nat.t -> Nat.t
@@ -54,16 +75,47 @@ module Mont : sig
   (** [sqr ctx a] is [a*a mod m] via the dedicated Montgomery squaring
       kernel (schoolbook-with-doubling, ~half the limb products of a
       general multiply). Exposed for tests and the squaring ablation
-      bench; {!pow} uses it internally for the window-loop squarings. *)
+      bench; the generic [pow] path uses it internally for the
+      window-loop squarings. *)
   val sqr : ctx -> Nat.t -> Nat.t
 
-  (** A 4-bit window decomposition of an exponent, precomputed once so
+  (** The window decompositions of an exponent, precomputed once so
       repeated [pow]s under one fixed exponent (a batch encrypted under
-      one key) skip the per-call bit scan. *)
+      one key) skip the per-call bit scan. Carries both the 4-bit and
+      the 5-bit digit arrays; each kernel picks its width. *)
   type exponent
 
   val precompute_exp : Nat.t -> exponent
 
   (** [pow_exp ctx b w] is [b^e mod m] where [w = precompute_exp e]. *)
   val pow_exp : ctx -> Nat.t -> exponent -> Nat.t
+
+  (** [pow_batch ctx bs w] is [List.map (fun b -> pow_exp ctx b w) bs],
+      bit for bit — but on a fixed-width kernel the whole batch shares
+      one scratch arena and interleaves several bases through a single
+      scan of the exponent's digits (simultaneous multi-exponentiation),
+      so the steady state allocates nothing but the results. *)
+  val pow_batch : ctx -> Nat.t list -> exponent -> Nat.t list
+
+  (** [sqr_batch ctx xs] is [List.map (sqr ctx) xs] with the same
+      arena amortization as {!pow_batch} (the hash-to-group hot step). *)
+  val sqr_batch : ctx -> Nat.t list -> Nat.t list
+
+  (** Test hooks for the fixed-width kernels: drive the arena stages
+      separately so properties can pin each one down (notably zero
+      allocation across {!Internal.run_windows}, via a Gc.minor_words
+      delta). Not a stable API. *)
+  module Internal : sig
+    type arena
+
+    (** [arena ctx] is a fresh arena, or [None] on the generic kernel. *)
+    val arena : ctx -> arena option
+
+    (** Interleave width of the context's [pow_batch] (1 on generic). *)
+    val lanes : ctx -> int
+
+    val load_base : arena -> lane:int -> Nat.t -> unit
+    val run_windows : arena -> lanes:int -> exponent -> unit
+    val lane_result : arena -> lane:int -> Nat.t
+  end
 end

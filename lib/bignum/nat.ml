@@ -554,5 +554,6 @@ module Internal = struct
 
   let of_limbs w = normalize (Array.copy w)
   let num_limbs (a : t) = Array.length a
+  let raw_limbs (a : t) : int array = a
   let add_back_count = add_back_count
 end

@@ -136,6 +136,13 @@ module Internal : sig
 
   val num_limbs : t -> int
 
+  (** [raw_limbs n] is the value's own little-endian limb array, not a
+      copy. Callers must treat it as read-only; mutating it corrupts the
+      value. Exposed so allocation-free kernels ({!Modular.Mont}'s
+      fixed-width arenas) can stage limbs without a fresh array per
+      call. *)
+  val raw_limbs : t -> int array
+
   (** Number of times division's add-back correction has fired (test
       observability for Algorithm D's rarest branch). *)
   val add_back_count : int ref

@@ -103,6 +103,9 @@ let mul g a b = Modular.Mont.mul g.ctx a b
 let pow g a e = Modular.Mont.pow g.ctx a e
 let precompute_exp = Modular.Mont.precompute_exp
 let pow_pre g a w = Modular.Mont.pow_exp g.ctx a w
+let pow_batch g xs w = Modular.Mont.pow_batch g.ctx xs w
+let sqr_batch g xs = Modular.Mont.sqr_batch g.ctx xs
+let kernel_name g = Modular.Mont.kernel_name g.ctx
 let inv_elt g a = Bignum.Modular.inv_exn a g.p
 let generator _g = Nat.of_int 4
 

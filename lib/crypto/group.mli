@@ -66,6 +66,21 @@ val precompute_exp : Bignum.Nat.t -> Bignum.Modular.Mont.exponent
 (** [pow_pre g a w] is {!pow} with the exponent's windows precomputed. *)
 val pow_pre : t -> elt -> Bignum.Modular.Mont.exponent -> elt
 
+(** [pow_batch g xs w] is [List.map (fun x -> pow_pre g x w) xs], bit
+    for bit; on a fixed-width Montgomery kernel the batch shares one
+    scratch arena and a single window scan (simultaneous
+    multi-exponentiation). See {!Bignum.Modular.Mont.pow_batch}. *)
+val pow_batch : t -> elt list -> Bignum.Modular.Mont.exponent -> elt list
+
+(** [sqr_batch g xs] is [List.map (fun x -> mul g x x) xs] with the same
+    arena amortization as {!pow_batch}. *)
+val sqr_batch : t -> elt list -> elt list
+
+(** The Montgomery kernel this group's context selected
+    ({!Bignum.Modular.Mont.kernel_name}): ["generic"], ["fixed-256"],
+    ["fixed-1536"] or ["fixed-2048"]. *)
+val kernel_name : t -> string
+
 (** [inv_elt g x] is the group inverse of [x]. *)
 val inv_elt : t -> elt -> elt
 

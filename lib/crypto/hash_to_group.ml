@@ -16,7 +16,12 @@ let expand_bytes ~dst msg nbytes =
   done;
   Buffer.sub buf 0 nbytes
 
-let hash_value g ~domain v =
+(* Everything before the final squaring: expand, reduce, retry the
+   vanishing residue. Split out so [hash_batch] can defer the squarings
+   to [Group.sqr_batch] (one Montgomery arena per chunk) while this
+   per-element half keeps the Ch counter honest: one eval per value,
+   batched or not. *)
+let derive g ~domain v =
   Obs.Metrics.incr c_evals;
   let p = Group.p g in
   let nbytes = ((Group.modulus_bits g + 128) + 7) / 8 in
@@ -24,20 +29,31 @@ let hash_value g ~domain v =
     let dst = Printf.sprintf "psi:h2g:%s:%d" domain salt in
     let y = Nat.rem (Nat.of_bytes_be (expand_bytes ~dst v nbytes)) p in
     if Nat.is_zero y then attempt (salt + 1) (* probability ~2^-modulus_bits *)
-    else begin
-      let x = Group.mul g y y in
-      assert (Group.is_element g x);
-      x
-    end
+    else y
   in
   attempt 0
+
+let hash_value g ~domain v =
+  let y = derive g ~domain v in
+  let x = Group.mul g y y in
+  assert (Group.is_element g x);
+  x
 
 let hash g v = hash_value g ~domain:"default" v
 
 (* Pool variant: hashing draws no randomness and the eval counter is
    atomic, so the pooled result and telemetry match the sequential map
-   at every pool size. *)
+   at every pool size. Each chunk derives its residues, then squares
+   them through [Group.sqr_batch] so a fixed-width kernel amortizes one
+   scratch arena across the chunk; squaring is [Group.mul g y y] bit
+   for bit on every kernel. *)
+let hash_chunk g ~domain chunk =
+  let ys = List.map (derive g ~domain) chunk in
+  let xs = Group.sqr_batch g ys in
+  List.iter (fun x -> assert (Group.is_element g x)) xs;
+  xs
+
 let hash_batch ?pool g ~domain vs =
   match pool with
-  | None -> List.map (hash_value g ~domain) vs
-  | Some pool -> Parallel.Pool.map pool (hash_value g ~domain) vs
+  | None -> hash_chunk g ~domain vs
+  | Some pool -> Parallel.Pool.map_chunks pool (hash_chunk g ~domain) vs

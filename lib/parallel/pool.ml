@@ -286,6 +286,63 @@ let map_chunked t ~chunk_ctx xs =
 
 let map t f xs = map_chunked t ~chunk_ctx:(fun _ -> f) xs
 
+(* Chunk-level map: [f] sees each chunk whole, one task per chunk. The
+   chunk boundaries are exactly [map]'s (a function of input length and
+   [t.chunk] only), so a batch-aware [f] — one that amortizes per-call
+   setup across a chunk, like the fixed-width Montgomery arenas behind
+   [Commutative.encrypt_batch] — slots in without changing what any
+   pool size computes. [f] must be length-preserving and independent
+   across chunks. *)
+let map_chunks t f xs =
+  check_open t;
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    Obs.Metrics.incr m_maps;
+    Obs.Metrics.incr ~by:n m_items;
+    let bounds = chunk_bounds t.chunk n in
+    let nchunks = List.length bounds in
+    let out = Array.make nchunks None in
+    let bodies =
+      List.mapi
+        (fun ci (start, stop) ->
+          fun () ->
+            let chunk =
+              Array.to_list (Array.sub arr start (stop - start))
+            in
+            let ys = f chunk in
+            if List.length ys <> stop - start then
+              invalid_arg "Pool.map_chunks: f changed the chunk length";
+            out.(ci) <- Some ys)
+        bounds
+    in
+    Obs.Metrics.incr ~by:nchunks m_chunks;
+    let inline () = List.iter (fun b -> b ()) bodies in
+    (match t.shared with
+    | None ->
+        Obs.Metrics.incr m_seq_fallbacks;
+        inline ()
+    | Some shared ->
+        if on_worker t then begin
+          Obs.Metrics.incr m_seq_fallbacks;
+          inline ()
+        end
+        else begin
+          let t0 = Obs.Clock.now_ns () in
+          run_chunks shared bodies;
+          if Obs.Runtime.is_enabled () then
+            Obs.Metrics.incr
+              ~by:(Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) t0))
+              m_wall_ns
+        end);
+    List.concat_map
+      (function
+        | Some ys -> ys
+        | None -> invalid_arg "Pool.map_chunks: chunk did not complete")
+      (Array.to_list out)
+  end
+
 let map_seeded t ~seed f xs =
   map_chunked t ~chunk_ctx:(fun ci -> f (seed ci)) xs
 

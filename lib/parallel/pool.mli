@@ -47,6 +47,16 @@ val size : t -> int
     caller (first one wins). *)
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
+(** [map_chunks pool f xs] is [map] at chunk granularity: [f] receives
+    each chunk whole (one task per chunk, same boundaries as [map]) and
+    must return exactly as many results, in order. This is the hook for
+    batch-aware kernels — [Commutative.encrypt_batch] hands each chunk
+    to [Mont.pow_batch] so one scratch arena serves the whole chunk —
+    while determinism is untouched: for a length-preserving pure [f],
+    [map_chunks pool f xs = f xs] at every pool size.
+    @raise Invalid_argument if [f] changes a chunk's length. *)
+val map_chunks : t -> ('a list -> 'b list) -> 'a list -> 'b list
+
 (** [map_seeded pool ~seed f xs] is [map] where chunk [i] applies
     [f (seed i)]. The [seed] derivations run on the caller's thread in
     chunk order {e before} dispatch, so they may consume caller-side

@@ -475,6 +475,196 @@ let test_inverse_none () =
     (Modular.inv_exn (Nat.of_int 3) (Nat.of_int 7))
 
 (* ------------------------------------------------------------------ *)
+(* Montgomery kernels                                                  *)
+(*                                                                     *)
+(* Mont.create selects a fixed-width kernel (30-bit limbs, lazy        *)
+(* reduction, unrolled at 256 bits) for the three hard-coded group     *)
+(* widths. Every kernel entry point — single pow_exp, pow_batch's      *)
+(* interleaved lanes, sqr_batch — is pinned to the pow_binary oracle   *)
+(* at every width, across edge exponents and edge bases, and the       *)
+(* window loop is asserted allocation-free.                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The moduli psi actually runs on (Group's test256 / RFC 3526 groups
+   5 and 14), restated here so bignum's tests stay self-contained. *)
+let p256 =
+  Nat.of_hex "fc9ef2546731204952720f1668ba4e40320056f94b2bd0a0b311f3c42da6b03f"
+
+let p1536 =
+  Nat.of_hex
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+     020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+     4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+     EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+     98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+     9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+
+let p2048 =
+  Nat.of_hex
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+     020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+     4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+     EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+     98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+     9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B\
+     E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
+     3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF"
+
+let fixed_widths =
+  [ ("fixed-256", p256, 30); ("fixed-1536", p1536, 6); ("fixed-2048", p2048, 6) ]
+
+let test_kernel_selection () =
+  List.iter
+    (fun (kname, m, _) ->
+      let ctx = Modular.Mont.create m in
+      Alcotest.(check string) kname kname (Modular.Mont.kernel_name ctx))
+    fixed_widths;
+  Alcotest.(check string) "155-bit -> generic" "generic"
+    (Modular.Mont.kernel_name (Modular.Mont.create test_modulus));
+  Alcotest.(check bool) "force_generic defaults off" false (Modular.Mont.force_generic ())
+
+(* Generator for elements of [0, m): rejection-free via rem. *)
+let gen_elt_of m =
+  QCheck2.Gen.map (fun n -> Nat.rem n m) (gen_nat_bytes ((Nat.num_bits m + 7) / 8 + 8))
+
+let kernel_parity_props =
+  List.concat_map
+    (fun (kname, m, count) ->
+      let ctx = Modular.Mont.create m in
+      [
+        qtest
+          (Printf.sprintf "%s pow_exp = pow_binary" kname)
+          ~count
+          QCheck2.Gen.(pair (gen_elt_of m) (gen_nat_bytes 32))
+          nat_pair_print
+          (fun (b, e) ->
+            Nat.equal
+              (Modular.Mont.pow_exp ctx b (Modular.Mont.precompute_exp e))
+              (Modular.pow_binary b e m));
+        (* Batch lengths 0..9 cover empty input, partial final blocks and
+           several full interleave blocks at every lane width. *)
+        qtest
+          (Printf.sprintf "%s pow_batch = pow_binary, each lane" kname)
+          ~count
+          QCheck2.Gen.(
+            pair
+              (bind (int_range 0 9) (fun n -> list_repeat n (gen_elt_of m)))
+              (gen_nat_bytes 32))
+          (fun (bs, e) ->
+            String.concat ", " (List.map nat_print bs) ^ " ^ " ^ nat_print e)
+          (fun (bs, e) ->
+            let w = Modular.Mont.precompute_exp e in
+            List.for_all2 Nat.equal
+              (Modular.Mont.pow_batch ctx bs w)
+              (List.map (fun b -> Modular.pow_binary b e m) bs));
+        qtest
+          (Printf.sprintf "%s sqr_batch = naive mod mul" kname)
+          ~count
+          QCheck2.Gen.(bind (int_range 0 9) (fun n -> list_repeat n (gen_elt_of m)))
+          (fun xs -> String.concat ", " (List.map nat_print xs))
+          (fun xs ->
+            List.for_all2 Nat.equal
+              (Modular.Mont.sqr_batch ctx xs)
+              (List.map (fun x -> Modular.mul x x m) xs));
+      ])
+    fixed_widths
+
+(* Edge exponents (0, 1, 2, p-2, top-bit-only, all-ones) x edge bases
+   (0, 1, m-1, small): the cases that stress window-digit handling (all
+   zero digits, all maximal digits), the lazy-reduction bound (m-1 is
+   the largest reduced operand) and the Fermat identity. *)
+let test_kernel_edges () =
+  List.iter
+    (fun (kname, m, _) ->
+      let ctx = Modular.Mont.create m in
+      let bits = Nat.num_bits m in
+      let exponents =
+        [
+          ("e=0", Nat.zero);
+          ("e=1", Nat.one);
+          ("e=2", Nat.two);
+          ("e=p-2", Nat.sub m Nat.two);
+          ("e=2^(bits-1)", Nat.shift_left Nat.one (bits - 1));
+          ("e=all-ones", Nat.pred (Nat.shift_left Nat.one bits));
+        ]
+      in
+      let bases =
+        [ Nat.zero; Nat.one; Nat.pred m; Nat.of_int 0x1234567 ]
+      in
+      List.iter
+        (fun (ename, e) ->
+          let w = Modular.Mont.precompute_exp e in
+          List.iter
+            (fun b ->
+              Alcotest.check nat
+                (Printf.sprintf "%s %s b=%s" kname ename (Nat.to_hex b))
+                (Modular.pow_binary b e m)
+                (Modular.Mont.pow_exp ctx b w))
+            bases;
+          (* The same edges through the interleaved batch path. *)
+          List.iter2 (fun b r ->
+              Alcotest.check nat
+                (Printf.sprintf "%s %s batch b=%s" kname ename (Nat.to_hex b))
+                (Modular.pow_binary b e m) r)
+            bases
+            (Modular.Mont.pow_batch ctx bases w))
+        exponents)
+    fixed_widths
+
+(* Kernel choice must be invisible: a context forced onto the generic
+   path computes bit-identical results to the fixed-width context for
+   the same modulus. *)
+let test_force_generic_parity () =
+  Fun.protect
+    ~finally:(fun () -> Modular.Mont.set_force_generic false)
+    (fun () ->
+      List.iter
+        (fun (kname, m, _) ->
+          let fixed = Modular.Mont.create m in
+          Modular.Mont.set_force_generic true;
+          let generic = Modular.Mont.create m in
+          Modular.Mont.set_force_generic false;
+          Alcotest.(check string) (kname ^ " forced") "generic"
+            (Modular.Mont.kernel_name generic);
+          let b = Nat.rem (Nat.of_decimal "987654321987654321987654321") m in
+          let e = Nat.sub m Nat.two in
+          let w = Modular.Mont.precompute_exp e in
+          Alcotest.check nat (kname ^ " = generic")
+            (Modular.Mont.pow_exp generic b w)
+            (Modular.Mont.pow_exp fixed b w))
+        fixed_widths)
+
+(* The steady-state window loop runs out of the preallocated arena: a
+   full multi-lane scan over a maximal exponent must allocate nothing
+   on the minor heap. Loading bases and extracting results may allocate
+   (they build Nats); only run_windows is pinned. *)
+let test_zero_alloc_window_loop () =
+  List.iter
+    (fun (kname, m, _) ->
+      let ctx = Modular.Mont.create m in
+      match Modular.Mont.Internal.arena ctx with
+      | None -> Alcotest.failf "%s: expected a fixed-width arena" kname
+      | Some ar ->
+          let lanes = Modular.Mont.Internal.lanes ctx in
+          let bits = Nat.num_bits m in
+          let w =
+            Modular.Mont.precompute_exp (Nat.pred (Nat.shift_left Nat.one bits))
+          in
+          for lane = 0 to lanes - 1 do
+            Modular.Mont.Internal.load_base ar ~lane
+              (Nat.rem (Nat.of_int (0xbeef + lane)) m)
+          done;
+          (* Warm once (first call may trigger lazy runtime setup),
+             then measure. *)
+          Modular.Mont.Internal.run_windows ar ~lanes w;
+          let w0 = Gc.minor_words () in
+          Modular.Mont.Internal.run_windows ar ~lanes w;
+          let allocated = Gc.minor_words () -. w0 in
+          Alcotest.(check (float 0.0))
+            (kname ^ " run_windows minor words") 0.0 allocated)
+    fixed_widths
+
+(* ------------------------------------------------------------------ *)
 (* Prime                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -685,6 +875,13 @@ let () =
           prop_inverse;
           Alcotest.test_case "inverse corner cases" `Quick test_inverse_none;
         ] );
+      ( "mont-kernels",
+        Alcotest.test_case "kernel selection" `Quick test_kernel_selection
+        :: Alcotest.test_case "edge exponents and bases" `Quick test_kernel_edges
+        :: Alcotest.test_case "fixed = forced-generic" `Quick test_force_generic_parity
+        :: Alcotest.test_case "window loop allocates nothing" `Quick
+             test_zero_alloc_window_loop
+        :: kernel_parity_props );
       ( "prime",
         [
           Alcotest.test_case "small primes & carmichael" `Quick test_small_primes;

@@ -40,6 +40,30 @@ let test_map_qcheck =
       with_pool size (fun p ->
           Pool.map p (fun x -> x + 1) xs = List.map (fun x -> x + 1) xs))
 
+(* Chunk-level map: same boundaries as [map], so for a pure
+   length-preserving [f] the results equal [f xs] at every pool size;
+   a chunk body that changes the length is rejected. *)
+let test_map_chunks () =
+  let f chunk = List.map (fun x -> (x * 7) + 1) chunk in
+  List.iter
+    (fun size ->
+      List.iter
+        (fun n ->
+          let xs = List.init n (fun i -> i) in
+          with_pool size (fun p ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "size=%d n=%d" size n)
+                (f xs) (Pool.map_chunks p f xs)))
+        [ 0; 1; 15; 16; 17; 33; 100 ])
+    [ 1; 2; 4 ];
+  with_pool 2 (fun p ->
+      Alcotest.(check bool) "length change rejected" true
+        (try
+           ignore (Pool.map_chunks p (fun chunk -> List.tl chunk)
+                     (List.init 20 Fun.id));
+           false
+         with Invalid_argument _ -> true))
+
 let test_map_reduce () =
   let xs = List.init 100 (fun i -> i + 1) in
   List.iter
@@ -181,6 +205,7 @@ let () =
         [
           tc "parity across sizes and lengths" `Quick test_map_parity;
           QCheck_alcotest.to_alcotest test_map_qcheck;
+          tc "map_chunks" `Quick test_map_chunks;
           tc "map_reduce" `Quick test_map_reduce;
           tc "map_seeded deterministic" `Quick test_map_seeded_deterministic;
         ] );

@@ -310,6 +310,43 @@ let prop_pool_size_invariance =
           results = base_results && List.for_all2 same_views base_views views)
         [ 2; 4 ])
 
+(* Kernel independence: the fixed-width Montgomery kernels change
+   wall-clock only, never bytes. All four protocols, run over a fresh
+   256-bit group with the fixed kernel selected and again with it
+   forced off, must produce identical results and byte-identical
+   transcripts. Fresh [of_prime] contexts each time — [Group.named]
+   memoizes, so the cached g256 would pin whichever kernel came
+   first. *)
+let test_kernel_transcript_invariance () =
+  let p256 = Group.p (Group.named Group.Test256) in
+  let vs = vs1 and vr = vr1 in
+  let records = List.mapi (fun i v -> (v, Printf.sprintf "%s#%d" v i)) vs in
+  let run_all () =
+    let cfg = P.config (Group.of_prime p256) in
+    let oi = Psi.Intersection.run cfg ~seed:"kern" ~sender_values:vs ~receiver_values:vr () in
+    let oj = Psi.Equijoin.run cfg ~seed:"kern" ~sender_records:records ~receiver_values:vr () in
+    let os = Psi.Intersection_size.run cfg ~seed:"kern" ~sender_values:vs ~receiver_values:vr () in
+    let oz = Psi.Equijoin_size.run cfg ~seed:"kern" ~sender_values:vs ~receiver_values:vr () in
+    ( ( oi.Runner.receiver_result.Psi.Intersection.intersection,
+        oj.Runner.receiver_result.Psi.Equijoin.matches,
+        os.Runner.receiver_result.Psi.Intersection_size.size,
+        oz.Runner.receiver_result.Psi.Equijoin_size.join_size ),
+      [ views oi; views oj; views os; views oz ] )
+  in
+  Alcotest.(check string) "fixed kernel on" "fixed-256"
+    (Group.kernel_name (Group.of_prime p256));
+  let on_results, on_views = run_all () in
+  Fun.protect
+    ~finally:(fun () -> Bignum.Modular.Mont.set_force_generic false)
+    (fun () ->
+      Bignum.Modular.Mont.set_force_generic true;
+      Alcotest.(check string) "kernel forced off" "generic"
+        (Group.kernel_name (Group.of_prime p256));
+      let off_results, off_views = run_all () in
+      Alcotest.(check bool) "results identical" true (on_results = off_results);
+      Alcotest.(check bool) "transcripts byte-identical" true
+        (List.for_all2 same_views on_views off_views))
+
 (* ------------------------------------------------------------------ *)
 (* Equijoin                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -1271,6 +1308,8 @@ let () =
             test_parallel_protocols_same_results;
           Alcotest.test_case "worker validation" `Quick test_parallel_workers_validated;
           prop_pool_size_invariance;
+          Alcotest.test_case "kernels on/off leave transcripts identical" `Quick
+            test_kernel_transcript_invariance;
         ] );
       ( "equijoin",
         [

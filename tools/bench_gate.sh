@@ -14,7 +14,11 @@ shift
 # Remaining args: BENCH_obs BENCH_parallel BENCH_incremental [BENCH_sharded]
 
 echo "== bench gate: committed BENCH files =="
-"$regress" "$@"
+# --check-bench hardens the metadata checks: a BENCH file whose git_rev
+# is not an ancestor of HEAD (it predates the code it claims to
+# measure), or whose throughput rows carry no kernel field, fails
+# instead of warning.
+"$regress" "$@" --check-bench
 
 echo
 echo "== bench gate: injected 2x slowdown (must fail) =="

@@ -1,0 +1,25 @@
+(* Seeded-bad fixture shaped like the fixed-width Montgomery kernels
+   (30-bit limb arrays, window tables, arena staging): proves CT01/CT02
+   see kernel-idiom code, so a regression in the new modular.ml kernels
+   cannot hide from the rules. *)
+
+(* Window digit derived from key material steering the table lookup —
+   the shape [run_windows] must never have (its digits come from the
+   public-exponent contract, not a sampled secret). *)
+let window_mult_on_secret st tab =
+  let d = byte_of (Drbg.generate st 1) in
+  if d <> 0 then mont_mul tab.(d) else skip () (* lint-expect: CT02 *)
+
+(* Squaring chain bounded by a sampled exponent's width. *)
+let scan_secret_exponent st =
+  let e = byte_of (Drbg.generate st 1) in
+  for _i = 0 to e do (* lint-expect: CT02 *)
+    square ()
+  done
+
+(* Polymorphic comparison on limb arrays. *)
+let limbs_compare (a : int array) (b : int array) =
+  Stdlib.compare a b (* lint-expect: CT01 *)
+
+(* Physical equality to detect arena aliasing. *)
+let arena_aliases dst src = dst == src (* lint-expect: CT01 *)
